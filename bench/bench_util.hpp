@@ -1,0 +1,33 @@
+#pragma once
+
+// Shared boilerplate for the experiment binaries (bench/e*.cpp).
+//
+// Every experiment prints a banner naming the paper claim it regenerates,
+// one or more TextTables with the measured rows, and a PASS/NOTE trailer.
+// EXPERIMENTS.md archives the outputs.
+
+#include <cstdio>
+#include <sstream>
+
+#include "dut/stats/table.hpp"
+
+namespace dut::bench {
+
+inline void banner(const char* id, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("reproduces: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }
+
+inline void print(const stats::TextTable& table) {
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+inline void note(const char* text) { std::printf("\n%s\n", text); }
+
+}  // namespace dut::bench

@@ -1,0 +1,141 @@
+// E11 — the lower-bound side: Lemma 2.1, Corollary 7.4, and Theorem 1.3's
+// Omega(sqrt(n/k)) per-node sample wall.
+//
+// The information-theoretic proofs cannot be "run"; what can be run is
+// their quantitative skeleton (DESIGN.md §5.2):
+//  1. Lemma 2.1 verified over its whole parameter domain.
+//  2. The regime Theorem 1.3 forces on any anonymous 0-round tester
+//     (delta <= ~ln(3/2)/k, alpha > 5/4) and the resulting
+//     Omega(sqrt(n/k)/log n) wall, charted against the Theorem 1.2 upper
+//     bound: the two bracket a sqrt(n/k) corridor.
+//  3. An empirical wall: the AND-rule collision-tester family's total error
+//     as a function of per-node samples s. Completeness is computed
+//     EXACTLY (birthday product to the k-th power); soundness semi-
+//     analytically (per-node far-reject rate measured by MC, then
+//     (1-q)^k). Below the corridor no s achieves error 1/3: small s can't
+//     reject, large s false-rejects.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/smp/lowerbound.hpp"
+#include "dut/stats/info.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace {
+
+using namespace dut;
+
+void lemma21_sweep() {
+  bench::section("Lemma 2.1: D(B_{1-d} || B_{1-td}) >= (d/4) f(t), full domain");
+  stats::TextTable table({"delta", "tau", "divergence", "bound", "ratio"});
+  std::uint64_t checked = 0;
+  std::uint64_t violations = 0;
+  double min_ratio = 1e300;
+  for (double delta = 1e-4; delta < 0.25; delta *= 3.0) {
+    for (double frac : {0.05, 0.3, 0.7, 0.95}) {
+      const double tau = 1.0 + frac * (1.0 / delta - 1.0);
+      if (tau * delta >= 1.0) continue;
+      const double lhs = stats::lemma21_divergence(delta, tau);
+      const double rhs = stats::lemma21_lower_bound(delta, tau);
+      ++checked;
+      if (lhs < rhs) ++violations;
+      min_ratio = std::min(min_ratio, lhs / rhs);
+      table.row().add(delta, 3).add(tau, 4).add(lhs, 4).add(rhs, 4).add(
+          lhs / rhs, 4);
+    }
+  }
+  bench::print(table);
+  std::printf("\nchecked %llu points, %llu violations, min ratio %.3f\n",
+              static_cast<unsigned long long>(checked),
+              static_cast<unsigned long long>(violations), min_ratio);
+}
+
+void corridor() {
+  bench::section("the sqrt(n/k) corridor: Theorem 1.3 wall vs Theorem 1.2 "
+                  "upper bound (n = 2^16, eps = 0.9)");
+  const std::uint64_t n = 1 << 16;
+  stats::TextTable table({"k", "delta_max", "alpha_min",
+                          "lower wall (samples)", "upper (Thm 1.2 s)",
+                          "sqrt(n/k)"});
+  for (std::uint64_t k : {1024ULL, 4096ULL, 16384ULL, 65536ULL}) {
+    const auto regime = smp::theorem13_regime(n, k);
+    const auto plan = core::plan_threshold(n, k, 0.9, 1.0 / 3.0,
+                                           core::TailBound::kExactBinomial);
+    table.row()
+        .add(k)
+        .add(regime.delta_max, 3)
+        .add(regime.alpha_min, 4)
+        .add(regime.samples_lower_bound, 4)
+        .add(plan.feasible ? std::to_string(plan.base.s) : "-")
+        .add(std::sqrt(static_cast<double>(n) / static_cast<double>(k)), 4);
+  }
+  bench::print(table);
+  bench::note("Both bounds scale as sqrt(n/k): the achievable region is a\n"
+              "constant-times-log corridor around it, matching Theorems 1.2\n"
+              "and 1.3 side by side.");
+}
+
+void empirical_wall() {
+  bench::section("empirical wall: AND-rule error vs per-node samples "
+                  "(n = 2^16, k = 1024, eps = 0.9)");
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t k = 1024;
+  const double eps = 0.9;
+  const double kd = static_cast<double>(k);
+  const core::AliasSampler far_sampler(core::paninski_two_bump(n, eps));
+
+  const auto regime = smp::theorem13_regime(n, k);
+  stats::TextTable table({"s/node", "P[rej|U] exact", "P[acc|far]",
+                          "total error"});
+  for (std::uint64_t s : {2ULL, 3ULL, 4ULL, 6ULL, 8ULL, 12ULL, 16ULL,
+                          24ULL, 32ULL}) {
+    // Completeness: exact. One node accepts uniform w.p. the birthday
+    // product; the network (AND) accepts iff all k do.
+    const double node_accept_uniform =
+        core::uniform_no_collision_exact(s, n);
+    const double network_reject_uniform =
+        1.0 - std::pow(node_accept_uniform, kd);
+    // Soundness: per-node reject rate on the far instance by MC, then the
+    // AND rule analytically.
+    const auto node_reject_far = stats::estimate_probability(
+        900 + s, 60000, [&](stats::Xoshiro256& rng) {
+          return core::has_collision(far_sampler.sample_many(rng, s));
+        });
+    const double network_accept_far =
+        std::pow(1.0 - node_reject_far.p_hat, kd);
+    const double error = std::max(network_reject_uniform, network_accept_far);
+    table.row()
+        .add(s)
+        .add(network_reject_uniform, 4)
+        .add(network_accept_far, 4)
+        .add(error, 4);
+  }
+  bench::print(table);
+  std::printf("\nTheorem 1.3 wall at these (n, k): ~%.1f samples/node "
+              "(sqrt(n/k) = %.1f)\n",
+              regime.samples_lower_bound,
+              std::sqrt(static_cast<double>(n) / kd));
+  bench::note(
+      "The squeeze is visible: small s leaves P[acc|far] ~ 1 (nothing to\n"
+      "reject with) while larger s drives P[rej|U] -> 1 (the AND rule\n"
+      "cannot tolerate per-node false alarms) — no single-run s wins, and\n"
+      "the total error never dips below 1/3 in this family without the\n"
+      "repetition machinery of Theorem 1.1, whose sample cost then sits\n"
+      "above the corridor. The proven wall is Omega(sqrt(n/k)/log n).");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E11: the lower-bound skeleton",
+                "Lemma 2.1, Corollary 7.4, Theorem 1.3 (Sections 2, 7)");
+  lemma21_sweep();
+  corridor();
+  empirical_wall();
+  return 0;
+}

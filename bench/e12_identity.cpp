@@ -1,0 +1,141 @@
+// E12 — the introduction's claim: testing identity to any fixed
+// distribution reduces to uniformity testing, and the reduction (a
+// randomized filter) applies per node with private randomness, so it
+// composes with the distributed testers unchanged.
+//
+// Tables:
+//  1. Exact filter guarantees via the pushforward (no sampling): the
+//     reference maps to exactly uniform; eps-far inputs stay
+//     output_epsilon()-far.
+//  2. End-to-end distributed identity testing: filter + 0-round threshold
+//     network.
+
+#include "bench_util.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/identity_filter.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace {
+
+using namespace dut;
+
+void exact_guarantees() {
+  bench::section("filter guarantees, computed exactly via the pushforward");
+  const std::uint64_t n = 256;
+  const double eps = 1.2;
+  struct Ref {
+    const char* name;
+    core::Distribution q;
+  };
+  const Ref references[] = {
+      {"zipf(1.0)", core::zipf(n, 1.0)},
+      {"step 50% x3", core::step(n, 0.5, 3.0)},
+      {"heavy hitter 30%", core::heavy_hitter(n, 0.3)},
+  };
+  stats::TextTable table({"reference q", "m (grains)", "eps_out",
+                          "L1(F(q), U_m)", "far input", "L1(mu, q)",
+                          "L1(F(mu), U_m)", ">= eps_out?"});
+  for (const Ref& ref : references) {
+    const core::IdentityFilter filter(ref.q, eps, 16.0);
+    const double to_uniform =
+        filter.pushforward(ref.q).l1_to_uniform();
+    // A far input: collapse to a tail quarter of the catalog.
+    const core::Distribution mu = core::restricted_support(n, n / 16);
+    const double input_distance = mu.l1_distance(ref.q);
+    const double output_distance =
+        filter.pushforward(mu).l1_to_uniform();
+    table.row()
+        .add(ref.name)
+        .add(filter.output_domain())
+        .add(filter.output_epsilon(), 4)
+        .add(to_uniform, 3)
+        .add("support n/16")
+        .add(input_distance, 4)
+        .add(output_distance, 4)
+        .add(input_distance >= eps
+                 ? (output_distance >= filter.output_epsilon() - 1e-12
+                        ? "yes"
+                        : "VIOLATED")
+                 : "n/a");
+  }
+  bench::print(table);
+  bench::note("F(q) is uniform to machine precision, and every eps-far\n"
+              "input stays at least eps_out-far — the reduction's two\n"
+              "guarantees, with zero sampling noise.");
+}
+
+void end_to_end() {
+  bench::section("distributed identity testing end to end "
+                  "(k = 8192 nodes, 40 runs/side)");
+  const std::uint64_t n = 256;
+  const double eps = 1.6;
+  const std::uint64_t k = 8192;
+  const core::Distribution q = core::zipf(n, 1.0);
+  const core::IdentityFilter filter(q, eps, 32.0);
+  const auto plan = core::plan_threshold(
+      filter.output_domain(), k, filter.output_epsilon(), 1.0 / 3.0,
+      core::TailBound::kExactBinomial);
+  if (!plan.feasible) {
+    bench::note("plan infeasible — skipped");
+    return;
+  }
+  std::printf("filter: %llu grains, eps_out = %.3f; per node: %llu raw "
+              "samples through the filter\n",
+              static_cast<unsigned long long>(filter.output_domain()),
+              filter.output_epsilon(),
+              static_cast<unsigned long long>(plan.base.s));
+
+  auto network_rejects = [&](const core::AliasSampler& sampler,
+                             stats::Xoshiro256& rng) {
+    const core::SingleCollisionTester tester(plan.base);
+    std::uint64_t rejects = 0;
+    std::vector<std::uint64_t> grains(plan.base.s);
+    for (std::uint64_t node = 0; node < plan.k; ++node) {
+      for (std::uint64_t i = 0; i < plan.base.s; ++i) {
+        grains[i] = filter.apply(sampler.sample(rng), rng);
+      }
+      if (!tester.accept(grains)) ++rejects;
+    }
+    return rejects >= plan.threshold;
+  };
+
+  stats::TextTable table({"live distribution", "L1(mu, q)", "alarm rate"});
+  std::vector<double> crowd(n, 0.03 / static_cast<double>(n - 1));
+  crowd[n - 1] = 0.97;
+  struct Live {
+    const char* name;
+    core::Distribution mu;
+  };
+  const Live lives[] = {
+      {"mu = q (quiet)", core::zipf(n, 1.0)},
+      {"tail flash crowd", core::Distribution::from_weights(std::move(crowd))},
+      {"support collapsed to n/16", core::restricted_support(n, n / 16)},
+  };
+  std::uint64_t seed = 0;
+  for (const Live& live : lives) {
+    const core::AliasSampler sampler(live.mu);
+    const auto alarm = stats::estimate_probability(
+        seed += 31, 40, [&](stats::Xoshiro256& rng) {
+          return network_rejects(sampler, rng);
+        });
+    table.row()
+        .add(live.name)
+        .add(live.mu.l1_distance(q), 3)
+        .add(alarm.p_hat, 3);
+  }
+  bench::print(table);
+  bench::note("Quiet traffic alarms <= 1/3; inputs eps-far from q alarm\n"
+              "decisively — identity testing rides on the uniformity\n"
+              "machinery, per the paper's introduction.");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E12: identity testing via the uniformity reduction",
+                "introduction (uniformity completeness, refs [10, 15])");
+  exact_guarantees();
+  end_to_end();
+  return 0;
+}

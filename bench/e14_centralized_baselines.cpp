@@ -1,0 +1,139 @@
+// E14 — centralized baseline shoot-out (extension).
+//
+// The paper's distributed testers are built from the *single-collision*
+// statistic because each node sees too few samples to count collisions.
+// This experiment quantifies that design choice: at EQUAL sample budgets,
+// how do the four centralized statistics compare?
+//
+//   * single-collision (A_delta, the paper's building block),
+//   * collision counting (the classical Theta(sqrt(n)/eps^2) tester),
+//   * unique elements (Paninski's original coincidence statistic),
+//   * plug-in empirical L1 (the naive baseline).
+//
+// Expected shape: counting/unique win centrally (they reach error 1/3 at
+// ~3 sqrt(n)/eps^2 samples, where the single-collision accept/reject gap
+// is still tiny); the plug-in tester is useless until s ~ n. The
+// crossover in the other direction — why the DISTRIBUTED setting flips
+// the choice — is the k-node aggregation measured in E4/E5.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dut/core/baselines.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace {
+
+using namespace dut;
+
+double total_error(const std::function<bool(stats::Xoshiro256&)>& accept_uni,
+                   const std::function<bool(stats::Xoshiro256&)>& accept_far,
+                   std::uint64_t seed) {
+  const auto reject_uniform = stats::estimate_probability(
+      seed, 800, [&](stats::Xoshiro256& rng) { return !accept_uni(rng); });
+  const auto accept_far_rate = stats::estimate_probability(
+      seed + 1, 800, accept_far);
+  return std::max(reject_uniform.p_hat, accept_far_rate.p_hat);
+}
+
+void shootout() {
+  const std::uint64_t n = 1 << 14;
+  const double eps = 0.7;
+  const core::AliasSampler uni(core::uniform(n));
+  const core::AliasSampler far(core::paninski_two_bump(n, eps));
+  const double sqrt_budget = 3.0 * std::sqrt(static_cast<double>(n)) /
+                             (eps * eps);
+
+  bench::section("total error (max over both sides) vs sample budget; "
+                  "n = 2^14, eps = 0.7, worst-case family");
+  stats::TextTable table({"samples s", "s/(3sqrt(n)/eps^2)",
+                          "single-collision", "collision count",
+                          "unique elements", "plug-in L1"});
+  for (const double fraction : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    const auto s = static_cast<std::uint64_t>(sqrt_budget * fraction);
+    const core::GapTesterParams gap_params =
+        core::params_from_samples(n, eps, s);
+    const core::SingleCollisionTester single(gap_params);
+    const core::CollisionCountingTester counting(n, eps, s);
+    const core::UniqueElementsTester unique(n, eps, s);
+    const core::EmpiricalL1Tester plugin(n, eps, s);
+    table.row()
+        .add(s)
+        .add(fraction, 3)
+        .add(total_error(
+                 [&](stats::Xoshiro256& rng) { return single.run(uni, rng); },
+                 [&](stats::Xoshiro256& rng) { return single.run(far, rng); },
+                 10 + s),
+             3)
+        .add(total_error(
+                 [&](stats::Xoshiro256& rng) {
+                   return counting.run(uni, rng);
+                 },
+                 [&](stats::Xoshiro256& rng) {
+                   return counting.run(far, rng);
+                 },
+                 20 + s),
+             3)
+        .add(total_error(
+                 [&](stats::Xoshiro256& rng) { return unique.run(uni, rng); },
+                 [&](stats::Xoshiro256& rng) { return unique.run(far, rng); },
+                 30 + s),
+             3)
+        .add(total_error(
+                 [&](stats::Xoshiro256& rng) { return plugin.run(uni, rng); },
+                 [&](stats::Xoshiro256& rng) { return plugin.run(far, rng); },
+                 40 + s),
+             3);
+  }
+  bench::print(table);
+  bench::note(
+      "Counting and unique-elements cross below error 1/3 around the\n"
+      "classical budget (fraction 1.0) and keep improving; the single-\n"
+      "collision tester's one-bit statistic cannot reach constant error at\n"
+      "ANY s alone (its reject probability saturates) — its role in the\n"
+      "paper is as a (delta, 1+Theta(eps^2))-gap signal that k nodes\n"
+      "aggregate, not as a standalone tester. The plug-in column stays at\n"
+      "error ~1: sublinear samples make the empirical L1 meaningless.");
+}
+
+void single_collision_saturation() {
+  bench::section("why A_delta cannot stand alone: its two error sides vs s");
+  const std::uint64_t n = 1 << 14;
+  const double eps = 0.7;
+  const core::AliasSampler uni(core::uniform(n));
+  const core::AliasSampler far(core::paninski_two_bump(n, eps));
+  stats::TextTable table({"s", "P[rej|U] (exact)", "P[rej|far] (MC)",
+                          "gap ratio"});
+  for (std::uint64_t s : {16ULL, 64ULL, 256ULL, 1024ULL}) {
+    const double reject_uniform =
+        1.0 - core::uniform_no_collision_exact(s, n);
+    const auto reject_far = stats::estimate_probability(
+        50 + s, 4000, [&](stats::Xoshiro256& rng) {
+          return core::has_collision(far.sample_many(rng, s));
+        });
+    table.row()
+        .add(s)
+        .add(reject_uniform, 4)
+        .add(reject_far.p_hat, 4)
+        .add(reject_far.p_hat / std::max(reject_uniform, 1e-12), 4);
+  }
+  bench::print(table);
+  bench::note(
+      "Both sides saturate toward 1 as s grows; the multiplicative gap\n"
+      "stays ~1 + Theta(eps^2) in the sparse regime and VANISHES once\n"
+      "collisions are common — exactly the 'very weak signal' framing of\n"
+      "the paper's introduction.");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E14: centralized statistics at equal sample budgets",
+                "extension: the design space behind Section 3's choice");
+  shootout();
+  single_collision_saturation();
+  return 0;
+}

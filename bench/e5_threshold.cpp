@@ -1,0 +1,159 @@
+// E5 — Theorem 1.2: 0-round uniformity testing under the threshold rule
+// with s = Theta(sqrt(n/k)/eps^2) samples per node and T = Theta(1/eps^4).
+//
+// Tables:
+//  1. k sweep: measured s tracks sqrt(n/k); T stays k-independent; both
+//     error sides within 1/3 end to end; baseline columns show (a) what a
+//     single strong node needs and (b) that a lone node with the
+//     distributed sample budget is useless.
+//  2. Tail-machinery ablation: the paper's Chernoff placement (eq. (5)) vs
+//     exact binomial tails — same guarantees, smaller feasible networks.
+//  3. Threshold-placement ablation: shifting T by +-1 trades the two error
+//     sides exactly as eq. (5) suggests.
+
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "dut/core/baselines.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace {
+
+using namespace dut;
+
+void k_sweep() {
+  bench::section("k sweep: n = 2^16, eps = 0.9 (150 trials/side)");
+  const std::uint64_t n = 1 << 16;
+  const double eps = 0.9;
+  const core::AliasSampler uniform_sampler(core::uniform(n));
+  const core::AliasSampler far_sampler(core::paninski_two_bump(n, eps));
+  const double single_node = 3.0 * std::sqrt(static_cast<double>(n)) /
+                             (eps * eps);
+
+  stats::TextTable table({"k", "s/node", "s*sqrt(k/n)*eps^2", "T",
+                          "P[rej|U]", "P[acc|far]", "lone node err"});
+  for (std::uint64_t k : {1024ULL, 4096ULL, 16384ULL}) {
+    const auto plan = core::plan_threshold(n, k, eps, 1.0 / 3.0,
+                                           core::TailBound::kExactBinomial);
+    if (!plan.feasible) {
+      table.row().add(k).add("infeasible");
+      continue;
+    }
+    const auto false_reject = stats::estimate_probability(
+        10 + k, 150, [&](stats::Xoshiro256& rng) {
+          return core::run_threshold_network(plan, uniform_sampler, rng)
+              .network_rejects;
+        });
+    const auto false_accept = stats::estimate_probability(
+        20 + k, 150, [&](stats::Xoshiro256& rng) {
+          return !core::run_threshold_network(plan, far_sampler, rng)
+                      .network_rejects;
+        });
+    // Baseline: one node with the same per-node budget, using the classical
+    // collision-counting tester. Its error should be ~coin-flip.
+    const core::CollisionCountingTester lone(n, eps, plan.base.s);
+    const auto lone_accept_far = stats::estimate_probability(
+        30 + k, 400,
+        [&](stats::Xoshiro256& rng) { return lone.run(far_sampler, rng); });
+    const auto lone_reject_uniform = stats::estimate_probability(
+        40 + k, 400, [&](stats::Xoshiro256& rng) {
+          return !lone.run(uniform_sampler, rng);
+        });
+    const double lone_error =
+        std::max(lone_accept_far.p_hat, lone_reject_uniform.p_hat);
+    table.row()
+        .add(k)
+        .add(plan.base.s)
+        .add(static_cast<double>(plan.base.s) *
+                 std::sqrt(static_cast<double>(k) / static_cast<double>(n)) *
+                 eps * eps,
+             3)
+        .add(plan.threshold)
+        .add(false_reject.p_hat, 3)
+        .add(false_accept.p_hat, 3)
+        .add(lone_error, 3);
+  }
+  bench::print(table);
+  std::printf("\nsingle strong node would need ~%.0f samples "
+              "(Theta(sqrt(n)/eps^2)); the network gets by with the s/node "
+              "column.\n",
+              single_node);
+  bench::note(
+      "Shape: 's*sqrt(k/n)*eps^2' is flat (the sqrt(n/k)/eps^2 law); errors\n"
+      "stay at or below 1/3 (within 150-trial noise); a lone node at the\n"
+      "same budget fails almost surely on at least one side — the network's\n"
+      "aggregation is doing the work.");
+}
+
+void tail_ablation() {
+  bench::section("ablation: Chernoff (paper eq. (5)) vs exact binomial tails");
+  stats::TextTable table({"k", "chernoff", "exact binomial"});
+  const std::uint64_t n = 1 << 17;
+  for (std::uint64_t k : {512ULL, 2048ULL, 8192ULL, 32768ULL}) {
+    const auto chern = core::plan_threshold(n, k, 0.9);
+    const auto exact = core::plan_threshold(n, k, 0.9, 1.0 / 3.0,
+                                            core::TailBound::kExactBinomial);
+    auto describe = [](const core::ThresholdPlan& plan) {
+      if (!plan.feasible) return std::string("infeasible");
+      return "s=" + std::to_string(plan.base.s) +
+             " T=" + std::to_string(plan.threshold);
+    };
+    table.row().add(k).add(describe(chern)).add(describe(exact));
+  }
+  bench::print(table);
+  bench::note(
+      "Exact tails admit networks ~16x smaller; both modes prove the same\n"
+      "error bounds, so the difference is purely the slack in eq. (5).");
+}
+
+void placement_ablation() {
+  bench::section("ablation: shifting the threshold T by +-1 (n=2^15, k=2048)");
+  const std::uint64_t n = 1 << 15;
+  const std::uint64_t k = 2048;
+  const double eps = 0.9;
+  auto plan = core::plan_threshold(n, k, eps, 1.0 / 3.0,
+                                   core::TailBound::kExactBinomial);
+  if (!plan.feasible) {
+    bench::note("placement ablation skipped: base plan infeasible");
+    return;
+  }
+  const core::AliasSampler uniform_sampler(core::uniform(n));
+  const core::AliasSampler far_sampler(core::paninski_two_bump(n, eps));
+  stats::TextTable table({"T", "P[rej|U]", "P[acc|far]"});
+  const std::uint64_t base_threshold = plan.threshold;
+  for (std::int64_t shift : {-1, 0, +1}) {
+    plan.threshold = base_threshold + static_cast<std::uint64_t>(shift);
+    const auto false_reject = stats::estimate_probability(
+        50 + static_cast<std::uint64_t>(shift + 1), 200,
+        [&](stats::Xoshiro256& rng) {
+          return core::run_threshold_network(plan, uniform_sampler, rng)
+              .network_rejects;
+        });
+    const auto false_accept = stats::estimate_probability(
+        60 + static_cast<std::uint64_t>(shift + 1), 200,
+        [&](stats::Xoshiro256& rng) {
+          return !core::run_threshold_network(plan, far_sampler, rng)
+                      .network_rejects;
+        });
+    table.row()
+        .add(plan.threshold)
+        .add(false_reject.p_hat, 3)
+        .add(false_accept.p_hat, 3);
+  }
+  bench::print(table);
+  bench::note("Lowering T trades false rejects for detections and vice\n"
+              "versa — T sits between eta(U) and eta(far) as eq. (5) wants.");
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E5: 0-round testing, threshold decision rule",
+                "Theorem 1.2 (Sections 1, 3.2.2)");
+  k_sweep();
+  tail_ablation();
+  placement_ablation();
+  return 0;
+}

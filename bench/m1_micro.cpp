@@ -1,0 +1,121 @@
+// M1 — micro-benchmarks (google-benchmark) for the hot paths underneath
+// every experiment: sampling, collision detection, tester runs, code
+// encoders, and the network engine.
+
+#include <benchmark/benchmark.h>
+
+#include "dut/codes/concatenated.hpp"
+#include "dut/congest/uniformity.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/local/mis.hpp"
+#include "dut/smp/equality.hpp"
+
+namespace {
+
+using namespace dut;
+
+void BM_AliasSampler(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const core::AliasSampler sampler(core::zipf(n, 1.0));
+  stats::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSampler)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CollisionCheck(benchmark::State& state) {
+  const auto s = static_cast<std::uint64_t>(state.range(0));
+  const core::AliasSampler sampler(core::uniform(1 << 16));
+  stats::Xoshiro256 rng(2);
+  const auto samples = sampler.sample_many(rng, s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::has_collision(samples));
+  }
+}
+BENCHMARK(BM_CollisionCheck)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_GapTesterRun(benchmark::State& state) {
+  const std::uint64_t n = 1 << 16;
+  const auto params = core::solve_gap_tester(n, 0.9, 0.01);
+  const core::SingleCollisionTester tester(params);
+  const core::AliasSampler sampler(core::uniform(n));
+  stats::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tester.run(sampler, rng));
+  }
+  state.SetLabel("s=" + std::to_string(params.s));
+}
+BENCHMARK(BM_GapTesterRun);
+
+void BM_RsEncodeGf256(benchmark::State& state) {
+  const codes::ReedSolomon rs(codes::GaloisField::gf256(), 200, 100);
+  std::vector<std::uint32_t> message(100);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint32_t>(i * 37 % 256);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(message));
+  }
+}
+BENCHMARK(BM_RsEncodeGf256);
+
+void BM_EqualityCodeEncode(benchmark::State& state) {
+  const auto bits = static_cast<std::uint64_t>(state.range(0));
+  const auto bundle = codes::make_equality_code(bits);
+  codes::Bits message(bundle.code->message_bits(), 0);
+  for (std::size_t i = 0; i < message.size(); i += 3) message[i] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bundle.code->encode(message));
+  }
+}
+BENCHMARK(BM_EqualityCodeEncode)->Arg(512)->Arg(8192);
+
+void BM_EqualityProtocolMessage(benchmark::State& state) {
+  const smp::EqualityProtocol protocol(4096, 2.0, 0.01);
+  std::vector<std::uint8_t> x(4096, 0);
+  const auto codeword = protocol.encode_input(x);
+  stats::Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protocol.alice_encoded(codeword, rng));
+  }
+}
+BENCHMARK(BM_EqualityProtocolMessage);
+
+void BM_TokenPackaging(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const net::Graph g = net::Graph::random_connected(k, 2.0, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(congest::run_token_packaging(g, 8, 5));
+  }
+  state.SetLabel("rounds incl. leader election");
+}
+BENCHMARK(BM_TokenPackaging)->Arg(256)->Arg(1024);
+
+void BM_LubyMis(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  const net::Graph g = net::Graph::random_connected(k, 4.0, 8);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(local::compute_mis(g, ++seed));
+  }
+}
+BENCHMARK(BM_LubyMis)->Arg(256)->Arg(1024);
+
+void BM_ThresholdNetworkTrial(benchmark::State& state) {
+  const std::uint64_t n = 1 << 14;
+  const auto plan = core::plan_threshold(n, 1024, 0.9, 1.0 / 3.0,
+                                         core::TailBound::kExactBinomial);
+  const core::AliasSampler sampler(core::uniform(n));
+  stats::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_threshold_network(plan, sampler, rng));
+  }
+  state.SetLabel("k=1024");
+}
+BENCHMARK(BM_ThresholdNetworkTrial);
+
+}  // namespace
+
+BENCHMARK_MAIN();

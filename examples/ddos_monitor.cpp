@@ -1,0 +1,81 @@
+// DoS detection — the paper's opening motivation.
+//
+// A fleet of routers samples destination addresses from the traffic they
+// forward. Under normal operation destinations are spread (here: uniform
+// over n flows after hashing); during a denial-of-service attack a single
+// destination soaks up an abnormal share of the traffic. No router sees
+// enough packets to decide alone and the routers cannot talk to each other
+// on the data path — exactly the 0-round model.
+//
+// This example sweeps the attack intensity (the victim's traffic share) and
+// reports the network's detection rate under the threshold rule, showing
+// the detection cliff where the skew crosses the planned distance eps.
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/summary.hpp"
+#include "dut/stats/table.hpp"
+
+int main() {
+  const std::uint64_t n = 1 << 14;  // hashed flow buckets
+  const std::uint64_t k = 4096;     // routers
+  const double eps = 0.9;           // alarm threshold in L1 distance
+  const std::uint64_t trials = 60;
+
+  const dut::core::ThresholdPlan plan = dut::core::plan_threshold(
+      n, k, eps, 1.0 / 3.0, dut::core::TailBound::kExactBinomial);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+
+  std::printf("DoS monitor: %llu routers, %llu sampled packets each, alarm "
+              "when >= %llu routers flag their sample window\n\n",
+              static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(plan.base.s),
+              static_cast<unsigned long long>(plan.threshold));
+
+  // The guarantee is one-sided: alarms are rare under normal traffic and
+  // near-certain once L1 distance reaches eps. For a *heavy-hitter* attack
+  // the collision statistic chi jumps to ~share^2, so detection in practice
+  // kicks in much earlier — the sweep below charts that cliff. The
+  // "chi ratio" column is chi(mu)/chi(U): the paper's Lemma 3.2 guarantees
+  // detection once it exceeds 1 + eps^2.
+  dut::stats::TextTable table({"victim share", "L1 distance", "chi ratio",
+                               "guaranteed?", "alarm rate"});
+  for (const double share :
+       {0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.2, 0.55}) {
+    const dut::core::Distribution traffic =
+        share == 0.0 ? dut::core::uniform(n)
+                     : dut::core::heavy_hitter(n, share);
+    const double distance = traffic.l1_to_uniform();
+    const double chi_ratio = traffic.collision_probability() *
+                             static_cast<double>(n);
+    const dut::core::AliasSampler sampler(traffic);
+    const auto alarm = dut::stats::estimate_probability(
+        1000 + static_cast<std::uint64_t>(share * 1000), trials,
+        [&](dut::stats::Xoshiro256& rng) {
+          return dut::core::run_threshold_network(plan, sampler, rng)
+              .network_rejects;
+        });
+    table.row()
+        .add(share, 3)
+        .add(distance, 3)
+        .add(chi_ratio, 3)
+        .add(distance >= eps ? "yes (eps-far)" : share == 0.0 ? "quiet" : "-")
+        .add(alarm.p_hat, 3);
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\nThe theorem guarantees the endpoints (quiet traffic < 1/3 "
+              "alarms, eps-far traffic > 2/3); the collision statistic "
+              "flags this attack shape as soon as the victim's share "
+              "crosses ~sqrt(delta * chi(U)) ~ 1%%.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Live fleet monitoring with drift injection — the adoption-layer API.
+//
+// A 4096-node fleet streams observations epoch by epoch. Mid-run the
+// underlying distribution drifts (a hotspot grows), and later recovers.
+// The FleetMonitor raises alarms per epoch and reports a calibrated
+// distance score, so the operator sees both the verdict and the magnitude.
+
+#include <cstdio>
+#include <sstream>
+
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/monitor/fleet_monitor.hpp"
+#include "dut/stats/table.hpp"
+
+int main() {
+  dut::monitor::MonitorConfig config;
+  config.domain = 1 << 14;
+  config.nodes = 4096;
+  config.epsilon = 0.9;
+  config.error = 0.15;  // calmer alarm policy: <= 15% false-alarm epochs
+  config.seed = 2026;
+
+  dut::monitor::FleetMonitor monitor(config);
+  std::printf("fleet monitor: %u nodes, window %llu samples/node/epoch, "
+              "alarm at %llu votes\n\n",
+              config.nodes,
+              static_cast<unsigned long long>(monitor.window_size()),
+              static_cast<unsigned long long>(monitor.alarm_threshold()));
+
+  // Timeline: 3 healthy epochs, 3 with a growing hotspot, 2 recovered.
+  struct Phase {
+    const char* label;
+    double hotspot_share;
+    int epochs;
+  };
+  const Phase timeline[] = {
+      {"healthy", 0.0, 3}, {"hotspot 1%", 0.01, 1}, {"hotspot 3%", 0.03, 1},
+      {"hotspot 10%", 0.10, 1}, {"recovered", 0.0, 2},
+  };
+
+  dut::stats::TextTable table({"epoch", "phase", "votes", "score",
+                               "alarm"});
+  dut::stats::Xoshiro256 rng(1);
+  for (const Phase& phase : timeline) {
+    const dut::core::Distribution mu =
+        phase.hotspot_share == 0.0
+            ? dut::core::uniform(config.domain)
+            : dut::core::heavy_hitter(config.domain, phase.hotspot_share);
+    const dut::core::AliasSampler sampler(mu);
+    for (int e = 0; e < phase.epochs; ++e) {
+      for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+        for (std::uint32_t node = 0; node < config.nodes; ++node) {
+          monitor.observe(node, sampler.sample(rng));
+        }
+      }
+      const auto report = monitor.end_epoch();
+      table.row()
+          .add(report.epoch)
+          .add(phase.label)
+          .add(report.votes_to_reject)
+          .add(report.distance_score, 3)
+          .add(report.alarm ? "ALARM" : "-");
+    }
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\n%llu alarms over %llu epochs. The score column grades the\n"
+              "deviation (sqrt(chi_hat*n - 1)): the 1%% hotspot already\n"
+              "scores ~1.3 because collisions weight heavy elements\n"
+              "quadratically — the same sensitivity the alarm rides on.\n",
+              static_cast<unsigned long long>(monitor.alarms_raised()),
+              static_cast<unsigned long long>(monitor.epochs_completed()));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Sensor grid on CONGEST — the paper's second motivating scenario.
+//
+// A 64x64 grid of temperature sensors monitors a plant. Each reading is
+// quantized into one of n bins; a calibrated plant produces (by design of
+// the quantizer) uniformly distributed bin indices, while a systematic
+// fault (stuck sensors, drift) skews the histogram. Each sensor holds ONE
+// sample and the grid must decide jointly over its low-bandwidth links —
+// the CONGEST model of Theorem 1.4.
+//
+// The run reports the full protocol pipeline: leader election + BFS tree,
+// token packaging into tau-sized "virtual nodes", per-package collision
+// tests, threshold aggregation — plus the round/bit accounting that makes
+// the O(D + n/(k eps^4)) bound concrete.
+
+#include <cstdio>
+#include <sstream>
+
+#include "dut/congest/uniformity.hpp"
+#include "dut/core/families.hpp"
+#include "dut/stats/table.hpp"
+
+int main() {
+  const std::uint64_t n = 1 << 12;  // quantization bins
+  const std::uint32_t rows = 64;
+  const std::uint32_t cols = 64;
+  const std::uint32_t k = rows * cols;
+  const double eps = 1.2;
+
+  const dut::net::Graph grid = dut::net::Graph::grid(rows, cols);
+  const dut::congest::CongestPlan plan =
+      dut::congest::plan_congest(n, k, eps);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+
+  std::printf("sensor grid %ux%u (diameter %u), one sample per sensor\n",
+              rows, cols, grid.diameter());
+  std::printf("plan: packages of tau = %llu samples -> %llu virtual nodes, "
+              "alarm at %llu rejecting packages, %llu-bit messages\n\n",
+              static_cast<unsigned long long>(plan.tau),
+              static_cast<unsigned long long>(plan.num_packages),
+              static_cast<unsigned long long>(plan.threshold),
+              static_cast<unsigned long long>(plan.bandwidth_bits));
+
+  struct Scenario {
+    const char* name;
+    dut::core::Distribution readings;
+  };
+  const Scenario scenarios[] = {
+      {"calibrated plant (uniform bins)", dut::core::uniform(n)},
+      {"sensor drift (eps-far)", dut::core::far_instance(n, eps)},
+      {"bank of stuck sensors (25% of bins)",
+       dut::core::restricted_support(n, n / 4)},
+  };
+
+  dut::stats::TextTable table({"scenario", "alarms (of 20 runs)",
+                               "rejecting packages (last run)", "rounds",
+                               "total KB on wire"});
+  for (const Scenario& s : scenarios) {
+    const dut::core::AliasSampler sampler(s.readings);
+    int alarms = 0;
+    dut::congest::CongestRunResult last;
+    for (std::uint64_t t = 0; t < 20; ++t) {
+      last = dut::congest::run_congest_uniformity(plan, grid, sampler,
+                                                  7000 + t);
+      if (last.network_rejects) ++alarms;
+    }
+    table.row()
+        .add(s.name)
+        .add(static_cast<std::uint64_t>(alarms))
+        .add(last.reject_count)
+        .add(last.metrics.rounds)
+        .add(static_cast<double>(last.metrics.total_bits) / 8192.0, 4);
+  }
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\nRounds stay near 4*D + tau = %u despite the 4096-node "
+              "grid: packaging pipelines tokens up the BFS tree.\n",
+              4 * grid.diameter() + static_cast<unsigned>(plan.tau));
+  return 0;
+}

@@ -1,0 +1,52 @@
+#pragma once
+
+// Concrete binary block codes.
+//
+//  * ExtendedHamming84 — the [8, 4, 4] extended Hamming code.
+//  * ReedMuller1       — first-order Reed-Muller RM(1, m):
+//                        [2^m, m+1, 2^(m-1)]; codeword(x) = a_0 + <a, x>.
+//
+// Both serve as inner codes for the concatenated construction that replaces
+// the paper's Justesen code (DESIGN.md §5.1).
+
+#include "dut/codes/linear_code.hpp"
+
+namespace dut::codes {
+
+class ExtendedHamming84 final : public LinearCode {
+ public:
+  std::uint64_t message_bits() const override { return 4; }
+  std::uint64_t codeword_bits() const override { return 8; }
+  std::uint64_t min_distance() const override { return 4; }
+  Bits encode(std::span<const std::uint8_t> message) const override;
+};
+
+class ReedMuller1 final : public LinearCode {
+ public:
+  /// RM(1, m); m in [1, 20].
+  explicit ReedMuller1(unsigned m);
+
+  std::uint64_t message_bits() const override { return m_ + 1; }
+  std::uint64_t codeword_bits() const override { return 1ULL << m_; }
+  std::uint64_t min_distance() const override { return 1ULL << (m_ - 1); }
+  Bits encode(std::span<const std::uint8_t> message) const override;
+
+ private:
+  unsigned m_;
+};
+
+/// The identity "code" [k, k, 1]; useful as a degenerate baseline in tests
+/// and ablations (no distance amplification).
+class IdentityCode final : public LinearCode {
+ public:
+  explicit IdentityCode(std::uint64_t k);
+  std::uint64_t message_bits() const override { return k_; }
+  std::uint64_t codeword_bits() const override { return k_; }
+  std::uint64_t min_distance() const override { return 1; }
+  Bits encode(std::span<const std::uint8_t> message) const override;
+
+ private:
+  std::uint64_t k_;
+};
+
+}  // namespace dut::codes

@@ -1,0 +1,42 @@
+#pragma once
+
+// Galois-field arithmetic GF(2^b) via exp/log tables, the substrate for the
+// Reed-Solomon outer code used by the Equality SMP protocol (Lemma 7.3).
+
+#include <cstdint>
+#include <vector>
+
+namespace dut::codes {
+
+class GaloisField {
+ public:
+  /// GF(2^bits) with the given primitive polynomial (including the leading
+  /// x^bits term, e.g. 0x11D for the AES-style GF(256)). bits in [2, 16].
+  GaloisField(unsigned bits, std::uint32_t primitive_poly);
+
+  /// Convenience instances with standard primitive polynomials.
+  static const GaloisField& gf256();    ///< x^8+x^4+x^3+x^2+1 (0x11D)
+  static const GaloisField& gf65536();  ///< x^16+x^12+x^3+x+1 (0x1100B)
+
+  unsigned bits() const noexcept { return bits_; }
+  std::uint32_t order() const noexcept { return order_; }  ///< 2^bits
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const;  ///< XOR
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const;  ///< b != 0
+  std::uint32_t inv(std::uint32_t a) const;                   ///< a != 0
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+  /// The generator alpha (= the polynomial x) raised to e.
+  std::uint32_t alpha_pow(std::uint64_t e) const;
+
+ private:
+  void check_element(std::uint32_t a) const;
+
+  unsigned bits_;
+  std::uint32_t order_;
+  std::vector<std::uint32_t> exp_;  ///< exp_[i] = alpha^i, doubled for wrap
+  std::vector<std::uint32_t> log_;  ///< log_[alpha^i] = i
+};
+
+}  // namespace dut::codes

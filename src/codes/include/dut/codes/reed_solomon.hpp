@@ -1,0 +1,38 @@
+#pragma once
+
+// Reed-Solomon codes over GF(2^b) via polynomial evaluation.
+//
+// The message (k symbols) defines a polynomial of degree < k, evaluated at
+// the first n powers alpha^0, ..., alpha^{n-1} of the field generator
+// (all distinct for n <= 2^b - 1). MDS: minimum symbol distance n - k + 1.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dut/codes/gf.hpp"
+
+namespace dut::codes {
+
+class ReedSolomon {
+ public:
+  /// [n, k] over `field`; requires 1 <= k <= n <= field.order() - 1.
+  ReedSolomon(const GaloisField& field, std::uint64_t n, std::uint64_t k);
+
+  std::uint64_t n() const noexcept { return n_; }
+  std::uint64_t k() const noexcept { return k_; }
+  /// Exact minimum symbol distance (MDS): n - k + 1.
+  std::uint64_t min_symbol_distance() const noexcept { return n_ - k_ + 1; }
+  const GaloisField& field() const noexcept { return *field_; }
+
+  /// Encodes k message symbols into n code symbols.
+  std::vector<std::uint32_t> encode(
+      std::span<const std::uint32_t> message) const;
+
+ private:
+  const GaloisField* field_;
+  std::uint64_t n_;
+  std::uint64_t k_;
+};
+
+}  // namespace dut::codes

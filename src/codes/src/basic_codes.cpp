@@ -1,0 +1,78 @@
+#include "dut/codes/basic_codes.hpp"
+
+#include <stdexcept>
+
+namespace dut::codes {
+
+std::uint64_t hamming_distance(std::span<const std::uint8_t> a,
+                               std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("hamming_distance: length mismatch");
+  }
+  std::uint64_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] != 0) != (b[i] != 0)) ++d;
+  }
+  return d;
+}
+
+namespace {
+
+void check_message_size(std::span<const std::uint8_t> message,
+                        std::uint64_t expected) {
+  if (message.size() != expected) {
+    throw std::invalid_argument("encode: wrong message length");
+  }
+}
+
+}  // namespace
+
+Bits ExtendedHamming84::encode(std::span<const std::uint8_t> message) const {
+  check_message_size(message, 4);
+  const std::uint8_t d0 = message[0] & 1;
+  const std::uint8_t d1 = message[1] & 1;
+  const std::uint8_t d2 = message[2] & 1;
+  const std::uint8_t d3 = message[3] & 1;
+  // Hamming(7,4) parity bits plus an overall parity bit.
+  const std::uint8_t p0 = d0 ^ d1 ^ d3;
+  const std::uint8_t p1 = d0 ^ d2 ^ d3;
+  const std::uint8_t p2 = d1 ^ d2 ^ d3;
+  Bits out{d0, d1, d2, d3, p0, p1, p2, 0};
+  std::uint8_t overall = 0;
+  for (std::size_t i = 0; i < 7; ++i) overall ^= out[i];
+  out[7] = overall;
+  return out;
+}
+
+ReedMuller1::ReedMuller1(unsigned m) : m_(m) {
+  if (m < 1 || m > 20) {
+    throw std::invalid_argument("ReedMuller1: m must be in [1, 20]");
+  }
+}
+
+Bits ReedMuller1::encode(std::span<const std::uint8_t> message) const {
+  check_message_size(message, m_ + 1);
+  const std::uint64_t n = 1ULL << m_;
+  Bits out(n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    std::uint8_t bit = message[0] & 1;  // the constant coefficient a_0
+    for (unsigned j = 0; j < m_; ++j) {
+      if ((x >> j) & 1) bit ^= message[j + 1] & 1;
+    }
+    out[x] = bit;
+  }
+  return out;
+}
+
+IdentityCode::IdentityCode(std::uint64_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("IdentityCode: k must be >= 1");
+}
+
+Bits IdentityCode::encode(std::span<const std::uint8_t> message) const {
+  check_message_size(message, k_);
+  Bits out(message.begin(), message.end());
+  for (auto& b : out) b &= 1;
+  return out;
+}
+
+}  // namespace dut::codes

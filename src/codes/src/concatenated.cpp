@@ -1,0 +1,96 @@
+#include "dut/codes/concatenated.hpp"
+
+#include <stdexcept>
+
+#include "dut/codes/basic_codes.hpp"
+
+namespace dut::codes {
+
+ConcatenatedCode::ConcatenatedCode(const ReedSolomon& outer,
+                                   const LinearCode& inner)
+    : outer_(&outer), inner_(&inner) {
+  if (inner.message_bits() == 0) {
+    throw std::invalid_argument("ConcatenatedCode: degenerate inner code");
+  }
+  const std::uint64_t symbol_bits = outer.field().bits();
+  chunks_per_symbol_ =
+      (symbol_bits + inner.message_bits() - 1) / inner.message_bits();
+}
+
+std::uint64_t ConcatenatedCode::message_bits() const {
+  return outer_->k() * outer_->field().bits();
+}
+
+std::uint64_t ConcatenatedCode::codeword_bits() const {
+  return outer_->n() * chunks_per_symbol_ * inner_->codeword_bits();
+}
+
+std::uint64_t ConcatenatedCode::min_distance() const {
+  // Distinct messages => >= n-k+1 differing RS symbols; each differing
+  // symbol differs in >= 1 inner chunk => >= d_inner bits.
+  return outer_->min_symbol_distance() * inner_->min_distance();
+}
+
+Bits ConcatenatedCode::encode(std::span<const std::uint8_t> message) const {
+  if (message.size() != message_bits()) {
+    throw std::invalid_argument("ConcatenatedCode::encode: wrong length");
+  }
+  const unsigned symbol_bits = outer_->field().bits();
+
+  // Pack bits (LSB first) into RS symbols.
+  std::vector<std::uint32_t> symbols(outer_->k(), 0);
+  for (std::uint64_t i = 0; i < message.size(); ++i) {
+    if (message[i] & 1) {
+      symbols[i / symbol_bits] |=
+          1u << static_cast<unsigned>(i % symbol_bits);
+    }
+  }
+  const std::vector<std::uint32_t> encoded = outer_->encode(symbols);
+
+  // Inner-encode each symbol chunk by chunk.
+  Bits out;
+  out.reserve(codeword_bits());
+  const std::uint64_t chunk_bits = inner_->message_bits();
+  Bits chunk(chunk_bits);
+  for (const std::uint32_t symbol : encoded) {
+    for (std::uint64_t c = 0; c < chunks_per_symbol_; ++c) {
+      for (std::uint64_t b = 0; b < chunk_bits; ++b) {
+        const std::uint64_t bit_index = c * chunk_bits + b;
+        chunk[b] = bit_index < symbol_bits
+                       ? static_cast<std::uint8_t>((symbol >> bit_index) & 1)
+                       : 0;
+      }
+      const Bits inner_word = inner_->encode(chunk);
+      out.insert(out.end(), inner_word.begin(), inner_word.end());
+    }
+  }
+  return out;
+}
+
+EqualityCodeBundle make_equality_code(std::uint64_t message_bits) {
+  if (message_bits == 0) {
+    throw std::invalid_argument("make_equality_code: empty message");
+  }
+  EqualityCodeBundle bundle;
+  bundle.inner = std::make_unique<ReedMuller1>(4);  // [16, 5, 8]
+
+  // Rate-1/2 RS over the smallest field whose length limit fits.
+  const std::uint64_t k256 = (message_bits + 7) / 8;
+  if (2 * k256 <= 255) {
+    bundle.outer = std::make_unique<ReedSolomon>(GaloisField::gf256(),
+                                                 2 * k256, k256);
+  } else {
+    const std::uint64_t k64k = (message_bits + 15) / 16;
+    if (2 * k64k > 65535) {
+      throw std::invalid_argument(
+          "make_equality_code: message too long for a single RS block");
+    }
+    bundle.outer = std::make_unique<ReedSolomon>(GaloisField::gf65536(),
+                                                 2 * k64k, k64k);
+  }
+  bundle.code =
+      std::make_unique<ConcatenatedCode>(*bundle.outer, *bundle.inner);
+  return bundle;
+}
+
+}  // namespace dut::codes

@@ -1,0 +1,85 @@
+#include "dut/codes/gf.hpp"
+
+#include <stdexcept>
+
+namespace dut::codes {
+
+GaloisField::GaloisField(unsigned bits, std::uint32_t primitive_poly)
+    : bits_(bits), order_(1u << bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("GaloisField: bits must be in [2, 16]");
+  }
+  if ((primitive_poly >> bits) != 1u) {
+    throw std::invalid_argument(
+        "GaloisField: polynomial degree must equal bits");
+  }
+  exp_.resize(2 * (order_ - 1));
+  log_.assign(order_, 0);
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < order_ - 1; ++i) {
+    if (x == 1 && i != 0) {
+      throw std::invalid_argument("GaloisField: polynomial is not primitive");
+    }
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & order_) x ^= primitive_poly;
+  }
+  // Duplicate for modular-free exp lookups.
+  for (std::uint32_t i = 0; i < order_ - 1; ++i) {
+    exp_[order_ - 1 + i] = exp_[i];
+  }
+}
+
+const GaloisField& GaloisField::gf256() {
+  static const GaloisField field(8, 0x11D);
+  return field;
+}
+
+const GaloisField& GaloisField::gf65536() {
+  static const GaloisField field(16, 0x1100B);
+  return field;
+}
+
+void GaloisField::check_element(std::uint32_t a) const {
+  if (a >= order_) {
+    throw std::invalid_argument("GaloisField: element out of range");
+  }
+}
+
+std::uint32_t GaloisField::add(std::uint32_t a, std::uint32_t b) const {
+  check_element(a);
+  check_element(b);
+  return a ^ b;
+}
+
+std::uint32_t GaloisField::mul(std::uint32_t a, std::uint32_t b) const {
+  check_element(a);
+  check_element(b);
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t GaloisField::inv(std::uint32_t a) const {
+  check_element(a);
+  if (a == 0) throw std::invalid_argument("GaloisField: inverse of zero");
+  return exp_[(order_ - 1) - log_[a]];
+}
+
+std::uint32_t GaloisField::div(std::uint32_t a, std::uint32_t b) const {
+  return mul(a, inv(b));
+}
+
+std::uint32_t GaloisField::pow(std::uint32_t a, std::uint64_t e) const {
+  check_element(a);
+  if (a == 0) return e == 0 ? 1 : 0;
+  const std::uint64_t exponent = (static_cast<std::uint64_t>(log_[a]) * e) %
+                                 (order_ - 1);
+  return exp_[exponent];
+}
+
+std::uint32_t GaloisField::alpha_pow(std::uint64_t e) const {
+  return exp_[e % (order_ - 1)];
+}
+
+}  // namespace dut::codes

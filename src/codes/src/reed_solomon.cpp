@@ -1,0 +1,42 @@
+#include "dut/codes/reed_solomon.hpp"
+
+#include <stdexcept>
+
+namespace dut::codes {
+
+ReedSolomon::ReedSolomon(const GaloisField& field, std::uint64_t n,
+                         std::uint64_t k)
+    : field_(&field), n_(n), k_(k) {
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("ReedSolomon: need 1 <= k <= n");
+  }
+  if (n > field.order() - 1) {
+    throw std::invalid_argument(
+        "ReedSolomon: n exceeds the number of distinct evaluation points");
+  }
+}
+
+std::vector<std::uint32_t> ReedSolomon::encode(
+    std::span<const std::uint32_t> message) const {
+  if (message.size() != k_) {
+    throw std::invalid_argument("ReedSolomon::encode: wrong message length");
+  }
+  for (const std::uint32_t symbol : message) {
+    if (symbol >= field_->order()) {
+      throw std::invalid_argument("ReedSolomon::encode: symbol out of field");
+    }
+  }
+  std::vector<std::uint32_t> out(n_);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    // Horner evaluation of the message polynomial at alpha^i.
+    const std::uint32_t x = field_->alpha_pow(i);
+    std::uint32_t acc = 0;
+    for (std::uint64_t j = k_; j-- > 0;) {
+      acc = field_->add(field_->mul(acc, x), message[j]);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace dut::codes

@@ -1,0 +1,55 @@
+#pragma once
+
+// Distributed sum aggregation in O(D) CONGEST rounds, reusing the
+// token-packaging protocol stack (leader election + spanning tree + report
+// convergecast + verdict broadcast) with tau = 1: every node keeps its own
+// token as a trivial package and reports an arbitrary value, which the
+// tree sums at the root and broadcasts back.
+//
+// This is the primitive the uniformity tester's decision layer is built
+// on; exposing it standalone demonstrates (and tests) the stack's
+// reusability for other network computations (counting, voting, OR).
+
+#include <cstdint>
+#include <vector>
+
+#include "dut/congest/token_packaging.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::congest {
+
+/// Per-node program: contributes `value`, learns the network-wide sum.
+class SumAggregationProgram : public TokenPackagingProgram {
+ public:
+  /// `value_bits` must be wide enough for the network-wide SUM (the
+  /// convergecast carries partial sums); all nodes must agree on it.
+  SumAggregationProgram(std::uint64_t external_id, std::uint64_t value,
+                        unsigned value_bits, std::uint32_t num_nodes);
+
+  /// The network-wide sum, valid after the run (delivered to every node by
+  /// the verdict broadcast).
+  std::uint64_t sum() const noexcept { return verdict(); }
+
+ protected:
+  std::uint64_t local_report(net::NodeContext&) override { return value_; }
+  std::uint64_t decide_at_root(std::uint64_t total) override { return total; }
+
+ private:
+  std::uint64_t value_;
+};
+
+struct AggregationResult {
+  std::uint64_t sum = 0;
+  std::uint32_t leader = 0;
+  net::EngineMetrics metrics;
+};
+
+/// Sums values[v] over all nodes of `graph` in O(D) CONGEST rounds with
+/// messages of 3 + max(2*ceil(log2 k), value_bits) bits. Every node learns
+/// the sum (verified by the tests); the returned struct reports it once.
+/// `value_bits` bounds the SUM, not just the addends.
+AggregationResult run_sum_aggregation(const net::Graph& graph,
+                                      const std::vector<std::uint64_t>& values,
+                                      unsigned value_bits, std::uint64_t seed);
+
+}  // namespace dut::congest

@@ -1,0 +1,155 @@
+#pragma once
+
+// The tau-token-packaging protocol (paper Definition 2, Theorem 5.1), built
+// on an honest CONGEST implementation of its prerequisites:
+//
+//  Phase 1 — leader election + BFS tree. FloodMax with echo (PIF)
+//    termination detection: every node floods the largest external id it has
+//    seen, adopting the first sender of the eventual maximum as its BFS
+//    parent; acknowledgements flow back up each candidate's wave, and only
+//    the global maximum's wave can complete (a losing wave is always
+//    superseded before covering the graph). The winner learns completion in
+//    O(D) rounds without knowing D — matching the paper's remark that nodes
+//    need not know the diameter.
+//  Phase 2 — c(v) convergecast. The leader broadcasts a start signal down
+//    the finished tree; each node v computes c(v) = (1 + sum_children c(u))
+//    mod tau and sends it to its parent (paper Section 5's recurrence).
+//  Phase 3 — token pipelining. Each node forwards the first c(v) tokens it
+//    holds (its own token first, then arrivals in order) to its parent, one
+//    per round per the CONGEST budget; the root discards its first c(r).
+//    Nodes need no global clock: a node starts as soon as its own c(v) is
+//    fixed, and correctness follows from per-node counting.
+//  Phase 4 — packaging. Once a node has sent its c(v) tokens and received
+//    the sum of its children's announced counts, its remaining tokens number
+//    an exact multiple of tau and are chopped into packages.
+//  Phase 5 — report convergecast + verdict broadcast. Each node reports an
+//    aggregate (hook: number of packages, or number of *rejecting* packages
+//    for the uniformity tester) up the tree; the root decides (hook) and
+//    broadcasts the verdict; everyone halts.
+//
+// Total round complexity: O(D + tau). Every message fits in
+// O(log n + log k) bits — enforced, not assumed, by the engine.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dut/net/engine.hpp"
+
+namespace dut::congest {
+
+/// Per-node widths used to declare message sizes honestly.
+struct MessageWidths {
+  unsigned id_bits;     ///< external ids and depths: bits_for(k)
+  unsigned token_bits;  ///< token values: bits_for(n)
+  unsigned count_bits;  ///< c-values and report sums: bits_for(k + 1)
+};
+
+class TokenPackagingProgram : public net::NodeProgram {
+ public:
+  static constexpr std::uint32_t kNoParent = UINT32_MAX;
+
+  /// `external_id` is the node's identity for leader election (the paper's
+  /// arbitrary-id assumption: pass a permutation, not necessarily the
+  /// engine id). `token` is this node's sample/token in [n].
+  TokenPackagingProgram(std::uint64_t external_id, std::uint64_t token,
+                        std::uint64_t tau, MessageWidths widths);
+
+  /// Multi-token variant: the paper's "each node starts with a single
+  /// sample" is a simplification ("the results generalize in a
+  /// straightforward manner to larger s"); here a node may hold any number
+  /// of tokens, and the recurrence becomes c(v) = (|own| + sum c(u)) mod
+  /// tau. Round complexity stays O(D + tau): c(v) < tau regardless.
+  TokenPackagingProgram(std::uint64_t external_id,
+                        std::vector<std::uint64_t> tokens, std::uint64_t tau,
+                        MessageWidths widths);
+
+  void on_round(net::NodeContext& ctx) override;
+
+  // --- results, valid after the engine run completes ---
+  bool is_leader() const noexcept { return is_leader_; }
+  std::uint32_t parent() const noexcept { return parent_; }
+  const std::vector<std::uint32_t>& children() const noexcept {
+    return children_;
+  }
+  std::uint64_t depth() const noexcept { return depth_; }
+  std::uint64_t leader_external_id() const noexcept { return best_; }
+  std::uint64_t c_value() const noexcept { return c_value_ ? *c_value_ : 0; }
+  const std::vector<std::vector<std::uint64_t>>& packages() const noexcept {
+    return packages_;
+  }
+  /// Verdict decided at the root and broadcast to everyone.
+  std::uint64_t verdict() const noexcept { return verdict_; }
+  /// Root only: the aggregated report value.
+  std::uint64_t total_report() const noexcept { return report_sum_; }
+
+ protected:
+  /// Called once when this node's packages are final; the return value is
+  /// summed up the tree. Default: the number of packages.
+  virtual std::uint64_t local_report(net::NodeContext& ctx);
+
+  /// Called at the root with the network-wide report sum; the returned
+  /// verdict is broadcast. Default: echo the total.
+  virtual std::uint64_t decide_at_root(std::uint64_t total);
+
+ private:
+  enum Tag : std::uint64_t {
+    kCandidate = 0,
+    kAck = 1,
+    kStart = 2,
+    kCValue = 3,
+    kToken = 4,
+    kReport = 5,
+    kVerdict = 6,
+  };
+
+  void process_inbox(net::NodeContext& ctx);
+  void phase_one(net::NodeContext& ctx);
+  void begin_phase_two(net::NodeContext& ctx);
+  void try_send_c_value(net::NodeContext& ctx);
+  void upward_slot(net::NodeContext& ctx);
+  void try_package(net::NodeContext& ctx);
+  void finish(net::NodeContext& ctx, std::uint64_t verdict);
+
+  std::size_t neighbor_index(net::NodeContext& ctx, std::uint32_t id);
+  net::Message make(Tag tag) const;
+
+  // Immutable parameters.
+  std::uint64_t my_external_id_;
+  std::vector<std::uint64_t> own_tokens_;
+  std::uint64_t tau_;
+  MessageWidths widths_;
+
+  // Phase 1 state.
+  std::uint64_t best_;
+  std::uint64_t depth_ = 0;
+  std::uint32_t parent_ = kNoParent;
+  std::vector<bool> responded_;
+  std::vector<std::uint32_t> children_;
+  bool pending_broadcast_ = true;
+  bool acked_ = false;
+  bool is_leader_ = false;
+  bool started_ = false;
+
+  // Phase 2/3 state.
+  std::optional<std::uint64_t> c_value_;
+  bool c_sent_ = false;
+  std::uint64_t c_children_sum_ = 0;
+  std::uint64_t c_received_count_ = 0;
+  std::uint64_t expected_tokens_ = 0;
+  std::uint64_t tokens_received_ = 0;
+  std::uint64_t tokens_forwarded_ = 0;  // sent up (or discarded at the root)
+  std::vector<std::uint64_t> token_store_;  // own token + arrivals, in order
+  std::vector<std::vector<std::uint64_t>> packages_;
+  bool packaged_ = false;
+
+  // Phase 5 state.
+  std::uint64_t report_sum_ = 0;
+  std::uint64_t reports_received_ = 0;
+  bool report_sent_ = false;
+  bool report_ready_ = false;
+  std::uint64_t verdict_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace dut::congest

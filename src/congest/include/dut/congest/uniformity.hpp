@@ -1,0 +1,125 @@
+#pragma once
+
+// CONGEST uniformity testing (paper Theorem 1.4).
+//
+// Plan: package the k single-sample tokens into packages of size
+// tau = Theta(n/(k*eps^4)), treat each package as a "virtual node" running
+// the single-collision tester A_delta with s = tau samples, and apply the
+// threshold decision rule over the ell = floor(k/tau) virtual nodes. The
+// packaging, testing, aggregation and verdict broadcast all run inside the
+// CONGEST engine in O(D + tau) rounds with O(log n + log k)-bit messages.
+//
+// The virtual-node count is deterministic: packaging drops exactly
+// k mod tau tokens (the root's leftover), so ell = floor(k/tau) and the
+// root can place the threshold locally.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dut/congest/token_packaging.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/net/engine.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::congest {
+
+struct CongestPlan {
+  // Inputs.
+  std::uint64_t n = 0;
+  std::uint32_t k = 0;
+  double epsilon = 0.0;
+  double p = 0.0;
+  core::TailBound bound = core::TailBound::kExactBinomial;
+  /// Samples (tokens) held by each node; the paper's simplifying
+  /// assumption is 1, and "the results generalize in a straightforward
+  /// manner to larger s" — with s0 > 1 the network has k*s0 tokens and the
+  /// feasible regime extends to smaller networks / smaller eps.
+  std::uint64_t samples_per_node = 1;
+
+  // Outputs.
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::uint64_t tau = 0;            ///< package size = virtual-node samples
+  std::uint64_t num_packages = 0;   ///< ell = floor(k / tau)
+  core::GapTesterParams package_params;  ///< A_delta at s = tau
+  std::uint64_t threshold = 0;      ///< reject iff >= T packages reject
+  double eta_uniform = 0.0;
+  double eta_far = 0.0;
+  double bound_false_reject = 1.0;
+  double bound_false_accept = 1.0;
+  /// Per-message bit budget the protocol needs (O(log n + log k)).
+  std::uint64_t bandwidth_bits = 0;
+};
+
+/// Chooses tau and the threshold. The search mirrors the 0-round threshold
+/// planner: find the smallest reject budget A = ell * delta(tau) for which a
+/// threshold exists, where delta(tau) = tau(tau-1)/(2n) is fixed by the
+/// package size rather than chosen freely. ell = floor(k*samples_per_node /
+/// tau) packages are formed deterministically.
+CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
+                         double p = 1.0 / 3.0,
+                         core::TailBound bound =
+                             core::TailBound::kExactBinomial,
+                         std::uint64_t samples_per_node = 1);
+
+struct CongestRunResult {
+  bool network_rejects = false;
+  std::uint64_t reject_count = 0;   ///< rejecting packages network-wide
+  std::uint64_t num_packages = 0;   ///< packages actually formed
+  std::uint32_t leader = 0;         ///< engine id of the elected root
+  net::EngineMetrics metrics;       ///< rounds / messages / bits
+};
+
+/// Runs the full protocol on `graph`: node v draws one sample from
+/// `sampler` as its token (plus an external id from a seeded permutation for
+/// leader election), then the packaging + testing + verdict pipeline runs
+/// under the CONGEST engine. Deterministic per seed.
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        const net::Graph& graph,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed);
+
+/// Heterogeneous variant (synthesis of §4's asymmetry with §5's protocol):
+/// node v contributes counts[v] samples — e.g. proportional to 1/cost —
+/// and the packaging absorbs the imbalance transparently (c(v) < tau
+/// regardless of local load). The plan must have been made with
+/// samples_per_node equal to the MEAN of counts (so ell matches); the
+/// counts must sum to plan.k * plan.samples_per_node.
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, const net::Graph& graph,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed);
+
+/// Error amplification (paper §3.2.2: the threshold model "is amenable to
+/// amplification using standard techniques"): runs `repetitions`
+/// independent executions of the protocol — fresh samples, fresh ids,
+/// fresh randomness — and returns the majority verdict. Per-side error
+/// drops from p to exp(-Omega(repetitions * (1/2 - p)^2)); rounds scale
+/// linearly in `repetitions` (sequential executions).
+struct AmplifiedCongestResult {
+  bool network_rejects = false;
+  std::uint64_t reject_verdicts = 0;
+  std::uint64_t repetitions = 0;
+  std::uint64_t total_rounds = 0;
+  std::uint64_t total_messages = 0;
+};
+AmplifiedCongestResult run_congest_uniformity_amplified(
+    const CongestPlan& plan, const net::Graph& graph,
+    const core::AliasSampler& sampler, std::uint64_t seed,
+    std::uint64_t repetitions);
+
+/// Standalone token packaging (Theorem 5.1), for experiments: every node's
+/// token is its own engine id; returns all packages plus metrics.
+struct PackagingRunResult {
+  std::vector<std::vector<std::uint64_t>> packages;  ///< all packages formed
+  std::uint64_t tokens_dropped = 0;
+  std::uint32_t leader = 0;
+  net::EngineMetrics metrics;
+};
+PackagingRunResult run_token_packaging(const net::Graph& graph,
+                                       std::uint64_t tau, std::uint64_t seed);
+
+}  // namespace dut::congest

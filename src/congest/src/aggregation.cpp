@@ -1,0 +1,75 @@
+#include "dut/congest/aggregation.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace dut::congest {
+
+SumAggregationProgram::SumAggregationProgram(std::uint64_t external_id,
+                                             std::uint64_t value,
+                                             unsigned value_bits,
+                                             std::uint32_t num_nodes)
+    : TokenPackagingProgram(
+          external_id, /*token=*/0, /*tau=*/1,
+          MessageWidths{net::bits_for(num_nodes), 1, value_bits}),
+      value_(value) {
+  if (value_bits < 64 && (value >> value_bits) != 0) {
+    throw std::invalid_argument(
+        "SumAggregationProgram: value does not fit in value_bits");
+  }
+}
+
+AggregationResult run_sum_aggregation(const net::Graph& graph,
+                                      const std::vector<std::uint64_t>& values,
+                                      unsigned value_bits,
+                                      std::uint64_t seed) {
+  const std::uint32_t k = graph.num_nodes();
+  if (values.size() != k) {
+    throw std::invalid_argument("run_sum_aggregation: one value per node");
+  }
+  if (!graph.is_connected()) {
+    throw std::invalid_argument("run_sum_aggregation: graph disconnected");
+  }
+
+  // External ids: a seed-derived permutation, as elsewhere.
+  std::vector<std::uint64_t> ids(k);
+  for (std::uint32_t v = 0; v < k; ++v) ids[v] = v;
+  stats::Xoshiro256 perm_rng = stats::derive_stream(seed, 0xA66);
+  for (std::uint32_t i = k; i > 1; --i) {
+    std::swap(ids[i - 1], ids[perm_rng.below(i)]);
+  }
+
+  std::vector<std::unique_ptr<SumAggregationProgram>> programs;
+  std::vector<net::NodeProgram*> raw;
+  programs.reserve(k);
+  raw.reserve(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    programs.push_back(std::make_unique<SumAggregationProgram>(
+        ids[v], values[v], value_bits, k));
+    raw.push_back(programs.back().get());
+  }
+
+  net::EngineConfig config;
+  config.model = net::Model::kCongest;
+  config.bandwidth_bits =
+      3 + std::max<std::uint64_t>(2ULL * net::bits_for(k), value_bits);
+  config.max_rounds = 20ULL * k + 1000;
+  config.seed = seed;
+  net::Engine engine(graph, config);
+  engine.run(raw);
+
+  AggregationResult result;
+  result.metrics = engine.metrics();
+  result.sum = programs[0]->sum();
+  for (std::uint32_t v = 0; v < k; ++v) {
+    if (programs[v]->is_leader()) result.leader = v;
+    if (programs[v]->sum() != result.sum) {
+      throw std::logic_error(
+          "run_sum_aggregation: nodes disagree on the sum");
+    }
+  }
+  return result;
+}
+
+}  // namespace dut::congest

@@ -1,0 +1,247 @@
+#include "dut/congest/token_packaging.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dut::congest {
+
+TokenPackagingProgram::TokenPackagingProgram(std::uint64_t external_id,
+                                             std::uint64_t token,
+                                             std::uint64_t tau,
+                                             MessageWidths widths)
+    : TokenPackagingProgram(external_id,
+                            std::vector<std::uint64_t>{token}, tau, widths) {}
+
+TokenPackagingProgram::TokenPackagingProgram(
+    std::uint64_t external_id, std::vector<std::uint64_t> tokens,
+    std::uint64_t tau, MessageWidths widths)
+    : my_external_id_(external_id),
+      own_tokens_(std::move(tokens)),
+      tau_(tau),
+      widths_(widths),
+      best_(external_id) {
+  if (tau == 0) {
+    throw std::invalid_argument("TokenPackagingProgram: tau must be >= 1");
+  }
+  if (own_tokens_.empty()) {
+    throw std::invalid_argument(
+        "TokenPackagingProgram: node must hold at least one token");
+  }
+}
+
+net::Message TokenPackagingProgram::make(Tag tag) const {
+  net::Message msg;
+  msg.push_field(static_cast<std::uint64_t>(tag), 3);
+  return msg;
+}
+
+std::size_t TokenPackagingProgram::neighbor_index(net::NodeContext& ctx,
+                                                  std::uint32_t id) {
+  const auto neighbors = ctx.neighbors();
+  const auto it = std::find(neighbors.begin(), neighbors.end(), id);
+  if (it == neighbors.end()) {
+    throw std::logic_error("token packaging: message from non-neighbor");
+  }
+  return static_cast<std::size_t>(it - neighbors.begin());
+}
+
+void TokenPackagingProgram::on_round(net::NodeContext& ctx) {
+  if (responded_.empty() && ctx.degree() > 0) {
+    responded_.assign(ctx.degree(), false);
+  }
+
+  process_inbox(ctx);
+  if (done_) return;
+
+  if (!started_) phase_one(ctx);
+  if (started_ && !done_) {
+    upward_slot(ctx);
+    try_package(ctx);
+    // Root termination: verdict once the whole tree has reported.
+    if (parent_ == kNoParent && packaged_ && !report_sent_ &&
+        reports_received_ == children_.size()) {
+      report_sent_ = true;
+      finish(ctx, decide_at_root(report_sum_));
+    }
+  }
+}
+
+void TokenPackagingProgram::process_inbox(net::NodeContext& ctx) {
+  for (const net::Message& msg : ctx.inbox()) {
+    switch (static_cast<Tag>(msg.field(0))) {
+      case kCandidate: {
+        const std::uint64_t candidate = msg.field(1);
+        const std::uint64_t depth = msg.field(2);
+        if (candidate > best_) {
+          // Adopt: the sender becomes our BFS parent for this wave.
+          best_ = candidate;
+          parent_ = msg.sender;
+          depth_ = depth + 1;
+          std::fill(responded_.begin(), responded_.end(), false);
+          responded_[neighbor_index(ctx, msg.sender)] = true;
+          children_.clear();
+          acked_ = false;
+          pending_broadcast_ = true;
+        } else if (candidate == best_) {
+          // The sender already knows our wave: it is not our child.
+          responded_[neighbor_index(ctx, msg.sender)] = true;
+        }
+        // candidate < best_: stale wave; the sender will adopt ours.
+        break;
+      }
+      case kAck: {
+        if (msg.field(1) == best_) {
+          responded_[neighbor_index(ctx, msg.sender)] = true;
+          children_.push_back(msg.sender);
+        }
+        break;
+      }
+      case kStart: {
+        if (!started_) begin_phase_two(ctx);
+        break;
+      }
+      case kCValue: {
+        c_children_sum_ += msg.field(1);
+        ++c_received_count_;
+        if (c_received_count_ == children_.size()) {
+          expected_tokens_ = c_children_sum_;
+          c_value_ = (own_tokens_.size() + c_children_sum_) % tau_;
+        }
+        break;
+      }
+      case kToken: {
+        token_store_.push_back(msg.field(1));
+        ++tokens_received_;
+        break;
+      }
+      case kReport: {
+        report_sum_ += msg.field(1);
+        ++reports_received_;
+        break;
+      }
+      case kVerdict: {
+        finish(ctx, msg.field(1));
+        return;
+      }
+    }
+  }
+}
+
+void TokenPackagingProgram::phase_one(net::NodeContext& ctx) {
+  if (pending_broadcast_) {
+    pending_broadcast_ = false;
+    net::Message msg = make(kCandidate);
+    msg.push_field(best_, widths_.id_bits);
+    msg.push_field(depth_, widths_.id_bits);
+    for (const std::uint32_t u : ctx.neighbors()) {
+      if (u != parent_) ctx.send(u, msg);
+    }
+  }
+
+  const bool all_responded =
+      std::all_of(responded_.begin(), responded_.end(),
+                  [](bool b) { return b; });
+  if (parent_ == kNoParent) {
+    // Self-candidate. Only the global maximum's wave can complete.
+    if (all_responded) {
+      is_leader_ = true;
+      begin_phase_two(ctx);
+    }
+  } else if (!acked_ && all_responded) {
+    net::Message msg = make(kAck);
+    msg.push_field(best_, widths_.id_bits);
+    ctx.send(parent_, msg);
+    acked_ = true;
+  }
+}
+
+void TokenPackagingProgram::begin_phase_two(net::NodeContext& ctx) {
+  started_ = true;
+  token_store_.insert(token_store_.end(), own_tokens_.begin(),
+                      own_tokens_.end());
+  const net::Message start = make(kStart);
+  for (const std::uint32_t child : children_) ctx.send(child, start);
+  if (children_.empty()) {
+    expected_tokens_ = 0;
+    c_value_ = own_tokens_.size() % tau_;
+  }
+}
+
+void TokenPackagingProgram::upward_slot(net::NodeContext& ctx) {
+  if (!c_value_) return;
+
+  if (parent_ == kNoParent) {
+    // Root: "forwarding" means discarding; costs no communication.
+    while (tokens_forwarded_ < *c_value_ &&
+           tokens_forwarded_ < token_store_.size()) {
+      ++tokens_forwarded_;
+    }
+    return;
+  }
+
+  // One upward message per round: c-value first, then tokens, then the
+  // report (order matters for the CONGEST budget and for correctness).
+  if (!c_sent_) {
+    net::Message msg = make(kCValue);
+    msg.push_field(*c_value_, widths_.count_bits);
+    ctx.send(parent_, msg);
+    c_sent_ = true;
+    return;
+  }
+  if (tokens_forwarded_ < *c_value_ &&
+      tokens_forwarded_ < token_store_.size()) {
+    net::Message msg = make(kToken);
+    msg.push_field(token_store_[tokens_forwarded_], widths_.token_bits);
+    ctx.send(parent_, msg);
+    ++tokens_forwarded_;
+    return;
+  }
+  if (packaged_ && !report_sent_ && reports_received_ == children_.size()) {
+    net::Message msg = make(kReport);
+    msg.push_field(report_sum_, widths_.count_bits);
+    ctx.send(parent_, msg);
+    report_sent_ = true;
+  }
+}
+
+void TokenPackagingProgram::try_package(net::NodeContext& ctx) {
+  if (packaged_ || !c_value_) return;
+  // All children announced (c_value_ set requires that), all their tokens
+  // arrived, and our own forwarding quota is met.
+  if (tokens_received_ != expected_tokens_) return;
+  if (tokens_forwarded_ != *c_value_) return;
+
+  const std::uint64_t kept = token_store_.size() - *c_value_;
+  if (kept % tau_ != 0) {
+    throw std::logic_error("token packaging: kept tokens not a multiple of "
+                           "tau — protocol invariant broken");
+  }
+  for (std::uint64_t start = *c_value_; start < token_store_.size();
+       start += tau_) {
+    packages_.emplace_back(token_store_.begin() + static_cast<long>(start),
+                           token_store_.begin() +
+                               static_cast<long>(start + tau_));
+  }
+  packaged_ = true;
+  report_sum_ += local_report(ctx);
+}
+
+void TokenPackagingProgram::finish(net::NodeContext& ctx,
+                                   std::uint64_t verdict) {
+  verdict_ = verdict;
+  net::Message msg = make(kVerdict);
+  msg.push_field(verdict_, widths_.count_bits);
+  for (const std::uint32_t child : children_) ctx.send(child, msg);
+  done_ = true;
+  ctx.halt();
+}
+
+std::uint64_t TokenPackagingProgram::local_report(net::NodeContext&) {
+  return packages_.size();
+}
+
+std::uint64_t TokenPackagingProgram::decide_at_root(std::uint64_t total) {
+  return total;
+}
+
+}  // namespace dut::congest

@@ -1,0 +1,294 @@
+#include "dut/congest/uniformity.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+#include "dut/stats/rng.hpp"
+
+namespace dut::congest {
+
+namespace {
+
+/// Bit budget for the protocol's widest message: a candidate carries an id
+/// and a depth; a token carries a domain element; counts carry up to k.
+std::uint64_t required_bandwidth(std::uint64_t n, std::uint32_t k) {
+  const unsigned id_bits = net::bits_for(k);
+  const unsigned token_bits = net::bits_for(n);
+  const unsigned count_bits = net::bits_for(static_cast<std::uint64_t>(k) + 1);
+  return 3 + std::max<std::uint64_t>({2ULL * id_bits, token_bits, count_bits});
+}
+
+MessageWidths widths_for(std::uint64_t n, std::uint32_t k) {
+  return MessageWidths{net::bits_for(k), net::bits_for(n),
+                       net::bits_for(static_cast<std::uint64_t>(k) + 1)};
+}
+
+/// Deterministic permutation of {0..k-1} used as external ids, so leader
+/// election runs on arbitrary identifiers as in the paper.
+std::vector<std::uint64_t> external_ids(std::uint32_t k, std::uint64_t seed) {
+  std::vector<std::uint64_t> ids(k);
+  std::iota(ids.begin(), ids.end(), 0);
+  stats::Xoshiro256 rng = stats::derive_stream(seed, 0x1D5);
+  for (std::uint32_t i = k; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.below(i)]);
+  }
+  return ids;
+}
+
+/// Virtual-node tester: each package of tau tokens is fed to the
+/// single-collision tester; the report is the count of rejecting packages
+/// and the root compares the network total against the threshold.
+class UniformityTestProgram : public TokenPackagingProgram {
+ public:
+  UniformityTestProgram(std::uint64_t external_id,
+                        std::vector<std::uint64_t> tokens,
+                        const CongestPlan& plan, MessageWidths widths)
+      : TokenPackagingProgram(external_id, std::move(tokens), plan.tau,
+                              widths),
+        plan_(&plan) {}
+
+ protected:
+  std::uint64_t local_report(net::NodeContext&) override {
+    std::uint64_t rejecting = 0;
+    for (const auto& package : packages()) {
+      if (core::has_collision(package)) ++rejecting;
+    }
+    return rejecting;
+  }
+
+  std::uint64_t decide_at_root(std::uint64_t total) override {
+    return total >= plan_->threshold ? 1 : 0;
+  }
+
+ private:
+  const CongestPlan* plan_;
+};
+
+}  // namespace
+
+CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
+                         double p, core::TailBound bound,
+                         std::uint64_t samples_per_node) {
+  if (n < 2) throw std::invalid_argument("plan_congest: n must be >= 2");
+  if (k < 2) throw std::invalid_argument("plan_congest: k must be >= 2");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("plan_congest: eps must be in (0, 2]");
+  }
+  if (!(p > 0.0) || p >= 0.5) {
+    throw std::invalid_argument("plan_congest: p must be in (0, 0.5)");
+  }
+  if (samples_per_node == 0) {
+    throw std::invalid_argument(
+        "plan_congest: samples_per_node must be >= 1");
+  }
+
+  CongestPlan plan;
+  plan.n = n;
+  plan.k = k;
+  plan.epsilon = epsilon;
+  plan.p = p;
+  plan.bound = bound;
+  plan.samples_per_node = samples_per_node;
+  plan.bandwidth_bits = required_bandwidth(n, k);
+
+  // Scan package sizes from small to large: the round complexity is
+  // O(D + tau), so the smallest feasible tau wins. The budget A(tau) =
+  // ell * delta(tau) ~ k*s0*(tau-1)/(2n) grows with tau, so the scan
+  // crosses from "too little rejection mass" into feasibility and
+  // eventually out of the gap domain (delta too large); stop there.
+  const std::uint64_t total_tokens = k * samples_per_node;
+  const std::uint64_t tau_cap = total_tokens / 2;
+  for (std::uint64_t tau = 2; tau <= tau_cap; ++tau) {
+    const std::uint64_t ell = total_tokens / tau;
+    if (ell < 2) break;
+    core::GapTesterParams params;
+    try {
+      params = core::params_from_samples(n, epsilon, tau);
+    } catch (const std::invalid_argument&) {
+      break;
+    }
+    if (!params.has_gap) {
+      if (params.delta > 0.5) break;  // past the gap domain; no point going on
+      continue;
+    }
+    const core::ThresholdPlacement placement =
+        core::place_threshold(ell, params, p, bound);
+    if (!placement.feasible) continue;
+    plan.feasible = true;
+    plan.tau = tau;
+    plan.num_packages = ell;
+    plan.package_params = params;
+    plan.threshold = placement.threshold;
+    plan.eta_uniform = placement.eta_uniform;
+    plan.eta_far = placement.eta_far;
+    plan.bound_false_reject = placement.bound_false_reject;
+    plan.bound_false_accept = placement.bound_false_accept;
+    return plan;
+  }
+
+  plan.infeasible_reason =
+      "no package size tau admits a threshold over floor(k/tau) virtual "
+      "nodes; the network holds too few samples for this (n, eps, p)";
+  return plan;
+}
+
+namespace {
+
+CongestRunResult run_congest_with_counts(
+    const CongestPlan& plan, const net::Graph& graph,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
+  if (!plan.feasible) {
+    throw std::logic_error("run_congest_uniformity: plan is infeasible");
+  }
+  if (graph.num_nodes() != plan.k) {
+    throw std::invalid_argument("run_congest_uniformity: graph size != k");
+  }
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_congest_uniformity: domain mismatch");
+  }
+  if (!graph.is_connected()) {
+    // A disconnected network would elect one leader per component and
+    // silently drop up to (tau-1) tokens per component, breaking
+    // Definition 2; reject it up front.
+    throw std::invalid_argument("run_congest_uniformity: graph disconnected");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    if (c == 0) {
+      throw std::invalid_argument(
+          "run_congest_uniformity: every node needs at least one sample");
+    }
+    total += c;
+  }
+  if (total != static_cast<std::uint64_t>(plan.k) * plan.samples_per_node) {
+    throw std::invalid_argument(
+        "run_congest_uniformity: sample counts do not match the plan's "
+        "total budget (ell would change)");
+  }
+
+  const std::uint32_t k = graph.num_nodes();
+  const auto ids = external_ids(k, seed);
+  const MessageWidths widths = widths_for(plan.n, k);
+
+  stats::Xoshiro256 sample_rng = stats::derive_stream(seed, 0x5A9);
+  std::vector<std::unique_ptr<UniformityTestProgram>> programs;
+  programs.reserve(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    programs.push_back(std::make_unique<UniformityTestProgram>(
+        ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths));
+  }
+  std::vector<net::NodeProgram*> raw(k);
+  for (std::uint32_t v = 0; v < k; ++v) raw[v] = programs[v].get();
+
+  net::EngineConfig config;
+  config.model = net::Model::kCongest;
+  config.bandwidth_bits = plan.bandwidth_bits;
+  config.max_rounds = 20ULL * (graph.num_nodes() + plan.tau) + 1000;
+  config.seed = seed;
+  net::Engine engine(graph, config);
+  engine.run(raw);
+
+  CongestRunResult result;
+  result.metrics = engine.metrics();
+  for (std::uint32_t v = 0; v < k; ++v) {
+    result.num_packages += programs[v]->packages().size();
+    if (programs[v]->is_leader()) {
+      result.leader = v;
+      result.reject_count = programs[v]->total_report();
+    }
+  }
+  result.network_rejects = programs[0]->verdict() == 1;
+  return result;
+}
+
+}  // namespace
+
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        const net::Graph& graph,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed) {
+  const std::vector<std::uint64_t> counts(graph.num_nodes(),
+                                          plan.samples_per_node);
+  return run_congest_with_counts(plan, graph, sampler, counts, seed);
+}
+
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, const net::Graph& graph,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
+  if (counts.size() != graph.num_nodes()) {
+    throw std::invalid_argument(
+        "run_congest_uniformity_heterogeneous: one count per node");
+  }
+  return run_congest_with_counts(plan, graph, sampler, counts, seed);
+}
+
+AmplifiedCongestResult run_congest_uniformity_amplified(
+    const CongestPlan& plan, const net::Graph& graph,
+    const core::AliasSampler& sampler, std::uint64_t seed,
+    std::uint64_t repetitions) {
+  if (repetitions == 0 || repetitions % 2 == 0) {
+    throw std::invalid_argument(
+        "run_congest_uniformity_amplified: repetitions must be odd and >= 1");
+  }
+  AmplifiedCongestResult result;
+  result.repetitions = repetitions;
+  for (std::uint64_t r = 0; r < repetitions; ++r) {
+    const auto run = run_congest_uniformity(
+        plan, graph, sampler, stats::SplitMix64(seed ^ (r + 1)).next());
+    result.reject_verdicts += run.network_rejects;
+    result.total_rounds += run.metrics.rounds;
+    result.total_messages += run.metrics.messages;
+  }
+  result.network_rejects = 2 * result.reject_verdicts > repetitions;
+  return result;
+}
+
+PackagingRunResult run_token_packaging(const net::Graph& graph,
+                                       std::uint64_t tau, std::uint64_t seed) {
+  if (tau == 0) {
+    throw std::invalid_argument("run_token_packaging: tau must be >= 1");
+  }
+  if (!graph.is_connected()) {
+    throw std::invalid_argument("run_token_packaging: graph disconnected");
+  }
+  const std::uint32_t k = graph.num_nodes();
+  const auto ids = external_ids(k, seed);
+  // Tokens are node ids here, so tests can track every token exactly.
+  MessageWidths widths = widths_for(k, k);
+
+  std::vector<std::unique_ptr<TokenPackagingProgram>> programs;
+  programs.reserve(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    programs.push_back(std::make_unique<TokenPackagingProgram>(
+        ids[v], v, tau, widths));
+  }
+  std::vector<net::NodeProgram*> raw(k);
+  for (std::uint32_t v = 0; v < k; ++v) raw[v] = programs[v].get();
+
+  net::EngineConfig config;
+  config.model = net::Model::kCongest;
+  config.bandwidth_bits = required_bandwidth(k, k);
+  config.max_rounds = 20ULL * (k + tau) + 1000;
+  config.seed = seed;
+  net::Engine engine(graph, config);
+  engine.run(raw);
+
+  PackagingRunResult result;
+  result.metrics = engine.metrics();
+  std::uint64_t packaged_tokens = 0;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    if (programs[v]->is_leader()) result.leader = v;
+    for (const auto& package : programs[v]->packages()) {
+      packaged_tokens += package.size();
+      result.packages.push_back(package);
+    }
+  }
+  result.tokens_dropped = k - packaged_tokens;
+  return result;
+}
+
+}  // namespace dut::congest

@@ -1,0 +1,52 @@
+#pragma once
+
+// Gap amplification by repetition (paper Section 3.2.1).
+//
+// Running A_delta m times independently and rejecting iff *all* m runs
+// reject turns a (delta, alpha)-gap tester into a (delta^m, alpha^m)-gap
+// tester: the reject probability on uniform drops to <= delta^m while the
+// reject probability on eps-far inputs stays >= (alpha*delta)^m, widening
+// the multiplicative gap to alpha^m at the price of m*s samples.
+
+#include <cstdint>
+
+#include "dut/core/gap_tester.hpp"
+
+namespace dut::core {
+
+class RepeatedGapTester {
+ public:
+  /// `repetitions` must be >= 1.
+  RepeatedGapTester(GapTesterParams base, std::uint64_t repetitions);
+
+  const GapTesterParams& base_params() const noexcept {
+    return base_.params();
+  }
+  std::uint64_t repetitions() const noexcept { return repetitions_; }
+
+  /// Total samples consumed per decision: m * s.
+  std::uint64_t total_samples() const noexcept {
+    return repetitions_ * base_.params().s;
+  }
+
+  /// Guaranteed reject probability on uniform: delta^m.
+  double delta() const noexcept;
+
+  /// Guaranteed gap: alpha^m (only meaningful when base has_gap).
+  double alpha() const noexcept;
+
+  /// Draws m*s fresh samples and decides: accepts unless *all* m runs saw a
+  /// collision.
+  bool run(const AliasSampler& sampler, stats::Xoshiro256& rng) const;
+
+  /// Decides from pre-drawn samples (used when samples were gathered over
+  /// the network): the first m*s entries are split into m runs of s.
+  /// `samples.size()` must be at least total_samples().
+  bool decide(std::span<const std::uint64_t> samples) const;
+
+ private:
+  SingleCollisionTester base_;
+  std::uint64_t repetitions_;
+};
+
+}  // namespace dut::core

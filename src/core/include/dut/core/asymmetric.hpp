@@ -1,0 +1,124 @@
+#pragma once
+
+// The asymmetric-cost generalization (paper Section 4).
+//
+// Node i pays c_i per sample; the objective is the maximum individual cost
+// C = max_i s_i * c_i. Writing T_i = 1/c_i, the paper shows:
+//
+//   * threshold rule: C = Theta(sqrt(n)/eps^2) / ||T||_2      (Section 4.2),
+//   * AND rule:       C = Theta_m(sqrt(n))     / ||T||_{2m},
+//     with m = Theta(1/eps^2) repetitions                     (Section 4.1),
+//
+// recovering the symmetric bounds at unit costs (||T||_2 = sqrt(k)).
+// Responsibility splitting: node i is assigned delta_i proportional to
+// T_i^2 (threshold) or T_i^{2m} (AND), so cheap nodes shoulder more of the
+// rejection budget. Soundness under unequal delta_i is exactly Lemma 4.1,
+// which we both expose for numeric verification and sidestep by evaluating
+// the realized products directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+/// L_order norm of the inverse-cost vector T (T_i = 1/c_i). Costs must be
+/// strictly positive.
+double inverse_cost_norm(std::span<const double> costs, double order);
+
+// ---------------------------------------------------------------------------
+// Lemma 4.1 (numeric form)
+// ---------------------------------------------------------------------------
+
+/// Evaluates the two sides of Lemma 4.1 for a concrete point: given
+/// X = (x_1..x_k) with all x_i in [0, 1) and a > 1, returns
+/// { g(X) = prod (1 - a*x_i),  g(Y) = (1 - a*d)^k } where d is chosen so
+/// that prod (1 - d) = prod (1 - x_i) (i.e. Y is the symmetric point on the
+/// same constraint manifold). The lemma asserts g(X) <= g(Y).
+struct Lemma41Sides {
+  double g_at_x;
+  double g_at_symmetric;
+};
+Lemma41Sides lemma41_sides(std::span<const double> x, double a);
+
+// ---------------------------------------------------------------------------
+// Threshold rule with costs (Section 4.2)
+// ---------------------------------------------------------------------------
+
+struct AsymmetricThresholdPlan {
+  // Inputs.
+  std::uint64_t n = 0;
+  double epsilon = 0.0;
+  double p = 0.0;
+  std::vector<double> costs;
+
+  // Outputs.
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::vector<GapTesterParams> node_params;  ///< per-node A_delta instance
+  std::uint64_t threshold = 0;
+  double budget = 0.0;        ///< realized sum of delta_i
+  double max_cost = 0.0;      ///< realized max_i s_i * c_i
+  double predicted_max_cost = 0.0;  ///< sqrt(2 n A) / ||T||_2
+  double eta_uniform = 0.0;
+  double eta_far = 0.0;
+  double bound_false_reject = 1.0;
+  double bound_false_accept = 1.0;
+};
+
+/// Plans the asymmetric threshold tester: delta_i proportional to T_i^2
+/// scaled to a total budget A (searched as in the symmetric planner), then
+/// T placed by Chernoff bounds on the Poisson-binomial reject count.
+AsymmetricThresholdPlan plan_asymmetric_threshold(std::uint64_t n,
+                                                  std::vector<double> costs,
+                                                  double epsilon,
+                                                  double p = 1.0 / 3.0);
+
+/// One full network trial; node i draws s_i samples and runs its own
+/// A_{delta_i}. Returns the reject count and the threshold verdict.
+ThresholdTrialResult run_asymmetric_threshold_network(
+    const AsymmetricThresholdPlan& plan, const AliasSampler& sampler,
+    stats::Xoshiro256& rng);
+
+// ---------------------------------------------------------------------------
+// AND rule with costs (Section 4.1)
+// ---------------------------------------------------------------------------
+
+struct AsymmetricAndPlan {
+  // Inputs.
+  std::uint64_t n = 0;
+  double epsilon = 0.0;
+  double p = 0.0;
+  std::vector<double> costs;
+
+  // Outputs.
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::uint64_t repetitions = 0;             ///< m, shared by all nodes
+  std::vector<GapTesterParams> node_params;  ///< per-run params of node i
+  std::vector<std::uint64_t> samples_per_node;  ///< m * s_i
+  double max_cost = 0.0;             ///< realized max_i m * s_i * c_i
+  double guaranteed_completeness = 0.0;
+  double guaranteed_soundness = 0.0;
+};
+
+/// Plans the asymmetric AND-rule tester: for each candidate m, node i gets
+/// delta_i proportional to T_i^{2m} scaled so the network completeness
+/// product equals 1 - p, then the realized soundness product is evaluated
+/// directly; the feasible m with the smallest max individual cost wins.
+AsymmetricAndPlan plan_asymmetric_and(std::uint64_t n,
+                                      std::vector<double> costs,
+                                      double epsilon, double p,
+                                      std::uint64_t max_repetitions = 64);
+
+/// One full network trial under the AND rule (true = network accepts).
+bool run_asymmetric_and_network(const AsymmetricAndPlan& plan,
+                                const AliasSampler& sampler,
+                                stats::Xoshiro256& rng);
+
+}  // namespace dut::core

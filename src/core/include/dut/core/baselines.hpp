@@ -1,0 +1,88 @@
+#pragma once
+
+// Centralized baselines the paper compares against.
+//
+// * CollisionCountingTester — the classical Theta(sqrt(n)/eps^2) uniformity
+//   tester (Goldreich–Ron / Paninski line of work): draw s samples, compute
+//   the empirical collision statistic (#colliding pairs) / binom(s, 2), and
+//   accept iff it is below the midpoint between chi(U) = 1/n and the eps-far
+//   floor (1 + eps^2)/n. This is the "single strong node" yardstick: one
+//   node with Theta(sqrt(n)/eps^2) samples decides alone.
+//
+// * EmpiricalL1Tester — the naive plug-in tester (estimate the pmf, measure
+//   its L1 distance). Needs Theta(n/eps^2) samples; included to show why
+//   collision statistics matter (bench/e5 baseline columns).
+
+#include <cstdint>
+#include <span>
+
+#include "dut/core/sampler.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+class CollisionCountingTester {
+ public:
+  /// `s` samples against domain size n, distance eps.
+  CollisionCountingTester(std::uint64_t n, double epsilon, std::uint64_t s);
+
+  std::uint64_t samples() const noexcept { return s_; }
+
+  /// Acceptance threshold on the normalized collision statistic.
+  double statistic_threshold() const noexcept { return threshold_; }
+
+  /// Rule-of-thumb sample count for constant error: c * sqrt(n) / eps^2.
+  /// The default c = 3 gives error well under 1/3 on the Paninski family
+  /// (calibrated by bench/e5_threshold's baseline column).
+  static std::uint64_t recommended_samples(std::uint64_t n, double epsilon,
+                                           double c = 3.0);
+
+  /// Accepts iff the empirical collision rate is <= the threshold.
+  bool run(const AliasSampler& sampler, stats::Xoshiro256& rng) const;
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t s_;
+  double threshold_;
+};
+
+/// Paninski's coincidence-based tester in its original form: the statistic
+/// is the number of DISTINCT values among the s samples (equivalently the
+/// "redundancy" s - distinct), thresholded at the midpoint calibration
+/// (1 + eps^2/2) * binom(s, 2) / n. In the sparse regime s << sqrt(n) the
+/// redundancy and the colliding-pair count coincide up to negligible
+/// higher-order terms, so this tester and CollisionCountingTester agree on
+/// almost every input (verified by tests); both need Theta(sqrt(n)/eps^2)
+/// samples.
+class UniqueElementsTester {
+ public:
+  UniqueElementsTester(std::uint64_t n, double epsilon, std::uint64_t s);
+
+  std::uint64_t samples() const noexcept { return s_; }
+
+  /// Accepts iff the redundancy s - distinct is at most the threshold.
+  bool run(const AliasSampler& sampler, stats::Xoshiro256& rng) const;
+  bool accept(std::span<const std::uint64_t> samples) const;
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t s_;
+  double redundancy_threshold_;
+};
+
+class EmpiricalL1Tester {
+ public:
+  EmpiricalL1Tester(std::uint64_t n, double epsilon, std::uint64_t s);
+
+  std::uint64_t samples() const noexcept { return s_; }
+
+  /// Accepts iff the plug-in estimate ||mu_hat - U_n||_1 <= eps/2.
+  bool run(const AliasSampler& sampler, stats::Xoshiro256& rng) const;
+
+ private:
+  std::uint64_t n_;
+  double epsilon_;
+  std::uint64_t s_;
+};
+
+}  // namespace dut::core

@@ -1,0 +1,66 @@
+#pragma once
+
+// Discrete probability distributions on the domain {0, 1, ..., n-1}.
+//
+// The paper's domain is {1..n}; we use 0-based indices. A Distribution is an
+// immutable, validated pmf together with the exact functionals the paper's
+// analysis runs on: L1 distance (the testing metric), collision probability
+// chi(mu) = sum_x mu(x)^2 (Lemma 3.2's quantity), entropies and divergences.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dut::core {
+
+class Distribution {
+ public:
+  /// Validates that `pmf` is a probability vector: nonempty, entries in
+  /// [0, 1], total within 1e-9 of 1. Throws std::invalid_argument otherwise.
+  explicit Distribution(std::vector<double> pmf);
+
+  /// Builds a distribution from nonnegative weights by normalizing.
+  static Distribution from_weights(std::vector<double> weights);
+
+  /// Domain size n.
+  std::uint64_t n() const noexcept { return pmf_.size(); }
+
+  double operator[](std::uint64_t i) const noexcept { return pmf_[i]; }
+  std::span<const double> pmf() const noexcept { return pmf_; }
+
+  /// L1 distance to another distribution on the same domain.
+  double l1_distance(const Distribution& other) const;
+
+  /// L1 distance to the uniform distribution on the same domain:
+  /// sum_x |mu(x) - 1/n|. This is the paper's distance parameter epsilon.
+  double l1_to_uniform() const noexcept;
+
+  /// Total variation distance = L1 / 2.
+  double tv_to_uniform() const noexcept { return l1_to_uniform() / 2.0; }
+
+  /// Collision probability chi(mu) = Pr_{X,Y~mu}[X = Y] = sum mu(x)^2.
+  /// chi(U_n) = 1/n; Lemma 3.2: mu eps-far  =>  chi(mu) > (1+eps^2)/n.
+  double collision_probability() const noexcept;
+
+  /// KL divergence D(mu || other) in nats.
+  double kl_to(const Distribution& other) const;
+
+  /// Shannon entropy in nats.
+  double entropy() const noexcept;
+
+  /// Number of elements with nonzero mass.
+  std::uint64_t support_size() const noexcept;
+
+  double min_probability() const noexcept;
+  double max_probability() const noexcept;
+
+ private:
+  std::vector<double> pmf_;
+};
+
+/// Verifies Lemma 3.2 numerically for a concrete distribution: returns the
+/// ratio chi(mu) / ((1 + eps^2)/n) where eps = l1_to_uniform(). The lemma
+/// asserts the ratio is > 1 whenever eps > 0 (strictly, for mu eps-far).
+double lemma32_ratio(const Distribution& mu);
+
+}  // namespace dut::core

@@ -1,0 +1,60 @@
+#pragma once
+
+// Distribution families used as workloads throughout the tests, benches and
+// examples. Each factory documents its exact L1 distance to uniform so
+// experiments can pick instances at a prescribed eps.
+
+#include <cstdint>
+
+#include "dut/core/distribution.hpp"
+
+namespace dut::core {
+
+/// The uniform distribution U_n.
+Distribution uniform(std::uint64_t n);
+
+/// Paninski's canonical hard instance for uniformity testing: elements are
+/// paired, element 2i gets mass (1+eps)/n and element 2i+1 gets (1-eps)/n.
+/// Requires even n and eps in [0, 1]. Exactly eps-far from uniform in L1.
+/// This family attains the chi(mu) lower bound of Lemma 3.2 with equality:
+/// chi = (1+eps^2)/n, making it the worst case for collision-based testers.
+Distribution paninski_two_bump(std::uint64_t n, double eps);
+
+/// As above, but the +/- assignment within each pair is chosen by `seed`
+/// (still exactly eps-far; used to rule out positional artifacts).
+Distribution paninski_two_bump_shuffled(std::uint64_t n, double eps,
+                                        std::uint64_t seed);
+
+/// One heavy element of mass `heavy_mass`, remaining mass spread uniformly.
+/// L1 distance to uniform = 2 * (heavy_mass - 1/n) for heavy_mass >= 1/n.
+/// Models the paper's DoS motivation (one destination dominating traffic).
+Distribution heavy_hitter(std::uint64_t n, double heavy_mass);
+
+/// Uniform over the first `support` elements of an n-element domain,
+/// zero elsewhere. L1 distance to uniform = 2 * (1 - support/n).
+Distribution restricted_support(std::uint64_t n, std::uint64_t support);
+
+/// Zipf with exponent `s` over n elements: p_i proportional to 1/(i+1)^s.
+Distribution zipf(std::uint64_t n, double s);
+
+/// Two-level "step" distribution: the first `ceil(fraction*n)` elements each
+/// carry `ratio` times the mass of the rest. ratio=1 gives uniform.
+Distribution step(std::uint64_t n, double fraction, double ratio);
+
+/// Convex mixture w*a + (1-w)*b (domains must agree; w in [0,1]).
+Distribution mixture(const Distribution& a, const Distribution& b, double w);
+
+/// A canonical instance at L1 distance >= eps from uniform for the whole
+/// meaningful range eps in (0, 2): the Paninski two-bump family for
+/// eps <= 1 (which minimizes the collision probability, i.e. is worst-case
+/// for collision testers), and a restricted-support uniform for eps > 1
+/// (two-bump cannot exceed distance 1). Requires even n > 2.
+Distribution far_instance(std::uint64_t n, double eps);
+
+/// Mixture of uniform and an arbitrary distribution chosen so that the
+/// result has L1 distance exactly `target_eps` from uniform; throws if `mu`
+/// is closer to uniform than `target_eps`. Handy for sweeping eps along a
+/// fixed "direction".
+Distribution at_distance(const Distribution& mu, double target_eps);
+
+}  // namespace dut::core

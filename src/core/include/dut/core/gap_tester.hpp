@@ -1,0 +1,101 @@
+#pragma once
+
+// The paper's single-collision gap tester A_delta (Section 3.1) and its
+// parameter algebra.
+//
+// A_delta draws s samples with s(s-1) ~= 2*delta*n and accepts iff all
+// samples are distinct. Theorem 3.1 / Lemma 3.4: this is a
+// (delta, 1 + gamma*eps^2)-gap tester, where gamma is the slack term of
+// paper eq. (1):
+//
+//   gamma = 1 - 1/s - sqrt(2*delta*(1+eps^2))
+//             - (1/s + sqrt(2*delta*(1+eps^2))) / eps^2.
+//
+// Completeness is exact Markov: Pr[collision under U_n] <= binom(s,2)/n,
+// so we expose the *effective* delta = s(s-1)/(2n) realized by the integer
+// s actually used, and every downstream planner consumes that value.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dut/core/sampler.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+/// True iff `samples` contains two equal values. Sorts a scratch copy:
+/// deterministic, O(s log s), no hashing.
+bool has_collision(std::span<const std::uint64_t> samples);
+
+/// Number of colliding *pairs*: sum over values x of binom(m_x, 2) where
+/// m_x is the multiplicity of x. Used by the collision-counting baseline.
+std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples);
+
+/// How to round the real solution of s(s-1) = 2*delta*n to an integer s.
+/// kUp guarantees soundness-side sample mass at the price of a slightly
+/// larger effective delta; kDown the reverse. E1 ablates this choice.
+enum class Rounding { kDown, kNearest, kUp };
+
+/// Resolved parameters of a single run of A_delta.
+struct GapTesterParams {
+  std::uint64_t n = 0;        ///< domain size
+  double epsilon = 0.0;       ///< distance parameter
+  double delta_requested = 0.0;
+  std::uint64_t s = 0;        ///< integer sample count actually used
+  double delta = 0.0;         ///< effective delta = s(s-1)/(2n)
+  double gamma = 0.0;         ///< slack term of eq. (1) at the effective delta
+  double alpha = 0.0;         ///< guaranteed gap = 1 + gamma*eps^2
+  /// True iff the strict validity domain the paper uses for the distributed
+  /// setting holds: delta < eps^4/64 and n > 64/(eps^4*delta), which implies
+  /// gamma >= 1/2 (checked by tests across the whole grid).
+  bool in_paper_domain = false;
+  /// True iff gamma > 0, i.e. the tester has *some* guaranteed gap.
+  bool has_gap = false;
+};
+
+/// Solves for the integer sample count given a requested delta and
+/// recomputes all derived quantities at the effective delta.
+/// Requires n >= 2, eps in (0, 1], delta in (0, 1).
+GapTesterParams solve_gap_tester(std::uint64_t n, double epsilon, double delta,
+                                 Rounding rounding = Rounding::kNearest);
+
+/// Computes eq. (1)'s gamma for explicit (s, delta, eps).
+double gap_slack_gamma(std::uint64_t s, double delta, double epsilon);
+
+/// Builds resolved parameters from an explicit integer sample count
+/// (used by the asymmetric planners, where s_i derives from a cost share).
+/// Requires s >= 2.
+GapTesterParams params_from_samples(std::uint64_t n, double epsilon,
+                                    std::uint64_t s);
+
+/// Upper bound of Lemma 3.3 (Wiener's birthday bound) on the probability of
+/// seeing *no* collision among s samples from a distribution with collision
+/// probability chi:  exp(-(s-1)*sqrt(chi)) * (1 + (s-1)*sqrt(chi)).
+double wiener_no_collision_bound(std::uint64_t s, double chi);
+
+/// Exact no-collision probability under the *uniform* distribution,
+/// prod_{i<s} (1 - i/n); reference value for E3.
+double uniform_no_collision_exact(std::uint64_t s, std::uint64_t n);
+
+/// The single-collision tester A_delta. Stateless apart from its parameters;
+/// `accept` is a pure function of the samples.
+class SingleCollisionTester {
+ public:
+  explicit SingleCollisionTester(GapTesterParams params);
+
+  const GapTesterParams& params() const noexcept { return params_; }
+
+  /// Accepts ("uniform") iff all samples are distinct.
+  /// `samples.size()` must equal params().s.
+  bool accept(std::span<const std::uint64_t> samples) const;
+
+  /// Draws s fresh samples from `sampler` and decides.
+  bool run(const AliasSampler& sampler, stats::Xoshiro256& rng) const;
+
+ private:
+  GapTesterParams params_;
+  mutable std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace dut::core

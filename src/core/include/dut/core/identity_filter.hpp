@@ -1,0 +1,72 @@
+#pragma once
+
+// Reduction from identity testing to uniformity testing (Goldreich 2016;
+// used by the paper's introduction to argue uniformity is the canonical
+// distributed testing problem).
+//
+// Given a *known* distribution q on [n] and samples from an unknown mu, the
+// filter maps each sample, using only private randomness, to a "grain" in a
+// larger domain [m] such that
+//
+//   * if mu = q, the output is exactly uniform on [m];
+//   * if ||mu - q||_1 >= eps, the output is at least output_epsilon()-far
+//     from uniform on [m], with output_epsilon() >= (1 - 2n/m) * eps / 2.
+//
+// Construction (documented in DESIGN.md; proofs inline below):
+//  1. Mixing: with probability 1/2 the sample is replaced by a uniform
+//     element, moving the pair (mu, q) to (mu~, q~) = ((mu+U)/2, (q+U)/2);
+//     every q~_i >= 1/(2n) and distances halve.
+//  2. Granulation: bucket i receives n_i = floor(q~_i * m) grains of [m];
+//     the r = m - sum n_i leftover grains form an overflow region.
+//  3. Routing: a sample i goes to a uniform grain of bucket i with
+//     probability n_i / (m * q~_i), else to a uniform overflow grain.
+//
+// Under mu = q each grain gets mass exactly 1/m (checked exactly by
+// `pushforward` in tests). The distributed relevance: each node applies the
+// filter to its own samples independently — no coordination needed — and the
+// network then runs any distributed *uniformity* tester on domain [m] with
+// distance parameter output_epsilon().
+
+#include <cstdint>
+
+#include "dut/core/distribution.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+class IdentityFilter {
+ public:
+  /// `q` is the reference distribution; `eps` the identity-testing distance.
+  /// `grains_per_eps` scales the output domain m = ceil(grains_per_eps*n/eps)
+  /// (default 8: output_epsilon() >= 3*eps/8).
+  IdentityFilter(Distribution q, double eps, double grains_per_eps = 8.0);
+
+  std::uint64_t input_domain() const noexcept { return q_.n(); }
+
+  /// Output domain size m.
+  std::uint64_t output_domain() const noexcept { return m_; }
+
+  /// Guaranteed distance of the filtered distribution from U_m whenever the
+  /// input is eps-far from q: (1 - 2n/m) * eps / 2.
+  double output_epsilon() const noexcept { return output_epsilon_; }
+
+  /// Maps one raw sample (an element of [n]) to a grain of [m].
+  std::uint64_t apply(std::uint64_t sample, stats::Xoshiro256& rng) const;
+
+  /// Exact distribution of apply(X) when X ~ mu; used to verify the filter's
+  /// guarantees without sampling noise.
+  Distribution pushforward(const Distribution& mu) const;
+
+ private:
+  Distribution q_;
+  double eps_;
+  std::uint64_t m_ = 0;
+  double output_epsilon_ = 0.0;
+  std::vector<std::uint64_t> bucket_size_;    ///< n_i
+  std::vector<std::uint64_t> bucket_offset_;  ///< prefix sums of n_i
+  std::vector<double> bucket_probability_;    ///< n_i / (m * q~_i)
+  std::uint64_t overflow_offset_ = 0;
+  std::uint64_t overflow_size_ = 0;  ///< r
+};
+
+}  // namespace dut::core

@@ -1,0 +1,39 @@
+#pragma once
+
+// O(1) sampling from arbitrary discrete distributions via Walker/Vose alias
+// tables. All Monte-Carlo experiments draw through this class, so it is the
+// single hot path of the repository (see bench/m1_micro).
+
+#include <cstdint>
+#include <vector>
+
+#include "dut/core/distribution.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+class AliasSampler {
+ public:
+  /// Builds the alias table in O(n) (Vose's stable construction).
+  explicit AliasSampler(const Distribution& distribution);
+
+  /// Domain size.
+  std::uint64_t n() const noexcept { return probability_.size(); }
+
+  /// Draws one sample (an element of {0, ..., n-1}).
+  std::uint64_t sample(stats::Xoshiro256& rng) const noexcept;
+
+  /// Draws `count` i.i.d. samples into a fresh vector.
+  std::vector<std::uint64_t> sample_many(stats::Xoshiro256& rng,
+                                         std::uint64_t count) const;
+
+  /// Appends `count` i.i.d. samples to `out` (no allocation churn in loops).
+  void sample_into(stats::Xoshiro256& rng, std::uint64_t count,
+                   std::vector<std::uint64_t>& out) const;
+
+ private:
+  std::vector<double> probability_;  // acceptance probability per column
+  std::vector<std::uint64_t> alias_;
+};
+
+}  // namespace dut::core

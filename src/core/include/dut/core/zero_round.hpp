@@ -1,0 +1,144 @@
+#pragma once
+
+// 0-round distributed uniformity testing (paper Sections 1 and 3.2).
+//
+// Two network decision rules are modeled:
+//
+//  * AND rule (Theorem 1.1): the network accepts iff every node accepts.
+//    Each node runs m repetitions of A_delta and rejects iff all m runs saw
+//    a collision. The planner below searches (m, delta) numerically to
+//    satisfy, with guaranteed bounds,
+//        completeness: Pr[all k nodes accept | U]      >= 1 - p,
+//        soundness:    Pr[some node rejects | eps-far] >= 1 - p,
+//    minimizing the per-node sample count m*s. The paper's Theorem 1.1
+//    states the asymptotic s = Theta((C_p/eps^2) * sqrt(n / k^{Theta(eps^2/
+//    C_p)})); the constants live in an unpublished full version, so we derive
+//    concrete ones here (documented in DESIGN.md §5.3) and verify the
+//    resulting guarantees empirically (bench/e4_and_rule).
+//
+//  * Threshold rule (Theorem 1.2): the network rejects iff at least T nodes
+//    reject. Each node runs a single A_delta with delta = Theta(1/(eps^4 k)),
+//    and T = Theta(1/eps^4) is placed between the expected reject counts
+//    eta(U) = k*delta and eta(mu) >= (1+gamma*eps^2)*k*delta using the
+//    Chernoff forms of paper eq. (5) — or exact binomial tails, which the
+//    planner offers as a tighter alternative (ablated in bench/e5_threshold).
+
+#include <cstdint>
+#include <string>
+
+#include "dut/core/amplified.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+// ---------------------------------------------------------------------------
+// AND rule (Theorem 1.1)
+// ---------------------------------------------------------------------------
+
+struct AndRulePlan {
+  // Inputs.
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  double epsilon = 0.0;
+  double p = 0.0;  ///< target error probability (both sides)
+
+  // Outputs.
+  bool feasible = false;
+  std::string infeasible_reason;
+  std::uint64_t repetitions = 0;     ///< m
+  GapTesterParams base;              ///< per-run A_delta parameters
+  std::uint64_t samples_per_node = 0;  ///< m * s
+
+  /// Guaranteed lower bound on Pr[network accepts | uniform].
+  double guaranteed_completeness = 0.0;
+  /// Guaranteed lower bound on Pr[network rejects | eps-far].
+  double guaranteed_soundness = 0.0;
+};
+
+/// Searches m in [1, max_repetitions] for the feasible plan with the fewest
+/// samples per node. For each m the largest delta compatible with
+/// completeness is delta_max(m) = (1 - (1-p)^{1/k})^{1/m}; the planner
+/// instantiates A_delta at (up to) that delta, then checks that the
+/// amplified gap alpha^m covers the soundness requirement
+/// (alpha*delta)^m >= 1 - p^{1/k}.
+AndRulePlan plan_and_rule(std::uint64_t n, std::uint64_t k, double epsilon,
+                          double p, std::uint64_t max_repetitions = 64);
+
+/// Simulates one full network trial under the AND rule: k nodes, each with
+/// its own derived RNG stream, each running the planned repeated tester.
+/// Returns true iff the network accepts (all nodes accept).
+bool run_and_rule_network(const AndRulePlan& plan, const AliasSampler& sampler,
+                          stats::Xoshiro256& rng);
+
+// ---------------------------------------------------------------------------
+// Threshold rule (Theorem 1.2)
+// ---------------------------------------------------------------------------
+
+/// Which tail machinery the planner uses to place (delta, T).
+enum class TailBound {
+  kChernoff,       ///< the paper's eq. (5); conservative, closed-form
+  kExactBinomial,  ///< exact Bin(k, q) tails; admits smaller networks
+};
+
+/// Result of placing a threshold over `ell` i.i.d. node testers.
+struct ThresholdPlacement {
+  bool feasible = false;
+  std::uint64_t threshold = 0;
+  double eta_uniform = 0.0;
+  double eta_far = 0.0;
+  double bound_false_reject = 1.0;
+  double bound_false_accept = 1.0;
+};
+
+/// Places a rejection threshold for a network of `ell` nodes that each run
+/// A_delta with the given (resolved) parameters: finds T such that both
+/// Pr[R >= T | uniform] and Pr[R < T | eps-far] are bounded by p under the
+/// chosen tail machinery. Shared by the 0-round threshold planner and the
+/// CONGEST planner (where ell is the number of packages).
+ThresholdPlacement place_threshold(std::uint64_t ell,
+                                   const GapTesterParams& params, double p,
+                                   TailBound bound);
+
+struct ThresholdPlan {
+  // Inputs.
+  std::uint64_t n = 0;
+  std::uint64_t k = 0;
+  double epsilon = 0.0;
+  double p = 0.0;
+  TailBound bound = TailBound::kChernoff;
+
+  // Outputs.
+  bool feasible = false;
+  std::string infeasible_reason;
+  GapTesterParams base;      ///< per-node single-run A_delta parameters
+  std::uint64_t threshold = 0;  ///< T: network rejects iff rejects >= T
+  double eta_uniform = 0.0;  ///< k * delta (expected rejects under U)
+  double eta_far = 0.0;      ///< k * alpha * delta (guaranteed minimum)
+  /// Proven bound on Pr[R >= T | uniform] under the chosen tail machinery.
+  double bound_false_reject = 1.0;
+  /// Proven bound on Pr[R < T | eps-far] under the chosen tail machinery.
+  double bound_false_accept = 1.0;
+};
+
+/// Finds the smallest expected-reject budget A = k*delta for which a
+/// threshold T exists with both error bounds <= p, then resolves the
+/// per-node tester at delta = A/k. `gamma_min` is the slack target used to
+/// seed the search (the paper's distributed setting uses gamma >= 1/2).
+ThresholdPlan plan_threshold(std::uint64_t n, std::uint64_t k, double epsilon,
+                             double p = 1.0 / 3.0,
+                             TailBound bound = TailBound::kChernoff,
+                             double gamma_min = 0.5);
+
+struct ThresholdTrialResult {
+  std::uint64_t rejects = 0;      ///< how many nodes rejected
+  bool network_rejects = false;   ///< rejects >= T
+};
+
+/// Simulates one full network trial under the threshold rule.
+ThresholdTrialResult run_threshold_network(const ThresholdPlan& plan,
+                                           const AliasSampler& sampler,
+                                           stats::Xoshiro256& rng);
+
+}  // namespace dut::core

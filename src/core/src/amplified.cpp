@@ -1,0 +1,47 @@
+#include "dut/core/amplified.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::core {
+
+RepeatedGapTester::RepeatedGapTester(GapTesterParams base,
+                                     std::uint64_t repetitions)
+    : base_(base), repetitions_(repetitions) {
+  if (repetitions_ == 0) {
+    throw std::invalid_argument("RepeatedGapTester: repetitions must be >= 1");
+  }
+}
+
+double RepeatedGapTester::delta() const noexcept {
+  return std::pow(base_.params().delta, static_cast<double>(repetitions_));
+}
+
+double RepeatedGapTester::alpha() const noexcept {
+  return std::pow(base_.params().alpha, static_cast<double>(repetitions_));
+}
+
+bool RepeatedGapTester::decide(std::span<const std::uint64_t> samples) const {
+  const std::uint64_t s = base_.params().s;
+  if (samples.size() < total_samples()) {
+    throw std::invalid_argument("RepeatedGapTester::decide: too few samples");
+  }
+  for (std::uint64_t r = 0; r < repetitions_; ++r) {
+    if (base_.accept(samples.subspan(r * s, s))) return true;
+  }
+  return false;
+}
+
+bool RepeatedGapTester::run(const AliasSampler& sampler,
+                            stats::Xoshiro256& rng) const {
+  // Accept as soon as one repetition accepts (saw no collision); reject only
+  // if all m repetitions reject. Early exit preserves the exact distribution
+  // of the decision while saving samples on the (overwhelmingly common)
+  // accept path.
+  for (std::uint64_t r = 0; r < repetitions_; ++r) {
+    if (base_.run(sampler, rng)) return true;
+  }
+  return false;
+}
+
+}  // namespace dut::core

@@ -1,0 +1,364 @@
+#include "dut/core/asymmetric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "dut/stats/bounds.hpp"
+
+namespace dut::core {
+
+namespace {
+
+void validate_costs(std::span<const double> costs) {
+  if (costs.empty()) {
+    throw std::invalid_argument("asymmetric planner: empty cost vector");
+  }
+  for (const double c : costs) {
+    if (!(c > 0.0)) {
+      throw std::invalid_argument(
+          "asymmetric planner: costs must be strictly positive");
+    }
+  }
+}
+
+/// Placeholder for a node whose cost share admits fewer than two samples:
+/// it draws nothing and always accepts (delta_i = 0).
+GapTesterParams inactive_params(std::uint64_t n, double epsilon) {
+  GapTesterParams p;
+  p.n = n;
+  p.epsilon = epsilon;
+  p.s = 0;
+  p.delta = 0.0;
+  p.delta_requested = 0.0;
+  p.gamma = 0.0;
+  p.alpha = 1.0;
+  p.in_paper_domain = false;
+  p.has_gap = false;
+  return p;
+}
+
+}  // namespace
+
+double inverse_cost_norm(std::span<const double> costs, double order) {
+  validate_costs(costs);
+  if (!(order > 0.0)) {
+    throw std::invalid_argument("inverse_cost_norm: order must be > 0");
+  }
+  // Compute relative to the max to avoid overflow for large orders.
+  double max_t = 0.0;
+  for (const double c : costs) max_t = std::max(max_t, 1.0 / c);
+  double sum = 0.0;
+  for (const double c : costs) {
+    sum += std::pow((1.0 / c) / max_t, order);
+  }
+  return max_t * std::pow(sum, 1.0 / order);
+}
+
+Lemma41Sides lemma41_sides(std::span<const double> x, double a) {
+  if (x.empty()) throw std::invalid_argument("lemma41_sides: empty vector");
+  if (!(a > 1.0)) throw std::invalid_argument("lemma41_sides: need a > 1");
+  double log_c = 0.0;
+  double g_x = 1.0;
+  for (const double xi : x) {
+    if (xi < 0.0 || xi >= 1.0) {
+      throw std::invalid_argument("lemma41_sides: x_i must be in [0, 1)");
+    }
+    log_c += std::log1p(-xi);
+    g_x *= 1.0 - a * xi;
+  }
+  const double d =
+      -std::expm1(log_c / static_cast<double>(x.size()));  // 1 - c^{1/k}
+  const double g_y =
+      std::pow(1.0 - a * d, static_cast<double>(x.size()));
+  return Lemma41Sides{g_x, g_y};
+}
+
+// ---------------------------------------------------------------------------
+// Threshold rule with costs
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct AsymThresholdAttempt {
+  std::vector<GapTesterParams> node_params;
+  std::uint64_t threshold;
+  double eta_u;
+  double eta_f;
+  double budget;
+  double bound_false_reject;
+  double bound_false_accept;
+};
+
+std::optional<AsymThresholdAttempt> attempt_asymmetric_threshold(
+    std::uint64_t n, std::span<const double> costs, double eps, double p,
+    double A) {
+  const double norm2 = inverse_cost_norm(costs, 2.0);
+  // Paper Section 4.2: delta_i = C^2 T_i^2 / (2n) with sum delta_i = A gives
+  // C = sqrt(2 n A) / ||T||_2 and s_i = C * T_i.
+  const double C = std::sqrt(2.0 * static_cast<double>(n) * A) / norm2;
+
+  std::vector<GapTesterParams> node_params;
+  node_params.reserve(costs.size());
+  double eta_u = 0.0;
+  double eta_f = 0.0;
+  for (const double cost : costs) {
+    const auto s = static_cast<std::uint64_t>(std::llround(C / cost));
+    if (s < 2) {
+      node_params.push_back(inactive_params(n, eps));
+      continue;
+    }
+    GapTesterParams params = params_from_samples(n, eps, s);
+    if (!params.has_gap) return std::nullopt;  // this node's share is too big
+    eta_u += params.delta;
+    eta_f += params.alpha * params.delta;
+    node_params.push_back(params);
+  }
+  if (eta_f <= eta_u || eta_u <= 0.0) return std::nullopt;
+
+  // Chernoff threshold placement, eq. (5); the bounds hold for
+  // Poisson-binomial reject counts as well.
+  const double L = std::log(1.0 / p);
+  const double t_lo = eta_u + std::sqrt(3.0 * L * eta_u);
+  const double t_hi = eta_f - std::sqrt(2.0 * L * eta_f);
+  const double t_ceil = std::ceil(t_lo);
+  if (t_ceil > t_hi || t_ceil > static_cast<double>(costs.size())) {
+    return std::nullopt;
+  }
+  const auto T = static_cast<std::uint64_t>(t_ceil);
+  if (T == 0) return std::nullopt;
+  return AsymThresholdAttempt{
+      std::move(node_params),
+      T,
+      eta_u,
+      eta_f,
+      eta_u,
+      stats::chernoff_upper_tail(eta_u, static_cast<double>(T)),
+      stats::chernoff_lower_tail(eta_f, static_cast<double>(T))};
+}
+
+}  // namespace
+
+AsymmetricThresholdPlan plan_asymmetric_threshold(std::uint64_t n,
+                                                  std::vector<double> costs,
+                                                  double epsilon, double p) {
+  validate_costs(costs);
+  if (n < 2) throw std::invalid_argument("plan: n must be >= 2");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("plan: eps must be in (0, 2]");
+  }
+  if (!(p > 0.0) || p >= 0.5) {
+    throw std::invalid_argument("plan: p must be in (0, 0.5)");
+  }
+
+  AsymmetricThresholdPlan plan;
+  plan.n = n;
+  plan.epsilon = epsilon;
+  plan.p = p;
+  plan.costs = std::move(costs);
+
+  // Same closed-form seed as the symmetric planner (gamma target 1/2).
+  const double L = std::log(1.0 / p);
+  const double g = 0.5 * epsilon * epsilon;
+  const double a = std::sqrt(3.0 * L);
+  const double b = std::sqrt(2.0 * L * (1.0 + g));
+  const double seed = ((a + b) / g) * ((a + b) / g);
+
+  for (double A = seed / 32.0; A <= seed * 32.0; A *= 1.05) {
+    if (A > static_cast<double>(plan.costs.size())) break;
+    auto attempt =
+        attempt_asymmetric_threshold(n, plan.costs, epsilon, p, A);
+    if (!attempt) continue;
+    plan.feasible = true;
+    plan.node_params = std::move(attempt->node_params);
+    plan.threshold = attempt->threshold;
+    plan.budget = attempt->budget;
+    plan.eta_uniform = attempt->eta_u;
+    plan.eta_far = attempt->eta_f;
+    plan.bound_false_reject = attempt->bound_false_reject;
+    plan.bound_false_accept = attempt->bound_false_accept;
+    const double norm2 = inverse_cost_norm(plan.costs, 2.0);
+    plan.predicted_max_cost =
+        std::sqrt(2.0 * static_cast<double>(n) * A) / norm2;
+    for (std::size_t i = 0; i < plan.costs.size(); ++i) {
+      plan.max_cost =
+          std::max(plan.max_cost, static_cast<double>(plan.node_params[i].s) *
+                                      plan.costs[i]);
+    }
+    return plan;
+  }
+
+  plan.feasible = false;
+  plan.infeasible_reason =
+      "no rejection budget admits a threshold; the cost profile leaves too "
+      "little total sampling power for this (n, eps, p)";
+  return plan;
+}
+
+ThresholdTrialResult run_asymmetric_threshold_network(
+    const AsymmetricThresholdPlan& plan, const AliasSampler& sampler,
+    stats::Xoshiro256& rng) {
+  if (!plan.feasible) {
+    throw std::logic_error("run_asymmetric_threshold_network: infeasible");
+  }
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_asymmetric_threshold_network: domain");
+  }
+  ThresholdTrialResult result;
+  for (const GapTesterParams& params : plan.node_params) {
+    if (params.s < 2) continue;  // inactive node always accepts
+    const SingleCollisionTester tester(params);
+    if (!tester.run(sampler, rng)) ++result.rejects;
+  }
+  result.network_rejects = result.rejects >= plan.threshold;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// AND rule with costs
+// ---------------------------------------------------------------------------
+
+AsymmetricAndPlan plan_asymmetric_and(std::uint64_t n,
+                                      std::vector<double> costs,
+                                      double epsilon, double p,
+                                      std::uint64_t max_repetitions) {
+  validate_costs(costs);
+  if (n < 2) throw std::invalid_argument("plan: n must be >= 2");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("plan: eps must be in (0, 2]");
+  }
+  if (!(p > 0.0) || p >= 0.5) {
+    throw std::invalid_argument("plan: p must be in (0, 0.5)");
+  }
+
+  AsymmetricAndPlan plan;
+  plan.n = n;
+  plan.epsilon = epsilon;
+  plan.p = p;
+  plan.costs = std::move(costs);
+  const std::size_t k = plan.costs.size();
+
+  double max_t = 0.0;
+  for (const double c : plan.costs) max_t = std::max(max_t, 1.0 / c);
+
+  std::optional<AsymmetricAndPlan> best;
+  for (std::uint64_t m = 1; m <= max_repetitions; ++m) {
+    // Responsibility shape: delta_i proportional to T_i^{2m} (paper §4.1),
+    // normalized against the cheapest node to stay in floating-point range.
+    std::vector<double> shape(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      shape[i] = std::pow((1.0 / plan.costs[i]) / max_t,
+                          2.0 * static_cast<double>(m));
+    }
+
+    // Scale theta so the network completeness product is exactly 1 - p:
+    // prod_i (1 - theta * shape_i) = 1 - p. Monotone in theta => bisection.
+    const double target = std::log1p(-p);
+    auto log_product = [&](double theta) -> double {
+      double sum = 0.0;
+      for (const double w : shape) {
+        const double d = theta * w;
+        if (d >= 1.0) return -INFINITY;
+        sum += std::log1p(-d);
+      }
+      return sum;
+    };
+    double lo = 0.0;
+    double hi = 1.0;
+    if (log_product(hi) > target) continue;  // even theta=1 too gentle
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = (lo + hi) / 2.0;
+      if (log_product(mid) > target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double theta = lo;
+
+    // Instantiate node testers at delta_i' = delta_i^{1/m}, rounding s down
+    // so the effective completeness can only improve.
+    std::vector<GapTesterParams> node_params;
+    std::vector<std::uint64_t> samples;
+    node_params.reserve(k);
+    samples.reserve(k);
+    double log_complete = 0.0;  // log prod (1 - delta_eff_i^m)
+    double log_sound = 0.0;     // log prod (1 - (alpha_i*delta_eff_i')^m)
+    double max_cost = 0.0;
+    bool usable = true;
+    for (std::size_t i = 0; i < k; ++i) {
+      const double delta_i = theta * shape[i];
+      const double delta_run =
+          std::pow(delta_i, 1.0 / static_cast<double>(m));
+      GapTesterParams params;
+      bool active = delta_run > 0.0 && delta_run < 1.0;
+      if (active) {
+        params = solve_gap_tester(n, epsilon, delta_run, Rounding::kDown);
+        if (params.delta > delta_run || params.s < 2) active = false;
+      }
+      if (!active) {
+        node_params.push_back(inactive_params(n, epsilon));
+        samples.push_back(0);
+        continue;
+      }
+      if (!params.has_gap) {
+        usable = false;  // a node's share breaks the gap domain
+        break;
+      }
+      node_params.push_back(params);
+      samples.push_back(m * params.s);
+      const double md = static_cast<double>(m);
+      log_complete += std::log1p(-std::pow(params.delta, md));
+      log_sound += std::log1p(-std::pow(params.alpha * params.delta, md));
+      max_cost = std::max(
+          max_cost, static_cast<double>(m * params.s) * plan.costs[i]);
+    }
+    if (!usable) continue;
+
+    const double completeness = std::exp(log_complete);
+    const double soundness_accept = std::exp(log_sound);
+    if (completeness < 1.0 - p) continue;      // should hold by construction
+    if (soundness_accept > p) continue;        // gap too weak at this m
+
+    AsymmetricAndPlan candidate = plan;
+    candidate.feasible = true;
+    candidate.repetitions = m;
+    candidate.node_params = std::move(node_params);
+    candidate.samples_per_node = std::move(samples);
+    candidate.max_cost = max_cost;
+    candidate.guaranteed_completeness = completeness;
+    candidate.guaranteed_soundness = 1.0 - soundness_accept;
+    if (!best || candidate.max_cost < best->max_cost) {
+      best = std::move(candidate);
+    }
+  }
+
+  if (!best) {
+    plan.feasible = false;
+    plan.infeasible_reason =
+        "no repetition count yields both error bounds under this cost "
+        "profile; the AND-rule regime needs larger n or cheaper nodes";
+    return plan;
+  }
+  return *best;
+}
+
+bool run_asymmetric_and_network(const AsymmetricAndPlan& plan,
+                                const AliasSampler& sampler,
+                                stats::Xoshiro256& rng) {
+  if (!plan.feasible) {
+    throw std::logic_error("run_asymmetric_and_network: infeasible");
+  }
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_asymmetric_and_network: domain");
+  }
+  for (const GapTesterParams& params : plan.node_params) {
+    if (params.s < 2) continue;  // inactive node always accepts
+    const RepeatedGapTester tester(params, plan.repetitions);
+    if (!tester.run(sampler, rng)) return false;
+  }
+  return true;
+}
+
+}  // namespace dut::core

@@ -1,0 +1,100 @@
+#include "dut/core/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dut/stats/info.hpp"
+
+namespace dut::core {
+
+namespace {
+constexpr double kMassTolerance = 1e-9;
+}
+
+Distribution::Distribution(std::vector<double> pmf) : pmf_(std::move(pmf)) {
+  if (pmf_.empty()) {
+    throw std::invalid_argument("Distribution: empty pmf");
+  }
+  double total = 0.0;
+  for (const double p : pmf_) {
+    if (!(p >= 0.0) || p > 1.0 + kMassTolerance) {
+      throw std::invalid_argument("Distribution: pmf entry outside [0,1]");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > kMassTolerance * static_cast<double>(n())) {
+    throw std::invalid_argument("Distribution: pmf does not sum to 1");
+  }
+}
+
+Distribution Distribution::from_weights(std::vector<double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument("from_weights: negative or NaN weight");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("from_weights: zero total weight");
+  }
+  for (double& w : weights) w /= total;
+  return Distribution(std::move(weights));
+}
+
+double Distribution::l1_distance(const Distribution& other) const {
+  if (other.n() != n()) {
+    throw std::invalid_argument("l1_distance: domain size mismatch");
+  }
+  double total = 0.0;
+  for (std::uint64_t i = 0; i < n(); ++i) {
+    total += std::abs(pmf_[i] - other.pmf_[i]);
+  }
+  return total;
+}
+
+double Distribution::l1_to_uniform() const noexcept {
+  const double u = 1.0 / static_cast<double>(n());
+  double total = 0.0;
+  for (const double p : pmf_) total += std::abs(p - u);
+  return total;
+}
+
+double Distribution::collision_probability() const noexcept {
+  double chi = 0.0;
+  for (const double p : pmf_) chi += p * p;
+  return chi;
+}
+
+double Distribution::kl_to(const Distribution& other) const {
+  if (other.n() != n()) {
+    throw std::invalid_argument("kl_to: domain size mismatch");
+  }
+  return stats::kl_divergence(pmf(), other.pmf());
+}
+
+double Distribution::entropy() const noexcept { return stats::entropy(pmf()); }
+
+std::uint64_t Distribution::support_size() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::count_if(pmf_.begin(), pmf_.end(), [](double p) { return p > 0; }));
+}
+
+double Distribution::min_probability() const noexcept {
+  return *std::min_element(pmf_.begin(), pmf_.end());
+}
+
+double Distribution::max_probability() const noexcept {
+  return *std::max_element(pmf_.begin(), pmf_.end());
+}
+
+double lemma32_ratio(const Distribution& mu) {
+  const double eps = mu.l1_to_uniform();
+  const double bound =
+      (1.0 + eps * eps) / static_cast<double>(mu.n());
+  return mu.collision_probability() / bound;
+}
+
+}  // namespace dut::core

@@ -1,0 +1,107 @@
+#include "dut/core/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dut/core/gap_tester.hpp"
+
+namespace dut::core {
+
+ChiEstimate estimate_chi(std::span<const std::uint64_t> samples) {
+  if (samples.size() < 2) {
+    throw std::invalid_argument("estimate_chi: need at least two samples");
+  }
+  // One sorted pass yields pair and triple collision counts.
+  std::vector<std::uint64_t> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  double pairs = 0.0;
+  double triples = 0.0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    const double m = static_cast<double>(j - i);
+    pairs += m * (m - 1.0) / 2.0;
+    triples += m * (m - 1.0) * (m - 2.0) / 6.0;
+    i = j;
+  }
+
+  const auto s = static_cast<double>(samples.size());
+  const double total_pairs = s * (s - 1.0) / 2.0;
+  ChiEstimate estimate;
+  estimate.samples = samples.size();
+  estimate.chi_hat = pairs / total_pairs;
+  estimate.lambda_hat =
+      s >= 3.0 ? triples / (s * (s - 1.0) * (s - 2.0) / 6.0) : 0.0;
+  // Exact U-statistic variance with plug-in moments; the lambda term
+  // carries the correlation between overlapping pairs.
+  const double chi = estimate.chi_hat;
+  const double variance =
+      (chi * (1.0 - chi) +
+       2.0 * (s - 2.0) * std::max(0.0, estimate.lambda_hat - chi * chi)) /
+      total_pairs;
+  estimate.std_error = std::sqrt(std::max(0.0, variance));
+  return estimate;
+}
+
+double collision_distance_score(double chi_hat, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("collision_distance_score: n = 0");
+  if (chi_hat < 0.0 || chi_hat > 1.0) {
+    throw std::invalid_argument(
+        "collision_distance_score: chi_hat outside [0, 1]");
+  }
+  return std::sqrt(
+      std::max(0.0, chi_hat * static_cast<double>(n) - 1.0));
+}
+
+double plugin_l1_to_uniform(std::span<const std::uint64_t> samples,
+                            std::uint64_t n) {
+  if (n == 0 || samples.empty()) {
+    throw std::invalid_argument("plugin_l1_to_uniform: empty input");
+  }
+  // Count multiplicities without allocating O(n): sort a copy.
+  std::vector<std::uint64_t> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double s = static_cast<double>(samples.size());
+  const double u = 1.0 / static_cast<double>(n);
+  double distance = 0.0;
+  std::uint64_t seen_values = 0;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    if (sorted[i] >= n) {
+      throw std::invalid_argument("plugin_l1_to_uniform: sample >= n");
+    }
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    distance += std::abs(static_cast<double>(j - i) / s - u);
+    ++seen_values;
+    i = j;
+  }
+  // Elements never sampled each contribute |0 - 1/n|.
+  distance += static_cast<double>(n - seen_values) * u;
+  return distance;
+}
+
+SupportEstimate estimate_support(std::span<const std::uint64_t> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("estimate_support: empty input");
+  }
+  std::vector<std::uint64_t> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  SupportEstimate estimate;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    ++estimate.distinct;
+    if (j - i == 1) ++estimate.singletons;
+    i = j;
+  }
+  estimate.unseen_mass = static_cast<double>(estimate.singletons) /
+                         static_cast<double>(samples.size());
+  return estimate;
+}
+
+}  // namespace dut::core

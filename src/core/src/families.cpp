@@ -1,0 +1,145 @@
+#include "dut/core/families.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "dut/stats/rng.hpp"
+
+namespace dut::core {
+
+Distribution uniform(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform: n must be positive");
+  return Distribution(
+      std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+Distribution paninski_two_bump(std::uint64_t n, double eps) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument("paninski_two_bump: n must be even, positive");
+  }
+  if (eps < 0.0 || eps > 1.0) {
+    throw std::invalid_argument("paninski_two_bump: eps must be in [0,1]");
+  }
+  std::vector<double> pmf(n);
+  const double hi = (1.0 + eps) / static_cast<double>(n);
+  const double lo = (1.0 - eps) / static_cast<double>(n);
+  for (std::uint64_t i = 0; i < n; i += 2) {
+    pmf[i] = hi;
+    pmf[i + 1] = lo;
+  }
+  return Distribution(std::move(pmf));
+}
+
+Distribution paninski_two_bump_shuffled(std::uint64_t n, double eps,
+                                        std::uint64_t seed) {
+  if (n == 0 || n % 2 != 0) {
+    throw std::invalid_argument(
+        "paninski_two_bump_shuffled: n must be even, positive");
+  }
+  if (eps < 0.0 || eps > 1.0) {
+    throw std::invalid_argument(
+        "paninski_two_bump_shuffled: eps must be in [0,1]");
+  }
+  std::vector<double> pmf(n);
+  const double hi = (1.0 + eps) / static_cast<double>(n);
+  const double lo = (1.0 - eps) / static_cast<double>(n);
+  stats::Xoshiro256 rng(seed);
+  for (std::uint64_t i = 0; i < n; i += 2) {
+    const bool flip = rng.bernoulli(0.5);
+    pmf[i] = flip ? lo : hi;
+    pmf[i + 1] = flip ? hi : lo;
+  }
+  return Distribution(std::move(pmf));
+}
+
+Distribution heavy_hitter(std::uint64_t n, double heavy_mass) {
+  if (n < 2) throw std::invalid_argument("heavy_hitter: n must be >= 2");
+  if (heavy_mass < 0.0 || heavy_mass > 1.0) {
+    throw std::invalid_argument("heavy_hitter: mass must be in [0,1]");
+  }
+  std::vector<double> pmf(n, (1.0 - heavy_mass) / static_cast<double>(n - 1));
+  pmf[0] = heavy_mass;
+  return Distribution(std::move(pmf));
+}
+
+Distribution restricted_support(std::uint64_t n, std::uint64_t support) {
+  if (support == 0 || support > n) {
+    throw std::invalid_argument("restricted_support: need 0 < support <= n");
+  }
+  std::vector<double> pmf(n, 0.0);
+  for (std::uint64_t i = 0; i < support; ++i) {
+    pmf[i] = 1.0 / static_cast<double>(support);
+  }
+  return Distribution(std::move(pmf));
+}
+
+Distribution zipf(std::uint64_t n, double s) {
+  if (n == 0) throw std::invalid_argument("zipf: n must be positive");
+  if (s < 0.0) throw std::invalid_argument("zipf: exponent must be >= 0");
+  std::vector<double> weights(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -s);
+  }
+  return Distribution::from_weights(std::move(weights));
+}
+
+Distribution step(std::uint64_t n, double fraction, double ratio) {
+  if (n == 0) throw std::invalid_argument("step: n must be positive");
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("step: fraction must be in [0,1]");
+  }
+  if (ratio <= 0.0) throw std::invalid_argument("step: ratio must be > 0");
+  const auto head = static_cast<std::uint64_t>(
+      std::ceil(fraction * static_cast<double>(n)));
+  std::vector<double> weights(n, 1.0);
+  for (std::uint64_t i = 0; i < head; ++i) weights[i] = ratio;
+  return Distribution::from_weights(std::move(weights));
+}
+
+Distribution mixture(const Distribution& a, const Distribution& b, double w) {
+  if (a.n() != b.n()) {
+    throw std::invalid_argument("mixture: domain size mismatch");
+  }
+  if (w < 0.0 || w > 1.0) {
+    throw std::invalid_argument("mixture: weight must be in [0,1]");
+  }
+  std::vector<double> pmf(a.n());
+  for (std::uint64_t i = 0; i < a.n(); ++i) {
+    pmf[i] = w * a[i] + (1.0 - w) * b[i];
+  }
+  return Distribution(std::move(pmf));
+}
+
+Distribution far_instance(std::uint64_t n, double eps) {
+  if (!(eps > 0.0) || eps >= 2.0) {
+    throw std::invalid_argument("far_instance: eps must be in (0, 2)");
+  }
+  if (eps <= 1.0) return paninski_two_bump(n, eps);
+  // Uniform over a support of size floor(n*(1 - eps/2)) sits at L1 distance
+  // 2*(1 - support/n) >= eps (the floor only pushes it farther).
+  const auto support = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(n) * (1.0 - eps / 2.0)));
+  if (support == 0) {
+    throw std::invalid_argument("far_instance: n too small for this eps");
+  }
+  return restricted_support(n, support);
+}
+
+Distribution at_distance(const Distribution& mu, double target_eps) {
+  const double eps = mu.l1_to_uniform();
+  if (eps < target_eps) {
+    throw std::invalid_argument(
+        "at_distance: source distribution is closer to uniform than target");
+  }
+  if (target_eps < 0.0) {
+    throw std::invalid_argument("at_distance: negative target");
+  }
+  if (eps == 0.0) return mu;
+  // Mixing with uniform scales the L1 distance linearly:
+  // || w*mu + (1-w)*U - U ||_1 = w * ||mu - U||_1.
+  const double w = target_eps / eps;
+  return mixture(mu, uniform(mu.n()), w);
+}
+
+}  // namespace dut::core

@@ -1,0 +1,146 @@
+#include "dut/core/gap_tester.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::core {
+
+bool has_collision(std::span<const std::uint64_t> samples) {
+  std::vector<std::uint64_t> scratch(samples.begin(), samples.end());
+  std::sort(scratch.begin(), scratch.end());
+  return std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end();
+}
+
+std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples) {
+  std::vector<std::uint64_t> scratch(samples.begin(), samples.end());
+  std::sort(scratch.begin(), scratch.end());
+  std::uint64_t pairs = 0;
+  std::size_t i = 0;
+  while (i < scratch.size()) {
+    std::size_t j = i;
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    const std::uint64_t m = j - i;
+    pairs += m * (m - 1) / 2;
+    i = j;
+  }
+  return pairs;
+}
+
+double gap_slack_gamma(std::uint64_t s, double delta, double epsilon) {
+  if (s < 2) return -INFINITY;
+  const double root = std::sqrt(2.0 * delta * (1.0 + epsilon * epsilon));
+  const double inv_s = 1.0 / static_cast<double>(s);
+  return 1.0 - inv_s - root - (inv_s + root) / (epsilon * epsilon);
+}
+
+GapTesterParams solve_gap_tester(std::uint64_t n, double epsilon, double delta,
+                                 Rounding rounding) {
+  if (n < 2) throw std::invalid_argument("solve_gap_tester: n must be >= 2");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("solve_gap_tester: eps must be in (0, 2]");
+  }
+  if (!(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("solve_gap_tester: delta must be in (0, 1)");
+  }
+
+  // Real solution of s(s-1) = 2*delta*n:  s = (1 + sqrt(1 + 8*delta*n)) / 2.
+  const double target = 2.0 * delta * static_cast<double>(n);
+  const double s_real = (1.0 + std::sqrt(1.0 + 4.0 * target)) / 2.0;
+  std::uint64_t s = 0;
+  switch (rounding) {
+    case Rounding::kDown:
+      s = static_cast<std::uint64_t>(std::floor(s_real));
+      break;
+    case Rounding::kNearest:
+      s = static_cast<std::uint64_t>(std::llround(s_real));
+      break;
+    case Rounding::kUp:
+      s = static_cast<std::uint64_t>(std::ceil(s_real));
+      break;
+  }
+  if (s < 2) s = 2;  // one sample can never collide
+
+  GapTesterParams p;
+  p.n = n;
+  p.epsilon = epsilon;
+  p.delta_requested = delta;
+  p.s = s;
+  p.delta = static_cast<double>(s) * static_cast<double>(s - 1) /
+            (2.0 * static_cast<double>(n));
+  p.gamma = gap_slack_gamma(s, p.delta, epsilon);
+  p.alpha = 1.0 + p.gamma * epsilon * epsilon;
+  const double eps4 = std::pow(epsilon, 4.0);
+  p.in_paper_domain = p.delta < eps4 / 64.0 &&
+                      static_cast<double>(n) > 64.0 / (eps4 * p.delta);
+  p.has_gap = p.gamma > 0.0;
+  return p;
+}
+
+GapTesterParams params_from_samples(std::uint64_t n, double epsilon,
+                                    std::uint64_t s) {
+  if (n < 2) throw std::invalid_argument("params_from_samples: n must be >= 2");
+  if (s < 2) throw std::invalid_argument("params_from_samples: s must be >= 2");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("params_from_samples: eps must be in (0, 2]");
+  }
+  GapTesterParams p;
+  p.n = n;
+  p.epsilon = epsilon;
+  p.s = s;
+  p.delta = static_cast<double>(s) * static_cast<double>(s - 1) /
+            (2.0 * static_cast<double>(n));
+  p.delta_requested = p.delta;
+  p.gamma = gap_slack_gamma(s, p.delta, epsilon);
+  p.alpha = 1.0 + p.gamma * epsilon * epsilon;
+  const double eps4 = std::pow(epsilon, 4.0);
+  p.in_paper_domain = p.delta < eps4 / 64.0 &&
+                      static_cast<double>(n) > 64.0 / (eps4 * p.delta);
+  p.has_gap = p.gamma > 0.0;
+  return p;
+}
+
+double wiener_no_collision_bound(std::uint64_t s, double chi) {
+  if (chi < 0.0 || chi > 1.0) {
+    throw std::invalid_argument("wiener bound: chi must be in [0,1]");
+  }
+  if (s < 2) return 1.0;
+  const double t = static_cast<double>(s - 1) * std::sqrt(chi);
+  return std::exp(-t) * (1.0 + t);
+}
+
+double uniform_no_collision_exact(std::uint64_t s, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_no_collision_exact: n=0");
+  if (s > n) return 0.0;
+  double prob = 1.0;
+  for (std::uint64_t i = 1; i < s; ++i) {
+    prob *= 1.0 - static_cast<double>(i) / static_cast<double>(n);
+  }
+  return prob;
+}
+
+SingleCollisionTester::SingleCollisionTester(GapTesterParams params)
+    : params_(params) {
+  if (params_.s < 2) {
+    throw std::invalid_argument("SingleCollisionTester: s must be >= 2");
+  }
+}
+
+bool SingleCollisionTester::accept(
+    std::span<const std::uint64_t> samples) const {
+  if (samples.size() != params_.s) {
+    throw std::invalid_argument(
+        "SingleCollisionTester: wrong number of samples");
+  }
+  return !has_collision(samples);
+}
+
+bool SingleCollisionTester::run(const AliasSampler& sampler,
+                                stats::Xoshiro256& rng) const {
+  sampler.sample_into(rng, params_.s, scratch_);
+  std::sort(scratch_.begin(), scratch_.end());
+  return std::adjacent_find(scratch_.begin(), scratch_.end()) ==
+         scratch_.end();
+}
+
+}  // namespace dut::core

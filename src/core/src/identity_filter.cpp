@@ -1,0 +1,94 @@
+#include "dut/core/identity_filter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::core {
+
+IdentityFilter::IdentityFilter(Distribution q, double eps,
+                               double grains_per_eps)
+    : q_(std::move(q)), eps_(eps) {
+  if (!(eps > 0.0) || eps > 2.0) {
+    throw std::invalid_argument("IdentityFilter: eps must be in (0, 2]");
+  }
+  if (grains_per_eps < 4.0) {
+    // Below 4 grains per eps the distance guarantee degenerates (m < 4n/eps
+    // gives output_epsilon <= 0 in the worst case).
+    throw std::invalid_argument("IdentityFilter: grains_per_eps must be >= 4");
+  }
+  const std::uint64_t n = q_.n();
+  const double nd = static_cast<double>(n);
+  m_ = static_cast<std::uint64_t>(
+      std::ceil(grains_per_eps * nd / eps));
+
+  // Mixed reference q~_i = (q_i + 1/n)/2, all >= 1/(2n).
+  bucket_size_.resize(n);
+  bucket_offset_.resize(n);
+  bucket_probability_.resize(n);
+  const double md = static_cast<double>(m_);
+  std::uint64_t used = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double q_mixed = (q_[i] + 1.0 / nd) / 2.0;
+    const auto grains = static_cast<std::uint64_t>(std::floor(q_mixed * md));
+    bucket_size_[i] = grains;
+    bucket_offset_[i] = used;
+    used += grains;
+    // floor() guarantees grains/m <= q_mixed, so this is a probability.
+    bucket_probability_[i] =
+        grains == 0 ? 0.0 : static_cast<double>(grains) / (md * q_mixed);
+  }
+  overflow_offset_ = used;
+  overflow_size_ = m_ - used;
+
+  // Distance retention: every bucket keeps at least beta = 1 - 2n/m of its
+  // discrepancy |mu~_i - q~_i| (floor error is < 1/m against mass >= 1/(2n)),
+  // and the input discrepancy is eps/2 after mixing.
+  output_epsilon_ = (1.0 - 2.0 * nd / md) * eps / 2.0;
+}
+
+std::uint64_t IdentityFilter::apply(std::uint64_t sample,
+                                    stats::Xoshiro256& rng) const {
+  const std::uint64_t n = q_.n();
+  if (sample >= n) {
+    throw std::invalid_argument("IdentityFilter::apply: sample out of domain");
+  }
+  // Step 1 — mixing with the uniform distribution (private randomness).
+  const std::uint64_t i = rng.bernoulli(0.5) ? rng.below(n) : sample;
+  // Step 3 — proportional routing into bucket i or the overflow region.
+  if (overflow_size_ == 0 || rng.uniform01() < bucket_probability_[i]) {
+    return bucket_offset_[i] + rng.below(bucket_size_[i]);
+  }
+  return overflow_offset_ + rng.below(overflow_size_);
+}
+
+Distribution IdentityFilter::pushforward(const Distribution& mu) const {
+  if (mu.n() != q_.n()) {
+    throw std::invalid_argument("pushforward: domain mismatch");
+  }
+  const std::uint64_t n = q_.n();
+  const double nd = static_cast<double>(n);
+  std::vector<double> out(m_, 0.0);
+  double overflow_mass = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const double mu_mixed = (mu[i] + 1.0 / nd) / 2.0;
+    const double to_bucket = mu_mixed * bucket_probability_[i];
+    if (bucket_size_[i] > 0) {
+      const double per_grain =
+          to_bucket / static_cast<double>(bucket_size_[i]);
+      for (std::uint64_t g = 0; g < bucket_size_[i]; ++g) {
+        out[bucket_offset_[i] + g] = per_grain;
+      }
+    }
+    overflow_mass += mu_mixed - to_bucket;
+  }
+  if (overflow_size_ > 0) {
+    const double per_grain =
+        overflow_mass / static_cast<double>(overflow_size_);
+    for (std::uint64_t g = 0; g < overflow_size_; ++g) {
+      out[overflow_offset_ + g] = per_grain;
+    }
+  }
+  return Distribution(std::move(out));
+}
+
+}  // namespace dut::core

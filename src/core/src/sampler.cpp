@@ -1,0 +1,64 @@
+#include "dut/core/sampler.hpp"
+
+#include <vector>
+
+namespace dut::core {
+
+AliasSampler::AliasSampler(const Distribution& distribution)
+    : probability_(distribution.n()), alias_(distribution.n()) {
+  const std::uint64_t n = distribution.n();
+  const double nd = static_cast<double>(n);
+
+  // Vose's method: scale each mass by n, then pair "small" columns (scaled
+  // mass < 1) with "large" ones so every column is filled to exactly 1.
+  std::vector<double> scaled(n);
+  std::vector<std::uint64_t> small;
+  std::vector<std::uint64_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    scaled[i] = distribution[i] * nd;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint64_t s = small.back();
+    small.pop_back();
+    const std::uint64_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are numerically 1.0 columns.
+  for (const std::uint64_t i : small) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (const std::uint64_t i : large) {
+    probability_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::uint64_t AliasSampler::sample(stats::Xoshiro256& rng) const noexcept {
+  const std::uint64_t column = rng.below(n());
+  return rng.uniform01() < probability_[column] ? column : alias_[column];
+}
+
+std::vector<std::uint64_t> AliasSampler::sample_many(
+    stats::Xoshiro256& rng, std::uint64_t count) const {
+  std::vector<std::uint64_t> out;
+  sample_into(rng, count, out);
+  return out;
+}
+
+void AliasSampler::sample_into(stats::Xoshiro256& rng, std::uint64_t count,
+                               std::vector<std::uint64_t>& out) const {
+  out.clear();
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.push_back(sample(rng));
+}
+
+}  // namespace dut::core

@@ -1,0 +1,285 @@
+#include "dut/core/zero_round.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "dut/stats/bounds.hpp"
+
+namespace dut::core {
+
+namespace {
+
+void validate_common(std::uint64_t n, std::uint64_t k, double epsilon,
+                     double p) {
+  if (n < 2) throw std::invalid_argument("planner: n must be >= 2");
+  if (k == 0) throw std::invalid_argument("planner: k must be >= 1");
+  if (!(epsilon > 0.0) || epsilon > 2.0) {
+    throw std::invalid_argument("planner: eps must be in (0, 2]");
+  }
+  if (!(p > 0.0) || p >= 0.5) {
+    throw std::invalid_argument("planner: p must be in (0, 0.5)");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// AND rule
+// ---------------------------------------------------------------------------
+
+AndRulePlan plan_and_rule(std::uint64_t n, std::uint64_t k, double epsilon,
+                          double p, std::uint64_t max_repetitions) {
+  validate_common(n, k, epsilon, p);
+  AndRulePlan plan;
+  plan.n = n;
+  plan.k = k;
+  plan.epsilon = epsilon;
+  plan.p = p;
+
+  const double kd = static_cast<double>(k);
+  // Largest per-node uniform-reject probability compatible with
+  // (1 - q)^k >= 1 - p.
+  const double complete_budget = 1.0 - std::pow(1.0 - p, 1.0 / kd);
+  // Smallest per-node far-reject probability forcing (1 - q)^k <= p.
+  const double sound_need = 1.0 - std::pow(p, 1.0 / kd);
+
+  std::optional<AndRulePlan> best;
+  for (std::uint64_t m = 1; m <= max_repetitions; ++m) {
+    // All m runs must reject uniform for the node to reject, so the node's
+    // uniform-reject probability is delta^m; solve delta <= budget^{1/m}.
+    const double delta_max =
+        std::pow(complete_budget, 1.0 / static_cast<double>(m));
+    GapTesterParams params;
+    try {
+      params = solve_gap_tester(n, epsilon, delta_max, Rounding::kDown);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    // Rounding down keeps the effective delta within budget unless s was
+    // clamped up to 2 samples; then this m is unusable.
+    if (params.delta > delta_max) continue;
+    if (!params.has_gap) continue;
+
+    const double per_run_reject_far = params.alpha * params.delta;
+    const double node_reject_far =
+        std::pow(per_run_reject_far, static_cast<double>(m));
+    if (node_reject_far < sound_need) continue;
+
+    AndRulePlan candidate = plan;
+    candidate.feasible = true;
+    candidate.repetitions = m;
+    candidate.base = params;
+    candidate.samples_per_node = m * params.s;
+    const double node_reject_uniform =
+        std::pow(params.delta, static_cast<double>(m));
+    candidate.guaranteed_completeness =
+        std::pow(1.0 - node_reject_uniform, kd);
+    candidate.guaranteed_soundness =
+        1.0 - std::pow(1.0 - node_reject_far, kd);
+    if (!best || candidate.samples_per_node < best->samples_per_node) {
+      best = candidate;
+    }
+  }
+
+  if (!best) {
+    plan.feasible = false;
+    plan.infeasible_reason =
+        "no (m, delta) pair satisfies both error bounds; the network is too "
+        "small relative to n (or eps too small) for the AND-rule regime";
+    return plan;
+  }
+  return *best;
+}
+
+bool run_and_rule_network(const AndRulePlan& plan, const AliasSampler& sampler,
+                          stats::Xoshiro256& rng) {
+  if (!plan.feasible) {
+    throw std::logic_error("run_and_rule_network: plan is infeasible");
+  }
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_and_rule_network: domain mismatch");
+  }
+  const RepeatedGapTester node_tester(plan.base, plan.repetitions);
+  for (std::uint64_t node = 0; node < plan.k; ++node) {
+    if (!node_tester.run(sampler, rng)) {
+      return false;  // some node rejected => network rejects (AND rule)
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Threshold rule
+// ---------------------------------------------------------------------------
+
+ThresholdPlacement place_threshold(std::uint64_t ell,
+                                   const GapTesterParams& params, double p,
+                                   TailBound bound) {
+  ThresholdPlacement result;
+  if (ell == 0 || !params.has_gap) return result;
+  const double kd = static_cast<double>(ell);
+  const double eta_u = kd * params.delta;
+  const double q_far = std::min(1.0, params.alpha * params.delta);
+  const double eta_f = kd * q_far;
+  if (eta_u <= 0.0 || eta_f <= eta_u) return result;
+  result.eta_uniform = eta_u;
+  result.eta_far = eta_f;
+
+  if (bound == TailBound::kChernoff) {
+    const double L = std::log(1.0 / p);
+    // Paper eq. (5): eta_U + sqrt(3*L*eta_U) <= T <= eta_F - sqrt(2*L*eta_F).
+    const double t_lo = eta_u + std::sqrt(3.0 * L * eta_u);
+    const double t_hi = eta_f - std::sqrt(2.0 * L * eta_f);
+    const double t_ceil = std::ceil(t_lo);
+    if (t_ceil > t_hi || t_ceil > kd) return result;
+    const auto T = static_cast<std::uint64_t>(t_ceil);
+    if (T == 0) return result;
+    result.feasible = true;
+    result.threshold = T;
+    result.bound_false_reject =
+        stats::chernoff_upper_tail(eta_u, static_cast<double>(T));
+    result.bound_false_accept =
+        stats::chernoff_lower_tail(eta_f, static_cast<double>(T));
+    return result;
+  }
+
+  // Exact binomial placement. Worst cases: completeness at q = delta
+  // (Pr[reject | U] <= delta, and the upper tail is monotone in q);
+  // soundness at q = alpha*delta (the guaranteed minimum).
+  // Find the smallest T with Pr[Bin(ell, delta) >= T] <= p.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = ell + 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (stats::binomial_tail_geq(ell, params.delta, mid) <= p) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const std::uint64_t T = lo;
+  if (T > ell) return result;
+  const double false_reject = stats::binomial_tail_geq(ell, params.delta, T);
+  const double false_accept = stats::binomial_tail_leq(ell, q_far, T - 1);
+  if (false_reject > p || false_accept > p) return result;
+  result.feasible = true;
+  result.threshold = T;
+  result.bound_false_reject = false_reject;
+  result.bound_false_accept = false_accept;
+  return result;
+}
+
+namespace {
+
+struct ThresholdAttempt {
+  GapTesterParams params;
+  std::uint64_t threshold;
+  double eta_uniform;
+  double eta_far;
+  double bound_false_reject;
+  double bound_false_accept;
+};
+
+/// Tries to realize the threshold tester with reject budget A = k*delta.
+std::optional<ThresholdAttempt> attempt_threshold(std::uint64_t n,
+                                                  std::uint64_t k, double eps,
+                                                  double p, TailBound bound,
+                                                  double A) {
+  const double delta = A / static_cast<double>(k);
+  if (!(delta > 0.0) || delta >= 1.0) return std::nullopt;
+
+  GapTesterParams params;
+  try {
+    params = solve_gap_tester(n, eps, delta, Rounding::kNearest);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  const ThresholdPlacement placement = place_threshold(k, params, p, bound);
+  if (!placement.feasible) return std::nullopt;
+  return ThresholdAttempt{params,
+                          placement.threshold,
+                          placement.eta_uniform,
+                          placement.eta_far,
+                          placement.bound_false_reject,
+                          placement.bound_false_accept};
+}
+
+}  // namespace
+
+ThresholdPlan plan_threshold(std::uint64_t n, std::uint64_t k, double epsilon,
+                             double p, TailBound bound, double gamma_min) {
+  validate_common(n, k, epsilon, p);
+  if (!(gamma_min > 0.0) || gamma_min > 1.0) {
+    throw std::invalid_argument("plan_threshold: gamma_min must be in (0,1]");
+  }
+  ThresholdPlan plan;
+  plan.n = n;
+  plan.k = k;
+  plan.epsilon = epsilon;
+  plan.p = p;
+  plan.bound = bound;
+
+  // Closed-form seed for the reject budget A = k*delta (DESIGN.md §6):
+  // the Chernoff interval is nonempty when g*A >= (a+b)*sqrt(A) with
+  // g = gamma_min*eps^2, a = sqrt(3L), b = sqrt(2L(1+g)).
+  const double L = std::log(1.0 / p);
+  const double g = gamma_min * epsilon * epsilon;
+  const double a = std::sqrt(3.0 * L);
+  const double b = std::sqrt(2.0 * L * (1.0 + g));
+  const double seed = ((a + b) / g) * ((a + b) / g);
+
+  // Feasibility is not monotone in A (large A inflates delta and erodes the
+  // gap), so scan a geometric grid around the seed and keep the smallest
+  // feasible budget.
+  std::optional<ThresholdAttempt> best;
+  double best_A = 0.0;
+  for (double A = seed / 32.0; A <= seed * 32.0; A *= 1.05) {
+    if (A > static_cast<double>(k)) break;
+    const auto attempt = attempt_threshold(n, k, epsilon, p, bound, A);
+    if (attempt) {
+      best = attempt;
+      best_A = A;
+      break;  // grid is increasing: first hit is the smallest feasible A
+    }
+  }
+  (void)best_A;
+
+  if (!best) {
+    plan.feasible = false;
+    plan.infeasible_reason =
+        "no reject budget A = k*delta admits a threshold T with both error "
+        "bounds <= p; increase k or n, or relax p";
+    return plan;
+  }
+
+  plan.feasible = true;
+  plan.base = best->params;
+  plan.threshold = best->threshold;
+  plan.eta_uniform = best->eta_uniform;
+  plan.eta_far = best->eta_far;
+  plan.bound_false_reject = best->bound_false_reject;
+  plan.bound_false_accept = best->bound_false_accept;
+  return plan;
+}
+
+ThresholdTrialResult run_threshold_network(const ThresholdPlan& plan,
+                                           const AliasSampler& sampler,
+                                           stats::Xoshiro256& rng) {
+  if (!plan.feasible) {
+    throw std::logic_error("run_threshold_network: plan is infeasible");
+  }
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_threshold_network: domain mismatch");
+  }
+  const SingleCollisionTester node_tester(plan.base);
+  ThresholdTrialResult result;
+  for (std::uint64_t node = 0; node < plan.k; ++node) {
+    if (!node_tester.run(sampler, rng)) ++result.rejects;
+  }
+  result.network_rejects = result.rejects >= plan.threshold;
+  return result;
+}
+
+}  // namespace dut::core

@@ -1,0 +1,56 @@
+#pragma once
+
+// Luby's maximal-independent-set algorithm as a LOCAL-model node program.
+//
+// Each phase takes three rounds: (A) every undecided node draws a fresh
+// random priority and sends it to its undecided neighbors; (B) a node whose
+// (priority, id) pair beats all undecided neighbors joins the MIS and
+// announces JOINED; (C) nodes hearing JOINED leave the contention as OUT and
+// announce it, letting the remaining undecided nodes prune their neighbor
+// sets. Whp O(log k) phases suffice (Luby 1986).
+//
+// The paper's LOCAL tester (Section 6) runs this on the power graph G^r so
+// that MIS nodes are pairwise more than r apart, guaranteeing each collects
+// the samples of at least r/2 nodes.
+
+#include <cstdint>
+#include <vector>
+
+#include "dut/net/engine.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::local {
+
+class LubyMisProgram : public net::NodeProgram {
+ public:
+  enum class State { kUndecided, kInMis, kOut };
+
+  void on_round(net::NodeContext& ctx) override;
+
+  State state() const noexcept { return state_; }
+  bool in_mis() const noexcept { return state_ == State::kInMis; }
+
+ private:
+  enum Tag : std::uint64_t { kPriority = 0, kJoined = 1, kOut = 2 };
+
+  State state_ = State::kUndecided;
+  bool initialized_ = false;
+  std::vector<bool> undecided_;     ///< per neighbor index
+  std::uint32_t undecided_count_ = 0;
+  std::uint64_t priority_ = 0;
+  bool priority_beaten_ = false;    ///< a neighbor outbid us this phase
+  std::uint64_t halt_round_ = 0;    ///< grace round before halting
+  bool decided_pending_halt_ = false;
+};
+
+struct MisResult {
+  std::vector<bool> in_mis;
+  std::uint64_t phases = 0;  ///< 3 rounds per phase
+  net::EngineMetrics metrics;
+};
+
+/// Runs Luby's algorithm on `graph` under the LOCAL engine; deterministic
+/// per seed. The result is verified independent and maximal by the tests.
+MisResult compute_mis(const net::Graph& graph, std::uint64_t seed);
+
+}  // namespace dut::local

@@ -1,0 +1,101 @@
+#pragma once
+
+// Production-style wrapper around the 0-round threshold tester: a fleet of
+// k observers feeds raw observations in as they arrive; the monitor
+// organizes them into per-node windows (one window = one run of the
+// single-collision tester A_delta), aggregates the fleet's votes per
+// epoch, and raises an alarm via the planned threshold rule. Optionally a
+// known reference profile is monitored instead of uniformity, by routing
+// every observation through the identity filter (each node's filter uses
+// its own private randomness, as the paper requires).
+//
+// Epoch semantics: an epoch ends when every node has filled its window of
+// plan.base.s samples; surplus observations carry over to the next epoch.
+// The per-epoch report carries the alarm verdict plus the pooled
+// collision estimate and the distance score from dut::core::estimators,
+// so operators see "how non-uniform" alongside "alarm or not".
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dut/core/distribution.hpp"
+#include "dut/core/estimators.hpp"
+#include "dut/core/identity_filter.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::monitor {
+
+struct MonitorConfig {
+  std::uint64_t domain = 0;  ///< n: observation domain {0..n-1}
+  std::uint32_t nodes = 0;   ///< k: fleet size
+  double epsilon = 0.9;      ///< alarm distance
+  double error = 1.0 / 3.0;  ///< per-epoch error budget (both sides)
+  core::TailBound bound = core::TailBound::kExactBinomial;
+  std::uint64_t seed = 0;    ///< drives the nodes' private randomness
+
+  /// When set, the fleet monitors drift from this reference profile
+  /// instead of non-uniformity; observations are filtered per node.
+  std::optional<core::Distribution> reference;
+  /// Grain density of the identity filter (see IdentityFilter).
+  double grains_per_eps = 16.0;
+};
+
+class FleetMonitor {
+ public:
+  /// Plans the epoch tester; throws std::invalid_argument if the
+  /// (n, k, eps, p) regime is infeasible (the message names the planner's
+  /// reason).
+  explicit FleetMonitor(MonitorConfig config);
+
+  /// Samples each node must contribute per epoch.
+  std::uint64_t window_size() const noexcept { return plan_.base.s; }
+  /// Votes required to raise the alarm.
+  std::uint64_t alarm_threshold() const noexcept { return plan_.threshold; }
+  /// The underlying plan (for inspection/reporting).
+  const core::ThresholdPlan& plan() const noexcept { return plan_; }
+  /// The effective testing problem (filtered domain/eps when a reference
+  /// profile is configured).
+  std::uint64_t effective_domain() const noexcept { return plan_.n; }
+  double effective_epsilon() const noexcept { return plan_.epsilon; }
+
+  /// Feeds one observation (an element of {0..domain-1}) from `node`.
+  /// Observations beyond the node's current window carry over.
+  void observe(std::uint32_t node, std::uint64_t value);
+
+  /// True when every node has a full window for the current epoch.
+  bool epoch_ready() const noexcept { return ready_nodes_ == config_.nodes; }
+
+  struct EpochReport {
+    std::uint64_t epoch = 0;
+    bool alarm = false;
+    std::uint64_t votes_to_reject = 0;
+    std::uint64_t threshold = 0;
+    /// Pooled collision estimate over all windows of this epoch (in the
+    /// effective/filtered domain).
+    core::ChiEstimate chi;
+    /// sqrt(max(0, chi_hat * n_eff - 1)): ~eps for worst-case deviations.
+    double distance_score = 0.0;
+    std::uint64_t samples_consumed = 0;
+  };
+
+  /// Closes the epoch (requires epoch_ready()), resets windows, carries
+  /// surplus observations forward.
+  EpochReport end_epoch();
+
+  std::uint64_t epochs_completed() const noexcept { return epoch_; }
+  std::uint64_t alarms_raised() const noexcept { return alarms_; }
+
+ private:
+  MonitorConfig config_;
+  std::optional<core::IdentityFilter> filter_;
+  core::ThresholdPlan plan_;
+  std::vector<std::vector<std::uint64_t>> windows_;  // effective-domain values
+  std::vector<stats::Xoshiro256> node_rngs_;         // filter randomness
+  std::uint32_t ready_nodes_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t alarms_ = 0;
+};
+
+}  // namespace dut::monitor

@@ -1,0 +1,120 @@
+#include "dut/monitor/fleet_monitor.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "dut/core/gap_tester.hpp"
+
+namespace dut::monitor {
+
+FleetMonitor::FleetMonitor(MonitorConfig config)
+    : config_(std::move(config)) {
+  if (config_.domain < 2) {
+    throw std::invalid_argument("FleetMonitor: domain must be >= 2");
+  }
+  if (config_.nodes == 0) {
+    throw std::invalid_argument("FleetMonitor: need at least one node");
+  }
+
+  std::uint64_t effective_n = config_.domain;
+  double effective_eps = config_.epsilon;
+  if (config_.reference) {
+    if (config_.reference->n() != config_.domain) {
+      throw std::invalid_argument(
+          "FleetMonitor: reference profile domain mismatch");
+    }
+    filter_.emplace(*config_.reference, config_.epsilon,
+                    config_.grains_per_eps);
+    effective_n = filter_->output_domain();
+    effective_eps = filter_->output_epsilon();
+  }
+
+  plan_ = core::plan_threshold(effective_n, config_.nodes, effective_eps,
+                               config_.error, config_.bound);
+  if (!plan_.feasible) {
+    throw std::invalid_argument("FleetMonitor: infeasible regime — " +
+                                plan_.infeasible_reason);
+  }
+
+  windows_.resize(config_.nodes);
+  node_rngs_.reserve(config_.nodes);
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    node_rngs_.push_back(stats::derive_stream(config_.seed, v));
+  }
+}
+
+void FleetMonitor::observe(std::uint32_t node, std::uint64_t value) {
+  if (node >= config_.nodes) {
+    throw std::invalid_argument("FleetMonitor::observe: unknown node");
+  }
+  if (value >= config_.domain) {
+    throw std::invalid_argument("FleetMonitor::observe: value out of domain");
+  }
+  const std::uint64_t effective =
+      filter_ ? filter_->apply(value, node_rngs_[node]) : value;
+  auto& window = windows_[node];
+  window.push_back(effective);
+  if (window.size() == plan_.base.s) ++ready_nodes_;
+}
+
+FleetMonitor::EpochReport FleetMonitor::end_epoch() {
+  if (!epoch_ready()) {
+    throw std::logic_error(
+        "FleetMonitor::end_epoch: some node's window is incomplete");
+  }
+
+  const core::SingleCollisionTester tester(plan_.base);
+  EpochReport report;
+  report.epoch = ++epoch_;
+  report.threshold = plan_.threshold;
+
+  // Keep each node's window intact while scoring: the chi estimate pools
+  // only *within-window* pairs (cross-window pairs would also be valid
+  // i.i.d. pairs, but keeping windows separate matches exactly what the
+  // voters saw).
+  std::vector<std::uint64_t> pooled;
+  pooled.reserve(static_cast<std::size_t>(config_.nodes) * plan_.base.s);
+
+  for (auto& window : windows_) {
+    const std::span<const std::uint64_t> epoch_window(window.data(),
+                                                      plan_.base.s);
+    if (!tester.accept(epoch_window)) ++report.votes_to_reject;
+    pooled.insert(pooled.end(), epoch_window.begin(), epoch_window.end());
+    window.erase(window.begin(),
+                 window.begin() + static_cast<long>(plan_.base.s));
+  }
+  double pairs = 0.0;
+  double total_pairs = 0.0;
+  const double s = static_cast<double>(plan_.base.s);
+  for (std::uint32_t v = 0; v < config_.nodes; ++v) {
+    const std::span<const std::uint64_t> win(
+        pooled.data() + static_cast<std::size_t>(v) * plan_.base.s,
+        plan_.base.s);
+    pairs += static_cast<double>(core::count_colliding_pairs(win));
+    total_pairs += s * (s - 1.0) / 2.0;
+  }
+  report.chi.chi_hat = total_pairs > 0.0 ? pairs / total_pairs : 0.0;
+  report.chi.samples = pooled.size();
+  report.chi.std_error =
+      total_pairs > 0.0
+          ? std::sqrt(std::max(0.0, report.chi.chi_hat *
+                                        (1.0 - report.chi.chi_hat)) /
+                      total_pairs)
+          : 0.0;
+  report.distance_score =
+      core::collision_distance_score(report.chi.chi_hat, plan_.n);
+  report.samples_consumed = pooled.size();
+
+  report.alarm = report.votes_to_reject >= plan_.threshold;
+  if (report.alarm) ++alarms_;
+
+  // Re-count readiness against the carried-over surplus.
+  ready_nodes_ = 0;
+  for (const auto& window : windows_) {
+    if (window.size() >= plan_.base.s) ++ready_nodes_;
+  }
+  return report;
+}
+
+}  // namespace dut::monitor

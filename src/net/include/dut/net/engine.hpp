@@ -1,0 +1,146 @@
+#pragma once
+
+// Synchronous message-passing engine for the LOCAL and CONGEST models.
+//
+// Execution follows the standard synchronous round structure: in round t,
+// every non-halted node receives the messages sent to it in round t-1, runs
+// its program, and queues messages for delivery in round t+1. The engine is
+// fully deterministic given (graph, config.seed, programs): nodes execute in
+// id order and each node's RNG is the derived stream (seed, node id).
+//
+// Model enforcement is loud:
+//  * CONGEST: any message whose declared size exceeds the bandwidth budget
+//    throws BandwidthExceeded; a second message on the same directed edge in
+//    the same round throws ProtocolViolation (both models).
+//  * Sending to a halted node throws ProtocolViolation — protocols must
+//    terminate cleanly.
+// The run aborts with RoundLimitExceeded if config.max_rounds elapse before
+// every node halts, so livelocked protocols fail fast instead of spinning.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "dut/net/graph.hpp"
+#include "dut/net/message.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::net {
+
+enum class Model { kLocal, kCongest };
+
+struct EngineConfig {
+  Model model = Model::kCongest;
+  /// Per-message bit budget in CONGEST (ignored in LOCAL).
+  std::uint64_t bandwidth_bits = 64;
+  /// Hard cap on rounds; exceeding it throws RoundLimitExceeded.
+  std::uint64_t max_rounds = 1 << 20;
+  /// Master seed for the per-node RNG streams.
+  std::uint64_t seed = 0;
+};
+
+class BandwidthExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ProtocolViolation : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class RoundLimitExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct EngineMetrics {
+  std::uint64_t rounds = 0;        ///< rounds executed until quiescence
+  std::uint64_t messages = 0;      ///< total messages delivered
+  std::uint64_t total_bits = 0;    ///< sum of declared message sizes
+  std::uint64_t max_message_bits = 0;
+};
+
+class Engine;
+
+/// Per-round view a node program receives.
+class NodeContext {
+ public:
+  std::uint32_t id() const noexcept { return id_; }
+  std::uint64_t round() const noexcept { return round_; }
+  std::span<const std::uint32_t> neighbors() const noexcept {
+    return neighbors_;
+  }
+  std::uint32_t degree() const noexcept {
+    return static_cast<std::uint32_t>(neighbors_.size());
+  }
+
+  /// Messages delivered this round (sent by neighbors last round).
+  const std::vector<Message>& inbox() const noexcept { return *inbox_; }
+
+  /// Queues `msg` for delivery to `neighbor` next round. `neighbor` must be
+  /// adjacent; model constraints are enforced immediately.
+  void send(std::uint32_t neighbor, Message msg);
+
+  /// Sends a copy of `msg` to every neighbor.
+  void broadcast(const Message& msg);
+
+  /// This node's deterministic RNG stream.
+  stats::Xoshiro256& rng() noexcept { return *rng_; }
+
+  /// Marks the node as finished; on_round will not be called again.
+  void halt() noexcept { *halted_ = true; }
+
+ private:
+  friend class Engine;
+  NodeContext() = default;
+
+  Engine* engine_ = nullptr;
+  std::uint32_t id_ = 0;
+  std::uint64_t round_ = 0;
+  std::span<const std::uint32_t> neighbors_;
+  const std::vector<Message>* inbox_ = nullptr;
+  stats::Xoshiro256* rng_ = nullptr;
+  bool* halted_ = nullptr;
+};
+
+/// A distributed algorithm, instantiated once per node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  /// Called once per round (including round 0, with an empty inbox) until
+  /// the node halts via ctx.halt().
+  virtual void on_round(NodeContext& ctx) = 0;
+};
+
+class Engine {
+ public:
+  Engine(const Graph& graph, EngineConfig config);
+
+  /// Runs `programs[v]` on node v until all nodes halt. `programs` must
+  /// have exactly num_nodes entries; the caller retains ownership and can
+  /// read results out of the programs afterwards.
+  void run(const std::vector<NodeProgram*>& programs);
+
+  const EngineMetrics& metrics() const noexcept { return metrics_; }
+  const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  friend class NodeContext;
+  void deliver(std::uint32_t from, std::uint32_t to, Message msg);
+
+  const Graph& graph_;
+  EngineConfig config_;
+  EngineMetrics metrics_;
+
+  std::uint64_t current_round_ = 0;
+  std::vector<bool> halted_;
+  std::vector<std::vector<Message>> inboxes_;       // delivered this round
+  std::vector<std::vector<Message>> next_inboxes_;  // queued for next round
+  /// Directed-edge guard: last round in which (from -> to) carried a message.
+  std::vector<std::vector<std::uint64_t>> last_sent_round_;
+};
+
+}  // namespace dut::net

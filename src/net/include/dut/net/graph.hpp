@@ -1,0 +1,66 @@
+#pragma once
+
+// Undirected graph library: the topology substrate for the CONGEST and
+// LOCAL simulations. Nodes are dense ids 0..k-1.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dut::net {
+
+class Graph {
+ public:
+  /// Creates a graph with `num_nodes` nodes and no edges.
+  explicit Graph(std::uint32_t num_nodes);
+
+  /// Adds the undirected edge {u, v}. Self-loops and duplicates throw.
+  void add_edge(std::uint32_t u, std::uint32_t v);
+
+  std::uint32_t num_nodes() const noexcept { return num_nodes_; }
+  std::uint64_t num_edges() const noexcept { return num_edges_; }
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const;
+  std::uint32_t degree(std::uint32_t v) const;
+  bool has_edge(std::uint32_t u, std::uint32_t v) const;
+
+  bool is_connected() const;
+
+  /// BFS hop distances from `src`; UINT32_MAX marks unreachable nodes.
+  std::vector<std::uint32_t> bfs_distances(std::uint32_t src) const;
+
+  /// Exact eccentricity of `v` (max BFS distance); throws if disconnected.
+  std::uint32_t eccentricity(std::uint32_t v) const;
+
+  /// Exact diameter via all-pairs BFS: O(k * (k + m)). Fine for the network
+  /// sizes simulated here; throws if disconnected.
+  std::uint32_t diameter() const;
+
+  /// The power graph G^r: an edge {u, v} iff 0 < dist_G(u, v) <= r.
+  Graph power(std::uint32_t r) const;
+
+  /// Graphviz DOT rendering (undirected), for debugging and docs.
+  std::string to_dot(const std::string& name = "G") const;
+
+  // Factories. All produce connected graphs.
+  static Graph line(std::uint32_t k);
+  static Graph ring(std::uint32_t k);
+  static Graph star(std::uint32_t k);
+  static Graph complete(std::uint32_t k);
+  static Graph grid(std::uint32_t rows, std::uint32_t cols);
+  static Graph balanced_tree(std::uint32_t k, std::uint32_t arity);
+  static Graph hypercube(std::uint32_t dim);
+  /// Connected Erdos-Renyi-style graph: a random spanning tree (guaranteeing
+  /// connectivity) plus ~k*extra_degree/2 random extra edges. Deterministic
+  /// per seed.
+  static Graph random_connected(std::uint32_t k, double extra_degree,
+                                std::uint64_t seed);
+
+ private:
+  std::uint32_t num_nodes_;
+  std::uint64_t num_edges_ = 0;
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+};
+
+}  // namespace dut::net

@@ -1,0 +1,53 @@
+#pragma once
+
+// Messages exchanged on the simulated network.
+//
+// CONGEST honesty: a message's size is not "whatever the struct holds" — the
+// sender declares each field's bit width via push_field, and the engine
+// enforces the per-edge-per-round bandwidth against the declared total.
+// Declaring a width too small for the value throws, so protocols cannot
+// under-report their communication.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace dut::net {
+
+struct Message {
+  /// Filled in by the engine on delivery.
+  std::uint32_t sender = 0;
+
+  std::vector<std::uint64_t> fields;
+  std::uint64_t bits = 0;
+
+  /// Appends a field of `width` bits; `value` must fit.
+  void push_field(std::uint64_t value, unsigned width) {
+    if (width == 0 || width > 64) {
+      throw std::invalid_argument("push_field: width must be in [1, 64]");
+    }
+    if (width < 64 && value >> width != 0) {
+      throw std::invalid_argument("push_field: value does not fit in width");
+    }
+    fields.push_back(value);
+    bits += width;
+  }
+
+  std::uint64_t field(std::size_t i) const {
+    if (i >= fields.size()) {
+      throw std::out_of_range("Message::field: index out of range");
+    }
+    return fields[i];
+  }
+
+  std::size_t num_fields() const noexcept { return fields.size(); }
+};
+
+/// Bits needed to express values in {0, ..., count-1} (at least 1).
+constexpr unsigned bits_for(std::uint64_t count) noexcept {
+  unsigned bits = 1;
+  while (count > (1ULL << bits) && bits < 64) ++bits;
+  return bits;
+}
+
+}  // namespace dut::net

@@ -1,0 +1,131 @@
+#include "dut/net/engine.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace dut::net {
+
+void NodeContext::send(std::uint32_t neighbor, Message msg) {
+  engine_->deliver(id_, neighbor, std::move(msg));
+}
+
+void NodeContext::broadcast(const Message& msg) {
+  for (const std::uint32_t u : neighbors_) send(u, msg);
+}
+
+Engine::Engine(const Graph& graph, EngineConfig config)
+    : graph_(graph), config_(config) {
+  if (config_.model == Model::kCongest && config_.bandwidth_bits == 0) {
+    throw std::invalid_argument("Engine: CONGEST needs a bandwidth budget");
+  }
+}
+
+void Engine::deliver(std::uint32_t from, std::uint32_t to, Message msg) {
+  const auto neighbors = graph_.neighbors(from);
+  const auto it = std::find(neighbors.begin(), neighbors.end(), to);
+  if (it == neighbors.end()) {
+    throw ProtocolViolation("node " + std::to_string(from) +
+                            " sent to non-neighbor " + std::to_string(to));
+  }
+  if (halted_[to]) {
+    throw ProtocolViolation("node " + std::to_string(from) +
+                            " sent to halted node " + std::to_string(to));
+  }
+  const auto edge_index = static_cast<std::size_t>(it - neighbors.begin());
+  if (last_sent_round_[from][edge_index] == current_round_ + 1) {
+    throw ProtocolViolation("node " + std::to_string(from) +
+                            " sent twice to " + std::to_string(to) +
+                            " in round " + std::to_string(current_round_));
+  }
+  last_sent_round_[from][edge_index] = current_round_ + 1;
+
+  if (config_.model == Model::kCongest && msg.bits > config_.bandwidth_bits) {
+    throw BandwidthExceeded(
+        "message of " + std::to_string(msg.bits) + " bits exceeds budget of " +
+        std::to_string(config_.bandwidth_bits) + " (edge " +
+        std::to_string(from) + " -> " + std::to_string(to) + ")");
+  }
+
+  ++metrics_.messages;
+  metrics_.total_bits += msg.bits;
+  metrics_.max_message_bits = std::max(metrics_.max_message_bits, msg.bits);
+
+  msg.sender = from;
+  next_inboxes_[to].push_back(std::move(msg));
+}
+
+void Engine::run(const std::vector<NodeProgram*>& programs) {
+  const std::uint32_t k = graph_.num_nodes();
+  if (programs.size() != k) {
+    throw std::invalid_argument("Engine::run: one program per node required");
+  }
+  for (NodeProgram* const p : programs) {
+    if (p == nullptr) {
+      throw std::invalid_argument("Engine::run: null program");
+    }
+  }
+
+  metrics_ = EngineMetrics{};
+  current_round_ = 0;
+  halted_.assign(k, false);
+  inboxes_.assign(k, {});
+  next_inboxes_.assign(k, {});
+  last_sent_round_.assign(k, {});
+  for (std::uint32_t v = 0; v < k; ++v) {
+    last_sent_round_[v].assign(graph_.degree(v), 0);
+  }
+
+  std::vector<stats::Xoshiro256> rngs;
+  rngs.reserve(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    rngs.push_back(stats::derive_stream(config_.seed, v));
+  }
+
+  std::uint32_t active = k;
+  while (active > 0) {
+    if (current_round_ >= config_.max_rounds) {
+      throw RoundLimitExceeded("protocol did not terminate within " +
+                               std::to_string(config_.max_rounds) +
+                               " rounds (" + std::to_string(active) +
+                               " nodes still active)");
+    }
+    // Deliver last round's sends.
+    std::swap(inboxes_, next_inboxes_);
+    for (auto& inbox : next_inboxes_) inbox.clear();
+
+    for (std::uint32_t v = 0; v < k; ++v) {
+      if (halted_[v]) continue;
+      NodeContext ctx;
+      ctx.engine_ = this;
+      ctx.id_ = v;
+      ctx.round_ = current_round_;
+      ctx.neighbors_ = graph_.neighbors(v);
+      ctx.inbox_ = &inboxes_[v];
+      ctx.rng_ = &rngs[v];
+      bool halted_flag = false;
+      ctx.halted_ = &halted_flag;
+      programs[v]->on_round(ctx);
+      if (halted_flag) {
+        halted_[v] = true;
+        --active;
+        if (!next_inboxes_[v].empty()) {
+          // A same-round earlier neighbor already queued a message for a
+          // node that has just halted: the protocol's termination is racy.
+          throw ProtocolViolation("node " + std::to_string(v) +
+                                  " halted with queued incoming messages");
+        }
+      }
+    }
+    ++current_round_;
+  }
+  metrics_.rounds = current_round_;
+
+  // Quiescence check: nothing may remain in flight after everyone halted.
+  for (std::uint32_t v = 0; v < k; ++v) {
+    if (!next_inboxes_[v].empty()) {
+      throw ProtocolViolation("messages in flight after global termination");
+    }
+  }
+}
+
+}  // namespace dut::net

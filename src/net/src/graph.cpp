@@ -1,0 +1,247 @@
+#include "dut/net/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "dut/stats/rng.hpp"
+
+namespace dut::net {
+
+Graph::Graph(std::uint32_t num_nodes)
+    : num_nodes_(num_nodes), adjacency_(num_nodes) {
+  if (num_nodes == 0) {
+    throw std::invalid_argument("Graph: need at least one node");
+  }
+}
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("add_edge: node id out of range");
+  }
+  if (u == v) throw std::invalid_argument("add_edge: self-loop");
+  if (has_edge(u, v)) throw std::invalid_argument("add_edge: duplicate edge");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+std::span<const std::uint32_t> Graph::neighbors(std::uint32_t v) const {
+  if (v >= num_nodes_) throw std::invalid_argument("neighbors: bad node id");
+  return adjacency_[v];
+}
+
+std::uint32_t Graph::degree(std::uint32_t v) const {
+  return static_cast<std::uint32_t>(neighbors(v).size());
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    throw std::invalid_argument("has_edge: bad node id");
+  }
+  // Scan the smaller adjacency list.
+  const auto& a =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const std::uint32_t target =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(std::uint32_t src) const {
+  if (src >= num_nodes_) throw std::invalid_argument("bfs: bad source");
+  constexpr std::uint32_t kUnreached = UINT32_MAX;
+  std::vector<std::uint32_t> dist(num_nodes_, kUnreached);
+  std::queue<std::uint32_t> frontier;
+  dist[src] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const std::uint32_t v = frontier.front();
+    frontier.pop();
+    for (const std::uint32_t u : adjacency_[v]) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool Graph::is_connected() const {
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == UINT32_MAX; });
+}
+
+std::uint32_t Graph::eccentricity(std::uint32_t v) const {
+  const auto dist = bfs_distances(v);
+  std::uint32_t ecc = 0;
+  for (const std::uint32_t d : dist) {
+    if (d == UINT32_MAX) {
+      throw std::logic_error("eccentricity: graph is disconnected");
+    }
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t Graph::diameter() const {
+  std::uint32_t diam = 0;
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    diam = std::max(diam, eccentricity(v));
+  }
+  return diam;
+}
+
+Graph Graph::power(std::uint32_t r) const {
+  if (r == 0) throw std::invalid_argument("power: r must be >= 1");
+  Graph result(num_nodes_);
+  // Truncated BFS from each node; adjacency built directly (each pair is
+  // discovered exactly once from each side, so no dedup pass is needed).
+  std::vector<std::uint32_t> dist(num_nodes_, UINT32_MAX);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    touched.clear();
+    std::queue<std::uint32_t> frontier;
+    dist[v] = 0;
+    touched.push_back(v);
+    frontier.push(v);
+    while (!frontier.empty()) {
+      const std::uint32_t x = frontier.front();
+      frontier.pop();
+      if (dist[x] == r) break;  // BFS layers are monotone in the queue
+      for (const std::uint32_t u : adjacency_[x]) {
+        if (dist[u] == UINT32_MAX) {
+          dist[u] = dist[x] + 1;
+          touched.push_back(u);
+          frontier.push(u);
+        }
+      }
+    }
+    for (const std::uint32_t u : touched) {
+      if (u != v) result.adjacency_[v].push_back(u);
+      dist[u] = UINT32_MAX;  // reset for the next source
+    }
+  }
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    std::sort(result.adjacency_[v].begin(), result.adjacency_[v].end());
+    result.num_edges_ += result.adjacency_[v].size();
+  }
+  result.num_edges_ /= 2;
+  return result;
+}
+
+std::string Graph::to_dot(const std::string& name) const {
+  std::string out = "graph " + name + " {\n";
+  for (std::uint32_t v = 0; v < num_nodes_; ++v) {
+    if (adjacency_[v].empty()) {
+      out += "  " + std::to_string(v) + ";\n";
+      continue;
+    }
+    for (const std::uint32_t u : adjacency_[v]) {
+      if (u > v) {
+        out += "  " + std::to_string(v) + " -- " + std::to_string(u) + ";\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+Graph Graph::line(std::uint32_t k) {
+  Graph g(k);
+  for (std::uint32_t v = 0; v + 1 < k; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph Graph::ring(std::uint32_t k) {
+  if (k < 3) throw std::invalid_argument("ring: need k >= 3");
+  Graph g = line(k);
+  g.add_edge(k - 1, 0);
+  return g;
+}
+
+Graph Graph::star(std::uint32_t k) {
+  if (k < 2) throw std::invalid_argument("star: need k >= 2");
+  Graph g(k);
+  for (std::uint32_t v = 1; v < k; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph Graph::complete(std::uint32_t k) {
+  Graph g(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    for (std::uint32_t u = v + 1; u < k; ++u) g.add_edge(v, u);
+  }
+  return g;
+}
+
+Graph Graph::grid(std::uint32_t rows, std::uint32_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("grid: dimensions must be positive");
+  }
+  Graph g(rows * cols);
+  const auto id = [cols](std::uint32_t r, std::uint32_t c) {
+    return r * cols + c;
+  };
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph Graph::balanced_tree(std::uint32_t k, std::uint32_t arity) {
+  if (arity == 0) throw std::invalid_argument("balanced_tree: arity >= 1");
+  Graph g(k);
+  for (std::uint32_t v = 1; v < k; ++v) g.add_edge(v, (v - 1) / arity);
+  return g;
+}
+
+Graph Graph::hypercube(std::uint32_t dim) {
+  if (dim == 0 || dim > 20) {
+    throw std::invalid_argument("hypercube: dim must be in [1, 20]");
+  }
+  const std::uint32_t k = 1u << dim;
+  Graph g(k);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    for (std::uint32_t b = 0; b < dim; ++b) {
+      const std::uint32_t u = v ^ (1u << b);
+      if (u > v) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph Graph::random_connected(std::uint32_t k, double extra_degree,
+                              std::uint64_t seed) {
+  if (extra_degree < 0.0) {
+    throw std::invalid_argument("random_connected: negative extra degree");
+  }
+  Graph g(k);
+  stats::Xoshiro256 rng(seed);
+  // Random spanning tree: attach each node to a uniformly random earlier
+  // node (a random recursive tree), guaranteeing connectivity.
+  for (std::uint32_t v = 1; v < k; ++v) {
+    g.add_edge(v, static_cast<std::uint32_t>(rng.below(v)));
+  }
+  // Extra random edges; duplicates and self-loops are skipped.
+  const auto target = static_cast<std::uint64_t>(
+      extra_degree * static_cast<double>(k) / 2.0);
+  std::uint64_t added = 0;
+  std::uint64_t attempts = 0;
+  while (added < target && attempts < 20 * target + 100) {
+    ++attempts;
+    const auto u = static_cast<std::uint32_t>(rng.below(k));
+    const auto v = static_cast<std::uint32_t>(rng.below(k));
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
+  return g;
+}
+
+}  // namespace dut::net

@@ -1,0 +1,82 @@
+#pragma once
+
+// Simultaneous-message Equality with asymmetric error (paper Lemma 7.3).
+//
+// Alice and Bob hold X, Y in {0,1}^K and send one private-coin message each
+// to a referee who must output 1 whenever X = Y and output 0 with
+// probability >= tau * delta whenever X != Y — the same inverted error
+// regime the uniformity lower bound (Theorem 7.2) lives in.
+//
+// Protocol (the paper's torus-chunk scheme, modulo the Justesen-to-
+// concatenated-code substitution of DESIGN.md §5.1): both players encode
+// their input with a binary code C of certified minimum distance d and lay
+// the M = |C(X)| bits on an L x L torus (L = ceil(sqrt(M)); padding is
+// all-zero and identical for both players). Alice sends a random *vertical*
+// chunk of t consecutive torus bits plus its start coordinates; Bob a random
+// *horizontal* chunk. The referee accepts unless the chunks cross at a
+// position where the bits disagree.
+//
+//  * Completeness is perfect: X = Y implies identical codewords.
+//  * Soundness: the chunks cross with probability (t/L)^2, and the crossing
+//    cell is uniform on the torus, so
+//        Pr[reject | X != Y] >= t^2/L^2 * d/(L^2) / ... = t^2 * d / L^4.
+//    Choosing t = ceil(L^2 * sqrt(tau*delta/d)) makes this >= tau*delta.
+//  * Cost per player: 2*ceil(log2 L) + t = O(sqrt(tau*delta*K)) bits,
+//    matching Lemma 7.3's O(sqrt(delta*n)) for constant tau.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "dut/codes/concatenated.hpp"
+#include "dut/net/message.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::smp {
+
+class EqualityProtocol {
+ public:
+  /// Protocol for K-bit inputs rejecting unequal pairs w.p. >= tau*delta.
+  /// Throws if the target tau*delta exceeds what the code's distance can
+  /// certify (d / L^2, reached at t = L).
+  EqualityProtocol(std::uint64_t input_bits, double tau, double delta);
+
+  std::uint64_t input_bits() const noexcept { return input_bits_; }
+  std::uint64_t torus_side() const noexcept { return side_; }
+  std::uint64_t chunk_length() const noexcept { return chunk_; }
+
+  /// Worst-case message size per player, in bits.
+  std::uint64_t message_bits() const noexcept;
+
+  /// Certified lower bound on Pr[reject | X != Y] (>= tau*delta).
+  double guaranteed_detection() const noexcept;
+
+  net::Message alice(std::span<const std::uint8_t> x,
+                     stats::Xoshiro256& rng) const;
+  net::Message bob(std::span<const std::uint8_t> y,
+                   stats::Xoshiro256& rng) const;
+  bool referee_accepts(const net::Message& from_alice,
+                       const net::Message& from_bob) const;
+
+  /// Precomputes a player's padded codeword once; `alice_encoded` /
+  /// `bob_encoded` then cost O(t) per message. Use when running many
+  /// protocol trials on the same inputs (the encoder is the expensive part).
+  codes::Bits encode_input(std::span<const std::uint8_t> input) const;
+  net::Message alice_encoded(const codes::Bits& codeword,
+                             stats::Xoshiro256& rng) const;
+  net::Message bob_encoded(const codes::Bits& codeword,
+                           stats::Xoshiro256& rng) const;
+
+ private:
+  net::Message chunk_message(const codes::Bits& codeword, std::uint64_t r,
+                             std::uint64_t c, bool vertical) const;
+
+  std::uint64_t input_bits_;
+  double tau_;
+  double delta_;
+  codes::EqualityCodeBundle bundle_;
+  std::uint64_t side_;   ///< L
+  std::uint64_t chunk_;  ///< t
+};
+
+}  // namespace dut::smp

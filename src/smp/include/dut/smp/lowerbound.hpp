@@ -1,0 +1,34 @@
+#pragma once
+
+// Quantitative skeleton of the paper's lower bounds (Section 7).
+//
+// The information-theoretic proofs are not executable, but their numeric
+// content is: Lemma 2.1's KL separation (dut::stats), Corollary 7.4's query
+// bound, and the error-regime parameters forced on any anonymous 0-round
+// tester (the proof of Theorem 1.3). The functions here evaluate those
+// formulas so that bench/e11_lower_bound can chart the predicted wall next
+// to the measured behavior of the collision-tester family.
+
+#include <cstdint>
+
+namespace dut::smp {
+
+/// Corollary 7.4: a (delta, alpha)-gap eps-uniformity tester needs
+/// Omega(sqrt(f(alpha) * delta * n) / log n) samples, f(a) = a - 1 - ln a.
+/// Returns the bound with constant 1 (the Omega hides the rest).
+double corollary74_queries(std::uint64_t n, double delta, double alpha);
+
+/// The error-regime parameters any anonymous 0-round tester with network
+/// error 1/3 must satisfy (proof of Theorem 1.3): per-node uniform-reject
+/// probability delta <= 1 - (2/3)^{1/k}, far-reject >= 1 - (1/3)^{1/k},
+/// hence gap alpha >= their ratio (> 5/4, tending to ln3/ln(3/2) ~ 2.71).
+struct Theorem13Regime {
+  double delta_max = 0.0;
+  double alpha_min = 0.0;
+  /// Corollary 7.4 evaluated at (delta_max, alpha_min): the
+  /// Omega(sqrt(n/k)/log n) per-node sample wall.
+  double samples_lower_bound = 0.0;
+};
+Theorem13Regime theorem13_regime(std::uint64_t n, std::uint64_t k);
+
+}  // namespace dut::smp

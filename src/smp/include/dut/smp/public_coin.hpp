@@ -1,0 +1,50 @@
+#pragma once
+
+// Public-coin SMP Equality, for contrast with the private-coin protocol of
+// Lemma 7.3. With shared randomness, Alice and Bob hash their inputs with
+// the same random linear sketch over GF(2) and the referee compares the
+// sketches: O(log(1/delta)) bits suffice for (one-sided) error delta,
+// independent of n. The gap against the private-coin Omega(sqrt(n)) (and
+// the paper's Omega(sqrt(f(tau) delta n)) in the asymmetric regime) is the
+// classical Newman-Szegedy separation the paper's Section 7 builds on —
+// having both protocols side by side makes E10's comparison concrete.
+
+#include <cstdint>
+#include <span>
+
+#include "dut/net/message.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::smp {
+
+class PublicCoinEqualityProtocol {
+ public:
+  /// K-bit inputs; rejects unequal pairs with probability >= 1 - 2^-hashes.
+  /// `hashes` in [1, 64].
+  PublicCoinEqualityProtocol(std::uint64_t input_bits, unsigned hashes);
+
+  std::uint64_t input_bits() const noexcept { return input_bits_; }
+  unsigned hashes() const noexcept { return hashes_; }
+  /// Message cost per player: one bit per hash.
+  std::uint64_t message_bits() const noexcept { return hashes_; }
+  /// Pr[reject | X != Y] >= 1 - 2^-hashes (equal inputs always accepted).
+  double guaranteed_detection() const noexcept;
+
+  /// Both players must pass the SAME public_seed (that is the public coin);
+  /// the referee needs it too.
+  net::Message alice(std::span<const std::uint8_t> x,
+                     std::uint64_t public_seed) const;
+  net::Message bob(std::span<const std::uint8_t> y,
+                   std::uint64_t public_seed) const;
+  bool referee_accepts(const net::Message& from_alice,
+                       const net::Message& from_bob) const;
+
+ private:
+  net::Message sketch(std::span<const std::uint8_t> input,
+                      std::uint64_t public_seed) const;
+
+  std::uint64_t input_bits_;
+  unsigned hashes_;
+};
+
+}  // namespace dut::smp

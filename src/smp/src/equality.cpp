@@ -1,0 +1,122 @@
+#include "dut/smp/equality.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::smp {
+
+EqualityProtocol::EqualityProtocol(std::uint64_t input_bits, double tau,
+                                   double delta)
+    : input_bits_(input_bits),
+      tau_(tau),
+      delta_(delta),
+      bundle_(codes::make_equality_code(input_bits)) {
+  if (!(tau > 1.0)) {
+    throw std::invalid_argument("EqualityProtocol: tau must be > 1");
+  }
+  if (!(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("EqualityProtocol: delta must be in (0, 1)");
+  }
+  const std::uint64_t m = bundle_.code->codeword_bits();
+  side_ = static_cast<std::uint64_t>(
+      std::ceil(std::sqrt(static_cast<double>(m))));
+  const double l2 = static_cast<double>(side_) * static_cast<double>(side_);
+  const double d = static_cast<double>(bundle_.code->min_distance());
+  const double target = tau * delta;
+  if (target > d / l2) {
+    throw std::invalid_argument(
+        "EqualityProtocol: tau*delta exceeds the code's certified detection "
+        "ceiling d/L^2; lower delta or enlarge the input");
+  }
+  chunk_ = static_cast<std::uint64_t>(std::ceil(l2 * std::sqrt(target / d)));
+  if (chunk_ == 0) chunk_ = 1;
+  if (chunk_ > side_) chunk_ = side_;  // full column/row
+}
+
+std::uint64_t EqualityProtocol::message_bits() const noexcept {
+  return 2 * net::bits_for(side_) + chunk_;
+}
+
+double EqualityProtocol::guaranteed_detection() const noexcept {
+  const double l2 = static_cast<double>(side_) * static_cast<double>(side_);
+  const double t = static_cast<double>(chunk_);
+  return t * t * static_cast<double>(bundle_.code->min_distance()) /
+         (l2 * l2);
+}
+
+codes::Bits EqualityProtocol::encode_input(
+    std::span<const std::uint8_t> input) const {
+  if (input.size() != input_bits_) {
+    throw std::invalid_argument("EqualityProtocol: wrong input length");
+  }
+  // Zero-pad the input up to the code's message size, then the codeword up
+  // to the torus area; both pads are input-independent.
+  codes::Bits message(bundle_.code->message_bits(), 0);
+  for (std::size_t i = 0; i < input.size(); ++i) message[i] = input[i] & 1;
+  codes::Bits codeword = bundle_.code->encode(message);
+  codeword.resize(side_ * side_, 0);
+  return codeword;
+}
+
+net::Message EqualityProtocol::chunk_message(const codes::Bits& codeword,
+                                             std::uint64_t r, std::uint64_t c,
+                                             bool vertical) const {
+  if (codeword.size() != side_ * side_) {
+    throw std::invalid_argument(
+        "EqualityProtocol: codeword is not a padded torus (use "
+        "encode_input)");
+  }
+  net::Message msg;
+  const unsigned coord_bits = net::bits_for(side_);
+  msg.push_field(r, coord_bits);
+  msg.push_field(c, coord_bits);
+  for (std::uint64_t i = 0; i < chunk_; ++i) {
+    const std::uint64_t row = vertical ? (r + i) % side_ : r;
+    const std::uint64_t col = vertical ? c : (c + i) % side_;
+    msg.push_field(codeword[row * side_ + col], 1);
+  }
+  return msg;
+}
+
+net::Message EqualityProtocol::alice_encoded(const codes::Bits& codeword,
+                                             stats::Xoshiro256& rng) const {
+  const std::uint64_t r = rng.below(side_);
+  const std::uint64_t c = rng.below(side_);
+  return chunk_message(codeword, r, c, /*vertical=*/true);
+}
+
+net::Message EqualityProtocol::bob_encoded(const codes::Bits& codeword,
+                                           stats::Xoshiro256& rng) const {
+  const std::uint64_t r = rng.below(side_);
+  const std::uint64_t c = rng.below(side_);
+  return chunk_message(codeword, r, c, /*vertical=*/false);
+}
+
+net::Message EqualityProtocol::alice(std::span<const std::uint8_t> x,
+                                     stats::Xoshiro256& rng) const {
+  return alice_encoded(encode_input(x), rng);
+}
+
+net::Message EqualityProtocol::bob(std::span<const std::uint8_t> y,
+                                   stats::Xoshiro256& rng) const {
+  return bob_encoded(encode_input(y), rng);
+}
+
+bool EqualityProtocol::referee_accepts(const net::Message& from_alice,
+                                       const net::Message& from_bob) const {
+  const std::uint64_t a_row = from_alice.field(0);
+  const std::uint64_t a_col = from_alice.field(1);
+  const std::uint64_t b_row = from_bob.field(0);
+  const std::uint64_t b_col = from_bob.field(1);
+  // Alice covers rows {a_row + i mod L} in column a_col; Bob covers columns
+  // {b_col + j mod L} in row b_row. They cross iff a_col is inside Bob's
+  // window and b_row inside Alice's.
+  const std::uint64_t j = (a_col + side_ - b_col) % side_;
+  const std::uint64_t i = (b_row + side_ - a_row) % side_;
+  if (i >= chunk_ || j >= chunk_) return true;  // no crossing: accept
+  const std::uint64_t alice_bit = from_alice.field(2 + i);
+  const std::uint64_t bob_bit = from_bob.field(2 + j);
+  return alice_bit == bob_bit;
+}
+
+}  // namespace dut::smp

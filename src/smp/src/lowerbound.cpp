@@ -1,0 +1,34 @@
+#include "dut/smp/lowerbound.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dut/stats/info.hpp"
+
+namespace dut::smp {
+
+double corollary74_queries(std::uint64_t n, double delta, double alpha) {
+  if (n < 2) throw std::invalid_argument("corollary74: n must be >= 2");
+  if (!(delta > 0.0) || delta >= 1.0) {
+    throw std::invalid_argument("corollary74: delta must be in (0, 1)");
+  }
+  if (!(alpha > 1.0)) {
+    throw std::invalid_argument("corollary74: alpha must be > 1");
+  }
+  return std::sqrt(stats::f_tau(alpha) * delta * static_cast<double>(n)) /
+         std::log2(static_cast<double>(n));
+}
+
+Theorem13Regime theorem13_regime(std::uint64_t n, std::uint64_t k) {
+  if (k == 0) throw std::invalid_argument("theorem13: k must be >= 1");
+  Theorem13Regime regime;
+  const double kd = static_cast<double>(k);
+  regime.delta_max = 1.0 - std::pow(2.0 / 3.0, 1.0 / kd);
+  const double far_min = 1.0 - std::pow(1.0 / 3.0, 1.0 / kd);
+  regime.alpha_min = far_min / regime.delta_max;
+  regime.samples_lower_bound =
+      corollary74_queries(n, regime.delta_max, regime.alpha_min);
+  return regime;
+}
+
+}  // namespace dut::smp

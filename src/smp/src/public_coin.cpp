@@ -1,0 +1,67 @@
+#include "dut/smp/public_coin.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::smp {
+
+PublicCoinEqualityProtocol::PublicCoinEqualityProtocol(
+    std::uint64_t input_bits, unsigned hashes)
+    : input_bits_(input_bits), hashes_(hashes) {
+  if (input_bits == 0) {
+    throw std::invalid_argument("PublicCoinEquality: empty input");
+  }
+  if (hashes == 0 || hashes > 64) {
+    throw std::invalid_argument(
+        "PublicCoinEquality: hashes must be in [1, 64]");
+  }
+}
+
+double PublicCoinEqualityProtocol::guaranteed_detection() const noexcept {
+  return 1.0 - std::pow(0.5, static_cast<double>(hashes_));
+}
+
+net::Message PublicCoinEqualityProtocol::sketch(
+    std::span<const std::uint8_t> input, std::uint64_t public_seed) const {
+  if (input.size() != input_bits_) {
+    throw std::invalid_argument("PublicCoinEquality: wrong input length");
+  }
+  net::Message msg;
+  // hash h: parity of a random subset of input bits. The subset stream is
+  // derived from (public_seed, h), so both players build the same hashes.
+  for (unsigned h = 0; h < hashes_; ++h) {
+    stats::Xoshiro256 coin = stats::derive_stream(public_seed, h);
+    std::uint64_t parity = 0;
+    std::uint64_t word = 0;
+    for (std::uint64_t i = 0; i < input_bits_; ++i) {
+      if (i % 64 == 0) word = coin();
+      if ((word >> (i % 64)) & 1) parity ^= input[i] & 1;
+    }
+    msg.push_field(parity, 1);
+  }
+  return msg;
+}
+
+net::Message PublicCoinEqualityProtocol::alice(
+    std::span<const std::uint8_t> x, std::uint64_t public_seed) const {
+  return sketch(x, public_seed);
+}
+
+net::Message PublicCoinEqualityProtocol::bob(
+    std::span<const std::uint8_t> y, std::uint64_t public_seed) const {
+  return sketch(y, public_seed);
+}
+
+bool PublicCoinEqualityProtocol::referee_accepts(
+    const net::Message& from_alice, const net::Message& from_bob) const {
+  if (from_alice.num_fields() != hashes_ ||
+      from_bob.num_fields() != hashes_) {
+    throw std::invalid_argument("PublicCoinEquality: malformed sketches");
+  }
+  for (unsigned h = 0; h < hashes_; ++h) {
+    if (from_alice.field(h) != from_bob.field(h)) return false;
+  }
+  return true;
+}
+
+}  // namespace dut::smp

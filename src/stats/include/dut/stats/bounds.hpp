@@ -1,0 +1,51 @@
+#pragma once
+
+// Concentration bounds and exact tail probabilities.
+//
+// The paper's threshold tester (Theorem 1.2) places its threshold T between
+// the expected reject counts under the uniform and the eps-far case using the
+// two multiplicative Chernoff forms reproduced here (paper eq. (5)). The
+// bench harness compares those bounds against exact binomial tails.
+
+#include <cstdint>
+
+namespace dut::stats {
+
+/// Multiplicative Chernoff upper-tail bound used in the paper:
+///   Pr[X >= x] <= exp(-(x - mean)^2 / (3 * mean))   for x >= mean > 0,
+/// where X is a sum of independent 0/1 variables with E[X] = mean.
+/// Returns 1.0 when x <= mean (the bound is vacuous there).
+double chernoff_upper_tail(double mean, double x);
+
+/// Multiplicative Chernoff lower-tail bound used in the paper:
+///   Pr[X <= x] <= exp(-(mean - x)^2 / (2 * mean))   for 0 <= x <= mean.
+/// Returns 1.0 when x >= mean.
+double chernoff_lower_tail(double mean, double x);
+
+/// Hoeffding bound for n independent variables in [0,1]:
+///   Pr[X - E[X] >= t*n] <= exp(-2*n*t^2).
+double hoeffding_tail(std::uint64_t n, double t);
+
+/// ln C(n, k) via lgamma; exact enough for all n used here.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Exact binomial upper tail Pr[Bin(n, p) >= k], computed in log space.
+/// Handles p in [0, 1]; O(n - k) terms.
+double binomial_tail_geq(std::uint64_t n, double p, std::uint64_t k);
+
+/// Exact binomial lower tail Pr[Bin(n, p) <= k]; O(k) terms.
+double binomial_tail_leq(std::uint64_t n, double p, std::uint64_t k);
+
+/// Wilson score interval for a binomial proportion.
+struct WilsonInterval {
+  double lo;
+  double hi;
+};
+
+/// Wilson interval with normal quantile `z` (e.g. 1.96 for 95%, 3.89 for
+/// ~99.99%). Statistical assertions in the test suite use generous z so the
+/// suite is effectively deterministic under fixed seeds.
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z);
+
+}  // namespace dut::stats

@@ -1,0 +1,47 @@
+#pragma once
+
+// Information-theoretic functionals used by the paper's lower-bound section
+// (Lemma 2.1 and its surroundings) and by the distribution library.
+//
+// All divergences and entropies here use the NATURAL logarithm unless the
+// name says otherwise ("..._bits"). The paper's Lemma 2.1 is stated with a
+// generic log; the inequality as implemented and verified here holds with
+// natural log, matching f(tau) = tau - 1 - ln(tau).
+
+#include <span>
+
+namespace dut::stats {
+
+/// KL divergence between Bernoulli(p) and Bernoulli(q), in nats.
+/// Conventions: 0*log(0/q) = 0; returns +infinity if q is 0/1 while p is not.
+double kl_bernoulli(double p, double q);
+
+/// KL divergence D(p || q) between two finite distributions, in nats.
+/// `p` and `q` must have equal sizes. Entries of p where p[i] == 0 contribute
+/// zero; p[i] > 0 with q[i] == 0 yields +infinity.
+double kl_divergence(std::span<const double> p, std::span<const double> q);
+
+/// Shannon entropy of a finite distribution, in nats.
+double entropy(std::span<const double> p);
+
+/// Collision entropy (Renyi order 2) in nats: -ln sum_i p_i^2.
+/// High collision entropy implies low collision probability — this is the
+/// quantity the paper's Equality lower bound tracks (footnote 1 fixes the
+/// Shannon-entropy mistake of Bottesch et al. by switching to this).
+double collision_entropy(std::span<const double> p);
+
+/// The paper's rate function f(tau) = tau - 1 - ln(tau), defined for tau > 0.
+/// Strictly positive for tau != 1; controls the KL separation in Lemma 2.1
+/// and the sample lower bound of Theorem 7.2.
+double f_tau(double tau);
+
+/// Lemma 2.1's right-hand side: (delta/4) * f(tau). The lemma asserts
+///   D(B_{1-delta} || B_{1-tau*delta}) >= lemma21_lower_bound(delta, tau)
+/// for delta in (0, 1/4) and tau in (1, 1/delta). Verified exhaustively by
+/// tests and by bench/e11_lower_bound.
+double lemma21_lower_bound(double delta, double tau);
+
+/// Left-hand side of Lemma 2.1 (the actual divergence), in nats.
+double lemma21_divergence(double delta, double tau);
+
+}  // namespace dut::stats

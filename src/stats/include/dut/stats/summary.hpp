@@ -1,0 +1,55 @@
+#pragma once
+
+// Streaming summary statistics (Welford) plus the Monte-Carlo estimation
+// harness shared by the test suite and every experiment binary.
+
+#include <cstdint>
+#include <functional>
+
+#include "dut/stats/bounds.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::stats {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of a Monte-Carlo probability estimate with a Wilson interval.
+struct ProbabilityEstimate {
+  double p_hat = 0.0;
+  double lo = 0.0;  ///< Wilson lower bound at the requested z.
+  double hi = 0.0;  ///< Wilson upper bound at the requested z.
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Estimates Pr[trial(rng) == true] with `trials` independent runs.
+///
+/// Every trial gets its own derived RNG stream `derive_stream(seed, t)`, so
+/// the estimate is a pure function of (seed, trials, trial). `z` sets the
+/// Wilson interval width (default ~99.99%: tests assert against `lo`/`hi`
+/// and stay deterministic under fixed seeds).
+ProbabilityEstimate estimate_probability(
+    std::uint64_t seed, std::uint64_t trials,
+    const std::function<bool(Xoshiro256&)>& trial, double z = 3.89);
+
+}  // namespace dut::stats

@@ -1,0 +1,40 @@
+#pragma once
+
+// Minimal fixed-width text-table formatter used by the experiment binaries in
+// bench/ and by the examples. Each experiment prints self-describing tables
+// ("the rows the paper would report"), so a shared formatter keeps them
+// consistent and diff-able.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dut::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent `add` calls fill it left to right.
+  TextTable& row();
+
+  TextTable& add(const std::string& value);
+  TextTable& add(const char* value);
+  TextTable& add(std::uint64_t value);
+  TextTable& add(std::int64_t value);
+  TextTable& add(int value);
+  /// Doubles are formatted with %.*g (default 5 significant digits).
+  TextTable& add(double value, int precision = 5);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule and column alignment.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dut::stats

@@ -1,0 +1,102 @@
+#include "dut/stats/bounds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::stats {
+
+double chernoff_upper_tail(double mean, double x) {
+  if (mean <= 0.0) throw std::invalid_argument("chernoff: mean must be > 0");
+  if (x <= mean) return 1.0;
+  const double d = x - mean;
+  return std::exp(-(d * d) / (3.0 * mean));
+}
+
+double chernoff_lower_tail(double mean, double x) {
+  if (mean <= 0.0) throw std::invalid_argument("chernoff: mean must be > 0");
+  if (x >= mean) return 1.0;
+  const double d = mean - x;
+  return std::exp(-(d * d) / (2.0 * mean));
+}
+
+double hoeffding_tail(std::uint64_t n, double t) {
+  if (t <= 0.0) return 1.0;
+  return std::exp(-2.0 * static_cast<double>(n) * t * t);
+}
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("log_binomial_coefficient: k > n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+namespace {
+
+/// log of the binomial pmf at k, or -inf when the term is zero.
+double log_binom_pmf(std::uint64_t n, double p, std::uint64_t k) {
+  if (p == 0.0) return k == 0 ? 0.0 : -INFINITY;
+  if (p == 1.0) return k == n ? 0.0 : -INFINITY;
+  return log_binomial_coefficient(n, k) +
+         static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+/// Sums exp(terms) stably given an iteration over k in [k_lo, k_hi].
+double sum_pmf_range(std::uint64_t n, double p, std::uint64_t k_lo,
+                     std::uint64_t k_hi) {
+  // Find the max term first for a stable log-sum-exp.
+  double max_log = -INFINITY;
+  for (std::uint64_t k = k_lo; k <= k_hi; ++k) {
+    max_log = std::max(max_log, log_binom_pmf(n, p, k));
+  }
+  if (std::isinf(max_log)) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t k = k_lo; k <= k_hi; ++k) {
+    sum += std::exp(log_binom_pmf(n, p, k) - max_log);
+  }
+  return std::min(1.0, std::exp(max_log) * sum);
+}
+
+}  // namespace
+
+double binomial_tail_geq(std::uint64_t n, double p, std::uint64_t k) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial: bad p");
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum whichever side has fewer terms; callers compare against constants
+  // like 1/3, so the complement's absolute error (~1e-16) is harmless.
+  if (k < n - k + 1) {
+    return std::max(0.0, 1.0 - sum_pmf_range(n, p, 0, k - 1));
+  }
+  return sum_pmf_range(n, p, k, n);
+}
+
+double binomial_tail_leq(std::uint64_t n, double p, std::uint64_t k) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("binomial: bad p");
+  if (k >= n) return 1.0;
+  if (n - k < k + 1) {
+    return std::max(0.0, 1.0 - sum_pmf_range(n, p, k + 1, n));
+  }
+  return sum_pmf_range(n, p, 0, k);
+}
+
+WilsonInterval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                               double z) {
+  if (trials == 0) throw std::invalid_argument("wilson_interval: no trials");
+  if (successes > trials) {
+    throw std::invalid_argument("wilson_interval: successes > trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  return WilsonInterval{std::max(0.0, (center - margin) / denom),
+                        std::min(1.0, (center + margin) / denom)};
+}
+
+}  // namespace dut::stats

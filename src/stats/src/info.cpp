@@ -1,0 +1,75 @@
+#include "dut/stats/info.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dut::stats {
+
+namespace {
+
+/// p * ln(p/q) with the 0*ln(0) = 0 convention.
+double kl_term(double p, double q) {
+  if (p == 0.0) return 0.0;
+  if (q == 0.0) return std::numeric_limits<double>::infinity();
+  return p * std::log(p / q);
+}
+
+}  // namespace
+
+double kl_bernoulli(double p, double q) {
+  if (p < 0.0 || p > 1.0 || q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("kl_bernoulli: arguments must lie in [0,1]");
+  }
+  return kl_term(p, q) + kl_term(1.0 - p, 1.0 - q);
+}
+
+double kl_divergence(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("kl_divergence: size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double term = kl_term(p[i], q[i]);
+    if (std::isinf(term)) return term;
+    total += term;
+  }
+  // Rounding can push a divergence between near-identical distributions
+  // slightly negative; clamp so callers can rely on nonnegativity.
+  return total < 0.0 ? 0.0 : total;
+}
+
+double entropy(std::span<const double> p) {
+  double total = 0.0;
+  for (const double pi : p) {
+    if (pi > 0.0) total -= pi * std::log(pi);
+  }
+  return total;
+}
+
+double collision_entropy(std::span<const double> p) {
+  double collision = 0.0;
+  for (const double pi : p) collision += pi * pi;
+  if (collision == 0.0) {
+    throw std::invalid_argument("collision_entropy: zero distribution");
+  }
+  return -std::log(collision);
+}
+
+double f_tau(double tau) {
+  if (tau <= 0.0) {
+    throw std::invalid_argument("f_tau: tau must be positive");
+  }
+  return tau - 1.0 - std::log(tau);
+}
+
+double lemma21_lower_bound(double delta, double tau) {
+  return (delta / 4.0) * f_tau(tau);
+}
+
+double lemma21_divergence(double delta, double tau) {
+  return kl_bernoulli(1.0 - delta, 1.0 - tau * delta);
+}
+
+}  // namespace dut::stats

@@ -1,0 +1,71 @@
+#include "dut/stats/rng.hpp"
+
+namespace dut::stats {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) word = mixer.next();
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire 2019, "Fast Random Integer Generation in an Interval".
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+Xoshiro256 derive_stream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+  SplitMix64 mixer(seed);
+  // Mix the stream id into the trajectory before expanding, with a constant
+  // offset so that stream 0 under seed s differs from the bare seed s.
+  const std::uint64_t mixed =
+      mixer.next() ^ SplitMix64(stream_id ^ 0xa0761d6478bd642fULL).next();
+  return Xoshiro256(mixed);
+}
+
+Xoshiro256 derive_stream(std::uint64_t seed, std::uint64_t a,
+                         std::uint64_t b) noexcept {
+  const std::uint64_t first = SplitMix64(seed ^ a).next();
+  return derive_stream(first, b);
+}
+
+}  // namespace dut::stats

@@ -1,0 +1,45 @@
+#include "dut/stats/summary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dut::stats {
+
+void RunningStat::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+ProbabilityEstimate estimate_probability(
+    std::uint64_t seed, std::uint64_t trials,
+    const std::function<bool(Xoshiro256&)>& trial, double z) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_probability: trials must be > 0");
+  }
+  std::uint64_t successes = 0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    Xoshiro256 rng = derive_stream(seed, t);
+    if (trial(rng)) ++successes;
+  }
+  const WilsonInterval ci = wilson_interval(successes, trials, z);
+  return ProbabilityEstimate{
+      static_cast<double>(successes) / static_cast<double>(trials), ci.lo,
+      ci.hi, successes, trials};
+}
+
+}  // namespace dut::stats

@@ -1,0 +1,87 @@
+#include "dut/stats/table.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace dut::stats {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+namespace {
+
+void check_open_row(const std::vector<std::vector<std::string>>& rows,
+                    std::size_t num_columns) {
+  if (rows.empty()) {
+    throw std::logic_error("TextTable: call row() before add()");
+  }
+  if (rows.back().size() >= num_columns) {
+    throw std::logic_error("TextTable: too many cells in row");
+  }
+}
+
+}  // namespace
+
+TextTable& TextTable::add(const std::string& value) {
+  check_open_row(rows_, headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TextTable& TextTable::add(const char* value) { return add(std::string(value)); }
+
+TextTable& TextTable::add(std::uint64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(std::int64_t value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+  return add(std::string(buf));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << (c == 0 ? "| " : " ") << cell;
+      os << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace dut::stats

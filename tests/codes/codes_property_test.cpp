@@ -1,0 +1,148 @@
+// Property-based sweeps over the code constructions: linearity, distance
+// bounds, and parameter algebra across randomly drawn configurations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dut/codes/basic_codes.hpp"
+#include "dut/codes/concatenated.hpp"
+#include "dut/codes/reed_solomon.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::codes {
+namespace {
+
+Bits random_bits(std::uint64_t n, stats::Xoshiro256& rng) {
+  Bits out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(2));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reed-Solomon across random (n, k) pairs
+// ---------------------------------------------------------------------------
+
+class RsRandomParams : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsRandomParams, LinearityAndMdsDistance) {
+  stats::Xoshiro256 rng(GetParam());
+  const GaloisField& f = GaloisField::gf256();
+  const std::uint64_t n = 4 + rng.below(200);
+  const std::uint64_t k = 1 + rng.below(n);
+  const ReedSolomon rs(f, n, k);
+  EXPECT_EQ(rs.min_symbol_distance(), n - k + 1);
+
+  auto random_message = [&] {
+    std::vector<std::uint32_t> msg(k);
+    for (auto& symbol : msg) {
+      symbol = static_cast<std::uint32_t>(rng.below(256));
+    }
+    return msg;
+  };
+
+  // Linearity: C(a + b) == C(a) + C(b) (componentwise XOR in GF(2^8)).
+  const auto a = random_message();
+  const auto b = random_message();
+  std::vector<std::uint32_t> sum(k);
+  for (std::uint64_t i = 0; i < k; ++i) sum[i] = a[i] ^ b[i];
+  const auto ca = rs.encode(a);
+  const auto cb = rs.encode(b);
+  const auto csum = rs.encode(sum);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(csum[i], ca[i] ^ cb[i]) << "position " << i;
+  }
+
+  // MDS distance on a random pair.
+  auto c = a;
+  c[rng.below(k)] ^= 1 + rng.below(255);
+  const auto cc = rs.encode(c);
+  std::uint64_t differing = 0;
+  for (std::uint64_t i = 0; i < n; ++i) differing += ca[i] != cc[i];
+  EXPECT_GE(differing, rs.min_symbol_distance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsRandomParams,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------------
+// Concatenation across inner-code choices
+// ---------------------------------------------------------------------------
+
+struct InnerChoice {
+  const char* name;
+  std::uint64_t expected_distance_factor;  // d_inner
+};
+
+class ConcatenationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcatenationSweep, DistanceBoundAndLinearityHold) {
+  stats::Xoshiro256 rng(1000 + GetParam());
+  const GaloisField& f = GaloisField::gf256();
+  const std::uint64_t k_rs = 4 + rng.below(24);
+  const std::uint64_t n_rs = k_rs + 2 + rng.below(64);
+  if (n_rs > 255) GTEST_SKIP();
+  const ReedSolomon outer(f, n_rs, k_rs);
+
+  const ExtendedHamming84 hamming;
+  const ReedMuller1 rm3(3);
+  const ReedMuller1 rm4(4);
+  const IdentityCode identity(8);
+  const LinearCode* inners[] = {&hamming, &rm3, &rm4, &identity};
+  for (const LinearCode* inner : inners) {
+    const ConcatenatedCode code(outer, *inner);
+    EXPECT_EQ(code.min_distance(),
+              outer.min_symbol_distance() * inner->min_distance());
+    EXPECT_EQ(code.message_bits(), k_rs * 8);
+    EXPECT_EQ(code.codeword_bits(),
+              n_rs * code.chunks_per_symbol() * inner->codeword_bits());
+
+    // Distance on a random adversarial pair (single flipped message bit).
+    Bits msg = random_bits(code.message_bits(), rng);
+    Bits msg2 = msg;
+    msg2[rng.below(code.message_bits())] ^= 1;
+    EXPECT_GE(hamming_distance(code.encode(msg), code.encode(msg2)),
+              code.min_distance());
+
+    // Linearity.
+    const Bits other = random_bits(code.message_bits(), rng);
+    Bits xored(code.message_bits());
+    for (std::uint64_t i = 0; i < code.message_bits(); ++i) {
+      xored[i] = msg[i] ^ other[i];
+    }
+    const Bits ca = code.encode(msg);
+    const Bits cb = code.encode(other);
+    const Bits cx = code.encode(xored);
+    for (std::uint64_t i = 0; i < code.codeword_bits(); ++i) {
+      ASSERT_EQ(cx[i], ca[i] ^ cb[i]) << "nonlinear at bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Draws, ConcatenationSweep, ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------------
+// The equality-code factory across message sizes
+// ---------------------------------------------------------------------------
+
+class EqualityCodeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EqualityCodeSweep, FactoryInvariants) {
+  const std::uint64_t bits = GetParam();
+  const auto bundle = make_equality_code(bits);
+  EXPECT_GE(bundle.code->message_bits(), bits);
+  // Linear blowup (constant rate) and constant relative distance.
+  EXPECT_LE(bundle.code->codeword_bits(), bundle.code->message_bits() * 24);
+  EXPECT_GE(bundle.code->relative_distance(), 0.05);
+  // Encode round-trips deterministically at full message width.
+  stats::Xoshiro256 rng(bits);
+  const Bits msg = random_bits(bundle.code->message_bits(), rng);
+  EXPECT_EQ(bundle.code->encode(msg).size(), bundle.code->codeword_bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EqualityCodeSweep,
+                         ::testing::Values(1, 8, 100, 1000, 1016, 1017, 4096,
+                                           65536));
+
+}  // namespace
+}  // namespace dut::codes

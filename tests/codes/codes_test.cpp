@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dut/codes/basic_codes.hpp"
+#include "dut/codes/concatenated.hpp"
+#include "dut/codes/reed_solomon.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::codes {
+namespace {
+
+Bits random_bits(std::uint64_t n, stats::Xoshiro256& rng) {
+  Bits out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(2));
+  return out;
+}
+
+/// Exhaustively verifies the certified minimum distance of a small code.
+void expect_exact_min_distance(const LinearCode& code) {
+  ASSERT_LE(code.message_bits(), 12u) << "exhaustive check too large";
+  const std::uint64_t k = code.message_bits();
+  std::uint64_t best = UINT64_MAX;
+  for (std::uint64_t a = 0; a < (1ULL << k); ++a) {
+    Bits msg(k);
+    for (std::uint64_t b = 0; b < k; ++b) msg[b] = (a >> b) & 1;
+    const Bits word = code.encode(msg);
+    if (a == 0) continue;
+    // Linearity: min distance = min weight of nonzero codewords; verify
+    // against the all-zero codeword.
+    best = std::min<std::uint64_t>(
+        best, static_cast<std::uint64_t>(
+                  std::count(word.begin(), word.end(), 1)));
+  }
+  EXPECT_EQ(best, code.min_distance());
+}
+
+TEST(HammingDistance, Basics) {
+  EXPECT_EQ(hamming_distance(Bits{0, 1, 1}, Bits{1, 1, 0}), 2u);
+  EXPECT_EQ(hamming_distance(Bits{}, Bits{}), 0u);
+  EXPECT_THROW(hamming_distance(Bits{0}, Bits{0, 1}), std::invalid_argument);
+}
+
+TEST(ExtendedHamming, ExactMinimumDistance) {
+  expect_exact_min_distance(ExtendedHamming84());
+}
+
+TEST(ExtendedHamming, IsLinear) {
+  const ExtendedHamming84 code;
+  stats::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Bits a = random_bits(4, rng);
+    const Bits b = random_bits(4, rng);
+    Bits sum(4);
+    for (int i = 0; i < 4; ++i) sum[i] = a[i] ^ b[i];
+    const Bits ca = code.encode(a);
+    const Bits cb = code.encode(b);
+    const Bits csum = code.encode(sum);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(csum[i], ca[i] ^ cb[i]);
+    }
+  }
+}
+
+TEST(ExtendedHamming, AllCodewordsHaveEvenWeight) {
+  const ExtendedHamming84 code;
+  for (std::uint64_t a = 0; a < 16; ++a) {
+    Bits msg{static_cast<std::uint8_t>(a & 1),
+             static_cast<std::uint8_t>((a >> 1) & 1),
+             static_cast<std::uint8_t>((a >> 2) & 1),
+             static_cast<std::uint8_t>((a >> 3) & 1)};
+    const Bits word = code.encode(msg);
+    EXPECT_EQ(std::count(word.begin(), word.end(), 1) % 2, 0);
+  }
+}
+
+TEST(ReedMuller, ParametersAndExactDistance) {
+  for (unsigned m : {2u, 3u, 4u}) {
+    const ReedMuller1 code(m);
+    EXPECT_EQ(code.message_bits(), m + 1);
+    EXPECT_EQ(code.codeword_bits(), 1ULL << m);
+    expect_exact_min_distance(code);
+  }
+}
+
+TEST(ReedMuller, ConstantWordAndComplement) {
+  const ReedMuller1 code(4);
+  Bits zero(5, 0);
+  const Bits all_zero = code.encode(zero);
+  EXPECT_TRUE(std::all_of(all_zero.begin(), all_zero.end(),
+                          [](std::uint8_t b) { return b == 0; }));
+  Bits one(5, 0);
+  one[0] = 1;  // a_0 = 1: the all-ones function
+  const Bits all_one = code.encode(one);
+  EXPECT_TRUE(std::all_of(all_one.begin(), all_one.end(),
+                          [](std::uint8_t b) { return b == 1; }));
+}
+
+TEST(ReedMuller, Validation) {
+  EXPECT_THROW(ReedMuller1(0), std::invalid_argument);
+  EXPECT_THROW(ReedMuller1(21), std::invalid_argument);
+  EXPECT_THROW(ReedMuller1(3).encode(Bits{1, 0}), std::invalid_argument);
+}
+
+TEST(ReedSolomon, Validation) {
+  const GaloisField& f = GaloisField::gf256();
+  EXPECT_THROW(ReedSolomon(f, 10, 0), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(f, 10, 11), std::invalid_argument);
+  EXPECT_THROW(ReedSolomon(f, 256, 10), std::invalid_argument);
+  const ReedSolomon rs(f, 10, 4);
+  EXPECT_THROW(rs.encode(std::vector<std::uint32_t>{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(rs.encode(std::vector<std::uint32_t>{1, 2, 3, 256}),
+               std::invalid_argument);
+}
+
+TEST(ReedSolomon, ConstantPolynomial) {
+  const ReedSolomon rs(GaloisField::gf256(), 12, 1);
+  const auto word = rs.encode(std::vector<std::uint32_t>{0x5A});
+  for (const std::uint32_t s : word) EXPECT_EQ(s, 0x5Au);
+  EXPECT_EQ(rs.min_symbol_distance(), 12u);
+}
+
+TEST(ReedSolomon, LinearPolynomialEvaluations) {
+  // message = (c0, c1) encodes p(x) = c0 + c1*x evaluated at alpha^i.
+  const GaloisField& f = GaloisField::gf256();
+  const ReedSolomon rs(f, 8, 2);
+  const std::uint32_t c0 = 0x17;
+  const std::uint32_t c1 = 0xA3;
+  const auto word = rs.encode(std::vector<std::uint32_t>{c0, c1});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(word[i], f.add(c0, f.mul(c1, f.alpha_pow(i)))) << i;
+  }
+}
+
+TEST(ReedSolomon, MdsDistanceOnSampledPairs) {
+  const ReedSolomon rs(GaloisField::gf256(), 40, 12);
+  stats::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint32_t> a(12);
+    std::vector<std::uint32_t> b(12);
+    for (auto& s : a) s = static_cast<std::uint32_t>(rng.below(256));
+    b = a;
+    b[rng.below(12)] ^= 1 + rng.below(255);
+    const auto ca = rs.encode(a);
+    const auto cb = rs.encode(b);
+    std::uint64_t differing = 0;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      if (ca[i] != cb[i]) ++differing;
+    }
+    EXPECT_GE(differing, rs.min_symbol_distance());
+  }
+}
+
+TEST(Concatenated, ParameterAlgebra) {
+  const ReedSolomon outer(GaloisField::gf256(), 20, 8);
+  const ReedMuller1 inner(4);  // [16, 5, 8]
+  const ConcatenatedCode code(outer, inner);
+  EXPECT_EQ(code.message_bits(), 8u * 8u);
+  EXPECT_EQ(code.chunks_per_symbol(), 2u);  // ceil(8/5)
+  EXPECT_EQ(code.codeword_bits(), 20u * 2u * 16u);
+  EXPECT_EQ(code.min_distance(), (20u - 8u + 1u) * 8u);
+}
+
+TEST(Concatenated, DistanceBoundHoldsOnSampledPairs) {
+  const ReedSolomon outer(GaloisField::gf256(), 30, 10);
+  const ReedMuller1 inner(4);
+  const ConcatenatedCode code(outer, inner);
+  stats::Xoshiro256 rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    Bits a = random_bits(code.message_bits(), rng);
+    Bits b = a;
+    b[rng.below(code.message_bits())] ^= 1;  // minimal change: worst case
+    const std::uint64_t d = hamming_distance(code.encode(a), code.encode(b));
+    EXPECT_GE(d, code.min_distance());
+  }
+}
+
+TEST(Concatenated, IdentityInnerRecoversRsDistance) {
+  const ReedSolomon outer(GaloisField::gf256(), 16, 4);
+  const IdentityCode inner(8);
+  const ConcatenatedCode code(outer, inner);
+  EXPECT_EQ(code.min_distance(), outer.min_symbol_distance());
+  EXPECT_EQ(code.codeword_bits(), 16u * 8u);
+}
+
+TEST(MakeEqualityCode, SmallInputsUseGf256) {
+  const auto bundle = make_equality_code(100);
+  EXPECT_EQ(bundle.outer->field().bits(), 8u);
+  EXPECT_GE(bundle.code->message_bits(), 100u);
+  // Linear blowup with constant relative distance.
+  EXPECT_LE(bundle.code->codeword_bits(), 100u * 20u);
+  EXPECT_GT(bundle.code->relative_distance(), 0.1);
+}
+
+TEST(MakeEqualityCode, LargeInputsUseGf65536) {
+  const auto bundle = make_equality_code(5000);
+  EXPECT_EQ(bundle.outer->field().bits(), 16u);
+  EXPECT_GE(bundle.code->message_bits(), 5000u);
+  EXPECT_GT(bundle.code->relative_distance(), 0.05);
+}
+
+TEST(MakeEqualityCode, Validation) {
+  EXPECT_THROW(make_equality_code(0), std::invalid_argument);
+  EXPECT_THROW(make_equality_code(16ULL * 40000), std::invalid_argument);
+}
+
+TEST(MakeEqualityCode, EncodesDeterministically) {
+  const auto bundle = make_equality_code(64);
+  stats::Xoshiro256 rng(3);
+  const Bits msg = random_bits(bundle.code->message_bits(), rng);
+  EXPECT_EQ(bundle.code->encode(msg), bundle.code->encode(msg));
+}
+
+}  // namespace
+}  // namespace dut::codes

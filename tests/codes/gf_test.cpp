@@ -1,0 +1,107 @@
+#include "dut/codes/gf.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dut::codes {
+namespace {
+
+TEST(GaloisField, ConstructionValidation) {
+  EXPECT_THROW(GaloisField(1, 0x3), std::invalid_argument);
+  EXPECT_THROW(GaloisField(17, 0x3), std::invalid_argument);
+  EXPECT_THROW(GaloisField(8, 0x1D), std::invalid_argument);  // degree != 8
+  // x^8 + 1 is not primitive (not even irreducible).
+  EXPECT_THROW(GaloisField(8, 0x101), std::invalid_argument);
+  EXPECT_NO_THROW(GaloisField(8, 0x11D));
+}
+
+TEST(GaloisField, AdditionIsXor) {
+  const GaloisField& f = GaloisField::gf256();
+  EXPECT_EQ(f.add(0x53, 0xCA), 0x99u);
+  EXPECT_EQ(f.add(7, 7), 0u);
+}
+
+TEST(GaloisField, KnownGf256Products) {
+  // Classic AES-field examples (0x11D variant): checked against long-hand
+  // carry-less multiplication mod the polynomial.
+  const GaloisField& f = GaloisField::gf256();
+  EXPECT_EQ(f.mul(0, 0x53), 0u);
+  EXPECT_EQ(f.mul(1, 0x53), 0x53u);
+  EXPECT_EQ(f.mul(2, 0x80), 0x1Du);  // x * x^7 = x^8 = poly tail
+}
+
+TEST(GaloisField, MultiplicationIsCommutativeAndAssociative) {
+  const GaloisField& f = GaloisField::gf256();
+  for (std::uint32_t a = 1; a < 256; a += 17) {
+    for (std::uint32_t b = 1; b < 256; b += 23) {
+      EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+      for (std::uint32_t c = 1; c < 256; c += 41) {
+        EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, DistributesOverAddition) {
+  const GaloisField& f = GaloisField::gf256();
+  for (std::uint32_t a = 1; a < 256; a += 13) {
+    for (std::uint32_t b = 0; b < 256; b += 29) {
+      for (std::uint32_t c = 0; c < 256; c += 31) {
+        EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+      }
+    }
+  }
+}
+
+TEST(GaloisField, InverseRoundTrips) {
+  const GaloisField& f = GaloisField::gf256();
+  for (std::uint32_t a = 1; a < 256; ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << a;
+    EXPECT_EQ(f.div(f.mul(a, 0x35), 0x35), a) << a;
+  }
+  EXPECT_THROW(f.inv(0), std::invalid_argument);
+  EXPECT_THROW(f.div(1, 0), std::invalid_argument);
+}
+
+TEST(GaloisField, PowMatchesRepeatedMultiplication) {
+  const GaloisField& f = GaloisField::gf256();
+  const std::uint32_t a = 0x57;
+  std::uint32_t acc = 1;
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(f.pow(a, e), acc) << e;
+    acc = f.mul(acc, a);
+  }
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(0, 5), 0u);
+}
+
+TEST(GaloisField, AlphaPowersCycleThroughAllNonzero) {
+  const GaloisField& f = GaloisField::gf256();
+  std::vector<bool> seen(256, false);
+  for (std::uint64_t e = 0; e < 255; ++e) {
+    const std::uint32_t x = f.alpha_pow(e);
+    EXPECT_FALSE(seen[x]) << "alpha^" << e << " repeats";
+    seen[x] = true;
+  }
+  EXPECT_EQ(f.alpha_pow(255), 1u);  // order 255
+}
+
+TEST(GaloisField, Gf65536Sanity) {
+  const GaloisField& f = GaloisField::gf65536();
+  EXPECT_EQ(f.order(), 65536u);
+  // Spot-check field axioms on a few elements.
+  for (std::uint32_t a : {1u, 2u, 777u, 40000u, 65535u}) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.add(a, a), 0u);
+  }
+  EXPECT_EQ(f.alpha_pow(65535), 1u);
+}
+
+TEST(GaloisField, ElementRangeChecked) {
+  const GaloisField& f = GaloisField::gf256();
+  EXPECT_THROW(f.mul(256, 1), std::invalid_argument);
+  EXPECT_THROW(f.add(1, 300), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::codes

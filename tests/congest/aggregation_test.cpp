@@ -1,0 +1,105 @@
+#include "dut/congest/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dut/stats/rng.hpp"
+
+namespace dut::congest {
+namespace {
+
+using net::Graph;
+
+TEST(SumAggregation, SumsNodeIdsOnVariousTopologies) {
+  const Graph graphs[] = {
+      Graph::line(50),     Graph::ring(51),
+      Graph::star(50),     Graph::grid(7, 8),
+      Graph::balanced_tree(63, 2),
+      Graph::random_connected(64, 2.0, 5),
+  };
+  for (const Graph& g : graphs) {
+    const std::uint32_t k = g.num_nodes();
+    std::vector<std::uint64_t> values(k);
+    std::iota(values.begin(), values.end(), 0);
+    const std::uint64_t expected = static_cast<std::uint64_t>(k) * (k - 1) / 2;
+    const auto result = run_sum_aggregation(g, values, 20, 3);
+    EXPECT_EQ(result.sum, expected) << "k=" << k;
+  }
+}
+
+TEST(SumAggregation, RandomValuesMatchLocalSum) {
+  const Graph g = Graph::random_connected(200, 1.5, 9);
+  stats::Xoshiro256 rng(4);
+  std::vector<std::uint64_t> values(200);
+  std::uint64_t expected = 0;
+  for (auto& v : values) {
+    v = rng.below(1000);
+    expected += v;
+  }
+  EXPECT_EQ(run_sum_aggregation(g, values, 20, 8).sum, expected);
+}
+
+TEST(SumAggregation, ZeroValues) {
+  const Graph g = Graph::ring(20);
+  const std::vector<std::uint64_t> zeros(20, 0);
+  EXPECT_EQ(run_sum_aggregation(g, zeros, 8, 1).sum, 0u);
+}
+
+TEST(SumAggregation, SingleNode) {
+  const Graph g(1);
+  EXPECT_EQ(run_sum_aggregation(g, {42}, 8, 1).sum, 42u);
+}
+
+TEST(SumAggregation, RoundsAreLinearInDiameter) {
+  for (std::uint32_t k : {32u, 128u, 512u}) {
+    const Graph g = Graph::line(k);
+    std::vector<std::uint64_t> values(k, 1);
+    const auto result = run_sum_aggregation(g, values, 16, 2);
+    EXPECT_EQ(result.sum, k);
+    EXPECT_LE(result.metrics.rounds, 5ULL * (k - 1) + 20) << "k=" << k;
+    EXPECT_GE(result.metrics.rounds, static_cast<std::uint64_t>(k - 1));
+  }
+}
+
+TEST(SumAggregation, MessagesStayWithinLogBudget) {
+  const Graph g = Graph::random_connected(256, 2.0, 7);
+  std::vector<std::uint64_t> values(256, 3);
+  const auto result = run_sum_aggregation(g, values, 10, 5);
+  EXPECT_LE(result.metrics.max_message_bits,
+            3 + std::max<std::uint64_t>(2 * net::bits_for(256), 10));
+}
+
+TEST(SumAggregation, Validation) {
+  const Graph g = Graph::ring(8);
+  EXPECT_THROW(run_sum_aggregation(g, {1, 2}, 8, 1), std::invalid_argument);
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW(
+      run_sum_aggregation(disconnected, {1, 1, 1, 1}, 8, 1),
+      std::invalid_argument);
+  // A value that does not fit the declared width.
+  EXPECT_THROW(SumAggregationProgram(0, 256, 8, 8), std::invalid_argument);
+}
+
+TEST(SumAggregation, SumOverflowingWidthIsCaughtByTheEngine) {
+  // Each addend fits 8 bits but the sum does not: the honest width
+  // declaration makes the convergecast message overflow its field and the
+  // stack must fail loudly rather than wrap.
+  const Graph g = Graph::star(40);
+  std::vector<std::uint64_t> values(40, 200);  // sum = 8000 > 255
+  EXPECT_THROW(run_sum_aggregation(g, values, 8, 2), std::invalid_argument);
+}
+
+TEST(SumAggregation, DeterministicPerSeed) {
+  const Graph g = Graph::grid(8, 8);
+  std::vector<std::uint64_t> values(64, 5);
+  const auto a = run_sum_aggregation(g, values, 16, 11);
+  const auto b = run_sum_aggregation(g, values, 16, 11);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.metrics.messages, b.metrics.messages);
+}
+
+}  // namespace
+}  // namespace dut::congest

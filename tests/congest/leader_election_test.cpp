@@ -1,0 +1,180 @@
+// Adversarial placements for the FloodMax + echo leader election: the
+// elected node must be the external-id maximum and the tree a BFS tree of
+// it, regardless of where the maximum sits and how the other ids are
+// arranged (the echo-termination argument must not depend on benign id
+// layouts).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "dut/congest/token_packaging.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::congest {
+namespace {
+
+using net::Graph;
+
+struct ElectionOutcome {
+  std::uint32_t leader = UINT32_MAX;
+  std::uint64_t rounds = 0;
+  bool tree_valid = true;
+};
+
+ElectionOutcome run_election(const Graph& g,
+                             const std::vector<std::uint64_t>& external_ids) {
+  const std::uint32_t k = g.num_nodes();
+  MessageWidths widths{net::bits_for(k), net::bits_for(k),
+                       net::bits_for(k + 1)};
+  std::vector<std::unique_ptr<TokenPackagingProgram>> programs;
+  std::vector<net::NodeProgram*> raw;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    programs.push_back(std::make_unique<TokenPackagingProgram>(
+        external_ids[v], v, 2, widths));
+    raw.push_back(programs.back().get());
+  }
+  net::Engine engine(g,
+                     net::EngineConfig{net::Model::kCongest, 64, 100000, 9});
+  engine.run(raw);
+
+  ElectionOutcome outcome;
+  outcome.rounds = engine.metrics().rounds;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    if (programs[v]->is_leader()) {
+      EXPECT_EQ(outcome.leader, UINT32_MAX) << "two leaders elected";
+      outcome.leader = v;
+    }
+  }
+  if (outcome.leader == UINT32_MAX) {
+    outcome.tree_valid = false;
+    return outcome;
+  }
+  const auto dist = g.bfs_distances(outcome.leader);
+  for (std::uint32_t v = 0; v < k; ++v) {
+    if (programs[v]->leader_external_id() != external_ids[outcome.leader] ||
+        programs[v]->depth() != dist[v]) {
+      outcome.tree_valid = false;
+    }
+    if (v != outcome.leader) {
+      const std::uint32_t parent = programs[v]->parent();
+      if (parent == TokenPackagingProgram::kNoParent ||
+          !g.has_edge(v, parent) || dist[parent] + 1 != dist[v]) {
+        outcome.tree_valid = false;
+      }
+    }
+  }
+  return outcome;
+}
+
+TEST(LeaderElection, MaxAtTheFarEndOfALine) {
+  // Worst case for flood termination: the winner's wave must traverse the
+  // whole line while every prefix node briefly champions itself.
+  const std::uint32_t k = 200;
+  const Graph g = Graph::line(k);
+  std::vector<std::uint64_t> ids(k);
+  std::iota(ids.begin(), ids.end(), 0);  // strictly increasing toward the end
+  const auto outcome = run_election(g, ids);
+  EXPECT_EQ(outcome.leader, k - 1);
+  EXPECT_TRUE(outcome.tree_valid);
+}
+
+TEST(LeaderElection, DescendingIdsCauseMaximalChurn) {
+  // Ids decreasing along the line: node 0's wave sweeps everything first,
+  // no churn; ascending (previous test) maximizes re-adoption. Both must
+  // elect correctly; the descending case should finish in fewer rounds.
+  const std::uint32_t k = 200;
+  const Graph g = Graph::line(k);
+  std::vector<std::uint64_t> ascending(k);
+  std::iota(ascending.begin(), ascending.end(), 0);
+  std::vector<std::uint64_t> descending(ascending.rbegin(),
+                                        ascending.rend());
+  const auto churn = run_election(g, ascending);
+  const auto sweep = run_election(g, descending);
+  EXPECT_EQ(churn.leader, k - 1);
+  EXPECT_EQ(sweep.leader, 0u);
+  EXPECT_TRUE(churn.tree_valid);
+  EXPECT_TRUE(sweep.tree_valid);
+  EXPECT_LE(sweep.rounds, churn.rounds);
+}
+
+TEST(LeaderElection, NearMaxDecoysAroundTheTrueMax) {
+  // Decoys: second-largest ids placed far from the maximum on a ring, so
+  // two strong waves collide mid-ring.
+  const std::uint32_t k = 101;
+  const Graph g = Graph::ring(k);
+  std::vector<std::uint64_t> ids(k);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::swap(ids[0], ids[k - 1]);   // max at node 0
+  std::swap(ids[k / 2], ids[k - 2]);  // runner-up diametrically opposite
+  const auto outcome = run_election(g, ids);
+  EXPECT_EQ(outcome.leader, 0u);
+  EXPECT_TRUE(outcome.tree_valid);
+}
+
+TEST(LeaderElection, MaxOnALeafOfAStar) {
+  // The center hears every candidacy at once; a leaf must still win.
+  const std::uint32_t k = 64;
+  const Graph g = Graph::star(k);
+  std::vector<std::uint64_t> ids(k);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::swap(ids[17], ids[k - 1]);  // node 17 (a leaf) holds the max id
+  const auto outcome = run_election(g, ids);
+  EXPECT_EQ(outcome.leader, 17u);
+  EXPECT_TRUE(outcome.tree_valid);
+}
+
+TEST(LeaderElection, RandomPermutationsOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = Graph::random_connected(120, 1.5, seed);
+    std::vector<std::uint64_t> ids(120);
+    std::iota(ids.begin(), ids.end(), 0);
+    stats::Xoshiro256 rng(seed * 7919);
+    for (std::uint32_t i = 120; i > 1; --i) {
+      std::swap(ids[i - 1], ids[rng.below(i)]);
+    }
+    const std::uint32_t expected = static_cast<std::uint32_t>(
+        std::max_element(ids.begin(), ids.end()) - ids.begin());
+    const auto outcome = run_election(g, ids);
+    EXPECT_EQ(outcome.leader, expected) << "seed=" << seed;
+    EXPECT_TRUE(outcome.tree_valid) << "seed=" << seed;
+  }
+}
+
+TEST(LeaderElection, SparseIdsFromALargeNamespaceStillWork) {
+  // The paper lets nodes pick random identifiers from a large namespace;
+  // external ids need not be a dense permutation. (Widths: the ids below
+  // fit the declared bits_for(k)=7-bit field times... use wider widths.)
+  const std::uint32_t k = 60;
+  const Graph g = Graph::grid(6, 10);
+  std::vector<std::uint64_t> ids(k);
+  stats::Xoshiro256 rng(5);
+  for (auto& id : ids) id = rng.below(1ULL << 20);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ASSERT_EQ(ids.size(), k) << "collision in the draw; adjust seed";
+  // Shuffle placements.
+  for (std::uint32_t i = k; i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.below(i)]);
+  }
+
+  MessageWidths widths{20, net::bits_for(k), net::bits_for(k + 1)};
+  std::vector<std::unique_ptr<TokenPackagingProgram>> programs;
+  std::vector<net::NodeProgram*> raw;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    programs.push_back(std::make_unique<TokenPackagingProgram>(
+        ids[v], v, 2, widths));
+    raw.push_back(programs.back().get());
+  }
+  net::Engine engine(g,
+                     net::EngineConfig{net::Model::kCongest, 64, 10000, 3});
+  engine.run(raw);
+  const std::uint32_t expected = static_cast<std::uint32_t>(
+      std::max_element(ids.begin(), ids.end()) - ids.begin());
+  EXPECT_TRUE(programs[expected]->is_leader());
+}
+
+}  // namespace
+}  // namespace dut::congest

@@ -1,0 +1,77 @@
+#include "dut/core/amplified.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(RepeatedGapTester, ParameterAlgebra) {
+  const auto base = solve_gap_tester(1 << 14, 0.5, 0.01);
+  const RepeatedGapTester tester(base, 3);
+  EXPECT_EQ(tester.repetitions(), 3u);
+  EXPECT_EQ(tester.total_samples(), 3 * base.s);
+  EXPECT_NEAR(tester.delta(), std::pow(base.delta, 3.0), 1e-15);
+  EXPECT_NEAR(tester.alpha(), std::pow(base.alpha, 3.0), 1e-15);
+}
+
+TEST(RepeatedGapTester, RejectsZeroRepetitions) {
+  const auto base = solve_gap_tester(1 << 14, 0.5, 0.01);
+  EXPECT_THROW(RepeatedGapTester(base, 0), std::invalid_argument);
+}
+
+TEST(RepeatedGapTester, OneRepetitionMatchesBase) {
+  const auto base = solve_gap_tester(1 << 12, 0.5, 0.02);
+  const RepeatedGapTester repeated(base, 1);
+  const SingleCollisionTester single(base);
+  const AliasSampler sampler(uniform(1 << 12));
+  // Identical RNG stream => identical decisions.
+  stats::Xoshiro256 a(77);
+  stats::Xoshiro256 b(77);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(repeated.run(sampler, a), single.run(sampler, b));
+  }
+}
+
+// Amplification property: the m-fold tester's uniform-reject rate is
+// delta^m. With delta ~ 0.3 and m = 2 this is measurable.
+TEST(RepeatedGapTester, UniformRejectRateIsDeltaToTheM) {
+  const std::uint64_t n = 1 << 12;
+  const auto base = solve_gap_tester(n, 1.0, 0.3);
+  const RepeatedGapTester tester(base, 2);
+  const AliasSampler sampler(uniform(n));
+  const auto reject = stats::estimate_probability(
+      31337, 30000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(sampler, rng); });
+  // True rate = (exact birthday collision prob)^2 <= delta^2; check the
+  // guarantee is not refuted and that amplification really happened (an
+  // unamplified tester would reject ~ delta of the time).
+  EXPECT_LE(reject.lo, tester.delta());
+  EXPECT_LT(reject.hi, base.delta / 2.0);
+}
+
+// The gap compounds: on a far instance, the m-fold reject rate must stay
+// >= (alpha*delta)^m, and the ratio far/uniform grows with m.
+TEST(RepeatedGapTester, GapCompoundsOnFarInstance) {
+  const std::uint64_t n = 1 << 12;
+  const double eps = 1.0;
+  // delta must stay small enough for eq. (1)'s gamma to be positive at
+  // eps = 1 (roughly delta < 0.05 here).
+  const auto base = solve_gap_tester(n, eps, 0.04);
+  ASSERT_TRUE(base.has_gap);
+  const RepeatedGapTester tester(base, 2);
+  const AliasSampler far(paninski_two_bump(n, eps));
+  const auto reject = stats::estimate_probability(
+      4242, 30000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(far, rng); });
+  const double required = std::pow(base.alpha * base.delta, 2.0);
+  EXPECT_GE(reject.hi, required)
+      << "measured " << reject.p_hat << " required " << required;
+}
+
+}  // namespace
+}  // namespace dut::core

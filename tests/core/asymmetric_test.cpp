@@ -1,0 +1,225 @@
+#include "dut/core/asymmetric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/stats/rng.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+std::vector<double> bimodal_costs(std::size_t k, double cheap, double dear) {
+  std::vector<double> costs(k, cheap);
+  for (std::size_t i = k / 2; i < k; ++i) costs[i] = dear;
+  return costs;
+}
+
+// ---------------------------------------------------------------------------
+// Norms and Lemma 4.1
+// ---------------------------------------------------------------------------
+
+TEST(InverseCostNorm, UnitCostsGiveSqrtK) {
+  const std::vector<double> costs(16, 1.0);
+  EXPECT_NEAR(inverse_cost_norm(costs, 2.0), 4.0, 1e-12);
+}
+
+TEST(InverseCostNorm, KnownMixedValue) {
+  // T = (1, 1/2); ||T||_2 = sqrt(1.25).
+  const std::vector<double> costs{1.0, 2.0};
+  EXPECT_NEAR(inverse_cost_norm(costs, 2.0), std::sqrt(1.25), 1e-12);
+}
+
+TEST(InverseCostNorm, HighOrderApproachesMaxNorm) {
+  const std::vector<double> costs{1.0, 2.0, 4.0};
+  EXPECT_NEAR(inverse_cost_norm(costs, 1000.0), 1.0, 1e-2);
+}
+
+TEST(InverseCostNorm, Validation) {
+  EXPECT_THROW(inverse_cost_norm(std::vector<double>{}, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(inverse_cost_norm(std::vector<double>{0.0}, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(inverse_cost_norm(std::vector<double>{1.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Lemma41, SymmetricPointIsAFixedPoint) {
+  const std::vector<double> x(8, 0.05);
+  const auto sides = lemma41_sides(x, 1.5);
+  EXPECT_NEAR(sides.g_at_x, sides.g_at_symmetric, 1e-12);
+}
+
+TEST(Lemma41, HoldsOnRandomPointsOfTheManifold) {
+  // Random X on the constraint manifold prod(1-x_i) = c must satisfy
+  // g(X) <= g(Y). The lemma needs a < 1/(1-c); we keep margins safe.
+  stats::Xoshiro256 rng(8675309);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t k = 2 + rng.below(10);
+    std::vector<double> x(k);
+    for (double& xi : x) xi = 0.02 * rng.uniform01();
+    double c = 1.0;
+    for (const double xi : x) c *= 1.0 - xi;
+    const double a_max = 1.0 / (1.0 - c);
+    const double a = 1.0 + (a_max - 1.0) * 0.8 * rng.uniform01();
+    if (a <= 1.0) continue;
+    const auto sides = lemma41_sides(x, a);
+    EXPECT_LE(sides.g_at_x, sides.g_at_symmetric + 1e-12)
+        << "k=" << k << " a=" << a;
+  }
+}
+
+TEST(Lemma41, Validation) {
+  EXPECT_THROW(lemma41_sides(std::vector<double>{}, 2.0),
+               std::invalid_argument);
+  EXPECT_THROW(lemma41_sides(std::vector<double>{0.5}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(lemma41_sides(std::vector<double>{1.5}, 2.0),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Threshold rule with costs (Section 4.2)
+// ---------------------------------------------------------------------------
+
+TEST(AsymmetricThreshold, CheapNodesDrawMoreSamples) {
+  const auto plan =
+      plan_asymmetric_threshold(1 << 17, bimodal_costs(4096, 1.0, 4.0), 1.2);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  // s_i = C * T_i: 4x cost ratio => ~4x sample ratio.
+  const double ratio = static_cast<double>(plan.node_params.front().s) /
+                       static_cast<double>(plan.node_params.back().s);
+  EXPECT_NEAR(ratio, 4.0, 0.6);
+}
+
+TEST(AsymmetricThreshold, MaxCostTracksNormPrediction) {
+  const auto plan =
+      plan_asymmetric_threshold(1 << 17, bimodal_costs(4096, 1.0, 4.0), 1.2);
+  ASSERT_TRUE(plan.feasible);
+  // Rounding to integer samples keeps the realized max cost within a couple
+  // of cost units of sqrt(2nA)/||T||_2.
+  EXPECT_NEAR(plan.max_cost, plan.predicted_max_cost,
+              0.1 * plan.predicted_max_cost + 4.0);
+}
+
+TEST(AsymmetricThreshold, UnitCostsRecoverSymmetricCase) {
+  const std::uint64_t n = 1 << 17;
+  const std::uint64_t k = 8192;
+  const double eps = 0.9;
+  const auto symmetric = plan_threshold(n, k, eps);
+  const auto asym =
+      plan_asymmetric_threshold(n, std::vector<double>(k, 1.0), eps);
+  ASSERT_TRUE(symmetric.feasible && asym.feasible);
+  // Same per-node sample count up to rounding drift of the two planners.
+  const double s_sym = static_cast<double>(symmetric.base.s);
+  const double s_asym = static_cast<double>(asym.node_params[0].s);
+  EXPECT_NEAR(s_asym, s_sym, 0.25 * s_sym);
+}
+
+TEST(AsymmetricThreshold, EndToEndErrorWithinBudget) {
+  const std::uint64_t n = 1 << 15;
+  const auto plan =
+      plan_asymmetric_threshold(n, bimodal_costs(4096, 1.0, 3.0), 1.2);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  const AliasSampler uni(uniform(n));
+  const auto false_reject = stats::estimate_probability(
+      11, 200, [&](stats::Xoshiro256& rng) {
+        return run_asymmetric_threshold_network(plan, uni, rng)
+            .network_rejects;
+      });
+  EXPECT_LE(false_reject.lo, 1.0 / 3.0);
+
+  const AliasSampler far(far_instance(n, 1.2));
+  const auto false_accept = stats::estimate_probability(
+      12, 200, [&](stats::Xoshiro256& rng) {
+        return !run_asymmetric_threshold_network(plan, far, rng)
+                    .network_rejects;
+      });
+  EXPECT_LE(false_accept.lo, 1.0 / 3.0);
+  EXPECT_GT(1.0 - false_accept.p_hat, false_reject.p_hat + 0.2);
+}
+
+TEST(AsymmetricThreshold, Validation) {
+  EXPECT_THROW(plan_asymmetric_threshold(1, {1.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan_asymmetric_threshold(100, {}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan_asymmetric_threshold(100, {1.0, -1.0}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(plan_asymmetric_threshold(100, {1.0}, 0.5, 0.7),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AND rule with costs (Section 4.1)
+// ---------------------------------------------------------------------------
+
+TEST(AsymmetricAnd, FeasibleWithGuarantees) {
+  const auto plan = plan_asymmetric_and(
+      1 << 17, bimodal_costs(16384, 1.0, 4.0), 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_GE(plan.guaranteed_completeness, 2.0 / 3.0 - 1e-9);
+  EXPECT_GE(plan.guaranteed_soundness, 2.0 / 3.0 - 1e-9);
+  // Cheap nodes shoulder more sampling.
+  EXPECT_GT(plan.samples_per_node.front(), plan.samples_per_node.back());
+}
+
+TEST(AsymmetricAnd, MaxCostBeatsNaiveUniformAssignment) {
+  // Forcing every node to the cheap-node sample count would cost the dear
+  // nodes 4x; the planner's max cost must beat that naive bound.
+  const auto plan = plan_asymmetric_and(
+      1 << 17, bimodal_costs(16384, 1.0, 4.0), 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible);
+  const double naive =
+      static_cast<double>(plan.samples_per_node.front()) * 4.0;
+  EXPECT_LT(plan.max_cost, naive);
+}
+
+TEST(AsymmetricAnd, UnitCostsRecoverSymmetricSampleCount) {
+  const std::uint64_t n = 1 << 17;
+  const std::uint64_t k = 16384;
+  const auto symmetric = plan_and_rule(n, k, 1.2, 1.0 / 3.0);
+  const auto asym = plan_asymmetric_and(n, std::vector<double>(k, 1.0), 1.2,
+                                        1.0 / 3.0);
+  ASSERT_TRUE(symmetric.feasible && asym.feasible);
+  const double s_sym = static_cast<double>(symmetric.samples_per_node);
+  const double s_asym = static_cast<double>(asym.samples_per_node[0]);
+  EXPECT_NEAR(s_asym, s_sym, 0.3 * s_sym);
+}
+
+TEST(AsymmetricAnd, EndToEndErrorWithinBudget) {
+  const std::uint64_t n = 1 << 14;
+  const auto plan = plan_asymmetric_and(n, bimodal_costs(8192, 1.0, 3.0),
+                                        1.3, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  const AliasSampler uni(uniform(n));
+  const auto false_reject = stats::estimate_probability(
+      21, 120, [&](stats::Xoshiro256& rng) {
+        return !run_asymmetric_and_network(plan, uni, rng);
+      });
+  EXPECT_LE(false_reject.lo, 1.0 / 3.0);
+
+  const AliasSampler far(far_instance(n, 1.3));
+  const auto false_accept = stats::estimate_probability(
+      22, 120, [&](stats::Xoshiro256& rng) {
+        return run_asymmetric_and_network(plan, far, rng);
+      });
+  EXPECT_LE(false_accept.lo, 1.0 / 3.0);
+}
+
+TEST(AsymmetricAnd, RunValidation) {
+  AsymmetricAndPlan bogus;
+  bogus.feasible = false;
+  const AliasSampler sampler(uniform(16));
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(run_asymmetric_and_network(bogus, sampler, rng),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace dut::core

@@ -1,0 +1,103 @@
+#include "dut/core/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(Distribution, ValidatesMass) {
+  EXPECT_THROW(Distribution({0.5, 0.4}), std::invalid_argument);
+  EXPECT_THROW(Distribution({0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(Distribution({-0.1, 1.1}), std::invalid_argument);
+  EXPECT_THROW(Distribution({}), std::invalid_argument);
+  EXPECT_NO_THROW(Distribution({0.5, 0.5}));
+  EXPECT_NO_THROW(Distribution({1.0}));
+}
+
+TEST(Distribution, FromWeightsNormalizes) {
+  const Distribution d = Distribution::from_weights({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(d[0], 0.25);
+  EXPECT_DOUBLE_EQ(d[1], 0.75);
+}
+
+TEST(Distribution, FromWeightsRejectsDegenerate) {
+  EXPECT_THROW(Distribution::from_weights({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Distribution::from_weights({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Distribution, UniformFunctionals) {
+  const Distribution u = uniform(100);
+  EXPECT_EQ(u.n(), 100u);
+  EXPECT_DOUBLE_EQ(u.l1_to_uniform(), 0.0);
+  EXPECT_NEAR(u.collision_probability(), 0.01, 1e-15);
+  EXPECT_NEAR(u.entropy(), std::log(100.0), 1e-12);
+  EXPECT_EQ(u.support_size(), 100u);
+}
+
+TEST(Distribution, L1DistanceSymmetricAndZeroOnSelf) {
+  const Distribution a({0.2, 0.8});
+  const Distribution b({0.5, 0.5});
+  EXPECT_DOUBLE_EQ(a.l1_distance(a), 0.0);
+  EXPECT_DOUBLE_EQ(a.l1_distance(b), b.l1_distance(a));
+  EXPECT_NEAR(a.l1_distance(b), 0.6, 1e-12);
+}
+
+TEST(Distribution, L1DomainMismatchThrows) {
+  const Distribution a({1.0});
+  const Distribution b({0.5, 0.5});
+  EXPECT_THROW(a.l1_distance(b), std::invalid_argument);
+}
+
+TEST(Distribution, TvIsHalfL1) {
+  const Distribution d = paninski_two_bump(10, 0.5);
+  EXPECT_DOUBLE_EQ(d.tv_to_uniform(), d.l1_to_uniform() / 2.0);
+}
+
+TEST(Distribution, KlToSelfIsZero) {
+  const Distribution d = paninski_two_bump(10, 0.5);
+  EXPECT_NEAR(d.kl_to(d), 0.0, 1e-12);
+}
+
+TEST(Distribution, SupportSizeCountsNonzeros) {
+  const Distribution d({0.5, 0.0, 0.5});
+  EXPECT_EQ(d.support_size(), 2u);
+}
+
+TEST(Distribution, MinMaxProbability) {
+  const Distribution d({0.1, 0.2, 0.7});
+  EXPECT_DOUBLE_EQ(d.min_probability(), 0.1);
+  EXPECT_DOUBLE_EQ(d.max_probability(), 0.7);
+}
+
+// Lemma 3.2: an eps-far distribution has chi > (1 + eps^2)/n. The Paninski
+// family attains the bound with equality: chi = (1 + eps^2)/n.
+TEST(Lemma32, PaninskiAttainsBoundWithEquality) {
+  for (double eps : {0.1, 0.25, 0.5, 0.9}) {
+    const Distribution mu = paninski_two_bump(1000, eps);
+    EXPECT_NEAR(mu.collision_probability(),
+                (1.0 + eps * eps) / 1000.0, 1e-15)
+        << "eps=" << eps;
+    EXPECT_NEAR(lemma32_ratio(mu), 1.0, 1e-9);
+  }
+}
+
+TEST(Lemma32, HoldsForAssortedFarFamilies) {
+  const std::uint64_t n = 512;
+  const Distribution candidates[] = {
+      heavy_hitter(n, 0.2),
+      restricted_support(n, n / 2),
+      zipf(n, 1.0),
+      step(n, 0.25, 4.0),
+  };
+  for (const Distribution& mu : candidates) {
+    ASSERT_GT(mu.l1_to_uniform(), 0.0);
+    EXPECT_GE(lemma32_ratio(mu), 1.0 - 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dut::core

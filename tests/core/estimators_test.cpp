@@ -1,0 +1,165 @@
+#include "dut/core/estimators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(EstimateChi, Validation) {
+  EXPECT_THROW(estimate_chi(std::vector<std::uint64_t>{1}),
+               std::invalid_argument);
+}
+
+TEST(EstimateChi, ExactOnDegenerateInputs) {
+  // All-equal samples: every pair collides, chi_hat = 1.
+  const std::vector<std::uint64_t> same(10, 7);
+  EXPECT_DOUBLE_EQ(estimate_chi(same).chi_hat, 1.0);
+  // All-distinct: chi_hat = 0.
+  std::vector<std::uint64_t> distinct(10);
+  for (std::uint64_t i = 0; i < 10; ++i) distinct[i] = i;
+  EXPECT_DOUBLE_EQ(estimate_chi(distinct).chi_hat, 0.0);
+}
+
+TEST(EstimateChi, UnbiasedAcrossFamilies) {
+  const std::uint64_t n = 1 << 10;
+  const Distribution families[] = {
+      uniform(n),
+      paninski_two_bump(n, 0.8),
+      heavy_hitter(n, 0.15),
+      zipf(n, 1.0),
+  };
+  for (const Distribution& mu : families) {
+    const AliasSampler sampler(mu);
+    stats::RunningStat chi_hats;
+    for (std::uint64_t t = 0; t < 400; ++t) {
+      stats::Xoshiro256 rng = stats::derive_stream(55, t);
+      chi_hats.add(estimate_chi(sampler.sample_many(rng, 128)).chi_hat);
+    }
+    // Unbiased: the mean over trials matches the true chi within a few
+    // standard errors of the mean.
+    const double sem = chi_hats.stddev() / std::sqrt(400.0);
+    EXPECT_NEAR(chi_hats.mean(), mu.collision_probability(),
+                5.0 * sem + 1e-6)
+        << "true chi " << mu.collision_probability();
+  }
+}
+
+TEST(EstimateChi, StdErrorMatchesEmpiricalScatter) {
+  // The plug-in U-statistic standard error (with the triple-collision
+  // correlation term) must match the empirical scatter within ~35%, even
+  // on a skewed family where overlapping pairs are strongly correlated.
+  const std::uint64_t n = 1 << 16;
+  const Distribution families[] = {heavy_hitter(n, 0.1), zipf(n, 1.0)};
+  for (const Distribution& mu : families) {
+    const AliasSampler sampler(mu);
+    stats::RunningStat chi_hats;
+    stats::RunningStat reported;
+    for (std::uint64_t t = 0; t < 600; ++t) {
+      stats::Xoshiro256 rng = stats::derive_stream(66, t);
+      const auto est = estimate_chi(sampler.sample_many(rng, 64));
+      chi_hats.add(est.chi_hat);
+      reported.add(est.std_error);
+    }
+    ASSERT_GT(chi_hats.stddev(), 0.0);
+    EXPECT_NEAR(reported.mean(), chi_hats.stddev(),
+                0.35 * chi_hats.stddev());
+  }
+}
+
+TEST(EstimateChi, LambdaHatEstimatesThirdMoment) {
+  const std::uint64_t n = 256;
+  const Distribution mu = heavy_hitter(n, 0.3);
+  double lambda = 0.0;
+  for (std::uint64_t x = 0; x < n; ++x) lambda += mu[x] * mu[x] * mu[x];
+  const AliasSampler sampler(mu);
+  stats::RunningStat lambda_hats;
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    stats::Xoshiro256 rng = stats::derive_stream(77, t);
+    lambda_hats.add(estimate_chi(sampler.sample_many(rng, 96)).lambda_hat);
+  }
+  const double sem = lambda_hats.stddev() / std::sqrt(500.0);
+  EXPECT_NEAR(lambda_hats.mean(), lambda, 5.0 * sem + 1e-6);
+}
+
+TEST(DistanceScore, RecoversPaninskiEps) {
+  // On the two-bump family, chi*n = 1 + eps^2 exactly, so the score at the
+  // true chi equals eps.
+  const std::uint64_t n = 1 << 12;
+  for (double eps : {0.3, 0.7, 1.0}) {
+    const double chi = paninski_two_bump(n, eps).collision_probability();
+    EXPECT_NEAR(collision_distance_score(chi, n), eps, 1e-9);
+  }
+}
+
+TEST(DistanceScore, ClampsBelowUniform) {
+  EXPECT_DOUBLE_EQ(collision_distance_score(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(collision_distance_score(1.0 / 200.0, 100), 0.0);
+}
+
+TEST(DistanceScore, Validation) {
+  EXPECT_THROW(collision_distance_score(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(collision_distance_score(-0.1, 10), std::invalid_argument);
+  EXPECT_THROW(collision_distance_score(1.1, 10), std::invalid_argument);
+}
+
+TEST(PluginL1, ExactWithFullKnowledge) {
+  // A sample vector hitting each of n=4 elements equally gives distance 0.
+  const std::vector<std::uint64_t> balanced{0, 1, 2, 3, 0, 1, 2, 3};
+  EXPECT_NEAR(plugin_l1_to_uniform(balanced, 4), 0.0, 1e-12);
+  // All mass observed on one of two elements: |1 - 1/2| + |0 - 1/2| = 1.
+  const std::vector<std::uint64_t> skewed{0, 0, 0, 0};
+  EXPECT_NEAR(plugin_l1_to_uniform(skewed, 2), 1.0, 1e-12);
+}
+
+TEST(PluginL1, SublinearSamplesSaturateNearTwo) {
+  // The naive estimator's failure mode: with s << n even uniform data
+  // looks maximally far.
+  const std::uint64_t n = 1 << 14;
+  const AliasSampler sampler(uniform(n));
+  stats::Xoshiro256 rng(5);
+  const auto samples = sampler.sample_many(rng, 64);
+  EXPECT_GT(plugin_l1_to_uniform(samples, n), 1.9);
+}
+
+TEST(PluginL1, Validation) {
+  EXPECT_THROW(plugin_l1_to_uniform(std::vector<std::uint64_t>{}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(plugin_l1_to_uniform(std::vector<std::uint64_t>{5}, 4),
+               std::invalid_argument);
+}
+
+TEST(EstimateSupport, CountsAndGoodTuring) {
+  const std::vector<std::uint64_t> samples{1, 1, 2, 3, 3, 3, 4};
+  const auto est = estimate_support(samples);
+  EXPECT_EQ(est.distinct, 4u);
+  EXPECT_EQ(est.singletons, 2u);  // {2, 4}
+  EXPECT_NEAR(est.unseen_mass, 2.0 / 7.0, 1e-12);
+}
+
+TEST(EstimateSupport, GoodTuringSanityOnRestrictedSupport) {
+  // Sampling a support of 64 elements 2000 times: nearly everything seen,
+  // unseen mass near zero.
+  const AliasSampler sampler(restricted_support(1 << 10, 64));
+  stats::Xoshiro256 rng(6);
+  const auto many = estimate_support(sampler.sample_many(rng, 2000));
+  EXPECT_EQ(many.distinct, 64u);
+  EXPECT_LT(many.unseen_mass, 0.02);
+  // With only 16 samples most of the support is unseen: mass estimate high.
+  stats::Xoshiro256 rng2(7);
+  const auto few = estimate_support(sampler.sample_many(rng2, 16));
+  EXPECT_GT(few.unseen_mass, 0.5);
+}
+
+TEST(EstimateSupport, Validation) {
+  EXPECT_THROW(estimate_support(std::vector<std::uint64_t>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::core

@@ -1,0 +1,125 @@
+#include "dut/core/families.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dut::core {
+namespace {
+
+TEST(Families, UniformRejectsZero) {
+  EXPECT_THROW(uniform(0), std::invalid_argument);
+}
+
+TEST(Families, PaninskiExactDistance) {
+  for (double eps : {0.0, 0.1, 0.5, 1.0}) {
+    const Distribution d = paninski_two_bump(100, eps);
+    EXPECT_NEAR(d.l1_to_uniform(), eps, 1e-12) << "eps=" << eps;
+  }
+}
+
+TEST(Families, PaninskiRequiresEvenN) {
+  EXPECT_THROW(paninski_two_bump(7, 0.5), std::invalid_argument);
+  EXPECT_THROW(paninski_two_bump(0, 0.5), std::invalid_argument);
+}
+
+TEST(Families, PaninskiRejectsOutOfRangeEps) {
+  EXPECT_THROW(paninski_two_bump(10, -0.1), std::invalid_argument);
+  EXPECT_THROW(paninski_two_bump(10, 1.1), std::invalid_argument);
+}
+
+TEST(Families, ShuffledPaninskiKeepsDistanceAndChangesLayout) {
+  const Distribution plain = paninski_two_bump(1000, 0.5);
+  const Distribution shuffled = paninski_two_bump_shuffled(1000, 0.5, 7);
+  EXPECT_NEAR(shuffled.l1_to_uniform(), 0.5, 1e-12);
+  EXPECT_NEAR(shuffled.collision_probability(),
+              plain.collision_probability(), 1e-15);
+  EXPECT_GT(plain.l1_distance(shuffled), 0.0);
+}
+
+TEST(Families, ShuffledPaninskiDeterministicPerSeed) {
+  const Distribution a = paninski_two_bump_shuffled(100, 0.5, 9);
+  const Distribution b = paninski_two_bump_shuffled(100, 0.5, 9);
+  EXPECT_DOUBLE_EQ(a.l1_distance(b), 0.0);
+}
+
+TEST(Families, HeavyHitterDistance) {
+  const std::uint64_t n = 100;
+  const double mass = 0.3;
+  const Distribution d = heavy_hitter(n, mass);
+  // |mass - 1/n| + (n-1) * |(1-mass)/(n-1) - 1/n| = 2*(mass - 1/n).
+  EXPECT_NEAR(d.l1_to_uniform(), 2.0 * (mass - 1.0 / n), 1e-12);
+}
+
+TEST(Families, HeavyHitterAtUniformMassIsUniform) {
+  const Distribution d = heavy_hitter(10, 0.1);
+  EXPECT_NEAR(d.l1_to_uniform(), 0.0, 1e-12);
+}
+
+TEST(Families, RestrictedSupportDistance) {
+  const Distribution d = restricted_support(100, 25);
+  EXPECT_NEAR(d.l1_to_uniform(), 2.0 * (1.0 - 0.25), 1e-12);
+  EXPECT_EQ(d.support_size(), 25u);
+}
+
+TEST(Families, RestrictedSupportFullIsUniform) {
+  const Distribution d = restricted_support(64, 64);
+  EXPECT_NEAR(d.l1_to_uniform(), 0.0, 1e-12);
+}
+
+TEST(Families, RestrictedSupportValidation) {
+  EXPECT_THROW(restricted_support(10, 0), std::invalid_argument);
+  EXPECT_THROW(restricted_support(10, 11), std::invalid_argument);
+}
+
+TEST(Families, ZipfIsDecreasingAndNormalized) {
+  const Distribution d = zipf(50, 1.2);
+  for (std::uint64_t i = 1; i < d.n(); ++i) {
+    EXPECT_LE(d[i], d[i - 1]);
+  }
+  EXPECT_GT(d.l1_to_uniform(), 0.5);
+}
+
+TEST(Families, ZipfExponentZeroIsUniform) {
+  const Distribution d = zipf(32, 0.0);
+  EXPECT_NEAR(d.l1_to_uniform(), 0.0, 1e-12);
+}
+
+TEST(Families, StepRatioOneIsUniform) {
+  EXPECT_NEAR(step(64, 0.5, 1.0).l1_to_uniform(), 0.0, 1e-12);
+}
+
+TEST(Families, StepConcentratesMassOnHead) {
+  const Distribution d = step(100, 0.1, 10.0);
+  EXPECT_GT(d[0], d[99]);
+  EXPECT_NEAR(d[0] / d[99], 10.0, 1e-9);
+}
+
+TEST(Families, MixtureInterpolatesDistance) {
+  const Distribution far = paninski_two_bump(100, 1.0);
+  const Distribution u = uniform(100);
+  const Distribution mid = mixture(far, u, 0.5);
+  EXPECT_NEAR(mid.l1_to_uniform(), 0.5, 1e-12);
+}
+
+TEST(Families, MixtureValidation) {
+  const Distribution a = uniform(10);
+  const Distribution b = uniform(20);
+  EXPECT_THROW(mixture(a, b, 0.5), std::invalid_argument);
+  EXPECT_THROW(mixture(a, a, 1.5), std::invalid_argument);
+}
+
+TEST(Families, AtDistanceHitsTargetExactly) {
+  const Distribution base = paninski_two_bump(200, 1.0);
+  for (double target : {0.1, 0.33, 0.75}) {
+    EXPECT_NEAR(at_distance(base, target).l1_to_uniform(), target, 1e-12);
+  }
+}
+
+TEST(Families, AtDistanceRejectsUnreachableTarget) {
+  const Distribution base = paninski_two_bump(200, 0.3);
+  EXPECT_THROW(at_distance(base, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::core

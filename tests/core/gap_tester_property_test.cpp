@@ -1,0 +1,166 @@
+// Property-based verification of Theorem 3.1 / Lemma 3.4: the
+// single-collision tester A_delta is a (delta, 1 + gamma*eps^2)-gap tester.
+//
+// Two layers:
+//  1. Deterministic: for every grid point, the exact birthday product
+//     certifies completeness, and the Wiener bound (Lemma 3.3) evaluated at
+//     Lemma 3.2's collision floor certifies soundness — this is the paper's
+//     proof chain evaluated numerically, with no sampling noise.
+//  2. Monte-Carlo: simulated accept/reject rates on the uniform and on the
+//     (worst-case) Paninski family stay consistent with the guarantees,
+//     using generous Wilson intervals so the suite is not flaky.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+struct GapGridPoint {
+  std::uint64_t n;
+  double eps;
+  double delta;
+};
+
+class GapTesterGrid : public ::testing::TestWithParam<GapGridPoint> {};
+
+TEST_P(GapTesterGrid, DeterministicCompletenessViaBirthdayProduct) {
+  const auto [n, eps, delta] = GetParam();
+  const GapTesterParams p = solve_gap_tester(n, eps, delta);
+  // Pr[accept | uniform] = prod_{i<s}(1 - i/n) >= 1 - binom(s,2)/n
+  //                      = 1 - delta_eff  (Markov step of Lemma 3.4(1)).
+  EXPECT_GE(uniform_no_collision_exact(p.s, n), 1.0 - p.delta - 1e-12);
+}
+
+TEST_P(GapTesterGrid, DeterministicSoundnessViaWienerBound) {
+  const auto [n, eps, delta] = GetParam();
+  const GapTesterParams p = solve_gap_tester(n, eps, delta);
+  if (!p.has_gap) GTEST_SKIP() << "outside the gap domain";
+  // Lemma 3.4(2): for any eps-far mu, chi >= (1+eps^2)/n (Lemma 3.2), so
+  // Pr[accept | mu] <= Wiener(s, chi) and the paper's algebra promises
+  // Wiener(s, (1+eps^2)/n) <= 1 - (1 + gamma*eps^2) * delta_eff.
+  const double chi_floor = (1.0 + eps * eps) / static_cast<double>(n);
+  const double accept_bound = wiener_no_collision_bound(p.s, chi_floor);
+  EXPECT_LE(accept_bound, 1.0 - p.alpha * p.delta + 1e-12)
+      << "s=" << p.s << " gamma=" << p.gamma;
+}
+
+TEST_P(GapTesterGrid, MonteCarloCompleteness) {
+  const auto [n, eps, delta] = GetParam();
+  const GapTesterParams p = solve_gap_tester(n, eps, delta);
+  const SingleCollisionTester tester(p);
+  const AliasSampler sampler(uniform(n));
+  const auto reject = stats::estimate_probability(
+      0xC0FFEE ^ n, 4000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(sampler, rng); });
+  // The claim Pr[reject | U] <= delta must not be refuted: its Wilson lower
+  // bound may not exceed delta.
+  EXPECT_LE(reject.lo, p.delta)
+      << "measured reject rate " << reject.p_hat << " vs delta " << p.delta;
+}
+
+TEST_P(GapTesterGrid, MonteCarloSoundnessOnWorstCaseFamily) {
+  const auto [n, eps, delta] = GetParam();
+  const GapTesterParams p = solve_gap_tester(n, eps, delta);
+  if (!p.has_gap) GTEST_SKIP() << "outside the gap domain";
+  const SingleCollisionTester tester(p);
+  const AliasSampler sampler(paninski_two_bump(n, eps));
+  const auto reject = stats::estimate_probability(
+      0xFACADE ^ n, 4000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(sampler, rng); });
+  // The claim Pr[reject | far] >= alpha*delta must not be refuted.
+  EXPECT_GE(reject.hi, p.alpha * p.delta)
+      << "measured reject rate " << reject.p_hat << " vs required "
+      << p.alpha * p.delta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GapTesterGrid,
+    ::testing::Values(
+        GapGridPoint{1 << 12, 0.5, 0.002}, GapGridPoint{1 << 12, 1.0, 0.01},
+        GapGridPoint{1 << 14, 0.25, 0.0002}, GapGridPoint{1 << 14, 0.5, 0.001},
+        GapGridPoint{1 << 14, 1.0, 0.02}, GapGridPoint{1 << 16, 0.25, 0.0005},
+        GapGridPoint{1 << 16, 0.5, 0.003}, GapGridPoint{1 << 16, 0.9, 0.01},
+        GapGridPoint{1 << 18, 0.25, 0.001}, GapGridPoint{1 << 18, 0.5, 0.005}),
+    [](const ::testing::TestParamInfo<GapGridPoint>& info) {
+      return "n" + std::to_string(info.param.n) + "_eps" +
+             std::to_string(static_cast<int>(info.param.eps * 100)) + "_d" +
+             std::to_string(static_cast<int>(info.param.delta * 1e5));
+    });
+
+// A dense deterministic sweep of the proof chain, far beyond the MC grid.
+TEST(GapTesterAlgebra, WienerChainHoldsAcrossDenseGrid) {
+  int checked = 0;
+  for (std::uint64_t n = 1 << 10; n <= (1 << 20); n <<= 2) {
+    for (double eps : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+      for (double delta = 1e-5; delta < 0.2; delta *= 2.0) {
+        const GapTesterParams p = solve_gap_tester(n, eps, delta);
+        if (!p.has_gap) continue;
+        const double chi_floor = (1.0 + eps * eps) / static_cast<double>(n);
+        EXPECT_LE(wiener_no_collision_bound(p.s, chi_floor),
+                  1.0 - p.alpha * p.delta + 1e-12)
+            << "n=" << n << " eps=" << eps << " delta=" << delta;
+        EXPECT_GE(uniform_no_collision_exact(p.s, n), 1.0 - p.delta - 1e-12);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);  // the grid must actually exercise the domain
+}
+
+// With a large delta the gap is wide enough to *resolve* empirically: the
+// far-instance reject rate must exceed the completeness budget delta itself,
+// demonstrating the separation (not just failing to refute it).
+TEST(GapTesterSeparation, EmpiricallyResolvableAtLargeDelta) {
+  const std::uint64_t n = 1 << 14;
+  const double eps = 1.0;
+  const GapTesterParams p = solve_gap_tester(n, eps, 0.05);
+  ASSERT_TRUE(p.has_gap);
+  const SingleCollisionTester tester(p);
+
+  const AliasSampler far_sampler(paninski_two_bump(n, eps));
+  const auto far_reject = stats::estimate_probability(
+      2024, 20000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(far_sampler, rng); });
+  EXPECT_GT(far_reject.lo, p.delta)
+      << "gap not resolved: far reject " << far_reject.p_hat
+      << " vs delta " << p.delta;
+
+  const AliasSampler uni_sampler(uniform(n));
+  const auto uni_reject = stats::estimate_probability(
+      2025, 20000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(uni_sampler, rng); });
+  EXPECT_LE(uni_reject.lo, p.delta) << "completeness refuted";
+  EXPECT_GT(far_reject.lo, uni_reject.hi)
+      << "the two reject rates are statistically indistinguishable";
+}
+
+// The filter-style sanity check the paper leans on: the tester is label-
+// invariant (symmetric), so a shuffled Paninski instance behaves like the
+// canonical one.
+TEST(GapTesterSeparation, LabelInvariance) {
+  const std::uint64_t n = 1 << 14;
+  const double eps = 1.0;
+  const GapTesterParams p = solve_gap_tester(n, eps, 0.05);
+  const SingleCollisionTester tester(p);
+  const AliasSampler canonical(paninski_two_bump(n, eps));
+  const AliasSampler shuffled(paninski_two_bump_shuffled(n, eps, 99));
+  const auto rej_canonical = stats::estimate_probability(
+      1, 12000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(canonical, rng); });
+  const auto rej_shuffled = stats::estimate_probability(
+      2, 12000,
+      [&](stats::Xoshiro256& rng) { return !tester.run(shuffled, rng); });
+  // Same true rate => overlapping generous intervals.
+  EXPECT_LT(rej_canonical.lo, rej_shuffled.hi);
+  EXPECT_LT(rej_shuffled.lo, rej_canonical.hi);
+}
+
+}  // namespace
+}  // namespace dut::core

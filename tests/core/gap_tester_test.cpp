@@ -1,0 +1,166 @@
+#include "dut/core/gap_tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(HasCollision, DetectsDuplicates) {
+  EXPECT_TRUE(has_collision(std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_TRUE(has_collision(std::vector<std::uint64_t>{5, 5}));
+  EXPECT_FALSE(has_collision(std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(has_collision(std::vector<std::uint64_t>{7}));
+  EXPECT_FALSE(has_collision(std::vector<std::uint64_t>{}));
+}
+
+TEST(CountCollidingPairs, CountsMultiplicityPairs) {
+  // {1,1,1} has binom(3,2)=3 pairs; {2,2} adds 1.
+  EXPECT_EQ(count_colliding_pairs(std::vector<std::uint64_t>{1, 1, 1, 2, 2}),
+            4u);
+  EXPECT_EQ(count_colliding_pairs(std::vector<std::uint64_t>{1, 2, 3}), 0u);
+  EXPECT_EQ(count_colliding_pairs(std::vector<std::uint64_t>{}), 0u);
+}
+
+TEST(SolveGapTester, SolvesTheQuadraticExactly) {
+  // delta = s(s-1)/(2n) must invert: request the delta of a known s.
+  const std::uint64_t n = 10000;
+  for (std::uint64_t s : {3ULL, 10ULL, 57ULL, 131ULL}) {
+    const double delta = static_cast<double>(s * (s - 1)) / (2.0 * n);
+    const GapTesterParams p = solve_gap_tester(n, 0.5, delta);
+    EXPECT_EQ(p.s, s);
+    EXPECT_DOUBLE_EQ(p.delta, delta);
+  }
+}
+
+TEST(SolveGapTester, RoundingModes) {
+  const std::uint64_t n = 10000;
+  const double delta = 0.01;  // s_real = (1+sqrt(1+800))/2 ~ 14.65
+  EXPECT_EQ(solve_gap_tester(n, 0.5, delta, Rounding::kDown).s, 14u);
+  EXPECT_EQ(solve_gap_tester(n, 0.5, delta, Rounding::kUp).s, 15u);
+  const auto nearest = solve_gap_tester(n, 0.5, delta, Rounding::kNearest).s;
+  EXPECT_TRUE(nearest == 14 || nearest == 15);
+}
+
+TEST(SolveGapTester, EffectiveDeltaBracketsRequested) {
+  const std::uint64_t n = 1 << 16;
+  const double delta = 0.003;
+  const auto down = solve_gap_tester(n, 0.5, delta, Rounding::kDown);
+  const auto up = solve_gap_tester(n, 0.5, delta, Rounding::kUp);
+  EXPECT_LE(down.delta, delta + 1e-12);
+  EXPECT_GE(up.delta, delta - 1e-12);
+}
+
+TEST(SolveGapTester, MinimumTwoSamples) {
+  // Tiny delta forces the s >= 2 clamp; effective delta becomes 1/n.
+  const auto p = solve_gap_tester(1000, 0.5, 1e-9, Rounding::kDown);
+  EXPECT_EQ(p.s, 2u);
+  EXPECT_DOUBLE_EQ(p.delta, 1.0 / 1000.0);
+}
+
+TEST(SolveGapTester, InputValidation) {
+  EXPECT_THROW(solve_gap_tester(1, 0.5, 0.01), std::invalid_argument);
+  EXPECT_THROW(solve_gap_tester(100, 0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(solve_gap_tester(100, 2.5, 0.01), std::invalid_argument);
+  EXPECT_THROW(solve_gap_tester(100, 0.5, 0.0), std::invalid_argument);
+  EXPECT_THROW(solve_gap_tester(100, 0.5, 1.0), std::invalid_argument);
+}
+
+TEST(SolveGapTester, PaperDomainImpliesGammaAtLeastHalf) {
+  // DESIGN.md: the paper's strict domain (delta < eps^4/64, n > 64/(eps^4 d))
+  // should guarantee gamma >= 1/2. Checked across a grid.
+  for (double eps : {0.3, 0.5, 0.8, 1.0}) {
+    for (double delta = 1e-5; delta < 0.3; delta *= 2.7) {
+      for (std::uint64_t n : {1ULL << 12, 1ULL << 16, 1ULL << 20}) {
+        const auto p = solve_gap_tester(n, eps, delta);
+        if (p.in_paper_domain) {
+          EXPECT_GE(p.gamma, 0.5)
+              << "eps=" << eps << " delta=" << delta << " n=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(SolveGapTester, AlphaConsistentWithGamma) {
+  const auto p = solve_gap_tester(1 << 16, 0.5, 0.0005);
+  EXPECT_NEAR(p.alpha, 1.0 + p.gamma * 0.25, 1e-12);
+}
+
+TEST(GapSlackGamma, ApproachesOneInTheLimit) {
+  // gamma -> 1 as s -> inf and delta -> 0.
+  EXPECT_GT(gap_slack_gamma(100000, 1e-8, 0.5), 0.99);
+}
+
+TEST(GapSlackGamma, NegativeWhenDeltaTooLarge) {
+  EXPECT_LT(gap_slack_gamma(100, 0.3, 0.5), 0.0);
+}
+
+TEST(WienerBound, MatchesClosedForm) {
+  const double chi = 1e-4;
+  const std::uint64_t s = 51;
+  const double t = 50.0 * std::sqrt(chi);
+  EXPECT_NEAR(wiener_no_collision_bound(s, chi), std::exp(-t) * (1 + t),
+              1e-12);
+}
+
+TEST(WienerBound, TrivialForFewSamples) {
+  EXPECT_DOUBLE_EQ(wiener_no_collision_bound(1, 0.5), 1.0);
+}
+
+TEST(WienerBound, DominatesExactUniformProbability) {
+  // Lemma 3.3 is an upper bound on Pr[no collision]; for the uniform
+  // distribution (chi = 1/n) it must dominate the exact birthday product.
+  for (std::uint64_t n : {100ULL, 1000ULL, 100000ULL}) {
+    const double chi = 1.0 / static_cast<double>(n);
+    for (std::uint64_t s = 2; s * s < 4 * n; s += 3) {
+      EXPECT_GE(wiener_no_collision_bound(s, chi) + 1e-12,
+                uniform_no_collision_exact(s, n))
+          << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(UniformNoCollisionExact, SmallCases) {
+  EXPECT_DOUBLE_EQ(uniform_no_collision_exact(2, 4), 0.75);
+  EXPECT_DOUBLE_EQ(uniform_no_collision_exact(3, 4), 0.75 * 0.5);
+  EXPECT_DOUBLE_EQ(uniform_no_collision_exact(5, 4), 0.0);  // pigeonhole
+  EXPECT_DOUBLE_EQ(uniform_no_collision_exact(1, 4), 1.0);
+}
+
+TEST(SingleCollisionTester, AcceptIffDistinct) {
+  const auto params = solve_gap_tester(1000, 0.5, 0.003);
+  const SingleCollisionTester tester(params);
+  std::vector<std::uint64_t> distinct(params.s);
+  for (std::uint64_t i = 0; i < params.s; ++i) distinct[i] = i;
+  EXPECT_TRUE(tester.accept(distinct));
+  distinct[0] = distinct[1];
+  EXPECT_FALSE(tester.accept(distinct));
+}
+
+TEST(SingleCollisionTester, RejectsWrongSampleCount) {
+  const auto params = solve_gap_tester(1000, 0.5, 0.003);
+  const SingleCollisionTester tester(params);
+  EXPECT_THROW(tester.accept(std::vector<std::uint64_t>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(ParamsFromSamples, RoundTripsWithSolver) {
+  const auto solved = solve_gap_tester(1 << 14, 0.5, 0.002);
+  const auto direct = params_from_samples(1 << 14, 0.5, solved.s);
+  EXPECT_DOUBLE_EQ(direct.delta, solved.delta);
+  EXPECT_DOUBLE_EQ(direct.gamma, solved.gamma);
+  EXPECT_DOUBLE_EQ(direct.alpha, solved.alpha);
+}
+
+TEST(ParamsFromSamples, Validation) {
+  EXPECT_THROW(params_from_samples(100, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(params_from_samples(1, 0.5, 2), std::invalid_argument);
+  EXPECT_THROW(params_from_samples(100, 0.0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::core

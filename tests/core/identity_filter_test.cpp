@@ -1,0 +1,155 @@
+#include "dut/core/identity_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(IdentityFilter, Validation) {
+  EXPECT_THROW(IdentityFilter(uniform(8), 0.0), std::invalid_argument);
+  EXPECT_THROW(IdentityFilter(uniform(8), 2.5), std::invalid_argument);
+  EXPECT_THROW(IdentityFilter(uniform(8), 0.5, 2.0), std::invalid_argument);
+}
+
+TEST(IdentityFilter, DomainAndEpsilonBookkeeping) {
+  const IdentityFilter filter(zipf(64, 1.0), 0.5);
+  EXPECT_EQ(filter.input_domain(), 64u);
+  // m = ceil(8 * n / eps) = 1024.
+  EXPECT_EQ(filter.output_domain(), 1024u);
+  // output_eps = (1 - 2n/m) * eps/2 = (1 - 1/8) * 0.25.
+  EXPECT_NEAR(filter.output_epsilon(), 0.875 * 0.25, 1e-12);
+}
+
+TEST(IdentityFilter, ApplyRejectsOutOfDomainSample) {
+  const IdentityFilter filter(uniform(16), 0.5);
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(filter.apply(16, rng), std::invalid_argument);
+}
+
+TEST(IdentityFilter, ApplyStaysInOutputDomain) {
+  const IdentityFilter filter(zipf(32, 1.5), 0.5);
+  stats::Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(filter.apply(rng.below(32), rng), filter.output_domain());
+  }
+}
+
+// The core guarantee, checked EXACTLY via the pushforward: when the unknown
+// distribution equals the reference q, the filter output is uniform on [m].
+TEST(IdentityFilter, PushforwardOfReferenceIsExactlyUniform) {
+  const Distribution references[] = {
+      uniform(32), zipf(32, 1.0), heavy_hitter(32, 0.4), step(32, 0.25, 3.0),
+  };
+  for (const Distribution& q : references) {
+    const IdentityFilter filter(q, 0.5);
+    const Distribution out = filter.pushforward(q);
+    EXPECT_LT(out.l1_to_uniform(), 1e-9);
+  }
+}
+
+// And when the input is eps-far from q, the output is output_epsilon()-far
+// from uniform — again checked exactly.
+TEST(IdentityFilter, PushforwardOfFarInputStaysFar) {
+  const Distribution q = zipf(64, 1.0);
+  const IdentityFilter filter(q, 0.5);
+  // Build some mu at L1 distance >= 0.5 from q.
+  const Distribution mu = uniform(64);
+  ASSERT_GE(mu.l1_distance(q), 0.5);
+  const Distribution out = filter.pushforward(mu);
+  EXPECT_GE(out.l1_to_uniform(), filter.output_epsilon() - 1e-12);
+}
+
+TEST(IdentityFilter, PushforwardDistancePreservedForManyPairs) {
+  const std::uint64_t n = 48;
+  const Distribution q = step(n, 0.5, 2.0);
+  const IdentityFilter filter(q, 0.4);
+  const Distribution candidates[] = {
+      heavy_hitter(n, 0.5),
+      restricted_support(n, n / 4),
+      zipf(n, 2.0),
+  };
+  for (const Distribution& mu : candidates) {
+    if (mu.l1_distance(q) < 0.4) continue;
+    const Distribution out = filter.pushforward(mu);
+    EXPECT_GE(out.l1_to_uniform(), filter.output_epsilon() - 1e-12);
+  }
+}
+
+// Sampling through apply() matches the exact pushforward distribution.
+TEST(IdentityFilter, EmpiricalApplyMatchesPushforward) {
+  const Distribution q = zipf(16, 1.0);
+  const IdentityFilter filter(q, 0.5);
+  const Distribution expected = filter.pushforward(q);
+  const AliasSampler q_sampler(q);
+  stats::Xoshiro256 rng(42);
+  std::vector<double> counts(filter.output_domain(), 0.0);
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[filter.apply(q_sampler.sample(rng), rng)];
+  }
+  double l1 = 0.0;
+  for (std::uint64_t g = 0; g < filter.output_domain(); ++g) {
+    l1 += std::abs(counts[g] / kDraws - expected[g]);
+  }
+  // Expected empirical L1 for m cells is ~ sqrt(m/kDraws) ~ 0.025.
+  EXPECT_LT(l1, 0.1);
+}
+
+// End-to-end: identity testing via the filter + a centralized collision
+// tester on the output domain (the distributed versions are exercised in
+// the integration tests and bench/e12).
+TEST(IdentityFilter, EndToEndIdentityTest) {
+  // Parameters chosen so the collision tester on the *output* domain is
+  // inside its gap domain: the output eps shrinks to ~eps/2, so the input
+  // eps must be generous and the grain count large (grains_per_eps = 16
+  // gives m ~ 55k and output eps ~ 0.51).
+  const std::uint64_t n = 1 << 12;
+  const double eps = 1.2;
+  const Distribution q = step(n, 0.5, 3.0);
+  const IdentityFilter filter(q, eps, 16.0);
+
+  const std::uint64_t m = filter.output_domain();
+  const double eps_out = filter.output_epsilon();
+  const auto params = solve_gap_tester(m, eps_out, 0.002);
+  ASSERT_TRUE(params.has_gap)
+      << "m=" << m << " eps_out=" << eps_out << " gamma=" << params.gamma;
+  const SingleCollisionTester tester(params);
+
+  auto run_through_filter = [&](const AliasSampler& sampler,
+                                stats::Xoshiro256& rng) {
+    std::vector<std::uint64_t> grains(params.s);
+    for (std::uint64_t i = 0; i < params.s; ++i) {
+      grains[i] = filter.apply(sampler.sample(rng), rng);
+    }
+    return tester.accept(grains);
+  };
+
+  const AliasSampler q_sampler(q);
+  const auto accept_q = stats::estimate_probability(
+      100, 5000, [&](stats::Xoshiro256& rng) {
+        return run_through_filter(q_sampler, rng);
+      });
+  // Completeness claim Pr[reject | q] <= delta must not be refuted.
+  EXPECT_LE(1.0 - accept_q.hi, params.delta);
+
+  const Distribution mu = heavy_hitter(n, 0.7);
+  ASSERT_GE(mu.l1_distance(q), eps);
+  const AliasSampler mu_sampler(mu);
+  const auto accept_far = stats::estimate_probability(
+      101, 5000, [&](stats::Xoshiro256& rng) {
+        return run_through_filter(mu_sampler, rng);
+      });
+  // The heavy hitter concentrates pushforward mass on one bucket, so the
+  // far side should reject overwhelmingly more often than the delta budget.
+  EXPECT_GT(1.0 - accept_far.p_hat, 10.0 * params.delta);
+}
+
+}  // namespace
+}  // namespace dut::core

@@ -1,0 +1,265 @@
+// Deterministic audits of the planners' guarantee arithmetic across
+// parameter grids. No Monte-Carlo here: every feasible plan's claimed
+// bounds are recomputed independently from first principles (exact
+// binomial tails, the completeness/soundness products, eq. (5)'s
+// inequalities) and must check out.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "dut/core/asymmetric.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/bounds.hpp"
+
+namespace dut::core {
+namespace {
+
+struct PlanPoint {
+  std::uint64_t n;
+  std::uint64_t k;
+  double eps;
+};
+
+std::string point_name(const ::testing::TestParamInfo<PlanPoint>& info) {
+  return "n" + std::to_string(info.param.n) + "_k" +
+         std::to_string(info.param.k) + "_eps" +
+         std::to_string(static_cast<int>(info.param.eps * 100));
+}
+
+// ---------------------------------------------------------------------------
+// Threshold planner audit
+// ---------------------------------------------------------------------------
+
+class ThresholdPlanAudit : public ::testing::TestWithParam<PlanPoint> {};
+
+TEST_P(ThresholdPlanAudit, ExactBinomialBoundsRecompute) {
+  const auto [n, k, eps] = GetParam();
+  const auto plan =
+      plan_threshold(n, k, eps, 1.0 / 3.0, TailBound::kExactBinomial);
+  if (!plan.feasible) GTEST_SKIP() << "point infeasible";
+
+  // Completeness: per-node reject probability on uniform is at most the
+  // effective delta (Markov), and the exact collision probability
+  // 1 - prod(1 - i/n) is even smaller; recompute the network bound at the
+  // worst case q = delta.
+  const double worst_fr =
+      stats::binomial_tail_geq(k, plan.base.delta, plan.threshold);
+  EXPECT_LE(worst_fr, 1.0 / 3.0 + 1e-12);
+  EXPECT_NEAR(worst_fr, plan.bound_false_reject, 1e-9);
+
+  // Soundness: q >= alpha * delta for every eps-far input.
+  const double q_far = std::min(1.0, plan.base.alpha * plan.base.delta);
+  const double worst_fa =
+      stats::binomial_tail_leq(k, q_far, plan.threshold - 1);
+  EXPECT_LE(worst_fa, 1.0 / 3.0 + 1e-12);
+  EXPECT_NEAR(worst_fa, plan.bound_false_accept, 1e-9);
+
+  // T is minimal: T - 1 must break completeness (otherwise the planner
+  // left rounds on the table).
+  if (plan.threshold > 1) {
+    EXPECT_GT(
+        stats::binomial_tail_geq(k, plan.base.delta, plan.threshold - 1),
+        1.0 / 3.0);
+  }
+}
+
+TEST_P(ThresholdPlanAudit, ChernoffBoundsSatisfyEquationFive) {
+  const auto [n, k, eps] = GetParam();
+  const auto plan = plan_threshold(n, k, eps, 1.0 / 3.0,
+                                   TailBound::kChernoff);
+  if (!plan.feasible) GTEST_SKIP() << "point infeasible under Chernoff";
+  const double L = std::log(3.0);
+  const double T = static_cast<double>(plan.threshold);
+  // eq. (5): eta_U + sqrt(3 L eta_U) <= T <= eta_far - sqrt(2 L eta_far).
+  EXPECT_GE(T, plan.eta_uniform + std::sqrt(3.0 * L * plan.eta_uniform) -
+                   1.0 + 1e-9);  // T was the ceiling of the left end
+  EXPECT_LE(T, plan.eta_far - std::sqrt(2.0 * L * plan.eta_far) + 1e-9);
+  // The Chernoff forms themselves.
+  EXPECT_NEAR(plan.bound_false_reject,
+              std::exp(-std::pow(T - plan.eta_uniform, 2.0) /
+                       (3.0 * plan.eta_uniform)),
+              1e-12);
+  EXPECT_NEAR(plan.bound_false_accept,
+              std::exp(-std::pow(plan.eta_far - T, 2.0) /
+                       (2.0 * plan.eta_far)),
+              1e-12);
+}
+
+TEST_P(ThresholdPlanAudit, GapTesterParametersAreInternallyConsistent) {
+  const auto [n, k, eps] = GetParam();
+  const auto plan =
+      plan_threshold(n, k, eps, 1.0 / 3.0, TailBound::kExactBinomial);
+  if (!plan.feasible) GTEST_SKIP();
+  const auto& base = plan.base;
+  EXPECT_EQ(base.n, n);
+  EXPECT_DOUBLE_EQ(base.delta,
+                   static_cast<double>(base.s) *
+                       static_cast<double>(base.s - 1) /
+                       (2.0 * static_cast<double>(n)));
+  EXPECT_DOUBLE_EQ(base.alpha, 1.0 + base.gamma * eps * eps);
+  EXPECT_TRUE(base.has_gap);
+  EXPECT_GT(base.gamma, 0.0);
+  // The exact uniform acceptance dominates the Markov bound used above.
+  EXPECT_GE(uniform_no_collision_exact(base.s, n), 1.0 - base.delta - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ThresholdPlanAudit,
+    ::testing::Values(PlanPoint{1 << 14, 1024, 0.9},
+                      PlanPoint{1 << 14, 4096, 0.9},
+                      PlanPoint{1 << 16, 4096, 0.9},
+                      PlanPoint{1 << 16, 16384, 0.8},
+                      PlanPoint{1 << 16, 16384, 1.2},
+                      PlanPoint{1 << 18, 16384, 0.9},
+                      PlanPoint{1 << 18, 65536, 0.7},
+                      PlanPoint{1 << 12, 2048, 1.0}),
+    point_name);
+
+// ---------------------------------------------------------------------------
+// AND-rule planner audit
+// ---------------------------------------------------------------------------
+
+class AndPlanAudit : public ::testing::TestWithParam<PlanPoint> {};
+
+TEST_P(AndPlanAudit, GuaranteesRecomputeFromFirstPrinciples) {
+  const auto [n, k, eps] = GetParam();
+  const double p = 1.0 / 3.0;
+  const auto plan = plan_and_rule(n, k, eps, p);
+  if (!plan.feasible) GTEST_SKIP() << "point infeasible";
+
+  const double kd = static_cast<double>(k);
+  const double md = static_cast<double>(plan.repetitions);
+  // Completeness: node rejects uniform iff all m runs collide; per-run
+  // collision probability <= delta (Markov).
+  const double node_reject_uniform = std::pow(plan.base.delta, md);
+  const double completeness = std::pow(1.0 - node_reject_uniform, kd);
+  EXPECT_GE(completeness, 1.0 - p - 1e-9);
+  EXPECT_NEAR(completeness, plan.guaranteed_completeness, 1e-9);
+
+  // Soundness: per-run far-rejection >= alpha*delta.
+  const double node_reject_far =
+      std::pow(plan.base.alpha * plan.base.delta, md);
+  const double soundness = 1.0 - std::pow(1.0 - node_reject_far, kd);
+  EXPECT_GE(soundness, 1.0 - p - 1e-9);
+  EXPECT_NEAR(soundness, plan.guaranteed_soundness, 1e-9);
+
+  EXPECT_EQ(plan.samples_per_node, plan.repetitions * plan.base.s);
+  EXPECT_TRUE(plan.base.has_gap);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AndPlanAudit,
+    ::testing::Values(PlanPoint{1 << 14, 4096, 1.2},
+                      PlanPoint{1 << 15, 4096, 1.2},
+                      PlanPoint{1 << 15, 16384, 1.2},
+                      PlanPoint{1 << 17, 16384, 1.1},
+                      PlanPoint{1 << 17, 65536, 1.5},
+                      PlanPoint{1 << 20, 65536, 1.2}),
+    point_name);
+
+// ---------------------------------------------------------------------------
+// Asymmetric planner audits
+// ---------------------------------------------------------------------------
+
+class AsymmetricAudit : public ::testing::TestWithParam<double> {};
+
+TEST_P(AsymmetricAudit, ThresholdCostsEqualizeAcrossNodes) {
+  const double ratio = GetParam();
+  const std::uint64_t n = 1 << 14;
+  std::vector<double> costs(4096, 1.0);
+  for (std::size_t i = 2048; i < 4096; ++i) costs[i] = ratio;
+  const auto plan = plan_asymmetric_threshold(n, costs, 1.2);
+  if (!plan.feasible) GTEST_SKIP();
+  // s_i = C * T_i: every ACTIVE node's bill s_i * c_i agrees with the
+  // common C up to one sample's worth of rounding.
+  double min_bill = 1e300;
+  double max_bill = 0.0;
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    if (plan.node_params[i].s < 2) continue;
+    const double bill =
+        static_cast<double>(plan.node_params[i].s) * costs[i];
+    min_bill = std::min(min_bill, bill);
+    max_bill = std::max(max_bill, bill);
+  }
+  EXPECT_LE(max_bill - min_bill, std::max(1.0, ratio) + 1e-9);
+  EXPECT_DOUBLE_EQ(max_bill, plan.max_cost);
+  // Chernoff placement audit: the plan's claimed error bounds.
+  EXPECT_LE(plan.bound_false_reject, 1.0 / 3.0 + 1e-12);
+  EXPECT_LE(plan.bound_false_accept, 1.0 / 3.0 + 1e-12);
+  // Budget bookkeeping: eta_uniform really is the sum of node deltas.
+  double sum_delta = 0.0;
+  for (const auto& params : plan.node_params) sum_delta += params.delta;
+  EXPECT_NEAR(sum_delta, plan.eta_uniform, 1e-9);
+}
+
+TEST_P(AsymmetricAudit, AndRuleProductsRecompute) {
+  const double ratio = GetParam();
+  const std::uint64_t n = 1 << 17;
+  std::vector<double> costs(16384, 1.0);
+  for (std::size_t i = 8192; i < 16384; ++i) costs[i] = ratio;
+  const auto plan = plan_asymmetric_and(n, costs, 1.2, 1.0 / 3.0);
+  if (!plan.feasible) GTEST_SKIP();
+  const double md = static_cast<double>(plan.repetitions);
+  double log_complete = 0.0;
+  double log_sound_accept = 0.0;
+  for (const auto& params : plan.node_params) {
+    if (params.s < 2) continue;
+    log_complete += std::log1p(-std::pow(params.delta, md));
+    log_sound_accept +=
+        std::log1p(-std::pow(params.alpha * params.delta, md));
+  }
+  EXPECT_NEAR(std::exp(log_complete), plan.guaranteed_completeness, 1e-9);
+  EXPECT_NEAR(1.0 - std::exp(log_sound_accept), plan.guaranteed_soundness,
+              1e-9);
+  EXPECT_GE(plan.guaranteed_completeness, 2.0 / 3.0 - 1e-9);
+  EXPECT_GE(plan.guaranteed_soundness, 2.0 / 3.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(CostRatios, AsymmetricAudit,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "ratio" + std::to_string(
+                                                static_cast<int>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-planner monotonicity properties
+// ---------------------------------------------------------------------------
+
+TEST(PlannerMonotonicity, ThresholdSamplesDecreaseInK) {
+  std::uint64_t previous = UINT64_MAX;
+  for (std::uint64_t k : {1024ULL, 2048ULL, 4096ULL, 8192ULL, 16384ULL}) {
+    const auto plan = plan_threshold(1 << 16, k, 0.9, 1.0 / 3.0,
+                                     TailBound::kExactBinomial);
+    if (!plan.feasible) continue;
+    EXPECT_LE(plan.base.s, previous) << "k=" << k;
+    previous = plan.base.s;
+  }
+}
+
+TEST(PlannerMonotonicity, ThresholdSamplesIncreaseInN) {
+  std::uint64_t previous = 0;
+  for (std::uint64_t n = 1 << 12; n <= (1 << 20); n <<= 2) {
+    const auto plan = plan_threshold(n, 8192, 0.9, 1.0 / 3.0,
+                                     TailBound::kExactBinomial);
+    if (!plan.feasible) continue;
+    EXPECT_GE(plan.base.s, previous) << "n=" << n;
+    previous = plan.base.s;
+  }
+}
+
+TEST(PlannerMonotonicity, LooserErrorNeedsNoMoreSamples) {
+  const auto strict = plan_threshold(1 << 16, 8192, 0.9, 0.2,
+                                     TailBound::kExactBinomial);
+  const auto loose = plan_threshold(1 << 16, 8192, 0.9, 0.4,
+                                    TailBound::kExactBinomial);
+  ASSERT_TRUE(loose.feasible);
+  if (strict.feasible) {
+    EXPECT_LE(loose.base.s, strict.base.s);
+  }
+}
+
+}  // namespace
+}  // namespace dut::core

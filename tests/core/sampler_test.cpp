@@ -1,0 +1,97 @@
+#include "dut/core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/stats/bounds.hpp"
+
+namespace dut::core {
+namespace {
+
+TEST(AliasSampler, PointMassAlwaysSamplesIt) {
+  const Distribution d({0.0, 1.0, 0.0});
+  const AliasSampler sampler(d);
+  stats::Xoshiro256 rng(1);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(AliasSampler, NeverSamplesZeroMassElements) {
+  const Distribution d({0.5, 0.0, 0.5, 0.0});
+  const AliasSampler sampler(d);
+  stats::Xoshiro256 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = sampler.sample(rng);
+    EXPECT_TRUE(x == 0 || x == 2) << x;
+  }
+}
+
+TEST(AliasSampler, EmpiricalFrequenciesMatchPmf) {
+  const Distribution d({0.1, 0.2, 0.3, 0.4});
+  const AliasSampler sampler(d);
+  stats::Xoshiro256 rng(3);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, d[i], 0.01);
+  }
+}
+
+TEST(AliasSampler, UniformFrequencies) {
+  const AliasSampler sampler(uniform(64));
+  stats::Xoshiro256 rng(4);
+  constexpr int kDraws = 128000;
+  std::vector<int> counts(64, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 64, 450);  // ~10 sigma margin
+  }
+}
+
+TEST(AliasSampler, PaninskiBumpFrequencies) {
+  const Distribution d = paninski_two_bump(16, 0.8);
+  const AliasSampler sampler(d);
+  stats::Xoshiro256 rng(5);
+  constexpr int kDraws = 160000;
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.sample(rng)];
+  for (std::uint64_t i = 0; i < 16; i += 2) {
+    // heavy elements should see ~ (1.8/16) * draws; light ~ (0.2/16).
+    EXPECT_GT(counts[i], counts[i + 1] * 4);
+  }
+}
+
+TEST(AliasSampler, SampleManyMatchesCount) {
+  const AliasSampler sampler(uniform(8));
+  stats::Xoshiro256 rng(6);
+  const auto samples = sampler.sample_many(rng, 1000);
+  EXPECT_EQ(samples.size(), 1000u);
+  for (const std::uint64_t x : samples) EXPECT_LT(x, 8u);
+}
+
+TEST(AliasSampler, SampleIntoReusesBuffer) {
+  const AliasSampler sampler(uniform(8));
+  stats::Xoshiro256 rng(7);
+  std::vector<std::uint64_t> buf{99, 99, 99};
+  sampler.sample_into(rng, 5, buf);
+  EXPECT_EQ(buf.size(), 5u);
+  for (const std::uint64_t x : buf) EXPECT_LT(x, 8u);
+}
+
+TEST(AliasSampler, DeterministicPerRngStream) {
+  const AliasSampler sampler(zipf(100, 1.0));
+  stats::Xoshiro256 a(11);
+  stats::Xoshiro256 b(11);
+  EXPECT_EQ(sampler.sample_many(a, 100), sampler.sample_many(b, 100));
+}
+
+TEST(AliasSampler, SingleElementDomain) {
+  const AliasSampler sampler(uniform(1));
+  stats::Xoshiro256 rng(8);
+  EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace dut::core

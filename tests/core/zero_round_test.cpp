@@ -1,0 +1,247 @@
+#include "dut/core/zero_round.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AND rule (Theorem 1.1)
+// ---------------------------------------------------------------------------
+
+TEST(AndRulePlanner, FeasibleRegimeProducesGuarantees) {
+  const auto plan = plan_and_rule(1 << 17, 16384, 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_GE(plan.repetitions, 1u);
+  EXPECT_EQ(plan.samples_per_node, plan.repetitions * plan.base.s);
+  EXPECT_GE(plan.guaranteed_completeness, 2.0 / 3.0);
+  EXPECT_GE(plan.guaranteed_soundness, 2.0 / 3.0);
+  EXPECT_TRUE(plan.base.has_gap);
+}
+
+TEST(AndRulePlanner, SamplesPerNodeShrinkWithNetworkSize) {
+  // Theorem 1.1: s = Theta((C_p/eps^2) sqrt(n / k^{Theta(eps^2/C_p)})) —
+  // more nodes, fewer samples each.
+  std::uint64_t prev = UINT64_MAX;
+  for (std::uint64_t k : {4096ULL, 16384ULL, 65536ULL, 262144ULL}) {
+    const auto plan = plan_and_rule(1 << 17, k, 1.2, 1.0 / 3.0);
+    ASSERT_TRUE(plan.feasible) << "k=" << k;
+    EXPECT_LT(plan.samples_per_node, prev) << "k=" << k;
+    prev = plan.samples_per_node;
+  }
+}
+
+TEST(AndRulePlanner, MatchesKPowerScalingShape) {
+  // With m repetitions the theorem predicts s ~ k^{-1/(2m)}; at m = 2 a
+  // 4x increase of k should shrink s by ~4^{1/4} ~ 1.41 (within rounding).
+  const auto p1 = plan_and_rule(1 << 17, 4096, 1.2, 1.0 / 3.0);
+  const auto p2 = plan_and_rule(1 << 17, 65536, 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(p1.feasible && p2.feasible);
+  ASSERT_EQ(p1.repetitions, p2.repetitions);
+  const double expected_ratio =
+      std::pow(16.0, 1.0 / (2.0 * static_cast<double>(p1.repetitions)));
+  const double measured_ratio = static_cast<double>(p1.samples_per_node) /
+                                static_cast<double>(p2.samples_per_node);
+  EXPECT_NEAR(measured_ratio, expected_ratio, 0.35 * expected_ratio);
+}
+
+TEST(AndRulePlanner, SamplesGrowWithSqrtN) {
+  const auto small = plan_and_rule(1 << 14, 4096, 1.2, 1.0 / 3.0);
+  const auto large = plan_and_rule(1 << 18, 4096, 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(small.feasible && large.feasible);
+  // n grows 16x => s grows ~4x.
+  const double ratio = static_cast<double>(large.samples_per_node) /
+                       static_cast<double>(small.samples_per_node);
+  EXPECT_NEAR(ratio, 4.0, 1.2);
+}
+
+TEST(AndRulePlanner, BeatsSingleNodeSampleComplexity) {
+  // The point of the theorem: per-node samples well below Theta(sqrt(n)/
+  // eps^2) once the network is large.
+  const std::uint64_t n = 1 << 17;
+  const double eps = 1.2;
+  const auto plan = plan_and_rule(n, 65536, eps, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible);
+  const double single_node =
+      std::sqrt(static_cast<double>(n)) / (eps * eps);
+  EXPECT_LT(static_cast<double>(plan.samples_per_node), single_node / 3.0);
+}
+
+TEST(AndRulePlanner, InfeasibleWhenNetworkTooSmall) {
+  const auto plan = plan_and_rule(1 << 17, 4, 1.2, 1.0 / 3.0);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.infeasible_reason.empty());
+}
+
+TEST(AndRulePlanner, InputValidation) {
+  EXPECT_THROW(plan_and_rule(1, 100, 0.5, 0.3), std::invalid_argument);
+  EXPECT_THROW(plan_and_rule(100, 0, 0.5, 0.3), std::invalid_argument);
+  EXPECT_THROW(plan_and_rule(100, 10, 0.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(plan_and_rule(100, 10, 0.5, 0.6), std::invalid_argument);
+}
+
+TEST(AndRuleNetwork, RunRejectsInfeasiblePlan) {
+  AndRulePlan bogus;
+  bogus.feasible = false;
+  const AliasSampler sampler(uniform(16));
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(run_and_rule_network(bogus, sampler, rng), std::logic_error);
+}
+
+TEST(AndRuleNetwork, RunRejectsDomainMismatch) {
+  const auto plan = plan_and_rule(1 << 17, 16384, 1.2, 1.0 / 3.0);
+  ASSERT_TRUE(plan.feasible);
+  const AliasSampler sampler(uniform(16));
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(run_and_rule_network(plan, sampler, rng),
+               std::invalid_argument);
+}
+
+// End-to-end Monte Carlo: the planned network achieves its error bounds.
+// A modest k keeps the simulation fast; trial counts resolve error 1/3
+// comfortably (Wilson z = 3.89).
+TEST(AndRuleNetwork, EndToEndErrorWithinBudget) {
+  const std::uint64_t n = 1 << 15;
+  const std::uint64_t k = 4096;
+  const double eps = 1.2;
+  const double p = 1.0 / 3.0;
+  const auto plan = plan_and_rule(n, k, eps, p);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  const AliasSampler uniform_sampler(uniform(n));
+  const auto false_reject = stats::estimate_probability(
+      111, 150, [&](stats::Xoshiro256& rng) {
+        return !run_and_rule_network(plan, uniform_sampler, rng);
+      });
+  EXPECT_LE(false_reject.lo, p)
+      << "false-reject rate " << false_reject.p_hat << " refutes the bound";
+
+  const AliasSampler far_sampler(far_instance(n, eps));
+  const auto false_accept = stats::estimate_probability(
+      222, 150, [&](stats::Xoshiro256& rng) {
+        return run_and_rule_network(plan, far_sampler, rng);
+      });
+  EXPECT_LE(false_accept.lo, p)
+      << "false-accept rate " << false_accept.p_hat << " refutes the bound";
+}
+
+// ---------------------------------------------------------------------------
+// Threshold rule (Theorem 1.2)
+// ---------------------------------------------------------------------------
+
+TEST(ThresholdPlanner, ChernoffModeMatchesPaperShape) {
+  const auto plan = plan_threshold(1 << 17, 16384, 0.9);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_LE(plan.bound_false_reject, 1.0 / 3.0);
+  EXPECT_LE(plan.bound_false_accept, 1.0 / 3.0);
+  // eq. (5): T sits strictly between the two expectations.
+  EXPECT_GT(static_cast<double>(plan.threshold), plan.eta_uniform);
+  EXPECT_LT(static_cast<double>(plan.threshold), plan.eta_far);
+}
+
+TEST(ThresholdPlanner, SamplesScaleAsSqrtNOverK) {
+  // Theorem 1.2: s = Theta(sqrt(n/k)/eps^2): 4x the nodes, half the samples.
+  const auto p1 = plan_threshold(1 << 17, 16384, 0.9);
+  const auto p2 = plan_threshold(1 << 17, 65536, 0.9);
+  ASSERT_TRUE(p1.feasible && p2.feasible);
+  const double ratio =
+      static_cast<double>(p1.base.s) / static_cast<double>(p2.base.s);
+  EXPECT_NEAR(ratio, 2.0, 0.5);
+}
+
+TEST(ThresholdPlanner, ExactBinomialAdmitsSmallerNetworks) {
+  const std::uint64_t n = 1 << 17;
+  const double eps = 0.9;
+  const auto chernoff = plan_threshold(n, 1024, eps);
+  const auto exact =
+      plan_threshold(n, 1024, eps, 1.0 / 3.0, TailBound::kExactBinomial);
+  EXPECT_FALSE(chernoff.feasible);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_LE(exact.bound_false_reject, 1.0 / 3.0);
+  EXPECT_LE(exact.bound_false_accept, 1.0 / 3.0);
+}
+
+TEST(ThresholdPlanner, ThresholdIsEpsNotKDependent) {
+  // T = Theta(1/eps^4): across a k sweep at fixed eps, T stays in a narrow
+  // band rather than growing with k.
+  const auto p1 = plan_threshold(1 << 17, 8192, 0.9);
+  const auto p2 = plan_threshold(1 << 17, 65536, 0.9);
+  ASSERT_TRUE(p1.feasible && p2.feasible);
+  const double ratio = static_cast<double>(p2.threshold) /
+                       static_cast<double>(p1.threshold);
+  EXPECT_LT(ratio, 2.0);
+  EXPECT_GT(ratio, 0.5);
+}
+
+TEST(ThresholdPlanner, InfeasibleReportsReason) {
+  const auto plan = plan_threshold(1 << 17, 8, 0.9);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.infeasible_reason.empty());
+}
+
+TEST(ThresholdNetwork, RunValidation) {
+  const auto plan =
+      plan_threshold(1 << 14, 1024, 0.9, 1.0 / 3.0, TailBound::kExactBinomial);
+  ASSERT_TRUE(plan.feasible);
+  const AliasSampler wrong(uniform(16));
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(run_threshold_network(plan, wrong, rng),
+               std::invalid_argument);
+  ThresholdPlan bogus;
+  bogus.feasible = false;
+  EXPECT_THROW(run_threshold_network(bogus, wrong, rng), std::logic_error);
+}
+
+TEST(ThresholdNetwork, EndToEndErrorWithinBudget) {
+  const std::uint64_t n = 1 << 15;
+  const std::uint64_t k = 1024;
+  const double eps = 0.9;
+  const auto plan =
+      plan_threshold(n, k, eps, 1.0 / 3.0, TailBound::kExactBinomial);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  const AliasSampler uniform_sampler(uniform(n));
+  const auto false_reject = stats::estimate_probability(
+      333, 400, [&](stats::Xoshiro256& rng) {
+        return run_threshold_network(plan, uniform_sampler, rng)
+            .network_rejects;
+      });
+  EXPECT_LE(false_reject.lo, 1.0 / 3.0);
+
+  const AliasSampler far_sampler(paninski_two_bump(n, eps));
+  const auto false_accept = stats::estimate_probability(
+      444, 400, [&](stats::Xoshiro256& rng) {
+        return !run_threshold_network(plan, far_sampler, rng)
+                    .network_rejects;
+      });
+  EXPECT_LE(false_accept.lo, 1.0 / 3.0);
+
+  // The verdicts must actually separate: the reject rate on far inputs
+  // exceeds the reject rate on uniform by a wide margin.
+  EXPECT_GT(1.0 - false_accept.p_hat, false_reject.p_hat + 0.2);
+}
+
+TEST(ThresholdNetwork, RejectCountConcentratesNearEta) {
+  const std::uint64_t n = 1 << 15;
+  const auto plan =
+      plan_threshold(n, 2048, 0.9, 1.0 / 3.0, TailBound::kExactBinomial);
+  ASSERT_TRUE(plan.feasible);
+  const AliasSampler uniform_sampler(uniform(n));
+  stats::RunningStat rejects;
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    stats::Xoshiro256 rng = stats::derive_stream(555, t);
+    rejects.add(static_cast<double>(
+        run_threshold_network(plan, uniform_sampler, rng).rejects));
+  }
+  // Mean reject count within 5 sigma of eta_uniform.
+  const double sigma = std::sqrt(plan.eta_uniform / 200.0);
+  EXPECT_NEAR(rejects.mean(), plan.eta_uniform, 5.0 * sigma + 1.0);
+}
+
+}  // namespace
+}  // namespace dut::core

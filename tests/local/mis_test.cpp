@@ -1,0 +1,135 @@
+#include "dut/local/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "dut/net/graph.hpp"
+
+namespace dut::local {
+namespace {
+
+using net::Graph;
+
+void expect_independent_and_maximal(const Graph& g,
+                                    const std::vector<bool>& in_mis) {
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (in_mis[v]) {
+      // Independence: no MIS neighbor.
+      for (const std::uint32_t u : g.neighbors(v)) {
+        EXPECT_FALSE(in_mis[u]) << "adjacent MIS nodes " << v << "," << u;
+      }
+    } else {
+      // Maximality: some MIS neighbor.
+      const auto neighbors = g.neighbors(v);
+      EXPECT_TRUE(std::any_of(neighbors.begin(), neighbors.end(),
+                              [&](std::uint32_t u) { return in_mis[u]; }))
+          << "node " << v << " has no MIS node in its neighborhood";
+    }
+  }
+}
+
+TEST(LubyMis, SingleNode) {
+  const Graph g(1);
+  const MisResult result = compute_mis(g, 1);
+  EXPECT_TRUE(result.in_mis[0]);
+}
+
+TEST(LubyMis, CompleteGraphPicksExactlyOne) {
+  const Graph g = Graph::complete(32);
+  const MisResult result = compute_mis(g, 2);
+  EXPECT_EQ(std::count(result.in_mis.begin(), result.in_mis.end(), true), 1);
+}
+
+TEST(LubyMis, StarPicksCenterOrAllLeaves) {
+  const Graph g = Graph::star(50);
+  const MisResult result = compute_mis(g, 3);
+  const auto size =
+      std::count(result.in_mis.begin(), result.in_mis.end(), true);
+  if (result.in_mis[0]) {
+    EXPECT_EQ(size, 1);
+  } else {
+    EXPECT_EQ(size, 49);
+  }
+  expect_independent_and_maximal(g, result.in_mis);
+}
+
+struct MisCase {
+  const char* name;
+  Graph graph;
+};
+
+std::vector<MisCase> mis_cases() {
+  std::vector<MisCase> cases;
+  cases.push_back({"line", Graph::line(200)});
+  cases.push_back({"ring", Graph::ring(201)});
+  cases.push_back({"grid", Graph::grid(16, 16)});
+  cases.push_back({"tree", Graph::balanced_tree(255, 2)});
+  cases.push_back({"hypercube", Graph::hypercube(8)});
+  cases.push_back({"rand_sparse", Graph::random_connected(300, 1.0, 11)});
+  cases.push_back({"rand_dense", Graph::random_connected(300, 8.0, 12)});
+  cases.push_back({"ring_power", Graph::ring(300).power(4)});
+  return cases;
+}
+
+class LubyMisProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LubyMisProperties, IndependentAndMaximal) {
+  const MisCase c = mis_cases()[GetParam()];
+  // Several seeds per topology: the property must hold for every run.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const MisResult result = compute_mis(c.graph, seed);
+    expect_independent_and_maximal(c.graph, result.in_mis);
+  }
+}
+
+TEST_P(LubyMisProperties, PhasesAreLogarithmic) {
+  const MisCase c = mis_cases()[GetParam()];
+  const MisResult result = compute_mis(c.graph, 99);
+  // Luby: O(log k) phases whp; generous constant.
+  const double logk = std::log2(static_cast<double>(c.graph.num_nodes()));
+  EXPECT_LE(result.phases, static_cast<std::uint64_t>(8.0 * logk + 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, LubyMisProperties,
+    ::testing::Range<std::size_t>(0, mis_cases().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return mis_cases()[info.param].name;
+    });
+
+TEST(LubyMis, DeterministicPerSeed) {
+  const Graph g = Graph::random_connected(150, 2.0, 5);
+  const MisResult a = compute_mis(g, 7);
+  const MisResult b = compute_mis(g, 7);
+  EXPECT_EQ(a.in_mis, b.in_mis);
+}
+
+TEST(LubyMis, SeedsProduceDifferentSets) {
+  const Graph g = Graph::ring(99);
+  const MisResult a = compute_mis(g, 1);
+  const MisResult b = compute_mis(g, 2);
+  EXPECT_NE(a.in_mis, b.in_mis);  // overwhelmingly likely on a ring
+}
+
+TEST(LubyMis, PowerGraphMisRespectsDistance) {
+  // MIS nodes of G^r must be pairwise more than r apart in G — the property
+  // the LOCAL tester's sample-gathering bound rests on.
+  const Graph g = Graph::ring(120);
+  const std::uint32_t r = 5;
+  const MisResult result = compute_mis(g.power(r), 13);
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    if (!result.in_mis[v]) continue;
+    const auto dist = g.bfs_distances(v);
+    for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+      if (u != v && result.in_mis[u]) {
+        EXPECT_GT(dist[u], r) << "MIS nodes " << v << " and " << u;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dut::local

@@ -1,0 +1,136 @@
+// End-to-end verification of the LOCAL uniformity tester (paper Section 6).
+
+#include "dut/local/tester.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/core/families.hpp"
+#include "dut/stats/bounds.hpp"
+
+namespace dut::local {
+namespace {
+
+using net::Graph;
+
+TEST(LocalPlanner, FeasibleOnRing) {
+  const Graph g = Graph::ring(4096);
+  const auto plan = plan_local(1 << 13, g, 1.5, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_GE(plan.radius, 1u);
+  EXPECT_GT(plan.mis_size, 1u);
+  EXPECT_GE(plan.min_gathered, plan.and_plan.samples_per_node);
+  EXPECT_EQ(plan.assignment.size(), g.num_nodes());
+  EXPECT_EQ(plan.rounds_in_g, 3 * plan.mis_phases * plan.radius + plan.radius);
+}
+
+TEST(LocalPlanner, AssignmentStaysWithinRadius) {
+  const Graph g = Graph::ring(4096);
+  const auto plan = plan_local(1 << 13, g, 1.5, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible);
+  for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+    const std::uint32_t owner = plan.assignment[v];
+    EXPECT_TRUE(plan.in_mis[owner]);
+    EXPECT_LE(g.bfs_distances(v)[owner], plan.radius) << "node " << v;
+  }
+}
+
+TEST(LocalPlanner, LargerRadiusWhenNodesHoldFewerSamples) {
+  // With fewer samples per node the MIS nodes need bigger catchment areas.
+  const Graph g = Graph::ring(8192);
+  const auto rich = plan_local(1 << 14, g, 1.5, 1.0 / 3.0, 64, 7);
+  const auto poor = plan_local(1 << 14, g, 1.5, 1.0 / 3.0, 8, 7);
+  ASSERT_TRUE(rich.feasible && poor.feasible);
+  EXPECT_LT(rich.radius, poor.radius);
+  // The per-MIS-node sample requirement beats the single-node baseline
+  // sqrt(n)/eps^2 in the poor regime — the paper's point.
+  const double single_node =
+      std::sqrt(static_cast<double>(1 << 14)) / (1.5 * 1.5);
+  EXPECT_LT(static_cast<double>(poor.samples_per_node), single_node / 4.0);
+}
+
+TEST(LocalPlanner, InfeasibleReportsReason) {
+  const Graph g = Graph::ring(64);  // far too small a network
+  const auto plan = plan_local(1 << 16, g, 0.5, 1.0 / 3.0, 1, 7);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.infeasible_reason.empty());
+}
+
+TEST(LocalPlanner, Validation) {
+  const Graph g = Graph::ring(64);
+  EXPECT_THROW(plan_local(1 << 10, g, 0.5, 1.0 / 3.0, 0, 7),
+               std::invalid_argument);
+}
+
+TEST(LocalTester, RunValidation) {
+  const Graph g = Graph::ring(4096);
+  const auto plan = plan_local(1 << 13, g, 1.5, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible);
+  const core::AliasSampler wrong_domain(core::uniform(64));
+  EXPECT_THROW(run_local_uniformity(plan, g, wrong_domain, 1),
+               std::invalid_argument);
+  const Graph wrong_graph = Graph::ring(8);
+  const core::AliasSampler sampler(core::uniform(1 << 13));
+  EXPECT_THROW(run_local_uniformity(plan, wrong_graph, sampler, 1),
+               std::invalid_argument);
+  LocalPlan bogus;
+  bogus.feasible = false;
+  EXPECT_THROW(run_local_uniformity(bogus, g, sampler, 1), std::logic_error);
+}
+
+TEST(LocalTester, EndToEndErrorWithinBudget) {
+  const std::uint64_t n = 1 << 13;
+  const double eps = 1.5;
+  const Graph g = Graph::ring(4096);
+  const auto plan = plan_local(n, g, eps, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+
+  constexpr std::uint64_t kTrials = 30;
+  const core::AliasSampler uni(core::uniform(n));
+  std::uint64_t false_rejects = 0;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    if (!run_local_uniformity(plan, g, uni, 500 + t).network_accepts) {
+      ++false_rejects;
+    }
+  }
+  EXPECT_LE(stats::wilson_interval(false_rejects, kTrials, 3.89).lo,
+            1.0 / 3.0);
+
+  const core::AliasSampler far(core::far_instance(n, eps));
+  std::uint64_t false_accepts = 0;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    if (run_local_uniformity(plan, g, far, 900 + t).network_accepts) {
+      ++false_accepts;
+    }
+  }
+  EXPECT_LE(stats::wilson_interval(false_accepts, kTrials, 3.89).lo,
+            1.0 / 3.0);
+  // Decisive separation between the two cases.
+  EXPECT_GT(kTrials - false_accepts, false_rejects + kTrials / 3);
+}
+
+TEST(LocalTester, GatherTakesExactlyRadiusRounds) {
+  const std::uint64_t n = 1 << 13;
+  const Graph g = Graph::grid(64, 64);
+  const auto plan = plan_local(n, g, 1.5, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible);
+  const core::AliasSampler uni(core::uniform(n));
+  const auto result = run_local_uniformity(plan, g, uni, 3);
+  EXPECT_EQ(result.gather_metrics.rounds, plan.radius + 1u);
+}
+
+TEST(LocalTester, DeterministicPerSeed) {
+  const std::uint64_t n = 1 << 13;
+  const Graph g = Graph::ring(4096);
+  const auto plan = plan_local(n, g, 1.5, 1.0 / 3.0, 16, 7);
+  ASSERT_TRUE(plan.feasible);
+  const core::AliasSampler uni(core::uniform(n));
+  const auto a = run_local_uniformity(plan, g, uni, 11);
+  const auto b = run_local_uniformity(plan, g, uni, 11);
+  EXPECT_EQ(a.network_accepts, b.network_accepts);
+  EXPECT_EQ(a.rejecting_mis_nodes, b.rejecting_mis_nodes);
+}
+
+}  // namespace
+}  // namespace dut::local

@@ -1,0 +1,195 @@
+#include "dut/monitor/fleet_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/bounds.hpp"
+
+namespace dut::monitor {
+namespace {
+
+MonitorConfig basic_config() {
+  MonitorConfig config;
+  config.domain = 1 << 14;
+  config.nodes = 2048;
+  config.epsilon = 0.9;
+  config.seed = 7;
+  return config;
+}
+
+/// Streams `epochs` full epochs from `mu` through the monitor, returning
+/// the number of alarms.
+std::uint64_t stream_epochs(FleetMonitor& monitor,
+                            const core::Distribution& mu,
+                            std::uint64_t epochs, std::uint64_t seed) {
+  const core::AliasSampler sampler(mu);
+  stats::Xoshiro256 rng(seed);
+  std::uint64_t alarms = 0;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    // Interleave node order to mimic a real stream.
+    for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+      for (std::uint32_t node = 0; node < 2048; ++node) {
+        monitor.observe(node, sampler.sample(rng));
+      }
+    }
+    EXPECT_TRUE(monitor.epoch_ready());
+    alarms += monitor.end_epoch().alarm;
+  }
+  return alarms;
+}
+
+TEST(FleetMonitor, ConstructionValidation) {
+  MonitorConfig bad = basic_config();
+  bad.domain = 1;
+  EXPECT_THROW(FleetMonitor{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.nodes = 0;
+  EXPECT_THROW(FleetMonitor{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.nodes = 4;  // hopeless regime
+  EXPECT_THROW(FleetMonitor{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.reference = core::zipf(64, 1.0);  // domain mismatch
+  EXPECT_THROW(FleetMonitor{bad}, std::invalid_argument);
+}
+
+TEST(FleetMonitor, ObserveValidation) {
+  FleetMonitor monitor(basic_config());
+  EXPECT_THROW(monitor.observe(99999, 0), std::invalid_argument);
+  EXPECT_THROW(monitor.observe(0, 1 << 14), std::invalid_argument);
+}
+
+TEST(FleetMonitor, EpochRequiresFullWindows) {
+  FleetMonitor monitor(basic_config());
+  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_THROW(monitor.end_epoch(), std::logic_error);
+  // Fill all but one node.
+  const core::AliasSampler sampler(core::uniform(1 << 14));
+  stats::Xoshiro256 rng(1);
+  for (std::uint32_t node = 0; node + 1 < 2048; ++node) {
+    for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+      monitor.observe(node, sampler.sample(rng));
+    }
+  }
+  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_THROW(monitor.end_epoch(), std::logic_error);
+  for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+    monitor.observe(2047, sampler.sample(rng));
+  }
+  EXPECT_TRUE(monitor.epoch_ready());
+  EXPECT_NO_THROW(monitor.end_epoch());
+}
+
+TEST(FleetMonitor, QuietOnUniformLoudOnFar) {
+  FleetMonitor monitor(basic_config());
+  const std::uint64_t quiet_alarms =
+      stream_epochs(monitor, core::uniform(1 << 14), 12, 11);
+  // True per-epoch alarm rate <= 1/3; 12 epochs can't all alarm.
+  EXPECT_LE(stats::wilson_interval(quiet_alarms, 12, 3.89).lo, 1.0 / 3.0);
+
+  FleetMonitor monitor2(basic_config());
+  const std::uint64_t far_alarms = stream_epochs(
+      monitor2, core::paninski_two_bump(1 << 14, 0.9), 12, 12);
+  EXPECT_GE(stats::wilson_interval(far_alarms, 12, 3.89).hi, 2.0 / 3.0);
+  EXPECT_GT(far_alarms, quiet_alarms);
+  EXPECT_EQ(monitor2.epochs_completed(), 12u);
+  EXPECT_EQ(monitor2.alarms_raised(), far_alarms);
+}
+
+TEST(FleetMonitor, ReportCarriesCalibratedScore) {
+  FleetMonitor monitor(basic_config());
+  const double eps = 0.9;
+  const core::AliasSampler sampler(
+      core::paninski_two_bump(1 << 14, eps));
+  stats::Xoshiro256 rng(3);
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+      monitor.observe(node, sampler.sample(rng));
+    }
+  }
+  const auto report = monitor.end_epoch();
+  // On the two-bump family the distance score estimates eps itself; with
+  // ~2048 windows pooled the estimate is tight.
+  EXPECT_NEAR(report.distance_score, eps, 0.25);
+  EXPECT_EQ(report.samples_consumed, 2048 * monitor.window_size());
+  EXPECT_GT(report.chi.chi_hat, 1.0 / static_cast<double>(1 << 14));
+}
+
+TEST(FleetMonitor, SurplusObservationsCarryOver) {
+  FleetMonitor monitor(basic_config());
+  const core::AliasSampler sampler(core::uniform(1 << 14));
+  stats::Xoshiro256 rng(4);
+  // Feed two epochs' worth in one burst.
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < 2 * monitor.window_size(); ++i) {
+      monitor.observe(node, sampler.sample(rng));
+    }
+  }
+  EXPECT_TRUE(monitor.epoch_ready());
+  monitor.end_epoch();
+  // The surplus already fills epoch two.
+  EXPECT_TRUE(monitor.epoch_ready());
+  const auto second = monitor.end_epoch();
+  EXPECT_EQ(second.epoch, 2u);
+  EXPECT_FALSE(monitor.epoch_ready());
+}
+
+TEST(FleetMonitor, ReferenceProfileMode) {
+  MonitorConfig config;
+  config.domain = 256;
+  config.nodes = 8192;
+  config.epsilon = 1.6;
+  config.grains_per_eps = 32.0;
+  config.seed = 9;
+  config.reference = core::zipf(256, 1.0);
+  FleetMonitor monitor(config);
+  EXPECT_GT(monitor.effective_domain(), config.domain);
+  EXPECT_LT(monitor.effective_epsilon(), config.epsilon);
+
+  // Quiet: stream the reference itself.
+  const core::AliasSampler reference_sampler(*config.reference);
+  stats::Xoshiro256 rng(5);
+  auto feed_epoch = [&](const core::AliasSampler& sampler) {
+    for (std::uint32_t node = 0; node < config.nodes; ++node) {
+      for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+        monitor.observe(node, sampler.sample(rng));
+      }
+    }
+    return monitor.end_epoch();
+  };
+  std::uint64_t quiet_alarms = 0;
+  for (int e = 0; e < 4; ++e) quiet_alarms += feed_epoch(reference_sampler).alarm;
+  EXPECT_LE(quiet_alarms, 3u);
+
+  // Drift: a flash crowd far from the reference.
+  std::vector<double> crowd(256, 0.03 / 255.0);
+  crowd[255] = 0.97;
+  const core::AliasSampler drift_sampler(
+      core::Distribution::from_weights(std::move(crowd)));
+  std::uint64_t drift_alarms = 0;
+  for (int e = 0; e < 4; ++e) drift_alarms += feed_epoch(drift_sampler).alarm;
+  EXPECT_EQ(drift_alarms, 4u);
+}
+
+TEST(FleetMonitor, DeterministicUnderSeed) {
+  auto run = [] {
+    FleetMonitor monitor(basic_config());
+    const core::AliasSampler sampler(core::heavy_hitter(1 << 14, 0.02));
+    stats::Xoshiro256 rng(6);
+    for (std::uint32_t node = 0; node < 2048; ++node) {
+      for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+        monitor.observe(node, sampler.sample(rng));
+      }
+    }
+    return monitor.end_epoch();
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.alarm, b.alarm);
+  EXPECT_EQ(a.votes_to_reject, b.votes_to_reject);
+  EXPECT_DOUBLE_EQ(a.chi.chi_hat, b.chi.chi_hat);
+}
+
+}  // namespace
+}  // namespace dut::monitor

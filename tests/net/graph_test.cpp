@@ -1,0 +1,166 @@
+#include "dut/net/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dut::net {
+namespace {
+
+TEST(Graph, EdgeBookkeeping) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 3), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // duplicate
+}
+
+TEST(Graph, RejectsEmpty) { EXPECT_THROW(Graph(0), std::invalid_argument); }
+
+TEST(Graph, BfsDistancesOnLine) {
+  const Graph g = Graph::line(5);
+  const auto dist = g.bfs_distances(0);
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Graph, BfsMarksUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = g.bfs_distances(0);
+  EXPECT_EQ(dist[2], UINT32_MAX);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, DiameterOfKnownTopologies) {
+  EXPECT_EQ(Graph::line(10).diameter(), 9u);
+  EXPECT_EQ(Graph::ring(10).diameter(), 5u);
+  EXPECT_EQ(Graph::ring(9).diameter(), 4u);
+  EXPECT_EQ(Graph::star(10).diameter(), 2u);
+  EXPECT_EQ(Graph::complete(10).diameter(), 1u);
+  EXPECT_EQ(Graph::grid(4, 6).diameter(), 8u);
+  EXPECT_EQ(Graph::hypercube(5).diameter(), 5u);
+}
+
+TEST(Graph, DiameterThrowsOnDisconnected) {
+  Graph g(2);
+  EXPECT_THROW(g.diameter(), std::logic_error);
+}
+
+TEST(Graph, FactoriesProduceExpectedEdgeCounts) {
+  EXPECT_EQ(Graph::line(10).num_edges(), 9u);
+  EXPECT_EQ(Graph::ring(10).num_edges(), 10u);
+  EXPECT_EQ(Graph::star(10).num_edges(), 9u);
+  EXPECT_EQ(Graph::complete(10).num_edges(), 45u);
+  EXPECT_EQ(Graph::grid(3, 4).num_edges(), 17u);
+  EXPECT_EQ(Graph::balanced_tree(15, 2).num_edges(), 14u);
+  EXPECT_EQ(Graph::hypercube(4).num_edges(), 32u);
+}
+
+TEST(Graph, FactoryValidation) {
+  EXPECT_THROW(Graph::ring(2), std::invalid_argument);
+  EXPECT_THROW(Graph::star(1), std::invalid_argument);
+  EXPECT_THROW(Graph::grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(Graph::balanced_tree(5, 0), std::invalid_argument);
+  EXPECT_THROW(Graph::hypercube(0), std::invalid_argument);
+  EXPECT_THROW(Graph::random_connected(5, -1.0, 0), std::invalid_argument);
+}
+
+TEST(Graph, BalancedTreeIsConnectedTree) {
+  const Graph g = Graph::balanced_tree(100, 3);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.num_edges(), 99u);
+}
+
+TEST(Graph, RandomConnectedIsConnectedAndDeterministic) {
+  const Graph a = Graph::random_connected(200, 2.0, 42);
+  const Graph b = Graph::random_connected(200, 2.0, 42);
+  EXPECT_TRUE(a.is_connected());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  // ~199 tree edges + ~200 extra.
+  EXPECT_GE(a.num_edges(), 199u + 150u);
+  for (std::uint32_t v = 0; v < 200; ++v) {
+    ASSERT_EQ(a.degree(v), b.degree(v)) << v;
+  }
+}
+
+TEST(Graph, RandomConnectedDiffersAcrossSeeds) {
+  const Graph a = Graph::random_connected(100, 1.0, 1);
+  const Graph b = Graph::random_connected(100, 1.0, 2);
+  bool any_difference = false;
+  for (std::uint32_t v = 0; v < 100 && !any_difference; ++v) {
+    if (a.degree(v) != b.degree(v)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Graph, PowerGraphOfLine) {
+  const Graph g2 = Graph::line(6).power(2);
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(0, 2));
+  EXPECT_FALSE(g2.has_edge(0, 3));
+  EXPECT_EQ(g2.diameter(), 3u);  // ceil(5/2)
+}
+
+TEST(Graph, PowerGraphLargeRadiusIsComplete) {
+  const Graph g = Graph::line(8).power(7);
+  EXPECT_EQ(g.num_edges(), 28u);
+}
+
+TEST(Graph, PowerValidation) {
+  EXPECT_THROW(Graph::line(4).power(0), std::invalid_argument);
+}
+
+TEST(Graph, PowerMatchesBruteForceOnRandomGraphs) {
+  // The optimized truncated-BFS power() against the definition.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = Graph::random_connected(40, 1.0 + 0.3 * seed, seed);
+    for (std::uint32_t r : {1u, 2u, 4u}) {
+      const Graph p = g.power(r);
+      for (std::uint32_t v = 0; v < g.num_nodes(); ++v) {
+        const auto dist = g.bfs_distances(v);
+        for (std::uint32_t u = 0; u < g.num_nodes(); ++u) {
+          if (u == v) continue;
+          EXPECT_EQ(p.has_edge(v, u), dist[u] <= r)
+              << "seed=" << seed << " r=" << r << " pair " << v << "," << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(Graph, DotExport) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::string dot = g.to_dot("demo");
+  EXPECT_NE(dot.find("graph demo {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2;"), std::string::npos);
+  EXPECT_EQ(dot.find("1 -- 0;"), std::string::npos);  // undirected: once
+  // Isolated nodes still appear.
+  const std::string isolated = Graph(2).to_dot();
+  EXPECT_NE(isolated.find("0;"), std::string::npos);
+  EXPECT_NE(isolated.find("1;"), std::string::npos);
+}
+
+TEST(Graph, EccentricityMatchesDefinition) {
+  const Graph g = Graph::line(7);
+  EXPECT_EQ(g.eccentricity(0), 6u);
+  EXPECT_EQ(g.eccentricity(3), 3u);
+}
+
+}  // namespace
+}  // namespace dut::net

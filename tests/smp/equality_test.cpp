@@ -1,0 +1,154 @@
+// Verification of the SMP Equality protocol (paper Lemma 7.3) and the
+// lower-bound kit (Section 7).
+
+#include "dut/smp/equality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/smp/lowerbound.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::smp {
+namespace {
+
+std::vector<std::uint8_t> random_input(std::uint64_t bits,
+                                       stats::Xoshiro256& rng) {
+  std::vector<std::uint8_t> out(bits);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(2));
+  return out;
+}
+
+TEST(EqualityProtocol, Validation) {
+  EXPECT_THROW(EqualityProtocol(64, 1.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(EqualityProtocol(64, 2.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(EqualityProtocol(64, 2.0, 1.0), std::invalid_argument);
+  // tau*delta beyond the code's detection ceiling d/L^2.
+  EXPECT_THROW(EqualityProtocol(64, 2.0, 0.4), std::invalid_argument);
+}
+
+TEST(EqualityProtocol, GuaranteeMeetsTarget) {
+  for (std::uint64_t bits : {64ULL, 256ULL, 2048ULL}) {
+    for (double delta : {0.001, 0.01}) {
+      const EqualityProtocol protocol(bits, 2.0, delta);
+      EXPECT_GE(protocol.guaranteed_detection(), 2.0 * delta - 1e-12)
+          << "bits=" << bits << " delta=" << delta;
+    }
+  }
+}
+
+TEST(EqualityProtocol, PerfectCompleteness) {
+  const EqualityProtocol protocol(128, 2.0, 0.01);
+  stats::Xoshiro256 input_rng(1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto x = random_input(128, input_rng);
+    stats::Xoshiro256 a_rng = stats::derive_stream(10, trial);
+    stats::Xoshiro256 b_rng = stats::derive_stream(20, trial);
+    EXPECT_TRUE(protocol.referee_accepts(protocol.alice(x, a_rng),
+                                         protocol.bob(x, b_rng)));
+  }
+}
+
+TEST(EqualityProtocol, SoundnessMeetsGuarantee) {
+  const double delta = 0.02;
+  const EqualityProtocol protocol(128, 2.0, delta);
+  stats::Xoshiro256 input_rng(2);
+  const auto x = random_input(128, input_rng);
+  auto y = x;
+  y[57] ^= 1;  // worst case: minimal Hamming change in the input
+  const auto reject = stats::estimate_probability(
+      77, 20000, [&](stats::Xoshiro256& rng) {
+        stats::Xoshiro256 b_rng = stats::derive_stream(rng(), 1);
+        return !protocol.referee_accepts(protocol.alice(x, rng),
+                                         protocol.bob(y, b_rng));
+      });
+  // The measured rate must not refute the certified detection bound.
+  EXPECT_GE(reject.hi, protocol.guaranteed_detection())
+      << "measured " << reject.p_hat;
+  // And it should clearly exceed tau*delta/2 (comfortably measurable).
+  EXPECT_GT(reject.p_hat, delta);
+}
+
+TEST(EqualityProtocol, MessageSizeScalesAsSqrtDeltaN) {
+  // Lemma 7.3: O(sqrt(delta * n)) bits. Quadrupling n (or delta) should
+  // roughly double the chunk length. Both sizes stay within one RS field
+  // (the GF(256) -> GF(2^16) switch changes the code's constant).
+  const EqualityProtocol small(2048, 2.0, 0.0025);
+  const EqualityProtocol big(8192, 2.0, 0.0025);
+  const double ratio = static_cast<double>(big.chunk_length()) /
+                       static_cast<double>(small.chunk_length());
+  EXPECT_NEAR(ratio, 2.0, 0.4);
+
+  const EqualityProtocol high(2048, 2.0, 0.01);
+  const double dratio = static_cast<double>(high.chunk_length()) /
+                        static_cast<double>(small.chunk_length());
+  EXPECT_NEAR(dratio, 2.0, 0.4);
+}
+
+TEST(EqualityProtocol, MessageBitsAccounting) {
+  const EqualityProtocol protocol(256, 2.0, 0.01);
+  stats::Xoshiro256 rng(3);
+  const auto x = random_input(256, rng);
+  const net::Message msg = protocol.alice(x, rng);
+  EXPECT_EQ(msg.bits, protocol.message_bits());
+  EXPECT_EQ(msg.num_fields(), 2 + protocol.chunk_length());
+}
+
+TEST(EqualityProtocol, BeatsNaiveDeterministicCost) {
+  // Deterministic SMP equality needs n bits; the protocol needs far fewer.
+  const EqualityProtocol protocol(4096, 2.0, 0.005);
+  EXPECT_LT(protocol.message_bits(), 4096u / 2);
+}
+
+TEST(EqualityProtocol, WrongInputLengthThrows) {
+  const EqualityProtocol protocol(64, 2.0, 0.01);
+  stats::Xoshiro256 rng(4);
+  const auto x = random_input(63, rng);
+  EXPECT_THROW(protocol.alice(x, rng), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Lower-bound kit
+// ---------------------------------------------------------------------------
+
+TEST(LowerBound, Corollary74Shape) {
+  // sqrt(f(alpha) delta n)/log n: doubling delta scales by sqrt(2).
+  const double a = corollary74_queries(1 << 16, 0.01, 2.0);
+  const double b = corollary74_queries(1 << 16, 0.02, 2.0);
+  EXPECT_NEAR(b / a, std::sqrt(2.0), 1e-9);
+  EXPECT_THROW(corollary74_queries(1, 0.01, 2.0), std::invalid_argument);
+  EXPECT_THROW(corollary74_queries(100, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(corollary74_queries(100, 0.01, 1.0), std::invalid_argument);
+}
+
+TEST(LowerBound, Theorem13RegimeMatchesPaper) {
+  const auto regime = theorem13_regime(1 << 16, 1024);
+  // delta <= ~ln(3/2)/k and alpha in (5/4, ln3/ln(3/2)].
+  EXPECT_NEAR(regime.delta_max, std::log(1.5) / 1024.0, 1e-5);
+  EXPECT_GT(regime.alpha_min, 1.25);
+  EXPECT_LT(regime.alpha_min, std::log(3.0) / std::log(1.5) + 0.01);
+  EXPECT_GT(regime.samples_lower_bound, 0.0);
+}
+
+TEST(LowerBound, WallScalesAsSqrtNOverK) {
+  const auto a = theorem13_regime(1 << 16, 256);
+  const auto b = theorem13_regime(1 << 16, 1024);
+  // 4x nodes => ~2x fewer required samples per node.
+  EXPECT_NEAR(a.samples_lower_bound / b.samples_lower_bound, 2.0, 0.1);
+}
+
+TEST(LowerBound, UpperAndLowerBoundsBracketTheTruth) {
+  // Sanity: the Theorem 1.2 upper bound (threshold tester samples,
+  // ~sqrt(n/k)/eps^2) must exceed the Theorem 1.3 lower bound
+  // (sqrt(n/k)/log n) at matching parameters.
+  const std::uint64_t n = 1 << 16;
+  const std::uint64_t k = 4096;
+  const auto regime = theorem13_regime(n, k);
+  const double upper =
+      std::sqrt(static_cast<double>(n) / static_cast<double>(k));
+  EXPECT_LT(regime.samples_lower_bound, upper);
+}
+
+}  // namespace
+}  // namespace dut::smp

@@ -1,0 +1,98 @@
+#include "dut/smp/public_coin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dut/stats/summary.hpp"
+
+namespace dut::smp {
+namespace {
+
+std::vector<std::uint8_t> random_input(std::uint64_t bits,
+                                       stats::Xoshiro256& rng) {
+  std::vector<std::uint8_t> out(bits);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.below(2));
+  return out;
+}
+
+TEST(PublicCoinEquality, Validation) {
+  EXPECT_THROW(PublicCoinEqualityProtocol(0, 8), std::invalid_argument);
+  EXPECT_THROW(PublicCoinEqualityProtocol(64, 0), std::invalid_argument);
+  EXPECT_THROW(PublicCoinEqualityProtocol(64, 65), std::invalid_argument);
+  const PublicCoinEqualityProtocol protocol(64, 8);
+  stats::Xoshiro256 rng(1);
+  EXPECT_THROW(protocol.alice(random_input(63, rng), 1),
+               std::invalid_argument);
+}
+
+TEST(PublicCoinEquality, PerfectCompleteness) {
+  const PublicCoinEqualityProtocol protocol(256, 10);
+  stats::Xoshiro256 rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto x = random_input(256, rng);
+    const std::uint64_t seed = rng();
+    EXPECT_TRUE(protocol.referee_accepts(protocol.alice(x, seed),
+                                         protocol.bob(x, seed)));
+  }
+}
+
+TEST(PublicCoinEquality, SoundnessMatchesHashCount) {
+  // Unequal inputs slip through a single parity hash with probability 1/2;
+  // with h hashes, 2^-h.
+  const std::uint64_t n = 128;
+  stats::Xoshiro256 rng(3);
+  const auto x = random_input(n, rng);
+  auto y = x;
+  y[17] ^= 1;  // worst case: one differing bit
+  for (unsigned hashes : {1u, 4u, 10u}) {
+    const PublicCoinEqualityProtocol protocol(n, hashes);
+    const auto accept = stats::estimate_probability(
+        100 + hashes, 20000, [&](stats::Xoshiro256& trial_rng) {
+          const std::uint64_t seed = trial_rng();
+          return protocol.referee_accepts(protocol.alice(x, seed),
+                                          protocol.bob(y, seed));
+        });
+    const double expected = std::pow(0.5, static_cast<double>(hashes));
+    EXPECT_NEAR(accept.p_hat, expected, 4.0 * std::sqrt(expected / 20000.0) +
+                                            0.002)
+        << "hashes=" << hashes;
+  }
+}
+
+TEST(PublicCoinEquality, CostIsIndependentOfInputSize) {
+  // The Newman-Szegedy separation in one assert: public coins cost
+  // O(log 1/delta) bits regardless of n, while the private-coin protocol
+  // (Lemma 7.3) pays Theta(sqrt(delta n)).
+  const PublicCoinEqualityProtocol small(64, 10);
+  const PublicCoinEqualityProtocol large(1 << 16, 10);
+  EXPECT_EQ(small.message_bits(), large.message_bits());
+  EXPECT_EQ(large.message_bits(), 10u);
+  EXPECT_NEAR(large.guaranteed_detection(), 1.0 - 1.0 / 1024.0, 1e-12);
+}
+
+TEST(PublicCoinEquality, DifferentSeedsGiveDifferentSketches) {
+  const PublicCoinEqualityProtocol protocol(128, 16);
+  stats::Xoshiro256 rng(4);
+  const auto x = random_input(128, rng);
+  const auto a = protocol.alice(x, 1);
+  const auto b = protocol.alice(x, 2);
+  bool differs = false;
+  for (unsigned h = 0; h < 16; ++h) {
+    if (a.field(h) != b.field(h)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PublicCoinEquality, MismatchedSketchSizesRejected) {
+  const PublicCoinEqualityProtocol protocol(64, 8);
+  const PublicCoinEqualityProtocol other(64, 4);
+  stats::Xoshiro256 rng(5);
+  const auto x = random_input(64, rng);
+  EXPECT_THROW(
+      protocol.referee_accepts(protocol.alice(x, 1), other.alice(x, 1)),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::smp

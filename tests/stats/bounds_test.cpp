@@ -1,0 +1,156 @@
+#include "dut/stats/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dut::stats {
+namespace {
+
+double exact_binom_geq_small(std::uint64_t n, double p, std::uint64_t k) {
+  // Direct O(n) reference for small n.
+  double total = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) {
+    double pmf = 1.0;
+    // binom(n, i) p^i (1-p)^(n-i) via incremental products.
+    for (std::uint64_t j = 0; j < i; ++j) {
+      pmf *= static_cast<double>(n - j) / static_cast<double>(i - j) * p;
+    }
+    pmf *= std::pow(1.0 - p, static_cast<double>(n - i));
+    total += pmf;
+  }
+  return total;
+}
+
+TEST(Chernoff, UpperTailVacuousBelowMean) {
+  EXPECT_DOUBLE_EQ(chernoff_upper_tail(10.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(chernoff_upper_tail(10.0, 10.0), 1.0);
+}
+
+TEST(Chernoff, UpperTailMatchesPaperForm) {
+  // exp(-(x-mean)^2 / (3 mean)).
+  EXPECT_NEAR(chernoff_upper_tail(10.0, 16.0), std::exp(-36.0 / 30.0), 1e-12);
+}
+
+TEST(Chernoff, LowerTailMatchesPaperForm) {
+  // exp(-(mean-x)^2 / (2 mean)).
+  EXPECT_NEAR(chernoff_lower_tail(10.0, 4.0), std::exp(-36.0 / 20.0), 1e-12);
+}
+
+TEST(Chernoff, LowerTailVacuousAboveMean) {
+  EXPECT_DOUBLE_EQ(chernoff_lower_tail(10.0, 12.0), 1.0);
+}
+
+TEST(Chernoff, RejectsNonPositiveMean) {
+  EXPECT_THROW(chernoff_upper_tail(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chernoff_lower_tail(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(Chernoff, BoundsDominateExactTails) {
+  // The Chernoff forms must upper-bound the exact binomial tails.
+  const std::uint64_t n = 500;
+  const double p = 0.05;
+  const double mean = static_cast<double>(n) * p;  // 25
+  for (std::uint64_t x = 30; x <= 60; x += 5) {
+    EXPECT_GE(chernoff_upper_tail(mean, static_cast<double>(x)) + 1e-12,
+              binomial_tail_geq(n, p, x))
+        << "x=" << x;
+  }
+  for (std::uint64_t x = 5; x <= 20; x += 5) {
+    EXPECT_GE(chernoff_lower_tail(mean, static_cast<double>(x)) + 1e-12,
+              binomial_tail_leq(n, p, x))
+        << "x=" << x;
+  }
+}
+
+TEST(Hoeffding, BasicValues) {
+  EXPECT_DOUBLE_EQ(hoeffding_tail(100, 0.0), 1.0);
+  EXPECT_NEAR(hoeffding_tail(100, 0.1), std::exp(-2.0), 1e-12);
+}
+
+TEST(LogBinomialCoefficient, SmallExactValues) {
+  EXPECT_NEAR(log_binomial_coefficient(5, 2), std::log(10.0), 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(10, 5), std::log(252.0), 1e-10);
+  EXPECT_NEAR(log_binomial_coefficient(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_binomial_coefficient(7, 7), 0.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, RejectsKGreaterThanN) {
+  EXPECT_THROW(log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(BinomialTail, MatchesDirectSum) {
+  for (std::uint64_t n : {10ULL, 40ULL}) {
+    for (double p : {0.1, 0.5, 0.9}) {
+      for (std::uint64_t k = 0; k <= n; k += 3) {
+        EXPECT_NEAR(binomial_tail_geq(n, p, k),
+                    exact_binom_geq_small(n, p, k), 1e-9)
+            << "n=" << n << " p=" << p << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(BinomialTail, ComplementIdentity) {
+  // P[X >= k] + P[X <= k-1] = 1.
+  const std::uint64_t n = 200;
+  const double p = 0.03;
+  for (std::uint64_t k = 1; k < 20; ++k) {
+    EXPECT_NEAR(
+        binomial_tail_geq(n, p, k) + binomial_tail_leq(n, p, k - 1), 1.0,
+        1e-9);
+  }
+}
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 0.5, 11), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_leq(10, 0.5, 10), 1.0);
+  EXPECT_NEAR(binomial_tail_geq(10, 0.0, 1), 0.0, 1e-15);
+  EXPECT_NEAR(binomial_tail_geq(10, 1.0, 10), 1.0, 1e-15);
+  EXPECT_NEAR(binomial_tail_leq(10, 1.0, 9), 0.0, 1e-15);
+}
+
+TEST(BinomialTail, LargeNStaysFinite) {
+  // The planner calls these with k (network size) in the tens of thousands.
+  const double tail = binomial_tail_geq(100000, 0.001, 130);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 0.01);
+}
+
+TEST(BinomialTail, RejectsBadP) {
+  EXPECT_THROW(binomial_tail_geq(10, -0.1, 2), std::invalid_argument);
+  EXPECT_THROW(binomial_tail_leq(10, 1.5, 2), std::invalid_argument);
+}
+
+TEST(Wilson, CoversPointEstimate) {
+  const WilsonInterval ci = wilson_interval(30, 100, 1.96);
+  EXPECT_LT(ci.lo, 0.3);
+  EXPECT_GT(ci.hi, 0.3);
+  EXPECT_GT(ci.lo, 0.2);
+  EXPECT_LT(ci.hi, 0.42);
+}
+
+TEST(Wilson, DegenerateCounts) {
+  const WilsonInterval zero = wilson_interval(0, 50, 1.96);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const WilsonInterval all = wilson_interval(50, 50, 1.96);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+}
+
+TEST(Wilson, WiderAtHigherZ) {
+  const WilsonInterval narrow = wilson_interval(30, 100, 1.0);
+  const WilsonInterval wide = wilson_interval(30, 100, 3.89);
+  EXPECT_LT(wide.lo, narrow.lo);
+  EXPECT_GT(wide.hi, narrow.hi);
+}
+
+TEST(Wilson, RejectsInvalidInputs) {
+  EXPECT_THROW(wilson_interval(1, 0, 1.96), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(5, 4, 1.96), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::stats

@@ -1,0 +1,130 @@
+#include "dut/stats/info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace dut::stats {
+namespace {
+
+TEST(KlBernoulli, ZeroWhenEqual) {
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(kl_bernoulli(p, p), 0.0);
+  }
+}
+
+TEST(KlBernoulli, KnownValue) {
+  // D(B_0.5 || B_0.25) = 0.5*ln(2) + 0.5*ln(2/3).
+  const double expected = 0.5 * std::log(2.0) + 0.5 * std::log(2.0 / 3.0);
+  EXPECT_NEAR(kl_bernoulli(0.5, 0.25), expected, 1e-12);
+}
+
+TEST(KlBernoulli, InfiniteOnDisjointSupport) {
+  EXPECT_TRUE(std::isinf(kl_bernoulli(0.5, 0.0)));
+  EXPECT_TRUE(std::isinf(kl_bernoulli(0.5, 1.0)));
+}
+
+TEST(KlBernoulli, DegenerateSupportIsFinite) {
+  EXPECT_DOUBLE_EQ(kl_bernoulli(0.0, 0.5), std::log(2.0));
+  EXPECT_DOUBLE_EQ(kl_bernoulli(1.0, 0.5), std::log(2.0));
+}
+
+TEST(KlBernoulli, RejectsOutOfRange) {
+  EXPECT_THROW(kl_bernoulli(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(kl_bernoulli(0.5, 1.1), std::invalid_argument);
+}
+
+TEST(KlBernoulli, NonNegative) {
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      EXPECT_GE(kl_bernoulli(p, q), 0.0) << "p=" << p << " q=" << q;
+    }
+  }
+}
+
+TEST(KlDivergence, MatchesBernoulliSpecialCase) {
+  const std::vector<double> p{0.3, 0.7};
+  const std::vector<double> q{0.6, 0.4};
+  EXPECT_NEAR(kl_divergence(p, q), kl_bernoulli(0.3, 0.6), 1e-12);
+}
+
+TEST(KlDivergence, SizeMismatchThrows) {
+  const std::vector<double> p{0.3, 0.7};
+  const std::vector<double> q{1.0};
+  EXPECT_THROW(kl_divergence(p, q), std::invalid_argument);
+}
+
+TEST(KlDivergence, InfinityWhenAbsolutelyDiscontinuous) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> u{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(entropy(u), std::log(4.0), 1e-12);
+}
+
+TEST(Entropy, PointMassIsZero) {
+  const std::vector<double> point{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(point), 0.0);
+}
+
+TEST(CollisionEntropy, UniformIsLogN) {
+  const std::vector<double> u(16, 1.0 / 16.0);
+  EXPECT_NEAR(collision_entropy(u), std::log(16.0), 1e-12);
+}
+
+TEST(CollisionEntropy, AtMostShannon) {
+  // H_2 <= H for every distribution (Renyi entropies are nonincreasing).
+  const std::vector<double> p{0.5, 0.25, 0.125, 0.125};
+  EXPECT_LE(collision_entropy(p), entropy(p) + 1e-12);
+}
+
+TEST(CollisionEntropy, PointMassIsZero) {
+  const std::vector<double> point{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(collision_entropy(point), 0.0);
+}
+
+TEST(FTau, VanishesAtOne) { EXPECT_DOUBLE_EQ(f_tau(1.0), 0.0); }
+
+TEST(FTau, StrictlyPositiveAwayFromOne) {
+  for (double tau : {0.1, 0.5, 0.9, 1.1, 2.0, 10.0}) {
+    EXPECT_GT(f_tau(tau), 0.0) << "tau=" << tau;
+  }
+}
+
+TEST(FTau, RejectsNonPositive) {
+  EXPECT_THROW(f_tau(0.0), std::invalid_argument);
+  EXPECT_THROW(f_tau(-1.0), std::invalid_argument);
+}
+
+// Lemma 2.1: D(B_{1-delta} || B_{1-tau*delta}) >= (delta/4)(tau - 1 - ln tau)
+// for delta in (0, 1/4), tau in (1, 1/delta). Verified over a dense grid.
+TEST(Lemma21, HoldsOverParameterGrid) {
+  for (double delta = 0.001; delta < 0.25; delta *= 1.35) {
+    // tau ranges over (1, 1/delta).
+    for (double frac = 0.02; frac < 1.0; frac += 0.07) {
+      const double tau = 1.0 + frac * (1.0 / delta - 1.0);
+      if (tau * delta >= 1.0) continue;
+      const double lhs = lemma21_divergence(delta, tau);
+      const double rhs = lemma21_lower_bound(delta, tau);
+      EXPECT_GE(lhs, rhs) << "delta=" << delta << " tau=" << tau;
+    }
+  }
+}
+
+TEST(Lemma21, DivergenceGrowsWithTau) {
+  const double delta = 0.01;
+  double prev = 0.0;
+  for (double tau = 1.5; tau < 50.0; tau *= 1.5) {
+    const double d = lemma21_divergence(delta, tau);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+}  // namespace
+}  // namespace dut::stats

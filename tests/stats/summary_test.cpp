@@ -1,0 +1,85 @@
+#include "dut/stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dut::stats {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, StableUnderLargeOffsets) {
+  // Welford must not cancel catastrophically around a huge mean.
+  RunningStat s;
+  const double offset = 1e12;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(EstimateProbability, ExactOnDeterministicTrial) {
+  const auto est = estimate_probability(
+      1, 100, [](Xoshiro256&) { return true; });
+  EXPECT_DOUBLE_EQ(est.p_hat, 1.0);
+  EXPECT_EQ(est.successes, 100u);
+  EXPECT_DOUBLE_EQ(est.hi, 1.0);
+}
+
+TEST(EstimateProbability, ReproducibleUnderSeed) {
+  auto coin = [](Xoshiro256& rng) { return rng.bernoulli(0.5); };
+  const auto a = estimate_probability(7, 1000, coin);
+  const auto b = estimate_probability(7, 1000, coin);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+TEST(EstimateProbability, DifferentSeedsDiffer) {
+  auto coin = [](Xoshiro256& rng) { return rng.bernoulli(0.5); };
+  const auto a = estimate_probability(7, 1000, coin);
+  const auto b = estimate_probability(8, 1000, coin);
+  EXPECT_NE(a.successes, b.successes);  // overwhelmingly likely
+}
+
+TEST(EstimateProbability, RecoversBernoulliParameter) {
+  auto coin = [](Xoshiro256& rng) { return rng.bernoulli(0.2); };
+  const auto est = estimate_probability(42, 20000, coin);
+  EXPECT_NEAR(est.p_hat, 0.2, 0.02);
+  EXPECT_LE(est.lo, 0.2);
+  EXPECT_GE(est.hi, 0.2);
+}
+
+TEST(EstimateProbability, RejectsZeroTrials) {
+  EXPECT_THROW(
+      estimate_probability(1, 0, [](Xoshiro256&) { return true; }),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dut::stats

@@ -1,0 +1,63 @@
+#include "dut/stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dut::stats {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.row().add("alpha").add(std::uint64_t{1});
+  t.row().add("b").add(std::uint64_t{12345});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(TextTable, FormatsDoublesWithPrecision) {
+  TextTable t({"x"});
+  t.row().add(3.14159265, 3);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("3.14"), std::string::npos);
+  EXPECT_EQ(os.str().find("3.1415"), std::string::npos);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, AddWithoutRowThrows) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(TextTable, TooManyCellsThrows) {
+  TextTable t({"a"});
+  t.row().add("x");
+  EXPECT_THROW(t.add("y"), std::logic_error);
+}
+
+TEST(TextTable, ShortRowsRenderPadded) {
+  TextTable t({"a", "b"});
+  t.row().add("only");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+TEST(TextTable, CountsRows) {
+  TextTable t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row().add("x");
+  t.row().add("y");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace dut::stats

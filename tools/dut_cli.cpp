@@ -1,0 +1,253 @@
+// dut_cli — command-line front end for the planners and testers.
+//
+//   dut_cli plan-threshold --n 65536 --k 8192 --eps 0.9 [--p 0.25]
+//                          [--chernoff]
+//   dut_cli plan-and       --n 131072 --k 16384 --eps 1.2 [--p 0.33]
+//   dut_cli plan-congest   --n 4096 --k 4096 --eps 1.2 [--samples 4]
+//   dut_cli run-threshold  --n 65536 --k 8192 --eps 0.9 --family paninski
+//                          [--trials 100] [--seed 1]
+//   dut_cli families       --n 4096
+//
+// Families for run-threshold: uniform, paninski, heavy (20% hitter),
+// zipf (exponent 1), support (half support removed).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "dut/congest/uniformity.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/summary.hpp"
+#include "dut/stats/table.hpp"
+
+namespace {
+
+using namespace dut;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::fprintf(stderr, "error: %s\n\n", message);
+  std::fprintf(stderr,
+               "usage: dut_cli <command> [--flag value ...]\n"
+               "commands:\n"
+               "  plan-threshold --n N --k K --eps E [--p P] [--chernoff]\n"
+               "  plan-and       --n N --k K --eps E [--p P]\n"
+               "  plan-congest   --n N --k K --eps E [--p P] [--samples S]\n"
+               "  run-threshold  --n N --k K --eps E [--family F]\n"
+               "                 [--trials T] [--seed S]\n"
+               "  families       --n N\n");
+  std::exit(2);
+}
+
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string flag = argv[i];
+      if (flag.rfind("--", 0) != 0) usage("flags must start with --");
+      flag = flag.substr(2);
+      // Boolean flags take no value; detect by lookahead.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[flag] = argv[++i];
+      } else {
+        values_[flag] = "1";
+      }
+    }
+  }
+
+  std::uint64_t integer(const std::string& flag, std::uint64_t fallback,
+                        bool required = false) const {
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+      if (required) usage(("missing required --" + flag).c_str());
+      return fallback;
+    }
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  double real(const std::string& flag, double fallback,
+              bool required = false) const {
+    const auto it = values_.find(flag);
+    if (it == values_.end()) {
+      if (required) usage(("missing required --" + flag).c_str());
+      return fallback;
+    }
+    return std::strtod(it->second.c_str(), nullptr);
+  }
+
+  std::string text(const std::string& flag, const std::string& fallback) const {
+    const auto it = values_.find(flag);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool flag(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void print(const stats::TextTable& table) {
+  std::ostringstream os;
+  table.print(os);
+  std::fputs(os.str().c_str(), stdout);
+}
+
+core::Distribution make_family(const std::string& name, std::uint64_t n,
+                               double eps) {
+  if (name == "uniform") return core::uniform(n);
+  if (name == "paninski") return core::far_instance(n, eps);
+  if (name == "heavy") return core::heavy_hitter(n, 0.2);
+  if (name == "zipf") return core::zipf(n, 1.0);
+  if (name == "support") return core::restricted_support(n, n / 2);
+  usage(("unknown family '" + name + "'").c_str());
+}
+
+int plan_threshold_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 0, true);
+  const std::uint64_t k = args.integer("k", 0, true);
+  const double eps = args.real("eps", 0.0, true);
+  const double p = args.real("p", 1.0 / 3.0);
+  const auto bound = args.flag("chernoff") ? core::TailBound::kChernoff
+                                           : core::TailBound::kExactBinomial;
+  const auto plan = core::plan_threshold(n, k, eps, p, bound);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  stats::TextTable table({"quantity", "value"});
+  table.row().add("samples per node").add(plan.base.s);
+  table.row().add("reject threshold T").add(plan.threshold);
+  table.row().add("per-node delta").add(plan.base.delta, 4);
+  table.row().add("gap alpha").add(plan.base.alpha, 4);
+  table.row().add("E[rejects | uniform]").add(plan.eta_uniform, 4);
+  table.row().add("E[rejects | far] (min)").add(plan.eta_far, 4);
+  table.row().add("P[false reject] bound").add(plan.bound_false_reject, 4);
+  table.row().add("P[false accept] bound").add(plan.bound_false_accept, 4);
+  print(table);
+  return 0;
+}
+
+int plan_and_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 0, true);
+  const std::uint64_t k = args.integer("k", 0, true);
+  const double eps = args.real("eps", 0.0, true);
+  const double p = args.real("p", 1.0 / 3.0);
+  const auto plan = core::plan_and_rule(n, k, eps, p);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  stats::TextTable table({"quantity", "value"});
+  table.row().add("repetitions m").add(plan.repetitions);
+  table.row().add("samples per run").add(plan.base.s);
+  table.row().add("samples per node").add(plan.samples_per_node);
+  table.row().add("guaranteed completeness").add(plan.guaranteed_completeness,
+                                                 4);
+  table.row().add("guaranteed soundness").add(plan.guaranteed_soundness, 4);
+  print(table);
+  return 0;
+}
+
+int plan_congest_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 0, true);
+  const auto k = static_cast<std::uint32_t>(args.integer("k", 0, true));
+  const double eps = args.real("eps", 0.0, true);
+  const double p = args.real("p", 1.0 / 3.0);
+  const std::uint64_t samples = args.integer("samples", 1);
+  const auto plan = congest::plan_congest(
+      n, k, eps, p, core::TailBound::kExactBinomial, samples);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  stats::TextTable table({"quantity", "value"});
+  table.row().add("package size tau").add(plan.tau);
+  table.row().add("virtual nodes (packages)").add(plan.num_packages);
+  table.row().add("reject threshold T").add(plan.threshold);
+  table.row().add("message budget (bits)").add(plan.bandwidth_bits);
+  table.row().add("round complexity").add("O(D + " +
+                                          std::to_string(plan.tau) + ")");
+  print(table);
+  return 0;
+}
+
+int run_threshold_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 0, true);
+  const std::uint64_t k = args.integer("k", 0, true);
+  const double eps = args.real("eps", 0.0, true);
+  const double p = args.real("p", 1.0 / 3.0);
+  const std::uint64_t trials = args.integer("trials", 100);
+  const std::uint64_t seed = args.integer("seed", 1);
+  const std::string family = args.text("family", "uniform");
+
+  const auto plan = core::plan_threshold(n, k, eps, p,
+                                         core::TailBound::kExactBinomial);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  const core::Distribution mu = make_family(family, n, eps);
+  const core::AliasSampler sampler(mu);
+  const auto reject = stats::estimate_probability(
+      seed, trials, [&](stats::Xoshiro256& rng) {
+        return core::run_threshold_network(plan, sampler, rng)
+            .network_rejects;
+      });
+  std::printf("family=%s  L1(mu,U)=%.3f  chi*n=%.3f\n", family.c_str(),
+              mu.l1_to_uniform(),
+              mu.collision_probability() * static_cast<double>(n));
+  std::printf("network rejected %llu / %llu runs (rate %.3f, 99.99%% CI "
+              "[%.3f, %.3f])\n",
+              static_cast<unsigned long long>(reject.successes),
+              static_cast<unsigned long long>(reject.trials), reject.p_hat,
+              reject.lo, reject.hi);
+  return 0;
+}
+
+int families_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 4096);
+  stats::TextTable table({"family", "L1 to uniform", "chi * n", "entropy"});
+  struct Row {
+    const char* name;
+    core::Distribution mu;
+  };
+  const Row rows[] = {
+      {"uniform", core::uniform(n)},
+      {"paninski eps=0.5", core::paninski_two_bump(n, 0.5)},
+      {"paninski eps=1.0", core::paninski_two_bump(n, 1.0)},
+      {"heavy hitter 20%", core::heavy_hitter(n, 0.2)},
+      {"zipf s=1.0", core::zipf(n, 1.0)},
+      {"support 1/2", core::restricted_support(n, n / 2)},
+      {"step 25% x4", core::step(n, 0.25, 4.0)},
+  };
+  for (const Row& row : rows) {
+    table.row()
+        .add(row.name)
+        .add(row.mu.l1_to_uniform(), 4)
+        .add(row.mu.collision_probability() * static_cast<double>(n), 4)
+        .add(row.mu.entropy(), 4);
+  }
+  print(table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (command == "plan-threshold") return plan_threshold_cmd(args);
+    if (command == "plan-and") return plan_and_cmd(args);
+    if (command == "plan-congest") return plan_congest_cmd(args);
+    if (command == "run-threshold") return run_threshold_cmd(args);
+    if (command == "families") return families_cmd(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage(("unknown command '" + command + "'").c_str());
+}
