@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/stats")
+subdirs("src/core")
+subdirs("src/codes")
+subdirs("src/net")
+subdirs("src/congest")
+subdirs("src/local")
+subdirs("src/smp")
+subdirs("src/monitor")
+subdirs("tests")
+subdirs("bench")
+subdirs("tools")
+subdirs("examples")

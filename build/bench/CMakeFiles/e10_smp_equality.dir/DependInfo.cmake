@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e10_smp_equality.cpp" "bench/CMakeFiles/e10_smp_equality.dir/e10_smp_equality.cpp.o" "gcc" "bench/CMakeFiles/e10_smp_equality.dir/e10_smp_equality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/dut_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/dut_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dut_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

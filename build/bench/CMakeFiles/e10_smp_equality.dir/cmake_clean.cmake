@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e10_smp_equality.dir/e10_smp_equality.cpp.o"
+  "CMakeFiles/e10_smp_equality.dir/e10_smp_equality.cpp.o.d"
+  "e10_smp_equality"
+  "e10_smp_equality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e10_smp_equality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

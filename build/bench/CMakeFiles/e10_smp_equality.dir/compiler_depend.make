@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for e10_smp_equality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/e11_lower_bound.cpp" "bench/CMakeFiles/e11_lower_bound.dir/e11_lower_bound.cpp.o" "gcc" "bench/CMakeFiles/e11_lower_bound.dir/e11_lower_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/dut_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dut_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/codes/CMakeFiles/dut_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dut_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e11_lower_bound.dir/e11_lower_bound.cpp.o"
+  "CMakeFiles/e11_lower_bound.dir/e11_lower_bound.cpp.o.d"
+  "e11_lower_bound"
+  "e11_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e11_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e12_identity.dir/e12_identity.cpp.o"
+  "CMakeFiles/e12_identity.dir/e12_identity.cpp.o.d"
+  "e12_identity"
+  "e12_identity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e12_identity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

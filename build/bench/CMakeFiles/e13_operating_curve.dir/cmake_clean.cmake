@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e13_operating_curve.dir/e13_operating_curve.cpp.o"
+  "CMakeFiles/e13_operating_curve.dir/e13_operating_curve.cpp.o.d"
+  "e13_operating_curve"
+  "e13_operating_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e13_operating_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

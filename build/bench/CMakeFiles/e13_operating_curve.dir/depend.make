@@ -1,0 +1,2 @@
+# Empty dependencies file for e13_operating_curve.
+# This may be replaced when dependencies are built.

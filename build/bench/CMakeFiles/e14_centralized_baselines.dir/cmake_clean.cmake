@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e14_centralized_baselines.dir/e14_centralized_baselines.cpp.o"
+  "CMakeFiles/e14_centralized_baselines.dir/e14_centralized_baselines.cpp.o.d"
+  "e14_centralized_baselines"
+  "e14_centralized_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e14_centralized_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

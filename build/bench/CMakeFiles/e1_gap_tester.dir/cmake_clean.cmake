@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e1_gap_tester.dir/e1_gap_tester.cpp.o"
+  "CMakeFiles/e1_gap_tester.dir/e1_gap_tester.cpp.o.d"
+  "e1_gap_tester"
+  "e1_gap_tester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e1_gap_tester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

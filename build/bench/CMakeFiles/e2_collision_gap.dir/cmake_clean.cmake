@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2_collision_gap.dir/e2_collision_gap.cpp.o"
+  "CMakeFiles/e2_collision_gap.dir/e2_collision_gap.cpp.o.d"
+  "e2_collision_gap"
+  "e2_collision_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2_collision_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e3_birthday_bound.dir/e3_birthday_bound.cpp.o"
+  "CMakeFiles/e3_birthday_bound.dir/e3_birthday_bound.cpp.o.d"
+  "e3_birthday_bound"
+  "e3_birthday_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e3_birthday_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e4_and_rule.dir/e4_and_rule.cpp.o"
+  "CMakeFiles/e4_and_rule.dir/e4_and_rule.cpp.o.d"
+  "e4_and_rule"
+  "e4_and_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e4_and_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

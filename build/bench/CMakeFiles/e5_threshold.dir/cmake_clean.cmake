@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e5_threshold.dir/e5_threshold.cpp.o"
+  "CMakeFiles/e5_threshold.dir/e5_threshold.cpp.o.d"
+  "e5_threshold"
+  "e5_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e5_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

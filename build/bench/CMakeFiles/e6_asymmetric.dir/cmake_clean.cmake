@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e6_asymmetric.dir/e6_asymmetric.cpp.o"
+  "CMakeFiles/e6_asymmetric.dir/e6_asymmetric.cpp.o.d"
+  "e6_asymmetric"
+  "e6_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e6_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e7_token_packaging.dir/e7_token_packaging.cpp.o"
+  "CMakeFiles/e7_token_packaging.dir/e7_token_packaging.cpp.o.d"
+  "e7_token_packaging"
+  "e7_token_packaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e7_token_packaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e8_congest.dir/e8_congest.cpp.o"
+  "CMakeFiles/e8_congest.dir/e8_congest.cpp.o.d"
+  "e8_congest"
+  "e8_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e8_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

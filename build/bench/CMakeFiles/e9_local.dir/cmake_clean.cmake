@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e9_local.dir/e9_local.cpp.o"
+  "CMakeFiles/e9_local.dir/e9_local.cpp.o.d"
+  "e9_local"
+  "e9_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e9_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_profile.dir/reference_profile.cpp.o"
+  "CMakeFiles/reference_profile.dir/reference_profile.cpp.o.d"
+  "reference_profile"
+  "reference_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

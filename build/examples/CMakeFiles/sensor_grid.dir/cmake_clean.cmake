@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_grid.dir/sensor_grid.cpp.o"
+  "CMakeFiles/sensor_grid.dir/sensor_grid.cpp.o.d"
+  "sensor_grid"
+  "sensor_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

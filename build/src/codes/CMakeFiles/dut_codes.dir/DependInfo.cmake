@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codes/src/basic_codes.cpp" "src/codes/CMakeFiles/dut_codes.dir/src/basic_codes.cpp.o" "gcc" "src/codes/CMakeFiles/dut_codes.dir/src/basic_codes.cpp.o.d"
+  "/root/repo/src/codes/src/concatenated.cpp" "src/codes/CMakeFiles/dut_codes.dir/src/concatenated.cpp.o" "gcc" "src/codes/CMakeFiles/dut_codes.dir/src/concatenated.cpp.o.d"
+  "/root/repo/src/codes/src/gf.cpp" "src/codes/CMakeFiles/dut_codes.dir/src/gf.cpp.o" "gcc" "src/codes/CMakeFiles/dut_codes.dir/src/gf.cpp.o.d"
+  "/root/repo/src/codes/src/reed_solomon.cpp" "src/codes/CMakeFiles/dut_codes.dir/src/reed_solomon.cpp.o" "gcc" "src/codes/CMakeFiles/dut_codes.dir/src/reed_solomon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_codes.dir/src/basic_codes.cpp.o"
+  "CMakeFiles/dut_codes.dir/src/basic_codes.cpp.o.d"
+  "CMakeFiles/dut_codes.dir/src/concatenated.cpp.o"
+  "CMakeFiles/dut_codes.dir/src/concatenated.cpp.o.d"
+  "CMakeFiles/dut_codes.dir/src/gf.cpp.o"
+  "CMakeFiles/dut_codes.dir/src/gf.cpp.o.d"
+  "CMakeFiles/dut_codes.dir/src/reed_solomon.cpp.o"
+  "CMakeFiles/dut_codes.dir/src/reed_solomon.cpp.o.d"
+  "libdut_codes.a"
+  "libdut_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

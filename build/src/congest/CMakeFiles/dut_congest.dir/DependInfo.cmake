@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/congest/src/aggregation.cpp" "src/congest/CMakeFiles/dut_congest.dir/src/aggregation.cpp.o" "gcc" "src/congest/CMakeFiles/dut_congest.dir/src/aggregation.cpp.o.d"
+  "/root/repo/src/congest/src/token_packaging.cpp" "src/congest/CMakeFiles/dut_congest.dir/src/token_packaging.cpp.o" "gcc" "src/congest/CMakeFiles/dut_congest.dir/src/token_packaging.cpp.o.d"
+  "/root/repo/src/congest/src/uniformity.cpp" "src/congest/CMakeFiles/dut_congest.dir/src/uniformity.cpp.o" "gcc" "src/congest/CMakeFiles/dut_congest.dir/src/uniformity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dut_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dut_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

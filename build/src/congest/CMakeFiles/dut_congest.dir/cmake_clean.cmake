@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_congest.dir/src/aggregation.cpp.o"
+  "CMakeFiles/dut_congest.dir/src/aggregation.cpp.o.d"
+  "CMakeFiles/dut_congest.dir/src/token_packaging.cpp.o"
+  "CMakeFiles/dut_congest.dir/src/token_packaging.cpp.o.d"
+  "CMakeFiles/dut_congest.dir/src/uniformity.cpp.o"
+  "CMakeFiles/dut_congest.dir/src/uniformity.cpp.o.d"
+  "libdut_congest.a"
+  "libdut_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/amplified.cpp" "src/core/CMakeFiles/dut_core.dir/src/amplified.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/amplified.cpp.o.d"
+  "/root/repo/src/core/src/asymmetric.cpp" "src/core/CMakeFiles/dut_core.dir/src/asymmetric.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/asymmetric.cpp.o.d"
+  "/root/repo/src/core/src/baselines.cpp" "src/core/CMakeFiles/dut_core.dir/src/baselines.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/baselines.cpp.o.d"
+  "/root/repo/src/core/src/distribution.cpp" "src/core/CMakeFiles/dut_core.dir/src/distribution.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/distribution.cpp.o.d"
+  "/root/repo/src/core/src/estimators.cpp" "src/core/CMakeFiles/dut_core.dir/src/estimators.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/estimators.cpp.o.d"
+  "/root/repo/src/core/src/families.cpp" "src/core/CMakeFiles/dut_core.dir/src/families.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/families.cpp.o.d"
+  "/root/repo/src/core/src/gap_tester.cpp" "src/core/CMakeFiles/dut_core.dir/src/gap_tester.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/gap_tester.cpp.o.d"
+  "/root/repo/src/core/src/identity_filter.cpp" "src/core/CMakeFiles/dut_core.dir/src/identity_filter.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/identity_filter.cpp.o.d"
+  "/root/repo/src/core/src/sampler.cpp" "src/core/CMakeFiles/dut_core.dir/src/sampler.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/sampler.cpp.o.d"
+  "/root/repo/src/core/src/zero_round.cpp" "src/core/CMakeFiles/dut_core.dir/src/zero_round.cpp.o" "gcc" "src/core/CMakeFiles/dut_core.dir/src/zero_round.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_core.dir/src/amplified.cpp.o"
+  "CMakeFiles/dut_core.dir/src/amplified.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/asymmetric.cpp.o"
+  "CMakeFiles/dut_core.dir/src/asymmetric.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/baselines.cpp.o"
+  "CMakeFiles/dut_core.dir/src/baselines.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/distribution.cpp.o"
+  "CMakeFiles/dut_core.dir/src/distribution.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/estimators.cpp.o"
+  "CMakeFiles/dut_core.dir/src/estimators.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/families.cpp.o"
+  "CMakeFiles/dut_core.dir/src/families.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/gap_tester.cpp.o"
+  "CMakeFiles/dut_core.dir/src/gap_tester.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/identity_filter.cpp.o"
+  "CMakeFiles/dut_core.dir/src/identity_filter.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/sampler.cpp.o"
+  "CMakeFiles/dut_core.dir/src/sampler.cpp.o.d"
+  "CMakeFiles/dut_core.dir/src/zero_round.cpp.o"
+  "CMakeFiles/dut_core.dir/src/zero_round.cpp.o.d"
+  "libdut_core.a"
+  "libdut_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdut_core.a"
+)

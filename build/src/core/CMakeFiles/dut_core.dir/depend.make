@@ -1,0 +1,2 @@
+# Empty dependencies file for dut_core.
+# This may be replaced when dependencies are built.

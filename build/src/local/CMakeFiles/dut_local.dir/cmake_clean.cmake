@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_local.dir/src/mis.cpp.o"
+  "CMakeFiles/dut_local.dir/src/mis.cpp.o.d"
+  "CMakeFiles/dut_local.dir/src/tester.cpp.o"
+  "CMakeFiles/dut_local.dir/src/tester.cpp.o.d"
+  "libdut_local.a"
+  "libdut_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

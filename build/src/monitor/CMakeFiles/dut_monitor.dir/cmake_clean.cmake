@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_monitor.dir/src/fleet_monitor.cpp.o"
+  "CMakeFiles/dut_monitor.dir/src/fleet_monitor.cpp.o.d"
+  "libdut_monitor.a"
+  "libdut_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/src/engine.cpp" "src/net/CMakeFiles/dut_net.dir/src/engine.cpp.o" "gcc" "src/net/CMakeFiles/dut_net.dir/src/engine.cpp.o.d"
+  "/root/repo/src/net/src/graph.cpp" "src/net/CMakeFiles/dut_net.dir/src/graph.cpp.o" "gcc" "src/net/CMakeFiles/dut_net.dir/src/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

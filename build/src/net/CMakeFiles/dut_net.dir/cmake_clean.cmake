@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_net.dir/src/engine.cpp.o"
+  "CMakeFiles/dut_net.dir/src/engine.cpp.o.d"
+  "CMakeFiles/dut_net.dir/src/graph.cpp.o"
+  "CMakeFiles/dut_net.dir/src/graph.cpp.o.d"
+  "libdut_net.a"
+  "libdut_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

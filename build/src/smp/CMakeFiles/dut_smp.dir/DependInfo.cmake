@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smp/src/equality.cpp" "src/smp/CMakeFiles/dut_smp.dir/src/equality.cpp.o" "gcc" "src/smp/CMakeFiles/dut_smp.dir/src/equality.cpp.o.d"
+  "/root/repo/src/smp/src/lowerbound.cpp" "src/smp/CMakeFiles/dut_smp.dir/src/lowerbound.cpp.o" "gcc" "src/smp/CMakeFiles/dut_smp.dir/src/lowerbound.cpp.o.d"
+  "/root/repo/src/smp/src/public_coin.cpp" "src/smp/CMakeFiles/dut_smp.dir/src/public_coin.cpp.o" "gcc" "src/smp/CMakeFiles/dut_smp.dir/src/public_coin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/dut_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dut_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_smp.dir/src/equality.cpp.o"
+  "CMakeFiles/dut_smp.dir/src/equality.cpp.o.d"
+  "CMakeFiles/dut_smp.dir/src/lowerbound.cpp.o"
+  "CMakeFiles/dut_smp.dir/src/lowerbound.cpp.o.d"
+  "CMakeFiles/dut_smp.dir/src/public_coin.cpp.o"
+  "CMakeFiles/dut_smp.dir/src/public_coin.cpp.o.d"
+  "libdut_smp.a"
+  "libdut_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

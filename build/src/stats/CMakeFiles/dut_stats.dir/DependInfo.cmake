@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/bounds.cpp" "src/stats/CMakeFiles/dut_stats.dir/src/bounds.cpp.o" "gcc" "src/stats/CMakeFiles/dut_stats.dir/src/bounds.cpp.o.d"
+  "/root/repo/src/stats/src/info.cpp" "src/stats/CMakeFiles/dut_stats.dir/src/info.cpp.o" "gcc" "src/stats/CMakeFiles/dut_stats.dir/src/info.cpp.o.d"
+  "/root/repo/src/stats/src/rng.cpp" "src/stats/CMakeFiles/dut_stats.dir/src/rng.cpp.o" "gcc" "src/stats/CMakeFiles/dut_stats.dir/src/rng.cpp.o.d"
+  "/root/repo/src/stats/src/summary.cpp" "src/stats/CMakeFiles/dut_stats.dir/src/summary.cpp.o" "gcc" "src/stats/CMakeFiles/dut_stats.dir/src/summary.cpp.o.d"
+  "/root/repo/src/stats/src/table.cpp" "src/stats/CMakeFiles/dut_stats.dir/src/table.cpp.o" "gcc" "src/stats/CMakeFiles/dut_stats.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_stats.dir/src/bounds.cpp.o"
+  "CMakeFiles/dut_stats.dir/src/bounds.cpp.o.d"
+  "CMakeFiles/dut_stats.dir/src/info.cpp.o"
+  "CMakeFiles/dut_stats.dir/src/info.cpp.o.d"
+  "CMakeFiles/dut_stats.dir/src/rng.cpp.o"
+  "CMakeFiles/dut_stats.dir/src/rng.cpp.o.d"
+  "CMakeFiles/dut_stats.dir/src/summary.cpp.o"
+  "CMakeFiles/dut_stats.dir/src/summary.cpp.o.d"
+  "CMakeFiles/dut_stats.dir/src/table.cpp.o"
+  "CMakeFiles/dut_stats.dir/src/table.cpp.o.d"
+  "libdut_stats.a"
+  "libdut_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

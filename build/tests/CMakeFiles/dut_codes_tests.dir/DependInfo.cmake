@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codes/codes_property_test.cpp" "tests/CMakeFiles/dut_codes_tests.dir/codes/codes_property_test.cpp.o" "gcc" "tests/CMakeFiles/dut_codes_tests.dir/codes/codes_property_test.cpp.o.d"
+  "/root/repo/tests/codes/codes_test.cpp" "tests/CMakeFiles/dut_codes_tests.dir/codes/codes_test.cpp.o" "gcc" "tests/CMakeFiles/dut_codes_tests.dir/codes/codes_test.cpp.o.d"
+  "/root/repo/tests/codes/gf_test.cpp" "tests/CMakeFiles/dut_codes_tests.dir/codes/gf_test.cpp.o" "gcc" "tests/CMakeFiles/dut_codes_tests.dir/codes/gf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codes/CMakeFiles/dut_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

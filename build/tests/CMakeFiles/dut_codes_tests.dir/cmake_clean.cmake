@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_codes_tests.dir/codes/codes_property_test.cpp.o"
+  "CMakeFiles/dut_codes_tests.dir/codes/codes_property_test.cpp.o.d"
+  "CMakeFiles/dut_codes_tests.dir/codes/codes_test.cpp.o"
+  "CMakeFiles/dut_codes_tests.dir/codes/codes_test.cpp.o.d"
+  "CMakeFiles/dut_codes_tests.dir/codes/gf_test.cpp.o"
+  "CMakeFiles/dut_codes_tests.dir/codes/gf_test.cpp.o.d"
+  "dut_codes_tests"
+  "dut_codes_tests.pdb"
+  "dut_codes_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_codes_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_congest_tests.dir/congest/aggregation_test.cpp.o"
+  "CMakeFiles/dut_congest_tests.dir/congest/aggregation_test.cpp.o.d"
+  "CMakeFiles/dut_congest_tests.dir/congest/leader_election_test.cpp.o"
+  "CMakeFiles/dut_congest_tests.dir/congest/leader_election_test.cpp.o.d"
+  "CMakeFiles/dut_congest_tests.dir/congest/token_packaging_test.cpp.o"
+  "CMakeFiles/dut_congest_tests.dir/congest/token_packaging_test.cpp.o.d"
+  "CMakeFiles/dut_congest_tests.dir/congest/uniformity_test.cpp.o"
+  "CMakeFiles/dut_congest_tests.dir/congest/uniformity_test.cpp.o.d"
+  "dut_congest_tests"
+  "dut_congest_tests.pdb"
+  "dut_congest_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_congest_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/amplified_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/amplified_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/amplified_test.cpp.o.d"
+  "/root/repo/tests/core/asymmetric_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/asymmetric_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/asymmetric_test.cpp.o.d"
+  "/root/repo/tests/core/baselines_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/baselines_test.cpp.o.d"
+  "/root/repo/tests/core/distribution_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/distribution_test.cpp.o.d"
+  "/root/repo/tests/core/estimators_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/estimators_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/estimators_test.cpp.o.d"
+  "/root/repo/tests/core/families_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/families_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/families_test.cpp.o.d"
+  "/root/repo/tests/core/gap_tester_property_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/gap_tester_property_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/gap_tester_property_test.cpp.o.d"
+  "/root/repo/tests/core/gap_tester_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/gap_tester_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/gap_tester_test.cpp.o.d"
+  "/root/repo/tests/core/identity_filter_property_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/identity_filter_property_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/identity_filter_property_test.cpp.o.d"
+  "/root/repo/tests/core/identity_filter_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/identity_filter_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/identity_filter_test.cpp.o.d"
+  "/root/repo/tests/core/planner_property_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/planner_property_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/planner_property_test.cpp.o.d"
+  "/root/repo/tests/core/sampler_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/sampler_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/sampler_test.cpp.o.d"
+  "/root/repo/tests/core/zero_round_test.cpp" "tests/CMakeFiles/dut_core_tests.dir/core/zero_round_test.cpp.o" "gcc" "tests/CMakeFiles/dut_core_tests.dir/core/zero_round_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dut_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_core_tests.dir/core/amplified_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/amplified_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/asymmetric_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/asymmetric_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/baselines_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/baselines_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/distribution_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/distribution_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/estimators_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/estimators_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/families_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/families_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/gap_tester_property_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/gap_tester_property_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/gap_tester_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/gap_tester_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/identity_filter_property_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/identity_filter_property_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/identity_filter_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/identity_filter_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/planner_property_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/planner_property_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/sampler_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/sampler_test.cpp.o.d"
+  "CMakeFiles/dut_core_tests.dir/core/zero_round_test.cpp.o"
+  "CMakeFiles/dut_core_tests.dir/core/zero_round_test.cpp.o.d"
+  "dut_core_tests"
+  "dut_core_tests.pdb"
+  "dut_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_integration_tests.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/dut_integration_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/dut_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/dut_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/dut_integration_tests.dir/integration/smp_over_network_test.cpp.o"
+  "CMakeFiles/dut_integration_tests.dir/integration/smp_over_network_test.cpp.o.d"
+  "dut_integration_tests"
+  "dut_integration_tests.pdb"
+  "dut_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_local_tests.dir/local/mis_test.cpp.o"
+  "CMakeFiles/dut_local_tests.dir/local/mis_test.cpp.o.d"
+  "CMakeFiles/dut_local_tests.dir/local/tester_test.cpp.o"
+  "CMakeFiles/dut_local_tests.dir/local/tester_test.cpp.o.d"
+  "dut_local_tests"
+  "dut_local_tests.pdb"
+  "dut_local_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_local_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_monitor_tests.dir/monitor/fleet_monitor_test.cpp.o"
+  "CMakeFiles/dut_monitor_tests.dir/monitor/fleet_monitor_test.cpp.o.d"
+  "dut_monitor_tests"
+  "dut_monitor_tests.pdb"
+  "dut_monitor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_monitor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

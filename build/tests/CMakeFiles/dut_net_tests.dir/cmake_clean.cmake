@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_net_tests.dir/net/engine_stress_test.cpp.o"
+  "CMakeFiles/dut_net_tests.dir/net/engine_stress_test.cpp.o.d"
+  "CMakeFiles/dut_net_tests.dir/net/engine_test.cpp.o"
+  "CMakeFiles/dut_net_tests.dir/net/engine_test.cpp.o.d"
+  "CMakeFiles/dut_net_tests.dir/net/graph_test.cpp.o"
+  "CMakeFiles/dut_net_tests.dir/net/graph_test.cpp.o.d"
+  "dut_net_tests"
+  "dut_net_tests.pdb"
+  "dut_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

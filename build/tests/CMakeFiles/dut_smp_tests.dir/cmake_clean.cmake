@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_smp_tests.dir/smp/equality_test.cpp.o"
+  "CMakeFiles/dut_smp_tests.dir/smp/equality_test.cpp.o.d"
+  "CMakeFiles/dut_smp_tests.dir/smp/public_coin_test.cpp.o"
+  "CMakeFiles/dut_smp_tests.dir/smp/public_coin_test.cpp.o.d"
+  "dut_smp_tests"
+  "dut_smp_tests.pdb"
+  "dut_smp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_smp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_stats_tests.dir/stats/bounds_test.cpp.o"
+  "CMakeFiles/dut_stats_tests.dir/stats/bounds_test.cpp.o.d"
+  "CMakeFiles/dut_stats_tests.dir/stats/info_test.cpp.o"
+  "CMakeFiles/dut_stats_tests.dir/stats/info_test.cpp.o.d"
+  "CMakeFiles/dut_stats_tests.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/dut_stats_tests.dir/stats/rng_test.cpp.o.d"
+  "CMakeFiles/dut_stats_tests.dir/stats/summary_test.cpp.o"
+  "CMakeFiles/dut_stats_tests.dir/stats/summary_test.cpp.o.d"
+  "CMakeFiles/dut_stats_tests.dir/stats/table_test.cpp.o"
+  "CMakeFiles/dut_stats_tests.dir/stats/table_test.cpp.o.d"
+  "dut_stats_tests"
+  "dut_stats_tests.pdb"
+  "dut_stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

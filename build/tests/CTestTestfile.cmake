@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dut_stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_congest_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_local_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_codes_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_smp_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_monitor_tests[1]_include.cmake")
+include("/root/repo/build/tests/dut_integration_tests[1]_include.cmake")

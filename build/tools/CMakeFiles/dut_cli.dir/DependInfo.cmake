@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dut_cli.cpp" "tools/CMakeFiles/dut_cli.dir/dut_cli.cpp.o" "gcc" "tools/CMakeFiles/dut_cli.dir/dut_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/dut_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dut_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dut_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dut_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dut_cli.dir/dut_cli.cpp.o"
+  "CMakeFiles/dut_cli.dir/dut_cli.cpp.o.d"
+  "dut_cli"
+  "dut_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dut_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

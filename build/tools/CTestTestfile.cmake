@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli_plan_threshold]=] "/root/repo/build/tools/dut_cli" "plan-threshold" "--n" "65536" "--k" "8192" "--eps" "0.9")
+set_tests_properties([=[cli_plan_threshold]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_plan_and]=] "/root/repo/build/tools/dut_cli" "plan-and" "--n" "131072" "--k" "16384" "--eps" "1.2")
+set_tests_properties([=[cli_plan_and]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_plan_congest]=] "/root/repo/build/tools/dut_cli" "plan-congest" "--n" "4096" "--k" "4096" "--eps" "1.2")
+set_tests_properties([=[cli_plan_congest]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_plan_congest_multisample]=] "/root/repo/build/tools/dut_cli" "plan-congest" "--n" "4096" "--k" "1024" "--eps" "0.9" "--samples" "16")
+set_tests_properties([=[cli_plan_congest_multisample]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_run_threshold]=] "/root/repo/build/tools/dut_cli" "run-threshold" "--n" "16384" "--k" "2048" "--eps" "0.9" "--family" "paninski" "--trials" "20")
+set_tests_properties([=[cli_run_threshold]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_families]=] "/root/repo/build/tools/dut_cli" "families" "--n" "1024")
+set_tests_properties([=[cli_families]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_infeasible_reports]=] "/root/repo/build/tools/dut_cli" "plan-threshold" "--n" "1048576" "--k" "16" "--eps" "0.5")
+set_tests_properties([=[cli_infeasible_reports]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli_unknown_command]=] "/root/repo/build/tools/dut_cli" "frobnicate")
+set_tests_properties([=[cli_unknown_command]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
