@@ -5,19 +5,77 @@
 // Every experiment prints a banner naming the paper claim it regenerates,
 // one or more TextTables with the measured rows, and a PASS/NOTE trailer.
 // EXPERIMENTS.md archives the outputs.
+//
+// Runtime knobs (shared by all binaries):
+//   DUT_THREADS=N     worker threads for the Monte-Carlo engine
+//                     (default: hardware concurrency; 1 = serial).
+//   --quick / DUT_QUICK=1
+//                     divide every trial count by 16 (floor 100) so CI can
+//                     sweep all e* binaries cheaply. Full counts remain the
+//                     local default; EXPERIMENTS.md archives full runs.
+//   --trial-scale=D / DUT_TRIAL_SCALE=D
+//                     explicit divisor (D >= 1) for finer control.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "dut/stats/engine.hpp"
 #include "dut/stats/table.hpp"
 
 namespace dut::bench {
+
+namespace detail {
+inline std::uint64_t& trial_divisor() {
+  static std::uint64_t divisor = [] {
+    if (const char* env = std::getenv("DUT_TRIAL_SCALE")) {
+      const unsigned long v = std::strtoul(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::uint64_t>(v);
+    }
+    if (const char* env = std::getenv("DUT_QUICK")) {
+      if (env[0] != '\0' && std::strcmp(env, "0") != 0) {
+        return std::uint64_t{16};
+      }
+    }
+    return std::uint64_t{1};
+  }();
+  return divisor;
+}
+}  // namespace detail
+
+/// Applies --quick / --trial-scale=D. Call first thing in main().
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
+      detail::trial_divisor() = 16;
+    } else if (std::strncmp(arg, "--trial-scale=", 14) == 0) {
+      const unsigned long v = std::strtoul(arg + 14, nullptr, 10);
+      if (v >= 1) detail::trial_divisor() = v;
+    }
+  }
+}
+
+/// Scales a full trial count by the configured divisor (floor 100 so the
+/// Wilson machinery keeps meaningful intervals even in quick mode).
+inline std::uint64_t trials(std::uint64_t full) {
+  const std::uint64_t scaled = full / detail::trial_divisor();
+  const std::uint64_t floor = full < 100 ? full : 100;
+  return scaled < floor ? floor : scaled;
+}
 
 inline void banner(const char* id, const char* claim) {
   std::printf("================================================================\n");
   std::printf("%s\n", id);
   std::printf("reproduces: %s\n", claim);
   std::printf("================================================================\n");
+  std::printf("engine: %u thread(s)", stats::global_runner().threads());
+  if (detail::trial_divisor() != 1) {
+    std::printf(", trial counts / %llu (quick mode)",
+                static_cast<unsigned long long>(detail::trial_divisor()));
+  }
+  std::printf("\n");
 }
 
 inline void section(const char* title) { std::printf("\n--- %s ---\n", title); }

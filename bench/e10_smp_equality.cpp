@@ -73,13 +73,13 @@ void soundness() {
       const auto cy = protocol.encode_input(y);
       const auto cz = protocol.encode_input(z);
       const auto reject_close = stats::estimate_probability(
-          1, 30000, [&](stats::Xoshiro256& rng) {
+          1, bench::trials(30000), [&](stats::Xoshiro256& rng) {
             return !protocol.referee_accepts(
                 protocol.alice_encoded(cx, rng),
                 protocol.bob_encoded(cy, rng));
           });
       const auto reject_random = stats::estimate_probability(
-          2, 30000, [&](stats::Xoshiro256& rng) {
+          2, bench::trials(30000), [&](stats::Xoshiro256& rng) {
             return !protocol.referee_accepts(
                 protocol.alice_encoded(cx, rng),
                 protocol.bob_encoded(cz, rng));
@@ -107,7 +107,7 @@ void completeness() {
   const auto x = random_input(1024, input_rng);
   const auto cx = protocol.encode_input(x);
   const auto reject = stats::estimate_probability(
-      3, 50000, [&](stats::Xoshiro256& rng) {
+      3, bench::trials(50000), [&](stats::Xoshiro256& rng) {
         return !protocol.referee_accepts(protocol.alice_encoded(cx, rng),
                                          protocol.bob_encoded(cx, rng));
       });
@@ -161,7 +161,8 @@ void lower_bound_context() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E10: simultaneous Equality with asymmetric error",
                 "Lemma 7.3 + Theorem 7.2 context (Section 7.1)");
   cost_law();

@@ -103,7 +103,7 @@ void empirical_wall() {
     // Soundness: per-node reject rate on the far instance by MC, then the
     // AND rule analytically.
     const auto node_reject_far = stats::estimate_probability(
-        900 + s, 60000, [&](stats::Xoshiro256& rng) {
+        900 + s, bench::trials(60000), [&](stats::Xoshiro256& rng) {
           return core::has_collision(far_sampler.sample_many(rng, s));
         });
     const double network_accept_far =
@@ -131,7 +131,8 @@ void empirical_wall() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E11: the lower-bound skeleton",
                 "Lemma 2.1, Corollary 7.4, Theorem 1.3 (Sections 2, 7)");
   lemma21_sweep();

@@ -116,7 +116,7 @@ void end_to_end() {
   for (const Live& live : lives) {
     const core::AliasSampler sampler(live.mu);
     const auto alarm = stats::estimate_probability(
-        seed += 31, 40, [&](stats::Xoshiro256& rng) {
+        seed += 31, bench::trials(40), [&](stats::Xoshiro256& rng) {
           return network_rejects(sampler, rng);
         });
     table.row()
@@ -132,7 +132,8 @@ void end_to_end() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E12: identity testing via the uniformity reduction",
                 "introduction (uniformity completeness, refs [10, 15])");
   exact_guarantees();

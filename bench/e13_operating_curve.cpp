@@ -38,7 +38,7 @@ void sweep_direction(const char* name, const core::ThresholdPlan& plan,
     const core::Distribution mu = make(distance);
     const core::AliasSampler sampler(mu);
     const auto reject = stats::estimate_probability(
-        seed += 13, 120, [&](stats::Xoshiro256& rng) {
+        seed += 13, bench::trials(120), [&](stats::Xoshiro256& rng) {
           return core::run_threshold_network(plan, sampler, rng)
               .network_rejects;
         });
@@ -61,7 +61,8 @@ void sweep_direction(const char* name, const core::ThresholdPlan& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E13: operating characteristics across the distance sweep",
                 "extension: between the endpoints of Theorems 1.1-1.4");
   const std::uint64_t n = 1 << 14;

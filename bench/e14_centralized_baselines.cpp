@@ -33,9 +33,9 @@ double total_error(const std::function<bool(stats::Xoshiro256&)>& accept_uni,
                    const std::function<bool(stats::Xoshiro256&)>& accept_far,
                    std::uint64_t seed) {
   const auto reject_uniform = stats::estimate_probability(
-      seed, 800, [&](stats::Xoshiro256& rng) { return !accept_uni(rng); });
+      seed, bench::trials(800), [&](stats::Xoshiro256& rng) { return !accept_uni(rng); });
   const auto accept_far_rate = stats::estimate_probability(
-      seed + 1, 800, accept_far);
+      seed + 1, bench::trials(800), accept_far);
   return std::max(reject_uniform.p_hat, accept_far_rate.p_hat);
 }
 
@@ -111,7 +111,7 @@ void single_collision_saturation() {
     const double reject_uniform =
         1.0 - core::uniform_no_collision_exact(s, n);
     const auto reject_far = stats::estimate_probability(
-        50 + s, 4000, [&](stats::Xoshiro256& rng) {
+        50 + s, bench::trials(4000), [&](stats::Xoshiro256& rng) {
           return core::has_collision(far.sample_many(rng, s));
         });
     table.row()
@@ -130,7 +130,8 @@ void single_collision_saturation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E14: centralized statistics at equal sample budgets",
                 "extension: the design space behind Section 3's choice");
   shootout();

@@ -47,11 +47,11 @@ void guarantee_grid() {
     const core::AliasSampler far_sampler(
         core::paninski_two_bump(point.n, point.eps));
     const auto accept_uniform = stats::estimate_probability(
-        1, 4000, [&](stats::Xoshiro256& rng) {
+        1, bench::trials(4000), [&](stats::Xoshiro256& rng) {
           return tester.run(uniform_sampler, rng);
         });
     const auto accept_far = stats::estimate_probability(
-        2, 4000,
+        2, bench::trials(4000),
         [&](stats::Xoshiro256& rng) { return tester.run(far_sampler, rng); });
     table.row()
         .add(point.n)
@@ -109,7 +109,7 @@ void rounding_ablation() {
     const auto params = core::solve_gap_tester(n, eps, delta, mode.mode);
     const core::SingleCollisionTester tester(params);
     const auto reject_far = stats::estimate_probability(
-        3, 8000,
+        3, bench::trials(8000),
         [&](stats::Xoshiro256& rng) { return !tester.run(far_sampler, rng); });
     table.row()
         .add(mode.name)
@@ -127,7 +127,8 @@ void rounding_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E1: the collision-based gap tester",
                 "Theorem 3.1 / Lemma 3.4 (Section 3.1)");
   guarantee_grid();

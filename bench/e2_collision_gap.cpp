@@ -70,7 +70,8 @@ void paninski_tightness() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E2: the collision-probability gap",
                 "Lemma 3.2 (Section 3.1)");
   bench::section("family sweep at n = 4096 (exact computation)");

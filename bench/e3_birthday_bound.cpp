@@ -68,7 +68,7 @@ void sampled_skewed_side() {
     const core::AliasSampler sampler(row.mu);
     for (std::uint64_t s : {16ULL, 64ULL}) {
       const auto no_collision = stats::estimate_probability(
-          11, 6000, [&](stats::Xoshiro256& rng) {
+          11, bench::trials(6000), [&](stats::Xoshiro256& rng) {
             return !core::has_collision(sampler.sample_many(rng, s));
           });
       table.row()
@@ -86,7 +86,8 @@ void sampled_skewed_side() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E3: the Wiener birthday bound", "Lemma 3.3 (Section 3.1)");
   exact_uniform_side();
   sampled_skewed_side();

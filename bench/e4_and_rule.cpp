@@ -44,11 +44,11 @@ void k_sweep() {
       continue;
     }
     const auto false_reject = stats::estimate_probability(
-        100 + k, 60, [&](stats::Xoshiro256& rng) {
+        100 + k, bench::trials(60), [&](stats::Xoshiro256& rng) {
           return !core::run_and_rule_network(plan, uniform_sampler, rng);
         });
     const auto false_accept = stats::estimate_probability(
-        200 + k, 60, [&](stats::Xoshiro256& rng) {
+        200 + k, bench::trials(60), [&](stats::Xoshiro256& rng) {
           return core::run_and_rule_network(plan, far_sampler, rng);
         });
     // Theorem 1.1 shape: s scales as k^{-1/(2m)}.
@@ -123,7 +123,8 @@ void eps_boundary() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E4: 0-round testing, AND decision rule",
                 "Theorem 1.1 (Sections 1, 3.2.1)");
   k_sweep();

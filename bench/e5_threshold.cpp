@@ -42,12 +42,12 @@ void k_sweep() {
       continue;
     }
     const auto false_reject = stats::estimate_probability(
-        10 + k, 150, [&](stats::Xoshiro256& rng) {
+        10 + k, bench::trials(150), [&](stats::Xoshiro256& rng) {
           return core::run_threshold_network(plan, uniform_sampler, rng)
               .network_rejects;
         });
     const auto false_accept = stats::estimate_probability(
-        20 + k, 150, [&](stats::Xoshiro256& rng) {
+        20 + k, bench::trials(150), [&](stats::Xoshiro256& rng) {
           return !core::run_threshold_network(plan, far_sampler, rng)
                       .network_rejects;
         });
@@ -55,10 +55,10 @@ void k_sweep() {
     // collision-counting tester. Its error should be ~coin-flip.
     const core::CollisionCountingTester lone(n, eps, plan.base.s);
     const auto lone_accept_far = stats::estimate_probability(
-        30 + k, 400,
+        30 + k, bench::trials(400),
         [&](stats::Xoshiro256& rng) { return lone.run(far_sampler, rng); });
     const auto lone_reject_uniform = stats::estimate_probability(
-        40 + k, 400, [&](stats::Xoshiro256& rng) {
+        40 + k, bench::trials(400), [&](stats::Xoshiro256& rng) {
           return !lone.run(uniform_sampler, rng);
         });
     const double lone_error =
@@ -126,13 +126,13 @@ void placement_ablation() {
   for (std::int64_t shift : {-1, 0, +1}) {
     plan.threshold = base_threshold + static_cast<std::uint64_t>(shift);
     const auto false_reject = stats::estimate_probability(
-        50 + static_cast<std::uint64_t>(shift + 1), 200,
+        50 + static_cast<std::uint64_t>(shift + 1), bench::trials(200),
         [&](stats::Xoshiro256& rng) {
           return core::run_threshold_network(plan, uniform_sampler, rng)
               .network_rejects;
         });
     const auto false_accept = stats::estimate_probability(
-        60 + static_cast<std::uint64_t>(shift + 1), 200,
+        60 + static_cast<std::uint64_t>(shift + 1), bench::trials(200),
         [&](stats::Xoshiro256& rng) {
           return !core::run_threshold_network(plan, far_sampler, rng)
                       .network_rejects;
@@ -149,7 +149,8 @@ void placement_ablation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E5: 0-round testing, threshold decision rule",
                 "Theorem 1.2 (Sections 1, 3.2.2)");
   k_sweep();

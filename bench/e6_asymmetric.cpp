@@ -60,13 +60,13 @@ void threshold_profiles() {
       continue;
     }
     const auto false_reject = stats::estimate_probability(
-        std::hash<std::string>{}(kind), 80, [&](stats::Xoshiro256& rng) {
+        std::hash<std::string>{}(kind), bench::trials(80), [&](stats::Xoshiro256& rng) {
           return core::run_asymmetric_threshold_network(plan, uniform_sampler,
                                                         rng)
               .network_rejects;
         });
     const auto false_accept = stats::estimate_probability(
-        std::hash<std::string>{}(kind) + 1, 80,
+        std::hash<std::string>{}(kind) + 1, bench::trials(80),
         [&](stats::Xoshiro256& rng) {
           return !core::run_asymmetric_threshold_network(plan, far_sampler,
                                                          rng)
@@ -150,7 +150,8 @@ void lemma41_audit() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E6: asymmetric sampling costs",
                 "Section 4 (Theorems of §4.1-§4.2, Lemma 4.1)");
   threshold_profiles();

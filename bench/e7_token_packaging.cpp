@@ -109,7 +109,8 @@ void bandwidth() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E7: tau-token packaging", "Theorem 5.1 (Section 5)");
   topology_sweep();
   scaling();

@@ -167,7 +167,8 @@ void round_complexity() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E8: uniformity testing in CONGEST",
                 "Theorem 1.4 (Sections 1, 5)");
   tau_law();

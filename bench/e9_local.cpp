@@ -120,7 +120,8 @@ void round_accounting() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::banner("E9: uniformity testing in LOCAL", "Section 6");
   radius_sweep();
   end_to_end();

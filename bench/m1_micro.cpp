@@ -1,15 +1,35 @@
 // M1 — micro-benchmarks (google-benchmark) for the hot paths underneath
-// every experiment: sampling, collision detection, tester runs, code
-// encoders, and the network engine.
+// every experiment: sampling, collision detection, tester runs, the
+// parallel trial engine, code encoders, and the network engine.
+//
+// Besides the google-benchmark suite, main() times the three kernels the
+// perf work targets — trial-engine scaling, sorted vs bitmap collision,
+// legacy two-draw vs batched single-draw sampling — and writes the results
+// to BENCH_m1.json so successive PRs have a machine-readable perf
+// trajectory (EXPERIMENTS.md archives the numbers).
+//
+// Quick JSON-only run:  m1_micro --benchmark_filter=NONE
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "dut/codes/concatenated.hpp"
+#include "dut/codes/reed_solomon.hpp"
 #include "dut/congest/uniformity.hpp"
 #include "dut/core/families.hpp"
 #include "dut/core/gap_tester.hpp"
+#include "dut/core/zero_round.hpp"
 #include "dut/local/mis.hpp"
 #include "dut/smp/equality.hpp"
+#include "dut/stats/engine.hpp"
 
 namespace {
 
@@ -25,7 +45,22 @@ void BM_AliasSampler(benchmark::State& state) {
 }
 BENCHMARK(BM_AliasSampler)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_CollisionCheck(benchmark::State& state) {
+void BM_AliasSamplerBatch(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const core::AliasSampler sampler(core::zipf(n, 1.0));
+  stats::Xoshiro256 rng(1);
+  std::vector<std::uint64_t> out;
+  constexpr std::uint64_t kBatch = 1024;
+  for (auto _ : state) {
+    sampler.sample_into(rng, kBatch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_AliasSamplerBatch)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CollisionSorted(benchmark::State& state) {
   const auto s = static_cast<std::uint64_t>(state.range(0));
   const core::AliasSampler sampler(core::uniform(1 << 16));
   stats::Xoshiro256 rng(2);
@@ -34,7 +69,20 @@ void BM_CollisionCheck(benchmark::State& state) {
     benchmark::DoNotOptimize(core::has_collision(samples));
   }
 }
-BENCHMARK(BM_CollisionCheck)->Arg(16)->Arg(128)->Arg(1024);
+BENCHMARK(BM_CollisionSorted)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_CollisionBitmap(benchmark::State& state) {
+  const auto s = static_cast<std::uint64_t>(state.range(0));
+  constexpr std::uint64_t kDomain = 1 << 16;
+  const core::AliasSampler sampler(core::uniform(kDomain));
+  stats::Xoshiro256 rng(2);
+  const auto samples = sampler.sample_many(rng, s);
+  core::CollisionWorkspace workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workspace.has_collision(samples, kDomain));
+  }
+}
+BENCHMARK(BM_CollisionBitmap)->Arg(16)->Arg(128)->Arg(1024);
 
 void BM_GapTesterRun(benchmark::State& state) {
   const std::uint64_t n = 1 << 16;
@@ -48,6 +96,22 @@ void BM_GapTesterRun(benchmark::State& state) {
   state.SetLabel("s=" + std::to_string(params.s));
 }
 BENCHMARK(BM_GapTesterRun);
+
+void BM_TrialEngine(benchmark::State& state) {
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const std::uint64_t n = 1 << 16;
+  const core::SingleCollisionTester tester(core::solve_gap_tester(n, 0.9,
+                                                                  0.01));
+  const core::AliasSampler sampler(core::uniform(n));
+  stats::TrialRunner runner(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.estimate_probability(
+        1, 2000,
+        [&](stats::Xoshiro256& rng) { return tester.run(sampler, rng); }));
+  }
+}
+BENCHMARK(BM_TrialEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RsEncodeGf256(benchmark::State& state) {
   const codes::ReedSolomon rs(codes::GaloisField::gf256(), 200, 100);
@@ -116,6 +180,191 @@ void BM_ThresholdNetworkTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_ThresholdNetworkTrial);
 
+// ---------------------------------------------------------------------------
+// BENCH_m1.json: hand-timed kernels for the cross-PR perf trajectory.
+// ---------------------------------------------------------------------------
+
+/// The pre-engine alias kernel, kept verbatim as the baseline for the
+/// sampling row of BENCH_m1.json: split probability/alias arrays and two
+/// RNG advances (below + uniform01) per draw, vs the library's interleaved
+/// single-draw kernel.
+class LegacyAliasSampler {
+ public:
+  explicit LegacyAliasSampler(const core::Distribution& distribution) {
+    const std::span<const double> weights = distribution.pmf();
+    const std::size_t n = weights.size();
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    prob_.resize(n);
+    alias_.resize(n);
+    std::vector<double> scaled(n);
+    std::vector<std::uint64_t> small, large;
+    for (std::size_t i = 0; i < n; ++i) {
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+    }
+    while (!small.empty() && !large.empty()) {
+      const std::uint64_t s = small.back(), l = large.back();
+      small.pop_back();
+      large.pop_back();
+      prob_[s] = scaled[s];
+      alias_[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (const std::uint64_t l : large) prob_[l] = 1.0;
+    for (const std::uint64_t s : small) prob_[s] = 1.0;
+  }
+
+  std::uint64_t sample(stats::Xoshiro256& rng) const {
+    const std::uint64_t column = rng.below(prob_.size());
+    return rng.uniform01() < prob_[column] ? column : alias_[column];
+  }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint64_t> alias_;
+};
+
+/// Median-of-repeats wall time of fn(), in seconds.
+template <typename Fn>
+double time_seconds(Fn&& fn, int repeats = 5) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(stop - start).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+void write_bench_json(const char* path) {
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "m1: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"default_threads\": %u,\n",
+               stats::default_thread_count());
+
+  // 1. E1-style trial loop (gap tester on uniform, n = 2^16, 4000 trials)
+  //    across engine widths. speedup is serial-time / parallel-time.
+  {
+    const std::uint64_t n = 1 << 16;
+    const core::SingleCollisionTester tester(
+        core::solve_gap_tester(n, 0.9, 0.01));
+    const core::AliasSampler sampler(core::uniform(n));
+    const auto loop = [&](stats::TrialRunner& runner) {
+      benchmark::DoNotOptimize(runner.estimate_probability(
+          1, 4000,
+          [&](stats::Xoshiro256& rng) { return tester.run(sampler, rng); }));
+    };
+    std::fprintf(out, "  \"trial_engine\": [\n");
+    double serial_seconds = 0.0;
+    const unsigned widths[] = {1, 2, 4, 8};
+    for (std::size_t i = 0; i < std::size(widths); ++i) {
+      stats::TrialRunner runner(widths[i]);
+      const double seconds = time_seconds([&] { loop(runner); });
+      if (widths[i] == 1) serial_seconds = seconds;
+      std::fprintf(out,
+                   "    {\"threads\": %u, \"seconds\": %.6f, "
+                   "\"speedup\": %.3f}%s\n",
+                   widths[i], seconds, serial_seconds / seconds,
+                   i + 1 < std::size(widths) ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+  }
+
+  // 2. Collision kernels: sorted vs bitmap at the (n, s) the gap tester
+  //    actually visits.
+  {
+    std::fprintf(out, "  \"collision\": [\n");
+    const std::uint64_t domains[] = {1 << 12, 1 << 16, 1 << 20};
+    for (std::size_t i = 0; i < std::size(domains); ++i) {
+      const std::uint64_t n = domains[i];
+      const auto params = core::solve_gap_tester(n, 0.9, 0.01);
+      const core::AliasSampler sampler(core::uniform(n));
+      stats::Xoshiro256 rng(7);
+      const auto samples = sampler.sample_many(rng, params.s);
+      core::CollisionWorkspace workspace;
+      constexpr int kReps = 20000;
+      const double sorted_seconds = time_seconds([&] {
+        for (int r = 0; r < kReps; ++r) {
+          benchmark::DoNotOptimize(core::has_collision(samples));
+        }
+      });
+      const double bitmap_seconds = time_seconds([&] {
+        for (int r = 0; r < kReps; ++r) {
+          benchmark::DoNotOptimize(workspace.has_collision(samples, n));
+        }
+      });
+      std::fprintf(out,
+                   "    {\"n\": %llu, \"s\": %llu, \"sorted_ns\": %.1f, "
+                   "\"bitmap_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                   static_cast<unsigned long long>(n),
+                   static_cast<unsigned long long>(params.s),
+                   sorted_seconds / kReps * 1e9, bitmap_seconds / kReps * 1e9,
+                   sorted_seconds / bitmap_seconds,
+                   i + 1 < std::size(domains) ? "," : "");
+    }
+    std::fprintf(out, "  ],\n");
+  }
+
+  // 3. Sampling: the legacy two-draw kernel (below + uniform01, separate
+  //    per-call vector growth) vs the batched single-draw sample_into.
+  {
+    std::fprintf(out, "  \"sampling\": [\n");
+    const std::uint64_t domains[] = {1 << 10, 1 << 16, 1 << 20};
+    constexpr std::uint64_t kDraws = 1 << 16;
+    for (std::size_t i = 0; i < std::size(domains); ++i) {
+      const std::uint64_t n = domains[i];
+      const core::Distribution dist = core::zipf(n, 1.0);
+      const core::AliasSampler sampler(dist);
+      const LegacyAliasSampler legacy(dist);
+      stats::Xoshiro256 rng(9);
+      std::vector<std::uint64_t> out_buf;
+      const double legacy_seconds = time_seconds([&] {
+        std::vector<std::uint64_t> fresh;
+        fresh.reserve(kDraws);
+        for (std::uint64_t d = 0; d < kDraws; ++d) {
+          fresh.push_back(legacy.sample(rng));
+        }
+        benchmark::DoNotOptimize(fresh.data());
+      });
+      const double batched_seconds = time_seconds([&] {
+        sampler.sample_into(rng, kDraws, out_buf);
+        benchmark::DoNotOptimize(out_buf.data());
+      });
+      std::fprintf(out,
+                   "    {\"n\": %llu, \"legacy_ns_per_sample\": %.2f, "
+                   "\"batched_ns_per_sample\": %.2f, \"speedup\": %.2f}%s\n",
+                   static_cast<unsigned long long>(n),
+                   legacy_seconds / kDraws * 1e9,
+                   batched_seconds / kDraws * 1e9,
+                   legacy_seconds / batched_seconds,
+                   i + 1 < std::size(domains) ? "," : "");
+    }
+    std::fprintf(out, "  ]\n");
+  }
+
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json("BENCH_m1.json");
+  return 0;
+}

@@ -53,7 +53,7 @@ class UniformityTestProgram : public TokenPackagingProgram {
   std::uint64_t local_report(net::NodeContext&) override {
     std::uint64_t rejecting = 0;
     for (const auto& package : packages()) {
-      if (core::has_collision(package)) ++rejecting;
+      if (core::has_collision(package, plan_->n)) ++rejecting;
     }
     return rejecting;
   }

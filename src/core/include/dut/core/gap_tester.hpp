@@ -32,6 +32,47 @@ bool has_collision(std::span<const std::uint64_t> samples);
 /// m_x is the multiplicity of x. Used by the collision-counting baseline.
 std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples);
 
+/// Reusable scratch for the O(s) mark-table collision kernels. The tables
+/// are allocated once per (thread, domain) and then reused across trials:
+/// marking and unmarking touch only the s sampled entries, never the whole
+/// domain, so a trial costs O(s) after the first. Not thread-safe — use
+/// thread_collision_workspace() for one instance per thread.
+class CollisionWorkspace {
+ public:
+  /// Largest domain for which has_collision uses the bitmap (n bits,
+  /// 2 MiB at the cap) instead of sorting.
+  static constexpr std::uint64_t kMaxBitmapDomain = 1ULL << 24;
+  /// Largest domain for which count_colliding_pairs keeps a multiplicity
+  /// table (4 bytes per element, 16 MiB at the cap).
+  static constexpr std::uint64_t kMaxCountDomain = 1ULL << 22;
+
+  /// `n`-aware has_collision: O(s) bitmap scan when the domain fits (with
+  /// early exit on the first collision), sort fallback otherwise. Values
+  /// >= n are legal and force the fallback.
+  bool has_collision(std::span<const std::uint64_t> samples, std::uint64_t n);
+
+  /// `n`-aware count_colliding_pairs via an O(s) multiplicity table.
+  std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples,
+                                      std::uint64_t n);
+
+ private:
+  bool bitmap_has_collision(std::span<const std::uint64_t> samples,
+                            std::uint64_t n);
+
+  std::vector<std::uint64_t> bits_;    // 1 bit per domain element, lazily sized
+  std::vector<std::uint32_t> counts_;  // multiplicities, lazily sized
+  std::vector<std::uint64_t> scratch_;  // sort fallback buffer
+};
+
+/// The calling thread's workspace (engine trials run one trial at a time per
+/// thread, so one workspace per thread is exactly enough).
+CollisionWorkspace& thread_collision_workspace();
+
+/// Convenience dispatchers through the calling thread's workspace.
+bool has_collision(std::span<const std::uint64_t> samples, std::uint64_t n);
+std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples,
+                                    std::uint64_t n);
+
 /// How to round the real solution of s(s-1) = 2*delta*n to an integer s.
 /// kUp guarantees soundness-side sample mass at the price of a slightly
 /// larger effective delta; kDown the reverse. E1 ablates this choice.
@@ -78,8 +119,10 @@ double wiener_no_collision_bound(std::uint64_t s, double chi);
 /// prod_{i<s} (1 - i/n); reference value for E3.
 double uniform_no_collision_exact(std::uint64_t s, std::uint64_t n);
 
-/// The single-collision tester A_delta. Stateless apart from its parameters;
-/// `accept` is a pure function of the samples.
+/// The single-collision tester A_delta. Stateless apart from its parameters
+/// (per-trial scratch lives in the calling thread's CollisionWorkspace, so
+/// one tester may run concurrently from many engine threads); `accept` is a
+/// pure function of the samples.
 class SingleCollisionTester {
  public:
   explicit SingleCollisionTester(GapTesterParams params);
@@ -95,7 +138,6 @@ class SingleCollisionTester {
 
  private:
   GapTesterParams params_;
-  mutable std::vector<std::uint64_t> scratch_;
 };
 
 }  // namespace dut::core

@@ -35,8 +35,9 @@ std::uint64_t CollisionCountingTester::recommended_samples(std::uint64_t n,
 
 bool CollisionCountingTester::run(const AliasSampler& sampler,
                                   stats::Xoshiro256& rng) const {
-  std::vector<std::uint64_t> samples = sampler.sample_many(rng, s_);
-  const std::uint64_t pairs = count_colliding_pairs(samples);
+  static thread_local std::vector<std::uint64_t> samples;
+  sampler.sample_into(rng, s_, samples);
+  const std::uint64_t pairs = count_colliding_pairs(samples, n_);
   const double total_pairs =
       static_cast<double>(s_) * static_cast<double>(s_ - 1) / 2.0;
   return static_cast<double>(pairs) / total_pairs <= threshold_;
@@ -77,7 +78,9 @@ bool UniqueElementsTester::accept(
 
 bool UniqueElementsTester::run(const AliasSampler& sampler,
                                stats::Xoshiro256& rng) const {
-  return accept(sampler.sample_many(rng, s_));
+  static thread_local std::vector<std::uint64_t> samples;
+  sampler.sample_into(rng, s_, samples);
+  return accept(samples);
 }
 
 EmpiricalL1Tester::EmpiricalL1Tester(std::uint64_t n, double epsilon,

@@ -6,14 +6,19 @@
 
 namespace dut::core {
 
-bool has_collision(std::span<const std::uint64_t> samples) {
-  std::vector<std::uint64_t> scratch(samples.begin(), samples.end());
+namespace {
+
+bool sorted_has_collision(std::span<const std::uint64_t> samples,
+                          std::vector<std::uint64_t>& scratch) {
+  scratch.assign(samples.begin(), samples.end());
   std::sort(scratch.begin(), scratch.end());
   return std::adjacent_find(scratch.begin(), scratch.end()) != scratch.end();
 }
 
-std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples) {
-  std::vector<std::uint64_t> scratch(samples.begin(), samples.end());
+std::uint64_t sorted_count_colliding_pairs(
+    std::span<const std::uint64_t> samples,
+    std::vector<std::uint64_t>& scratch) {
+  scratch.assign(samples.begin(), samples.end());
   std::sort(scratch.begin(), scratch.end());
   std::uint64_t pairs = 0;
   std::size_t i = 0;
@@ -25,6 +30,90 @@ std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples) {
     i = j;
   }
   return pairs;
+}
+
+}  // namespace
+
+bool has_collision(std::span<const std::uint64_t> samples) {
+  std::vector<std::uint64_t> scratch;
+  return sorted_has_collision(samples, scratch);
+}
+
+std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples) {
+  std::vector<std::uint64_t> scratch;
+  return sorted_count_colliding_pairs(samples, scratch);
+}
+
+bool CollisionWorkspace::bitmap_has_collision(
+    std::span<const std::uint64_t> samples, std::uint64_t n) {
+  const std::size_t words = static_cast<std::size_t>((n + 63) / 64);
+  if (bits_.size() < words) bits_.resize(words, 0);
+
+  std::size_t marked = 0;
+  bool found = false;
+  for (; marked < samples.size(); ++marked) {
+    const std::uint64_t x = samples[marked];
+    if (x >= n) break;  // out-of-contract value: undo and fall back to sort
+    const std::uint64_t mask = 1ULL << (x & 63);
+    std::uint64_t& word = bits_[x >> 6];
+    if (word & mask) {
+      found = true;
+      break;
+    }
+    word |= mask;
+  }
+  // Unmark only what was touched: O(s), the full bitmap is never rescanned.
+  const bool clean = marked == samples.size() || found;
+  for (std::size_t i = 0; i < marked; ++i) {
+    const std::uint64_t x = samples[i];
+    bits_[x >> 6] &= ~(1ULL << (x & 63));
+  }
+  if (!clean) return sorted_has_collision(samples, scratch_);
+  return found;
+}
+
+bool CollisionWorkspace::has_collision(std::span<const std::uint64_t> samples,
+                                       std::uint64_t n) {
+  if (n == 0 || n > kMaxBitmapDomain) {
+    return sorted_has_collision(samples, scratch_);
+  }
+  return bitmap_has_collision(samples, n);
+}
+
+std::uint64_t CollisionWorkspace::count_colliding_pairs(
+    std::span<const std::uint64_t> samples, std::uint64_t n) {
+  if (n == 0 || n > kMaxCountDomain) {
+    return sorted_count_colliding_pairs(samples, scratch_);
+  }
+  for (const std::uint64_t x : samples) {
+    if (x >= n) return sorted_count_colliding_pairs(samples, scratch_);
+  }
+  if (counts_.size() < n) counts_.resize(static_cast<std::size_t>(n), 0);
+
+  // Incremental pair count: inserting a value with multiplicity m so far
+  // creates m new colliding pairs.
+  std::uint64_t pairs = 0;
+  for (const std::uint64_t x : samples) {
+    pairs += counts_[static_cast<std::size_t>(x)]++;
+  }
+  for (const std::uint64_t x : samples) {
+    counts_[static_cast<std::size_t>(x)] = 0;
+  }
+  return pairs;
+}
+
+CollisionWorkspace& thread_collision_workspace() {
+  static thread_local CollisionWorkspace workspace;
+  return workspace;
+}
+
+bool has_collision(std::span<const std::uint64_t> samples, std::uint64_t n) {
+  return thread_collision_workspace().has_collision(samples, n);
+}
+
+std::uint64_t count_colliding_pairs(std::span<const std::uint64_t> samples,
+                                    std::uint64_t n) {
+  return thread_collision_workspace().count_colliding_pairs(samples, n);
 }
 
 double gap_slack_gamma(std::uint64_t s, double delta, double epsilon) {
@@ -132,15 +221,14 @@ bool SingleCollisionTester::accept(
     throw std::invalid_argument(
         "SingleCollisionTester: wrong number of samples");
   }
-  return !has_collision(samples);
+  return !has_collision(samples, params_.n);
 }
 
 bool SingleCollisionTester::run(const AliasSampler& sampler,
                                 stats::Xoshiro256& rng) const {
-  sampler.sample_into(rng, params_.s, scratch_);
-  std::sort(scratch_.begin(), scratch_.end());
-  return std::adjacent_find(scratch_.begin(), scratch_.end()) ==
-         scratch_.end();
+  static thread_local std::vector<std::uint64_t> samples;
+  sampler.sample_into(rng, params_.s, samples);
+  return !has_collision(samples, params_.n);
 }
 
 }  // namespace dut::core

@@ -5,7 +5,7 @@
 namespace dut::core {
 
 AliasSampler::AliasSampler(const Distribution& distribution)
-    : probability_(distribution.n()), alias_(distribution.n()) {
+    : slots_(distribution.n()) {
   const std::uint64_t n = distribution.n();
   const double nd = static_cast<double>(n);
 
@@ -26,25 +26,20 @@ AliasSampler::AliasSampler(const Distribution& distribution)
     small.pop_back();
     const std::uint64_t l = large.back();
     large.pop_back();
-    probability_[s] = scaled[s];
-    alias_[s] = l;
+    slots_[s].probability = scaled[s];
+    slots_[s].alias = l;
     scaled[l] = (scaled[l] + scaled[s]) - 1.0;
     (scaled[l] < 1.0 ? small : large).push_back(l);
   }
   // Leftovers are numerically 1.0 columns.
   for (const std::uint64_t i : small) {
-    probability_[i] = 1.0;
-    alias_[i] = i;
+    slots_[i].probability = 1.0;
+    slots_[i].alias = i;
   }
   for (const std::uint64_t i : large) {
-    probability_[i] = 1.0;
-    alias_[i] = i;
+    slots_[i].probability = 1.0;
+    slots_[i].alias = i;
   }
-}
-
-std::uint64_t AliasSampler::sample(stats::Xoshiro256& rng) const noexcept {
-  const std::uint64_t column = rng.below(n());
-  return rng.uniform01() < probability_[column] ? column : alias_[column];
 }
 
 std::vector<std::uint64_t> AliasSampler::sample_many(
@@ -56,9 +51,21 @@ std::vector<std::uint64_t> AliasSampler::sample_many(
 
 void AliasSampler::sample_into(stats::Xoshiro256& rng, std::uint64_t count,
                                std::vector<std::uint64_t>& out) const {
-  out.clear();
-  out.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) out.push_back(sample(rng));
+  out.resize(count);
+  std::uint64_t* dst = out.data();
+
+  constexpr std::uint64_t kBlock = 64;
+  std::uint64_t raw[kBlock];
+  std::uint64_t remaining = count;
+  while (remaining >= kBlock) {
+    // Draw the whole block first: the RNG recurrence is the only serial
+    // dependency chain, so the table lookups below overlap freely.
+    for (std::uint64_t i = 0; i < kBlock; ++i) raw[i] = rng();
+    for (std::uint64_t i = 0; i < kBlock; ++i) dst[i] = resolve(raw[i]);
+    dst += kBlock;
+    remaining -= kBlock;
+  }
+  for (std::uint64_t i = 0; i < remaining; ++i) dst[i] = resolve(rng());
 }
 
 }  // namespace dut::core

@@ -91,7 +91,7 @@ FleetMonitor::EpochReport FleetMonitor::end_epoch() {
     const std::span<const std::uint64_t> win(
         pooled.data() + static_cast<std::size_t>(v) * plan_.base.s,
         plan_.base.s);
-    pairs += static_cast<double>(core::count_colliding_pairs(win));
+    pairs += static_cast<double>(core::count_colliding_pairs(win, plan_.n));
     total_pairs += s * (s - 1.0) / 2.0;
   }
   report.chi.chi_hat = total_pairs > 0.0 ? pairs / total_pairs : 0.0;

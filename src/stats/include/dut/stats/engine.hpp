@@ -1,0 +1,190 @@
+#pragma once
+
+// Deterministic parallel Monte-Carlo engine.
+//
+// Every trial of every experiment draws from `derive_stream(seed, t)`, so a
+// trial's outcome depends only on (seed, t) — never on which thread runs it
+// or in what order. The TrialRunner exploits that: trials are grouped into
+// fixed-size chunks (kTrialChunk, independent of the thread count), worker
+// threads claim chunks through a single atomic counter, each chunk writes
+// its partial result into its own pre-allocated slot, and the partials are
+// merged serially in chunk-index order. The result is therefore bit-identical
+// for 1, 2, or N threads (asserted by tests/stats/engine_test).
+//
+// The trial callable is a template parameter, not a std::function: the
+// per-trial call inlines, and the only indirection left is one virtualized
+// call per *chunk* (256 trials), which is noise.
+//
+// Thread-safety contract for trial callables: a trial may be invoked
+// concurrently from several threads, so it must only read its captured state
+// (samplers, testers, plans are all const-safe in this library) and draw
+// randomness exclusively from the Xoshiro256 it is handed.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dut/stats/bounds.hpp"
+#include "dut/stats/rng.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace dut::stats {
+
+/// Thread count from the DUT_THREADS environment variable, falling back to
+/// std::thread::hardware_concurrency() (never 0). CI determinism checks set
+/// DUT_THREADS=1.
+unsigned default_thread_count() noexcept;
+
+namespace detail {
+/// Upper bound on trials per work chunk (bounds the partial-result arrays).
+inline constexpr std::uint64_t kTrialChunkCap = 256;
+
+/// Trials per work chunk. A pure function of the trial count — never of the
+/// thread count — so the chunk boundaries, and therefore the merged
+/// statistics, are identical no matter how many threads execute them. Aims
+/// for ~64 chunks so even short expensive loops (e.g. 120 network
+/// simulations) spread across a pool.
+constexpr std::uint64_t chunk_size(std::uint64_t trials) noexcept {
+  const std::uint64_t target = (trials + 63) / 64;
+  if (target < 1) return 1;
+  return target > kTrialChunkCap ? kTrialChunkCap : target;
+}
+}  // namespace detail
+
+class TrialRunner {
+ public:
+  /// `threads == 0` means default_thread_count(). The runner owns
+  /// `threads - 1` workers; the calling thread is the remaining lane, so
+  /// `threads == 1` degenerates to a plain serial loop with zero overhead.
+  explicit TrialRunner(unsigned threads = 0);
+  ~TrialRunner();
+
+  TrialRunner(const TrialRunner&) = delete;
+  TrialRunner& operator=(const TrialRunner&) = delete;
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Runs body(c) for every chunk index c in [0, chunks) across the pool.
+  /// Blocks until all chunks are done; rethrows the first body exception.
+  /// Not reentrant (a body must not call back into the same runner).
+  void for_each_chunk(std::uint64_t chunks,
+                      const std::function<void(std::uint64_t)>& body);
+
+  /// Estimates Pr[trial(rng) == true] with `trials` independent runs, each
+  /// seeded from derive_stream(seed, t). Bit-identical to the serial path
+  /// for any thread count. `z` sets the Wilson interval width.
+  template <typename Trial>
+  ProbabilityEstimate estimate_probability(std::uint64_t seed,
+                                           std::uint64_t trials, Trial&& trial,
+                                           double z = 3.89) {
+    if (trials == 0) {
+      throw std::invalid_argument("estimate_probability: trials must be > 0");
+    }
+    const std::uint64_t chunks = chunk_count(trials);
+    std::vector<std::uint64_t> hits(chunks, 0);
+    for_each_chunk(chunks, [&](std::uint64_t c) {
+      const auto [begin, end] = chunk_range(c, trials);
+      std::uint64_t h = 0;
+      for (std::uint64_t t = begin; t < end; ++t) {
+        Xoshiro256 rng = derive_stream(seed, t);
+        if (trial(rng)) ++h;
+      }
+      hits[c] = h;
+    });
+    std::uint64_t successes = 0;
+    for (const std::uint64_t h : hits) successes += h;
+    const WilsonInterval ci = wilson_interval(successes, trials, z);
+    return ProbabilityEstimate{
+        static_cast<double>(successes) / static_cast<double>(trials), ci.lo,
+        ci.hi, successes, trials};
+  }
+
+  /// Runs `trials` double-valued trials and returns the pooled RunningStat.
+  /// Chunk partials are merged in chunk-index order, so the result is again
+  /// independent of the thread count.
+  template <typename Trial>
+  RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
+                         Trial&& trial) {
+    if (trials == 0) {
+      throw std::invalid_argument("run_trials: trials must be > 0");
+    }
+    const std::uint64_t chunks = chunk_count(trials);
+    std::vector<RunningStat> partials(chunks);
+    for_each_chunk(chunks, [&](std::uint64_t c) {
+      const auto [begin, end] = chunk_range(c, trials);
+      RunningStat stat;
+      for (std::uint64_t t = begin; t < end; ++t) {
+        Xoshiro256 rng = derive_stream(seed, t);
+        stat.add(static_cast<double>(trial(rng)));
+      }
+      partials[c] = stat;
+    });
+    RunningStat merged;
+    for (const RunningStat& p : partials) merged.merge(p);
+    return merged;
+  }
+
+ private:
+  static std::uint64_t chunk_count(std::uint64_t trials) noexcept {
+    const std::uint64_t size = detail::chunk_size(trials);
+    return (trials + size - 1) / size;
+  }
+  static std::pair<std::uint64_t, std::uint64_t> chunk_range(
+      std::uint64_t chunk, std::uint64_t trials) noexcept {
+    const std::uint64_t size = detail::chunk_size(trials);
+    const std::uint64_t begin = chunk * size;
+    const std::uint64_t end = begin + size;
+    return {begin, end < trials ? end : trials};
+  }
+
+  void worker_loop();
+  void drain_chunks();
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  // Per-job state. Written under mu_ before the generation bump; read by
+  // workers only after they observe the new generation (also under mu_).
+  const std::function<void(std::uint64_t)>* job_body_ = nullptr;
+  std::uint64_t job_chunks_ = 0;
+  std::exception_ptr job_error_;
+  std::atomic<std::uint64_t> next_chunk_{0};
+  std::atomic<unsigned> active_{0};
+};
+
+/// The process-wide runner used by the free estimate_probability/run_trials
+/// below (thread count latched from DUT_THREADS at first use). Every bench
+/// binary and probability-asserting test funnels through it.
+TrialRunner& global_runner();
+
+/// Drop-in replacement for the old serial estimate_probability: same
+/// signature and same per-trial stream derivation, now templated (no
+/// std::function indirection) and parallel across default_thread_count().
+template <typename Trial>
+ProbabilityEstimate estimate_probability(std::uint64_t seed,
+                                         std::uint64_t trials, Trial&& trial,
+                                         double z = 3.89) {
+  return global_runner().estimate_probability(
+      seed, trials, std::forward<Trial>(trial), z);
+}
+
+/// Pooled statistics over double-valued trials (see TrialRunner::run_trials).
+template <typename Trial>
+RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
+                       Trial&& trial) {
+  return global_runner().run_trials(seed, trials, std::forward<Trial>(trial));
+}
+
+}  // namespace dut::stats

@@ -1,10 +1,13 @@
 #pragma once
 
-// Streaming summary statistics (Welford) plus the Monte-Carlo estimation
-// harness shared by the test suite and every experiment binary.
+// Streaming summary statistics (Welford) plus the result type of the
+// Monte-Carlo estimation harness. The harness itself — the deterministic
+// parallel TrialRunner and the estimate_probability/run_trials entry points
+// shared by the test suite and every experiment binary — lives in
+// dut/stats/engine.hpp, which this header re-exports for source
+// compatibility.
 
 #include <cstdint>
-#include <functional>
 
 #include "dut/stats/bounds.hpp"
 #include "dut/stats/rng.hpp"
@@ -15,6 +18,11 @@ namespace dut::stats {
 class RunningStat {
  public:
   void add(double x) noexcept;
+
+  /// Folds another stat into this one (Chan et al.'s pairwise update).
+  /// Merging chunk partials in a fixed order yields the same bits regardless
+  /// of which threads produced them — the parallel engine relies on this.
+  void merge(const RunningStat& other) noexcept;
 
   std::uint64_t count() const noexcept { return count_; }
   double mean() const noexcept { return mean_; }
@@ -42,14 +50,8 @@ struct ProbabilityEstimate {
   std::uint64_t trials = 0;
 };
 
-/// Estimates Pr[trial(rng) == true] with `trials` independent runs.
-///
-/// Every trial gets its own derived RNG stream `derive_stream(seed, t)`, so
-/// the estimate is a pure function of (seed, trials, trial). `z` sets the
-/// Wilson interval width (default ~99.99%: tests assert against `lo`/`hi`
-/// and stay deterministic under fixed seeds).
-ProbabilityEstimate estimate_probability(
-    std::uint64_t seed, std::uint64_t trials,
-    const std::function<bool(Xoshiro256&)>& trial, double z = 3.89);
-
 }  // namespace dut::stats
+
+// estimate_probability / run_trials / TrialRunner. Included last because
+// engine.hpp needs the types above.
+#include "dut/stats/engine.hpp"

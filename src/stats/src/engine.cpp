@@ -1,0 +1,104 @@
+#include "dut/stats/engine.hpp"
+
+#include <cstdlib>
+
+namespace dut::stats {
+
+unsigned default_thread_count() noexcept {
+  if (const char* env = std::getenv("DUT_THREADS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1 && value <= 1024) {
+      return static_cast<unsigned>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+TrialRunner::TrialRunner(unsigned threads)
+    : threads_(threads == 0 ? default_thread_count() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialRunner::~TrialRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TrialRunner::drain_chunks() {
+  for (;;) {
+    const std::uint64_t c =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_chunks_) return;
+    try {
+      (*job_body_)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+  }
+}
+
+void TrialRunner::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_chunks();
+    // Release-ordering on the decrement publishes this worker's chunk slots;
+    // the last worker notifies under the mutex so the submitter cannot miss
+    // the wakeup between its predicate check and its wait.
+    if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void TrialRunner::for_each_chunk(
+    std::uint64_t chunks, const std::function<void(std::uint64_t)>& body) {
+  if (chunks == 0) return;
+  if (workers_.empty() || chunks == 1) {
+    for (std::uint64_t c = 0; c < chunks; ++c) body(c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_body_ = &body;
+    job_chunks_ = chunks;
+    job_error_ = nullptr;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_.store(static_cast<unsigned>(workers_.size()),
+                  std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+  drain_chunks();  // the submitting thread is a full work lane
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [&] { return active_.load(std::memory_order_acquire) == 0; });
+  if (job_error_) {
+    std::exception_ptr error = job_error_;
+    job_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+TrialRunner& global_runner() {
+  static TrialRunner runner;
+  return runner;
+}
+
+}  // namespace dut::stats

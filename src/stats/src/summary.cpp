@@ -1,7 +1,6 @@
 #include "dut/stats/summary.hpp"
 
 #include <cmath>
-#include <stdexcept>
 
 namespace dut::stats {
 
@@ -18,28 +17,27 @@ void RunningStat::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
 double RunningStat::variance() const noexcept {
   if (count_ < 2) return 0.0;
   return m2_ / static_cast<double>(count_ - 1);
 }
 
 double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
-
-ProbabilityEstimate estimate_probability(
-    std::uint64_t seed, std::uint64_t trials,
-    const std::function<bool(Xoshiro256&)>& trial, double z) {
-  if (trials == 0) {
-    throw std::invalid_argument("estimate_probability: trials must be > 0");
-  }
-  std::uint64_t successes = 0;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    Xoshiro256 rng = derive_stream(seed, t);
-    if (trial(rng)) ++successes;
-  }
-  const WilsonInterval ci = wilson_interval(successes, trials, z);
-  return ProbabilityEstimate{
-      static_cast<double>(successes) / static_cast<double>(trials), ci.lo,
-      ci.hi, successes, trials};
-}
 
 }  // namespace dut::stats

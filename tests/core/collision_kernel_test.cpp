@@ -1,0 +1,171 @@
+// CollisionWorkspace vs the sort-based reference kernels. The bitmap and
+// multiplicity-table paths must agree with sorting on every input — including
+// out-of-contract values >= n that force the fallback — and the lazily grown
+// per-thread tables must come back clean after every call, or a stale mark
+// would corrupt the next trial.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace {
+
+using namespace dut;
+using core::CollisionWorkspace;
+
+std::vector<std::uint64_t> random_samples(dut::stats::Xoshiro256& rng,
+                                          std::uint64_t n, std::uint64_t s) {
+  std::vector<std::uint64_t> out(s);
+  for (auto& x : out) x = rng.below(n);
+  return out;
+}
+
+TEST(CollisionKernel, BitmapMatchesSortOnRandomInputs) {
+  stats::Xoshiro256 rng(1);
+  CollisionWorkspace workspace;
+  // Sweep from collision-free-likely (s << sqrt(n)) to collision-dense
+  // (s >> sqrt(n)) regimes.
+  const std::uint64_t domains[] = {2, 17, 1 << 10, 1 << 16};
+  for (const std::uint64_t n : domains) {
+    for (const std::uint64_t s : {1ULL, 2ULL, 16ULL, 300ULL, 2000ULL}) {
+      for (int rep = 0; rep < 20; ++rep) {
+        const auto samples = random_samples(rng, n, s);
+        EXPECT_EQ(workspace.has_collision(samples, n),
+                  core::has_collision(samples))
+            << "n=" << n << " s=" << s << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST(CollisionKernel, CountMatchesSortOnRandomInputs) {
+  stats::Xoshiro256 rng(2);
+  CollisionWorkspace workspace;
+  const std::uint64_t domains[] = {2, 17, 1 << 10, 1 << 16};
+  for (const std::uint64_t n : domains) {
+    for (const std::uint64_t s : {1ULL, 2ULL, 16ULL, 300ULL, 2000ULL}) {
+      for (int rep = 0; rep < 20; ++rep) {
+        const auto samples = random_samples(rng, n, s);
+        EXPECT_EQ(workspace.count_colliding_pairs(samples, n),
+                  core::count_colliding_pairs(samples))
+            << "n=" << n << " s=" << s << " rep=" << rep;
+      }
+    }
+  }
+}
+
+TEST(CollisionKernel, HandComputedCases) {
+  CollisionWorkspace workspace;
+  const std::vector<std::uint64_t> empty;
+  EXPECT_FALSE(workspace.has_collision(empty, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(empty, 100), 0u);
+
+  const std::vector<std::uint64_t> distinct = {0, 1, 2, 99};
+  EXPECT_FALSE(workspace.has_collision(distinct, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(distinct, 100), 0u);
+
+  const std::vector<std::uint64_t> one_pair = {5, 3, 5, 7};
+  EXPECT_TRUE(workspace.has_collision(one_pair, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(one_pair, 100), 1u);
+
+  // All equal: binom(5, 2) = 10 pairs.
+  const std::vector<std::uint64_t> all_same(5, 42);
+  EXPECT_TRUE(workspace.has_collision(all_same, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(all_same, 100), 10u);
+}
+
+TEST(CollisionKernel, OutOfRangeValuesFallBackCorrectly) {
+  CollisionWorkspace workspace;
+  // Values >= n are out of the sampling contract but must still be handled
+  // (accept() takes arbitrary user spans). 500 >= n = 100 twice -> collision.
+  const std::vector<std::uint64_t> dupes_above = {1, 500, 2, 500};
+  EXPECT_TRUE(workspace.has_collision(dupes_above, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(dupes_above, 100), 1u);
+
+  const std::vector<std::uint64_t> distinct_above = {1, 500, 2, 501};
+  EXPECT_FALSE(workspace.has_collision(distinct_above, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(distinct_above, 100), 0u);
+
+  // In-range duplicate sitting *after* an out-of-range value: the bitmap
+  // loop bails at 500 and the fallback must still see the 7/7 pair.
+  const std::vector<std::uint64_t> mixed = {7, 500, 7};
+  EXPECT_TRUE(workspace.has_collision(mixed, 100));
+  EXPECT_EQ(workspace.count_colliding_pairs(mixed, 100), 1u);
+}
+
+TEST(CollisionKernel, WorkspaceStaysCleanAcrossCalls) {
+  CollisionWorkspace workspace;
+  // A collision run early-exits mid-scan; the next collision-free call on
+  // the same domain must not see leftover marks.
+  const std::vector<std::uint64_t> colliding = {1, 2, 3, 2, 9};
+  const std::vector<std::uint64_t> clean = {1, 2, 3, 4, 9};
+  for (int rep = 0; rep < 50; ++rep) {
+    EXPECT_TRUE(workspace.has_collision(colliding, 16));
+    EXPECT_FALSE(workspace.has_collision(clean, 16));
+    EXPECT_EQ(workspace.count_colliding_pairs(colliding, 16), 1u);
+    EXPECT_EQ(workspace.count_colliding_pairs(clean, 16), 0u);
+  }
+  // Alternating domains exercise the lazy table resizing.
+  for (const std::uint64_t n : {16ULL, 1ULL << 12, 32ULL, 1ULL << 16}) {
+    EXPECT_FALSE(workspace.has_collision(clean, n));
+    EXPECT_EQ(workspace.count_colliding_pairs(colliding, n), 1u);
+  }
+}
+
+TEST(CollisionKernel, HugeDomainsUseSortFallback) {
+  CollisionWorkspace workspace;
+  const std::uint64_t n = CollisionWorkspace::kMaxBitmapDomain * 4;
+  const std::vector<std::uint64_t> colliding = {n - 1, 5, n - 1};
+  const std::vector<std::uint64_t> clean = {n - 1, 5, n - 2};
+  EXPECT_TRUE(workspace.has_collision(colliding, n));
+  EXPECT_FALSE(workspace.has_collision(clean, n));
+  EXPECT_EQ(workspace.count_colliding_pairs(colliding, n), 1u);
+  EXPECT_EQ(workspace.count_colliding_pairs(clean, n), 0u);
+}
+
+TEST(CollisionKernel, FreeOverloadsAgreeWithWorkspace) {
+  stats::Xoshiro256 rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto samples = random_samples(rng, 1 << 10, 200);
+    EXPECT_EQ(core::has_collision(samples, 1 << 10),
+              core::has_collision(samples));
+    EXPECT_EQ(core::count_colliding_pairs(samples, 1 << 10),
+              core::count_colliding_pairs(samples));
+  }
+}
+
+TEST(SampleInto, MatchesRepeatedSampleCalls) {
+  // sample_into must consume the RNG stream exactly like repeated sample()
+  // calls, or batched and unbatched call sites would diverge.
+  const core::AliasSampler sampler(core::zipf(1 << 12, 1.0));
+  stats::Xoshiro256 rng_batch(77);
+  stats::Xoshiro256 rng_single(77);
+  std::vector<std::uint64_t> batched;
+  sampler.sample_into(rng_batch, 1000, batched);
+  ASSERT_EQ(batched.size(), 1000u);
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], sampler.sample(rng_single)) << "i=" << i;
+  }
+  EXPECT_EQ(rng_batch(), rng_single());  // streams end in lockstep
+}
+
+TEST(SampleInto, ReusesAndResizesBuffer) {
+  const core::AliasSampler sampler(core::uniform(64));
+  stats::Xoshiro256 rng(5);
+  std::vector<std::uint64_t> buffer;
+  sampler.sample_into(rng, 100, buffer);
+  EXPECT_EQ(buffer.size(), 100u);
+  sampler.sample_into(rng, 7, buffer);
+  EXPECT_EQ(buffer.size(), 7u);
+  sampler.sample_into(rng, 131, buffer);
+  EXPECT_EQ(buffer.size(), 131u);
+  for (const std::uint64_t x : buffer) EXPECT_LT(x, 64u);
+}
+
+}  // namespace

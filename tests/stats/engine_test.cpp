@@ -1,0 +1,178 @@
+// TrialRunner: the engine's whole contract is "parallel, but bit-identical
+// to serial". These tests pin that down: identical ProbabilityEstimates and
+// RunningStats at 1/2/8 threads, equality with a hand-rolled serial loop,
+// exception propagation, and the RunningStat::merge algebra it relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dut/stats/engine.hpp"
+#include "dut/stats/rng.hpp"
+#include "dut/stats/summary.hpp"
+
+namespace {
+
+using namespace dut::stats;
+
+// A trial expensive enough that chunks interleave across threads, with an
+// outcome that is a pure function of the derived stream.
+bool coin_trial(Xoshiro256& rng) {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc ^= rng();
+  return (acc & 1) == 0;
+}
+
+double value_trial(Xoshiro256& rng) {
+  return rng.uniform01() + rng.uniform01();
+}
+
+void expect_same_estimate(const ProbabilityEstimate& a,
+                          const ProbabilityEstimate& b) {
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.p_hat, b.p_hat);  // bit-identical, not just approximately
+  EXPECT_EQ(a.lo, b.lo);
+  EXPECT_EQ(a.hi, b.hi);
+}
+
+TEST(TrialRunner, EstimateIsBitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t trials : {1ULL, 7ULL, 100ULL, 1000ULL, 4097ULL}) {
+    TrialRunner serial(1);
+    const auto baseline = serial.estimate_probability(42, trials, coin_trial);
+    for (const unsigned threads : {2u, 8u}) {
+      TrialRunner runner(threads);
+      expect_same_estimate(baseline,
+                           runner.estimate_probability(42, trials, coin_trial));
+    }
+  }
+}
+
+TEST(TrialRunner, RunTrialsIsBitIdenticalAcrossThreadCounts) {
+  for (const std::uint64_t trials : {1ULL, 100ULL, 2500ULL}) {
+    TrialRunner serial(1);
+    const RunningStat baseline = serial.run_trials(7, trials, value_trial);
+    for (const unsigned threads : {2u, 8u}) {
+      TrialRunner runner(threads);
+      const RunningStat stat = runner.run_trials(7, trials, value_trial);
+      EXPECT_EQ(stat.count(), baseline.count());
+      EXPECT_EQ(stat.mean(), baseline.mean());
+      EXPECT_EQ(stat.variance(), baseline.variance());
+      EXPECT_EQ(stat.min(), baseline.min());
+      EXPECT_EQ(stat.max(), baseline.max());
+    }
+  }
+}
+
+TEST(TrialRunner, MatchesHandRolledSerialLoop) {
+  constexpr std::uint64_t kSeed = 99;
+  constexpr std::uint64_t kTrials = 777;
+  std::uint64_t expected = 0;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    Xoshiro256 rng = derive_stream(kSeed, t);
+    if (coin_trial(rng)) ++expected;
+  }
+  TrialRunner runner(8);
+  const auto estimate = runner.estimate_probability(kSeed, kTrials, coin_trial);
+  EXPECT_EQ(estimate.successes, expected);
+  EXPECT_EQ(estimate.trials, kTrials);
+}
+
+TEST(TrialRunner, FreeFunctionsUseGlobalRunner) {
+  TrialRunner serial(1);
+  expect_same_estimate(serial.estimate_probability(5, 500, coin_trial),
+                       estimate_probability(5, 500, coin_trial));
+  const RunningStat a = serial.run_trials(5, 500, value_trial);
+  const RunningStat b = run_trials(5, 500, value_trial);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
+}
+
+TEST(TrialRunner, ZeroTrialsThrows) {
+  TrialRunner runner(2);
+  EXPECT_THROW(runner.estimate_probability(1, 0, coin_trial),
+               std::invalid_argument);
+  EXPECT_THROW(runner.run_trials(1, 0, value_trial), std::invalid_argument);
+}
+
+TEST(TrialRunner, PropagatesTrialExceptions) {
+  TrialRunner runner(4);
+  EXPECT_THROW(runner.estimate_probability(
+                   1, 1000,
+                   [](Xoshiro256& rng) -> bool {
+                     if (rng() % 3 == 0) throw std::runtime_error("boom");
+                     return true;
+                   }),
+               std::runtime_error);
+  // The pool must survive a throwing job and run the next one normally.
+  const auto estimate = runner.estimate_probability(1, 200, coin_trial);
+  EXPECT_EQ(estimate.trials, 200u);
+}
+
+TEST(TrialRunner, ReusableAcrossManyJobs) {
+  TrialRunner runner(4);
+  const auto first = runner.estimate_probability(3, 300, coin_trial);
+  for (int i = 0; i < 20; ++i) {
+    expect_same_estimate(first,
+                         runner.estimate_probability(3, 300, coin_trial));
+  }
+}
+
+TEST(TrialRunnerDetail, ChunkSizeIsThreadIndependentAndBounded) {
+  for (const std::uint64_t trials :
+       {1ULL, 2ULL, 63ULL, 64ULL, 1000ULL, 1ULL << 20}) {
+    const std::uint64_t size = dut::stats::detail::chunk_size(trials);
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, dut::stats::detail::kTrialChunkCap);
+  }
+  // Enough chunks to spread short expensive loops across a pool.
+  EXPECT_EQ(dut::stats::detail::chunk_size(120), 2u);
+  EXPECT_EQ(dut::stats::detail::chunk_size(4000), 63u);
+}
+
+TEST(RunningStatMerge, MatchesSequentialAccumulation) {
+  Xoshiro256 rng(11);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.uniform01() * 10 - 3);
+
+  RunningStat sequential;
+  for (const double v : values) sequential.add(v);
+
+  for (const std::size_t split : {0UL, 1UL, 250UL, 999UL, 1000UL}) {
+    RunningStat left, right;
+    for (std::size_t i = 0; i < split; ++i) left.add(values[i]);
+    for (std::size_t i = split; i < values.size(); ++i) right.add(values[i]);
+    left.merge(right);
+    EXPECT_EQ(left.count(), sequential.count());
+    EXPECT_NEAR(left.mean(), sequential.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), sequential.variance(), 1e-9);
+    EXPECT_EQ(left.min(), sequential.min());
+    EXPECT_EQ(left.max(), sequential.max());
+  }
+}
+
+TEST(RunningStatMerge, EmptyIsIdentity) {
+  RunningStat stat;
+  stat.add(2.0);
+  stat.add(4.0);
+  RunningStat empty;
+  stat.merge(empty);
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.0);
+
+  RunningStat other;
+  other.merge(stat);
+  EXPECT_EQ(other.count(), 2u);
+  EXPECT_DOUBLE_EQ(other.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(other.min(), 2.0);
+  EXPECT_DOUBLE_EQ(other.max(), 4.0);
+}
+
+TEST(DefaultThreadCount, NeverZero) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Race-checks the parallel Monte-Carlo engine: builds the stats + core test
+# binaries under ThreadSanitizer and runs them with a worker pool large
+# enough to exercise every chunk-handoff path even on small CI machines.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target dut_stats_tests dut_core_tests
+
+export DUT_THREADS="${DUT_THREADS:-8}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+echo "== dut_stats_tests (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_stats_tests
+
+echo "== dut_core_tests engine-facing slices (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_core_tests \
+  --gtest_filter='CollisionKernel*:AliasSampler*:GapTester*'
+
+echo "tsan: all engine checks passed"
