@@ -91,6 +91,10 @@ void soundness() {
           .add(protocol.guaranteed_detection(), 4)
           .add(reject_close.p_hat, 4)
           .add(reject_random.p_hat, 4);
+      bench::record("reject_one_bit_diff[n=" + std::to_string(n) +
+                        ",delta=" + std::to_string(delta) + "]",
+                    protocol.guaranteed_detection(), reject_close.p_hat,
+                    "Lemma 7.3: measured rejection >= the certified floor");
     }
   }
   bench::print(table);
@@ -115,6 +119,9 @@ void completeness() {
               "completeness; the paper only needs 1 - delta)\n",
               static_cast<unsigned long long>(reject.successes),
               static_cast<unsigned long long>(reject.trials));
+  bench::record("false_rejections_equal_inputs", 0.0,
+                static_cast<double>(reject.successes),
+                "perfect completeness: zero false rejections");
 }
 
 void public_vs_private() {
@@ -170,5 +177,5 @@ int main(int argc, char** argv) {
   completeness();
   public_vs_private();
   lower_bound_context();
-  return 0;
+  return bench::finish();
 }

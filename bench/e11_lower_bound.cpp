@@ -53,6 +53,10 @@ void lemma21_sweep() {
   std::printf("\nchecked %llu points, %llu violations, min ratio %.3f\n",
               static_cast<unsigned long long>(checked),
               static_cast<unsigned long long>(violations), min_ratio);
+  bench::record("lemma21_violations", 0.0, static_cast<double>(violations),
+                "Lemma 2.1 holds on every sampled (delta, tau) point");
+  bench::record("lemma21_min_ratio", 1.0, min_ratio,
+                "divergence / bound >= 1 across the domain");
 }
 
 void corridor() {
@@ -138,5 +142,5 @@ int main(int argc, char** argv) {
   lemma21_sweep();
   corridor();
   empirical_wall();
-  return 0;
+  return bench::finish();
 }

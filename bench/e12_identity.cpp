@@ -58,6 +58,9 @@ void exact_guarantees() {
                         ? "yes"
                         : "VIOLATED")
                  : "n/a");
+    bench::record(std::string("far_stays_far[") + ref.name + "]",
+                  filter.output_epsilon(), output_distance,
+                  "eps-far inputs stay >= eps_out-far after the filter");
   }
   bench::print(table);
   bench::note("F(q) is uniform to machine precision, and every eps-far\n"
@@ -138,5 +141,5 @@ int main(int argc, char** argv) {
                 "introduction (uniformity completeness, refs [10, 15])");
   exact_guarantees();
   end_to_end();
-  return 0;
+  return bench::finish();
 }

@@ -54,6 +54,15 @@ void sweep_direction(const char* name, const core::ThresholdPlan& plan,
         .add(distance == 0.0          ? "guaranteed accept"
              : distance >= plan.epsilon ? "guaranteed reject"
                                         : "no guarantee");
+    if (distance == 0.0) {
+      bench::record(std::string("reject_at_zero[") + name + "]", 1.0 / 3.0,
+                    reject.p_hat, "guaranteed-accept endpoint: rate <= 1/3");
+    } else if (distance >= plan.epsilon) {
+      bench::record("reject_at_" + std::to_string(distance) + "[" + name +
+                        "]",
+                    2.0 / 3.0, reject.p_hat,
+                    "guaranteed-reject endpoint: rate >= 2/3");
+    }
   }
   std::printf("\n[%s]\n", name);
   bench::print(table);
@@ -107,5 +116,5 @@ int main(int argc, char** argv) {
       "chi (column 2), for which the hitter's share enters squared. The\n"
       "'score' column (computable from the same samples) tracks the\n"
       "verdict in both sweeps; L1 alone does not.");
-  return 0;
+  return bench::finish();
 }

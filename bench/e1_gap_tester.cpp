@@ -64,6 +64,16 @@ void guarantee_grid() {
         .add(accept_far.p_hat, 4)
         .add(params.has_gap ? 1.0 - params.alpha * params.delta : 1.0, 4)
         .add(accept_uniform.p_hat, 4);
+    const std::string tag = "[n=" + std::to_string(point.n) +
+                            ",eps=" + std::to_string(point.eps) +
+                            ",delta=" + std::to_string(point.delta) + "]";
+    bench::record("p_accept_uniform" + tag, 1.0 - params.delta,
+                  core::uniform_no_collision_exact(params.s, point.n),
+                  "predicted is the completeness floor (exact value)");
+    bench::record("p_accept_far" + tag,
+                  params.has_gap ? 1.0 - params.alpha * params.delta : 1.0,
+                  accept_far.p_hat,
+                  "predicted is the soundness ceiling (Monte-Carlo value)");
   }
   bench::print(table);
   bench::note(
@@ -134,5 +144,5 @@ int main(int argc, char** argv) {
   guarantee_grid();
   sample_complexity();
   rounding_ablation();
-  return 0;
+  return bench::finish();
 }

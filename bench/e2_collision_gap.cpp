@@ -47,6 +47,9 @@ void family_sweep(std::uint64_t n) {
         .add(chi_n, 5)
         .add(1.0 + eps * eps, 5)
         .add(chi_n / (1.0 + eps * eps), 5);
+    bench::record(std::string("chi_ratio[") + row.name + "]",
+                  1.0 + eps * eps, chi_n,
+                  "Lemma 3.2: chi*n >= 1+eps^2 (exact, no sampling)");
   }
   bench::print(table);
 }
@@ -77,5 +80,5 @@ int main(int argc, char** argv) {
   bench::section("family sweep at n = 4096 (exact computation)");
   family_sweep(4096);
   paninski_tightness();
-  return 0;
+  return bench::finish();
 }

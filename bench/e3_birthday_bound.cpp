@@ -41,6 +41,11 @@ void exact_uniform_side() {
           .add(exact, 5)
           .add(bound, 5)
           .add(bound / exact, 5);
+      bench::record("no_collision[n=" + std::to_string(n) +
+                        ",s=" + std::to_string(s) + "]",
+                    bound, exact,
+                    "Lemma 3.3: the Wiener bound (predicted) dominates the "
+                    "exact birthday product (measured)");
     }
   }
   bench::print(table);
@@ -91,5 +96,5 @@ int main(int argc, char** argv) {
   bench::banner("E3: the Wiener birthday bound", "Lemma 3.3 (Section 3.1)");
   exact_uniform_side();
   sampled_skewed_side();
-  return 0;
+  return bench::finish();
 }

@@ -72,6 +72,10 @@ void k_sweep() {
         .add(false_reject.p_hat, 3)
         .add(false_accept.p_hat, 3)
         .add(p, 3);
+    bench::record("false_reject[k=" + std::to_string(k) + "]", p,
+                  false_reject.p_hat, "Theorem 1.1: both error sides <= p");
+    bench::record("false_accept[k=" + std::to_string(k) + "]", p,
+                  false_accept.p_hat, "Theorem 1.1: both error sides <= p");
     prev_samples = plan.samples_per_node;
     prev_k = k;
     prev_m = plan.repetitions;
@@ -130,5 +134,5 @@ int main(int argc, char** argv) {
   k_sweep();
   n_sweep();
   eps_boundary();
-  return 0;
+  return bench::finish();
 }

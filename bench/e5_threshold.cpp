@@ -74,6 +74,10 @@ void k_sweep() {
         .add(false_reject.p_hat, 3)
         .add(false_accept.p_hat, 3)
         .add(lone_error, 3);
+    bench::record("false_reject[k=" + std::to_string(k) + "]", 1.0 / 3.0,
+                  false_reject.p_hat, "Theorem 1.2: both error sides <= 1/3");
+    bench::record("false_accept[k=" + std::to_string(k) + "]", 1.0 / 3.0,
+                  false_accept.p_hat, "Theorem 1.2: both error sides <= 1/3");
   }
   bench::print(table);
   std::printf("\nsingle strong node would need ~%.0f samples "
@@ -156,5 +160,5 @@ int main(int argc, char** argv) {
   k_sweep();
   tail_ablation();
   placement_ablation();
-  return 0;
+  return bench::finish();
 }

@@ -86,6 +86,9 @@ void threshold_profiles() {
         .add(plan.node_params[dearest].s)
         .add(false_reject.p_hat, 3)
         .add(false_accept.p_hat, 3);
+    bench::record(std::string("max_cost[") + kind + "]",
+                  plan.predicted_max_cost, plan.max_cost,
+                  "Section 4.2: realized max cost tracks sqrt(2nA)/||T||_2");
   }
   bench::print(table);
   bench::note(
@@ -144,6 +147,9 @@ void lemma41_audit() {
   }
   std::printf("violations: %llu / 10000, min margin g(Y) - g(X) = %.3g\n",
               static_cast<unsigned long long>(violations), worst_margin);
+  bench::record("lemma41_violations", 0.0,
+                static_cast<double>(violations),
+                "Lemma 4.1: g(X) <= g(Y) on every sampled manifold point");
   bench::note("Zero violations: the symmetric point maximizes the far-\n"
               "acceptance product, so asymmetric delta splits are sound.");
 }
@@ -157,5 +163,5 @@ int main(int argc, char** argv) {
   threshold_profiles();
   and_rule_profiles();
   lemma41_audit();
-  return 0;
+  return bench::finish();
 }

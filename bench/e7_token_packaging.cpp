@@ -64,6 +64,11 @@ void topology_sweep() {
           .add(audit_definition_two(result, c.graph.num_nodes(), tau)
                    ? "ok"
                    : "VIOLATED");
+      bench::record("rounds[" + std::string(c.name) +
+                        ",tau=" + std::to_string(tau) + "]",
+                    static_cast<double>(5ULL * d + tau + 20),
+                    static_cast<double>(result.metrics.rounds),
+                    "Theorem 5.1: rounds within the linear D + tau envelope");
     }
   }
   bench::print(table);
@@ -102,6 +107,10 @@ void bandwidth() {
   std::printf("max message bits: %llu (budget 3 + 2*ceil(log2 k) = %u)\n",
               static_cast<unsigned long long>(result.metrics.max_message_bits),
               3 + 2 * net::bits_for(4096));
+  bench::record("max_message_bits",
+                static_cast<double>(3 + 2 * net::bits_for(4096)),
+                static_cast<double>(result.metrics.max_message_bits),
+                "widest message stays within the O(log n + log k) budget");
   std::printf("total traffic: %.1f KB over %llu messages\n",
               static_cast<double>(result.metrics.total_bits) / 8192.0,
               static_cast<unsigned long long>(result.metrics.messages));
@@ -115,5 +124,5 @@ int main(int argc, char** argv) {
   topology_sweep();
   scaling();
   bandwidth();
-  return 0;
+  return bench::finish();
 }

@@ -75,13 +75,13 @@ void end_to_end() {
       {"random (deg ~6)", Graph::random_connected(k, 2.0, 3)},
       {"star", Graph::star(k)},
   };
+  const std::uint64_t num_runs = bench::runs(30);
   for (const Case& c : cases) {
     std::uint64_t reject_uniform = 0;
     std::uint64_t accept_far = 0;
     std::uint64_t rounds = 0;
     std::uint64_t max_bits = 0;
-    constexpr std::uint64_t kTrials = 30;
-    for (std::uint64_t t = 0; t < kTrials; ++t) {
+    for (std::uint64_t t = 0; t < num_runs; ++t) {
       const auto on_uniform =
           congest::run_congest_uniformity(plan, c.graph, uniform_sampler,
                                           3000 + t);
@@ -92,13 +92,21 @@ void end_to_end() {
       rounds = on_uniform.metrics.rounds;
       max_bits = on_uniform.metrics.max_message_bits;
     }
+    const double p_reject_uniform =
+        static_cast<double>(reject_uniform) / static_cast<double>(num_runs);
+    const double p_accept_far =
+        static_cast<double>(accept_far) / static_cast<double>(num_runs);
     table.row()
         .add(c.name)
         .add(static_cast<std::uint64_t>(c.graph.diameter()))
         .add(rounds)
-        .add(static_cast<double>(reject_uniform) / kTrials, 3)
-        .add(static_cast<double>(accept_far) / kTrials, 3)
+        .add(p_reject_uniform, 3)
+        .add(p_accept_far, 3)
         .add(max_bits);
+    bench::record("false_reject[" + std::string(c.name) + "]", 1.0 / 3.0,
+                  p_reject_uniform, "Theorem 1.4: error sides <= 1/3");
+    bench::record("false_accept[" + std::string(c.name) + "]", 1.0 / 3.0,
+                  p_accept_far, "Theorem 1.4: error sides <= 1/3");
   }
   bench::print(table);
   bench::note("Both error columns stay under 1/3 on every topology; message\n"
@@ -159,6 +167,10 @@ void round_complexity() {
         .add(plan.tau)
         .add(result.metrics.rounds)
         .add(static_cast<double>(result.metrics.rounds) / (d + plan.tau), 3);
+    bench::record("rounds[" + std::string(c.name) + "]",
+                  static_cast<double>(5ULL * (d + plan.tau)),
+                  static_cast<double>(result.metrics.rounds),
+                  "Theorem 1.4: rounds = O(D + tau), constant ~3-5");
   }
   bench::print(table);
   bench::note("rounds/(D + tau) stays a small constant (~3-5) from the\n"
@@ -175,5 +187,5 @@ int main(int argc, char** argv) {
   end_to_end();
   multi_sample();
   round_complexity();
-  return 0;
+  return bench::finish();
 }

@@ -5,7 +5,7 @@
 // Besides the google-benchmark suite, main() times the three kernels the
 // perf work targets — trial-engine scaling, sorted vs bitmap collision,
 // legacy two-draw vs batched single-draw sampling — and writes the results
-// to BENCH_m1.json so successive PRs have a machine-readable perf
+// to BENCH_M1.json so successive PRs have a machine-readable perf
 // trajectory (EXPERIMENTS.md archives the numbers).
 //
 // Quick JSON-only run:  m1_micro --benchmark_filter=NONE
@@ -28,6 +28,7 @@
 #include "dut/core/gap_tester.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/local/mis.hpp"
+#include "dut/obs/report.hpp"
 #include "dut/smp/equality.hpp"
 #include "dut/stats/engine.hpp"
 
@@ -181,11 +182,11 @@ void BM_ThresholdNetworkTrial(benchmark::State& state) {
 BENCHMARK(BM_ThresholdNetworkTrial);
 
 // ---------------------------------------------------------------------------
-// BENCH_m1.json: hand-timed kernels for the cross-PR perf trajectory.
+// BENCH_M1.json: hand-timed kernels for the cross-PR perf trajectory.
 // ---------------------------------------------------------------------------
 
 /// The pre-engine alias kernel, kept verbatim as the baseline for the
-/// sampling row of BENCH_m1.json: split probability/alias arrays and two
+/// sampling row of BENCH_M1.json: split probability/alias arrays and two
 /// RNG advances (below + uniform01) per draw, vs the library's interleaved
 /// single-draw kernel.
 class LegacyAliasSampler {
@@ -241,17 +242,13 @@ double time_seconds(Fn&& fn, int repeats = 5) {
   return times[times.size() / 2];
 }
 
-void write_bench_json(const char* path) {
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "m1: cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"default_threads\": %u,\n",
-               stats::default_thread_count());
+void write_bench_json() {
+  obs::RunReport report(
+      "m1", "micro-benchmarks: hot-path kernels and engine scaling");
+  report.set_engine("threads", stats::default_thread_count());
+  report.set_engine("hardware_concurrency",
+                    std::thread::hardware_concurrency());
+  report.set_engine("obs_enabled", obs::enabled());
 
   // 1. E1-style trial loop (gap tester on uniform, n = 2^16, 4000 trials)
   //    across engine widths. speedup is serial-time / parallel-time.
@@ -265,29 +262,26 @@ void write_bench_json(const char* path) {
           1, 4000,
           [&](stats::Xoshiro256& rng) { return tester.run(sampler, rng); }));
     };
-    std::fprintf(out, "  \"trial_engine\": [\n");
+    obs::Json rows = obs::Json::array();
     double serial_seconds = 0.0;
-    const unsigned widths[] = {1, 2, 4, 8};
-    for (std::size_t i = 0; i < std::size(widths); ++i) {
-      stats::TrialRunner runner(widths[i]);
+    for (const unsigned width : {1u, 2u, 4u, 8u}) {
+      stats::TrialRunner runner(width);
       const double seconds = time_seconds([&] { loop(runner); });
-      if (widths[i] == 1) serial_seconds = seconds;
-      std::fprintf(out,
-                   "    {\"threads\": %u, \"seconds\": %.6f, "
-                   "\"speedup\": %.3f}%s\n",
-                   widths[i], seconds, serial_seconds / seconds,
-                   i + 1 < std::size(widths) ? "," : "");
+      if (width == 1) serial_seconds = seconds;
+      obs::Json row = obs::Json::object();
+      row.set("threads", width);
+      row.set("seconds", seconds);
+      row.set("speedup", serial_seconds / seconds);
+      rows.push(std::move(row));
     }
-    std::fprintf(out, "  ],\n");
+    report.set_value("trial_engine", std::move(rows));
   }
 
   // 2. Collision kernels: sorted vs bitmap at the (n, s) the gap tester
   //    actually visits.
   {
-    std::fprintf(out, "  \"collision\": [\n");
-    const std::uint64_t domains[] = {1 << 12, 1 << 16, 1 << 20};
-    for (std::size_t i = 0; i < std::size(domains); ++i) {
-      const std::uint64_t n = domains[i];
+    obs::Json rows = obs::Json::array();
+    for (const std::uint64_t n : {1ULL << 12, 1ULL << 16, 1ULL << 20}) {
       const auto params = core::solve_gap_tester(n, 0.9, 0.01);
       const core::AliasSampler sampler(core::uniform(n));
       stats::Xoshiro256 rng(7);
@@ -304,26 +298,28 @@ void write_bench_json(const char* path) {
           benchmark::DoNotOptimize(workspace.has_collision(samples, n));
         }
       });
-      std::fprintf(out,
-                   "    {\"n\": %llu, \"s\": %llu, \"sorted_ns\": %.1f, "
-                   "\"bitmap_ns\": %.1f, \"speedup\": %.2f}%s\n",
-                   static_cast<unsigned long long>(n),
-                   static_cast<unsigned long long>(params.s),
-                   sorted_seconds / kReps * 1e9, bitmap_seconds / kReps * 1e9,
-                   sorted_seconds / bitmap_seconds,
-                   i + 1 < std::size(domains) ? "," : "");
+      obs::Json row = obs::Json::object();
+      row.set("n", n);
+      row.set("s", params.s);
+      row.set("sorted_ns", sorted_seconds / kReps * 1e9);
+      row.set("bitmap_ns", bitmap_seconds / kReps * 1e9);
+      row.set("speedup", sorted_seconds / bitmap_seconds);
+      rows.push(std::move(row));
+      if (n == (1ULL << 16)) {
+        report.check("collision_bitmap_speedup[n=2^16]", 1.0,
+                     sorted_seconds / bitmap_seconds,
+                     "bitmap kernel at least matches the sorted kernel");
+      }
     }
-    std::fprintf(out, "  ],\n");
+    report.set_value("collision", std::move(rows));
   }
 
   // 3. Sampling: the legacy two-draw kernel (below + uniform01, separate
   //    per-call vector growth) vs the batched single-draw sample_into.
   {
-    std::fprintf(out, "  \"sampling\": [\n");
-    const std::uint64_t domains[] = {1 << 10, 1 << 16, 1 << 20};
+    obs::Json rows = obs::Json::array();
     constexpr std::uint64_t kDraws = 1 << 16;
-    for (std::size_t i = 0; i < std::size(domains); ++i) {
-      const std::uint64_t n = domains[i];
+    for (const std::uint64_t n : {1ULL << 10, 1ULL << 16, 1ULL << 20}) {
       const core::Distribution dist = core::zipf(n, 1.0);
       const core::AliasSampler sampler(dist);
       const LegacyAliasSampler legacy(dist);
@@ -341,21 +337,25 @@ void write_bench_json(const char* path) {
         sampler.sample_into(rng, kDraws, out_buf);
         benchmark::DoNotOptimize(out_buf.data());
       });
-      std::fprintf(out,
-                   "    {\"n\": %llu, \"legacy_ns_per_sample\": %.2f, "
-                   "\"batched_ns_per_sample\": %.2f, \"speedup\": %.2f}%s\n",
-                   static_cast<unsigned long long>(n),
-                   legacy_seconds / kDraws * 1e9,
-                   batched_seconds / kDraws * 1e9,
-                   legacy_seconds / batched_seconds,
-                   i + 1 < std::size(domains) ? "," : "");
+      obs::Json row = obs::Json::object();
+      row.set("n", n);
+      row.set("legacy_ns_per_sample", legacy_seconds / kDraws * 1e9);
+      row.set("batched_ns_per_sample", batched_seconds / kDraws * 1e9);
+      row.set("speedup", legacy_seconds / batched_seconds);
+      rows.push(std::move(row));
+      if (n == (1ULL << 16)) {
+        report.check("sampling_batched_speedup[n=2^16]", 1.0,
+                     legacy_seconds / batched_seconds,
+                     "batched single-draw kernel at least matches legacy");
+      }
     }
-    std::fprintf(out, "  ]\n");
+    report.set_value("sampling", std::move(rows));
   }
 
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", path);
+  report.attach_metrics();
+  const std::string path = report.default_path();
+  report.write(path);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -365,6 +365,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_bench_json("BENCH_m1.json");
+  write_bench_json();
   return 0;
 }

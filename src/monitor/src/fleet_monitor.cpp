@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "dut/core/gap_tester.hpp"
+#include "dut/obs/metrics.hpp"
 
 namespace dut::monitor {
 
@@ -56,6 +57,10 @@ void FleetMonitor::observe(std::uint32_t node, std::uint64_t value) {
   auto& window = windows_[node];
   window.push_back(effective);
   if (window.size() == plan_.base.s) ++ready_nodes_;
+  if (obs::enabled()) {
+    static obs::Counter& observations = obs::counter("monitor.observations");
+    observations.add();
+  }
 }
 
 FleetMonitor::EpochReport FleetMonitor::end_epoch() {
@@ -108,6 +113,11 @@ FleetMonitor::EpochReport FleetMonitor::end_epoch() {
 
   report.alarm = report.votes_to_reject >= plan_.threshold;
   if (report.alarm) ++alarms_;
+  if (obs::enabled()) {
+    obs::counter("monitor.epochs").add();
+    obs::histogram("monitor.epoch.votes").record(report.votes_to_reject);
+    if (report.alarm) obs::counter("monitor.alarms").add();
+  }
 
   // Re-count readiness against the carried-over surplus.
   ready_nodes_ = 0;

@@ -16,16 +16,31 @@
 //    terminate cleanly.
 // The run aborts with RoundLimitExceeded if config.max_rounds elapse before
 // every node halts, so livelocked protocols fail fast instead of spinning.
+//
+// Observability: a run emits structured events (run_start, round, send,
+// deliver, halt, violation, run_end) to an obs::TraceSink attached with
+// set_trace_sink(), or — when no sink is attached — to a JSONL writer named
+// by the DUT_TRACE environment variable (DUT_TRACE_TAIL=N keeps only the
+// last N rounds, DUT_TRACE_LEVEL=2 adds per-message deliver events). The
+// sink is flushed before any model-violation throw, so the transcript always
+// contains the offending round. Aggregate counters and per-round
+// message/bit histograms land in the obs metrics registry under "net.*".
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 #include "dut/net/graph.hpp"
 #include "dut/net/message.hpp"
 #include "dut/stats/rng.hpp"
+
+namespace dut::obs {
+class TraceSink;
+}  // namespace dut::obs
 
 namespace dut::net {
 
@@ -127,9 +142,25 @@ class Engine {
   const EngineMetrics& metrics() const noexcept { return metrics_; }
   const Graph& graph() const noexcept { return graph_; }
 
+  /// Attaches a trace sink for subsequent run() calls (nullptr detaches).
+  /// An attached sink takes precedence over the DUT_TRACE environment
+  /// variable; the caller retains ownership and must keep it alive across
+  /// run().
+  void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
+
  private:
   friend class NodeContext;
   void deliver(std::uint32_t from, std::uint32_t to, Message msg);
+  /// Records a violation on the active sink (flushing it so the transcript
+  /// survives the imminent throw) and in the metrics registry.
+  void trace_violation(std::string_view kind, const std::string& detail);
+
+  /// "Never carried a message" sentinel for the directed-edge guard. The
+  /// guard stores the actual round number of the last send; current_round_
+  /// is always < config.max_rounds when a send executes, so it can never
+  /// reach this value and the sentinel is unambiguous even in round 0.
+  static constexpr std::uint64_t kNeverSent =
+      std::numeric_limits<std::uint64_t>::max();
 
   const Graph& graph_;
   EngineConfig config_;
@@ -139,8 +170,18 @@ class Engine {
   std::vector<bool> halted_;
   std::vector<std::vector<Message>> inboxes_;       // delivered this round
   std::vector<std::vector<Message>> next_inboxes_;  // queued for next round
-  /// Directed-edge guard: last round in which (from -> to) carried a message.
-  std::vector<std::vector<std::uint64_t>> last_sent_round_;
+
+  /// Directed-edge guard in CSR layout: the slot for node v's i-th neighbor
+  /// is last_sent_round_[edge_offset_[v] + i]. One flat allocation instead
+  /// of a vector-of-vectors, so a k-clique costs one k·(k-1) array rather
+  /// than k separately-allocated rows (edge_offset_ is built once from the
+  /// graph in the constructor; the flat array is reset per run).
+  std::vector<std::size_t> edge_offset_;        // size num_nodes + 1
+  std::vector<std::uint64_t> last_sent_round_;  // size edge_offset_.back()
+
+  obs::TraceSink* trace_sink_ = nullptr;  // attached via set_trace_sink
+  obs::TraceSink* active_sink_ = nullptr;  // effective sink for current run
+  bool trace_delivers_ = false;            // DUT_TRACE_LEVEL >= 2
 };
 
 }  // namespace dut::net

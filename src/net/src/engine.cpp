@@ -1,7 +1,12 @@
 #include "dut/net/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
+
+#include "dut/obs/env.hpp"
+#include "dut/obs/metrics.hpp"
+#include "dut/obs/trace.hpp"
 
 namespace dut::net {
 
@@ -18,32 +23,60 @@ Engine::Engine(const Graph& graph, EngineConfig config)
   if (config_.model == Model::kCongest && config_.bandwidth_bits == 0) {
     throw std::invalid_argument("Engine: CONGEST needs a bandwidth budget");
   }
+  const std::uint32_t k = graph_.num_nodes();
+  edge_offset_.resize(k + 1);
+  edge_offset_[0] = 0;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    edge_offset_[v + 1] = edge_offset_[v] + graph_.degree(v);
+  }
+}
+
+void Engine::trace_violation(std::string_view kind, const std::string& detail) {
+  if (obs::enabled()) obs::counter("net.violations").add();
+  if (active_sink_ != nullptr) {
+    active_sink_->on_violation(current_round_, kind, detail);
+    active_sink_->flush();
+  }
 }
 
 void Engine::deliver(std::uint32_t from, std::uint32_t to, Message msg) {
   const auto neighbors = graph_.neighbors(from);
   const auto it = std::find(neighbors.begin(), neighbors.end(), to);
   if (it == neighbors.end()) {
-    throw ProtocolViolation("node " + std::to_string(from) +
-                            " sent to non-neighbor " + std::to_string(to));
+    const std::string detail = "node " + std::to_string(from) +
+                               " sent to non-neighbor " + std::to_string(to);
+    trace_violation("protocol", detail);
+    throw ProtocolViolation(detail);
   }
   if (halted_[to]) {
-    throw ProtocolViolation("node " + std::to_string(from) +
-                            " sent to halted node " + std::to_string(to));
+    const std::string detail = "node " + std::to_string(from) +
+                               " sent to halted node " + std::to_string(to);
+    trace_violation("protocol", detail);
+    throw ProtocolViolation(detail);
   }
   const auto edge_index = static_cast<std::size_t>(it - neighbors.begin());
-  if (last_sent_round_[from][edge_index] == current_round_ + 1) {
-    throw ProtocolViolation("node " + std::to_string(from) +
-                            " sent twice to " + std::to_string(to) +
-                            " in round " + std::to_string(current_round_));
+  std::uint64_t& guard = last_sent_round_[edge_offset_[from] + edge_index];
+  if (guard == current_round_) {
+    const std::string detail =
+        "node " + std::to_string(from) + " sent twice to " +
+        std::to_string(to) + " in round " + std::to_string(current_round_);
+    trace_violation("protocol", detail);
+    throw ProtocolViolation(detail);
   }
-  last_sent_round_[from][edge_index] = current_round_ + 1;
+  guard = current_round_;
 
+  // The send attempt is traced before the bandwidth check so a transcript of
+  // an aborted run still shows the offending message.
+  if (active_sink_ != nullptr) {
+    active_sink_->on_send(current_round_, from, to, msg.bits);
+  }
   if (config_.model == Model::kCongest && msg.bits > config_.bandwidth_bits) {
-    throw BandwidthExceeded(
+    const std::string detail =
         "message of " + std::to_string(msg.bits) + " bits exceeds budget of " +
         std::to_string(config_.bandwidth_bits) + " (edge " +
-        std::to_string(from) + " -> " + std::to_string(to) + ")");
+        std::to_string(from) + " -> " + std::to_string(to) + ")";
+    trace_violation("bandwidth", detail);
+    throw BandwidthExceeded(detail);
   }
 
   ++metrics_.messages;
@@ -70,9 +103,38 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
   halted_.assign(k, false);
   inboxes_.assign(k, {});
   next_inboxes_.assign(k, {});
-  last_sent_round_.assign(k, {});
-  for (std::uint32_t v = 0; v < k; ++v) {
-    last_sent_round_[v].assign(graph_.degree(v), 0);
+  last_sent_round_.assign(edge_offset_.back(), kNeverSent);
+
+  // Resolve the trace sink for this run: an attached sink wins; otherwise
+  // DUT_TRACE names a JSONL transcript (fresh per run, appended to the
+  // file). The writer lives only for this run so the process-wide file lock
+  // it holds is released on every exit path, including throws.
+  std::unique_ptr<obs::JsonlTraceWriter> env_writer;
+  active_sink_ = trace_sink_;
+  if (active_sink_ == nullptr && obs::enabled()) {
+    if (const char* path = std::getenv("DUT_TRACE");
+        path != nullptr && *path != '\0') {
+      const std::uint64_t tail =
+          obs::env_u64("DUT_TRACE_TAIL", 0, 1ULL << 32).value_or(0);
+      env_writer = std::make_unique<obs::JsonlTraceWriter>(path, tail);
+      active_sink_ = env_writer.get();
+    }
+  }
+  trace_delivers_ =
+      active_sink_ != nullptr &&
+      obs::env_u64("DUT_TRACE_LEVEL", 1, 9).value_or(1) >= 2;
+
+  const bool instrumented = obs::enabled();
+  if (instrumented) obs::counter("net.runs").add();
+  if (active_sink_ != nullptr) {
+    obs::TraceRunInfo info;
+    info.model = config_.model == Model::kCongest ? "congest" : "local";
+    info.nodes = k;
+    info.bandwidth_bits =
+        config_.model == Model::kCongest ? config_.bandwidth_bits : 0;
+    info.max_rounds = config_.max_rounds;
+    info.seed = config_.seed;
+    active_sink_->on_run_start(info);
   }
 
   std::vector<stats::Xoshiro256> rngs;
@@ -84,14 +146,29 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
   std::uint32_t active = k;
   while (active > 0) {
     if (current_round_ >= config_.max_rounds) {
-      throw RoundLimitExceeded("protocol did not terminate within " +
-                               std::to_string(config_.max_rounds) +
-                               " rounds (" + std::to_string(active) +
-                               " nodes still active)");
+      const std::string detail = "protocol did not terminate within " +
+                                 std::to_string(config_.max_rounds) +
+                                 " rounds (" + std::to_string(active) +
+                                 " nodes still active)";
+      trace_violation("round_limit", detail);
+      throw RoundLimitExceeded(detail);
     }
     // Deliver last round's sends.
     std::swap(inboxes_, next_inboxes_);
     for (auto& inbox : next_inboxes_) inbox.clear();
+
+    if (active_sink_ != nullptr) {
+      active_sink_->on_round(current_round_, active);
+      if (trace_delivers_) {
+        for (std::uint32_t v = 0; v < k; ++v) {
+          for (const Message& m : inboxes_[v]) {
+            active_sink_->on_deliver(current_round_, m.sender, v, m.bits);
+          }
+        }
+      }
+    }
+    const std::uint64_t messages_before = metrics_.messages;
+    const std::uint64_t bits_before = metrics_.total_bits;
 
     for (std::uint32_t v = 0; v < k; ++v) {
       if (halted_[v]) continue;
@@ -108,13 +185,25 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
       if (halted_flag) {
         halted_[v] = true;
         --active;
+        if (active_sink_ != nullptr) {
+          active_sink_->on_halt(current_round_, v);
+        }
         if (!next_inboxes_[v].empty()) {
           // A same-round earlier neighbor already queued a message for a
           // node that has just halted: the protocol's termination is racy.
-          throw ProtocolViolation("node " + std::to_string(v) +
-                                  " halted with queued incoming messages");
+          const std::string detail = "node " + std::to_string(v) +
+                                     " halted with queued incoming messages";
+          trace_violation("protocol", detail);
+          throw ProtocolViolation(detail);
         }
       }
+    }
+    if (instrumented) {
+      static obs::Histogram& round_messages =
+          obs::histogram("net.round.messages");
+      static obs::Histogram& round_bits = obs::histogram("net.round.bits");
+      round_messages.record(metrics_.messages - messages_before);
+      round_bits.record(metrics_.total_bits - bits_before);
     }
     ++current_round_;
   }
@@ -123,8 +212,26 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
   // Quiescence check: nothing may remain in flight after everyone halted.
   for (std::uint32_t v = 0; v < k; ++v) {
     if (!next_inboxes_[v].empty()) {
-      throw ProtocolViolation("messages in flight after global termination");
+      const std::string detail = "messages in flight after global termination";
+      trace_violation("protocol", detail);
+      throw ProtocolViolation(detail);
     }
+  }
+
+  if (instrumented) {
+    obs::counter("net.rounds").add(metrics_.rounds);
+    obs::counter("net.messages").add(metrics_.messages);
+    obs::counter("net.bits").add(metrics_.total_bits);
+  }
+  if (active_sink_ != nullptr) {
+    obs::TraceRunTotals totals;
+    totals.rounds = metrics_.rounds;
+    totals.messages = metrics_.messages;
+    totals.total_bits = metrics_.total_bits;
+    totals.max_message_bits = metrics_.max_message_bits;
+    active_sink_->on_run_end(totals);
+    active_sink_->flush();
+    active_sink_ = nullptr;
   }
 }
 

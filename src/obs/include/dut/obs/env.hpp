@@ -1,0 +1,48 @@
+#pragma once
+
+// Strict environment-variable parsing for the runtime knobs shared across
+// the library (DUT_THREADS, DUT_TRIAL_SCALE, DUT_OBS_LEVEL, DUT_TRACE_*).
+//
+// The bespoke strtoul() call sites these replace accepted garbage silently:
+// "16abc" parsed as 16, "9999999999999999999999" saturated to ULONG_MAX and
+// became a huge divisor or thread width. Here a value is accepted only if
+// the whole string is a decimal integer inside the caller's [min, max]
+// range; anything else — empty, trailing junk, overflow, out of range —
+// yields nullopt and the caller's documented default.
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace dut::obs {
+
+/// Parses `text` as a decimal std::uint64_t in [min, max]. Returns nullopt
+/// on null/empty input, non-digit characters (including sign prefixes and
+/// trailing junk), overflow, or a value outside the range.
+inline std::optional<std::uint64_t> parse_u64(const char* text,
+                                              std::uint64_t min,
+                                              std::uint64_t max) noexcept {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  // strtoull accepts leading whitespace and +/- signs; reject them so the
+  // accepted language is exactly [0-9]+.
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return std::nullopt;
+  if (value < min || value > max) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+/// getenv(name) + parse_u64. Unset and invalid are both nullopt.
+inline std::optional<std::uint64_t> env_u64(const char* name,
+                                            std::uint64_t min,
+                                            std::uint64_t max) noexcept {
+  return parse_u64(std::getenv(name), min, max);
+}
+
+}  // namespace dut::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+// Minimal JSON value tree: enough to write the run-report / trace formats
+// and to read them back in the checker tool and tests. No external
+// dependencies (the container bakes none in), no clever tricks: objects
+// keep insertion order (reports stay diffable), numbers remember whether
+// they were written as unsigned/signed integers or doubles so uint64
+// counters round-trip exactly.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dut::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kUint, kInt, kDouble, kString, kArray,
+                    kObject };
+
+  Json() = default;  // null
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(std::uint64_t value) : kind_(Kind::kUint), uint_(value) {}
+  Json(std::int64_t value) : kind_(Kind::kInt), int_(value) {}
+  Json(int value) : kind_(Kind::kInt), int_(value) {}
+  Json(unsigned value) : kind_(Kind::kUint), uint_(value) {}
+  Json(double value) : kind_(Kind::kDouble), double_(value) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char* value) : kind_(Kind::kString), string_(value) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_number() const noexcept {
+    return kind_ == Kind::kUint || kind_ == Kind::kInt ||
+           kind_ == Kind::kDouble;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  /// Throw std::runtime_error on kind mismatch (numbers convert freely).
+  bool as_bool() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+
+  // Array interface.
+  Json& push(Json value);
+  std::size_t size() const noexcept;
+  const Json& at(std::size_t i) const;
+
+  // Object interface. set() replaces an existing key in place.
+  Json& set(std::string key, Json value);
+  /// nullptr when absent (or not an object).
+  const Json* get(std::string_view key) const noexcept;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  /// Serializes; indent > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses one JSON document (throws std::runtime_error with a byte
+  /// offset on malformed input; trailing non-whitespace is an error).
+  static Json parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace dut::obs

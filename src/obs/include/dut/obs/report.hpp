@@ -1,0 +1,72 @@
+#pragma once
+
+// Machine-readable run reports: one versioned JSON schema shared by every
+// experiment binary (BENCH_<id>.json), so EXPERIMENTS.md entries regenerate
+// from artifacts instead of copied stdout.
+//
+// Schema v1 (validated by `dut_trace check-report` and DESIGN.md §9):
+//   {
+//     "kind": "dut-run-report", "schema": 1,
+//     "id": "e1", "claim": "<the paper claim reproduced>",
+//     "engine": {"threads": N, "hardware_concurrency": M,
+//                "trial_divisor": D, "obs_enabled": bool},
+//     "values": {...},            // free-form named measurements
+//     "checks": [{"name": ..., "predicted": x, "measured": y,
+//                 "note": ...}, ...],  // predicted-vs-measured pairs
+//     "metrics": {"counters": {...}, "gauges": {...},
+//                 "histograms": {name: {count, sum, min, max, mean,
+//                                       buckets: [[floor, n], ...]}}}
+//   }
+
+#include <cstdint>
+#include <string>
+
+#include "dut/obs/json.hpp"
+#include "dut/obs/metrics.hpp"
+
+namespace dut::obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+class RunReport {
+ public:
+  RunReport(std::string id, std::string claim);
+
+  const std::string& id() const noexcept { return id_; }
+
+  /// Adds one entry to the engine-config object.
+  void set_engine(const std::string& key, Json value);
+  /// Adds one free-form named value (seeds, tables, derived quantities).
+  void set_value(const std::string& key, Json value);
+  /// Records one predicted-vs-measured pair.
+  void check(const std::string& name, double predicted, double measured,
+             const std::string& note = "");
+
+  /// Embeds the current registry snapshot under "metrics".
+  void attach_metrics(const MetricsSnapshot& snapshot);
+  void attach_metrics() { attach_metrics(obs::snapshot()); }
+
+  Json to_json() const;
+  /// "BENCH_<ID>.json" with the id upper-cased, in the working directory.
+  std::string default_path() const;
+  /// Writes to_json() to `path` (pretty-printed); throws on I/O failure.
+  void write(const std::string& path) const;
+  void write() const { write(default_path()); }
+
+ private:
+  std::string id_;
+  std::string claim_;
+  Json engine_ = Json::object();
+  Json values_ = Json::object();
+  Json checks_ = Json::array();
+  Json metrics_;  // null until attach_metrics
+};
+
+/// JSON form of one histogram (shared by reports and tests).
+Json histogram_to_json(const HistogramData& data);
+
+/// Validates a parsed document against report schema v1. Returns an empty
+/// string when valid, else a human-readable reason.
+std::string validate_report(const Json& document);
+
+}  // namespace dut::obs

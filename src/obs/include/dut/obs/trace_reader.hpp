@@ -1,0 +1,58 @@
+#pragma once
+
+// Reader side of the JSONL trace format: parses a trace file back into
+// per-run summaries so the dut_trace tool and the tests can cross-check a
+// transcript against the engine's own metrics and the model's bandwidth
+// budget. A file may hold several runs (the writer appends); each
+// run_start opens a new summary.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dut/obs/trace.hpp"
+
+namespace dut::obs {
+
+struct TraceRunSummary {
+  TraceRunInfo info;
+
+  // Recounted from the send events.
+  std::uint64_t messages = 0;
+  std::uint64_t total_bits = 0;
+  std::uint64_t max_message_bits = 0;
+  std::uint64_t rounds_seen = 0;  ///< round events observed
+  std::vector<std::uint64_t> per_node_sent_bits;  ///< indexed by node id
+  std::uint64_t halts = 0;
+
+  /// Sends whose declared bits exceed info.bandwidth_bits (CONGEST only;
+  /// always 0 for a healthy run — the engine throws before delivering).
+  std::uint64_t over_budget_sends = 0;
+
+  // Violations recorded before the run aborted.
+  std::vector<std::string> violations;
+
+  // The engine's own totals from run_end, when the run completed.
+  bool has_end = false;
+  TraceRunTotals declared;
+
+  bool truncated_tail = false;  ///< no run_start seen (tail-mode eviction)
+
+  /// Recount matches the engine's declared totals (vacuously false before
+  /// run_end). Tail-truncated traces never consistency-match.
+  bool consistent() const noexcept {
+    return has_end && !truncated_tail && messages == declared.messages &&
+           total_bits == declared.total_bits &&
+           max_message_bits == declared.max_message_bits &&
+           rounds_seen == declared.rounds;
+  }
+};
+
+/// Parses a whole trace file. Throws std::runtime_error on unreadable
+/// files or malformed lines (with the line number).
+std::vector<TraceRunSummary> read_trace_file(const std::string& path);
+
+/// Same, over in-memory JSONL text (for tests).
+std::vector<TraceRunSummary> read_trace_text(const std::string& text);
+
+}  // namespace dut::obs

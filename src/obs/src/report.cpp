@@ -1,0 +1,148 @@
+#include "dut/obs/report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dut::obs {
+
+RunReport::RunReport(std::string id, std::string claim)
+    : id_(std::move(id)), claim_(std::move(claim)) {
+  if (id_.empty()) {
+    throw std::invalid_argument("RunReport: id must be non-empty");
+  }
+}
+
+void RunReport::set_engine(const std::string& key, Json value) {
+  engine_.set(key, std::move(value));
+}
+
+void RunReport::set_value(const std::string& key, Json value) {
+  values_.set(key, std::move(value));
+}
+
+void RunReport::check(const std::string& name, double predicted,
+                      double measured, const std::string& note) {
+  Json row = Json::object();
+  row.set("name", name);
+  row.set("predicted", predicted);
+  row.set("measured", measured);
+  if (!note.empty()) row.set("note", note);
+  checks_.push(std::move(row));
+}
+
+Json histogram_to_json(const HistogramData& data) {
+  Json h = Json::object();
+  h.set("count", data.count);
+  h.set("sum", data.sum);
+  h.set("min", data.min);
+  h.set("max", data.max);
+  h.set("mean", data.mean());
+  Json buckets = Json::array();
+  for (const auto& [floor, count] : data.buckets) {
+    Json pair = Json::array();
+    pair.push(floor);
+    pair.push(count);
+    buckets.push(std::move(pair));
+  }
+  h.set("buckets", std::move(buckets));
+  return h;
+}
+
+void RunReport::attach_metrics(const MetricsSnapshot& snapshot) {
+  Json metrics = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, value);
+  }
+  metrics.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.set(name, value);
+  }
+  metrics.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& [name, data] : snapshot.histograms) {
+    histograms.set(name, histogram_to_json(data));
+  }
+  metrics.set("histograms", std::move(histograms));
+  metrics_ = std::move(metrics);
+}
+
+Json RunReport::to_json() const {
+  Json doc = Json::object();
+  doc.set("kind", "dut-run-report");
+  doc.set("schema", kReportSchemaVersion);
+  doc.set("id", id_);
+  doc.set("claim", claim_);
+  doc.set("engine", engine_);
+  doc.set("values", values_);
+  doc.set("checks", checks_);
+  if (!metrics_.is_null()) doc.set("metrics", metrics_);
+  return doc;
+}
+
+std::string RunReport::default_path() const {
+  std::string upper = id_;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  return "BENCH_" + upper + ".json";
+}
+
+void RunReport::write(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    throw std::runtime_error("RunReport: cannot write " + path);
+  }
+  const std::string text = to_json().dump(2);
+  std::fputs(text.c_str(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+}
+
+std::string validate_report(const Json& document) {
+  if (!document.is_object()) return "document is not a JSON object";
+  const Json* kind = document.get("kind");
+  if (kind == nullptr || !kind->is_string() ||
+      kind->as_string() != "dut-run-report") {
+    return "missing or wrong 'kind' (want \"dut-run-report\")";
+  }
+  const Json* schema = document.get("schema");
+  if (schema == nullptr || !schema->is_number()) return "missing 'schema'";
+  if (schema->as_u64() != static_cast<std::uint64_t>(kReportSchemaVersion)) {
+    return "unsupported schema version " + std::to_string(schema->as_u64());
+  }
+  const Json* id = document.get("id");
+  if (id == nullptr || !id->is_string() || id->as_string().empty()) {
+    return "missing 'id'";
+  }
+  if (document.get("claim") == nullptr) return "missing 'claim'";
+  const Json* engine = document.get("engine");
+  if (engine == nullptr || !engine->is_object()) {
+    return "missing 'engine' object";
+  }
+  const Json* threads = engine->get("threads");
+  if (threads == nullptr || !threads->is_number() || threads->as_u64() < 1) {
+    return "engine.threads must be a positive number";
+  }
+  const Json* values = document.get("values");
+  if (values == nullptr || !values->is_object()) {
+    return "missing 'values' object";
+  }
+  const Json* checks = document.get("checks");
+  if (checks == nullptr || !checks->is_array()) {
+    return "missing 'checks' array";
+  }
+  for (std::size_t i = 0; i < checks->size(); ++i) {
+    const Json& row = checks->at(i);
+    if (!row.is_object() || row.get("name") == nullptr ||
+        row.get("predicted") == nullptr || row.get("measured") == nullptr ||
+        !row.get("predicted")->is_number() ||
+        !row.get("measured")->is_number()) {
+      return "checks[" + std::to_string(i) +
+             "] needs name/predicted/measured";
+    }
+  }
+  return "";
+}
+
+}  // namespace dut::obs

@@ -1,0 +1,145 @@
+#include "dut/obs/trace.hpp"
+
+#include <cstdarg>
+#include <stdexcept>
+
+namespace dut::obs {
+
+namespace {
+
+/// One lock for all trace files: traced runs are rare and expensive, and
+/// a single mutex keeps each run's transcript contiguous even when
+/// parallel Monte-Carlo trials all have DUT_TRACE pointed at one path.
+std::mutex& trace_file_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return std::string(buf);
+}
+
+}  // namespace
+
+JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
+                                   std::uint64_t tail_rounds)
+    : tail_rounds_(tail_rounds),
+      file_lock_(trace_file_mutex()) {
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
+  }
+}
+
+JsonlTraceWriter::~JsonlTraceWriter() {
+  drain();
+  std::fclose(file_);
+}
+
+void JsonlTraceWriter::emit(std::uint64_t round, std::string line) {
+  if (tail_rounds_ == 0) {
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+    return;
+  }
+  pending_.emplace_back(round, std::move(line));
+  // Evict rounds older than the tail window. Lines arrive in round order.
+  const std::uint64_t cutoff =
+      round >= tail_rounds_ ? round - tail_rounds_ + 1 : 0;
+  while (!pending_.empty() && pending_.front().first < cutoff) {
+    pending_.pop_front();
+  }
+}
+
+void JsonlTraceWriter::drain() {
+  for (const auto& [round, line] : pending_) {
+    std::fputs(line.c_str(), file_);
+    std::fputc('\n', file_);
+  }
+  pending_.clear();
+  std::fflush(file_);
+}
+
+void JsonlTraceWriter::flush() { drain(); }
+
+void JsonlTraceWriter::on_run_start(const TraceRunInfo& info) {
+  emit(0, format("{\"ev\":\"run_start\",\"schema\":%d,\"model\":\"%s\","
+                 "\"nodes\":%u,\"bandwidth_bits\":%llu,\"max_rounds\":%llu,"
+                 "\"seed\":%llu}",
+                 kTraceSchemaVersion, escape(info.model).c_str(), info.nodes,
+                 static_cast<unsigned long long>(info.bandwidth_bits),
+                 static_cast<unsigned long long>(info.max_rounds),
+                 static_cast<unsigned long long>(info.seed)));
+}
+
+void JsonlTraceWriter::on_round(std::uint64_t round, std::uint32_t active) {
+  emit(round, format("{\"ev\":\"round\",\"round\":%llu,\"active\":%u}",
+                     static_cast<unsigned long long>(round), active));
+}
+
+void JsonlTraceWriter::on_send(std::uint64_t round, std::uint32_t from,
+                               std::uint32_t to, std::uint64_t bits) {
+  emit(round,
+       format("{\"ev\":\"send\",\"round\":%llu,\"from\":%u,\"to\":%u,"
+              "\"bits\":%llu}",
+              static_cast<unsigned long long>(round), from, to,
+              static_cast<unsigned long long>(bits)));
+}
+
+void JsonlTraceWriter::on_deliver(std::uint64_t round, std::uint32_t from,
+                                  std::uint32_t to, std::uint64_t bits) {
+  emit(round,
+       format("{\"ev\":\"deliver\",\"round\":%llu,\"from\":%u,\"to\":%u,"
+              "\"bits\":%llu}",
+              static_cast<unsigned long long>(round), from, to,
+              static_cast<unsigned long long>(bits)));
+}
+
+void JsonlTraceWriter::on_halt(std::uint64_t round, std::uint32_t node) {
+  emit(round, format("{\"ev\":\"halt\",\"round\":%llu,\"node\":%u}",
+                     static_cast<unsigned long long>(round), node));
+}
+
+void JsonlTraceWriter::on_violation(std::uint64_t round, std::string_view kind,
+                                    std::string_view detail) {
+  emit(round,
+       format("{\"ev\":\"violation\",\"round\":%llu,\"kind\":\"%s\","
+              "\"detail\":\"%s\"}",
+              static_cast<unsigned long long>(round),
+              escape(kind).c_str(), escape(detail).c_str()));
+  drain();  // a violation transcript must survive even if the process dies
+}
+
+void JsonlTraceWriter::on_run_end(const TraceRunTotals& totals) {
+  emit(totals.rounds,
+       format("{\"ev\":\"run_end\",\"rounds\":%llu,\"messages\":%llu,"
+              "\"total_bits\":%llu,\"max_message_bits\":%llu}",
+              static_cast<unsigned long long>(totals.rounds),
+              static_cast<unsigned long long>(totals.messages),
+              static_cast<unsigned long long>(totals.total_bits),
+              static_cast<unsigned long long>(totals.max_message_bits)));
+  drain();
+}
+
+}  // namespace dut::obs

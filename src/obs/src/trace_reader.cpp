@@ -1,0 +1,119 @@
+#include "dut/obs/trace_reader.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dut/obs/json.hpp"
+
+namespace dut::obs {
+
+namespace {
+
+std::uint64_t field_u64(const Json& line, const char* key) {
+  const Json* v = line.get(key);
+  if (v == nullptr) {
+    throw std::runtime_error(std::string("trace line missing field '") + key +
+                             "'");
+  }
+  return v->as_u64();
+}
+
+void apply_line(const Json& line, std::vector<TraceRunSummary>& runs) {
+  const Json* ev = line.get("ev");
+  if (ev == nullptr) throw std::runtime_error("trace line missing 'ev'");
+  const std::string& kind = ev->as_string();
+
+  if (kind == "run_start") {
+    TraceRunSummary run;
+    run.info.model = line.get("model") ? line.get("model")->as_string() : "";
+    run.info.nodes = static_cast<std::uint32_t>(field_u64(line, "nodes"));
+    run.info.bandwidth_bits = field_u64(line, "bandwidth_bits");
+    run.info.max_rounds = field_u64(line, "max_rounds");
+    run.info.seed = field_u64(line, "seed");
+    run.per_node_sent_bits.assign(run.info.nodes, 0);
+    runs.push_back(std::move(run));
+    return;
+  }
+
+  // Tail-mode traces can begin mid-run, with run_start evicted; collect
+  // into a marked partial summary instead of failing.
+  if (runs.empty() || (runs.back().has_end && kind != "run_start")) {
+    TraceRunSummary partial;
+    partial.truncated_tail = true;
+    runs.push_back(std::move(partial));
+  }
+  TraceRunSummary& run = runs.back();
+
+  if (kind == "round") {
+    ++run.rounds_seen;
+  } else if (kind == "send") {
+    const std::uint64_t bits = field_u64(line, "bits");
+    const std::uint32_t from =
+        static_cast<std::uint32_t>(field_u64(line, "from"));
+    ++run.messages;
+    run.total_bits += bits;
+    run.max_message_bits = std::max(run.max_message_bits, bits);
+    if (from >= run.per_node_sent_bits.size()) {
+      run.per_node_sent_bits.resize(from + 1, 0);
+    }
+    run.per_node_sent_bits[from] += bits;
+    if (run.info.model == "congest" && run.info.bandwidth_bits > 0 &&
+        bits > run.info.bandwidth_bits) {
+      ++run.over_budget_sends;
+    }
+  } else if (kind == "deliver") {
+    // Level-2 detail; carries no totals the send didn't already.
+  } else if (kind == "halt") {
+    ++run.halts;
+  } else if (kind == "violation") {
+    const Json* violation_kind = line.get("kind");
+    const Json* detail = line.get("detail");
+    run.violations.push_back(
+        (violation_kind ? violation_kind->as_string() : "?") + ": " +
+        (detail ? detail->as_string() : ""));
+  } else if (kind == "run_end") {
+    run.has_end = true;
+    run.declared.rounds = field_u64(line, "rounds");
+    run.declared.messages = field_u64(line, "messages");
+    run.declared.total_bits = field_u64(line, "total_bits");
+    run.declared.max_message_bits = field_u64(line, "max_message_bits");
+  } else {
+    throw std::runtime_error("unknown trace event '" + kind + "'");
+  }
+}
+
+std::vector<TraceRunSummary> read_stream(std::istream& in) {
+  std::vector<TraceRunSummary> runs;
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    try {
+      apply_line(Json::parse(line), runs);
+    } catch (const std::exception& error) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": " + error.what());
+    }
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::vector<TraceRunSummary> read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("read_trace_file: cannot open " + path);
+  }
+  return read_stream(in);
+}
+
+std::vector<TraceRunSummary> read_trace_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_stream(in);
+}
+
+}  // namespace dut::obs

@@ -37,9 +37,16 @@
 namespace dut::stats {
 
 /// Thread count from the DUT_THREADS environment variable, falling back to
-/// std::thread::hardware_concurrency() (never 0). CI determinism checks set
-/// DUT_THREADS=1.
+/// std::thread::hardware_concurrency() (never 0). `DUT_THREADS=0` explicitly
+/// requests the hardware width; malformed or out-of-range values (trailing
+/// junk, signs, overflow, > 1024) are rejected and also fall back to the
+/// hardware width. CI determinism checks set DUT_THREADS=1.
 unsigned default_thread_count() noexcept;
+
+/// Bumps the `stats.trials` counter (no-op when observability is disabled).
+/// Out-of-line so the templated entry points below stay header-only without
+/// dragging the metrics registry into every includer.
+void note_trials(std::uint64_t trials) noexcept;
 
 namespace detail {
 /// Upper bound on trials per work chunk (bounds the partial-result arrays).
@@ -86,6 +93,7 @@ class TrialRunner {
     if (trials == 0) {
       throw std::invalid_argument("estimate_probability: trials must be > 0");
     }
+    note_trials(trials);
     const std::uint64_t chunks = chunk_count(trials);
     std::vector<std::uint64_t> hits(chunks, 0);
     for_each_chunk(chunks, [&](std::uint64_t c) {
@@ -114,6 +122,7 @@ class TrialRunner {
     if (trials == 0) {
       throw std::invalid_argument("run_trials: trials must be > 0");
     }
+    note_trials(trials);
     const std::uint64_t chunks = chunk_count(trials);
     std::vector<RunningStat> partials(chunks);
     for_each_chunk(chunks, [&](std::uint64_t c) {

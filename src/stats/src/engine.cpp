@@ -1,23 +1,37 @@
 #include "dut/stats/engine.hpp"
 
+#include <chrono>
 #include <cstdlib>
+
+#include "dut/obs/env.hpp"
+#include "dut/obs/metrics.hpp"
 
 namespace dut::stats {
 
 unsigned default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned fallback = hw == 0 ? 1 : hw;
   if (const char* env = std::getenv("DUT_THREADS")) {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && value >= 1 && value <= 1024) {
-      return static_cast<unsigned>(value);
+    const auto parsed = obs::parse_u64(env, 0, 1024);
+    // 0 means "use hardware concurrency", explicitly. Garbage, trailing
+    // junk and overflow are rejected by the strict parser and fall back to
+    // the hardware width instead of silently becoming a huge pool.
+    if (parsed.has_value() && *parsed > 0) {
+      return static_cast<unsigned>(*parsed);
     }
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return fallback;
+}
+
+void note_trials(std::uint64_t trials) noexcept {
+  if (!obs::enabled()) return;
+  static obs::Counter& counter = obs::counter("stats.trials");
+  counter.add(trials);
 }
 
 TrialRunner::TrialRunner(unsigned threads)
     : threads_(threads == 0 ? default_thread_count() : threads) {
+  obs::gauge("stats.threads").set(static_cast<std::int64_t>(threads_));
   workers_.reserve(threads_ - 1);
   for (unsigned i = 1; i < threads_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -67,9 +81,42 @@ void TrialRunner::worker_loop() {
   }
 }
 
+namespace {
+
+// Wraps a chunk body with per-chunk latency recording. Only constructed when
+// observability is on, so the disabled path keeps the original callable and
+// pays nothing beyond one predictable branch per job.
+std::function<void(std::uint64_t)> timed_body(
+    const std::function<void(std::uint64_t)>& body) {
+  static obs::Counter& chunk_counter = obs::counter("stats.chunks");
+  static obs::Histogram& chunk_us = obs::histogram("stats.chunk.us");
+  return [&body](std::uint64_t c) {
+    const auto start = std::chrono::steady_clock::now();
+    body(c);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    chunk_us.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    chunk_counter.add();
+  };
+}
+
+}  // namespace
+
 void TrialRunner::for_each_chunk(
-    std::uint64_t chunks, const std::function<void(std::uint64_t)>& body) {
+    std::uint64_t chunks, const std::function<void(std::uint64_t)>& raw_body) {
   if (chunks == 0) return;
+  std::function<void(std::uint64_t)> timed;
+  const std::function<void(std::uint64_t)>* selected = &raw_body;
+  if (obs::enabled()) {
+    static obs::Counter& parallel_jobs = obs::counter("stats.jobs.parallel");
+    static obs::Counter& serial_jobs = obs::counter("stats.jobs.serial");
+    const bool parallel = !workers_.empty() && chunks > 1;
+    (parallel ? parallel_jobs : serial_jobs).add();
+    timed = timed_body(raw_body);
+    selected = &timed;
+  }
+  const std::function<void(std::uint64_t)>& body = *selected;
   if (workers_.empty() || chunks == 1) {
     for (std::uint64_t c = 0; c < chunks; ++c) body(c);
     return;

@@ -172,6 +172,103 @@ TEST(FleetMonitor, ReferenceProfileMode) {
   EXPECT_EQ(drift_alarms, 4u);
 }
 
+TEST(FleetMonitor, SurplusCarryOverPreservesArrivalOrder) {
+  // Three epochs' worth per node, fed in one burst, with epoch-distinct
+  // payloads: epoch 1 and 3 windows are collision-free (consecutive
+  // values), epoch 2 windows are constant (guaranteed collision). If the
+  // surplus queue reordered or mixed windows, the all-reject epoch would
+  // bleed into its neighbors. Fully deterministic — no sampling.
+  FleetMonitor monitor(basic_config());
+  const std::uint64_t s = monitor.window_size();
+  const std::uint64_t n = 1 << 14;
+  ASSERT_GE(s, 2u) << "constant windows need >= 2 samples to collide";
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < s; ++i) {
+      monitor.observe(node, (node * s + i) % n);  // distinct within window
+    }
+    for (std::uint64_t i = 0; i < s; ++i) {
+      monitor.observe(node, node % n);  // constant: certain collision
+    }
+    for (std::uint64_t i = 0; i < s; ++i) {
+      monitor.observe(node, (node * s + i + 1) % n);  // distinct again
+    }
+  }
+
+  ASSERT_TRUE(monitor.epoch_ready());
+  const auto first = monitor.end_epoch();
+  EXPECT_EQ(first.votes_to_reject, 0u);
+  EXPECT_FALSE(first.alarm);
+
+  ASSERT_TRUE(monitor.epoch_ready()) << "surplus must fill epoch two";
+  const auto second = monitor.end_epoch();
+  EXPECT_EQ(second.votes_to_reject, 2048u);
+  EXPECT_TRUE(second.alarm);
+
+  ASSERT_TRUE(monitor.epoch_ready()) << "surplus must fill epoch three";
+  const auto third = monitor.end_epoch();
+  EXPECT_EQ(third.votes_to_reject, 0u);
+  EXPECT_FALSE(third.alarm);
+
+  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_EQ(monitor.epochs_completed(), 3u);
+  EXPECT_EQ(monitor.alarms_raised(), 1u);
+}
+
+TEST(FleetMonitor, SurplusCarryOverThroughIdentityFilter) {
+  // Reference mode routes every observation through the per-node identity
+  // filter before windowing; the carry-over path must behave identically
+  // whether observations arrive in bursts or window-by-window (each node's
+  // filter RNG consumption depends only on its own arrival order).
+  MonitorConfig config;
+  config.domain = 256;
+  config.nodes = 8192;
+  config.epsilon = 1.6;
+  config.grains_per_eps = 32.0;
+  config.seed = 9;
+  config.reference = core::zipf(256, 1.0);
+
+  FleetMonitor burst(config);
+  FleetMonitor paced(config);
+  const core::AliasSampler sampler(*config.reference);
+  const std::uint64_t s = burst.window_size();
+
+  // Identical per-node streams, different arrival interleavings.
+  std::vector<std::vector<std::uint64_t>> stream(config.nodes);
+  stats::Xoshiro256 rng(11);
+  for (auto& values : stream) {
+    values.reserve(2 * s);
+    for (std::uint64_t i = 0; i < 2 * s; ++i) {
+      values.push_back(sampler.sample(rng));
+    }
+  }
+
+  for (std::uint32_t node = 0; node < config.nodes; ++node) {
+    for (const std::uint64_t value : stream[node]) {
+      burst.observe(node, value);  // both epochs at once
+    }
+  }
+  for (std::uint64_t e = 0; e < 2; ++e) {
+    for (std::uint32_t node = 0; node < config.nodes; ++node) {
+      for (std::uint64_t i = 0; i < s; ++i) {
+        paced.observe(node, stream[node][e * s + i]);
+      }
+    }
+  }
+
+  for (std::uint64_t e = 1; e <= 2; ++e) {
+    ASSERT_TRUE(burst.epoch_ready());
+    ASSERT_TRUE(paced.epoch_ready());
+    const auto from_burst = burst.end_epoch();
+    const auto from_paced = paced.end_epoch();
+    EXPECT_EQ(from_burst.epoch, e);
+    EXPECT_EQ(from_burst.alarm, from_paced.alarm);
+    EXPECT_EQ(from_burst.votes_to_reject, from_paced.votes_to_reject);
+    EXPECT_DOUBLE_EQ(from_burst.chi.chi_hat, from_paced.chi.chi_hat);
+    EXPECT_EQ(from_burst.samples_consumed, from_paced.samples_consumed);
+  }
+  EXPECT_FALSE(burst.epoch_ready());
+}
+
 TEST(FleetMonitor, DeterministicUnderSeed) {
   auto run = [] {
     FleetMonitor monitor(basic_config());

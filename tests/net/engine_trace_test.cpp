@@ -1,0 +1,246 @@
+// Tracing and per-edge send-guard coverage for the engine: a custom sink
+// sees the full event stream, a JSONL transcript read back through the
+// trace reader reproduces EngineMetrics exactly, violations flush before
+// the throw, and the flat (CSR) guard storage resets between runs.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dut/net/engine.hpp"
+#include "dut/net/graph.hpp"
+#include "dut/obs/trace.hpp"
+#include "dut/obs/trace_reader.hpp"
+
+namespace dut::net {
+namespace {
+
+/// Counts events and recounts totals, like the JSONL reader but in-process.
+class CaptureSink : public obs::TraceSink {
+ public:
+  void on_run_start(const obs::TraceRunInfo& info) override {
+    ++run_starts;
+    last_info = info;
+  }
+  void on_round(std::uint64_t, std::uint32_t) override { ++rounds; }
+  void on_send(std::uint64_t, std::uint32_t, std::uint32_t,
+               std::uint64_t bits) override {
+    ++sends;
+    sent_bits += bits;
+  }
+  void on_halt(std::uint64_t, std::uint32_t) override { ++halts; }
+  void on_violation(std::uint64_t, std::string_view kind,
+                    std::string_view) override {
+    violations.emplace_back(kind);
+  }
+  void on_run_end(const obs::TraceRunTotals& totals) override {
+    ++run_ends;
+    last_totals = totals;
+  }
+  void flush() override { ++flushes; }
+
+  obs::TraceRunInfo last_info;
+  obs::TraceRunTotals last_totals;
+  std::vector<std::string> violations;
+  std::uint64_t run_starts = 0, rounds = 0, sends = 0, sent_bits = 0;
+  std::uint64_t halts = 0, run_ends = 0, flushes = 0;
+};
+
+/// Broadcasts a 16-bit payload for `rounds` rounds, then halts.
+class Flood : public NodeProgram {
+ public:
+  explicit Flood(std::uint64_t rounds) : rounds_(rounds) {}
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() < rounds_) {
+      Message msg;
+      msg.push_field(ctx.round(), 16);
+      ctx.broadcast(msg);
+    } else {
+      ctx.halt();
+    }
+  }
+
+ private:
+  std::uint64_t rounds_;
+};
+
+class OversizedSender : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      Message msg;
+      msg.push_field(1, 63);
+      ctx.send(1, msg);
+    }
+    if (ctx.round() >= 1) ctx.halt();
+  }
+};
+
+std::vector<NodeProgram*> raw_pointers(std::vector<Flood>& programs) {
+  std::vector<NodeProgram*> raw;
+  for (Flood& p : programs) raw.push_back(&p);
+  return raw;
+}
+
+TEST(EngineTrace, AttachedSinkSeesTheWholeRun) {
+  const Graph g = Graph::star(5);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 9});
+  CaptureSink sink;
+  engine.set_trace_sink(&sink);
+  std::vector<Flood> programs(5, Flood(2));
+  auto raw = raw_pointers(programs);
+  engine.run(raw);
+
+  EXPECT_EQ(sink.run_starts, 1u);
+  EXPECT_EQ(sink.run_ends, 1u);
+  EXPECT_EQ(sink.last_info.model, "congest");
+  EXPECT_EQ(sink.last_info.nodes, 5u);
+  EXPECT_EQ(sink.last_info.bandwidth_bits, 32u);
+  EXPECT_EQ(sink.last_info.seed, 9u);
+  EXPECT_EQ(sink.halts, 5u);
+  EXPECT_TRUE(sink.violations.empty());
+
+  const EngineMetrics& metrics = engine.metrics();
+  EXPECT_EQ(sink.rounds, metrics.rounds);
+  EXPECT_EQ(sink.sends, metrics.messages);
+  EXPECT_EQ(sink.sent_bits, metrics.total_bits);
+  EXPECT_EQ(sink.last_totals.rounds, metrics.rounds);
+  EXPECT_EQ(sink.last_totals.messages, metrics.messages);
+  EXPECT_EQ(sink.last_totals.total_bits, metrics.total_bits);
+  EXPECT_EQ(sink.last_totals.max_message_bits, metrics.max_message_bits);
+}
+
+TEST(EngineTrace, JsonlTranscriptReproducesEngineMetrics) {
+  const std::string path = testing::TempDir() + "engine_trace.jsonl";
+  std::remove(path.c_str());
+  const Graph g = Graph::ring(6);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 3});
+  obs::JsonlTraceWriter writer(path);
+  engine.set_trace_sink(&writer);
+  std::vector<Flood> programs(6, Flood(3));
+  auto raw = raw_pointers(programs);
+  engine.run(raw);
+  writer.flush();
+
+  const auto runs = obs::read_trace_file(path);
+  ASSERT_EQ(runs.size(), 1u);
+  const obs::TraceRunSummary& run = runs[0];
+  EXPECT_TRUE(run.consistent());
+  const EngineMetrics& metrics = engine.metrics();
+  EXPECT_EQ(run.messages, metrics.messages);
+  EXPECT_EQ(run.total_bits, metrics.total_bits);
+  EXPECT_EQ(run.max_message_bits, metrics.max_message_bits);
+  EXPECT_EQ(run.rounds_seen, metrics.rounds);
+  EXPECT_EQ(run.halts, 6u);
+  EXPECT_EQ(run.over_budget_sends, 0u);
+}
+
+TEST(EngineTrace, ViolationIsFlushedBeforeTheThrow) {
+  const Graph g = Graph::line(2);
+  Engine engine(g, EngineConfig{Model::kCongest, 16, 100, 1});
+  CaptureSink sink;
+  engine.set_trace_sink(&sink);
+  OversizedSender sender;
+  Flood idle(0);
+  std::vector<NodeProgram*> raw{&sender, &idle};
+  EXPECT_THROW(engine.run(raw), BandwidthExceeded);
+  ASSERT_EQ(sink.violations.size(), 1u);
+  EXPECT_EQ(sink.violations[0], "bandwidth");
+  EXPECT_GE(sink.flushes, 1u);
+  // The offending send is part of the transcript.
+  EXPECT_EQ(sink.sends, 1u);
+  EXPECT_EQ(sink.sent_bits, 63u);
+  EXPECT_EQ(sink.run_ends, 0u);
+}
+
+TEST(EngineTrace, SinkDetachesAfterTheRun) {
+  const Graph g = Graph::line(2);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 1});
+  CaptureSink sink;
+  engine.set_trace_sink(&sink);
+  std::vector<Flood> programs(2, Flood(1));
+  auto raw = raw_pointers(programs);
+  engine.run(raw);
+  const std::uint64_t first_run_events = sink.rounds;
+  engine.set_trace_sink(nullptr);
+  engine.run(raw);
+  EXPECT_EQ(sink.rounds, first_run_events) << "detached sink saw events";
+}
+
+// --- flat per-edge guard storage ---
+
+TEST(EngineSendGuard, ResetsBetweenRuns) {
+  // If the per-edge round guards leaked across runs, the second run's
+  // round-0 sends would collide with the first run's (round-0) entries.
+  const Graph g = Graph::complete(4);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 2});
+  for (int rerun = 0; rerun < 3; ++rerun) {
+    std::vector<Flood> programs(4, Flood(2));
+    auto raw = raw_pointers(programs);
+    EXPECT_NO_THROW(engine.run(raw)) << "rerun " << rerun;
+    EXPECT_EQ(engine.metrics().messages, 2u * 4u * 3u);
+  }
+}
+
+TEST(EngineSendGuard, PerEdgeSlotsAreIndependent) {
+  // Every directed edge of K5 carries one message per sending round; only
+  // a genuine duplicate on the SAME edge in the SAME round must throw.
+  const Graph g = Graph::complete(5);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 2});
+  std::vector<Flood> programs(5, Flood(3));
+  auto raw = raw_pointers(programs);
+  EXPECT_NO_THROW(engine.run(raw));
+  EXPECT_EQ(engine.metrics().messages, 3u * 5u * 4u);
+}
+
+class DoubleSendInLaterRound : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.id() == 0 && ctx.round() == 2) {
+      Message msg;
+      msg.push_field(1, 8);
+      ctx.send(1, msg);
+      ctx.send(1, msg);  // same edge, same round
+    }
+    if (ctx.round() >= 3) ctx.halt();
+  }
+};
+
+TEST(EngineSendGuard, CatchesDuplicatesInAnyRound) {
+  // Round 2 specifically: with the old 0-sentinel encoding a round-0
+  // duplicate was the ambiguous case; now the guard stores the actual
+  // round number, so later rounds must still trip it.
+  const Graph g = Graph::line(2);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 1});
+  DoubleSendInLaterRound a;
+  DoubleSendInLaterRound b;
+  std::vector<NodeProgram*> raw{&a, &b};
+  EXPECT_THROW(engine.run(raw), ProtocolViolation);
+}
+
+class RoundZeroDoubleSend : public NodeProgram {
+ public:
+  void on_round(NodeContext& ctx) override {
+    if (ctx.id() == 0 && ctx.round() == 0) {
+      Message msg;
+      msg.push_field(1, 8);
+      ctx.send(1, msg);
+      ctx.send(1, msg);
+    }
+    if (ctx.round() >= 1) ctx.halt();
+  }
+};
+
+TEST(EngineSendGuard, CatchesRoundZeroDuplicates) {
+  const Graph g = Graph::line(2);
+  Engine engine(g, EngineConfig{Model::kCongest, 32, 100, 1});
+  RoundZeroDoubleSend a;
+  RoundZeroDoubleSend b;
+  std::vector<NodeProgram*> raw{&a, &b};
+  EXPECT_THROW(engine.run(raw), ProtocolViolation);
+}
+
+}  // namespace
+}  // namespace dut::net

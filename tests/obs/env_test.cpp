@@ -1,0 +1,56 @@
+#include "dut/obs/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace dut::obs {
+namespace {
+
+constexpr std::uint64_t kMax = ~std::uint64_t{0};
+
+TEST(ParseU64, AcceptsPlainDecimalInRange) {
+  EXPECT_EQ(parse_u64("0", 0, 10), 0u);
+  EXPECT_EQ(parse_u64("7", 0, 10), 7u);
+  EXPECT_EQ(parse_u64("10", 0, 10), 10u);  // inclusive bounds
+  EXPECT_EQ(parse_u64("007", 0, 10), 7u);  // leading zeros are still digits
+  EXPECT_EQ(parse_u64("18446744073709551615", 0, kMax), kMax);
+}
+
+TEST(ParseU64, RejectsOutOfRange) {
+  EXPECT_EQ(parse_u64("11", 0, 10), std::nullopt);
+  EXPECT_EQ(parse_u64("0", 1, 10), std::nullopt);
+}
+
+TEST(ParseU64, RejectsNonDigitInput) {
+  EXPECT_EQ(parse_u64(nullptr, 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("16abc", 0, kMax), std::nullopt);  // trailing junk
+  EXPECT_EQ(parse_u64("abc16", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64(" 7", 0, kMax), std::nullopt);  // no whitespace
+  EXPECT_EQ(parse_u64("7 ", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("+7", 0, kMax), std::nullopt);  // no sign prefixes
+  EXPECT_EQ(parse_u64("-7", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("0x10", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("3.5", 0, kMax), std::nullopt);
+}
+
+TEST(ParseU64, RejectsOverflowInsteadOfSaturating) {
+  // One past uint64 max: strtoull would saturate, we must refuse.
+  EXPECT_EQ(parse_u64("18446744073709551616", 0, kMax), std::nullopt);
+  EXPECT_EQ(parse_u64("9999999999999999999999", 0, kMax), std::nullopt);
+}
+
+TEST(EnvU64, ReadsSetsAndRejectsGarbage) {
+  ASSERT_EQ(setenv("DUT_TEST_ENV_U64", "42", 1), 0);
+  EXPECT_EQ(env_u64("DUT_TEST_ENV_U64", 0, 100), 42u);
+  ASSERT_EQ(setenv("DUT_TEST_ENV_U64", "42garbage", 1), 0);
+  EXPECT_EQ(env_u64("DUT_TEST_ENV_U64", 0, 100), std::nullopt);
+  ASSERT_EQ(unsetenv("DUT_TEST_ENV_U64"), 0);
+  EXPECT_EQ(env_u64("DUT_TEST_ENV_U64", 0, 100), std::nullopt);
+}
+
+}  // namespace
+}  // namespace dut::obs

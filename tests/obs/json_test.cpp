@@ -1,0 +1,154 @@
+#include "dut/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "dut/obs/metrics.hpp"
+#include "dut/obs/report.hpp"
+
+namespace dut::obs {
+namespace {
+
+TEST(Json, ObjectKeepsInsertionOrderAndRoundTrips) {
+  Json doc = Json::object();
+  doc.set("zulu", 1);
+  doc.set("alpha", Json::array().push(1).push("two").push(3.5));
+  doc.set("nested", Json::object().set("flag", true).set("none", Json()));
+  const std::string text = doc.dump();
+  // Insertion order, not lexicographic: reports stay diffable.
+  EXPECT_LT(text.find("zulu"), text.find("alpha"));
+
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.get("zulu")->as_i64(), 1);
+  EXPECT_EQ(back.get("alpha")->size(), 3u);
+  EXPECT_EQ(back.get("alpha")->at(1).as_string(), "two");
+  EXPECT_DOUBLE_EQ(back.get("alpha")->at(2).as_double(), 3.5);
+  EXPECT_TRUE(back.get("nested")->get("flag")->as_bool());
+  EXPECT_TRUE(back.get("nested")->get("none")->is_null());
+}
+
+TEST(Json, Uint64CountersRoundTripExactly) {
+  const std::uint64_t big = ~std::uint64_t{0};  // would lose bits as double
+  Json doc = Json::object();
+  doc.set("counter", big);
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.get("counter")->as_u64(), big);
+}
+
+TEST(Json, StringEscaping) {
+  Json doc = Json::object();
+  doc.set("s", "a \"quoted\"\\ line\nnext");
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.get("s")->as_string(), "a \"quoted\"\\ line\nnext");
+}
+
+TEST(Json, SetReplacesExistingKeyInPlace) {
+  Json doc = Json::object();
+  doc.set("k", 1);
+  doc.set("other", 2);
+  doc.set("k", 3);
+  EXPECT_EQ(doc.items().size(), 2u);
+  EXPECT_EQ(doc.get("k")->as_i64(), 3);
+  EXPECT_EQ(doc.items()[0].first, "k");  // position preserved
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::runtime_error);
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1 2]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("treu"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+}
+
+TEST(Json, KindMismatchThrowsButNumbersConvert) {
+  const Json doc = Json::parse("{\"n\": 3}");
+  EXPECT_THROW(doc.get("n")->as_string(), std::runtime_error);
+  EXPECT_DOUBLE_EQ(doc.get("n")->as_double(), 3.0);
+}
+
+RunReport sample_report() {
+  RunReport report("e99", "test claim");
+  report.set_engine("threads", std::uint64_t{4});
+  report.set_engine("obs_enabled", true);
+  report.set_value("seed", std::uint64_t{7});
+  report.check("reject_rate", 1.0 / 3.0, 0.31, "endpoint guarantee");
+  return report;
+}
+
+TEST(RunReport, ProducesValidSchemaV1) {
+  RunReport report = sample_report();
+  counter("test.report.counter").add(5);
+  histogram("test.report.hist").record(12);
+  report.attach_metrics();
+
+  const Json doc = report.to_json();
+  EXPECT_EQ(validate_report(doc), "");
+  EXPECT_EQ(doc.get("kind")->as_string(), "dut-run-report");
+  EXPECT_EQ(doc.get("schema")->as_u64(),
+            static_cast<std::uint64_t>(kReportSchemaVersion));
+  EXPECT_EQ(doc.get("id")->as_string(), "e99");
+  EXPECT_EQ(doc.get("checks")->size(), 1u);
+  const Json& check = doc.get("checks")->at(0);
+  EXPECT_EQ(check.get("name")->as_string(), "reject_rate");
+  EXPECT_DOUBLE_EQ(check.get("measured")->as_double(), 0.31);
+  // The registry snapshot rides along under "metrics".
+  const Json* metrics = doc.get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(metrics->get("counters")->get("test.report.counter")->as_u64(),
+            5u);
+
+  // And the whole thing survives a serialize/parse round trip.
+  EXPECT_EQ(validate_report(Json::parse(doc.dump(2))), "");
+}
+
+TEST(RunReport, DefaultPathUppercasesId) {
+  EXPECT_EQ(sample_report().default_path(), "BENCH_E99.json");
+}
+
+TEST(RunReport, ValidatorRejectsTamperedDocuments) {
+  const Json good = sample_report().to_json();
+
+  Json wrong_kind = Json::parse(good.dump());
+  wrong_kind.set("kind", "something-else");
+  EXPECT_NE(validate_report(wrong_kind), "");
+
+  Json wrong_schema = Json::parse(good.dump());
+  wrong_schema.set("schema", std::uint64_t{999});
+  EXPECT_NE(validate_report(wrong_schema), "");
+
+  Json no_threads = Json::parse(good.dump());
+  no_threads.set("engine", Json::object());
+  EXPECT_NE(validate_report(no_threads), "");
+
+  Json bad_check = Json::parse(good.dump());
+  bad_check.set("checks",
+                Json::array().push(Json::object().set("name", "x")));
+  EXPECT_NE(validate_report(bad_check), "");
+
+  EXPECT_NE(validate_report(Json::parse("[1,2,3]")), "");
+}
+
+TEST(RunReport, HistogramToJsonCarriesBucketsAndMean) {
+  Histogram& h = histogram("test.report.hist.shape");
+  h.reset();
+  h.record(3);
+  h.record(5);
+  const HistogramData data = snapshot().histograms.at(
+      "test.report.hist.shape");
+  const Json j = histogram_to_json(data);
+  EXPECT_EQ(j.get("count")->as_u64(), 2u);
+  EXPECT_EQ(j.get("sum")->as_u64(), 8u);
+  EXPECT_EQ(j.get("min")->as_u64(), 3u);
+  EXPECT_EQ(j.get("max")->as_u64(), 5u);
+  EXPECT_DOUBLE_EQ(j.get("mean")->as_double(), 4.0);
+  ASSERT_EQ(j.get("buckets")->size(), 2u);   // [2,4) and [4,8)
+  EXPECT_EQ(j.get("buckets")->at(0).at(0).as_u64(), 2u);
+  EXPECT_EQ(j.get("buckets")->at(1).at(0).as_u64(), 4u);
+}
+
+}  // namespace
+}  // namespace dut::obs

@@ -7,7 +7,9 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "dut/stats/engine.hpp"
@@ -173,6 +175,29 @@ TEST(RunningStatMerge, EmptyIsIdentity) {
 
 TEST(DefaultThreadCount, NeverZero) {
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(DefaultThreadCount, StrictDutThreadsParsing) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned fallback = hw == 0 ? 1u : hw;
+
+  ASSERT_EQ(setenv("DUT_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+
+  // 0 means "hardware concurrency", explicitly — not an error, not zero.
+  ASSERT_EQ(setenv("DUT_THREADS", "0", 1), 0);
+  EXPECT_EQ(default_thread_count(), fallback);
+
+  // Garbage, signs, trailing junk and overflow all fall back to the
+  // default instead of silently truncating (the old strtoul behavior).
+  for (const char* junk : {"16abc", "-4", "+2", "", " 8", "3.5",
+                           "99999999999999999999", "9001"}) {
+    ASSERT_EQ(setenv("DUT_THREADS", junk, 1), 0);
+    EXPECT_EQ(default_thread_count(), fallback) << "input: '" << junk << "'";
+  }
+
+  ASSERT_EQ(unsetenv("DUT_THREADS"), 0);
+  EXPECT_EQ(default_thread_count(), fallback);
 }
 
 }  // namespace

@@ -1,0 +1,198 @@
+// dut_trace — inspect and validate the observability artifacts:
+//
+//   dut_trace summary <trace.jsonl>       per-run rollup of a protocol
+//                                         transcript (rounds, messages, bits,
+//                                         bandwidth headroom, per-node load)
+//   dut_trace check <trace.jsonl>         exit 0 iff every completed run's
+//                                         recount matches its declared totals
+//                                         and no traced message exceeds the
+//                                         bandwidth budget
+//   dut_trace check-report <report.json>  validate a BENCH_*.json run report
+//                                         against schema v1
+//
+// Trace files are produced by running any engine-backed binary with
+// DUT_TRACE=<path> (see DESIGN.md §9); reports by the bench binaries.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dut/obs/json.hpp"
+#include "dut/obs/report.hpp"
+#include "dut/obs/trace_reader.hpp"
+
+namespace {
+
+using dut::obs::TraceRunSummary;
+
+void print_summary(const TraceRunSummary& run, std::size_t index) {
+  std::printf("run %zu: model=%s nodes=%u seed=%llu%s\n", index,
+              run.info.model.c_str(), run.info.nodes,
+              static_cast<unsigned long long>(run.info.seed),
+              run.truncated_tail ? " (tail-truncated)" : "");
+  std::printf("  rounds: %llu   messages: %llu   total bits: %llu   "
+              "max message bits: %llu\n",
+              static_cast<unsigned long long>(run.rounds_seen),
+              static_cast<unsigned long long>(run.messages),
+              static_cast<unsigned long long>(run.total_bits),
+              static_cast<unsigned long long>(run.max_message_bits));
+  if (run.info.model == "congest" && run.info.bandwidth_bits > 0) {
+    std::printf("  bandwidth: budget %llu bits/message, headroom %lld, "
+                "over-budget sends %llu\n",
+                static_cast<unsigned long long>(run.info.bandwidth_bits),
+                static_cast<long long>(run.info.bandwidth_bits) -
+                    static_cast<long long>(run.max_message_bits),
+                static_cast<unsigned long long>(run.over_budget_sends));
+  }
+  if (!run.per_node_sent_bits.empty()) {
+    std::uint64_t busiest_node = 0;
+    std::uint64_t busiest_bits = 0;
+    std::uint64_t total = 0;
+    std::uint64_t senders = 0;
+    for (std::size_t v = 0; v < run.per_node_sent_bits.size(); ++v) {
+      const std::uint64_t bits = run.per_node_sent_bits[v];
+      total += bits;
+      if (bits > 0) ++senders;
+      if (bits > busiest_bits) {
+        busiest_bits = bits;
+        busiest_node = v;
+      }
+    }
+    std::printf("  per-node sent bits: %llu nodes sent, busiest node %llu "
+                "with %llu bits (%.1f%% of traffic)\n",
+                static_cast<unsigned long long>(senders),
+                static_cast<unsigned long long>(busiest_node),
+                static_cast<unsigned long long>(busiest_bits),
+                total > 0 ? 100.0 * static_cast<double>(busiest_bits) /
+                                static_cast<double>(total)
+                          : 0.0);
+  }
+  std::printf("  halts: %llu\n", static_cast<unsigned long long>(run.halts));
+  for (const std::string& violation : run.violations) {
+    std::printf("  VIOLATION: %s\n", violation.c_str());
+  }
+  if (run.truncated_tail) {
+    std::printf("  recount vs engine totals: skipped (tail-truncated)\n");
+  } else if (run.has_end) {
+    std::printf("  recount vs engine totals: %s\n",
+                run.consistent() ? "consistent" : "MISMATCH");
+  } else {
+    std::printf("  run did not complete (no run_end event)\n");
+  }
+}
+
+int cmd_summary(const char* path) {
+  const auto runs = dut::obs::read_trace_file(path);
+  if (runs.empty()) {
+    std::fprintf(stderr, "dut_trace: %s holds no runs\n", path);
+    return 1;
+  }
+  std::printf("%s: %zu run(s)\n", path, runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) print_summary(runs[i], i);
+  return 0;
+}
+
+int cmd_check(const char* path) {
+  const auto runs = dut::obs::read_trace_file(path);
+  if (runs.empty()) {
+    std::fprintf(stderr, "dut_trace: %s holds no runs\n", path);
+    return 1;
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TraceRunSummary& run = runs[i];
+    if (run.truncated_tail) continue;  // tail mode: totals unavailable
+    if (!run.violations.empty()) {
+      std::fprintf(stderr, "run %zu: %zu violation(s) recorded\n", i,
+                   run.violations.size());
+      ++failures;
+      continue;
+    }
+    if (!run.has_end) {
+      std::fprintf(stderr, "run %zu: no run_end event\n", i);
+      ++failures;
+      continue;
+    }
+    if (!run.consistent()) {
+      std::fprintf(stderr,
+                   "run %zu: recount (%llu msgs / %llu bits / %llu rounds) "
+                   "!= declared (%llu / %llu / %llu)\n",
+                   i, static_cast<unsigned long long>(run.messages),
+                   static_cast<unsigned long long>(run.total_bits),
+                   static_cast<unsigned long long>(run.rounds_seen),
+                   static_cast<unsigned long long>(run.declared.messages),
+                   static_cast<unsigned long long>(run.declared.total_bits),
+                   static_cast<unsigned long long>(run.declared.rounds));
+      ++failures;
+    }
+    if (run.over_budget_sends > 0) {
+      std::fprintf(stderr, "run %zu: %llu send(s) exceed the %llu-bit "
+                   "bandwidth budget\n",
+                   i, static_cast<unsigned long long>(run.over_budget_sends),
+                   static_cast<unsigned long long>(run.info.bandwidth_bits));
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("%s: %zu run(s) consistent, all sends within budget\n", path,
+                runs.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_check_report(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "dut_trace: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  dut::obs::Json document;
+  try {
+    document = dut::obs::Json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path, e.what());
+    return 1;
+  }
+  const std::string reason = dut::obs::validate_report(document);
+  if (!reason.empty()) {
+    std::fprintf(stderr, "%s: invalid run report: %s\n", path,
+                 reason.c_str());
+    return 1;
+  }
+  const dut::obs::Json* id = document.get("id");
+  const dut::obs::Json* checks = document.get("checks");
+  std::printf("%s: valid run report (id=%s, %zu check(s))\n", path,
+              id->as_string().c_str(), checks->size());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dut_trace summary <trace.jsonl>\n"
+               "       dut_trace check <trace.jsonl>\n"
+               "       dut_trace check-report <report.json>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  try {
+    if (std::strcmp(argv[1], "summary") == 0) return cmd_summary(argv[2]);
+    if (std::strcmp(argv[1], "check") == 0) return cmd_check(argv[2]);
+    if (std::strcmp(argv[1], "check-report") == 0) {
+      return cmd_check_report(argv[2]);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dut_trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Smoke-runs one experiment binary in a scratch workdir with protocol
+# tracing on, then validates everything it emitted:
+#   * every BENCH_*.json run report parses and passes schema v1, and
+#   * the DUT_TRACE transcript (if the binary ran any engine) is internally
+#     consistent and within the bandwidth budget (dut_trace check).
+#
+# Usage: run_smoke.sh <dut_trace-binary> <workdir> <binary> [args...]
+# Registered per experiment as the smoke_* ctest entries (bench/CMakeLists).
+set -euo pipefail
+
+if [ "$#" -lt 3 ]; then
+  echo "usage: $0 <dut_trace-binary> <workdir> <binary> [args...]" >&2
+  exit 2
+fi
+
+dut_trace=$1
+workdir=$2
+binary=$3
+shift 3
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+cd "$workdir"
+
+export DUT_TRACE="$workdir/trace.jsonl"
+"$binary" "$@"
+
+found_report=0
+for report in BENCH_*.json; do
+  [ -e "$report" ] || continue
+  found_report=1
+  "$dut_trace" check-report "$report"
+done
+if [ "$found_report" -eq 0 ]; then
+  echo "smoke: $binary wrote no BENCH_*.json report" >&2
+  exit 1
+fi
+
+# Binaries that never construct a network engine legitimately leave no
+# transcript; when one exists it must check out.
+if [ -s "$DUT_TRACE" ]; then
+  "$dut_trace" check "$DUT_TRACE"
+fi

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
-# Race-checks the parallel Monte-Carlo engine: builds the stats + core test
-# binaries under ThreadSanitizer and runs them with a worker pool large
-# enough to exercise every chunk-handoff path even on small CI machines.
+# Race-checks the parallel Monte-Carlo engine and the observability layer:
+# builds the stats + core + obs + net test binaries (and one traced
+# experiment) under ThreadSanitizer, then runs them with a worker pool
+# large enough to exercise every chunk-handoff path even on small CI
+# machines. Tracing is exercised concurrently: DUT_TRACE points every
+# parallel trial's engine at one transcript file, so the writer's
+# process-wide lock and the lock-free metrics registry both get contended.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake --preset tsan
-cmake --build --preset tsan -j "$(nproc)" --target dut_stats_tests dut_core_tests
+cmake --preset tsan -DDUT_BUILD_BENCH=ON
+cmake --build --preset tsan -j "$(nproc)" \
+  --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
+           e8_congest dut_trace
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+echo "== dut_obs_tests (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_obs_tests
 
 echo "== dut_stats_tests (DUT_THREADS=${DUT_THREADS}) =="
 ./build-tsan/tests/dut_stats_tests
@@ -19,4 +28,17 @@ echo "== dut_core_tests engine-facing slices (DUT_THREADS=${DUT_THREADS}) =="
 ./build-tsan/tests/dut_core_tests \
   --gtest_filter='CollisionKernel*:AliasSampler*:GapTester*'
 
-echo "tsan: all engine checks passed"
+echo "== dut_net_tests engine + tracing (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_net_tests
+
+echo "== traced e8 quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
+tsan_trace_dir=$(mktemp -d)
+trap 'rm -rf "$tsan_trace_dir"' EXIT
+(
+  cd "$tsan_trace_dir"
+  DUT_TRACE="$tsan_trace_dir/trace.jsonl" \
+    "$OLDPWD/build-tsan/bench/e8_congest" --quick > /dev/null
+  "$OLDPWD/build-tsan/tools/dut_trace" check "$tsan_trace_dir/trace.jsonl"
+)
+
+echo "tsan: all engine + observability checks passed"
