@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "dut/congest/uniformity.hpp"
+#include "net_bench.hpp"
 
 namespace {
 
@@ -33,7 +34,8 @@ bool audit_definition_two(const congest::PackagingRunResult& result,
 }
 
 void topology_sweep() {
-  bench::section("topology x tau sweep (k ~ 1024 nodes, audited)");
+  bench::section("topology x tau sweep (k ~ 1024 nodes, Monte-Carlo "
+                 "audited over 20 seeds)");
   stats::TextTable table({"topology", "D", "tau", "rounds", "5D+tau+20",
                           "packages", "dropped", "invariants"});
   struct Case {
@@ -49,31 +51,68 @@ void topology_sweep() {
       {"hypercube", Graph::hypercube(10)},
       {"random", Graph::random_connected(1024, 2.0, 9)},
   };
+  // Definition 2 must hold for every seed, not just one: each trial runs
+  // the full protocol under seed 777 + t (a fresh external-id permutation,
+  // hence a fresh leader and BFS tree) and audits all three invariants.
+  struct Partial {
+    std::uint64_t audits_failed = 0;
+    bench::Spread rounds;
+    bench::Spread packages;
+    bench::Spread dropped;
+  };
+  const std::uint64_t num_runs = bench::runs(20);
+  double total_seconds = 0.0;
   for (const Case& c : cases) {
     const std::uint32_t d = c.graph.diameter();
     for (std::uint64_t tau : {4ULL, 32ULL}) {
-      const auto result = congest::run_token_packaging(c.graph, tau, 777);
+      net::ProtocolDriver driver =
+          congest::make_packaging_driver(c.graph, tau);
+      const bench::StopWatch watch;
+      const Partial sweep = stats::map_trials<Partial>(
+          num_runs,
+          [&](Partial& acc, std::uint64_t t) {
+            const auto result = congest::run_token_packaging(
+                driver, tau, 777 + t, bench::traced_trial(t));
+            if (!audit_definition_two(result, c.graph.num_nodes(), tau)) {
+              ++acc.audits_failed;
+            }
+            acc.rounds.add(result.metrics.rounds);
+            acc.packages.add(result.packages.size());
+            acc.dropped.add(result.tokens_dropped);
+          },
+          [](Partial& total, const Partial& p) {
+            total.audits_failed += p.audits_failed;
+            total.rounds.merge(p.rounds);
+            total.packages.merge(p.packages);
+            total.dropped.merge(p.dropped);
+          });
+      total_seconds += watch.seconds();
       table.row()
           .add(c.name)
           .add(static_cast<std::uint64_t>(d))
           .add(tau)
-          .add(result.metrics.rounds)
+          .add(sweep.rounds.show())
           .add(static_cast<std::uint64_t>(5ULL * d + tau + 20))
-          .add(static_cast<std::uint64_t>(result.packages.size()))
-          .add(result.tokens_dropped)
-          .add(audit_definition_two(result, c.graph.num_nodes(), tau)
-                   ? "ok"
-                   : "VIOLATED");
+          .add(sweep.packages.show())
+          .add(sweep.dropped.show())
+          .add(sweep.audits_failed == 0 ? "ok" : "VIOLATED");
       bench::record("rounds[" + std::string(c.name) +
                         ",tau=" + std::to_string(tau) + "]",
                     static_cast<double>(5ULL * d + tau + 20),
-                    static_cast<double>(result.metrics.rounds),
+                    static_cast<double>(sweep.rounds.max),
                     "Theorem 5.1: rounds within the linear D + tau envelope");
+      bench::record("audits_failed[" + std::string(c.name) +
+                        ",tau=" + std::to_string(tau) + "]",
+                    0.0, static_cast<double>(sweep.audits_failed),
+                    "Definition 2 holds for every seed");
     }
   }
+  bench::record_seconds("topology_sweep", total_seconds);
   bench::print(table);
-  bench::note("Every run satisfies Definition 2; rounds stay within the\n"
-              "linear D + tau envelope across all topologies.");
+  bench::note("Every seed satisfies Definition 2 on every topology; the\n"
+              "rounds column shows the min..max across seeds (the BFS tree\n"
+              "depends on the id permutation) and stays within the linear\n"
+              "D + tau envelope.");
 }
 
 void scaling() {

@@ -12,6 +12,7 @@
 #include "dut/congest/uniformity.hpp"
 #include "dut/core/families.hpp"
 #include "dut/stats/bounds.hpp"
+#include "net_bench.hpp"
 
 namespace {
 
@@ -75,42 +76,69 @@ void end_to_end() {
       {"random (deg ~6)", Graph::random_connected(k, 2.0, 3)},
       {"star", Graph::star(k)},
   };
-  const std::uint64_t num_runs = bench::runs(30);
-  for (const Case& c : cases) {
+  // Per-trial verdict and spread accumulator: trial t runs both sides with
+  // seeds 3000 + t / 4000 + t, so the verdict stream is a pure function of
+  // t and the parallel fan-out is bit-identical to the serial loop.
+  struct Partial {
     std::uint64_t reject_uniform = 0;
     std::uint64_t accept_far = 0;
-    std::uint64_t rounds = 0;
-    std::uint64_t max_bits = 0;
-    for (std::uint64_t t = 0; t < num_runs; ++t) {
-      const auto on_uniform =
-          congest::run_congest_uniformity(plan, c.graph, uniform_sampler,
-                                          3000 + t);
-      const auto on_far = congest::run_congest_uniformity(
-          plan, c.graph, far_sampler, 4000 + t);
-      reject_uniform += on_uniform.network_rejects;
-      accept_far += !on_far.network_rejects;
-      rounds = on_uniform.metrics.rounds;
-      max_bits = on_uniform.metrics.max_message_bits;
-    }
-    const double p_reject_uniform =
-        static_cast<double>(reject_uniform) / static_cast<double>(num_runs);
+    bench::Spread rounds;
+    bench::Spread max_bits;
+  };
+  const std::uint64_t num_runs = bench::runs(30);
+  for (const Case& c : cases) {
+    net::ProtocolDriver driver = congest::make_congest_driver(plan, c.graph);
+    const bench::StopWatch watch;
+    const Partial sweep = stats::map_trials<Partial>(
+        num_runs,
+        [&](Partial& acc, std::uint64_t t) {
+          const bool traced = bench::traced_trial(t);
+          const auto on_uniform = congest::run_congest_uniformity(
+              plan, driver, uniform_sampler, 3000 + t, traced);
+          const auto on_far = congest::run_congest_uniformity(
+              plan, driver, far_sampler, 4000 + t, traced);
+          acc.reject_uniform += on_uniform.network_rejects;
+          acc.accept_far += !on_far.network_rejects;
+          acc.rounds.add(on_uniform.metrics.rounds);
+          acc.rounds.add(on_far.metrics.rounds);
+          acc.max_bits.add(on_uniform.metrics.max_message_bits);
+          acc.max_bits.add(on_far.metrics.max_message_bits);
+        },
+        [](Partial& total, const Partial& p) {
+          total.reject_uniform += p.reject_uniform;
+          total.accept_far += p.accept_far;
+          total.rounds.merge(p.rounds);
+          total.max_bits.merge(p.max_bits);
+        });
+    const double seconds = watch.seconds();
+    const double p_reject_uniform = static_cast<double>(sweep.reject_uniform) /
+                                    static_cast<double>(num_runs);
     const double p_accept_far =
-        static_cast<double>(accept_far) / static_cast<double>(num_runs);
+        static_cast<double>(sweep.accept_far) / static_cast<double>(num_runs);
     table.row()
         .add(c.name)
         .add(static_cast<std::uint64_t>(c.graph.diameter()))
-        .add(rounds)
+        .add(sweep.rounds.show())
         .add(p_reject_uniform, 3)
         .add(p_accept_far, 3)
-        .add(max_bits);
+        .add(sweep.max_bits.show());
     bench::record("false_reject[" + std::string(c.name) + "]", 1.0 / 3.0,
                   p_reject_uniform, "Theorem 1.4: error sides <= 1/3");
     bench::record("false_accept[" + std::string(c.name) + "]", 1.0 / 3.0,
                   p_accept_far, "Theorem 1.4: error sides <= 1/3");
+    bench::record_value("rounds_max[" + std::string(c.name) + "]",
+                        sweep.rounds.max);
+    bench::record_value("rounds_min[" + std::string(c.name) + "]",
+                        sweep.rounds.min);
+    bench::record_value("max_message_bits[" + std::string(c.name) + "]",
+                        sweep.max_bits.max);
+    bench::record_seconds("end_to_end," + std::string(c.name), seconds);
   }
   bench::print(table);
   bench::note("Both error columns stay under 1/3 on every topology; message\n"
-              "width never exceeds the O(log n + log k) budget.");
+              "width never exceeds the O(log n + log k) budget. rounds and\n"
+              "max msg bits show the min..max spread across trials (leader\n"
+              "election varies with the seeded id permutation).");
 }
 
 void multi_sample() {

@@ -16,6 +16,7 @@
 #include "dut/core/families.hpp"
 #include "dut/local/tester.hpp"
 #include "dut/stats/bounds.hpp"
+#include "net_bench.hpp"
 
 namespace {
 
@@ -55,7 +56,8 @@ void radius_sweep() {
 
 void end_to_end() {
   bench::section("end-to-end error (40 runs/side, eps = 1.5)");
-  stats::TextTable table({"topology", "r", "|MIS|", "P[rej|U]", "P[acc|far]"});
+  stats::TextTable table({"topology", "r", "|MIS|", "P[rej|U]", "P[acc|far]",
+                          "gather rounds"});
   struct Case {
     const char* name;
     Graph graph;
@@ -74,31 +76,54 @@ void end_to_end() {
     }
     const core::AliasSampler uniform_sampler(core::uniform(c.n));
     const core::AliasSampler far_sampler(core::far_instance(c.n, 1.5));
-    std::uint64_t reject_uniform = 0;
-    std::uint64_t accept_far = 0;
+    // Trial t runs both sides with seeds 100 + t / 200 + t — the same
+    // stream the old serial loop used — fanned out over the TrialRunner
+    // with a warm engine per worker.
+    struct Partial {
+      std::uint64_t reject_uniform = 0;
+      std::uint64_t accept_far = 0;
+      bench::Spread gather_rounds;
+    };
     const std::uint64_t num_runs = bench::runs(40);
-    for (std::uint64_t t = 0; t < num_runs; ++t) {
-      reject_uniform += !local::run_local_uniformity(plan, c.graph,
-                                                     uniform_sampler, 100 + t)
-                             .network_accepts;
-      accept_far +=
-          local::run_local_uniformity(plan, c.graph, far_sampler, 200 + t)
-              .network_accepts;
-    }
-    const double p_reject_uniform =
-        static_cast<double>(reject_uniform) / static_cast<double>(num_runs);
+    net::ProtocolDriver driver = local::make_local_driver(plan, c.graph);
+    const bench::StopWatch watch;
+    const Partial sweep = stats::map_trials<Partial>(
+        num_runs,
+        [&](Partial& acc, std::uint64_t t) {
+          const bool traced = bench::traced_trial(t);
+          const auto on_uniform = local::run_local_uniformity(
+              plan, driver, uniform_sampler, 100 + t, traced);
+          const auto on_far = local::run_local_uniformity(
+              plan, driver, far_sampler, 200 + t, traced);
+          acc.reject_uniform += !on_uniform.network_accepts;
+          acc.accept_far += on_far.network_accepts;
+          acc.gather_rounds.add(on_uniform.gather_metrics.rounds);
+          acc.gather_rounds.add(on_far.gather_metrics.rounds);
+        },
+        [](Partial& total, const Partial& p) {
+          total.reject_uniform += p.reject_uniform;
+          total.accept_far += p.accept_far;
+          total.gather_rounds.merge(p.gather_rounds);
+        });
+    const double seconds = watch.seconds();
+    const double p_reject_uniform = static_cast<double>(sweep.reject_uniform) /
+                                    static_cast<double>(num_runs);
     const double p_accept_far =
-        static_cast<double>(accept_far) / static_cast<double>(num_runs);
+        static_cast<double>(sweep.accept_far) / static_cast<double>(num_runs);
     table.row()
         .add(c.name)
         .add(static_cast<std::uint64_t>(plan.radius))
         .add(plan.mis_size)
         .add(p_reject_uniform, 3)
-        .add(p_accept_far, 3);
+        .add(p_accept_far, 3)
+        .add(sweep.gather_rounds.show());
     bench::record("false_reject[" + std::string(c.name) + "]", 1.0 / 3.0,
                   p_reject_uniform, "Section 6: error sides <= 1/3");
     bench::record("false_accept[" + std::string(c.name) + "]", 1.0 / 3.0,
                   p_accept_far, "Section 6: error sides <= 1/3");
+    bench::record_value("gather_rounds_max[" + std::string(c.name) + "]",
+                        sweep.gather_rounds.max);
+    bench::record_seconds("end_to_end," + std::string(c.name), seconds);
   }
   bench::print(table);
   bench::note("Both error sides at or below 1/3 (within 40-trial noise) on\n"

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared helpers for the network-protocol experiments (E7/E8/E9).
+//
+// These benches fan whole-network Monte-Carlo trials out over
+// stats::TrialRunner (via map_trials) with per-trial seeds of the form
+// base + t, one warm engine per worker thread courtesy of
+// net::ProtocolDriver. The helpers here encode the two conventions the
+// parallel sweeps share:
+//
+//  * Designated-trial tracing: exactly one trial per sweep — trial 0 —
+//    resolves DUT_TRACE, no matter which worker thread executes it, so a
+//    traced parallel run still produces one deterministic transcript per
+//    sweep (validated by tools/dut_trace check in the smoke suite).
+//
+//  * Spread reporting: per-trial engine statistics (rounds,
+//    max_message_bits) genuinely vary across trials — leader election
+//    depends on the seed-derived id permutation — so sweeps record the
+//    min..max spread and report the max, instead of silently keeping
+//    whatever the last trial produced.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace dut::bench {
+
+/// True for the one trial per sweep that may resolve DUT_TRACE.
+constexpr bool traced_trial(std::uint64_t t) noexcept { return t == 0; }
+
+/// Min/max accumulator for a per-trial engine statistic. Mergeable, so it
+/// composes with stats::map_trials chunk partials.
+struct Spread {
+  std::uint64_t min = UINT64_MAX;
+  std::uint64_t max = 0;
+
+  void add(std::uint64_t value) noexcept {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  void merge(const Spread& other) noexcept {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  bool empty() const noexcept { return min > max; }
+  /// All trials agreed on one value.
+  bool invariant() const noexcept { return min == max; }
+  /// "57" when invariant, "55..61" otherwise.
+  std::string show() const {
+    if (empty()) return "-";
+    if (invariant()) return std::to_string(max);
+    return std::to_string(min) + ".." + std::to_string(max);
+  }
+};
+
+/// Wall-clock timer for the perf figures recorded in the run reports.
+class StopWatch {
+ public:
+  StopWatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records a sweep's wall time under "seconds[label]" so EXPERIMENTS.md's
+/// net-bench perf table can compare serial vs parallel runs from the
+/// BENCH_E*.json artifacts alone.
+inline void record_seconds(const std::string& label, double seconds) {
+  record_value("seconds[" + label + "]", obs::Json(seconds));
+}
+
+}  // namespace dut::bench

@@ -23,6 +23,7 @@
 #include "dut/core/zero_round.hpp"
 #include "dut/net/engine.hpp"
 #include "dut/net/graph.hpp"
+#include "dut/net/protocol_driver.hpp"
 
 namespace dut::congest {
 
@@ -73,6 +74,15 @@ struct CongestRunResult {
   net::EngineMetrics metrics;       ///< rounds / messages / bits
 };
 
+/// Builds the protocol driver for this plan's CONGEST runs on `graph`:
+/// validates feasibility, network size and connectivity once, then hands
+/// back a driver whose pooled engines carry the plan's bandwidth budget and
+/// round cap. The driver references `graph` (and the plan's parameters are
+/// baked into the config); keep the graph alive for the driver's lifetime.
+/// One driver serves a whole Monte-Carlo sweep, including concurrent trials.
+net::ProtocolDriver make_congest_driver(const CongestPlan& plan,
+                                        const net::Graph& graph);
+
 /// Runs the full protocol on `graph`: node v draws one sample from
 /// `sampler` as its token (plus an external id from a seeded permutation for
 /// leader election), then the packaging + testing + verdict pipeline runs
@@ -81,6 +91,15 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         const net::Graph& graph,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed);
+
+/// Trial-level variant over a driver from make_congest_driver: reuses a
+/// pooled engine and gates DUT_TRACE resolution with `traced` (pass true
+/// for exactly one designated trial when fanning out in parallel).
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        net::ProtocolDriver& driver,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed,
+                                        bool traced = true);
 
 /// Heterogeneous variant (synthesis of §4's asymmetry with §5's protocol):
 /// node v contributes counts[v] samples — e.g. proportional to 1/cost —
@@ -92,6 +111,13 @@ CongestRunResult run_congest_uniformity_heterogeneous(
     const CongestPlan& plan, const net::Graph& graph,
     const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed);
+
+/// Driver-based heterogeneous variant (see run_congest_uniformity above).
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
+    bool traced = true);
 
 /// Error amplification (paper §3.2.2: the threshold model "is amenable to
 /// amplification using standard techniques"): runs `repetitions`
@@ -111,6 +137,13 @@ AmplifiedCongestResult run_congest_uniformity_amplified(
     const core::AliasSampler& sampler, std::uint64_t seed,
     std::uint64_t repetitions);
 
+/// Driver-based amplification: all repetitions reuse the driver's pooled
+/// engines (`traced` gates the whole repetition sequence's transcript).
+AmplifiedCongestResult run_congest_uniformity_amplified(
+    const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler, std::uint64_t seed,
+    std::uint64_t repetitions, bool traced = true);
+
 /// Standalone token packaging (Theorem 5.1), for experiments: every node's
 /// token is its own engine id; returns all packages plus metrics.
 struct PackagingRunResult {
@@ -121,5 +154,13 @@ struct PackagingRunResult {
 };
 PackagingRunResult run_token_packaging(const net::Graph& graph,
                                        std::uint64_t tau, std::uint64_t seed);
+
+/// Driver factory + trial-level variant for token packaging, mirroring the
+/// uniformity pair above (tau is baked into the driver's round cap).
+net::ProtocolDriver make_packaging_driver(const net::Graph& graph,
+                                          std::uint64_t tau);
+PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
+                                       std::uint64_t tau, std::uint64_t seed,
+                                       bool traced = true);
 
 }  // namespace dut::congest

@@ -67,7 +67,7 @@ void TokenPackagingProgram::on_round(net::NodeContext& ctx) {
 }
 
 void TokenPackagingProgram::process_inbox(net::NodeContext& ctx) {
-  for (const net::Message& msg : ctx.inbox()) {
+  for (const net::MessageView msg : ctx.inbox()) {
     switch (static_cast<Tag>(msg.field(0))) {
       case kCandidate: {
         const std::uint64_t candidate = msg.field(1);

@@ -134,26 +134,36 @@ CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
   return plan;
 }
 
-namespace {
-
-CongestRunResult run_congest_with_counts(
-    const CongestPlan& plan, const net::Graph& graph,
-    const core::AliasSampler& sampler,
-    const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
+net::ProtocolDriver make_congest_driver(const CongestPlan& plan,
+                                        const net::Graph& graph) {
   if (!plan.feasible) {
-    throw std::logic_error("run_congest_uniformity: plan is infeasible");
+    throw std::logic_error("make_congest_driver: plan is infeasible");
   }
   if (graph.num_nodes() != plan.k) {
-    throw std::invalid_argument("run_congest_uniformity: graph size != k");
-  }
-  if (sampler.n() != plan.n) {
-    throw std::invalid_argument("run_congest_uniformity: domain mismatch");
+    throw std::invalid_argument("make_congest_driver: graph size != k");
   }
   if (!graph.is_connected()) {
     // A disconnected network would elect one leader per component and
     // silently drop up to (tau-1) tokens per component, breaking
     // Definition 2; reject it up front.
-    throw std::invalid_argument("run_congest_uniformity: graph disconnected");
+    throw std::invalid_argument("make_congest_driver: graph disconnected");
+  }
+  net::EngineConfig config;
+  config.model = net::Model::kCongest;
+  config.bandwidth_bits = plan.bandwidth_bits;
+  config.max_rounds = 20ULL * (graph.num_nodes() + plan.tau) + 1000;
+  return net::ProtocolDriver(graph, config);
+}
+
+namespace {
+
+CongestRunResult run_congest_with_counts(
+    const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
+    bool traced) {
+  if (sampler.n() != plan.n) {
+    throw std::invalid_argument("run_congest_uniformity: domain mismatch");
   }
   std::uint64_t total = 0;
   for (const std::uint64_t c : counts) {
@@ -169,39 +179,34 @@ CongestRunResult run_congest_with_counts(
         "total budget (ell would change)");
   }
 
-  const std::uint32_t k = graph.num_nodes();
+  const std::uint32_t k = driver.graph().num_nodes();
   const auto ids = external_ids(k, seed);
   const MessageWidths widths = widths_for(plan.n, k);
-
   stats::Xoshiro256 sample_rng = stats::derive_stream(seed, 0x5A9);
-  std::vector<std::unique_ptr<UniformityTestProgram>> programs;
-  programs.reserve(k);
-  for (std::uint32_t v = 0; v < k; ++v) {
-    programs.push_back(std::make_unique<UniformityTestProgram>(
-        ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths));
-  }
-  std::vector<net::NodeProgram*> raw(k);
-  for (std::uint32_t v = 0; v < k; ++v) raw[v] = programs[v].get();
 
-  net::EngineConfig config;
-  config.model = net::Model::kCongest;
-  config.bandwidth_bits = plan.bandwidth_bits;
-  config.max_rounds = 20ULL * (graph.num_nodes() + plan.tau) + 1000;
-  config.seed = seed;
-  net::Engine engine(graph, config);
-  engine.run(raw);
+  return driver.run_trial(
+      seed, traced,
+      [&](std::uint32_t v) {
+        return std::make_unique<UniformityTestProgram>(
+            ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths);
+      },
+      [&](const auto& programs, const net::EngineMetrics& metrics) {
+        CongestRunResult result;
+        result.metrics = metrics;
+        for (std::uint32_t v = 0; v < k; ++v) {
+          result.num_packages += programs[v]->packages().size();
+          if (programs[v]->is_leader()) {
+            result.leader = v;
+            result.reject_count = programs[v]->total_report();
+          }
+        }
+        result.network_rejects = programs[0]->verdict() == 1;
+        return result;
+      });
+}
 
-  CongestRunResult result;
-  result.metrics = engine.metrics();
-  for (std::uint32_t v = 0; v < k; ++v) {
-    result.num_packages += programs[v]->packages().size();
-    if (programs[v]->is_leader()) {
-      result.leader = v;
-      result.reject_count = programs[v]->total_report();
-    }
-  }
-  result.network_rejects = programs[0]->verdict() == 1;
-  return result;
+std::vector<std::uint64_t> uniform_counts(const CongestPlan& plan) {
+  return std::vector<std::uint64_t>(plan.k, plan.samples_per_node);
 }
 
 }  // namespace
@@ -210,26 +215,53 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         const net::Graph& graph,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed) {
-  const std::vector<std::uint64_t> counts(graph.num_nodes(),
-                                          plan.samples_per_node);
-  return run_congest_with_counts(plan, graph, sampler, counts, seed);
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return run_congest_with_counts(plan, driver, sampler, uniform_counts(plan),
+                                 seed, /*traced=*/true);
+}
+
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        net::ProtocolDriver& driver,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed, bool traced) {
+  return run_congest_with_counts(plan, driver, sampler, uniform_counts(plan),
+                                 seed, traced);
 }
 
 CongestRunResult run_congest_uniformity_heterogeneous(
     const CongestPlan& plan, const net::Graph& graph,
     const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
-  if (counts.size() != graph.num_nodes()) {
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return run_congest_uniformity_heterogeneous(plan, driver, sampler, counts,
+                                              seed, /*traced=*/true);
+}
+
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
+    bool traced) {
+  if (counts.size() != driver.graph().num_nodes()) {
     throw std::invalid_argument(
         "run_congest_uniformity_heterogeneous: one count per node");
   }
-  return run_congest_with_counts(plan, graph, sampler, counts, seed);
+  return run_congest_with_counts(plan, driver, sampler, counts, seed, traced);
 }
 
 AmplifiedCongestResult run_congest_uniformity_amplified(
     const CongestPlan& plan, const net::Graph& graph,
     const core::AliasSampler& sampler, std::uint64_t seed,
     std::uint64_t repetitions) {
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return run_congest_uniformity_amplified(plan, driver, sampler, seed,
+                                          repetitions, /*traced=*/true);
+}
+
+AmplifiedCongestResult run_congest_uniformity_amplified(
+    const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler, std::uint64_t seed,
+    std::uint64_t repetitions, bool traced) {
   if (repetitions == 0 || repetitions % 2 == 0) {
     throw std::invalid_argument(
         "run_congest_uniformity_amplified: repetitions must be odd and >= 1");
@@ -238,7 +270,8 @@ AmplifiedCongestResult run_congest_uniformity_amplified(
   result.repetitions = repetitions;
   for (std::uint64_t r = 0; r < repetitions; ++r) {
     const auto run = run_congest_uniformity(
-        plan, graph, sampler, stats::SplitMix64(seed ^ (r + 1)).next());
+        plan, driver, sampler, stats::SplitMix64(seed ^ (r + 1)).next(),
+        traced);
     result.reject_verdicts += run.network_rejects;
     result.total_rounds += run.metrics.rounds;
     result.total_messages += run.metrics.messages;
@@ -247,48 +280,56 @@ AmplifiedCongestResult run_congest_uniformity_amplified(
   return result;
 }
 
-PackagingRunResult run_token_packaging(const net::Graph& graph,
-                                       std::uint64_t tau, std::uint64_t seed) {
+net::ProtocolDriver make_packaging_driver(const net::Graph& graph,
+                                          std::uint64_t tau) {
   if (tau == 0) {
-    throw std::invalid_argument("run_token_packaging: tau must be >= 1");
+    throw std::invalid_argument("make_packaging_driver: tau must be >= 1");
   }
   if (!graph.is_connected()) {
-    throw std::invalid_argument("run_token_packaging: graph disconnected");
+    throw std::invalid_argument("make_packaging_driver: graph disconnected");
   }
   const std::uint32_t k = graph.num_nodes();
-  const auto ids = external_ids(k, seed);
-  // Tokens are node ids here, so tests can track every token exactly.
-  MessageWidths widths = widths_for(k, k);
-
-  std::vector<std::unique_ptr<TokenPackagingProgram>> programs;
-  programs.reserve(k);
-  for (std::uint32_t v = 0; v < k; ++v) {
-    programs.push_back(std::make_unique<TokenPackagingProgram>(
-        ids[v], v, tau, widths));
-  }
-  std::vector<net::NodeProgram*> raw(k);
-  for (std::uint32_t v = 0; v < k; ++v) raw[v] = programs[v].get();
-
   net::EngineConfig config;
   config.model = net::Model::kCongest;
   config.bandwidth_bits = required_bandwidth(k, k);
   config.max_rounds = 20ULL * (k + tau) + 1000;
-  config.seed = seed;
-  net::Engine engine(graph, config);
-  engine.run(raw);
+  return net::ProtocolDriver(graph, config);
+}
 
-  PackagingRunResult result;
-  result.metrics = engine.metrics();
-  std::uint64_t packaged_tokens = 0;
-  for (std::uint32_t v = 0; v < k; ++v) {
-    if (programs[v]->is_leader()) result.leader = v;
-    for (const auto& package : programs[v]->packages()) {
-      packaged_tokens += package.size();
-      result.packages.push_back(package);
-    }
-  }
-  result.tokens_dropped = k - packaged_tokens;
-  return result;
+PackagingRunResult run_token_packaging(const net::Graph& graph,
+                                       std::uint64_t tau, std::uint64_t seed) {
+  net::ProtocolDriver driver = make_packaging_driver(graph, tau);
+  return run_token_packaging(driver, tau, seed, /*traced=*/true);
+}
+
+PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
+                                       std::uint64_t tau, std::uint64_t seed,
+                                       bool traced) {
+  const std::uint32_t k = driver.graph().num_nodes();
+  const auto ids = external_ids(k, seed);
+  // Tokens are node ids here, so tests can track every token exactly.
+  const MessageWidths widths = widths_for(k, k);
+
+  return driver.run_trial(
+      seed, traced,
+      [&](std::uint32_t v) {
+        return std::make_unique<TokenPackagingProgram>(ids[v], v, tau,
+                                                       widths);
+      },
+      [&](const auto& programs, const net::EngineMetrics& metrics) {
+        PackagingRunResult result;
+        result.metrics = metrics;
+        std::uint64_t packaged_tokens = 0;
+        for (std::uint32_t v = 0; v < k; ++v) {
+          if (programs[v]->is_leader()) result.leader = v;
+          for (const auto& package : programs[v]->packages()) {
+            packaged_tokens += package.size();
+            result.packages.push_back(package);
+          }
+        }
+        result.tokens_dropped = k - packaged_tokens;
+        return result;
+      });
 }
 
 }  // namespace dut::congest

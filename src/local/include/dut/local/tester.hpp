@@ -28,6 +28,7 @@
 #include "dut/local/mis.hpp"
 #include "dut/net/engine.hpp"
 #include "dut/net/graph.hpp"
+#include "dut/net/protocol_driver.hpp"
 
 namespace dut::local {
 
@@ -75,5 +76,20 @@ LocalRunResult run_local_uniformity(const LocalPlan& plan,
                                     const net::Graph& graph,
                                     const core::AliasSampler& sampler,
                                     std::uint64_t seed);
+
+/// Builds the protocol driver for the plan's r-round gather flood on
+/// `graph` (validates the plan/graph pairing once). The driver references
+/// `graph`; one driver serves a whole Monte-Carlo sweep, including
+/// concurrent trials.
+net::ProtocolDriver make_local_driver(const LocalPlan& plan,
+                                      const net::Graph& graph);
+
+/// Trial-level variant over a driver from make_local_driver: reuses a
+/// pooled engine and gates DUT_TRACE resolution with `traced` (pass true
+/// for exactly one designated trial when fanning out in parallel).
+LocalRunResult run_local_uniformity(const LocalPlan& plan,
+                                    net::ProtocolDriver& driver,
+                                    const core::AliasSampler& sampler,
+                                    std::uint64_t seed, bool traced = true);
 
 }  // namespace dut::local

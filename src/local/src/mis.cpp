@@ -16,7 +16,7 @@ void LubyMisProgram::on_round(net::NodeContext& ctx) {
 
   // Process the inbox first: priorities in sub 1, JOINED in sub 2, OUT in
   // sub 0 (sent during the previous phase's sub 2).
-  for (const net::Message& msg : ctx.inbox()) {
+  for (const net::MessageView msg : ctx.inbox()) {
     const auto neighbors = ctx.neighbors();
     std::size_t idx = 0;
     while (neighbors[idx] != msg.sender) ++idx;

@@ -78,7 +78,7 @@ class GatherProgram : public net::NodeProgram {
       }
     }
 
-    for (const net::Message& msg : ctx.inbox()) {
+    for (const net::MessageView msg : ctx.inbox()) {
       std::size_t f = 0;
       const std::uint64_t count = msg.field(f++);
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -216,60 +216,68 @@ LocalPlan plan_local(std::uint64_t n, const net::Graph& graph, double epsilon,
   return plan;
 }
 
+net::ProtocolDriver make_local_driver(const LocalPlan& plan,
+                                      const net::Graph& graph) {
+  if (!plan.feasible) {
+    throw std::logic_error("make_local_driver: plan is infeasible");
+  }
+  if (plan.assignment.size() != graph.num_nodes()) {
+    throw std::invalid_argument("make_local_driver: plan/graph mismatch");
+  }
+  net::EngineConfig config;
+  config.model = net::Model::kLocal;
+  config.max_rounds = plan.radius + 2;
+  return net::ProtocolDriver(graph, config);
+}
+
 LocalRunResult run_local_uniformity(const LocalPlan& plan,
                                     const net::Graph& graph,
                                     const core::AliasSampler& sampler,
                                     std::uint64_t seed) {
-  if (!plan.feasible) {
-    throw std::logic_error("run_local_uniformity: plan is infeasible");
-  }
-  const std::uint32_t k = graph.num_nodes();
-  if (plan.assignment.size() != k) {
-    throw std::invalid_argument("run_local_uniformity: plan/graph mismatch");
-  }
+  net::ProtocolDriver driver = make_local_driver(plan, graph);
+  return run_local_uniformity(plan, driver, sampler, seed, /*traced=*/true);
+}
+
+LocalRunResult run_local_uniformity(const LocalPlan& plan,
+                                    net::ProtocolDriver& driver,
+                                    const core::AliasSampler& sampler,
+                                    std::uint64_t seed, bool traced) {
   if (sampler.n() != plan.n) {
     throw std::invalid_argument("run_local_uniformity: domain mismatch");
   }
 
+  const std::uint32_t k = driver.graph().num_nodes();
   const unsigned sample_bits = net::bits_for(plan.n);
-  std::vector<std::unique_ptr<GatherProgram>> programs;
-  programs.reserve(k);
-  std::vector<net::NodeProgram*> raw;
-  raw.reserve(k);
-  for (std::uint32_t v = 0; v < k; ++v) {
-    stats::Xoshiro256 rng = stats::derive_stream(seed, v);
-    programs.push_back(std::make_unique<GatherProgram>(
-        k, plan.radius, plan.assignment[v],
-        sampler.sample_many(rng, plan.samples_per_node), sample_bits));
-    raw.push_back(programs.back().get());
-  }
-
-  net::EngineConfig config;
-  config.model = net::Model::kLocal;
-  config.max_rounds = plan.radius + 2;
-  config.seed = seed;
-  net::Engine engine(graph, config);
-  engine.run(raw);
-
   const core::RepeatedGapTester tester(plan.and_plan.base,
                                        plan.and_plan.repetitions);
-  LocalRunResult result;
-  result.network_accepts = true;
-  result.gather_metrics = engine.metrics();
-  for (std::uint32_t v = 0; v < k; ++v) {
-    if (!plan.in_mis[v]) continue;
-    const auto& samples = programs[v]->collected();
-    if (samples.size() < tester.total_samples()) {
-      throw std::logic_error(
-          "run_local_uniformity: MIS node gathered fewer samples than "
-          "planned");
-    }
-    if (!tester.decide(samples)) {
-      result.network_accepts = false;
-      ++result.rejecting_mis_nodes;
-    }
-  }
-  return result;
+
+  return driver.run_trial(
+      seed, traced,
+      [&](std::uint32_t v) {
+        stats::Xoshiro256 rng = stats::derive_stream(seed, v);
+        return std::make_unique<GatherProgram>(
+            k, plan.radius, plan.assignment[v],
+            sampler.sample_many(rng, plan.samples_per_node), sample_bits);
+      },
+      [&](const auto& programs, const net::EngineMetrics& metrics) {
+        LocalRunResult result;
+        result.network_accepts = true;
+        result.gather_metrics = metrics;
+        for (std::uint32_t v = 0; v < k; ++v) {
+          if (!plan.in_mis[v]) continue;
+          const auto& samples = programs[v]->collected();
+          if (samples.size() < tester.total_samples()) {
+            throw std::logic_error(
+                "run_local_uniformity: MIS node gathered fewer samples than "
+                "planned");
+          }
+          if (!tester.decide(samples)) {
+            result.network_accepts = false;
+            ++result.rejecting_mis_nodes;
+          }
+        }
+        return result;
+      });
 }
 
 }  // namespace dut::local

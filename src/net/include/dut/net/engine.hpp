@@ -5,27 +5,42 @@
 // Execution follows the standard synchronous round structure: in round t,
 // every non-halted node receives the messages sent to it in round t-1, runs
 // its program, and queues messages for delivery in round t+1. The engine is
-// fully deterministic given (graph, config.seed, programs): nodes execute in
-// id order and each node's RNG is the derived stream (seed, node id).
+// fully deterministic given (graph, seed, programs): nodes execute in id
+// order and each node's RNG is the derived stream (seed, node id).
 //
 // Model enforcement is loud:
 //  * CONGEST: any message whose declared size exceeds the bandwidth budget
 //    throws BandwidthExceeded; a second message on the same directed edge in
 //    the same round throws ProtocolViolation (both models).
-//  * Sending to a halted node throws ProtocolViolation — protocols must
-//    terminate cleanly.
+//  * Sending to a non-adjacent or halted node throws ProtocolViolation —
+//    protocols must respect the topology and terminate cleanly.
 // The run aborts with RoundLimitExceeded if config.max_rounds elapse before
 // every node halts, so livelocked protocols fail fast instead of spinning.
+//
+// Storage: messages in flight live in an engine-owned round arena — one flat
+// payload slab plus one flat record array per direction (pending/delivered),
+// flipped at each round boundary with a stable counting sort by destination
+// that yields CSR inbox ranges. Programs read their inbox through
+// MessageView windows into the slab, so a round costs O(messages + fields)
+// with zero per-message allocation, and the buffers' capacity persists both
+// across rounds and across run() calls. That makes an Engine cheaply
+// re-runnable: run(programs, seed) fully resets round state and metrics, so
+// one engine per worker thread amortizes all allocation across a
+// Monte-Carlo sweep (see net::ProtocolDriver).
 //
 // Observability: a run emits structured events (run_start, round, send,
 // deliver, halt, violation, run_end) to an obs::TraceSink attached with
 // set_trace_sink(), or — when no sink is attached — to a JSONL writer named
 // by the DUT_TRACE environment variable (DUT_TRACE_TAIL=N keeps only the
-// last N rounds, DUT_TRACE_LEVEL=2 adds per-message deliver events). The
-// sink is flushed before any model-violation throw, so the transcript always
-// contains the offending round. Aggregate counters and per-round
-// message/bit histograms land in the obs metrics registry under "net.*".
+// last N rounds, DUT_TRACE_LEVEL=2 adds per-message deliver events). Under
+// parallel trials, set_env_trace(false) opts a worker's engine out of the
+// DUT_TRACE resolution so exactly one designated trial produces the
+// transcript. The sink is flushed before any model-violation throw, so the
+// transcript always contains the offending round. Aggregate counters and
+// per-round message/bit histograms land in the obs metrics registry under
+// "net.*".
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -52,7 +67,7 @@ struct EngineConfig {
   std::uint64_t bandwidth_bits = 64;
   /// Hard cap on rounds; exceeding it throws RoundLimitExceeded.
   std::uint64_t max_rounds = 1 << 20;
-  /// Master seed for the per-node RNG streams.
+  /// Master seed for the per-node RNG streams (run() can override per call).
   std::uint64_t seed = 0;
 };
 
@@ -78,6 +93,77 @@ struct EngineMetrics {
   std::uint64_t max_message_bits = 0;
 };
 
+namespace detail {
+
+/// One in-flight message in the round arena: header here, fields in the
+/// payload slab at [payload_begin, payload_begin + num_fields).
+struct ArenaRecord {
+  std::uint32_t sender = 0;
+  std::uint32_t to = 0;
+  std::uint32_t num_fields = 0;
+  std::uint64_t bits = 0;
+  std::size_t payload_begin = 0;
+};
+
+}  // namespace detail
+
+/// A node's inbox for one round: a CSR range of arena records. Iteration
+/// yields MessageView values ordered by sender id ascending (send order
+/// within one sender). Views are valid only for the current round.
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using value_type = MessageView;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(const detail::ArenaRecord* rec,
+             const std::uint64_t* payload) noexcept
+        : rec_(rec), payload_(payload) {}
+
+    MessageView operator*() const noexcept {
+      return MessageView(rec_->sender, rec_->bits,
+                         payload_ + rec_->payload_begin, rec_->num_fields);
+    }
+    iterator& operator++() noexcept {
+      ++rec_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const noexcept {
+      return rec_ == other.rec_;
+    }
+    bool operator!=(const iterator& other) const noexcept {
+      return rec_ != other.rec_;
+    }
+
+   private:
+    const detail::ArenaRecord* rec_;
+    const std::uint64_t* payload_;
+  };
+
+  InboxView() noexcept = default;
+  InboxView(const detail::ArenaRecord* first, std::size_t count,
+            const std::uint64_t* payload) noexcept
+      : first_(first), count_(count), payload_(payload) {}
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  MessageView operator[](std::size_t i) const noexcept {
+    const detail::ArenaRecord& rec = first_[i];
+    return MessageView(rec.sender, rec.bits, payload_ + rec.payload_begin,
+                       rec.num_fields);
+  }
+
+  iterator begin() const noexcept { return {first_, payload_}; }
+  iterator end() const noexcept { return {first_ + count_, payload_}; }
+
+ private:
+  const detail::ArenaRecord* first_ = nullptr;
+  std::size_t count_ = 0;
+  const std::uint64_t* payload_ = nullptr;
+};
+
 class Engine;
 
 /// Per-round view a node program receives.
@@ -92,12 +178,13 @@ class NodeContext {
     return static_cast<std::uint32_t>(neighbors_.size());
   }
 
-  /// Messages delivered this round (sent by neighbors last round).
-  const std::vector<Message>& inbox() const noexcept { return *inbox_; }
+  /// Messages delivered this round (sent by neighbors last round). The views
+  /// point into the engine's round arena and expire when the round ends.
+  InboxView inbox() const noexcept { return inbox_; }
 
   /// Queues `msg` for delivery to `neighbor` next round. `neighbor` must be
   /// adjacent; model constraints are enforced immediately.
-  void send(std::uint32_t neighbor, Message msg);
+  void send(std::uint32_t neighbor, const Message& msg);
 
   /// Sends a copy of `msg` to every neighbor.
   void broadcast(const Message& msg);
@@ -116,7 +203,7 @@ class NodeContext {
   std::uint32_t id_ = 0;
   std::uint64_t round_ = 0;
   std::span<const std::uint32_t> neighbors_;
-  const std::vector<Message>* inbox_ = nullptr;
+  InboxView inbox_;
   stats::Xoshiro256* rng_ = nullptr;
   bool* halted_ = nullptr;
 };
@@ -136,11 +223,18 @@ class Engine {
 
   /// Runs `programs[v]` on node v until all nodes halt. `programs` must
   /// have exactly num_nodes entries; the caller retains ownership and can
-  /// read results out of the programs afterwards.
+  /// read results out of the programs afterwards. Fully resets round state,
+  /// metrics and RNG streams, so back-to-back calls are independent.
   void run(const std::vector<NodeProgram*>& programs);
+
+  /// Same, but derives the per-node RNG streams (and stamps the transcript)
+  /// with `seed` instead of config.seed — one engine serves a whole
+  /// Monte-Carlo sweep without reconstruction.
+  void run(const std::vector<NodeProgram*>& programs, std::uint64_t seed);
 
   const EngineMetrics& metrics() const noexcept { return metrics_; }
   const Graph& graph() const noexcept { return graph_; }
+  const EngineConfig& config() const noexcept { return config_; }
 
   /// Attaches a trace sink for subsequent run() calls (nullptr detaches).
   /// An attached sink takes precedence over the DUT_TRACE environment
@@ -148,9 +242,20 @@ class Engine {
   /// run().
   void set_trace_sink(obs::TraceSink* sink) noexcept { trace_sink_ = sink; }
 
+  /// Controls whether run() resolves the DUT_TRACE environment variable
+  /// (default true). Parallel trial runners disable it on all but the
+  /// designated trial so the transcript covers exactly one run. An attached
+  /// sink is unaffected.
+  void set_env_trace(bool enabled) noexcept { env_trace_ = enabled; }
+
  private:
   friend class NodeContext;
-  void deliver(std::uint32_t from, std::uint32_t to, Message msg);
+  void deliver(std::uint32_t from, std::uint32_t to, const Message& msg);
+  /// Flips the arena at a round boundary: pending records are scattered
+  /// into delivered CSR order (stable counting sort by destination, which
+  /// preserves the sender-ascending inbox order), payload slabs swap roles,
+  /// and the pending side is reset with its capacity intact.
+  void flip_round();
   /// Records a violation on the active sink (flushing it so the transcript
   /// survives the imminent throw) and in the metrics registry.
   void trace_violation(std::string_view kind, const std::string& detail);
@@ -168,20 +273,35 @@ class Engine {
 
   std::uint64_t current_round_ = 0;
   std::vector<bool> halted_;
-  std::vector<std::vector<Message>> inboxes_;       // delivered this round
-  std::vector<std::vector<Message>> next_inboxes_;  // queued for next round
+  std::vector<stats::Xoshiro256> rngs_;
 
-  /// Directed-edge guard in CSR layout: the slot for node v's i-th neighbor
-  /// is last_sent_round_[edge_offset_[v] + i]. One flat allocation instead
-  /// of a vector-of-vectors, so a k-clique costs one k·(k-1) array rather
-  /// than k separately-allocated rows (edge_offset_ is built once from the
-  /// graph in the constructor; the flat array is reset per run).
-  std::vector<std::size_t> edge_offset_;        // size num_nodes + 1
-  std::vector<std::uint64_t> last_sent_round_;  // size edge_offset_.back()
+  /// Round arena. Sends append to the pending side (records in send order,
+  /// fields packed into the payload slab); flip_round() turns them into the
+  /// delivered side, where inbox_offset_ gives node v's CSR inbox range
+  /// [inbox_offset_[v], inbox_offset_[v+1]). All buffers are reused across
+  /// rounds and runs.
+  std::vector<detail::ArenaRecord> pending_records_;
+  std::vector<std::uint64_t> pending_payload_;
+  std::vector<detail::ArenaRecord> delivered_records_;
+  std::vector<std::uint64_t> delivered_payload_;
+  std::vector<std::uint32_t> pending_count_;  // per-node queued messages
+  std::vector<std::size_t> inbox_offset_;     // size num_nodes + 1
+  std::vector<std::size_t> cursor_;           // counting-sort scratch
+
+  /// Sorted adjacency in CSR layout (the graph's own lists are not sorted):
+  /// node v's neighbors, ascending, occupy sorted_adj_[edge_offset_[v],
+  /// edge_offset_[v+1]). Membership checks on send are a binary search, and
+  /// the directed-edge guard slot for v's i-th sorted neighbor is
+  /// last_sent_round_[edge_offset_[v] + i] — one flat allocation reset per
+  /// run.
+  std::vector<std::size_t> edge_offset_;  // size num_nodes + 1
+  std::vector<std::uint32_t> sorted_adj_;
+  std::vector<std::uint64_t> last_sent_round_;
 
   obs::TraceSink* trace_sink_ = nullptr;  // attached via set_trace_sink
   obs::TraceSink* active_sink_ = nullptr;  // effective sink for current run
   bool trace_delivers_ = false;            // DUT_TRACE_LEVEL >= 2
+  bool env_trace_ = true;                  // DUT_TRACE resolution enabled
 };
 
 }  // namespace dut::net

@@ -7,18 +7,33 @@
 // enforces the per-edge-per-round bandwidth against the declared total.
 // Declaring a width too small for the value throws, so protocols cannot
 // under-report their communication.
+//
+// Two types share that contract:
+//  - Message is the send-side builder (and a standalone value type for code
+//    that passes messages around outside an engine, e.g. the SMP protocols).
+//    Small messages live entirely inline; only messages wider than
+//    kInlineFields spill to the heap.
+//  - MessageView is the delivery-side view: a non-owning window into the
+//    engine's round arena (see engine.hpp). Protocols read fields through it
+//    without any per-message allocation; materialize() copies it back out to
+//    a Message when an owning value is genuinely needed.
 
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
 namespace dut::net {
 
 struct Message {
+  /// Most protocol messages are a tag plus a handful of operands; this keeps
+  /// them allocation-free on the send path.
+  static constexpr std::size_t kInlineFields = 6;
+
   /// Filled in by the engine on delivery.
   std::uint32_t sender = 0;
 
-  std::vector<std::uint64_t> fields;
   std::uint64_t bits = 0;
 
   /// Appends a field of `width` bits; `value` must fit.
@@ -29,18 +44,85 @@ struct Message {
     if (width < 64 && value >> width != 0) {
       throw std::invalid_argument("push_field: value does not fit in width");
     }
-    fields.push_back(value);
+    if (count_ < kInlineFields) {
+      inline_[count_] = value;
+    } else {
+      if (count_ == kInlineFields) {
+        spill_.assign(inline_, inline_ + kInlineFields);
+      }
+      spill_.push_back(value);
+    }
+    ++count_;
     bits += width;
   }
 
   std::uint64_t field(std::size_t i) const {
-    if (i >= fields.size()) {
+    if (i >= count_) {
       throw std::out_of_range("Message::field: index out of range");
     }
-    return fields[i];
+    return data()[i];
   }
 
-  std::size_t num_fields() const noexcept { return fields.size(); }
+  std::size_t num_fields() const noexcept { return count_; }
+
+  /// Contiguous view over all fields (engine hot path).
+  std::span<const std::uint64_t> fields() const noexcept {
+    return {data(), count_};
+  }
+
+ private:
+  const std::uint64_t* data() const noexcept {
+    return count_ <= kInlineFields ? inline_ : spill_.data();
+  }
+
+  std::uint64_t inline_[kInlineFields] = {};
+  std::vector<std::uint64_t> spill_;
+  std::size_t count_ = 0;
+};
+
+/// A delivered message: a window into the engine's round arena. Valid only
+/// until the next round begins (or the engine is destroyed/re-run); protocols
+/// that need to keep one across rounds must materialize() it.
+class MessageView {
+ public:
+  MessageView(std::uint32_t sender_id, std::uint64_t declared_bits,
+              const std::uint64_t* payload, std::size_t num_fields) noexcept
+      : sender(sender_id),
+        bits(declared_bits),
+        payload_(payload),
+        count_(num_fields) {}
+
+  /// Same field names as Message so protocol code reads identically on both.
+  std::uint32_t sender;
+  std::uint64_t bits;
+
+  std::uint64_t field(std::size_t i) const {
+    if (i >= count_) {
+      throw std::out_of_range("MessageView::field: index out of range");
+    }
+    return payload_[i];
+  }
+
+  std::size_t num_fields() const noexcept { return count_; }
+
+  std::span<const std::uint64_t> fields() const noexcept {
+    return {payload_, count_};
+  }
+
+  /// Copies the view out of the arena into an owning Message. The declared
+  /// bit total is preserved exactly; per-field widths are not recoverable, so
+  /// the copy re-declares the total on its first field.
+  Message materialize() const {
+    Message out;
+    out.sender = sender;
+    for (std::size_t i = 0; i < count_; ++i) out.push_field(payload_[i], 64);
+    out.bits = bits;
+    return out;
+  }
+
+ private:
+  const std::uint64_t* payload_;
+  std::size_t count_;
 };
 
 /// Bits needed to express values in {0, ..., count-1} (at least 1).

@@ -1,0 +1,116 @@
+#pragma once
+
+// ProtocolDriver: the shared run-a-protocol harness behind the CONGEST and
+// LOCAL experiment entry points.
+//
+// Every network experiment repeats the same boilerplate per Monte-Carlo
+// trial: construct one program per node, run an Engine over them, and read a
+// verdict out of the finished programs. The driver owns that loop's
+// machinery — in particular a pool of re-runnable engines (one per
+// concurrent worker, handed out under a mutex as RAII leases) so that
+// parallel trials fanned out by stats::TrialRunner each reuse a warm engine
+// instead of reconstructing one per trial, and so that the arena buffers
+// inside each engine amortize across the whole sweep.
+//
+// Tracing semantics under parallel trials: run_trial(seed, traced, ...)
+// opts the leased engine in or out of DUT_TRACE resolution per trial, so
+// the caller designates exactly one trial (by convention trial 0) to
+// produce the JSONL transcript regardless of which worker thread runs it.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "dut/net/engine.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::net {
+
+class ProtocolDriver {
+  struct State {
+    State(const Graph& graph, const EngineConfig& config)
+        : engine(graph, config) {}
+    Engine engine;
+    std::vector<NodeProgram*> table;  // reused raw-pointer program table
+  };
+
+ public:
+  /// The driver keeps a reference to `graph`; the caller must keep it alive.
+  ProtocolDriver(const Graph& graph, EngineConfig base_config);
+
+  ProtocolDriver(const ProtocolDriver&) = delete;
+  ProtocolDriver& operator=(const ProtocolDriver&) = delete;
+
+  /// Exclusive hold on one pooled engine; returns it on destruction.
+  class Lease {
+   public:
+    ~Lease() {
+      if (owner_ != nullptr) owner_->release(state_);
+    }
+    Lease(Lease&& other) noexcept
+        : owner_(other.owner_), state_(other.state_) {
+      other.owner_ = nullptr;
+      other.state_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Engine& engine() noexcept { return state_->engine; }
+    std::vector<NodeProgram*>& program_table() noexcept {
+      return state_->table;
+    }
+
+   private:
+    friend class ProtocolDriver;
+    Lease(ProtocolDriver* owner, State* state) noexcept
+        : owner_(owner), state_(state) {}
+    ProtocolDriver* owner_;
+    State* state_;
+  };
+
+  /// Takes an engine from the pool, growing it if every engine is leased
+  /// (steady state: one engine per concurrent worker thread).
+  Lease acquire();
+
+  const Graph& graph() const noexcept { return graph_; }
+  const EngineConfig& config() const noexcept { return base_config_; }
+
+  /// Runs one trial: builds `make(v)` for every node v, runs a leased
+  /// engine over them with the trial's `seed`, and returns
+  /// `extract(programs, metrics)`. `traced` gates DUT_TRACE resolution for
+  /// this trial (see file comment). Thread-safe; concurrent callers lease
+  /// distinct engines.
+  template <typename MakeProgram, typename Extract>
+  auto run_trial(std::uint64_t seed, bool traced, MakeProgram&& make,
+                 Extract&& extract) {
+    using ProgramPtr = std::invoke_result_t<MakeProgram&, std::uint32_t>;
+    const std::uint32_t k = graph_.num_nodes();
+    Lease lease = acquire();
+    lease.engine().set_env_trace(traced);
+    std::vector<ProgramPtr> programs;
+    programs.reserve(k);
+    std::vector<NodeProgram*>& table = lease.program_table();
+    table.clear();
+    table.reserve(k);
+    for (std::uint32_t v = 0; v < k; ++v) {
+      programs.push_back(make(v));
+      table.push_back(programs.back().get());
+    }
+    lease.engine().run(table, seed);
+    return extract(programs, lease.engine().metrics());
+  }
+
+ private:
+  void release(State* state);
+
+  const Graph& graph_;
+  EngineConfig base_config_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<State>> pool_;  // all engines ever created
+  std::vector<State*> idle_;                  // currently unleased
+};
+
+}  // namespace dut::net

@@ -10,8 +10,8 @@
 
 namespace dut::net {
 
-void NodeContext::send(std::uint32_t neighbor, Message msg) {
-  engine_->deliver(id_, neighbor, std::move(msg));
+void NodeContext::send(std::uint32_t neighbor, const Message& msg) {
+  engine_->deliver(id_, neighbor, msg);
 }
 
 void NodeContext::broadcast(const Message& msg) {
@@ -29,6 +29,21 @@ Engine::Engine(const Graph& graph, EngineConfig config)
   for (std::uint32_t v = 0; v < k; ++v) {
     edge_offset_[v + 1] = edge_offset_[v] + graph_.degree(v);
   }
+  sorted_adj_.resize(edge_offset_.back());
+  for (std::uint32_t v = 0; v < k; ++v) {
+    const auto neighbors = graph_.neighbors(v);
+    std::copy(neighbors.begin(), neighbors.end(),
+              sorted_adj_.begin() + static_cast<std::ptrdiff_t>(
+                                        edge_offset_[v]));
+    std::sort(sorted_adj_.begin() +
+                  static_cast<std::ptrdiff_t>(edge_offset_[v]),
+              sorted_adj_.begin() +
+                  static_cast<std::ptrdiff_t>(edge_offset_[v + 1]));
+  }
+  last_sent_round_.assign(edge_offset_.back(), kNeverSent);
+  pending_count_.assign(k, 0);
+  inbox_offset_.assign(k + 1, 0);
+  cursor_.assign(k, 0);
 }
 
 void Engine::trace_violation(std::string_view kind, const std::string& detail) {
@@ -39,10 +54,15 @@ void Engine::trace_violation(std::string_view kind, const std::string& detail) {
   }
 }
 
-void Engine::deliver(std::uint32_t from, std::uint32_t to, Message msg) {
-  const auto neighbors = graph_.neighbors(from);
-  const auto it = std::find(neighbors.begin(), neighbors.end(), to);
-  if (it == neighbors.end()) {
+void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
+  const std::size_t adj_begin = edge_offset_[from];
+  const std::size_t adj_end = edge_offset_[from + 1];
+  const auto first = sorted_adj_.begin() + static_cast<std::ptrdiff_t>(
+                                               adj_begin);
+  const auto last =
+      sorted_adj_.begin() + static_cast<std::ptrdiff_t>(adj_end);
+  const auto it = std::lower_bound(first, last, to);
+  if (it == last || *it != to) {
     const std::string detail = "node " + std::to_string(from) +
                                " sent to non-neighbor " + std::to_string(to);
     trace_violation("protocol", detail);
@@ -54,8 +74,8 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, Message msg) {
     trace_violation("protocol", detail);
     throw ProtocolViolation(detail);
   }
-  const auto edge_index = static_cast<std::size_t>(it - neighbors.begin());
-  std::uint64_t& guard = last_sent_round_[edge_offset_[from] + edge_index];
+  const auto edge_index = static_cast<std::size_t>(it - first);
+  std::uint64_t& guard = last_sent_round_[adj_begin + edge_index];
   if (guard == current_round_) {
     const std::string detail =
         "node " + std::to_string(from) + " sent twice to " +
@@ -83,11 +103,45 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, Message msg) {
   metrics_.total_bits += msg.bits;
   metrics_.max_message_bits = std::max(metrics_.max_message_bits, msg.bits);
 
-  msg.sender = from;
-  next_inboxes_[to].push_back(std::move(msg));
+  const auto fields = msg.fields();
+  detail::ArenaRecord rec;
+  rec.sender = from;
+  rec.to = to;
+  rec.num_fields = static_cast<std::uint32_t>(fields.size());
+  rec.bits = msg.bits;
+  rec.payload_begin = pending_payload_.size();
+  pending_payload_.insert(pending_payload_.end(), fields.begin(),
+                          fields.end());
+  pending_records_.push_back(rec);
+  ++pending_count_[to];
+}
+
+void Engine::flip_round() {
+  const std::uint32_t k = graph_.num_nodes();
+  inbox_offset_[0] = 0;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    inbox_offset_[v + 1] = inbox_offset_[v] + pending_count_[v];
+  }
+  std::copy(inbox_offset_.begin(), inbox_offset_.begin() + k,
+            cursor_.begin());
+  // The pending slab becomes the delivered slab; payload_begin offsets in
+  // the records stay valid across the swap.
+  std::swap(pending_payload_, delivered_payload_);
+  delivered_records_.resize(pending_records_.size());
+  for (const detail::ArenaRecord& rec : pending_records_) {
+    delivered_records_[cursor_[rec.to]++] = rec;
+  }
+  pending_records_.clear();
+  pending_payload_.clear();
+  std::fill(pending_count_.begin(), pending_count_.end(), 0);
 }
 
 void Engine::run(const std::vector<NodeProgram*>& programs) {
+  run(programs, config_.seed);
+}
+
+void Engine::run(const std::vector<NodeProgram*>& programs,
+                 std::uint64_t seed) {
   const std::uint32_t k = graph_.num_nodes();
   if (programs.size() != k) {
     throw std::invalid_argument("Engine::run: one program per node required");
@@ -98,20 +152,26 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
     }
   }
 
+  // Full round-state reset, preserving every buffer's capacity so repeated
+  // runs on one engine stay allocation-free after warm-up.
   metrics_ = EngineMetrics{};
   current_round_ = 0;
   halted_.assign(k, false);
-  inboxes_.assign(k, {});
-  next_inboxes_.assign(k, {});
-  last_sent_round_.assign(edge_offset_.back(), kNeverSent);
+  pending_records_.clear();
+  pending_payload_.clear();
+  delivered_records_.clear();
+  delivered_payload_.clear();
+  std::fill(pending_count_.begin(), pending_count_.end(), 0);
+  std::fill(last_sent_round_.begin(), last_sent_round_.end(), kNeverSent);
 
-  // Resolve the trace sink for this run: an attached sink wins; otherwise
-  // DUT_TRACE names a JSONL transcript (fresh per run, appended to the
-  // file). The writer lives only for this run so the process-wide file lock
-  // it holds is released on every exit path, including throws.
+  // Resolve the trace sink for this run: an attached sink wins; otherwise —
+  // unless set_env_trace(false) opted this engine out — DUT_TRACE names a
+  // JSONL transcript (fresh per run, appended to the file). The writer lives
+  // only for this run so the process-wide file lock it holds is released on
+  // every exit path, including throws.
   std::unique_ptr<obs::JsonlTraceWriter> env_writer;
   active_sink_ = trace_sink_;
-  if (active_sink_ == nullptr && obs::enabled()) {
+  if (active_sink_ == nullptr && env_trace_ && obs::enabled()) {
     if (const char* path = std::getenv("DUT_TRACE");
         path != nullptr && *path != '\0') {
       const std::uint64_t tail =
@@ -133,14 +193,14 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
     info.bandwidth_bits =
         config_.model == Model::kCongest ? config_.bandwidth_bits : 0;
     info.max_rounds = config_.max_rounds;
-    info.seed = config_.seed;
+    info.seed = seed;
     active_sink_->on_run_start(info);
   }
 
-  std::vector<stats::Xoshiro256> rngs;
-  rngs.reserve(k);
+  rngs_.clear();
+  rngs_.reserve(k);
   for (std::uint32_t v = 0; v < k; ++v) {
-    rngs.push_back(stats::derive_stream(config_.seed, v));
+    rngs_.push_back(stats::derive_stream(seed, v));
   }
 
   std::uint32_t active = k;
@@ -154,15 +214,16 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
       throw RoundLimitExceeded(detail);
     }
     // Deliver last round's sends.
-    std::swap(inboxes_, next_inboxes_);
-    for (auto& inbox : next_inboxes_) inbox.clear();
+    flip_round();
 
     if (active_sink_ != nullptr) {
       active_sink_->on_round(current_round_, active);
       if (trace_delivers_) {
         for (std::uint32_t v = 0; v < k; ++v) {
-          for (const Message& m : inboxes_[v]) {
-            active_sink_->on_deliver(current_round_, m.sender, v, m.bits);
+          for (std::size_t i = inbox_offset_[v]; i < inbox_offset_[v + 1];
+               ++i) {
+            const detail::ArenaRecord& rec = delivered_records_[i];
+            active_sink_->on_deliver(current_round_, rec.sender, v, rec.bits);
           }
         }
       }
@@ -177,8 +238,10 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
       ctx.id_ = v;
       ctx.round_ = current_round_;
       ctx.neighbors_ = graph_.neighbors(v);
-      ctx.inbox_ = &inboxes_[v];
-      ctx.rng_ = &rngs[v];
+      ctx.inbox_ = InboxView(delivered_records_.data() + inbox_offset_[v],
+                             inbox_offset_[v + 1] - inbox_offset_[v],
+                             delivered_payload_.data());
+      ctx.rng_ = &rngs_[v];
       bool halted_flag = false;
       ctx.halted_ = &halted_flag;
       programs[v]->on_round(ctx);
@@ -188,7 +251,7 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
         if (active_sink_ != nullptr) {
           active_sink_->on_halt(current_round_, v);
         }
-        if (!next_inboxes_[v].empty()) {
+        if (pending_count_[v] != 0) {
           // A same-round earlier neighbor already queued a message for a
           // node that has just halted: the protocol's termination is racy.
           const std::string detail = "node " + std::to_string(v) +
@@ -210,12 +273,10 @@ void Engine::run(const std::vector<NodeProgram*>& programs) {
   metrics_.rounds = current_round_;
 
   // Quiescence check: nothing may remain in flight after everyone halted.
-  for (std::uint32_t v = 0; v < k; ++v) {
-    if (!next_inboxes_[v].empty()) {
-      const std::string detail = "messages in flight after global termination";
-      trace_violation("protocol", detail);
-      throw ProtocolViolation(detail);
-    }
+  if (!pending_records_.empty()) {
+    const std::string detail = "messages in flight after global termination";
+    trace_violation("protocol", detail);
+    throw ProtocolViolation(detail);
   }
 
   if (instrumented) {

@@ -1,0 +1,24 @@
+#include "dut/net/protocol_driver.hpp"
+
+namespace dut::net {
+
+ProtocolDriver::ProtocolDriver(const Graph& graph, EngineConfig base_config)
+    : graph_(graph), base_config_(base_config) {}
+
+ProtocolDriver::Lease ProtocolDriver::acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.empty()) {
+    pool_.push_back(std::make_unique<State>(graph_, base_config_));
+    idle_.push_back(pool_.back().get());
+  }
+  State* state = idle_.back();
+  idle_.pop_back();
+  return Lease(this, state);
+}
+
+void ProtocolDriver::release(State* state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(state);
+}
+
+}  // namespace dut::net

@@ -139,6 +139,32 @@ class TrialRunner {
     return merged;
   }
 
+  /// Network-trial adapter: folds trial t into a chunk-local `Partial` via
+  /// `trial(partial, t)` — the trial derives its own randomness from t
+  /// (e.g. an engine seed of base + t), unlike the rng-handing entry points
+  /// above — then merges the chunk partials in chunk-index order via
+  /// `merge(total, partial)`. Partial must be value-initializable; the
+  /// result is bit-identical at any thread count. E7/E8/E9 fan their
+  /// engine runs out through this.
+  template <typename Partial, typename Trial, typename Merge>
+  Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
+    if (trials == 0) {
+      throw std::invalid_argument("map_trials: trials must be > 0");
+    }
+    note_trials(trials);
+    const std::uint64_t chunks = chunk_count(trials);
+    std::vector<Partial> partials(chunks);
+    for_each_chunk(chunks, [&](std::uint64_t c) {
+      const auto [begin, end] = chunk_range(c, trials);
+      Partial acc{};
+      for (std::uint64_t t = begin; t < end; ++t) trial(acc, t);
+      partials[c] = std::move(acc);
+    });
+    Partial merged{};
+    for (Partial& p : partials) merge(merged, std::move(p));
+    return merged;
+  }
+
  private:
   static std::uint64_t chunk_count(std::uint64_t trials) noexcept {
     const std::uint64_t size = detail::chunk_size(trials);
@@ -194,6 +220,14 @@ template <typename Trial>
 RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
                        Trial&& trial) {
   return global_runner().run_trials(seed, trials, std::forward<Trial>(trial));
+}
+
+/// Chunk-deterministic fold over index-addressed trials (see
+/// TrialRunner::map_trials).
+template <typename Partial, typename Trial, typename Merge>
+Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
+  return global_runner().map_trials<Partial>(
+      trials, std::forward<Trial>(trial), std::forward<Merge>(merge));
 }
 
 }  // namespace dut::stats

@@ -49,14 +49,23 @@ class RefereeProgram : public net::NodeProgram {
 
   void on_round(net::NodeContext& ctx) override {
     if (ctx.round() == 0) return;  // messages arrive next round
-    const net::Message* from_alice = nullptr;
-    const net::Message* from_bob = nullptr;
-    for (const net::Message& msg : ctx.inbox()) {
-      (msg.sender == 1 ? from_alice : from_bob) = &msg;
+    bool have_alice = false;
+    bool have_bob = false;
+    net::Message from_alice;
+    net::Message from_bob;
+    for (const net::MessageView msg : ctx.inbox()) {
+      // The views expire with the round, so copy them out of the arena.
+      if (msg.sender == 1) {
+        from_alice = msg.materialize();
+        have_alice = true;
+      } else {
+        from_bob = msg.materialize();
+        have_bob = true;
+      }
     }
-    ASSERT_NE(from_alice, nullptr);
-    ASSERT_NE(from_bob, nullptr);
-    accepts_ = protocol_->referee_accepts(*from_alice, *from_bob);
+    ASSERT_TRUE(have_alice);
+    ASSERT_TRUE(have_bob);
+    accepts_ = protocol_->referee_accepts(from_alice, from_bob);
     decided_ = true;
     ctx.halt();
   }

@@ -1,0 +1,195 @@
+// Engine re-runnability: one engine serves many trials, so back-to-back
+// run() calls must be fully independent — inbox arena, send-guard, halt
+// flags, RNG streams and metrics all reset — including after a run that
+// aborted with a model violation. Also covers the send-path hardening
+// (non-adjacent and out-of-range recipients) and the per-run seed override.
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dut/net/engine.hpp"
+#include "dut/net/graph.hpp"
+
+namespace dut::net {
+namespace {
+
+/// Gossips rng-derived values for `rounds` rounds, recording a digest of
+/// everything received; two runs with the same seed must produce the same
+/// digest, and the same number of delivered messages.
+class DigestProgram : public NodeProgram {
+ public:
+  explicit DigestProgram(std::uint64_t rounds) : rounds_(rounds) {}
+
+  void on_round(NodeContext& ctx) override {
+    for (const MessageView m : ctx.inbox()) {
+      digest_ = digest_ * 1099511628211ULL + m.field(0) + m.sender;
+    }
+    if (ctx.round() < rounds_) {
+      Message msg;
+      msg.push_field(ctx.rng()() >> 32, 32);
+      ctx.broadcast(msg);
+    } else {
+      ctx.halt();
+    }
+  }
+
+  std::uint64_t digest() const { return digest_; }
+
+ private:
+  std::uint64_t rounds_;
+  std::uint64_t digest_ = 14695981039346656037ULL;
+};
+
+struct DigestRun {
+  std::vector<std::uint64_t> digests;
+  EngineMetrics metrics;
+};
+
+DigestRun digest_run(Engine& engine, const Graph& g, std::uint64_t seed) {
+  std::vector<DigestProgram> progs(g.num_nodes(), DigestProgram(3));
+  std::vector<NodeProgram*> raw;
+  for (auto& p : progs) raw.push_back(&p);
+  engine.run(raw, seed);
+  DigestRun result;
+  result.metrics = engine.metrics();
+  for (const auto& p : progs) result.digests.push_back(p.digest());
+  return result;
+}
+
+TEST(EngineReuse, BackToBackRunsAreIdentical) {
+  const Graph g = Graph::random_connected(32, 2.0, 11);
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 1000, 42});
+  const DigestRun first = digest_run(engine, g, 42);
+  const DigestRun second = digest_run(engine, g, 42);
+  EXPECT_EQ(first.digests, second.digests);
+  EXPECT_EQ(first.metrics.rounds, second.metrics.rounds);
+  EXPECT_EQ(first.metrics.messages, second.metrics.messages);
+  EXPECT_EQ(first.metrics.total_bits, second.metrics.total_bits);
+  EXPECT_EQ(first.metrics.max_message_bits, second.metrics.max_message_bits);
+
+  // A reused engine matches a freshly constructed one exactly.
+  Engine fresh(g, EngineConfig{Model::kCongest, 64, 1000, 42});
+  const DigestRun reference = digest_run(fresh, g, 42);
+  EXPECT_EQ(first.digests, reference.digests);
+}
+
+TEST(EngineReuse, SeedOverrideSelectsTheRngStreams) {
+  const Graph g = Graph::ring(16);
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 1000, /*seed=*/1});
+  const DigestRun with_seed_7 = digest_run(engine, g, 7);
+  const DigestRun with_seed_8 = digest_run(engine, g, 8);
+  EXPECT_NE(with_seed_7.digests, with_seed_8.digests);
+
+  // The override, not the constructor seed, decides the streams.
+  Engine configured_for_7(g, EngineConfig{Model::kCongest, 64, 1000, 7});
+  std::vector<DigestProgram> progs(16, DigestProgram(3));
+  std::vector<NodeProgram*> raw;
+  for (auto& p : progs) raw.push_back(&p);
+  configured_for_7.run(raw);  // uses config.seed = 7
+  std::vector<std::uint64_t> digests;
+  for (const auto& p : progs) digests.push_back(p.digest());
+  EXPECT_EQ(with_seed_7.digests, digests);
+}
+
+/// Node 0 sends one message to a fixed (possibly bogus) target in round 0.
+class SendOnceToAny : public NodeProgram {
+ public:
+  explicit SendOnceToAny(std::uint32_t target) : target_(target) {}
+  void on_round(NodeContext& ctx) override {
+    if (ctx.round() == 0 && ctx.id() == 0) {
+      Message msg;
+      msg.push_field(1, 8);
+      ctx.send(target_, msg);
+    }
+    ctx.halt();
+  }
+
+ private:
+  std::uint32_t target_;
+};
+
+/// Sends over budget in round 1 so the first run aborts mid-flight with
+/// queued arena state, then checks a clean identical rerun.
+class OverBudgetAtRoundOne : public NodeProgram {
+ public:
+  explicit OverBudgetAtRoundOne(bool offend) : offend_(offend) {}
+  void on_round(NodeContext& ctx) override {
+    Message msg;
+    msg.push_field(1, 32);
+    if (ctx.round() == 1 && offend_ && ctx.id() == 0) {
+      msg.push_field(1, 64);  // 96 > 64-bit budget
+    }
+    if (ctx.round() < 2) {
+      ctx.broadcast(msg);
+    } else {
+      ctx.halt();
+    }
+  }
+
+ private:
+  bool offend_;
+};
+
+TEST(EngineReuse, CleanRunAfterViolationAbort) {
+  const Graph g = Graph::complete(4);
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 100, 5});
+  {
+    std::vector<OverBudgetAtRoundOne> progs(4, OverBudgetAtRoundOne(true));
+    std::vector<NodeProgram*> raw;
+    for (auto& p : progs) raw.push_back(&p);
+    EXPECT_THROW(engine.run(raw), BandwidthExceeded);
+  }
+  // The aborted run left messages in the arena and sends on the guard; a
+  // rerun must not see any of it.
+  const DigestRun after_abort = digest_run(engine, g, 5);
+  Engine fresh(g, EngineConfig{Model::kCongest, 64, 100, 5});
+  const DigestRun reference = digest_run(fresh, g, 5);
+  EXPECT_EQ(after_abort.digests, reference.digests);
+  EXPECT_EQ(after_abort.metrics.messages, reference.metrics.messages);
+  EXPECT_EQ(after_abort.metrics.rounds, reference.metrics.rounds);
+}
+
+TEST(EngineReuse, RejectsSendToOutOfRangeNode) {
+  const Graph g = Graph::line(3);
+  SendOnceToAny send_oob(/*target=*/17);
+  std::vector<NodeProgram*> raw{&send_oob, &send_oob, &send_oob};
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 10, 1});
+  EXPECT_THROW(engine.run(raw), ProtocolViolation);
+}
+
+TEST(EngineReuse, LocalModelRejectsNonNeighborSend) {
+  // LOCAL has no bandwidth cap, but topology is still enforced: 0 and 2
+  // are not adjacent on a line.
+  const Graph g = Graph::line(3);
+  SendOnceToAny send_skip(/*target=*/2);
+  std::vector<NodeProgram*> raw{&send_skip, &send_skip, &send_skip};
+  Engine engine(g, EngineConfig{Model::kLocal, 64, 10, 1});
+  EXPECT_THROW(engine.run(raw), ProtocolViolation);
+}
+
+TEST(EngineReuse, EnvTraceOptOutSuppressesTheTranscript) {
+  const char* path = "engine_reuse_env_trace_tmp.jsonl";
+  std::remove(path);
+  ASSERT_EQ(::setenv("DUT_TRACE", path, /*overwrite=*/1), 0);
+  const Graph g = Graph::line(2);
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 100, 3});
+  engine.set_env_trace(false);
+  const DigestRun untraced = digest_run(engine, g, 3);
+  EXPECT_EQ(std::fopen(path, "r"), nullptr) << "opted-out run wrote a trace";
+
+  engine.set_env_trace(true);
+  const DigestRun traced = digest_run(engine, g, 3);
+  std::FILE* trace = std::fopen(path, "r");
+  EXPECT_NE(trace, nullptr) << "opted-in run produced no trace";
+  if (trace != nullptr) std::fclose(trace);
+  ASSERT_EQ(::unsetenv("DUT_TRACE"), 0);
+  std::remove(path);
+
+  // Tracing must not perturb the protocol itself.
+  EXPECT_EQ(untraced.digests, traced.digests);
+}
+
+}  // namespace
+}  // namespace dut::net

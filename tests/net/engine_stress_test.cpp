@@ -30,7 +30,7 @@ class GossipFuzzer : public NodeProgram {
 
   void on_round(NodeContext& ctx) override {
     // Verify inbound contract.
-    for (const Message& msg : ctx.inbox()) {
+    for (const MessageView msg : ctx.inbox()) {
       const std::uint64_t sent_round = msg.field(0);
       EXPECT_EQ(sent_round + 1, ctx.round()) << "delivery not next-round";
       const auto neighbors = ctx.neighbors();
@@ -160,7 +160,7 @@ TEST(EngineStress, InboxOrderedBySenderId) {
    public:
     void on_round(NodeContext& ctx) override {
       if (ctx.round() == 1) {
-        for (const Message& msg : ctx.inbox()) {
+        for (const MessageView msg : ctx.inbox()) {
           order_.push_back(msg.sender);
         }
         ctx.halt();

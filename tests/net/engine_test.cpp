@@ -16,7 +16,7 @@ class PingProgram : public NodeProgram {
 
   void on_round(NodeContext& ctx) override {
     received_ += ctx.inbox().size();
-    for (const Message& m : ctx.inbox()) last_value_ = m.field(0);
+    for (const MessageView m : ctx.inbox()) last_value_ = m.field(0);
     if (ctx.round() < rounds_) {
       Message msg;
       msg.push_field(ctx.round() + 1, 32);
@@ -209,7 +209,7 @@ TEST(Engine, SenderFieldIsStamped) {
   class Recorder : public NodeProgram {
    public:
     void on_round(NodeContext& ctx) override {
-      for (const Message& m : ctx.inbox()) sender_ = m.sender;
+      for (const MessageView m : ctx.inbox()) sender_ = m.sender;
       if (ctx.round() >= 1) ctx.halt();
     }
     std::uint32_t sender_ = 99;

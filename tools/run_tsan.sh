@@ -13,7 +13,8 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan -DDUT_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$(nproc)" \
   --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
-           e8_congest dut_trace
+           dut_integration_tests e7_token_packaging e8_congest e9_local \
+           dut_trace
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -31,14 +32,28 @@ echo "== dut_core_tests engine-facing slices (DUT_THREADS=${DUT_THREADS}) =="
 echo "== dut_net_tests engine + tracing (DUT_THREADS=${DUT_THREADS}) =="
 ./build-tsan/tests/dut_net_tests
 
-echo "== traced e8 quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
+echo "== dut_integration_tests trial-parallel determinism (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_integration_tests --gtest_filter='NetTrials*'
+
+# The three network experiments fan trials over the worker pool with one
+# designated traced trial each; every transcript and run report must
+# validate even when the traced trial lands on a contended worker.
 tsan_trace_dir=$(mktemp -d)
 trap 'rm -rf "$tsan_trace_dir"' EXIT
-(
-  cd "$tsan_trace_dir"
-  DUT_TRACE="$tsan_trace_dir/trace.jsonl" \
-    "$OLDPWD/build-tsan/bench/e8_congest" --quick > /dev/null
-  "$OLDPWD/build-tsan/tools/dut_trace" check "$tsan_trace_dir/trace.jsonl"
-)
+for exp in e7_token_packaging e8_congest e9_local; do
+  echo "== traced $exp quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
+  exp_dir="$tsan_trace_dir/$exp"
+  mkdir -p "$exp_dir"
+  (
+    cd "$exp_dir"
+    DUT_TRACE="$exp_dir/trace.jsonl" \
+      "$OLDPWD/build-tsan/bench/$exp" --quick > /dev/null
+    "$OLDPWD/build-tsan/tools/dut_trace" check "$exp_dir/trace.jsonl"
+    for report in BENCH_*.json; do
+      [ -e "$report" ] || continue
+      "$OLDPWD/build-tsan/tools/dut_trace" check-report "$report"
+    done
+  )
+done
 
 echo "tsan: all engine + observability checks passed"
