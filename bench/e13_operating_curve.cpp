@@ -39,8 +39,7 @@ void sweep_direction(const char* name, const core::ThresholdPlan& plan,
     const core::AliasSampler sampler(mu);
     const auto reject = stats::estimate_probability(
         seed += 13, bench::trials(120), [&](stats::Xoshiro256& rng) {
-          return core::run_threshold_network(plan, sampler, rng)
-              .network_rejects;
+          return core::run_threshold_network(plan, sampler, rng).rejects();
         });
     const double chi_n =
         mu.collision_probability() * static_cast<double>(plan.n);

@@ -45,11 +45,12 @@ void k_sweep() {
     }
     const auto false_reject = stats::estimate_probability(
         100 + k, bench::trials(60), [&](stats::Xoshiro256& rng) {
-          return !core::run_and_rule_network(plan, uniform_sampler, rng);
+          return core::run_and_rule_network(plan, uniform_sampler, rng)
+              .rejects();
         });
     const auto false_accept = stats::estimate_probability(
         200 + k, bench::trials(60), [&](stats::Xoshiro256& rng) {
-          return core::run_and_rule_network(plan, far_sampler, rng);
+          return core::run_and_rule_network(plan, far_sampler, rng).accepts;
         });
     // Theorem 1.1 shape: s scales as k^{-1/(2m)}.
     std::string predicted = "-";

@@ -44,12 +44,11 @@ void k_sweep() {
     const auto false_reject = stats::estimate_probability(
         10 + k, bench::trials(150), [&](stats::Xoshiro256& rng) {
           return core::run_threshold_network(plan, uniform_sampler, rng)
-              .network_rejects;
+              .rejects();
         });
     const auto false_accept = stats::estimate_probability(
         20 + k, bench::trials(150), [&](stats::Xoshiro256& rng) {
-          return !core::run_threshold_network(plan, far_sampler, rng)
-                      .network_rejects;
+          return core::run_threshold_network(plan, far_sampler, rng).accepts;
         });
     // Baseline: one node with the same per-node budget, using the classical
     // collision-counting tester. Its error should be ~coin-flip.
@@ -133,13 +132,12 @@ void placement_ablation() {
         50 + static_cast<std::uint64_t>(shift + 1), bench::trials(200),
         [&](stats::Xoshiro256& rng) {
           return core::run_threshold_network(plan, uniform_sampler, rng)
-              .network_rejects;
+              .rejects();
         });
     const auto false_accept = stats::estimate_probability(
         60 + static_cast<std::uint64_t>(shift + 1), bench::trials(200),
         [&](stats::Xoshiro256& rng) {
-          return !core::run_threshold_network(plan, far_sampler, rng)
-                      .network_rejects;
+          return core::run_threshold_network(plan, far_sampler, rng).accepts;
         });
     table.row()
         .add(plan.threshold)

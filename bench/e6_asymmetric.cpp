@@ -63,14 +63,13 @@ void threshold_profiles() {
         std::hash<std::string>{}(kind), bench::trials(80), [&](stats::Xoshiro256& rng) {
           return core::run_asymmetric_threshold_network(plan, uniform_sampler,
                                                         rng)
-              .network_rejects;
+              .rejects();
         });
     const auto false_accept = stats::estimate_probability(
         std::hash<std::string>{}(kind) + 1, bench::trials(80),
         [&](stats::Xoshiro256& rng) {
-          return !core::run_asymmetric_threshold_network(plan, far_sampler,
-                                                         rng)
-                      .network_rejects;
+          return core::run_asymmetric_threshold_network(plan, far_sampler, rng)
+              .accepts;
         });
     // Cheapest and dearest nodes' sample counts.
     const auto cheapest = static_cast<std::size_t>(

@@ -119,7 +119,9 @@ void scaling() {
   bench::section("round scaling: linear in D (tau = 8) and in tau (D = 30)");
   stats::TextTable in_d({"line length (D+1)", "rounds", "rounds/D"});
   for (std::uint32_t k : {64u, 256u, 1024u, 4096u}) {
-    const auto result = congest::run_token_packaging(Graph::line(k), 8, 5);
+    const Graph line = Graph::line(k);
+    net::ProtocolDriver driver = congest::make_packaging_driver(line, 8);
+    const auto result = congest::run_token_packaging(driver, 8, 5);
     in_d.row()
         .add(static_cast<std::uint64_t>(k))
         .add(result.metrics.rounds)
@@ -130,7 +132,8 @@ void scaling() {
   stats::TextTable in_tau({"tau", "rounds"});
   const Graph star = Graph::star(1024);  // D = 2: the tau term dominates
   for (std::uint64_t tau : {4ULL, 16ULL, 64ULL, 256ULL}) {
-    const auto result = congest::run_token_packaging(star, tau, 5);
+    net::ProtocolDriver driver = congest::make_packaging_driver(star, tau);
+    const auto result = congest::run_token_packaging(driver, tau, 5);
     in_tau.row().add(tau).add(result.metrics.rounds);
   }
   bench::print(in_tau);
@@ -142,7 +145,8 @@ void scaling() {
 void bandwidth() {
   bench::section("bandwidth audit (k = 4096 random graph, tau = 16)");
   const Graph g = Graph::random_connected(4096, 2.0, 4);
-  const auto result = congest::run_token_packaging(g, 16, 6);
+  net::ProtocolDriver driver = congest::make_packaging_driver(g, 16);
+  const auto result = congest::run_token_packaging(driver, 16, 6);
   std::printf("max message bits: %llu (budget 3 + 2*ceil(log2 k) = %u)\n",
               static_cast<unsigned long long>(result.metrics.max_message_bits),
               3 + 2 * net::bits_for(4096));

@@ -97,8 +97,8 @@ void end_to_end() {
               plan, driver, uniform_sampler, 3000 + t, traced);
           const auto on_far = congest::run_congest_uniformity(
               plan, driver, far_sampler, 4000 + t, traced);
-          acc.reject_uniform += on_uniform.network_rejects;
-          acc.accept_far += !on_far.network_rejects;
+          acc.reject_uniform += on_uniform.verdict.rejects();
+          acc.accept_far += on_far.verdict.accepts;
           acc.rounds.add(on_uniform.metrics.rounds);
           acc.rounds.add(on_far.metrics.rounds);
           acc.max_bits.add(on_uniform.metrics.max_message_bits);
@@ -186,8 +186,9 @@ void round_complexity() {
       {"star (D=2)", Graph::star(4096)},
   };
   for (const Case& c : cases) {
+    net::ProtocolDriver driver = congest::make_congest_driver(plan, c.graph);
     const auto result =
-        congest::run_congest_uniformity(plan, c.graph, uniform_sampler, 5);
+        congest::run_congest_uniformity(plan, driver, uniform_sampler, 5);
     const std::uint32_t d = c.graph.diameter();
     table.row()
         .add(c.name)

@@ -95,8 +95,8 @@ void end_to_end() {
               plan, driver, uniform_sampler, 100 + t, traced);
           const auto on_far = local::run_local_uniformity(
               plan, driver, far_sampler, 200 + t, traced);
-          acc.reject_uniform += !on_uniform.network_accepts;
-          acc.accept_far += on_far.network_accepts;
+          acc.reject_uniform += on_uniform.verdict.rejects();
+          acc.accept_far += on_far.verdict.accepts;
           acc.gather_rounds.add(on_uniform.gather_metrics.rounds);
           acc.gather_rounds.add(on_far.gather_metrics.rounds);
         },

@@ -60,7 +60,7 @@ int main() {
         1000 + static_cast<std::uint64_t>(share * 1000), trials,
         [&](dut::stats::Xoshiro256& rng) {
           return dut::core::run_threshold_network(plan, sampler, rng)
-              .network_rejects;
+              .rejects();
         });
     table.row()
         .add(share, 3)

@@ -69,12 +69,12 @@ int main() {
   const auto false_alarm = dut::stats::estimate_probability(
       1, 60, [&](dut::stats::Xoshiro256& rng) {
         return dut::core::run_asymmetric_threshold_network(plan, uniform, rng)
-            .network_rejects;
+            .rejects();
       });
   const auto detection = dut::stats::estimate_probability(
       2, 60, [&](dut::stats::Xoshiro256& rng) {
         return dut::core::run_asymmetric_threshold_network(plan, far, rng)
-            .network_rejects;
+            .rejects();
       });
   std::printf("false-alarm rate %.2f, detection rate %.2f "
               "(targets: < 0.33, > 0.67)\n",

@@ -39,12 +39,12 @@ int main() {
   const auto false_reject = dut::stats::estimate_probability(
       1, 200, [&](dut::stats::Xoshiro256& rng) {
         return dut::core::run_threshold_network(plan, uniform, rng)
-            .network_rejects;
+            .rejects();
       });
   const auto detection = dut::stats::estimate_probability(
       2, 200, [&](dut::stats::Xoshiro256& rng) {
         return dut::core::run_threshold_network(plan, far, rng)
-            .network_rejects;
+            .rejects();
       });
 
   std::printf("uniform input:  network rejects %.0f%% of runs "

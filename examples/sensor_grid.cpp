@@ -43,6 +43,9 @@ int main() {
               static_cast<unsigned long long>(plan.threshold),
               static_cast<unsigned long long>(plan.bandwidth_bits));
 
+  dut::net::ProtocolDriver driver =
+      dut::congest::make_congest_driver(plan, grid);
+
   struct Scenario {
     const char* name;
     dut::core::Distribution readings;
@@ -62,14 +65,14 @@ int main() {
     int alarms = 0;
     dut::congest::CongestRunResult last;
     for (std::uint64_t t = 0; t < 20; ++t) {
-      last = dut::congest::run_congest_uniformity(plan, grid, sampler,
+      last = dut::congest::run_congest_uniformity(plan, driver, sampler,
                                                   7000 + t);
-      if (last.network_rejects) ++alarms;
+      if (last.verdict.rejects()) ++alarms;
     }
     table.row()
         .add(s.name)
         .add(static_cast<std::uint64_t>(alarms))
-        .add(last.reject_count)
+        .add(last.verdict.votes_reject)
         .add(last.metrics.rounds)
         .add(static_cast<double>(last.metrics.total_bits) / 8192.0, 4);
   }

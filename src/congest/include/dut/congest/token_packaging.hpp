@@ -29,7 +29,39 @@
 //
 // Total round complexity: O(D + tau). Every message fits in
 // O(log n + log k) bits — enforced, not assumed, by the engine.
+//
+// Resilient mode (PackagingResilience.enabled) hardens the protocol against
+// a faulty network (net::FaultPlan): every message carries a per-edge
+// monotone sequence number and a 4-bit checksum; receivers discard
+// corrupted or duplicate arrivals; each message is retransmitted up to
+// `retransmits` extra times in rounds where the edge slot is otherwise idle
+// (a newer message to the same neighbor supersedes the remaining copies, so
+// fault-free timing is identical to the plain protocol); reports carry the
+// number of nodes covered by the subtree and the number of packages formed
+// in it; and a round schedule bounds every phase, staggered so each forced
+// action leaves room for the previous one's messages to propagate:
+//
+//   phase1_timeout      blocked nodes release their parent's wave (forced
+//                       ack despite unresponsive neighbors)
+//   leader_timeout      blocked self-candidates claim leadership — AFTER
+//                       the forced-ack cascade had D rounds to reach them,
+//                       so a candidate whose tree did complete late still
+//                       learns of it before claiming an empty tree
+//   package_round       nodes that never saw the start signal begin phase
+//                       two over their local subtree
+//   force_package_round packaging is forced (full tau-packages from the
+//                       surviving tokens, remainder dropped) — AFTER the
+//                       late starters had D + tau rounds to push tokens
+//   report_base         reports forced at a depth-staggered round
+//   deadline            the root decides via decide_with_quorum
+//
+// decide_with_quorum sees the covered-node count and the formed-package
+// count and applies reject-bias when either falls short (sound for
+// one-sided testers, which may only err toward rejection). With all fault
+// rates zero no timeout ever fires and the verdict stream is bit-identical
+// to the plain protocol's.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -44,6 +76,30 @@ struct MessageWidths {
   unsigned token_bits;  ///< token values: bits_for(n)
   unsigned count_bits;  ///< c-values and report sums: bits_for(k + 1)
 };
+
+/// The resilient-mode round schedule and knobs (see file comment). All
+/// rounds are absolute; resolve them from the graph diameter and tau so the
+/// timeouts sit safely past the fault-free completion round (then they
+/// never fire on a healthy network).
+struct PackagingResilience {
+  bool enabled = false;
+  std::uint64_t retransmits = 2;     ///< extra copies per protocol message
+  std::uint64_t phase1_timeout = 0;  ///< blocked nodes force their ack here
+  std::uint64_t leader_timeout = 0;  ///< blocked candidates claim leadership
+  std::uint64_t package_round = 0;   ///< missed-start nodes begin phase two
+  std::uint64_t force_package_round = 0;  ///< force packaging here
+  std::uint64_t report_base = 0;     ///< deepest nodes force reports here
+  std::uint64_t depth_budget = 0;    ///< report stagger window (>= tree depth)
+  std::uint64_t deadline = 0;        ///< root decides; all halt soon after
+  std::uint64_t quorum = 0;          ///< min covered nodes for an accept
+  unsigned seq_bits = 20;            ///< sequence-number field width
+};
+
+/// The 4-bit checksum appended (after the sequence number) to every
+/// resilient-mode message, over all preceding fields. Exposed so tests can
+/// corrupt a field and verify the receiver's round-trip detection.
+std::uint64_t packaging_checksum(const std::uint64_t* fields,
+                                 std::size_t count) noexcept;
 
 class TokenPackagingProgram : public net::NodeProgram {
  public:
@@ -64,6 +120,13 @@ class TokenPackagingProgram : public net::NodeProgram {
                         std::vector<std::uint64_t> tokens, std::uint64_t tau,
                         MessageWidths widths);
 
+  /// Resilient-mode variant; `resil` supplies the retransmission budget and
+  /// the timeout schedule (resil.enabled may be false, which is exactly the
+  /// plain constructor).
+  TokenPackagingProgram(std::uint64_t external_id,
+                        std::vector<std::uint64_t> tokens, std::uint64_t tau,
+                        MessageWidths widths, PackagingResilience resil);
+
   void on_round(net::NodeContext& ctx) override;
 
   // --- results, valid after the engine run completes ---
@@ -82,8 +145,29 @@ class TokenPackagingProgram : public net::NodeProgram {
   std::uint64_t verdict() const noexcept { return verdict_; }
   /// Root only: the aggregated report value.
   std::uint64_t total_report() const noexcept { return report_sum_; }
+  /// Root only, resilient mode: nodes covered by the reports that made it
+  /// (own node included) at decision time.
+  std::uint64_t covered_total() const noexcept { return covered_decided_; }
+  /// Root only, resilient mode: packages formed network-wide according to
+  /// the reports that made it (own packages included) at decision time.
+  std::uint64_t formed_total() const noexcept { return formed_decided_; }
+  const PackagingResilience& resilience() const noexcept { return resil_; }
+  /// Resilient mode: inbound messages discarded for a failed checksum.
+  std::uint64_t corrupt_discards() const noexcept { return corrupt_discards_; }
+  /// Resilient mode: inbound messages discarded as duplicates (stale seq).
+  std::uint64_t duplicate_discards() const noexcept { return dup_discards_; }
 
  protected:
+  /// Saturates a count at its count_bits field capacity: report/coverage
+  /// sums can exceed it only when a corrupted field escaped the 4-bit
+  /// checksum, and a saturated (still wire-valid) report beats an aborted
+  /// run.
+  std::uint64_t clamp_count(std::uint64_t value) const noexcept {
+    if (widths_.count_bits >= 64) return value;
+    const std::uint64_t cap = (1ULL << widths_.count_bits) - 1;
+    return value < cap ? value : cap;
+  }
+
   /// Called once when this node's packages are final; the return value is
   /// summed up the tree. Default: the number of packages.
   virtual std::uint64_t local_report(net::NodeContext& ctx);
@@ -91,6 +175,15 @@ class TokenPackagingProgram : public net::NodeProgram {
   /// Called at the root with the network-wide report sum; the returned
   /// verdict is broadcast. Default: echo the total.
   virtual std::uint64_t decide_at_root(std::uint64_t total);
+
+  /// Resilient-mode root decision: `covered` is the number of nodes whose
+  /// reports reached the root (transitively, own node included) and
+  /// `formed` the number of packages those reports account for. Default
+  /// ignores both and defers to decide_at_root; the uniformity tester
+  /// overrides it with the quorum rule (coverage AND token mass).
+  virtual std::uint64_t decide_with_quorum(std::uint64_t total,
+                                           std::uint64_t covered,
+                                           std::uint64_t formed);
 
  private:
   enum Tag : std::uint64_t {
@@ -106,10 +199,21 @@ class TokenPackagingProgram : public net::NodeProgram {
   void process_inbox(net::NodeContext& ctx);
   void phase_one(net::NodeContext& ctx);
   void begin_phase_two(net::NodeContext& ctx);
-  void try_send_c_value(net::NodeContext& ctx);
   void upward_slot(net::NodeContext& ctx);
   void try_package(net::NodeContext& ctx);
   void finish(net::NodeContext& ctx, std::uint64_t verdict);
+
+  // Resilient-mode machinery.
+  void handle_message(net::NodeContext& ctx, const net::MessageView& msg);
+  void apply_timeouts(net::NodeContext& ctx);
+  void force_package(net::NodeContext& ctx);
+  std::uint64_t forced_report_round() const noexcept;
+  void decide_as_root(net::NodeContext& ctx);
+  /// Routes a send: direct in plain mode; in resilient mode stamps seq +
+  /// checksum and loads the per-neighbor retransmission slot (the first
+  /// copy still leaves this round, via flush_slots).
+  void emit(net::NodeContext& ctx, std::uint32_t to, net::Message msg);
+  void flush_slots(net::NodeContext& ctx);
 
   std::size_t neighbor_index(net::NodeContext& ctx, std::uint32_t id);
   net::Message make(Tag tag) const;
@@ -119,6 +223,7 @@ class TokenPackagingProgram : public net::NodeProgram {
   std::vector<std::uint64_t> own_tokens_;
   std::uint64_t tau_;
   MessageWidths widths_;
+  PackagingResilience resil_;
 
   // Phase 1 state.
   std::uint64_t best_;
@@ -147,9 +252,21 @@ class TokenPackagingProgram : public net::NodeProgram {
   std::uint64_t report_sum_ = 0;
   std::uint64_t reports_received_ = 0;
   bool report_sent_ = false;
-  bool report_ready_ = false;
   std::uint64_t verdict_ = 0;
   bool done_ = false;
+
+  // Resilient-mode state: per-neighbor sequence counters and one
+  // retransmission slot per neighbor (latest message + copies left).
+  std::vector<std::uint64_t> seq_out_;
+  std::vector<std::uint64_t> last_seq_in_;
+  std::vector<net::Message> slot_msg_;
+  std::vector<std::uint32_t> slot_copies_;
+  std::uint64_t covered_sum_ = 0;      ///< children's covered counts received
+  std::uint64_t covered_decided_ = 0;  ///< root: coverage at decision time
+  std::uint64_t formed_sum_ = 0;       ///< children's package counts received
+  std::uint64_t formed_decided_ = 0;   ///< root: formed count at decision
+  std::uint64_t corrupt_discards_ = 0;
+  std::uint64_t dup_discards_ = 0;
 };
 
 }  // namespace dut::congest

@@ -12,6 +12,16 @@
 // The virtual-node count is deterministic: packaging drops exactly
 // k mod tau tokens (the root's leftover), so ell = floor(k/tau) and the
 // root can place the threshold locally.
+//
+// Fault tolerance: make_congest_setup with CongestResilience.enabled builds
+// the resilient protocol variant (sequence numbers, checksums, bounded
+// retransmission, timeout schedule — see token_packaging.hpp) and runs it
+// under a net::FaultPlan. The root then decides with a quorum rule: accept
+// only if at least `quorum` nodes' reports reached it AND the reject count
+// is below the threshold; otherwise reject. The reject-bias keeps the
+// tester's one-sided soundness — faults may only push a uniform input
+// toward rejection, never a far input toward acceptance (up to the 4-bit
+// checksum's escape probability).
 
 #include <cstdint>
 #include <string>
@@ -20,8 +30,10 @@
 #include "dut/congest/token_packaging.hpp"
 #include "dut/core/gap_tester.hpp"
 #include "dut/core/sampler.hpp"
+#include "dut/core/verdict.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/net/engine.hpp"
+#include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 #include "dut/net/protocol_driver.hpp"
 
@@ -66,35 +78,80 @@ CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
                              core::TailBound::kExactBinomial,
                          std::uint64_t samples_per_node = 1);
 
+/// Fault-tolerance knobs for make_congest_setup / make_packaging_setup.
+struct CongestResilience {
+  bool enabled = false;
+  /// Extra copies of each protocol message (sent in otherwise-idle rounds).
+  std::uint64_t retransmits = 2;
+  /// Minimum nodes whose reports must reach the root for an accept verdict;
+  /// 0 means all k (strict quorum). Ignored unless `enabled`.
+  std::uint64_t quorum_nodes = 0;
+};
+
+/// A graph-bound, ready-to-run protocol instance: the pooled driver plus
+/// the resolved resilience schedule. Build one with make_congest_setup /
+/// make_packaging_setup; it references the graph (keep it alive) and serves
+/// a whole Monte-Carlo sweep, including concurrent trials. Non-movable
+/// (the driver pins engine pool addresses) — take it by reference.
+struct CongestSetup {
+  net::ProtocolDriver driver;
+  PackagingResilience schedule;  ///< disabled ⇒ plain protocol
+
+  CongestSetup(const net::Graph& graph, const net::EngineConfig& config,
+               const PackagingResilience& resolved,
+               const net::FaultPlan* faults)
+      : driver(graph, config), schedule(resolved) {
+    // Resilient runs always engage the engine's fault mode (even at all-zero
+    // rates): retransmission copies may target already-halted nodes, which
+    // strict mode treats as a protocol violation.
+    if (faults != nullptr) {
+      driver.set_fault_plan(*faults);
+    } else if (resolved.enabled) {
+      driver.set_fault_plan(net::FaultPlan{});
+    }
+  }
+};
+
 struct CongestRunResult {
-  bool network_rejects = false;
-  std::uint64_t reject_count = 0;   ///< rejecting packages network-wide
+  core::Verdict verdict;            ///< voters = token packages
   std::uint64_t num_packages = 0;   ///< packages actually formed
-  std::uint32_t leader = 0;         ///< engine id of the elected root
-  net::EngineMetrics metrics;       ///< rounds / messages / bits
+  std::uint32_t leader = 0;         ///< engine id of the winning root
+  bool quorum_met = true;           ///< resilient mode: coverage >= quorum
+  std::uint64_t nodes_reporting = 0;  ///< nodes whose reports reached the root
+  net::EngineMetrics metrics;       ///< rounds / messages / bits / faults
 };
 
 /// Builds the protocol driver for this plan's CONGEST runs on `graph`:
 /// validates feasibility, network size and connectivity once, then hands
 /// back a driver whose pooled engines carry the plan's bandwidth budget and
-/// round cap. The driver references `graph` (and the plan's parameters are
-/// baked into the config); keep the graph alive for the driver's lifetime.
-/// One driver serves a whole Monte-Carlo sweep, including concurrent trials.
+/// round cap. The driver references `graph`; keep the graph alive for the
+/// driver's lifetime.
 net::ProtocolDriver make_congest_driver(const CongestPlan& plan,
                                         const net::Graph& graph);
 
-/// Runs the full protocol on `graph`: node v draws one sample from
-/// `sampler` as its token (plus an external id from a seeded permutation for
-/// leader election), then the packaging + testing + verdict pipeline runs
-/// under the CONGEST engine. Deterministic per seed.
-CongestRunResult run_congest_uniformity(const CongestPlan& plan,
-                                        const net::Graph& graph,
-                                        const core::AliasSampler& sampler,
-                                        std::uint64_t seed);
+/// Full setup factory: validates like make_congest_driver, resolves the
+/// resilience schedule from the graph diameter and the plan's tau (all
+/// timeouts sit past fault-free completion, so with zero fault rates the
+/// verdict stream is bit-identical to the plain protocol's), widens the
+/// bandwidth budget for the seq + checksum trailer, and attaches `faults`
+/// to the driver (a zero-rate plan when resilient and none is given).
+CongestSetup make_congest_setup(const CongestPlan& plan,
+                                const net::Graph& graph,
+                                const CongestResilience& opts = {},
+                                const net::FaultPlan* faults = nullptr);
 
-/// Trial-level variant over a driver from make_congest_driver: reuses a
-/// pooled engine and gates DUT_TRACE resolution with `traced` (pass true
-/// for exactly one designated trial when fanning out in parallel).
+/// Trial-level entry point: reuses a pooled engine and gates DUT_TRACE
+/// resolution with `traced` (pass true for exactly one designated trial
+/// when fanning out in parallel). Deterministic per seed at any
+/// DUT_THREADS. Node v draws one sample from `sampler` as its token (plus
+/// an external id from a seeded permutation for leader election).
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        CongestSetup& setup,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed,
+                                        bool traced = true);
+
+/// Plain-protocol variant over a bare driver from make_congest_driver.
 CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         net::ProtocolDriver& driver,
                                         const core::AliasSampler& sampler,
@@ -108,13 +165,14 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
 /// samples_per_node equal to the MEAN of counts (so ell matches); the
 /// counts must sum to plan.k * plan.samples_per_node.
 CongestRunResult run_congest_uniformity_heterogeneous(
-    const CongestPlan& plan, const net::Graph& graph,
-    const core::AliasSampler& sampler,
-    const std::vector<std::uint64_t>& counts, std::uint64_t seed);
-
-/// Driver-based heterogeneous variant (see run_congest_uniformity above).
-CongestRunResult run_congest_uniformity_heterogeneous(
     const CongestPlan& plan, net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
+    bool traced = true);
+
+/// Setup-based heterogeneous variant (resilient when the setup is).
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, CongestSetup& setup,
     const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed,
     bool traced = true);
@@ -122,23 +180,15 @@ CongestRunResult run_congest_uniformity_heterogeneous(
 /// Error amplification (paper §3.2.2: the threshold model "is amenable to
 /// amplification using standard techniques"): runs `repetitions`
 /// independent executions of the protocol — fresh samples, fresh ids,
-/// fresh randomness — and returns the majority verdict. Per-side error
-/// drops from p to exp(-Omega(repetitions * (1/2 - p)^2)); rounds scale
-/// linearly in `repetitions` (sequential executions).
+/// fresh randomness — and returns the majority verdict (voters =
+/// repetitions). Per-side error drops from p to
+/// exp(-Omega(repetitions * (1/2 - p)^2)); rounds scale linearly in
+/// `repetitions` (sequential executions).
 struct AmplifiedCongestResult {
-  bool network_rejects = false;
-  std::uint64_t reject_verdicts = 0;
-  std::uint64_t repetitions = 0;
+  core::Verdict verdict;  ///< voters = repetitions; rounds/bits are totals
   std::uint64_t total_rounds = 0;
   std::uint64_t total_messages = 0;
 };
-AmplifiedCongestResult run_congest_uniformity_amplified(
-    const CongestPlan& plan, const net::Graph& graph,
-    const core::AliasSampler& sampler, std::uint64_t seed,
-    std::uint64_t repetitions);
-
-/// Driver-based amplification: all repetitions reuse the driver's pooled
-/// engines (`traced` gates the whole repetition sequence's transcript).
 AmplifiedCongestResult run_congest_uniformity_amplified(
     const CongestPlan& plan, net::ProtocolDriver& driver,
     const core::AliasSampler& sampler, std::uint64_t seed,
@@ -152,8 +202,6 @@ struct PackagingRunResult {
   std::uint32_t leader = 0;
   net::EngineMetrics metrics;
 };
-PackagingRunResult run_token_packaging(const net::Graph& graph,
-                                       std::uint64_t tau, std::uint64_t seed);
 
 /// Driver factory + trial-level variant for token packaging, mirroring the
 /// uniformity pair above (tau is baked into the driver's round cap).
@@ -161,6 +209,31 @@ net::ProtocolDriver make_packaging_driver(const net::Graph& graph,
                                           std::uint64_t tau);
 PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
                                        std::uint64_t tau, std::uint64_t seed,
+                                       bool traced = true);
+
+/// Resilient token packaging: setup factory + runner (tau baked in).
+struct PackagingSetup {
+  net::ProtocolDriver driver;
+  PackagingResilience schedule;
+  std::uint64_t tau;
+
+  PackagingSetup(const net::Graph& graph, const net::EngineConfig& config,
+                 const PackagingResilience& resolved, std::uint64_t tau_in,
+                 const net::FaultPlan* faults)
+      : driver(graph, config), schedule(resolved), tau(tau_in) {
+    if (faults != nullptr) {
+      driver.set_fault_plan(*faults);
+    } else if (resolved.enabled) {
+      driver.set_fault_plan(net::FaultPlan{});
+    }
+  }
+};
+PackagingSetup make_packaging_setup(const net::Graph& graph,
+                                    std::uint64_t tau,
+                                    const CongestResilience& opts = {},
+                                    const net::FaultPlan* faults = nullptr);
+PackagingRunResult run_token_packaging(PackagingSetup& setup,
+                                       std::uint64_t seed,
                                        bool traced = true);
 
 }  // namespace dut::congest

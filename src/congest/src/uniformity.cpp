@@ -13,11 +13,22 @@ namespace {
 
 /// Bit budget for the protocol's widest message: a candidate carries an id
 /// and a depth; a token carries a domain element; counts carry up to k.
-std::uint64_t required_bandwidth(std::uint64_t n, std::uint32_t k) {
+/// Resilient mode appends a sequence number and a 4-bit checksum to every
+/// message, and reports carry two extra counts (coverage and formed
+/// packages).
+std::uint64_t required_bandwidth(std::uint64_t n, std::uint32_t k,
+                                 const PackagingResilience& resil) {
   const unsigned id_bits = net::bits_for(k);
   const unsigned token_bits = net::bits_for(n);
   const unsigned count_bits = net::bits_for(static_cast<std::uint64_t>(k) + 1);
-  return 3 + std::max<std::uint64_t>({2ULL * id_bits, token_bits, count_bits});
+  if (!resil.enabled) {
+    return 3 +
+           std::max<std::uint64_t>({2ULL * id_bits, token_bits, count_bits});
+  }
+  return 3 +
+         std::max<std::uint64_t>(
+             {2ULL * id_bits, token_bits, 3ULL * count_bits}) +
+         resil.seq_bits + 4;
 }
 
 MessageWidths widths_for(std::uint64_t n, std::uint32_t k) {
@@ -37,17 +48,58 @@ std::vector<std::uint64_t> external_ids(std::uint32_t k, std::uint64_t seed) {
   return ids;
 }
 
+/// Resolves the resilient-mode timeout schedule from the graph. Every stage
+/// budget is the fault-free bound stretched by the retransmission factor
+/// plus slack, so at zero fault rates no timeout ever fires and the run is
+/// bit-identical to the plain protocol. Consecutive forced actions are
+/// staggered by the time the previous one's messages need to propagate:
+/// forced acks (phase1_timeout) get a D-hop cascade before blocked
+/// candidates claim leadership (leader_timeout); late phase-two starters
+/// (package_round) get D + tau rounds to push tokens before packaging is
+/// frozen (force_package_round).
+PackagingResilience resolve_schedule(const net::Graph& graph,
+                                     std::uint64_t tau,
+                                     const CongestResilience& opts) {
+  const std::uint64_t R = opts.retransmits;
+  const std::uint64_t D = std::max<std::uint32_t>(1, graph.diameter());
+  PackagingResilience s;
+  s.enabled = true;
+  s.retransmits = R;
+  s.phase1_timeout = (R + 2) * (2 * D + 4) + 8;
+  s.leader_timeout = s.phase1_timeout + (R + 1) * (D + 1) + 4;
+  s.package_round = s.leader_timeout + (R + 2) * (D + tau + 4) + 8;
+  s.force_package_round = s.package_round + (R + 1) * (D + tau + 2) + 4;
+  s.report_base = s.force_package_round + 2;
+  s.depth_budget = D;
+  s.deadline = s.report_base + (R + 1) * (D + 1) + 6;
+  s.quorum = opts.quorum_nodes != 0 ? opts.quorum_nodes : graph.num_nodes();
+  s.seq_bits = net::bits_for(4 * (s.deadline + 16));
+  return s;
+}
+
 /// Virtual-node tester: each package of tau tokens is fed to the
 /// single-collision tester; the report is the count of rejecting packages
-/// and the root compares the network total against the threshold.
+/// and the root compares the network total against the threshold. In
+/// resilient mode the root additionally requires (a) `quorum` nodes'
+/// coverage and (b) a consistent token mass: the reported formed-package
+/// count must account for the quorum's tokens, up to the remainder each
+/// packaging site may legitimately drop. Without (b), in-flight token loss
+/// (dropped or corrupt-discarded kToken messages) would silently shrink the
+/// reject tally while node coverage stays high — an accept bias. Either
+/// shortfall rejects (one-sided soundness keeps this safe).
 class UniformityTestProgram : public TokenPackagingProgram {
  public:
   UniformityTestProgram(std::uint64_t external_id,
                         std::vector<std::uint64_t> tokens,
-                        const CongestPlan& plan, MessageWidths widths)
+                        const CongestPlan& plan, MessageWidths widths,
+                        PackagingResilience resil = {})
       : TokenPackagingProgram(external_id, std::move(tokens), plan.tau,
-                              widths),
+                              widths, resil),
         plan_(&plan) {}
+
+  /// Root only, resilient mode: whether coverage reached the quorum when
+  /// the verdict was decided.
+  bool quorum_met() const noexcept { return quorum_met_; }
 
  protected:
   std::uint64_t local_report(net::NodeContext&) override {
@@ -62,8 +114,27 @@ class UniformityTestProgram : public TokenPackagingProgram {
     return total >= plan_->threshold ? 1 : 0;
   }
 
+  std::uint64_t decide_with_quorum(std::uint64_t total, std::uint64_t covered,
+                                   std::uint64_t formed) override {
+    // Token-mass consistency: the quorum's tokens number quorum * s0 (s0 is
+    // the per-node average for heterogeneous counts), and every packaging
+    // site — the root plus up to depth_budget forced packagers on a root
+    // path — may drop a remainder of at most tau - 1. Anything missing
+    // beyond that slack means tokens were lost in flight, which dilutes the
+    // collision statistics toward acceptance; reject instead.
+    const std::uint64_t slack =
+        (resilience().depth_budget + 1) * (plan_->tau - 1);
+    quorum_met_ =
+        covered >= resilience().quorum &&
+        formed * plan_->tau + slack >=
+            resilience().quorum * plan_->samples_per_node;
+    if (!quorum_met_) return 1;
+    return decide_at_root(total);
+  }
+
  private:
   const CongestPlan* plan_;
+  bool quorum_met_ = false;
 };
 
 }  // namespace
@@ -91,7 +162,7 @@ CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
   plan.p = p;
   plan.bound = bound;
   plan.samples_per_node = samples_per_node;
-  plan.bandwidth_bits = required_bandwidth(n, k);
+  plan.bandwidth_bits = required_bandwidth(n, k, PackagingResilience{});
 
   // Scan package sizes from small to large: the round complexity is
   // O(D + tau), so the smallest feasible tau wins. The budget A(tau) =
@@ -134,32 +205,73 @@ CongestPlan plan_congest(std::uint64_t n, std::uint32_t k, double epsilon,
   return plan;
 }
 
-net::ProtocolDriver make_congest_driver(const CongestPlan& plan,
-                                        const net::Graph& graph) {
+namespace {
+
+void validate_congest_graph(const CongestPlan& plan, const net::Graph& graph,
+                            const char* who) {
   if (!plan.feasible) {
-    throw std::logic_error("make_congest_driver: plan is infeasible");
+    throw std::logic_error(std::string(who) + ": plan is infeasible");
   }
   if (graph.num_nodes() != plan.k) {
-    throw std::invalid_argument("make_congest_driver: graph size != k");
+    throw std::invalid_argument(std::string(who) + ": graph size != k");
   }
   if (!graph.is_connected()) {
     // A disconnected network would elect one leader per component and
     // silently drop up to (tau-1) tokens per component, breaking
     // Definition 2; reject it up front.
-    throw std::invalid_argument("make_congest_driver: graph disconnected");
+    throw std::invalid_argument(std::string(who) + ": graph disconnected");
   }
+}
+
+net::EngineConfig congest_config(std::uint64_t bandwidth_bits,
+                                 std::uint64_t max_rounds) {
   net::EngineConfig config;
   config.model = net::Model::kCongest;
-  config.bandwidth_bits = plan.bandwidth_bits;
-  config.max_rounds = 20ULL * (graph.num_nodes() + plan.tau) + 1000;
-  return net::ProtocolDriver(graph, config);
+  config.bandwidth_bits = bandwidth_bits;
+  config.max_rounds = max_rounds;
+  return config;
+}
+
+}  // namespace
+
+net::ProtocolDriver make_congest_driver(const CongestPlan& plan,
+                                        const net::Graph& graph) {
+  validate_congest_graph(plan, graph, "make_congest_driver");
+  return net::ProtocolDriver(
+      graph, congest_config(plan.bandwidth_bits,
+                            20ULL * (graph.num_nodes() + plan.tau) + 1000));
+}
+
+CongestSetup make_congest_setup(const CongestPlan& plan,
+                                const net::Graph& graph,
+                                const CongestResilience& opts,
+                                const net::FaultPlan* faults) {
+  validate_congest_graph(plan, graph, "make_congest_setup");
+  if (!opts.enabled) {
+    return CongestSetup(
+        graph,
+        congest_config(plan.bandwidth_bits,
+                       20ULL * (graph.num_nodes() + plan.tau) + 1000),
+        PackagingResilience{}, faults);
+  }
+  if (opts.quorum_nodes > graph.num_nodes()) {
+    throw std::invalid_argument(
+        "make_congest_setup: quorum exceeds the network size");
+  }
+  const PackagingResilience schedule =
+      resolve_schedule(graph, plan.tau, opts);
+  return CongestSetup(
+      graph,
+      congest_config(required_bandwidth(plan.n, plan.k, schedule),
+                     schedule.deadline + schedule.retransmits + 16),
+      schedule, faults);
 }
 
 namespace {
 
 CongestRunResult run_congest_with_counts(
     const CongestPlan& plan, net::ProtocolDriver& driver,
-    const core::AliasSampler& sampler,
+    const PackagingResilience& schedule, const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed,
     bool traced) {
   if (sampler.n() != plan.n) {
@@ -188,19 +300,54 @@ CongestRunResult run_congest_with_counts(
       seed, traced,
       [&](std::uint32_t v) {
         return std::make_unique<UniformityTestProgram>(
-            ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths);
+            ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths,
+            schedule);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
         CongestRunResult result;
         result.metrics = metrics;
+        // Under faults several forced leaders can coexist; the winner is
+        // the one with the largest external id (its wave dominates any
+        // surviving fragment of the tree).
+        const UniformityTestProgram* root = nullptr;
         for (std::uint32_t v = 0; v < k; ++v) {
           result.num_packages += programs[v]->packages().size();
-          if (programs[v]->is_leader()) {
+          if (programs[v]->is_leader() &&
+              (root == nullptr ||
+               programs[v]->leader_external_id() >
+                   root->leader_external_id())) {
+            root = programs[v].get();
             result.leader = v;
-            result.reject_count = programs[v]->total_report();
           }
         }
-        result.network_rejects = programs[0]->verdict() == 1;
+        bool rejects;
+        std::uint64_t reject_count = 0;
+        if (root == nullptr) {
+          // Leaderless network (e.g. every candidate crashed): no verdict
+          // was ever decided — reject-bias.
+          rejects = true;
+          result.quorum_met = false;
+        } else {
+          reject_count = root->total_report();
+          if (schedule.enabled) {
+            result.nodes_reporting = root->covered_total();
+            if (result.nodes_reporting == 0) {
+              // The root never reached its decision point (crashed or
+              // starved past max_rounds): again reject-bias.
+              rejects = true;
+              result.quorum_met = false;
+            } else {
+              rejects = root->verdict() == 1;
+              result.quorum_met = root->quorum_met();
+            }
+          } else {
+            rejects = root->verdict() == 1;
+            result.nodes_reporting = k;
+          }
+        }
+        result.verdict =
+            core::Verdict::make(!rejects, reject_count, result.num_packages,
+                                metrics.rounds, metrics.total_bits);
         return result;
       });
 }
@@ -212,29 +359,19 @@ std::vector<std::uint64_t> uniform_counts(const CongestPlan& plan) {
 }  // namespace
 
 CongestRunResult run_congest_uniformity(const CongestPlan& plan,
-                                        const net::Graph& graph,
+                                        CongestSetup& setup,
                                         const core::AliasSampler& sampler,
-                                        std::uint64_t seed) {
-  net::ProtocolDriver driver = make_congest_driver(plan, graph);
-  return run_congest_with_counts(plan, driver, sampler, uniform_counts(plan),
-                                 seed, /*traced=*/true);
+                                        std::uint64_t seed, bool traced) {
+  return run_congest_with_counts(plan, setup.driver, setup.schedule, sampler,
+                                 uniform_counts(plan), seed, traced);
 }
 
 CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         net::ProtocolDriver& driver,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed, bool traced) {
-  return run_congest_with_counts(plan, driver, sampler, uniform_counts(plan),
-                                 seed, traced);
-}
-
-CongestRunResult run_congest_uniformity_heterogeneous(
-    const CongestPlan& plan, const net::Graph& graph,
-    const core::AliasSampler& sampler,
-    const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
-  net::ProtocolDriver driver = make_congest_driver(plan, graph);
-  return run_congest_uniformity_heterogeneous(plan, driver, sampler, counts,
-                                              seed, /*traced=*/true);
+  return run_congest_with_counts(plan, driver, PackagingResilience{}, sampler,
+                                 uniform_counts(plan), seed, traced);
 }
 
 CongestRunResult run_congest_uniformity_heterogeneous(
@@ -246,16 +383,21 @@ CongestRunResult run_congest_uniformity_heterogeneous(
     throw std::invalid_argument(
         "run_congest_uniformity_heterogeneous: one count per node");
   }
-  return run_congest_with_counts(plan, driver, sampler, counts, seed, traced);
+  return run_congest_with_counts(plan, driver, PackagingResilience{}, sampler,
+                                 counts, seed, traced);
 }
 
-AmplifiedCongestResult run_congest_uniformity_amplified(
-    const CongestPlan& plan, const net::Graph& graph,
-    const core::AliasSampler& sampler, std::uint64_t seed,
-    std::uint64_t repetitions) {
-  net::ProtocolDriver driver = make_congest_driver(plan, graph);
-  return run_congest_uniformity_amplified(plan, driver, sampler, seed,
-                                          repetitions, /*traced=*/true);
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, CongestSetup& setup,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
+    bool traced) {
+  if (counts.size() != setup.driver.graph().num_nodes()) {
+    throw std::invalid_argument(
+        "run_congest_uniformity_heterogeneous: one count per node");
+  }
+  return run_congest_with_counts(plan, setup.driver, setup.schedule, sampler,
+                                 counts, seed, traced);
 }
 
 AmplifiedCongestResult run_congest_uniformity_amplified(
@@ -267,16 +409,20 @@ AmplifiedCongestResult run_congest_uniformity_amplified(
         "run_congest_uniformity_amplified: repetitions must be odd and >= 1");
   }
   AmplifiedCongestResult result;
-  result.repetitions = repetitions;
+  std::uint64_t reject_verdicts = 0;
+  std::uint64_t total_bits = 0;
   for (std::uint64_t r = 0; r < repetitions; ++r) {
     const auto run = run_congest_uniformity(
         plan, driver, sampler, stats::SplitMix64(seed ^ (r + 1)).next(),
         traced);
-    result.reject_verdicts += run.network_rejects;
+    reject_verdicts += run.verdict.rejects();
     result.total_rounds += run.metrics.rounds;
     result.total_messages += run.metrics.messages;
+    total_bits += run.metrics.total_bits;
   }
-  result.network_rejects = 2 * result.reject_verdicts > repetitions;
+  result.verdict = core::Verdict::make(
+      2 * reject_verdicts <= repetitions, reject_verdicts, repetitions,
+      result.total_rounds, total_bits);
   return result;
 }
 
@@ -289,20 +435,41 @@ net::ProtocolDriver make_packaging_driver(const net::Graph& graph,
     throw std::invalid_argument("make_packaging_driver: graph disconnected");
   }
   const std::uint32_t k = graph.num_nodes();
-  net::EngineConfig config;
-  config.model = net::Model::kCongest;
-  config.bandwidth_bits = required_bandwidth(k, k);
-  config.max_rounds = 20ULL * (k + tau) + 1000;
-  return net::ProtocolDriver(graph, config);
+  return net::ProtocolDriver(
+      graph, congest_config(required_bandwidth(k, k, PackagingResilience{}),
+                            20ULL * (k + tau) + 1000));
 }
 
-PackagingRunResult run_token_packaging(const net::Graph& graph,
-                                       std::uint64_t tau, std::uint64_t seed) {
-  net::ProtocolDriver driver = make_packaging_driver(graph, tau);
-  return run_token_packaging(driver, tau, seed, /*traced=*/true);
+PackagingSetup make_packaging_setup(const net::Graph& graph,
+                                    std::uint64_t tau,
+                                    const CongestResilience& opts,
+                                    const net::FaultPlan* faults) {
+  if (tau == 0) {
+    throw std::invalid_argument("make_packaging_setup: tau must be >= 1");
+  }
+  if (!graph.is_connected()) {
+    throw std::invalid_argument("make_packaging_setup: graph disconnected");
+  }
+  const std::uint32_t k = graph.num_nodes();
+  if (!opts.enabled) {
+    return PackagingSetup(
+        graph,
+        congest_config(required_bandwidth(k, k, PackagingResilience{}),
+                       20ULL * (k + tau) + 1000),
+        PackagingResilience{}, tau, faults);
+  }
+  const PackagingResilience schedule = resolve_schedule(graph, tau, opts);
+  return PackagingSetup(
+      graph,
+      congest_config(required_bandwidth(k, k, schedule),
+                     schedule.deadline + schedule.retransmits + 16),
+      schedule, tau, faults);
 }
 
-PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
+namespace {
+
+PackagingRunResult run_packaging_trial(net::ProtocolDriver& driver,
+                                       const PackagingResilience& schedule,
                                        std::uint64_t tau, std::uint64_t seed,
                                        bool traced) {
   const std::uint32_t k = driver.graph().num_nodes();
@@ -313,8 +480,8 @@ PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
   return driver.run_trial(
       seed, traced,
       [&](std::uint32_t v) {
-        return std::make_unique<TokenPackagingProgram>(ids[v], v, tau,
-                                                       widths);
+        return std::make_unique<TokenPackagingProgram>(
+            ids[v], std::vector<std::uint64_t>{v}, tau, widths, schedule);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
         PackagingRunResult result;
@@ -327,9 +494,24 @@ PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
             result.packages.push_back(package);
           }
         }
-        result.tokens_dropped = k - packaged_tokens;
+        result.tokens_dropped = packaged_tokens <= k ? k - packaged_tokens : 0;
         return result;
       });
+}
+
+}  // namespace
+
+PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
+                                       std::uint64_t tau, std::uint64_t seed,
+                                       bool traced) {
+  return run_packaging_trial(driver, PackagingResilience{}, tau, seed,
+                             traced);
+}
+
+PackagingRunResult run_token_packaging(PackagingSetup& setup,
+                                       std::uint64_t seed, bool traced) {
+  return run_packaging_trial(setup.driver, setup.schedule, setup.tau, seed,
+                             traced);
 }
 
 }  // namespace dut::congest

@@ -22,6 +22,7 @@
 
 #include "dut/core/gap_tester.hpp"
 #include "dut/core/sampler.hpp"
+#include "dut/core/verdict.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/stats/rng.hpp"
 
@@ -80,10 +81,11 @@ AsymmetricThresholdPlan plan_asymmetric_threshold(std::uint64_t n,
                                                   double p = 1.0 / 3.0);
 
 /// One full network trial; node i draws s_i samples and runs its own
-/// A_{delta_i}. Returns the reject count and the threshold verdict.
-ThresholdTrialResult run_asymmetric_threshold_network(
-    const AsymmetricThresholdPlan& plan, const AliasSampler& sampler,
-    stats::Xoshiro256& rng);
+/// A_{delta_i}. Voters = nodes; the network rejects iff votes_reject >=
+/// plan.threshold.
+Verdict run_asymmetric_threshold_network(const AsymmetricThresholdPlan& plan,
+                                         const AliasSampler& sampler,
+                                         stats::Xoshiro256& rng);
 
 // ---------------------------------------------------------------------------
 // AND rule with costs (Section 4.1)
@@ -116,9 +118,10 @@ AsymmetricAndPlan plan_asymmetric_and(std::uint64_t n,
                                       double epsilon, double p,
                                       std::uint64_t max_repetitions = 64);
 
-/// One full network trial under the AND rule (true = network accepts).
-bool run_asymmetric_and_network(const AsymmetricAndPlan& plan,
-                                const AliasSampler& sampler,
-                                stats::Xoshiro256& rng);
+/// One full network trial under the AND rule. Voters = nodes; the network
+/// accepts iff votes_reject == 0 (every node evaluated, no early exit).
+Verdict run_asymmetric_and_network(const AsymmetricAndPlan& plan,
+                                   const AliasSampler& sampler,
+                                   stats::Xoshiro256& rng);
 
 }  // namespace dut::core

@@ -1,0 +1,54 @@
+#pragma once
+
+// The unified outcome type of every distributed uniformity-testing trial.
+//
+// The paper's decision rules all share one shape: some population of voters
+// (physical nodes for the 0-round rules, token packages for CONGEST, MIS
+// nodes for LOCAL, repetitions for amplification) each cast a reject/accept
+// vote, and a network rule turns the vote counts into a single verdict.
+// Verdict captures exactly that, plus the resources the trial consumed, so
+// benches, tests and the CLI read every tester's result the same way.
+
+#include <cstdint>
+
+namespace dut::core {
+
+struct Verdict {
+  /// The network-level decision ("the input looks uniform").
+  bool accepts = true;
+
+  /// Decision statistic: the fraction of voters that rejected
+  /// (votes_reject / votes_total; 0 when there are no voters).
+  double score = 0.0;
+
+  /// Per-voter tallies. What a "voter" is depends on the rule: a node
+  /// (0-round), a token package (CONGEST), an MIS node (LOCAL), a
+  /// repetition (amplified majority).
+  std::uint64_t votes_reject = 0;
+  std::uint64_t votes_total = 0;
+
+  /// Synchronous rounds consumed (0 for the 0-round rules).
+  std::uint64_t rounds = 0;
+  /// Total communication in bits (0 for the 0-round rules).
+  std::uint64_t bits = 0;
+
+  bool rejects() const noexcept { return !accepts; }
+
+  static Verdict make(bool accepts, std::uint64_t votes_reject,
+                      std::uint64_t votes_total, std::uint64_t rounds = 0,
+                      std::uint64_t bits = 0) noexcept {
+    Verdict v;
+    v.accepts = accepts;
+    v.votes_reject = votes_reject;
+    v.votes_total = votes_total;
+    v.score = votes_total == 0
+                  ? 0.0
+                  : static_cast<double>(votes_reject) /
+                        static_cast<double>(votes_total);
+    v.rounds = rounds;
+    v.bits = bits;
+    return v;
+  }
+};
+
+}  // namespace dut::core

@@ -29,6 +29,7 @@
 #include "dut/core/amplified.hpp"
 #include "dut/core/gap_tester.hpp"
 #include "dut/core/sampler.hpp"
+#include "dut/core/verdict.hpp"
 #include "dut/stats/rng.hpp"
 
 namespace dut::core {
@@ -66,11 +67,13 @@ struct AndRulePlan {
 AndRulePlan plan_and_rule(std::uint64_t n, std::uint64_t k, double epsilon,
                           double p, std::uint64_t max_repetitions = 64);
 
-/// Simulates one full network trial under the AND rule: k nodes, each with
-/// its own derived RNG stream, each running the planned repeated tester.
-/// Returns true iff the network accepts (all nodes accept).
-bool run_and_rule_network(const AndRulePlan& plan, const AliasSampler& sampler,
-                          stats::Xoshiro256& rng);
+/// Simulates one full network trial under the AND rule: k nodes, each
+/// running the planned repeated tester off `rng`. Voters = nodes; the
+/// network accepts iff every node accepts (votes_reject == 0). Every node
+/// is evaluated (no early exit), so the vote tally is exact.
+Verdict run_and_rule_network(const AndRulePlan& plan,
+                             const AliasSampler& sampler,
+                             stats::Xoshiro256& rng);
 
 // ---------------------------------------------------------------------------
 // Threshold rule (Theorem 1.2)
@@ -131,14 +134,10 @@ ThresholdPlan plan_threshold(std::uint64_t n, std::uint64_t k, double epsilon,
                              TailBound bound = TailBound::kChernoff,
                              double gamma_min = 0.5);
 
-struct ThresholdTrialResult {
-  std::uint64_t rejects = 0;      ///< how many nodes rejected
-  bool network_rejects = false;   ///< rejects >= T
-};
-
-/// Simulates one full network trial under the threshold rule.
-ThresholdTrialResult run_threshold_network(const ThresholdPlan& plan,
-                                           const AliasSampler& sampler,
-                                           stats::Xoshiro256& rng);
+/// Simulates one full network trial under the threshold rule. Voters =
+/// nodes; the network rejects iff votes_reject >= plan.threshold.
+Verdict run_threshold_network(const ThresholdPlan& plan,
+                              const AliasSampler& sampler,
+                              stats::Xoshiro256& rng);
 
 }  // namespace dut::core

@@ -196,23 +196,23 @@ AsymmetricThresholdPlan plan_asymmetric_threshold(std::uint64_t n,
   return plan;
 }
 
-ThresholdTrialResult run_asymmetric_threshold_network(
-    const AsymmetricThresholdPlan& plan, const AliasSampler& sampler,
-    stats::Xoshiro256& rng) {
+Verdict run_asymmetric_threshold_network(const AsymmetricThresholdPlan& plan,
+                                         const AliasSampler& sampler,
+                                         stats::Xoshiro256& rng) {
   if (!plan.feasible) {
     throw std::logic_error("run_asymmetric_threshold_network: infeasible");
   }
   if (sampler.n() != plan.n) {
     throw std::invalid_argument("run_asymmetric_threshold_network: domain");
   }
-  ThresholdTrialResult result;
+  std::uint64_t rejecting = 0;
   for (const GapTesterParams& params : plan.node_params) {
     if (params.s < 2) continue;  // inactive node always accepts
     const SingleCollisionTester tester(params);
-    if (!tester.run(sampler, rng)) ++result.rejects;
+    if (!tester.run(sampler, rng)) ++rejecting;
   }
-  result.network_rejects = result.rejects >= plan.threshold;
-  return result;
+  return Verdict::make(rejecting < plan.threshold, rejecting,
+                       plan.node_params.size());
 }
 
 // ---------------------------------------------------------------------------
@@ -344,21 +344,22 @@ AsymmetricAndPlan plan_asymmetric_and(std::uint64_t n,
   return *best;
 }
 
-bool run_asymmetric_and_network(const AsymmetricAndPlan& plan,
-                                const AliasSampler& sampler,
-                                stats::Xoshiro256& rng) {
+Verdict run_asymmetric_and_network(const AsymmetricAndPlan& plan,
+                                   const AliasSampler& sampler,
+                                   stats::Xoshiro256& rng) {
   if (!plan.feasible) {
     throw std::logic_error("run_asymmetric_and_network: infeasible");
   }
   if (sampler.n() != plan.n) {
     throw std::invalid_argument("run_asymmetric_and_network: domain");
   }
+  std::uint64_t rejecting = 0;
   for (const GapTesterParams& params : plan.node_params) {
     if (params.s < 2) continue;  // inactive node always accepts
     const RepeatedGapTester tester(params, plan.repetitions);
-    if (!tester.run(sampler, rng)) return false;
+    if (!tester.run(sampler, rng)) ++rejecting;
   }
-  return true;
+  return Verdict::make(rejecting == 0, rejecting, plan.node_params.size());
 }
 
 }  // namespace dut::core

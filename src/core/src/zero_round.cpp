@@ -93,8 +93,9 @@ AndRulePlan plan_and_rule(std::uint64_t n, std::uint64_t k, double epsilon,
   return *best;
 }
 
-bool run_and_rule_network(const AndRulePlan& plan, const AliasSampler& sampler,
-                          stats::Xoshiro256& rng) {
+Verdict run_and_rule_network(const AndRulePlan& plan,
+                             const AliasSampler& sampler,
+                             stats::Xoshiro256& rng) {
   if (!plan.feasible) {
     throw std::logic_error("run_and_rule_network: plan is infeasible");
   }
@@ -102,12 +103,11 @@ bool run_and_rule_network(const AndRulePlan& plan, const AliasSampler& sampler,
     throw std::invalid_argument("run_and_rule_network: domain mismatch");
   }
   const RepeatedGapTester node_tester(plan.base, plan.repetitions);
+  std::uint64_t rejecting = 0;
   for (std::uint64_t node = 0; node < plan.k; ++node) {
-    if (!node_tester.run(sampler, rng)) {
-      return false;  // some node rejected => network rejects (AND rule)
-    }
+    if (!node_tester.run(sampler, rng)) ++rejecting;
   }
-  return true;
+  return Verdict::make(rejecting == 0, rejecting, plan.k);
 }
 
 // ---------------------------------------------------------------------------
@@ -264,9 +264,9 @@ ThresholdPlan plan_threshold(std::uint64_t n, std::uint64_t k, double epsilon,
   return plan;
 }
 
-ThresholdTrialResult run_threshold_network(const ThresholdPlan& plan,
-                                           const AliasSampler& sampler,
-                                           stats::Xoshiro256& rng) {
+Verdict run_threshold_network(const ThresholdPlan& plan,
+                              const AliasSampler& sampler,
+                              stats::Xoshiro256& rng) {
   if (!plan.feasible) {
     throw std::logic_error("run_threshold_network: plan is infeasible");
   }
@@ -274,12 +274,11 @@ ThresholdTrialResult run_threshold_network(const ThresholdPlan& plan,
     throw std::invalid_argument("run_threshold_network: domain mismatch");
   }
   const SingleCollisionTester node_tester(plan.base);
-  ThresholdTrialResult result;
+  std::uint64_t rejecting = 0;
   for (std::uint64_t node = 0; node < plan.k; ++node) {
-    if (!node_tester.run(sampler, rng)) ++result.rejects;
+    if (!node_tester.run(sampler, rng)) ++rejecting;
   }
-  result.network_rejects = result.rejects >= plan.threshold;
-  return result;
+  return Verdict::make(rejecting < plan.threshold, rejecting, plan.k);
 }
 
 }  // namespace dut::core

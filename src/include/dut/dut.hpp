@@ -1,0 +1,62 @@
+#pragma once
+
+// Umbrella header for the distributed-uniformity-testing library: one
+// include that pulls in every public subsystem, linked as the dut::dut
+// INTERFACE target. Application code (the CLI, examples, external
+// consumers) should prefer this over cherry-picking subsystem headers —
+// the per-layer headers remain available for builds that care about
+// compile time.
+//
+// Layer map (each header documents its own contracts):
+//   stats    — RNG streams, parallel Monte-Carlo engine, tail bounds
+//   obs      — metrics, JSONL protocol traces, run reports
+//   core     — samplers, collision testers, 0-round rules, dut::core::Verdict
+//   codes    — linear codes backing the SMP lower-bound experiments
+//   net      — message-passing engine, graphs, fault injection (FaultPlan)
+//   congest  — token packaging + CONGEST uniformity protocol (resilient mode)
+//   local    — Luby MIS + LOCAL-model tester
+//   smp      — simultaneous-message-passing baselines and lower bounds
+//   monitor  — fleet-monitoring application layer
+
+#include "dut/codes/basic_codes.hpp"
+#include "dut/codes/concatenated.hpp"
+#include "dut/codes/gf.hpp"
+#include "dut/codes/linear_code.hpp"
+#include "dut/codes/reed_solomon.hpp"
+#include "dut/congest/aggregation.hpp"
+#include "dut/congest/token_packaging.hpp"
+#include "dut/congest/uniformity.hpp"
+#include "dut/core/amplified.hpp"
+#include "dut/core/asymmetric.hpp"
+#include "dut/core/baselines.hpp"
+#include "dut/core/distribution.hpp"
+#include "dut/core/estimators.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/gap_tester.hpp"
+#include "dut/core/identity_filter.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/core/verdict.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/local/mis.hpp"
+#include "dut/local/tester.hpp"
+#include "dut/monitor/fleet_monitor.hpp"
+#include "dut/net/engine.hpp"
+#include "dut/net/fault.hpp"
+#include "dut/net/graph.hpp"
+#include "dut/net/message.hpp"
+#include "dut/net/protocol_driver.hpp"
+#include "dut/obs/env.hpp"
+#include "dut/obs/json.hpp"
+#include "dut/obs/metrics.hpp"
+#include "dut/obs/report.hpp"
+#include "dut/obs/trace.hpp"
+#include "dut/obs/trace_reader.hpp"
+#include "dut/smp/equality.hpp"
+#include "dut/smp/lowerbound.hpp"
+#include "dut/smp/public_coin.hpp"
+#include "dut/stats/bounds.hpp"
+#include "dut/stats/engine.hpp"
+#include "dut/stats/info.hpp"
+#include "dut/stats/rng.hpp"
+#include "dut/stats/summary.hpp"
+#include "dut/stats/table.hpp"

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "dut/net/engine.hpp"
+#include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 
 namespace dut::local {
@@ -25,10 +26,22 @@ class LubyMisProgram : public net::NodeProgram {
  public:
   enum class State { kUndecided, kInMis, kOut };
 
+  LubyMisProgram() = default;
+  /// Round-timeout fallback: a node still undecided when phase
+  /// `max_phases` begins resigns to kOut and halts. On a healthy network
+  /// Luby terminates in O(log k) phases whp, so a generous cap never
+  /// fires; under message faults it bounds the run even when priority or
+  /// JOINED announcements were lost (the resulting set may then miss
+  /// maximality — the caller's timeout semantics, not a silent hang).
+  explicit LubyMisProgram(std::uint64_t max_phases)
+      : max_phases_(max_phases) {}
+
   void on_round(net::NodeContext& ctx) override;
 
   State state() const noexcept { return state_; }
   bool in_mis() const noexcept { return state_ == State::kInMis; }
+  /// True iff the phase cap forced this node out (see ctor).
+  bool timed_out() const noexcept { return timed_out_; }
 
  private:
   enum Tag : std::uint64_t { kPriority = 0, kJoined = 1, kOut = 2 };
@@ -39,18 +52,28 @@ class LubyMisProgram : public net::NodeProgram {
   std::uint32_t undecided_count_ = 0;
   std::uint64_t priority_ = 0;
   bool priority_beaten_ = false;    ///< a neighbor outbid us this phase
-  std::uint64_t halt_round_ = 0;    ///< grace round before halting
+  std::uint64_t max_phases_ = UINT64_MAX;
+  bool timed_out_ = false;
   bool decided_pending_halt_ = false;
 };
 
 struct MisResult {
   std::vector<bool> in_mis;
   std::uint64_t phases = 0;  ///< 3 rounds per phase
+  std::uint64_t fallback_outs = 0;  ///< nodes forced out by the phase cap
   net::EngineMetrics metrics;
 };
 
 /// Runs Luby's algorithm on `graph` under the LOCAL engine; deterministic
 /// per seed. The result is verified independent and maximal by the tests.
 MisResult compute_mis(const net::Graph& graph, std::uint64_t seed);
+
+/// Fault-tolerant variant: runs under `faults` (engine fault mode when
+/// non-null) with the phase-cap fallback. Independence still holds on a
+/// healthy network; under faults the set is best-effort (lost JOINED
+/// announcements can break independence, lost priorities maximality) but
+/// the run always terminates within max_phases phases.
+MisResult compute_mis(const net::Graph& graph, std::uint64_t seed,
+                      const net::FaultPlan* faults, std::uint64_t max_phases);
 
 }  // namespace dut::local

@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "dut/core/sampler.hpp"
+#include "dut/core/verdict.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/local/mis.hpp"
 #include "dut/net/engine.hpp"
+#include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 #include "dut/net/protocol_driver.hpp"
 
@@ -64,29 +66,32 @@ LocalPlan plan_local(std::uint64_t n, const net::Graph& graph, double epsilon,
                      std::uint64_t seed, std::uint32_t max_radius = 64);
 
 struct LocalRunResult {
-  bool network_accepts = false;  ///< AND over MIS nodes' verdicts
-  std::uint64_t rejecting_mis_nodes = 0;
+  /// Voters = MIS nodes; accepts iff every MIS node accepts (AND rule).
+  core::Verdict verdict;
+  /// Fault runs only: MIS nodes that gathered fewer samples than the
+  /// per-node tester needs (each votes reject — one-sided soundness).
+  std::uint64_t mis_shortfalls = 0;
   net::EngineMetrics gather_metrics;  ///< the r-round flood on G
 };
-
-/// Runs the planned tester: draws samples_per_node samples per node from
-/// `sampler`, floods them to the assigned MIS nodes via the LOCAL engine,
-/// and runs the AND-rule repeated collision tester at each MIS node.
-LocalRunResult run_local_uniformity(const LocalPlan& plan,
-                                    const net::Graph& graph,
-                                    const core::AliasSampler& sampler,
-                                    std::uint64_t seed);
 
 /// Builds the protocol driver for the plan's r-round gather flood on
 /// `graph` (validates the plan/graph pairing once). The driver references
 /// `graph`; one driver serves a whole Monte-Carlo sweep, including
-/// concurrent trials.
+/// concurrent trials. Passing `faults` attaches the fault plan and switches
+/// the tester to its degraded-mode rules: gather records that arrive
+/// corrupted (malformed layout or an out-of-range origin) are discarded,
+/// and an MIS node starved below its planned sample count votes reject
+/// instead of aborting the run.
 net::ProtocolDriver make_local_driver(const LocalPlan& plan,
-                                      const net::Graph& graph);
+                                      const net::Graph& graph,
+                                      const net::FaultPlan* faults = nullptr);
 
-/// Trial-level variant over a driver from make_local_driver: reuses a
-/// pooled engine and gates DUT_TRACE resolution with `traced` (pass true
-/// for exactly one designated trial when fanning out in parallel).
+/// Runs the planned tester: draws samples_per_node samples per node from
+/// `sampler`, floods them to the assigned MIS nodes via the LOCAL engine,
+/// and runs the AND-rule repeated collision tester at each MIS node.
+/// Reuses a pooled engine and gates DUT_TRACE resolution with `traced`
+/// (pass true for exactly one designated trial when fanning out in
+/// parallel). Deterministic per seed at any DUT_THREADS.
 LocalRunResult run_local_uniformity(const LocalPlan& plan,
                                     net::ProtocolDriver& driver,
                                     const core::AliasSampler& sampler,

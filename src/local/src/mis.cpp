@@ -55,6 +55,15 @@ void LubyMisProgram::on_round(net::NodeContext& ctx) {
     return;
   }
 
+  if (state_ == State::kUndecided && ctx.round() / 3 >= max_phases_) {
+    // Round-timeout fallback (fault runs): resign instead of hanging on
+    // announcements that may have been dropped.
+    state_ = State::kOut;
+    timed_out_ = true;
+    ctx.halt();
+    return;
+  }
+
   switch (sub) {
     case 0: {  // A: draw and exchange priorities
       if (state_ != State::kUndecided) break;
@@ -109,21 +118,33 @@ void LubyMisProgram::on_round(net::NodeContext& ctx) {
 }
 
 MisResult compute_mis(const net::Graph& graph, std::uint64_t seed) {
+  return compute_mis(graph, seed, nullptr, UINT64_MAX);
+}
+
+MisResult compute_mis(const net::Graph& graph, std::uint64_t seed,
+                      const net::FaultPlan* faults,
+                      std::uint64_t max_phases) {
+  if (max_phases == 0) {
+    throw std::invalid_argument("compute_mis: max_phases must be >= 1");
+  }
   const std::uint32_t k = graph.num_nodes();
   std::vector<std::unique_ptr<LubyMisProgram>> programs;
   programs.reserve(k);
   std::vector<net::NodeProgram*> raw;
   raw.reserve(k);
   for (std::uint32_t v = 0; v < k; ++v) {
-    programs.push_back(std::make_unique<LubyMisProgram>());
+    programs.push_back(std::make_unique<LubyMisProgram>(max_phases));
     raw.push_back(programs.back().get());
   }
 
   net::EngineConfig config;
   config.model = net::Model::kLocal;
-  config.max_rounds = 10000;  // Luby needs O(log k) phases whp
+  // Luby needs O(log k) phases whp; the phase cap (when set) dominates.
+  config.max_rounds =
+      max_phases == UINT64_MAX ? 10000 : 3 * max_phases + 10;
   config.seed = seed;
   net::Engine engine(graph, config);
+  if (faults != nullptr) engine.set_fault_plan(*faults);
   engine.run(raw);
 
   MisResult result;
@@ -132,9 +153,15 @@ MisResult compute_mis(const net::Graph& graph, std::uint64_t seed) {
   result.in_mis.resize(k);
   for (std::uint32_t v = 0; v < k; ++v) {
     if (programs[v]->state() == LubyMisProgram::State::kUndecided) {
-      throw std::logic_error("compute_mis: node finished undecided");
+      if (faults == nullptr) {
+        throw std::logic_error("compute_mis: node finished undecided");
+      }
+      // Crashed (engine-halted) before it could resign: counts as forced
+      // out, like a phase-cap timeout.
+      ++result.fallback_outs;
     }
     result.in_mis[v] = programs[v]->in_mis();
+    if (programs[v]->timed_out()) ++result.fallback_outs;
   }
   return result;
 }

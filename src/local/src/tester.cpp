@@ -78,25 +78,32 @@ class GatherProgram : public net::NodeProgram {
       }
     }
 
+    // Bounds-checked parse: on a healthy network every check passes by
+    // construction; under payload corruption (net::FaultPlan) a malformed
+    // record ends the message (the rest is unparseable once a length field
+    // lies) and an out-of-range origin is discarded.
     for (const net::MessageView msg : ctx.inbox()) {
+      const auto fields = msg.fields();
       std::size_t f = 0;
-      const std::uint64_t count = msg.field(f++);
+      if (fields.empty()) continue;
+      const std::uint64_t count = fields[f++];
       for (std::uint64_t i = 0; i < count; ++i) {
+        if (f + 4 > fields.size()) break;
         Record rec;
-        rec.origin = msg.field(f++);
-        rec.dest = msg.field(f++);
-        rec.ttl = msg.field(f++);
-        const std::uint64_t num_samples = msg.field(f++);
-        rec.samples.reserve(num_samples);
-        for (std::uint64_t s = 0; s < num_samples; ++s) {
-          rec.samples.push_back(msg.field(f++));
-        }
-        if (seen_[rec.origin]) continue;
+        rec.origin = fields[f++];
+        rec.dest = fields[f++];
+        rec.ttl = fields[f++];
+        const std::uint64_t num_samples = fields[f++];
+        if (num_samples > fields.size() - f) break;
+        rec.samples.assign(fields.begin() + static_cast<long>(f),
+                           fields.begin() + static_cast<long>(f + num_samples));
+        f += num_samples;
+        if (rec.origin >= seen_.size() || seen_[rec.origin]) continue;
         seen_[rec.origin] = true;
         if (rec.dest == ctx.id()) {
           collected_.insert(collected_.end(), rec.samples.begin(),
                             rec.samples.end());
-        } else if (rec.ttl > 0) {
+        } else if (rec.ttl > 0 && rec.ttl <= radius_) {
           --rec.ttl;
           pending.push_back(std::move(rec));
         }
@@ -217,7 +224,8 @@ LocalPlan plan_local(std::uint64_t n, const net::Graph& graph, double epsilon,
 }
 
 net::ProtocolDriver make_local_driver(const LocalPlan& plan,
-                                      const net::Graph& graph) {
+                                      const net::Graph& graph,
+                                      const net::FaultPlan* faults) {
   if (!plan.feasible) {
     throw std::logic_error("make_local_driver: plan is infeasible");
   }
@@ -227,15 +235,10 @@ net::ProtocolDriver make_local_driver(const LocalPlan& plan,
   net::EngineConfig config;
   config.model = net::Model::kLocal;
   config.max_rounds = plan.radius + 2;
+  if (faults != nullptr) {
+    return net::ProtocolDriver(graph, config, *faults);
+  }
   return net::ProtocolDriver(graph, config);
-}
-
-LocalRunResult run_local_uniformity(const LocalPlan& plan,
-                                    const net::Graph& graph,
-                                    const core::AliasSampler& sampler,
-                                    std::uint64_t seed) {
-  net::ProtocolDriver driver = make_local_driver(plan, graph);
-  return run_local_uniformity(plan, driver, sampler, seed, /*traced=*/true);
 }
 
 LocalRunResult run_local_uniformity(const LocalPlan& plan,
@@ -250,6 +253,9 @@ LocalRunResult run_local_uniformity(const LocalPlan& plan,
   const unsigned sample_bits = net::bits_for(plan.n);
   const core::RepeatedGapTester tester(plan.and_plan.base,
                                        plan.and_plan.repetitions);
+  // Fault runs degrade gracefully: a starved MIS node votes reject rather
+  // than aborting (reject-bias preserves one-sided soundness).
+  const bool faulty = driver.fault_plan() != nullptr;
 
   return driver.run_trial(
       seed, traced,
@@ -261,21 +267,26 @@ LocalRunResult run_local_uniformity(const LocalPlan& plan,
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
         LocalRunResult result;
-        result.network_accepts = true;
         result.gather_metrics = metrics;
+        std::uint64_t rejecting = 0;
         for (std::uint32_t v = 0; v < k; ++v) {
           if (!plan.in_mis[v]) continue;
           const auto& samples = programs[v]->collected();
           if (samples.size() < tester.total_samples()) {
-            throw std::logic_error(
-                "run_local_uniformity: MIS node gathered fewer samples than "
-                "planned");
+            if (!faulty) {
+              throw std::logic_error(
+                  "run_local_uniformity: MIS node gathered fewer samples "
+                  "than planned");
+            }
+            ++result.mis_shortfalls;
+            ++rejecting;
+            continue;
           }
-          if (!tester.decide(samples)) {
-            result.network_accepts = false;
-            ++result.rejecting_mis_nodes;
-          }
+          if (!tester.decide(samples)) ++rejecting;
         }
+        result.verdict =
+            core::Verdict::make(rejecting == 0, rejecting, plan.mis_size,
+                                metrics.rounds, metrics.total_bits);
         return result;
       });
 }

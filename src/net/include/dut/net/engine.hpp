@@ -44,11 +44,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string_view>
 #include <vector>
 
+#include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 #include "dut/net/message.hpp"
 #include "dut/stats/rng.hpp"
@@ -88,9 +90,11 @@ class RoundLimitExceeded : public std::runtime_error {
 
 struct EngineMetrics {
   std::uint64_t rounds = 0;        ///< rounds executed until quiescence
-  std::uint64_t messages = 0;      ///< total messages delivered
+  std::uint64_t messages = 0;      ///< total send attempts (faulty included)
   std::uint64_t total_bits = 0;    ///< sum of declared message sizes
   std::uint64_t max_message_bits = 0;
+  /// Injected-fault tallies; all zero unless a FaultPlan is attached.
+  FaultCounts faults;
 };
 
 namespace detail {
@@ -248,9 +252,27 @@ class Engine {
   /// sink is unaffected.
   void set_env_trace(bool enabled) noexcept { env_trace_ = enabled; }
 
+  /// Attaches a copy of `plan` and switches the engine into fault mode for
+  /// subsequent run() calls (see dut/net/fault.hpp for the semantics; a
+  /// plan with all rates zero and no crashes still relaxes the lossless
+  /// model checks). Fault randomness is keyed on (plan salt, run seed,
+  /// round, edge, msg index) only, so it is independent of DUT_THREADS.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  void clear_fault_plan() noexcept { fault_plan_.reset(); }
+  bool fault_mode() const noexcept { return fault_plan_.has_value(); }
+  const FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.has_value() ? &*fault_plan_ : nullptr;
+  }
+
  private:
   friend class NodeContext;
   void deliver(std::uint32_t from, std::uint32_t to, const Message& msg);
+  /// Moves deferred (delayed) messages whose due round has arrived into the
+  /// pending arena, ahead of the counting sort; copies destined to
+  /// now-halted nodes are discarded as `expired`.
+  void inject_deferred();
+  /// Tallies the fault in the metrics registry and emits the trace event.
+  void emit_fault(std::string_view kind, std::uint32_t from, std::uint32_t to);
   /// Flips the arena at a round boundary: pending records are scattered
   /// into delivered CSR order (stable counting sort by destination, which
   /// preserves the sender-ascending inbox order), payload slabs swap roles,
@@ -297,6 +319,22 @@ class Engine {
   std::vector<std::size_t> edge_offset_;  // size num_nodes + 1
   std::vector<std::uint32_t> sorted_adj_;
   std::vector<std::uint64_t> last_sent_round_;
+
+  /// Fault state. Delayed messages wait in the deferred buffers (payload in
+  /// its own slab so round flips never invalidate the offsets) until
+  /// inject_deferred() moves them into pending; both buffers and the crash
+  /// cursor are reset by run(), so an aborted run can never replay stale
+  /// delayed messages into the next trial on a pooled engine.
+  struct DeferredRecord {
+    detail::ArenaRecord rec;
+    std::uint64_t due_round = 0;
+  };
+  std::optional<FaultPlan> fault_plan_;
+  std::vector<DeferredRecord> deferred_records_;
+  std::vector<std::uint64_t> deferred_payload_;
+  std::size_t crash_cursor_ = 0;
+  std::uint64_t fault_key_ = 0;   // mixed (salt, run seed) for resolve_faults
+  bool message_faults_ = false;   // cached fault_plan_->has_message_faults()
 
   obs::TraceSink* trace_sink_ = nullptr;  // attached via set_trace_sink
   obs::TraceSink* active_sink_ = nullptr;  // effective sink for current run

@@ -1,0 +1,135 @@
+#pragma once
+
+// Deterministic fault injection for the message-passing engine.
+//
+// A FaultPlan describes a degraded network: per-directed-edge probabilities
+// of message drop / duplication / payload corruption / bounded delay, plus a
+// crash-stop schedule (node v executes rounds < r, then stops forever).
+// Attach one to an Engine (or a ProtocolDriver, which copies it into every
+// pooled engine) and every run on that engine resolves faults from a
+// counter-based RNG keyed on (plan salt ^ run seed, round, edge, msg_index):
+// decisions are a pure hash of the message's logical coordinates, never of
+// execution order, so Monte-Carlo sweeps stay bit-identical at any
+// DUT_THREADS width and across engine reuse.
+//
+// Attaching a plan — even one with all rates zero — switches the engine into
+// fault mode, which relaxes the model checks that assume lossless delivery:
+// sends to halted or crashed nodes are silently discarded (counted as
+// `expired`) instead of throwing ProtocolViolation, and the
+// halted-with-queued-messages / post-termination quiescence checks are
+// skipped. Every injected fault is emitted as an obs::TraceSink event and
+// tallied in EngineMetrics::faults.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dut::net {
+
+/// Per-directed-edge fault probabilities. All probabilities in [0, 1].
+struct FaultRates {
+  double drop = 0.0;       ///< message vanishes
+  double duplicate = 0.0;  ///< a second identical copy is delivered
+  double corrupt = 0.0;    ///< one payload field is XORed with a random mask
+  double delay = 0.0;      ///< delivery deferred by 1..max_delay_rounds rounds
+  std::uint64_t max_delay_rounds = 3;
+
+  bool any() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || corrupt > 0.0 || delay > 0.0;
+  }
+};
+
+/// The outcome of resolving all fault draws for one message.
+struct FaultDraw {
+  bool drop = false;
+  bool duplicate = false;
+  bool corrupt = false;
+  bool delay = false;
+  std::uint64_t delay_rounds = 0;   ///< in [1, max_delay_rounds] when delay
+  std::uint64_t corrupt_field = 0;  ///< raw draw; reduce mod num_fields
+  std::uint64_t corrupt_mask = 0;   ///< nonzero XOR mask when corrupt
+};
+
+/// Counter-based fault resolution: a pure function of the key coordinates.
+/// Draw order is fixed (drop, duplicate, corrupt, delay) so adding a rate
+/// never perturbs the other decisions for the same message.
+FaultDraw resolve_faults(const FaultRates& rates, std::uint64_t key,
+                         std::uint64_t round, std::uint64_t edge,
+                         std::uint64_t msg_index);
+
+/// Aggregate fault tallies for one run (part of EngineMetrics).
+struct FaultCounts {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t delayed = 0;
+  /// Sends/deliveries discarded because the destination had halted or
+  /// crashed (only possible in fault mode, where this is not a violation).
+  std::uint64_t expired = 0;
+  std::uint64_t crashes = 0;
+
+  std::uint64_t total() const noexcept {
+    return dropped + duplicated + corrupted + delayed + expired + crashes;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  /// `salt` decorrelates fault randomness from the run seed (the effective
+  /// key is salt ^ run seed, mixed).
+  explicit FaultPlan(std::uint64_t salt) : salt_(salt) {}
+
+  /// Default rates for every directed edge without an override.
+  void set_rates(const FaultRates& rates) noexcept { default_rates_ = rates; }
+  /// Override for the directed edge from -> to.
+  void set_edge_rates(std::uint32_t from, std::uint32_t to,
+                      const FaultRates& rates) {
+    edge_rates_[edge_key(from, to)] = rates;
+  }
+  /// Node `node` executes rounds < `round`, then stops forever (crash at
+  /// round 0 means it never runs). Re-adding keeps the earliest round.
+  void add_crash(std::uint32_t node, std::uint64_t round);
+
+  const FaultRates& rates_for(std::uint32_t from,
+                              std::uint32_t to) const noexcept {
+    if (!edge_rates_.empty()) {
+      const auto it = edge_rates_.find(edge_key(from, to));
+      if (it != edge_rates_.end()) return it->second;
+    }
+    return default_rates_;
+  }
+
+  bool has_message_faults() const noexcept;
+  bool has_crashes() const noexcept { return !crash_schedule_.empty(); }
+  /// Crash schedule as (round, node) pairs sorted by round then node.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>>& crash_schedule()
+      const noexcept {
+    return crash_schedule_;
+  }
+  std::optional<std::uint64_t> crash_round(std::uint32_t node) const;
+
+  std::uint64_t salt() const noexcept { return salt_; }
+
+  /// Parses a CLI fault spec of comma-separated assignments:
+  ///   drop=P  dup=P  corrupt=P  delay=P[:MAX]  seed=S
+  ///   crash=NODE@ROUND[+NODE@ROUND...]
+  /// e.g. "drop=0.05,dup=0.01,delay=0.1:4,crash=3@0+17@12,seed=9".
+  /// Throws std::invalid_argument on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+ private:
+  static std::uint64_t edge_key(std::uint32_t from, std::uint32_t to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  FaultRates default_rates_;
+  std::map<std::uint64_t, FaultRates> edge_rates_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> crash_schedule_;
+  std::uint64_t salt_ = 0;
+};
+
+}  // namespace dut::net

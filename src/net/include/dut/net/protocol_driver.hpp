@@ -20,10 +20,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <type_traits>
 #include <vector>
 
 #include "dut/net/engine.hpp"
+#include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 
 namespace dut::net {
@@ -39,6 +41,15 @@ class ProtocolDriver {
  public:
   /// The driver keeps a reference to `graph`; the caller must keep it alive.
   ProtocolDriver(const Graph& graph, EngineConfig base_config);
+
+  /// Same, with a fault plan attached from the start (the driver is
+  /// non-movable, so factories that return one by prvalue cannot call
+  /// set_fault_plan after construction).
+  ProtocolDriver(const Graph& graph, EngineConfig base_config,
+                 const FaultPlan& faults)
+      : ProtocolDriver(graph, base_config) {
+    fault_plan_ = faults;
+  }
 
   ProtocolDriver(const ProtocolDriver&) = delete;
   ProtocolDriver& operator=(const ProtocolDriver&) = delete;
@@ -78,6 +89,15 @@ class ProtocolDriver {
   const Graph& graph() const noexcept { return graph_; }
   const EngineConfig& config() const noexcept { return base_config_; }
 
+  /// Attaches `plan` to every pooled engine (current and future leases run
+  /// in fault mode; see dut/net/fault.hpp). Not thread-safe against
+  /// concurrent run_trial calls — set it before fanning out trials.
+  void set_fault_plan(const FaultPlan& plan) { fault_plan_ = plan; }
+  void clear_fault_plan() noexcept { fault_plan_.reset(); }
+  const FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.has_value() ? &*fault_plan_ : nullptr;
+  }
+
   /// Runs one trial: builds `make(v)` for every node v, runs a leased
   /// engine over them with the trial's `seed`, and returns
   /// `extract(programs, metrics)`. `traced` gates DUT_TRACE resolution for
@@ -108,6 +128,7 @@ class ProtocolDriver {
 
   const Graph& graph_;
   EngineConfig base_config_;
+  std::optional<FaultPlan> fault_plan_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<State>> pool_;  // all engines ever created
   std::vector<State*> idle_;                  // currently unleased

@@ -1,6 +1,7 @@
 #include "dut/net/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <string>
 
@@ -68,18 +69,18 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
     trace_violation("protocol", detail);
     throw ProtocolViolation(detail);
   }
-  if (halted_[to]) {
-    const std::string detail = "node " + std::to_string(from) +
-                               " sent to halted node " + std::to_string(to);
-    trace_violation("protocol", detail);
-    throw ProtocolViolation(detail);
-  }
   const auto edge_index = static_cast<std::size_t>(it - first);
   std::uint64_t& guard = last_sent_round_[adj_begin + edge_index];
   if (guard == current_round_) {
     const std::string detail =
         "node " + std::to_string(from) + " sent twice to " +
         std::to_string(to) + " in round " + std::to_string(current_round_);
+    trace_violation("protocol", detail);
+    throw ProtocolViolation(detail);
+  }
+  if (halted_[to] && !fault_plan_.has_value()) {
+    const std::string detail = "node " + std::to_string(from) +
+                               " sent to halted node " + std::to_string(to);
     trace_violation("protocol", detail);
     throw ProtocolViolation(detail);
   }
@@ -103,20 +104,116 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
   metrics_.total_bits += msg.bits;
   metrics_.max_message_bits = std::max(metrics_.max_message_bits, msg.bits);
 
+  if (halted_[to]) {
+    // Fault mode: the receiver halted or crashed; the message is lost on
+    // the floor instead of being a protocol violation.
+    ++metrics_.faults.expired;
+    emit_fault("expire", from, to);
+    return;
+  }
+
+  FaultDraw draw;
+  if (message_faults_) {
+    draw = resolve_faults(fault_plan_->rates_for(from, to), fault_key_,
+                          current_round_, adj_begin + edge_index, 0);
+  }
+  if (draw.drop) {
+    ++metrics_.faults.dropped;
+    emit_fault("drop", from, to);
+    return;
+  }
+
   const auto fields = msg.fields();
   detail::ArenaRecord rec;
   rec.sender = from;
   rec.to = to;
   rec.num_fields = static_cast<std::uint32_t>(fields.size());
   rec.bits = msg.bits;
-  rec.payload_begin = pending_payload_.size();
-  pending_payload_.insert(pending_payload_.end(), fields.begin(),
-                          fields.end());
-  pending_records_.push_back(rec);
-  ++pending_count_[to];
+  // Delayed payloads go to the deferred slab, which survives round flips.
+  std::vector<std::uint64_t>& payload =
+      draw.delay ? deferred_payload_ : pending_payload_;
+  rec.payload_begin = payload.size();
+  payload.insert(payload.end(), fields.begin(), fields.end());
+  if (draw.corrupt && rec.num_fields > 0) {
+    // Corruption flips bits within the field's occupied width only: the
+    // arena does not retain per-field declared widths, so this is the
+    // strongest corruption that provably keeps the value wire-valid (a
+    // corrupted field never exceeds the width its sender declared).
+    std::uint64_t& slot =
+        payload[rec.payload_begin + draw.corrupt_field % rec.num_fields];
+    const int occupied = slot == 0 ? 1 : std::bit_width(slot);
+    std::uint64_t mask = occupied >= 64
+                             ? draw.corrupt_mask
+                             : draw.corrupt_mask & ((1ULL << occupied) - 1);
+    if (mask == 0) mask = 1;
+    slot ^= mask;
+    ++metrics_.faults.corrupted;
+    emit_fault("corrupt", from, to);
+  }
+  if (draw.delay) {
+    deferred_records_.push_back(
+        {rec, current_round_ + 1 + draw.delay_rounds});
+    ++metrics_.faults.delayed;
+    emit_fault("delay", from, to);
+  } else {
+    pending_records_.push_back(rec);
+    ++pending_count_[to];
+  }
+  if (draw.duplicate) {
+    // The duplicate shares the original's payload range (and corruption)
+    // and follows its delayed-or-immediate path.
+    if (draw.delay) {
+      deferred_records_.push_back(
+          {rec, current_round_ + 1 + draw.delay_rounds});
+    } else {
+      pending_records_.push_back(rec);
+      ++pending_count_[to];
+    }
+    ++metrics_.faults.duplicated;
+    emit_fault("dup", from, to);
+  }
+}
+
+void Engine::emit_fault(std::string_view kind, std::uint32_t from,
+                        std::uint32_t to) {
+  if (obs::enabled()) obs::counter("net.faults").add();
+  if (active_sink_ != nullptr) {
+    active_sink_->on_fault(current_round_, kind, from, to);
+  }
+}
+
+void Engine::inject_deferred() {
+  if (deferred_records_.empty()) return;
+  std::size_t kept = 0;
+  for (const DeferredRecord& d : deferred_records_) {
+    if (d.due_round > current_round_) {
+      deferred_records_[kept++] = d;
+      continue;
+    }
+    if (halted_[d.rec.to]) {
+      ++metrics_.faults.expired;
+      emit_fault("expire", d.rec.sender, d.rec.to);
+      continue;
+    }
+    detail::ArenaRecord rec = d.rec;
+    rec.payload_begin = pending_payload_.size();
+    const auto src = deferred_payload_.begin() +
+                     static_cast<std::ptrdiff_t>(d.rec.payload_begin);
+    pending_payload_.insert(pending_payload_.end(), src,
+                            src + rec.num_fields);
+    pending_records_.push_back(rec);
+    ++pending_count_[rec.to];
+  }
+  deferred_records_.resize(kept);
+  // The slab can only be reclaimed once nothing references it; the deferral
+  // window is bounded by max_delay_rounds, so this happens regularly.
+  if (deferred_records_.empty()) deferred_payload_.clear();
 }
 
 void Engine::flip_round() {
+  // Delayed messages whose round has come join the scatter behind this
+  // round's fresh sends (stable sort ⇒ fresh-before-delayed per inbox).
+  if (fault_plan_.has_value()) inject_deferred();
   const std::uint32_t k = graph_.num_nodes();
   inbox_offset_[0] = 0;
   for (std::uint32_t v = 0; v < k; ++v) {
@@ -163,6 +260,18 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
   delivered_payload_.clear();
   std::fill(pending_count_.begin(), pending_count_.end(), 0);
   std::fill(last_sent_round_.begin(), last_sent_round_.end(), kNeverSent);
+  // Deferred-delivery state must go too: a run aborted mid-flight (e.g. a
+  // ProtocolViolation on a pooled engine) may have left delayed messages
+  // queued, and replaying them into the next trial would corrupt it.
+  deferred_records_.clear();
+  deferred_payload_.clear();
+  crash_cursor_ = 0;
+  message_faults_ =
+      fault_plan_.has_value() && fault_plan_->has_message_faults();
+  fault_key_ = fault_plan_.has_value()
+                   ? stats::SplitMix64(fault_plan_->salt()).next() ^
+                         stats::SplitMix64(seed).next()
+                   : 0;
 
   // Resolve the trace sink for this run: an attached sink wins; otherwise —
   // unless set_env_trace(false) opted this engine out — DUT_TRACE names a
@@ -216,6 +325,23 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
     // Deliver last round's sends.
     flip_round();
 
+    // Crash-stop: node v executes rounds < r, so it is removed here, after
+    // its round-r inbox materialized but before it could read it.
+    if (fault_plan_.has_value()) {
+      const auto& schedule = fault_plan_->crash_schedule();
+      while (crash_cursor_ < schedule.size() &&
+             schedule[crash_cursor_].first <= current_round_) {
+        const std::uint32_t v = schedule[crash_cursor_].second;
+        ++crash_cursor_;
+        if (v >= k || halted_[v]) continue;
+        halted_[v] = true;
+        --active;
+        ++metrics_.faults.crashes;
+        emit_fault("crash", v, v);
+        if (active_sink_ != nullptr) active_sink_->on_halt(current_round_, v);
+      }
+    }
+
     if (active_sink_ != nullptr) {
       active_sink_->on_round(current_round_, active);
       if (trace_delivers_) {
@@ -251,9 +377,11 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
         if (active_sink_ != nullptr) {
           active_sink_->on_halt(current_round_, v);
         }
-        if (pending_count_[v] != 0) {
+        if (pending_count_[v] != 0 && !fault_plan_.has_value()) {
           // A same-round earlier neighbor already queued a message for a
           // node that has just halted: the protocol's termination is racy.
+          // In fault mode this is routine (retransmissions race halts) and
+          // the queued messages simply land in a dead inbox.
           const std::string detail = "node " + std::to_string(v) +
                                      " halted with queued incoming messages";
           trace_violation("protocol", detail);
@@ -273,7 +401,17 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
   metrics_.rounds = current_round_;
 
   // Quiescence check: nothing may remain in flight after everyone halted.
-  if (!pending_records_.empty()) {
+  // Skipped in fault mode, where in-flight messages to halted nodes are the
+  // expected debris of a degraded network; delayed messages that never came
+  // due are accounted as expired.
+  if (fault_plan_.has_value()) {
+    for (const DeferredRecord& d : deferred_records_) {
+      ++metrics_.faults.expired;
+      emit_fault("expire", d.rec.sender, d.rec.to);
+    }
+    deferred_records_.clear();
+    deferred_payload_.clear();
+  } else if (!pending_records_.empty()) {
     const std::string detail = "messages in flight after global termination";
     trace_violation("protocol", detail);
     throw ProtocolViolation(detail);

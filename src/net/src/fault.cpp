@@ -1,0 +1,189 @@
+#include "dut/net/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dut/stats/rng.hpp"
+
+namespace dut::net {
+
+namespace {
+
+/// One 64-bit word of the counter-based stream: SplitMix64 chained over the
+/// logical coordinates plus a lane index, so every decision for a message
+/// reads an independent word of the same keyed stream.
+std::uint64_t fault_word(std::uint64_t key, std::uint64_t round,
+                         std::uint64_t edge, std::uint64_t msg_index,
+                         std::uint64_t lane) noexcept {
+  std::uint64_t h = stats::SplitMix64(key).next();
+  h = stats::SplitMix64(h ^ round).next();
+  h = stats::SplitMix64(h ^ edge).next();
+  h = stats::SplitMix64(h ^ msg_index).next();
+  return stats::SplitMix64(h ^ lane).next();
+}
+
+/// Uniform [0, 1) with 53 bits, same construction as Xoshiro256::uniform01.
+double to_unit(std::uint64_t word) noexcept {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultDraw resolve_faults(const FaultRates& rates, std::uint64_t key,
+                         std::uint64_t round, std::uint64_t edge,
+                         std::uint64_t msg_index) {
+  FaultDraw draw;
+  if (rates.drop > 0.0 &&
+      to_unit(fault_word(key, round, edge, msg_index, 0)) < rates.drop) {
+    draw.drop = true;
+    return draw;  // a dropped message needs no further decisions
+  }
+  if (rates.duplicate > 0.0 &&
+      to_unit(fault_word(key, round, edge, msg_index, 1)) < rates.duplicate) {
+    draw.duplicate = true;
+  }
+  if (rates.corrupt > 0.0 &&
+      to_unit(fault_word(key, round, edge, msg_index, 2)) < rates.corrupt) {
+    draw.corrupt = true;
+    draw.corrupt_field = fault_word(key, round, edge, msg_index, 5);
+    draw.corrupt_mask = fault_word(key, round, edge, msg_index, 6);
+    if (draw.corrupt_mask == 0) draw.corrupt_mask = 1;
+  }
+  if (rates.delay > 0.0 && rates.max_delay_rounds > 0 &&
+      to_unit(fault_word(key, round, edge, msg_index, 3)) < rates.delay) {
+    draw.delay = true;
+    draw.delay_rounds =
+        1 + fault_word(key, round, edge, msg_index, 4) % rates.max_delay_rounds;
+  }
+  return draw;
+}
+
+void FaultPlan::add_crash(std::uint32_t node, std::uint64_t round) {
+  for (auto& [r, v] : crash_schedule_) {
+    if (v == node) {
+      r = std::min(r, round);
+      std::sort(crash_schedule_.begin(), crash_schedule_.end());
+      return;
+    }
+  }
+  crash_schedule_.emplace_back(round, node);
+  std::sort(crash_schedule_.begin(), crash_schedule_.end());
+}
+
+bool FaultPlan::has_message_faults() const noexcept {
+  if (default_rates_.any()) return true;
+  for (const auto& [key, rates] : edge_rates_) {
+    (void)key;
+    if (rates.any()) return true;
+  }
+  return false;
+}
+
+std::optional<std::uint64_t> FaultPlan::crash_round(
+    std::uint32_t node) const {
+  for (const auto& [round, v] : crash_schedule_) {
+    if (v == node) return round;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+double parse_probability(const std::string& token, const std::string& spec) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan::parse: bad probability '" + token +
+                                "' in '" + spec + "'");
+  }
+  if (used != token.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("FaultPlan::parse: bad probability '" + token +
+                                "' in '" + spec + "'");
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& spec) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("FaultPlan::parse: bad integer '" + token +
+                                "' in '" + spec + "'");
+  }
+  if (used != token.size()) {
+    throw std::invalid_argument("FaultPlan::parse: bad integer '" + token +
+                                "' in '" + spec + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultRates rates;
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("FaultPlan::parse: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      rates.drop = parse_probability(value, spec);
+    } else if (key == "dup") {
+      rates.duplicate = parse_probability(value, spec);
+    } else if (key == "corrupt") {
+      rates.corrupt = parse_probability(value, spec);
+    } else if (key == "delay") {
+      const std::size_t colon = value.find(':');
+      rates.delay = parse_probability(value.substr(0, colon), spec);
+      if (colon != std::string::npos) {
+        rates.max_delay_rounds = parse_u64(value.substr(colon + 1), spec);
+        if (rates.max_delay_rounds == 0) {
+          throw std::invalid_argument(
+              "FaultPlan::parse: delay bound must be >= 1");
+        }
+      }
+    } else if (key == "seed") {
+      // Assign the salt in place: reconstructing the plan here would wipe
+      // any crash schedule parsed from an earlier item.
+      plan.salt_ = parse_u64(value, spec);
+    } else if (key == "crash") {
+      std::size_t p = 0;
+      while (p < value.size()) {
+        std::size_t plus = value.find('+', p);
+        if (plus == std::string::npos) plus = value.size();
+        const std::string entry = value.substr(p, plus - p);
+        p = plus + 1;
+        const std::size_t at = entry.find('@');
+        if (at == std::string::npos) {
+          throw std::invalid_argument(
+              "FaultPlan::parse: crash entries are NODE@ROUND, got '" + entry +
+              "'");
+        }
+        plan.add_crash(
+            static_cast<std::uint32_t>(parse_u64(entry.substr(0, at), spec)),
+            parse_u64(entry.substr(at + 1), spec));
+      }
+    } else {
+      throw std::invalid_argument("FaultPlan::parse: unknown key '" + key +
+                                  "'");
+    }
+  }
+  plan.set_rates(rates);
+  return plan;
+}
+
+}  // namespace dut::net

@@ -13,6 +13,11 @@ ProtocolDriver::Lease ProtocolDriver::acquire() {
   }
   State* state = idle_.back();
   idle_.pop_back();
+  if (fault_plan_.has_value()) {
+    state->engine.set_fault_plan(*fault_plan_);
+  } else {
+    state->engine.clear_fault_plan();
+  }
   return Lease(this, state);
 }
 

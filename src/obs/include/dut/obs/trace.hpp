@@ -69,6 +69,13 @@ class TraceSink {
     (void)round; (void)from; (void)to; (void)bits;
   }
   virtual void on_halt(std::uint64_t round, std::uint32_t node) = 0;
+  /// An injected fault (net::FaultPlan): kind is one of "drop", "dup",
+  /// "corrupt", "delay", "expire", "crash" (from == to for crashes).
+  /// Default-ignored so fault-oblivious sinks keep compiling.
+  virtual void on_fault(std::uint64_t round, std::string_view kind,
+                        std::uint32_t from, std::uint32_t to) {
+    (void)round; (void)kind; (void)from; (void)to;
+  }
   virtual void on_violation(std::uint64_t round, std::string_view kind,
                             std::string_view detail) = 0;
   virtual void on_run_end(const TraceRunTotals& totals) = 0;
@@ -95,6 +102,8 @@ class JsonlTraceWriter : public TraceSink {
   void on_deliver(std::uint64_t round, std::uint32_t from, std::uint32_t to,
                   std::uint64_t bits) override;
   void on_halt(std::uint64_t round, std::uint32_t node) override;
+  void on_fault(std::uint64_t round, std::string_view kind, std::uint32_t from,
+                std::uint32_t to) override;
   void on_violation(std::uint64_t round, std::string_view kind,
                     std::string_view detail) override;
   void on_run_end(const TraceRunTotals& totals) override;

@@ -24,6 +24,7 @@ struct TraceRunSummary {
   std::uint64_t rounds_seen = 0;  ///< round events observed
   std::vector<std::uint64_t> per_node_sent_bits;  ///< indexed by node id
   std::uint64_t halts = 0;
+  std::uint64_t faults = 0;  ///< injected-fault events (net::FaultPlan)
 
   /// Sends whose declared bits exceed info.bandwidth_bits (CONGEST only;
   /// always 0 for a healthy run — the engine throws before delivering).

@@ -121,6 +121,15 @@ void JsonlTraceWriter::on_halt(std::uint64_t round, std::uint32_t node) {
                      static_cast<unsigned long long>(round), node));
 }
 
+void JsonlTraceWriter::on_fault(std::uint64_t round, std::string_view kind,
+                                std::uint32_t from, std::uint32_t to) {
+  emit(round,
+       format("{\"ev\":\"fault\",\"round\":%llu,\"kind\":\"%s\",\"from\":%u,"
+              "\"to\":%u}",
+              static_cast<unsigned long long>(round), escape(kind).c_str(),
+              from, to));
+}
+
 void JsonlTraceWriter::on_violation(std::uint64_t round, std::string_view kind,
                                     std::string_view detail) {
   emit(round,

@@ -67,6 +67,8 @@ void apply_line(const Json& line, std::vector<TraceRunSummary>& runs) {
     // Level-2 detail; carries no totals the send didn't already.
   } else if (kind == "halt") {
     ++run.halts;
+  } else if (kind == "fault") {
+    ++run.faults;
   } else if (kind == "violation") {
     const Json* violation_kind = line.get("kind");
     const Json* detail = line.get("detail");

@@ -18,6 +18,14 @@ namespace {
 
 using net::Graph;
 
+// The public API takes a pooled ProtocolDriver; these tests sweep many
+// one-shot (graph, tau) pairs, so route each through a fresh driver.
+PackagingRunResult run_token_packaging(const Graph& graph, std::uint64_t tau,
+                                       std::uint64_t seed) {
+  net::ProtocolDriver driver = make_packaging_driver(graph, tau);
+  return ::dut::congest::run_token_packaging(driver, tau, seed);
+}
+
 struct PackagingCase {
   const char* name;
   Graph graph;

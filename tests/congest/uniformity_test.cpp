@@ -15,6 +15,34 @@ namespace {
 
 using net::Graph;
 
+// The public API runs over a pooled ProtocolDriver; these tests sweep
+// one-shot (plan, graph) pairs, so route each through a fresh driver.
+CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+                                        const Graph& graph,
+                                        const core::AliasSampler& sampler,
+                                        std::uint64_t seed) {
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return ::dut::congest::run_congest_uniformity(plan, driver, sampler, seed);
+}
+
+CongestRunResult run_congest_uniformity_heterogeneous(
+    const CongestPlan& plan, const Graph& graph,
+    const core::AliasSampler& sampler,
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed) {
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return ::dut::congest::run_congest_uniformity_heterogeneous(
+      plan, driver, sampler, counts, seed);
+}
+
+AmplifiedCongestResult run_congest_uniformity_amplified(
+    const CongestPlan& plan, const Graph& graph,
+    const core::AliasSampler& sampler, std::uint64_t seed,
+    std::uint64_t repetitions) {
+  net::ProtocolDriver driver = make_congest_driver(plan, graph);
+  return ::dut::congest::run_congest_uniformity_amplified(
+      plan, driver, sampler, seed, repetitions);
+}
+
 TEST(CongestPlanner, FeasibleRegime) {
   const auto plan = plan_congest(1 << 12, 4096, 1.2);
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
@@ -81,7 +109,7 @@ TEST(CongestTester, EndToEndErrorWithinBudget) {
   std::uint64_t uniform_rejects = 0;
   constexpr std::uint64_t kTrials = 30;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
-    if (run_congest_uniformity(plan, g, uni, 1000 + t).network_rejects) {
+    if (run_congest_uniformity(plan, g, uni, 1000 + t).verdict.rejects()) {
       ++uniform_rejects;
     }
   }
@@ -91,7 +119,7 @@ TEST(CongestTester, EndToEndErrorWithinBudget) {
   const core::AliasSampler far(core::far_instance(n, eps));
   std::uint64_t far_accepts = 0;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
-    if (!run_congest_uniformity(plan, g, far, 2000 + t).network_rejects) {
+    if (!run_congest_uniformity(plan, g, far, 2000 + t).verdict.rejects()) {
       ++far_accepts;
     }
   }
@@ -126,7 +154,7 @@ TEST(CongestTester, PackageCountMatchesPlan) {
   const core::AliasSampler uni(core::uniform(1 << 12));
   const auto result = run_congest_uniformity(plan, g, uni, 9);
   EXPECT_EQ(result.num_packages, plan.num_packages);
-  EXPECT_LE(result.reject_count, result.num_packages);
+  EXPECT_LE(result.verdict.votes_reject, result.num_packages);
 }
 
 TEST(CongestTester, DeterministicPerSeed) {
@@ -136,8 +164,8 @@ TEST(CongestTester, DeterministicPerSeed) {
   const core::AliasSampler uni(core::uniform(1 << 12));
   const auto a = run_congest_uniformity(plan, g, uni, 31);
   const auto b = run_congest_uniformity(plan, g, uni, 31);
-  EXPECT_EQ(a.network_rejects, b.network_rejects);
-  EXPECT_EQ(a.reject_count, b.reject_count);
+  EXPECT_EQ(a.verdict.rejects(), b.verdict.rejects());
+  EXPECT_EQ(a.verdict.votes_reject, b.verdict.votes_reject);
   EXPECT_EQ(a.metrics.messages, b.metrics.messages);
 }
 
@@ -177,9 +205,9 @@ TEST(CongestTester, MultiSampleEndToEnd) {
   constexpr std::uint64_t kTrials = 30;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
     uniform_rejects +=
-        run_congest_uniformity(plan, g, uni, 5000 + t).network_rejects;
+        run_congest_uniformity(plan, g, uni, 5000 + t).verdict.rejects();
     far_rejects +=
-        run_congest_uniformity(plan, g, far, 6000 + t).network_rejects;
+        run_congest_uniformity(plan, g, far, 6000 + t).verdict.rejects();
   }
   EXPECT_LE(stats::wilson_interval(uniform_rejects, kTrials, 3.89).lo,
             1.0 / 3.0);
@@ -209,10 +237,10 @@ TEST(CongestTester, HeterogeneousCountsKeepGuarantees) {
   for (std::uint64_t t = 0; t < kTrials; ++t) {
     uniform_rejects += run_congest_uniformity_heterogeneous(
                            plan, g, uni, counts, 7000 + t)
-                           .network_rejects;
+                           .verdict.rejects();
     far_rejects += run_congest_uniformity_heterogeneous(plan, g, far, counts,
                                                         8000 + t)
-                       .network_rejects;
+                       .verdict.rejects();
   }
   EXPECT_LE(stats::wilson_interval(uniform_rejects, kTrials, 3.89).lo,
             1.0 / 3.0);
@@ -304,9 +332,9 @@ TEST(CongestTester, AmplificationDrivesErrorDown) {
   for (std::uint64_t t = 0; t < kTrials; ++t) {
     uniform_rejects += run_congest_uniformity_amplified(plan, g, uni,
                                                         100 + t, 5)
-                           .network_rejects;
+                           .verdict.rejects();
     far_accepts += !run_congest_uniformity_amplified(plan, g, far, 200 + t, 5)
-                        .network_rejects;
+                        .verdict.rejects();
   }
   EXPECT_LE(uniform_rejects, 2u);
   EXPECT_LE(far_accepts, 1u);
@@ -319,10 +347,10 @@ TEST(CongestTester, AmplificationBookkeeping) {
   const core::AliasSampler uni(core::uniform(1 << 12));
   const auto result =
       run_congest_uniformity_amplified(plan, g, uni, 7, 3);
-  EXPECT_EQ(result.repetitions, 3u);
-  EXPECT_LE(result.reject_verdicts, 3u);
+  EXPECT_EQ(result.verdict.votes_total, 3u);
+  EXPECT_LE(result.verdict.votes_reject, 3u);
   EXPECT_GT(result.total_rounds, 0u);
-  EXPECT_EQ(result.network_rejects, 2 * result.reject_verdicts > 3);
+  EXPECT_EQ(result.verdict.rejects(), 2 * result.verdict.votes_reject > 3);
   // Even repetition counts are ambiguous under majority: rejected.
   EXPECT_THROW(run_congest_uniformity_amplified(plan, g, uni, 7, 4),
                std::invalid_argument);

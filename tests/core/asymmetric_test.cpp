@@ -129,15 +129,14 @@ TEST(AsymmetricThreshold, EndToEndErrorWithinBudget) {
   const auto false_reject = stats::estimate_probability(
       11, 200, [&](stats::Xoshiro256& rng) {
         return run_asymmetric_threshold_network(plan, uni, rng)
-            .network_rejects;
+            .rejects();
       });
   EXPECT_LE(false_reject.lo, 1.0 / 3.0);
 
   const AliasSampler far(far_instance(n, 1.2));
   const auto false_accept = stats::estimate_probability(
       12, 200, [&](stats::Xoshiro256& rng) {
-        return !run_asymmetric_threshold_network(plan, far, rng)
-                    .network_rejects;
+        return run_asymmetric_threshold_network(plan, far, rng).accepts;
       });
   EXPECT_LE(false_accept.lo, 1.0 / 3.0);
   EXPECT_GT(1.0 - false_accept.p_hat, false_reject.p_hat + 0.2);
@@ -200,14 +199,14 @@ TEST(AsymmetricAnd, EndToEndErrorWithinBudget) {
   const AliasSampler uni(uniform(n));
   const auto false_reject = stats::estimate_probability(
       21, 120, [&](stats::Xoshiro256& rng) {
-        return !run_asymmetric_and_network(plan, uni, rng);
+        return run_asymmetric_and_network(plan, uni, rng).rejects();
       });
   EXPECT_LE(false_reject.lo, 1.0 / 3.0);
 
   const AliasSampler far(far_instance(n, 1.3));
   const auto false_accept = stats::estimate_probability(
       22, 120, [&](stats::Xoshiro256& rng) {
-        return run_asymmetric_and_network(plan, far, rng);
+        return run_asymmetric_and_network(plan, far, rng).accepts;
       });
   EXPECT_LE(false_accept.lo, 1.0 / 3.0);
 }

@@ -116,7 +116,7 @@ TEST(AndRuleNetwork, EndToEndErrorWithinBudget) {
   const AliasSampler uniform_sampler(uniform(n));
   const auto false_reject = stats::estimate_probability(
       111, 150, [&](stats::Xoshiro256& rng) {
-        return !run_and_rule_network(plan, uniform_sampler, rng);
+        return run_and_rule_network(plan, uniform_sampler, rng).rejects();
       });
   EXPECT_LE(false_reject.lo, p)
       << "false-reject rate " << false_reject.p_hat << " refutes the bound";
@@ -124,7 +124,7 @@ TEST(AndRuleNetwork, EndToEndErrorWithinBudget) {
   const AliasSampler far_sampler(far_instance(n, eps));
   const auto false_accept = stats::estimate_probability(
       222, 150, [&](stats::Xoshiro256& rng) {
-        return run_and_rule_network(plan, far_sampler, rng);
+        return run_and_rule_network(plan, far_sampler, rng).accepts;
       });
   EXPECT_LE(false_accept.lo, p)
       << "false-accept rate " << false_accept.p_hat << " refutes the bound";
@@ -209,15 +209,14 @@ TEST(ThresholdNetwork, EndToEndErrorWithinBudget) {
   const auto false_reject = stats::estimate_probability(
       333, 400, [&](stats::Xoshiro256& rng) {
         return run_threshold_network(plan, uniform_sampler, rng)
-            .network_rejects;
+            .rejects();
       });
   EXPECT_LE(false_reject.lo, 1.0 / 3.0);
 
   const AliasSampler far_sampler(paninski_two_bump(n, eps));
   const auto false_accept = stats::estimate_probability(
       444, 400, [&](stats::Xoshiro256& rng) {
-        return !run_threshold_network(plan, far_sampler, rng)
-                    .network_rejects;
+        return run_threshold_network(plan, far_sampler, rng).accepts;
       });
   EXPECT_LE(false_accept.lo, 1.0 / 3.0);
 
@@ -236,7 +235,7 @@ TEST(ThresholdNetwork, RejectCountConcentratesNearEta) {
   for (std::uint64_t t = 0; t < 200; ++t) {
     stats::Xoshiro256 rng = stats::derive_stream(555, t);
     rejects.add(static_cast<double>(
-        run_threshold_network(plan, uniform_sampler, rng).rejects));
+        run_threshold_network(plan, uniform_sampler, rng).votes_reject));
   }
   // Mean reject count within 5 sigma of eta_uniform.
   const double sigma = std::sqrt(plan.eta_uniform / 200.0);

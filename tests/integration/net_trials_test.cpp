@@ -69,13 +69,13 @@ TEST(NetTrials, CongestVerdictStreamIsThreadInvariant) {
         plan, driver, uniform_sampler, 3000 + t, /*traced=*/false);
     const auto on_far = congest::run_congest_uniformity(
         plan, driver, far_sampler, 4000 + t, /*traced=*/false);
-    std::uint64_t h = mix(0, on_uniform.network_rejects);
-    h = mix(h, on_uniform.reject_count);
+    std::uint64_t h = mix(0, on_uniform.verdict.rejects());
+    h = mix(h, on_uniform.verdict.votes_reject);
     h = mix(h, on_uniform.leader);
     h = mix(h, on_uniform.metrics.rounds);
     h = mix(h, on_uniform.metrics.total_bits);
-    h = mix(h, on_far.network_rejects);
-    h = mix(h, on_far.reject_count);
+    h = mix(h, on_far.verdict.rejects());
+    h = mix(h, on_far.verdict.votes_reject);
     h = mix(h, on_far.metrics.rounds);
     return h;
   });
@@ -107,8 +107,8 @@ TEST(NetTrials, LocalVerdictStreamIsThreadInvariant) {
   expect_thread_invariant(6, [&](std::uint64_t t) {
     const auto result = local::run_local_uniformity(
         plan, driver, uniform_sampler, 100 + t, /*traced=*/false);
-    std::uint64_t h = mix(0, result.network_accepts);
-    h = mix(h, result.rejecting_mis_nodes);
+    std::uint64_t h = mix(0, result.verdict.accepts);
+    h = mix(h, result.verdict.votes_reject);
     h = mix(h, result.gather_metrics.rounds);
     h = mix(h, result.gather_metrics.total_bits);
     return h;

@@ -43,6 +43,7 @@ TEST(Integration, IdentityFilterComposesWithCongestTester) {
   ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
 
   const net::Graph graph = net::Graph::random_connected(k, 2.0, 11);
+  net::ProtocolDriver driver = congest::make_congest_driver(plan, graph);
 
   // The exact filtered distributions, sampled directly: the filter theorem
   // (verified exactly in the unit tests) says this is equivalent to each
@@ -56,12 +57,12 @@ TEST(Integration, IdentityFilterComposesWithCongestTester) {
   std::uint64_t detections = 0;
   constexpr std::uint64_t kTrials = 12;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
-    false_alarms += congest::run_congest_uniformity(plan, graph, on_reference,
+    false_alarms += congest::run_congest_uniformity(plan, driver, on_reference,
                                                     100 + t)
-                        .network_rejects;
-    detections += congest::run_congest_uniformity(plan, graph, on_drifted,
+                        .verdict.rejects();
+    detections += congest::run_congest_uniformity(plan, driver, on_drifted,
                                                   200 + t)
-                      .network_rejects;
+                      .verdict.rejects();
   }
   EXPECT_LE(stats::wilson_interval(false_alarms, kTrials, 3.89).lo,
             1.0 / 3.0);
@@ -118,11 +119,13 @@ TEST(Integration, ThreeModelsAgreeOnVerdictDirection) {
   const auto cg = congest::plan_congest(n, 4096, eps);
   ASSERT_TRUE(cg.feasible);
   const net::Graph graph = net::Graph::random_connected(4096, 2.0, 5);
+  net::ProtocolDriver cg_driver = congest::make_congest_driver(cg, graph);
   // LOCAL on a ring (needs a larger eps regime: use far at 1.5).
   const auto lp = local::plan_local(1 << 13, net::Graph::ring(4096), 1.5,
                                     1.0 / 3.0, 16, 7);
   ASSERT_TRUE(lp.feasible);
   const net::Graph ring = net::Graph::ring(4096);
+  net::ProtocolDriver local_driver = local::make_local_driver(lp, ring);
   const core::AliasSampler local_uniform(core::uniform(1 << 13));
   const core::AliasSampler local_far(core::far_instance(1 << 13, 1.5));
 
@@ -135,30 +138,30 @@ TEST(Integration, ThreeModelsAgreeOnVerdictDirection) {
   // On uniform inputs, the majority verdict of every model is "accept".
   EXPECT_FALSE(majority([&](std::uint64_t t) {
     stats::Xoshiro256 rng = stats::derive_stream(1, t);
-    return core::run_threshold_network(zr, uniform_sampler, rng)
-        .network_rejects;
+    return core::run_threshold_network(zr, uniform_sampler, rng).rejects();
   }));
   EXPECT_FALSE(majority([&](std::uint64_t t) {
-    return congest::run_congest_uniformity(cg, graph, uniform_sampler, 10 + t)
-        .network_rejects;
+    return congest::run_congest_uniformity(cg, cg_driver, uniform_sampler,
+                                           10 + t)
+        .verdict.rejects();
   }));
   EXPECT_FALSE(majority([&](std::uint64_t t) {
-    return !local::run_local_uniformity(lp, ring, local_uniform, 20 + t)
-                .network_accepts;
+    return local::run_local_uniformity(lp, local_driver, local_uniform, 20 + t)
+        .verdict.rejects();
   }));
 
   // On far inputs, the majority verdict of every model is "reject".
   EXPECT_TRUE(majority([&](std::uint64_t t) {
     stats::Xoshiro256 rng = stats::derive_stream(2, t);
-    return core::run_threshold_network(zr, far_sampler, rng).network_rejects;
+    return core::run_threshold_network(zr, far_sampler, rng).rejects();
   }));
   EXPECT_TRUE(majority([&](std::uint64_t t) {
-    return congest::run_congest_uniformity(cg, graph, far_sampler, 30 + t)
-        .network_rejects;
+    return congest::run_congest_uniformity(cg, cg_driver, far_sampler, 30 + t)
+        .verdict.rejects();
   }));
   EXPECT_TRUE(majority([&](std::uint64_t t) {
-    return !local::run_local_uniformity(lp, ring, local_far, 40 + t)
-                .network_accepts;
+    return local::run_local_uniformity(lp, local_driver, local_far, 40 + t)
+        .verdict.rejects();
   }));
 }
 
@@ -172,10 +175,11 @@ TEST(Integration, FullStackReplayIsBitIdentical) {
   ASSERT_TRUE(plan.feasible);
   const net::Graph graph = net::Graph::grid(64, 64);
   const core::AliasSampler sampler(core::zipf(n, 0.3));
-  const auto a = congest::run_congest_uniformity(plan, graph, sampler, 99);
-  const auto b = congest::run_congest_uniformity(plan, graph, sampler, 99);
-  EXPECT_EQ(a.network_rejects, b.network_rejects);
-  EXPECT_EQ(a.reject_count, b.reject_count);
+  net::ProtocolDriver driver = congest::make_congest_driver(plan, graph);
+  const auto a = congest::run_congest_uniformity(plan, driver, sampler, 99);
+  const auto b = congest::run_congest_uniformity(plan, driver, sampler, 99);
+  EXPECT_EQ(a.verdict.accepts, b.verdict.accepts);
+  EXPECT_EQ(a.verdict.votes_reject, b.verdict.votes_reject);
   EXPECT_EQ(a.leader, b.leader);
   EXPECT_EQ(a.metrics.rounds, b.metrics.rounds);
   EXPECT_EQ(a.metrics.messages, b.metrics.messages);

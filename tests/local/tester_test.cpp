@@ -14,6 +14,15 @@ namespace {
 
 using net::Graph;
 
+// The public API runs over a pooled ProtocolDriver; these tests sweep
+// one-shot (plan, graph) pairs, so route each through a fresh driver.
+LocalRunResult run_local_uniformity(const LocalPlan& plan, const Graph& graph,
+                                    const core::AliasSampler& sampler,
+                                    std::uint64_t seed) {
+  net::ProtocolDriver driver = make_local_driver(plan, graph);
+  return ::dut::local::run_local_uniformity(plan, driver, sampler, seed);
+}
+
 TEST(LocalPlanner, FeasibleOnRing) {
   const Graph g = Graph::ring(4096);
   const auto plan = plan_local(1 << 13, g, 1.5, 1.0 / 3.0, 16, 7);
@@ -90,7 +99,7 @@ TEST(LocalTester, EndToEndErrorWithinBudget) {
   const core::AliasSampler uni(core::uniform(n));
   std::uint64_t false_rejects = 0;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
-    if (!run_local_uniformity(plan, g, uni, 500 + t).network_accepts) {
+    if (!run_local_uniformity(plan, g, uni, 500 + t).verdict.accepts) {
       ++false_rejects;
     }
   }
@@ -100,7 +109,7 @@ TEST(LocalTester, EndToEndErrorWithinBudget) {
   const core::AliasSampler far(core::far_instance(n, eps));
   std::uint64_t false_accepts = 0;
   for (std::uint64_t t = 0; t < kTrials; ++t) {
-    if (run_local_uniformity(plan, g, far, 900 + t).network_accepts) {
+    if (run_local_uniformity(plan, g, far, 900 + t).verdict.accepts) {
       ++false_accepts;
     }
   }
@@ -128,8 +137,8 @@ TEST(LocalTester, DeterministicPerSeed) {
   const core::AliasSampler uni(core::uniform(n));
   const auto a = run_local_uniformity(plan, g, uni, 11);
   const auto b = run_local_uniformity(plan, g, uni, 11);
-  EXPECT_EQ(a.network_accepts, b.network_accepts);
-  EXPECT_EQ(a.rejecting_mis_nodes, b.rejecting_mis_nodes);
+  EXPECT_EQ(a.verdict.accepts, b.verdict.accepts);
+  EXPECT_EQ(a.verdict.votes_reject, b.verdict.votes_reject);
 }
 
 }  // namespace

@@ -151,6 +151,37 @@ TEST(EngineReuse, CleanRunAfterViolationAbort) {
   EXPECT_EQ(after_abort.metrics.rounds, reference.metrics.rounds);
 }
 
+TEST(EngineReuse, ViolationAbortClearsDeferred) {
+  // Same abort scenario, but under a delay-everything fault plan: when the
+  // violation fires, the deferred-delivery slab holds in-flight delayed
+  // messages. A rerun on the same engine must not replay that debris.
+  const Graph g = Graph::complete(4);
+  FaultPlan faults(/*salt=*/7);
+  FaultRates rates;
+  rates.delay = 1.0;
+  rates.max_delay_rounds = 3;
+  faults.set_rates(rates);
+
+  Engine engine(g, EngineConfig{Model::kCongest, 64, 100, 5});
+  engine.set_fault_plan(faults);
+  {
+    std::vector<OverBudgetAtRoundOne> progs(4, OverBudgetAtRoundOne(true));
+    std::vector<NodeProgram*> raw;
+    for (auto& p : progs) raw.push_back(&p);
+    EXPECT_THROW(engine.run(raw), BandwidthExceeded);
+  }
+
+  const DigestRun after_abort = digest_run(engine, g, 5);
+  Engine fresh(g, EngineConfig{Model::kCongest, 64, 100, 5});
+  fresh.set_fault_plan(faults);
+  const DigestRun reference = digest_run(fresh, g, 5);
+  EXPECT_EQ(after_abort.digests, reference.digests);
+  EXPECT_EQ(after_abort.metrics.messages, reference.metrics.messages);
+  EXPECT_EQ(after_abort.metrics.faults.delayed,
+            reference.metrics.faults.delayed);
+  EXPECT_GT(reference.metrics.faults.delayed, 0u);
+}
+
 TEST(EngineReuse, RejectsSendToOutOfRangeNode) {
   const Graph g = Graph::line(3);
   SendOnceToAny send_oob(/*target=*/17);

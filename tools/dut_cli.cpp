@@ -6,10 +6,18 @@
 //   dut_cli plan-congest   --n 4096 --k 4096 --eps 1.2 [--samples 4]
 //   dut_cli run-threshold  --n 65536 --k 8192 --eps 0.9 --family paninski
 //                          [--trials 100] [--seed 1]
+//   dut_cli run-congest    --n 4096 --k 4096 --eps 1.2 --family paninski
+//                          [--topology random] [--trials 20] [--seed 1]
+//                          [--faults drop=0.05,dup=0.01,crash=3@0+17@12]
+//                          [--quorum Q] [--retransmits R]
 //   dut_cli families       --n 4096
 //
-// Families for run-threshold: uniform, paninski, heavy (20% hitter),
-// zipf (exponent 1), support (half support removed).
+// Families for run-threshold / run-congest: uniform, paninski, heavy (20%
+// hitter), zipf (exponent 1), support (half support removed).
+//
+// --faults takes a net::FaultPlan spec (drop= dup= corrupt= delay=P[:MAX]
+// crash=NODE@ROUND[+...] seed=S) and switches run-congest to the resilient
+// protocol with timeout-and-quorum decisions.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,11 +25,7 @@
 #include <sstream>
 #include <string>
 
-#include "dut/congest/uniformity.hpp"
-#include "dut/core/families.hpp"
-#include "dut/core/zero_round.hpp"
-#include "dut/stats/summary.hpp"
-#include "dut/stats/table.hpp"
+#include "dut/dut.hpp"
 
 namespace {
 
@@ -37,6 +41,10 @@ using namespace dut;
                "  plan-congest   --n N --k K --eps E [--p P] [--samples S]\n"
                "  run-threshold  --n N --k K --eps E [--family F]\n"
                "                 [--trials T] [--seed S]\n"
+               "  run-congest    --n N --k K --eps E [--family F]\n"
+               "                 [--topology random|ring|star|line|grid]\n"
+               "                 [--trials T] [--seed S] [--faults SPEC]\n"
+               "                 [--quorum Q] [--retransmits R]\n"
                "  families       --n N\n");
   std::exit(2);
 }
@@ -192,8 +200,7 @@ int run_threshold_cmd(const Args& args) {
   const core::AliasSampler sampler(mu);
   const auto reject = stats::estimate_probability(
       seed, trials, [&](stats::Xoshiro256& rng) {
-        return core::run_threshold_network(plan, sampler, rng)
-            .network_rejects;
+        return core::run_threshold_network(plan, sampler, rng).rejects();
       });
   std::printf("family=%s  L1(mu,U)=%.3f  chi*n=%.3f\n", family.c_str(),
               mu.l1_to_uniform(),
@@ -203,6 +210,84 @@ int run_threshold_cmd(const Args& args) {
               static_cast<unsigned long long>(reject.successes),
               static_cast<unsigned long long>(reject.trials), reject.p_hat,
               reject.lo, reject.hi);
+  return 0;
+}
+
+net::Graph make_topology(const std::string& name, std::uint32_t k) {
+  if (name == "random") return net::Graph::random_connected(k, 2.0, 11);
+  if (name == "ring") return net::Graph::ring(k);
+  if (name == "star") return net::Graph::star(k);
+  if (name == "line") return net::Graph::line(k);
+  if (name == "grid") {
+    std::uint32_t rows = 1;
+    while ((rows + 1) * (rows + 1) <= k) ++rows;
+    if (rows * rows != k) usage("--topology grid needs a square node count");
+    return net::Graph::grid(rows, rows);
+  }
+  usage(("unknown topology '" + name + "'").c_str());
+}
+
+int run_congest_cmd(const Args& args) {
+  const std::uint64_t n = args.integer("n", 0, true);
+  const auto k = static_cast<std::uint32_t>(args.integer("k", 0, true));
+  const double eps = args.real("eps", 0.0, true);
+  const double p = args.real("p", 1.0 / 3.0);
+  const std::uint64_t trials = args.integer("trials", 20);
+  const std::uint64_t seed = args.integer("seed", 1);
+  const std::string family = args.text("family", "uniform");
+  const std::string fault_spec = args.text("faults", "");
+
+  const auto plan = congest::plan_congest(n, k, eps, p);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+  const net::Graph graph = make_topology(args.text("topology", "random"), k);
+  const core::Distribution mu = make_family(family, n, eps);
+  const core::AliasSampler sampler(mu);
+
+  std::uint64_t rejects = 0;
+  std::uint64_t quorum_misses = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t rounds = 0;
+  const bool resilient = !fault_spec.empty() || args.flag("quorum") ||
+                         args.flag("retransmits");
+  if (resilient) {
+    const net::FaultPlan faults = net::FaultPlan::parse(fault_spec);
+    congest::CongestResilience opts;
+    opts.enabled = true;
+    opts.retransmits = args.integer("retransmits", 2);
+    opts.quorum_nodes = args.integer("quorum", 0);
+    congest::CongestSetup setup =
+        congest::make_congest_setup(plan, graph, opts, &faults);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const auto r =
+          congest::run_congest_uniformity(plan, setup, sampler, seed + t);
+      rejects += r.verdict.rejects();
+      quorum_misses += !r.quorum_met;
+      faults_injected += r.metrics.faults.total();
+      rounds = r.metrics.rounds;
+    }
+  } else {
+    net::ProtocolDriver driver = congest::make_congest_driver(plan, graph);
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      const auto r =
+          congest::run_congest_uniformity(plan, driver, sampler, seed + t);
+      rejects += r.verdict.rejects();
+      rounds = r.metrics.rounds;
+    }
+  }
+  std::printf("family=%s  L1(mu,U)=%.3f  protocol=%s\n", family.c_str(),
+              mu.l1_to_uniform(), resilient ? "resilient" : "plain");
+  std::printf("network rejected %llu / %llu runs  (last run: %llu rounds)\n",
+              static_cast<unsigned long long>(rejects),
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(rounds));
+  if (resilient) {
+    std::printf("quorum missed in %llu runs; %llu faults injected in total\n",
+                static_cast<unsigned long long>(quorum_misses),
+                static_cast<unsigned long long>(faults_injected));
+  }
   return 0;
 }
 
@@ -244,6 +329,7 @@ int main(int argc, char** argv) {
     if (command == "plan-and") return plan_and_cmd(args);
     if (command == "plan-congest") return plan_congest_cmd(args);
     if (command == "run-threshold") return run_threshold_cmd(args);
+    if (command == "run-congest") return run_congest_cmd(args);
     if (command == "families") return families_cmd(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -72,6 +72,10 @@ void print_summary(const TraceRunSummary& run, std::size_t index) {
                           : 0.0);
   }
   std::printf("  halts: %llu\n", static_cast<unsigned long long>(run.halts));
+  if (run.faults > 0) {
+    std::printf("  injected faults: %llu\n",
+                static_cast<unsigned long long>(run.faults));
+  }
   for (const std::string& violation : run.violations) {
     std::printf("  VIOLATION: %s\n", violation.c_str());
   }

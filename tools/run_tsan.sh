@@ -14,7 +14,7 @@ cmake --preset tsan -DDUT_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$(nproc)" \
   --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
            dut_integration_tests e7_token_packaging e8_congest e9_local \
-           dut_trace
+           e15_fault_tolerance dut_trace
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -35,12 +35,14 @@ echo "== dut_net_tests engine + tracing (DUT_THREADS=${DUT_THREADS}) =="
 echo "== dut_integration_tests trial-parallel determinism (DUT_THREADS=${DUT_THREADS}) =="
 ./build-tsan/tests/dut_integration_tests --gtest_filter='NetTrials*'
 
-# The three network experiments fan trials over the worker pool with one
+# The network experiments fan trials over the worker pool with one
 # designated traced trial each; every transcript and run report must
-# validate even when the traced trial lands on a contended worker.
+# validate even when the traced trial lands on a contended worker. E15 runs
+# the fault-injection sweeps, so the deferred-delivery slab, crash
+# schedule and fault-event tracing all get exercised under contention too.
 tsan_trace_dir=$(mktemp -d)
 trap 'rm -rf "$tsan_trace_dir"' EXIT
-for exp in e7_token_packaging e8_congest e9_local; do
+for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance; do
   echo "== traced $exp quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
   exp_dir="$tsan_trace_dir/$exp"
   mkdir -p "$exp_dir"
