@@ -145,14 +145,14 @@ CongestSetup make_congest_setup(const CongestPlan& plan,
 /// when fanning out in parallel). Deterministic per seed at any
 /// DUT_THREADS. Node v draws one sample from `sampler` as its token (plus
 /// an external id from a seeded permutation for leader election).
-CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+[[nodiscard]] CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         CongestSetup& setup,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed,
                                         bool traced = true);
 
 /// Plain-protocol variant over a bare driver from make_congest_driver.
-CongestRunResult run_congest_uniformity(const CongestPlan& plan,
+[[nodiscard]] CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         net::ProtocolDriver& driver,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed,
@@ -164,14 +164,14 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
 /// regardless of local load). The plan must have been made with
 /// samples_per_node equal to the MEAN of counts (so ell matches); the
 /// counts must sum to plan.k * plan.samples_per_node.
-CongestRunResult run_congest_uniformity_heterogeneous(
+[[nodiscard]] CongestRunResult run_congest_uniformity_heterogeneous(
     const CongestPlan& plan, net::ProtocolDriver& driver,
     const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed,
     bool traced = true);
 
 /// Setup-based heterogeneous variant (resilient when the setup is).
-CongestRunResult run_congest_uniformity_heterogeneous(
+[[nodiscard]] CongestRunResult run_congest_uniformity_heterogeneous(
     const CongestPlan& plan, CongestSetup& setup,
     const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed,
@@ -189,7 +189,7 @@ struct AmplifiedCongestResult {
   std::uint64_t total_rounds = 0;
   std::uint64_t total_messages = 0;
 };
-AmplifiedCongestResult run_congest_uniformity_amplified(
+[[nodiscard]] AmplifiedCongestResult run_congest_uniformity_amplified(
     const CongestPlan& plan, net::ProtocolDriver& driver,
     const core::AliasSampler& sampler, std::uint64_t seed,
     std::uint64_t repetitions, bool traced = true);
@@ -207,7 +207,7 @@ struct PackagingRunResult {
 /// uniformity pair above (tau is baked into the driver's round cap).
 net::ProtocolDriver make_packaging_driver(const net::Graph& graph,
                                           std::uint64_t tau);
-PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
+[[nodiscard]] PackagingRunResult run_token_packaging(net::ProtocolDriver& driver,
                                        std::uint64_t tau, std::uint64_t seed,
                                        bool traced = true);
 
@@ -232,7 +232,7 @@ PackagingSetup make_packaging_setup(const net::Graph& graph,
                                     std::uint64_t tau,
                                     const CongestResilience& opts = {},
                                     const net::FaultPlan* faults = nullptr);
-PackagingRunResult run_token_packaging(PackagingSetup& setup,
+[[nodiscard]] PackagingRunResult run_token_packaging(PackagingSetup& setup,
                                        std::uint64_t seed,
                                        bool traced = true);
 

@@ -83,7 +83,7 @@ AsymmetricThresholdPlan plan_asymmetric_threshold(std::uint64_t n,
 /// One full network trial; node i draws s_i samples and runs its own
 /// A_{delta_i}. Voters = nodes; the network rejects iff votes_reject >=
 /// plan.threshold.
-Verdict run_asymmetric_threshold_network(const AsymmetricThresholdPlan& plan,
+[[nodiscard]] Verdict run_asymmetric_threshold_network(const AsymmetricThresholdPlan& plan,
                                          const AliasSampler& sampler,
                                          stats::Xoshiro256& rng);
 
@@ -120,7 +120,7 @@ AsymmetricAndPlan plan_asymmetric_and(std::uint64_t n,
 
 /// One full network trial under the AND rule. Voters = nodes; the network
 /// accepts iff votes_reject == 0 (every node evaluated, no early exit).
-Verdict run_asymmetric_and_network(const AsymmetricAndPlan& plan,
+[[nodiscard]] Verdict run_asymmetric_and_network(const AsymmetricAndPlan& plan,
                                    const AliasSampler& sampler,
                                    stats::Xoshiro256& rng);
 

@@ -13,7 +13,7 @@
 
 namespace dut::core {
 
-struct Verdict {
+struct [[nodiscard]] Verdict {
   /// The network-level decision ("the input looks uniform").
   bool accepts = true;
 
@@ -34,7 +34,7 @@ struct Verdict {
 
   bool rejects() const noexcept { return !accepts; }
 
-  static Verdict make(bool accepts, std::uint64_t votes_reject,
+  [[nodiscard]] static Verdict make(bool accepts, std::uint64_t votes_reject,
                       std::uint64_t votes_total, std::uint64_t rounds = 0,
                       std::uint64_t bits = 0) noexcept {
     Verdict v;

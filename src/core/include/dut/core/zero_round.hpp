@@ -71,7 +71,7 @@ AndRulePlan plan_and_rule(std::uint64_t n, std::uint64_t k, double epsilon,
 /// running the planned repeated tester off `rng`. Voters = nodes; the
 /// network accepts iff every node accepts (votes_reject == 0). Every node
 /// is evaluated (no early exit), so the vote tally is exact.
-Verdict run_and_rule_network(const AndRulePlan& plan,
+[[nodiscard]] Verdict run_and_rule_network(const AndRulePlan& plan,
                              const AliasSampler& sampler,
                              stats::Xoshiro256& rng);
 
@@ -136,7 +136,7 @@ ThresholdPlan plan_threshold(std::uint64_t n, std::uint64_t k, double epsilon,
 
 /// Simulates one full network trial under the threshold rule. Voters =
 /// nodes; the network rejects iff votes_reject >= plan.threshold.
-Verdict run_threshold_network(const ThresholdPlan& plan,
+[[nodiscard]] Verdict run_threshold_network(const ThresholdPlan& plan,
                               const AliasSampler& sampler,
                               stats::Xoshiro256& rng);
 

@@ -35,6 +35,8 @@ std::uint64_t CollisionCountingTester::recommended_samples(std::uint64_t n,
 
 bool CollisionCountingTester::run(const AliasSampler& sampler,
                                   stats::Xoshiro256& rng) const {
+  // dut-lint: allow(no-mutable-static): per-thread sample scratch; cleared by
+  // sample_into each trial, so verdicts never depend on reuse or thread count.
   static thread_local std::vector<std::uint64_t> samples;
   sampler.sample_into(rng, s_, samples);
   const std::uint64_t pairs = count_colliding_pairs(samples, n_);
@@ -78,6 +80,8 @@ bool UniqueElementsTester::accept(
 
 bool UniqueElementsTester::run(const AliasSampler& sampler,
                                stats::Xoshiro256& rng) const {
+  // dut-lint: allow(no-mutable-static): per-thread sample scratch; cleared by
+  // sample_into each trial, so verdicts never depend on reuse or thread count.
   static thread_local std::vector<std::uint64_t> samples;
   sampler.sample_into(rng, s_, samples);
   return accept(samples);

@@ -103,6 +103,8 @@ std::uint64_t CollisionWorkspace::count_colliding_pairs(
 }
 
 CollisionWorkspace& thread_collision_workspace() {
+  // dut-lint: allow(no-mutable-static): per-thread collision scratch (PR1
+  // design); kernels reset marks before use, results are reuse-independent.
   static thread_local CollisionWorkspace workspace;
   return workspace;
 }
@@ -226,6 +228,8 @@ bool SingleCollisionTester::accept(
 
 bool SingleCollisionTester::run(const AliasSampler& sampler,
                                 stats::Xoshiro256& rng) const {
+  // dut-lint: allow(no-mutable-static): per-thread sample scratch; cleared by
+  // sample_into each trial, so verdicts never depend on reuse or thread count.
   static thread_local std::vector<std::uint64_t> samples;
   sampler.sample_into(rng, params_.s, samples);
   return !has_collision(samples, params_.n);

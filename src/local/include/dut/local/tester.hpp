@@ -92,7 +92,7 @@ net::ProtocolDriver make_local_driver(const LocalPlan& plan,
 /// Reuses a pooled engine and gates DUT_TRACE resolution with `traced`
 /// (pass true for exactly one designated trial when fanning out in
 /// parallel). Deterministic per seed at any DUT_THREADS.
-LocalRunResult run_local_uniformity(const LocalPlan& plan,
+[[nodiscard]] LocalRunResult run_local_uniformity(const LocalPlan& plan,
                                     net::ProtocolDriver& driver,
                                     const core::AliasSampler& sampler,
                                     std::uint64_t seed, bool traced = true);

@@ -127,8 +127,11 @@ class MessageView {
 
 /// Bits needed to express values in {0, ..., count-1} (at least 1).
 constexpr unsigned bits_for(std::uint64_t count) noexcept {
+  // The width guard must run before the shift: with the old operand order,
+  // counts above 2^63 evaluated 1ULL << 64 — undefined behavior caught by
+  // the ubsan preset (regression: tests/net/message_test.cpp).
   unsigned bits = 1;
-  while (count > (1ULL << bits) && bits < 64) ++bits;
+  while (bits < 64 && count > (1ULL << bits)) ++bits;
   return bits;
 }
 

@@ -104,7 +104,7 @@ class ProtocolDriver {
   /// this trial (see file comment). Thread-safe; concurrent callers lease
   /// distinct engines.
   template <typename MakeProgram, typename Extract>
-  auto run_trial(std::uint64_t seed, bool traced, MakeProgram&& make,
+  [[nodiscard]] auto run_trial(std::uint64_t seed, bool traced, MakeProgram&& make,
                  Extract&& extract) {
     using ProgramPtr = std::invoke_result_t<MakeProgram&, std::uint32_t>;
     const std::uint32_t k = graph_.num_nodes();

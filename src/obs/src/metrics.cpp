@@ -33,6 +33,8 @@ std::uint64_t HistogramData::approx_quantile(double q) const noexcept {
 }
 
 Registry& Registry::instance() {
+  // dut-lint: allow(no-mutable-static): the process-wide instrument table;
+  // metrics never feed verdicts, and registration is mutex-serialized.
   static Registry registry;
   return registry;
 }

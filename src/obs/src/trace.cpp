@@ -11,6 +11,8 @@ namespace {
 /// a single mutex keeps each run's transcript contiguous even when
 /// parallel Monte-Carlo trials all have DUT_TRACE pointed at one path.
 std::mutex& trace_file_mutex() {
+  // dut-lint: allow(no-mutable-static): process-wide trace-file lock; keeps
+  // transcripts contiguous and carries no protocol state.
   static std::mutex mu;
   return mu;
 }

@@ -87,7 +87,7 @@ class TrialRunner {
   /// seeded from derive_stream(seed, t). Bit-identical to the serial path
   /// for any thread count. `z` sets the Wilson interval width.
   template <typename Trial>
-  ProbabilityEstimate estimate_probability(std::uint64_t seed,
+  [[nodiscard]] ProbabilityEstimate estimate_probability(std::uint64_t seed,
                                            std::uint64_t trials, Trial&& trial,
                                            double z = 3.89) {
     if (trials == 0) {
@@ -117,7 +117,7 @@ class TrialRunner {
   /// Chunk partials are merged in chunk-index order, so the result is again
   /// independent of the thread count.
   template <typename Trial>
-  RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
+  [[nodiscard]] RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
                          Trial&& trial) {
     if (trials == 0) {
       throw std::invalid_argument("run_trials: trials must be > 0");
@@ -147,7 +147,7 @@ class TrialRunner {
   /// result is bit-identical at any thread count. E7/E8/E9 fan their
   /// engine runs out through this.
   template <typename Partial, typename Trial, typename Merge>
-  Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
+  [[nodiscard]] Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
     if (trials == 0) {
       throw std::invalid_argument("map_trials: trials must be > 0");
     }
@@ -208,7 +208,7 @@ TrialRunner& global_runner();
 /// signature and same per-trial stream derivation, now templated (no
 /// std::function indirection) and parallel across default_thread_count().
 template <typename Trial>
-ProbabilityEstimate estimate_probability(std::uint64_t seed,
+[[nodiscard]] ProbabilityEstimate estimate_probability(std::uint64_t seed,
                                          std::uint64_t trials, Trial&& trial,
                                          double z = 3.89) {
   return global_runner().estimate_probability(
@@ -217,7 +217,7 @@ ProbabilityEstimate estimate_probability(std::uint64_t seed,
 
 /// Pooled statistics over double-valued trials (see TrialRunner::run_trials).
 template <typename Trial>
-RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
+[[nodiscard]] RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
                        Trial&& trial) {
   return global_runner().run_trials(seed, trials, std::forward<Trial>(trial));
 }
@@ -225,7 +225,7 @@ RunningStat run_trials(std::uint64_t seed, std::uint64_t trials,
 /// Chunk-deterministic fold over index-addressed trials (see
 /// TrialRunner::map_trials).
 template <typename Partial, typename Trial, typename Merge>
-Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
+[[nodiscard]] Partial map_trials(std::uint64_t trials, Trial&& trial, Merge&& merge) {
   return global_runner().map_trials<Partial>(
       trials, std::forward<Trial>(trial), std::forward<Merge>(merge));
 }

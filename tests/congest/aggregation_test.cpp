@@ -72,7 +72,7 @@ TEST(SumAggregation, MessagesStayWithinLogBudget) {
 
 TEST(SumAggregation, Validation) {
   const Graph g = Graph::ring(8);
-  EXPECT_THROW(run_sum_aggregation(g, {1, 2}, 8, 1), std::invalid_argument);
+  EXPECT_THROW((void)run_sum_aggregation(g, {1, 2}, 8, 1), std::invalid_argument);
   Graph disconnected(4);
   disconnected.add_edge(0, 1);
   disconnected.add_edge(2, 3);
@@ -89,7 +89,7 @@ TEST(SumAggregation, SumOverflowingWidthIsCaughtByTheEngine) {
   // stack must fail loudly rather than wrap.
   const Graph g = Graph::star(40);
   std::vector<std::uint64_t> values(40, 200);  // sum = 8000 > 255
-  EXPECT_THROW(run_sum_aggregation(g, values, 8, 2), std::invalid_argument);
+  EXPECT_THROW((void)run_sum_aggregation(g, values, 8, 2), std::invalid_argument);
 }
 
 TEST(SumAggregation, DeterministicPerSeed) {

@@ -79,7 +79,9 @@ INSTANTIATE_TEST_SUITE_P(
     AllTopologies, TokenPackagingInvariants,
     ::testing::Range<std::size_t>(0, packaging_cases().size()),
     [](const ::testing::TestParamInfo<std::size_t>& info) {
-      const PackagingCase& c = packaging_cases()[info.param];
+      // By value: packaging_cases() is a temporary, a reference into it
+      // dangles once the full expression ends (caught by the asan preset).
+      const PackagingCase c = packaging_cases()[info.param];
       return std::string(c.name) + "_k" +
              std::to_string(c.graph.num_nodes()) + "_tau" +
              std::to_string(c.tau);
@@ -199,7 +201,7 @@ TEST(TokenPackaging, TauLargerThanNetworkDropsEverything) {
 }
 
 TEST(TokenPackaging, RejectsZeroTau) {
-  EXPECT_THROW(run_token_packaging(Graph::line(4), 0, 1),
+  EXPECT_THROW((void)run_token_packaging(Graph::line(4), 0, 1),
                std::invalid_argument);
 }
 

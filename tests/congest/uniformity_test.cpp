@@ -89,11 +89,11 @@ TEST(CongestTester, RunValidation) {
   ASSERT_TRUE(plan.feasible);
   const core::AliasSampler sampler(core::uniform(1 << 12));
   const Graph wrong_size = Graph::line(8);
-  EXPECT_THROW(run_congest_uniformity(plan, wrong_size, sampler, 1),
+  EXPECT_THROW((void)run_congest_uniformity(plan, wrong_size, sampler, 1),
                std::invalid_argument);
   CongestPlan bogus;
   bogus.feasible = false;
-  EXPECT_THROW(run_congest_uniformity(bogus, wrong_size, sampler, 1),
+  EXPECT_THROW((void)run_congest_uniformity(bogus, wrong_size, sampler, 1),
                std::logic_error);
 }
 
@@ -258,7 +258,7 @@ TEST(CongestTester, HeterogeneousCountsValidation) {
   const Graph g = Graph::ring(1024);
   const core::AliasSampler uni(core::uniform(1 << 12));
   // Wrong length.
-  EXPECT_THROW(run_congest_uniformity_heterogeneous(plan, g, uni, {1, 2}, 1),
+  EXPECT_THROW((void)run_congest_uniformity_heterogeneous(plan, g, uni, {1, 2}, 1),
                std::invalid_argument);
   // Wrong total (ell would change).
   std::vector<std::uint64_t> wrong_total(1024, 15);
@@ -352,9 +352,9 @@ TEST(CongestTester, AmplificationBookkeeping) {
   EXPECT_GT(result.total_rounds, 0u);
   EXPECT_EQ(result.verdict.rejects(), 2 * result.verdict.votes_reject > 3);
   // Even repetition counts are ambiguous under majority: rejected.
-  EXPECT_THROW(run_congest_uniformity_amplified(plan, g, uni, 7, 4),
+  EXPECT_THROW((void)run_congest_uniformity_amplified(plan, g, uni, 7, 4),
                std::invalid_argument);
-  EXPECT_THROW(run_congest_uniformity_amplified(plan, g, uni, 7, 0),
+  EXPECT_THROW((void)run_congest_uniformity_amplified(plan, g, uni, 7, 0),
                std::invalid_argument);
 }
 

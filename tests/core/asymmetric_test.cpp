@@ -216,7 +216,7 @@ TEST(AsymmetricAnd, RunValidation) {
   bogus.feasible = false;
   const AliasSampler sampler(uniform(16));
   stats::Xoshiro256 rng(1);
-  EXPECT_THROW(run_asymmetric_and_network(bogus, sampler, rng),
+  EXPECT_THROW((void)run_asymmetric_and_network(bogus, sampler, rng),
                std::logic_error);
 }
 

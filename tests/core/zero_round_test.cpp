@@ -90,7 +90,7 @@ TEST(AndRuleNetwork, RunRejectsInfeasiblePlan) {
   bogus.feasible = false;
   const AliasSampler sampler(uniform(16));
   stats::Xoshiro256 rng(1);
-  EXPECT_THROW(run_and_rule_network(bogus, sampler, rng), std::logic_error);
+  EXPECT_THROW((void)run_and_rule_network(bogus, sampler, rng), std::logic_error);
 }
 
 TEST(AndRuleNetwork, RunRejectsDomainMismatch) {
@@ -98,7 +98,7 @@ TEST(AndRuleNetwork, RunRejectsDomainMismatch) {
   ASSERT_TRUE(plan.feasible);
   const AliasSampler sampler(uniform(16));
   stats::Xoshiro256 rng(1);
-  EXPECT_THROW(run_and_rule_network(plan, sampler, rng),
+  EXPECT_THROW((void)run_and_rule_network(plan, sampler, rng),
                std::invalid_argument);
 }
 
@@ -190,11 +190,11 @@ TEST(ThresholdNetwork, RunValidation) {
   ASSERT_TRUE(plan.feasible);
   const AliasSampler wrong(uniform(16));
   stats::Xoshiro256 rng(1);
-  EXPECT_THROW(run_threshold_network(plan, wrong, rng),
+  EXPECT_THROW((void)run_threshold_network(plan, wrong, rng),
                std::invalid_argument);
   ThresholdPlan bogus;
   bogus.feasible = false;
-  EXPECT_THROW(run_threshold_network(bogus, wrong, rng), std::logic_error);
+  EXPECT_THROW((void)run_threshold_network(bogus, wrong, rng), std::logic_error);
 }
 
 TEST(ThresholdNetwork, EndToEndErrorWithinBudget) {

@@ -1,0 +1,18 @@
+// Lint fixture: every way a dut-lint allow comment can be malformed.
+// Scanned as src/ code by lint_test.cpp; never compiled.
+
+namespace fixture {
+
+// dut-lint: allow(not-a-rule): names a rule that does not exist
+inline int a() { return 1; }
+
+// dut-lint: allow(no-libc-rand): short
+inline int b() { return 2; }
+
+// dut-lint: bogus directive with no allow clause
+inline int c() { return 3; }
+
+// dut-lint: allow(bad-suppression): the meta rule cannot be suppressed
+inline int d() { return 4; }
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Lint fixture: a clean file whose comments and string literals mention
+// every forbidden identifier. If the scrubber works, zero findings.
+//
+// Forbidden words, comment edition: std::random_device, rand(), srand(),
+// steady_clock, system_clock, unordered_map, reinterpret_cast, and a
+// mid-sentence mention of the `// dut-lint: allow(<rule>): <why>` syntax
+// that must NOT parse as a directive.
+
+namespace fixture {
+
+inline const char* kDoc =
+    "strings may say rand() or unordered_map or random_device freely";
+
+inline const char* kRaw = R"(raw strings too: reinterpret_cast<char*>(p))";
+
+inline int add(int a, int b) { return a + b; }
+
+inline int latch() {
+  static const int kSeed = 7;  // const local static: exempt
+  return kSeed + add(1, 2);
+}
+
+}  // namespace fixture

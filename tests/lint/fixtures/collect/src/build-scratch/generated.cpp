@@ -1,0 +1,2 @@
+// collect_sources fixture: lives under a build* dir, must be skipped.
+int generated_entry() { return 3; }

@@ -1,0 +1,2 @@
+// collect_sources fixture: lives under a fixtures/ dir, must be skipped.
+int skipped_entry() { return 2; }

@@ -1,0 +1,2 @@
+// collect_sources fixture: the one file the walk should return.
+int real_entry() { return 1; }

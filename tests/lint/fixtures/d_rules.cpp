@@ -1,0 +1,32 @@
+// Lint fixture: one intentional violation of each determinism rule. Scanned
+// by tests/lint/lint_test.cpp as if it lived at src/core/src/ — never
+// compiled, never seen by the repo gate (collect_sources skips fixtures/).
+// (No #include <unordered_map>: the include token itself would fire the
+// iteration rule, and nothing here is ever compiled.)
+
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+inline int entropy() {
+  std::random_device rd;                    // -> no-random-device (line 13)
+  return static_cast<int>(rd()) + rand();   // -> no-libc-rand (line 14)
+}
+
+inline long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // 18
+}
+
+inline int bump() {
+  static int counter = 0;  // -> no-mutable-static (line 22)
+  return ++counter;
+}
+
+inline int spread(const std::unordered_map<int, int>& histogram) {  // 26
+  int sum = 0;
+  for (const auto& [key, value] : histogram) sum += value;
+  return sum;
+}
+
+}  // namespace fixture

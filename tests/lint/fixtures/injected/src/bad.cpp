@@ -1,0 +1,9 @@
+// Intentional violation: the lint_gate_detects_injection ctest points
+// dut_lint at this mini-repo and asserts the gate exits nonzero.
+
+#include <random>
+
+int main() {
+  std::random_device rd;
+  return static_cast<int>(rd() % 2);
+}

@@ -1,0 +1,18 @@
+// Lint fixture: protocol-safety violations. Scanned as src/net/src/ code by
+// lint_test.cpp; never compiled.
+
+namespace fixture {
+
+struct Msg {
+  unsigned long bits = 0;
+};
+
+inline unsigned long peek(const void* p) {
+  return *reinterpret_cast<const unsigned long*>(p);  // -> wire-cast-confined
+}
+
+inline void pad(Msg& m) {
+  m.bits += 8;  // -> bits-funnel
+}
+
+}  // namespace fixture

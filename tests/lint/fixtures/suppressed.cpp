@@ -1,0 +1,16 @@
+// Lint fixture: violations covered by well-formed suppressions — one with
+// the directive alone above the line (multi-line justification), one with
+// the directive sharing the line it covers. Scanned as src/ code.
+
+#include <random>
+
+namespace fixture {
+
+inline int reseed() {
+  // dut-lint: allow(no-random-device): fixture exercising the suppression
+  // round-trip; the directive above spans a justification continuation line.
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();  // dut-lint: allow(no-libc-rand): same-line directive covers this call
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Lint fixture: verdict-producing API declarations. Scanned as a src/
+// public header by lint_test.cpp; never compiled.
+
+namespace fixture {
+
+struct Verdict {
+  bool accepts = true;
+};
+
+// A *Result type qualifies because it carries a Verdict member.
+struct TrialResult {
+  Verdict verdict;
+  unsigned long rounds = 0;
+};
+
+Verdict run_fixture_protocol(int nodes);       // -> verdict-nodiscard
+TrialResult run_fixture_trial(int nodes);      // -> verdict-nodiscard
+[[nodiscard]] Verdict run_protected(int nodes);  // protected: no finding
+
+}  // namespace fixture

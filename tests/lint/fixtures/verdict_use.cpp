@@ -1,0 +1,15 @@
+// Lint fixture: discarded verdict-producing calls. Scanned as src/ code by
+// lint_test.cpp; never compiled.
+
+namespace fixture {
+
+struct Verdict;
+Verdict run_fixture_protocol(int nodes);
+
+inline void drive() {
+  run_fixture_protocol(3);  // -> verdict-discarded (statement position)
+  auto kept = run_fixture_protocol(4);  // bound: no finding
+  (void)kept;
+}
+
+}  // namespace fixture

@@ -1,0 +1,350 @@
+// dut_lint self-tests: per-rule detection on fixtures with known violations,
+// suppression round-trips, baseline add/remove semantics and the JSON report
+// schema. Fixtures live in tests/lint/fixtures/ — a directory name the repo
+// gate's source walk skips, so their intentional violations never fail the
+// real gate (that property is itself tested below).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dut/obs/json.hpp"
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fixture_dir() { return fs::path(DUT_LINT_FIXTURE_DIR); }
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in(fixture_dir() / name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Scans one fixture under a pretend repo-relative path (the path decides
+/// the FileClass and therefore which rules apply).
+ScannedFile scan_fixture(const std::string& name, std::string rel_path) {
+  return scan_file(std::move(rel_path), read_fixture(name));
+}
+
+std::size_t count_rule(const LintResult& result, std::string_view rule) {
+  return static_cast<std::size_t>(
+      std::count_if(result.findings.begin(), result.findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* find_rule(const LintResult& result, std::string_view rule) {
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// --- rule detection --------------------------------------------------------
+
+TEST(LintRules, DeterminismRulesFireOnLibraryCode) {
+  const LintResult result =
+      run_lint({scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp")});
+
+  EXPECT_EQ(count_rule(result, "no-random-device"), 1u);
+  EXPECT_EQ(count_rule(result, "no-libc-rand"), 1u);
+  EXPECT_EQ(count_rule(result, "no-wall-clock"), 1u);
+  EXPECT_EQ(count_rule(result, "no-mutable-static"), 1u);
+  EXPECT_EQ(count_rule(result, "no-unordered-iteration"), 1u);
+  EXPECT_EQ(result.findings.size(), 5u);
+
+  const Finding* f = find_rule(result, "no-mutable-static");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->line, 22u);
+  EXPECT_EQ(f->excerpt.rfind("static int counter", 0), 0u);
+}
+
+TEST(LintRules, DeterminismRulesRespectFileClassExemptions) {
+  // The same violations in a test file: static/unordered are allowed there,
+  // and in a bench file the clock read is allowed too.
+  const LintResult as_test =
+      run_lint({scan_fixture("d_rules.cpp", "tests/core/d_rules.cpp")});
+  EXPECT_EQ(count_rule(as_test, "no-mutable-static"), 0u);
+  EXPECT_EQ(count_rule(as_test, "no-unordered-iteration"), 0u);
+  EXPECT_EQ(count_rule(as_test, "no-wall-clock"), 1u);
+  EXPECT_EQ(count_rule(as_test, "no-random-device"), 1u);
+
+  const LintResult as_bench =
+      run_lint({scan_fixture("d_rules.cpp", "bench/d_rules.cpp")});
+  EXPECT_EQ(count_rule(as_bench, "no-wall-clock"), 0u);
+  EXPECT_EQ(count_rule(as_bench, "no-random-device"), 1u);
+}
+
+TEST(LintRules, ProtocolRulesFireOutsideTheFunnelFiles) {
+  const LintResult result =
+      run_lint({scan_fixture("p_rules.cpp", "src/net/src/p_rules.cpp")});
+  EXPECT_EQ(count_rule(result, "wire-cast-confined"), 1u);
+  EXPECT_EQ(count_rule(result, "bits-funnel"), 1u);
+
+  // The exact same content under the message.hpp path is the sanctioned
+  // funnel and produces neither finding.
+  const LintResult funnel = run_lint(
+      {scan_fixture("p_rules.cpp", "src/net/include/dut/net/message.hpp")});
+  EXPECT_EQ(count_rule(funnel, "wire-cast-confined"), 0u);
+  EXPECT_EQ(count_rule(funnel, "bits-funnel"), 0u);
+}
+
+TEST(LintRules, VerdictProducersNeedNodiscardAndCallersMustConsume) {
+  const LintResult result = run_lint(
+      {scan_fixture("verdict_api.hpp",
+                    "src/core/include/dut/core/verdict_api.hpp"),
+       scan_fixture("verdict_use.cpp", "src/core/src/verdict_use.cpp")});
+
+  // run_fixture_protocol and run_fixture_trial lack [[nodiscard]];
+  // run_protected has it and must not be flagged.
+  EXPECT_EQ(count_rule(result, "verdict-nodiscard"), 2u);
+  for (const Finding& f : result.findings) {
+    if (f.rule == "verdict-nodiscard") {
+      EXPECT_EQ(f.message.find("run_protected"), std::string::npos);
+    }
+  }
+
+  // Only the statement-position call is a discard; the bound one is fine.
+  EXPECT_EQ(count_rule(result, "verdict-discarded"), 1u);
+  const Finding* d = find_rule(result, "verdict-discarded");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->path, "src/core/src/verdict_use.cpp");
+}
+
+TEST(LintRules, NodiscardDeclarationsAreOnlyRequiredInPublicHeaders) {
+  // The unprotected producer declared in a .cpp contributes to the producer
+  // corpus but is not itself a nodiscard finding.
+  const LintResult result = run_lint(
+      {scan_fixture("verdict_use.cpp", "src/core/src/verdict_use.cpp")});
+  EXPECT_EQ(count_rule(result, "verdict-nodiscard"), 0u);
+  EXPECT_EQ(count_rule(result, "verdict-discarded"), 1u);
+}
+
+TEST(LintRules, CleanFileWithCommentAndStringMentionsHasNoFindings) {
+  const LintResult result =
+      run_lint({scan_fixture("clean.cpp", "src/core/src/clean.cpp")});
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected: " << result.findings.front().rule << " at line "
+      << result.findings.front().line;
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
+// --- suppression -----------------------------------------------------------
+
+TEST(LintSuppression, RoundTripCoversBothPlacements) {
+  const LintResult result = run_lint(
+      {scan_fixture("suppressed.cpp", "src/core/src/suppressed.cpp")});
+  EXPECT_TRUE(result.findings.empty())
+      << "unexpected: " << result.findings.front().rule;
+  ASSERT_EQ(result.suppressed.size(), 2u);
+
+  std::vector<std::string> rules;
+  for (const SuppressedFinding& s : result.suppressed) {
+    rules.push_back(s.finding.rule);
+    EXPECT_GE(s.justification.size(), 8u);
+  }
+  std::sort(rules.begin(), rules.end());
+  EXPECT_EQ(rules[0], "no-libc-rand");
+  EXPECT_EQ(rules[1], "no-random-device");
+}
+
+TEST(LintSuppression, RemovingTheDirectiveReactivatesTheFinding) {
+  std::string text = read_fixture("suppressed.cpp");
+  const std::size_t at = text.find("dut-lint:");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 9, "disabled:");  // same length: line numbers unchanged
+
+  const LintResult result =
+      run_lint({scan_file("src/core/src/suppressed.cpp", text)});
+  EXPECT_EQ(count_rule(result, "no-random-device"), 1u);
+  EXPECT_EQ(result.suppressed.size(), 1u);  // the same-line one still works
+}
+
+TEST(LintSuppression, MalformedDirectivesAreFindingsAndUnsuppressible) {
+  const LintResult result = run_lint({scan_fixture(
+      "bad_suppression.cpp", "src/core/src/bad_suppression.cpp")});
+  // unknown rule, too-short justification, missing allow clause, and the
+  // attempt to allow(bad-suppression) itself — all four must surface.
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 4u);
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
+TEST(LintSuppression, DirectiveMustStartTheComment) {
+  const LintResult result =
+      run_lint({scan_fixture("clean.cpp", "src/core/src/clean.cpp")});
+  // clean.cpp quotes the allow() syntax mid-comment; no directive, no
+  // bad-suppression.
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 0u);
+}
+
+// --- baseline --------------------------------------------------------------
+
+std::vector<Finding> sample_findings() {
+  const LintResult result =
+      run_lint({scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp")});
+  return result.findings;
+}
+
+TEST(LintBaseline, RoundTripMatchesEverything) {
+  const std::vector<Finding> findings = sample_findings();
+  ASSERT_EQ(findings.size(), 5u);
+
+  const std::vector<BaselineEntry> baseline =
+      parse_baseline(baseline_json(findings));
+  ASSERT_EQ(baseline.size(), 5u);
+
+  const BaselineDiff diff = diff_baseline(findings, baseline);
+  EXPECT_EQ(diff.matched, 5u);
+  EXPECT_TRUE(diff.fresh.empty());
+  EXPECT_TRUE(diff.stale.empty());
+}
+
+TEST(LintBaseline, NewFindingIsFreshAndRemovedOneIsStale) {
+  const std::vector<Finding> findings = sample_findings();
+  std::vector<BaselineEntry> baseline = parse_baseline(baseline_json(findings));
+
+  // Drop one entry: the corresponding finding becomes fresh (gate fails).
+  const BaselineEntry dropped = baseline.back();
+  baseline.pop_back();
+  BaselineDiff diff = diff_baseline(findings, baseline);
+  EXPECT_EQ(diff.matched, 4u);
+  ASSERT_EQ(diff.fresh.size(), 1u);
+  EXPECT_EQ(diff.fresh[0].rule, dropped.rule);
+
+  // Add an entry matching nothing: stale, but not a failure by itself.
+  baseline.push_back(dropped);
+  baseline.push_back({"no-libc-rand", "src/gone.cpp", "rand();"});
+  diff = diff_baseline(findings, baseline);
+  EXPECT_EQ(diff.matched, 5u);
+  EXPECT_TRUE(diff.fresh.empty());
+  ASSERT_EQ(diff.stale.size(), 1u);
+  EXPECT_EQ(diff.stale[0].path, "src/gone.cpp");
+}
+
+TEST(LintBaseline, MatchingIgnoresLineNumbers) {
+  std::vector<Finding> findings = sample_findings();
+  const std::vector<BaselineEntry> baseline =
+      parse_baseline(baseline_json(findings));
+  for (Finding& f : findings) f.line += 100;  // simulate unrelated edits
+  const BaselineDiff diff = diff_baseline(findings, baseline);
+  EXPECT_EQ(diff.matched, findings.size());
+  EXPECT_TRUE(diff.fresh.empty());
+}
+
+TEST(LintBaseline, RejectsUnknownVersionAndMalformedEntries) {
+  EXPECT_THROW((void)parse_baseline("{\"version\": 2, \"findings\": []}"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_baseline("{\"findings\": []}"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)parse_baseline(
+          "{\"version\": 1, \"findings\": [{\"rule\": \"no-libc-rand\"}]}"),
+      std::runtime_error);
+  EXPECT_THROW((void)parse_baseline("not json"), std::runtime_error);
+}
+
+// --- report schema ---------------------------------------------------------
+
+TEST(LintReport, JsonReportMatchesSchemaVersionOne) {
+  const LintResult result = run_lint(
+      {scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp"),
+       scan_fixture("suppressed.cpp", "src/core/src/suppressed.cpp")});
+  const BaselineDiff diff = diff_baseline(result.findings, {});
+
+  const obs::Json doc = obs::Json::parse(result_json(result, diff));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.get("version"), nullptr);
+  EXPECT_EQ(doc.get("version")->as_u64(), 1u);
+  ASSERT_NE(doc.get("files_scanned"), nullptr);
+  EXPECT_EQ(doc.get("files_scanned")->as_u64(), 2u);
+
+  const obs::Json* findings = doc.get("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->size(), result.findings.size());
+  for (std::size_t i = 0; i < findings->size(); ++i) {
+    const obs::Json& f = findings->at(i);
+    for (const char* key : {"rule", "path", "message", "excerpt"}) {
+      ASSERT_NE(f.get(key), nullptr) << "finding missing key " << key;
+      EXPECT_TRUE(f.get(key)->is_string());
+    }
+    ASSERT_NE(f.get("line"), nullptr);
+    EXPECT_TRUE(f.get("line")->is_number());
+  }
+
+  const obs::Json* suppressed = doc.get("suppressed");
+  ASSERT_NE(suppressed, nullptr);
+  ASSERT_EQ(suppressed->size(), 2u);
+  for (std::size_t i = 0; i < suppressed->size(); ++i) {
+    ASSERT_NE(suppressed->at(i).get("justification"), nullptr);
+  }
+
+  const obs::Json* baseline = doc.get("baseline");
+  ASSERT_NE(baseline, nullptr);
+  ASSERT_NE(baseline->get("matched"), nullptr);
+  ASSERT_NE(baseline->get("fresh"), nullptr);
+  ASSERT_NE(baseline->get("stale"), nullptr);
+  EXPECT_EQ(baseline->get("fresh")->size(), result.findings.size());
+}
+
+TEST(LintReport, HumanReportSummarizesCounts) {
+  const LintResult result =
+      run_lint({scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp")});
+  const BaselineDiff diff = diff_baseline(result.findings, {});
+  const std::string report = human_report(result, diff);
+  EXPECT_NE(report.find("dut_lint: 5 new findings"), std::string::npos);
+  EXPECT_NE(report.find("[no-random-device]"), std::string::npos);
+}
+
+// --- source walking --------------------------------------------------------
+
+TEST(LintWalk, CollectSourcesSkipsFixtureAndBuildDirectories) {
+  const std::vector<fs::path> sources =
+      collect_sources(fixture_dir() / "collect", {"src"});
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].filename(), "real.cpp");
+}
+
+TEST(LintWalk, TheRepoGateNeverSeesTheseFixtures) {
+  // Walk the real tests/ tree the way the gate does and assert nothing from
+  // the fixtures directory (all intentional violations) is picked up.
+  const fs::path repo_tests = fixture_dir().parent_path().parent_path();
+  ASSERT_EQ(repo_tests.filename(), "tests");
+  for (const fs::path& p : collect_sources(repo_tests.parent_path(),
+                                           {"tests"})) {
+    EXPECT_EQ(p.string().find("fixtures"), std::string::npos) << p;
+  }
+}
+
+TEST(LintWalk, ClassifyPathCoversEveryLayer) {
+  EXPECT_EQ(classify_path("src/obs/src/metrics.cpp"), FileClass::kObs);
+  EXPECT_EQ(classify_path("src/core/src/gap_tester.cpp"),
+            FileClass::kLibrary);
+  EXPECT_EQ(classify_path("bench/bench_main.cpp"), FileClass::kBench);
+  EXPECT_EQ(classify_path("tests/core/gap_test.cpp"), FileClass::kTest);
+  EXPECT_EQ(classify_path("tools/dut_cli/main.cpp"), FileClass::kTool);
+  EXPECT_EQ(classify_path("examples/demo.cpp"), FileClass::kExample);
+  EXPECT_EQ(classify_path("README.md"), FileClass::kOther);
+}
+
+TEST(LintRules, RuleTableAndKnownRulesAgree) {
+  ASSERT_FALSE(rule_table().empty());
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_TRUE(is_known_rule(r.name));
+    EXPECT_FALSE(r.summary.empty());
+  }
+  EXPECT_FALSE(is_known_rule("no-such-rule"));
+}
+
+}  // namespace
+}  // namespace dut::lint

@@ -77,15 +77,15 @@ TEST(LocalTester, RunValidation) {
   const auto plan = plan_local(1 << 13, g, 1.5, 1.0 / 3.0, 16, 7);
   ASSERT_TRUE(plan.feasible);
   const core::AliasSampler wrong_domain(core::uniform(64));
-  EXPECT_THROW(run_local_uniformity(plan, g, wrong_domain, 1),
+  EXPECT_THROW((void)run_local_uniformity(plan, g, wrong_domain, 1),
                std::invalid_argument);
   const Graph wrong_graph = Graph::ring(8);
   const core::AliasSampler sampler(core::uniform(1 << 13));
-  EXPECT_THROW(run_local_uniformity(plan, wrong_graph, sampler, 1),
+  EXPECT_THROW((void)run_local_uniformity(plan, wrong_graph, sampler, 1),
                std::invalid_argument);
   LocalPlan bogus;
   bogus.feasible = false;
-  EXPECT_THROW(run_local_uniformity(bogus, g, sampler, 1), std::logic_error);
+  EXPECT_THROW((void)run_local_uniformity(bogus, g, sampler, 1), std::logic_error);
 }
 
 TEST(LocalTester, EndToEndErrorWithinBudget) {

@@ -1,0 +1,89 @@
+// Message / bits_for unit tests.
+//
+// The bits_for cases at the bottom are a regression for an undefined-shift
+// bug found by the ubsan preset: the old loop condition evaluated
+// `1ULL << 64` before checking the width guard whenever count exceeded 2^63.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "dut/net/message.hpp"
+
+namespace dut::net {
+namespace {
+
+TEST(Message, PushFieldAccumulatesDeclaredBits) {
+  Message m;
+  m.push_field(3, 2);
+  m.push_field(255, 8);
+  m.push_field(1, 1);
+  EXPECT_EQ(m.bits, 11u);
+  EXPECT_EQ(m.num_fields(), 3u);
+  EXPECT_EQ(m.field(0), 3u);
+  EXPECT_EQ(m.field(1), 255u);
+  EXPECT_EQ(m.field(2), 1u);
+}
+
+TEST(Message, PushFieldRejectsValuesWiderThanDeclared) {
+  Message m;
+  EXPECT_THROW(m.push_field(4, 2), std::invalid_argument);
+  EXPECT_THROW(m.push_field(1, 0), std::invalid_argument);
+  EXPECT_THROW(m.push_field(1, 65), std::invalid_argument);
+  // Width 64 accepts any value, including the maximum.
+  m.push_field(std::numeric_limits<std::uint64_t>::max(), 64);
+  EXPECT_EQ(m.bits, 64u);
+}
+
+TEST(Message, SpillsBeyondInlineCapacityWithoutLosingFields) {
+  Message m;
+  const std::size_t n = Message::kInlineFields + 5;
+  for (std::size_t i = 0; i < n; ++i) m.push_field(i, 16);
+  ASSERT_EQ(m.num_fields(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(m.field(i), i);
+  EXPECT_EQ(m.bits, 16u * n);
+}
+
+TEST(MessageView, MaterializePreservesFieldsAndDeclaredBits) {
+  const std::uint64_t payload[] = {7, 11, 13};
+  MessageView view(/*sender_id=*/4, /*declared_bits=*/23, payload, 3);
+  const Message copy = view.materialize();
+  EXPECT_EQ(copy.sender, 4u);
+  EXPECT_EQ(copy.bits, 23u);
+  ASSERT_EQ(copy.num_fields(), 3u);
+  EXPECT_EQ(copy.field(0), 7u);
+  EXPECT_EQ(copy.field(2), 13u);
+}
+
+TEST(BitsFor, SmallCounts) {
+  EXPECT_EQ(bits_for(0), 1u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(BitsFor, PowersOfTwoAreTight) {
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t pow = 1ULL << k;
+    EXPECT_EQ(bits_for(pow), k) << "count = 2^" << k;
+    EXPECT_EQ(bits_for(pow + 1), k + 1) << "count = 2^" << k << " + 1";
+  }
+}
+
+// Regression: counts above 2^63 used to drive the loop into a 64-bit shift.
+// Under -fsanitize=undefined with -fno-sanitize-recover this aborted; in a
+// plain build it silently depended on the hardware's shift semantics.
+TEST(BitsFor, HugeCountsNeedAllSixtyFourBits) {
+  EXPECT_EQ(bits_for(std::numeric_limits<std::uint64_t>::max()), 64u);
+  EXPECT_EQ(bits_for((1ULL << 63) + 1), 64u);
+  EXPECT_EQ(bits_for(1ULL << 63), 63u);
+}
+
+}  // namespace
+}  // namespace dut::net

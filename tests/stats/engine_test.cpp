@@ -95,14 +95,15 @@ TEST(TrialRunner, FreeFunctionsUseGlobalRunner) {
 
 TEST(TrialRunner, ZeroTrialsThrows) {
   TrialRunner runner(2);
-  EXPECT_THROW(runner.estimate_probability(1, 0, coin_trial),
+  EXPECT_THROW((void)runner.estimate_probability(1, 0, coin_trial),
                std::invalid_argument);
-  EXPECT_THROW(runner.run_trials(1, 0, value_trial), std::invalid_argument);
+  EXPECT_THROW((void)runner.run_trials(1, 0, value_trial),
+               std::invalid_argument);
 }
 
 TEST(TrialRunner, PropagatesTrialExceptions) {
   TrialRunner runner(4);
-  EXPECT_THROW(runner.estimate_probability(
+  EXPECT_THROW((void)runner.estimate_probability(
                    1, 1000,
                    [](Xoshiro256& rng) -> bool {
                      if (rng() % 3 == 0) throw std::runtime_error("boom");

@@ -77,7 +77,7 @@ TEST(EstimateProbability, RecoversBernoulliParameter) {
 
 TEST(EstimateProbability, RejectsZeroTrials) {
   EXPECT_THROW(
-      estimate_probability(1, 0, [](Xoshiro256&) { return true; }),
+      (void)estimate_probability(1, 0, [](Xoshiro256&) { return true; }),
       std::invalid_argument);
 }
 

@@ -1,0 +1,157 @@
+#pragma once
+
+// dut_lint: the repo-native determinism & protocol-safety static checker
+// (DESIGN.md §12).
+//
+// Every guarantee this reproduction makes — bit-identical Monte-Carlo sweeps
+// at any DUT_THREADS, CONGEST messages bounded through the declared-width
+// bit-budget, reject-biased fault handling — depends on source-level
+// disciplines that no runtime test can prove exhaustively. dut_lint checks
+// them at review time with a token/decl-level scanner (comments and string
+// literals are scrubbed before any rule runs, so rules only ever see code):
+//
+//  D-rules (determinism):
+//    no-random-device        std::random_device anywhere
+//    no-libc-rand            rand()/srand()/random()/drand48() calls
+//    no-wall-clock           wall-clock reads outside src/obs/ and bench/
+//    no-mutable-static       mutable function-local statics in src/
+//    no-unordered-iteration  unordered containers outside tests/
+//  P-rules (protocol safety):
+//    wire-cast-confined      reinterpret_cast outside net/message.hpp
+//    bits-funnel             manual writes to a `.bits` member outside the
+//                            push_field/Verdict::make funnels
+//    verdict-nodiscard       verdict-returning public API missing
+//                            [[nodiscard]]
+//    verdict-discarded       verdict-returning call discarded at statement
+//                            position
+//  and the meta rule bad-suppression for malformed allow comments.
+//
+// Suppression: `// dut-lint: allow(<rule>): <justification>` on the finding
+// line (or alone on the line above it). The justification is mandatory and
+// must be at least 8 characters; bad-suppression findings cannot themselves
+// be suppressed. A checked-in baseline (tools/dut_lint/baseline.json) lets
+// the gate fail only on *new* findings while legacy ones are burned down.
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dut::lint {
+
+/// Path-derived rule scope. The distinction matters because several rules
+/// apply only to library code (src/) or exempt the observability and bench
+/// layers, whose whole job is reading clocks.
+enum class FileClass { kLibrary, kObs, kBench, kTest, kTool, kExample, kOther };
+
+/// Classifies a repo-relative, '/'-separated path.
+FileClass classify_path(std::string_view rel_path);
+
+/// One lexical token of scrubbed code. Multi-character operators that rules
+/// care about (::, ->, ==, +=, ...) arrive merged as single tokens.
+struct Token {
+  std::string text;
+  std::size_t line = 0;  ///< 1-based source line
+  bool is_ident = false;
+};
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  ///< 1-based; 0 for file-level findings
+  std::string message;
+  std::string excerpt;  ///< trimmed raw source line
+};
+
+/// A parsed `// dut-lint: allow(rule): justification` comment.
+struct Suppression {
+  std::string rule;
+  std::string justification;
+  std::size_t target_line = 0;  ///< line whose findings it covers
+  bool used = false;
+};
+
+struct ScannedFile {
+  std::string path;
+  FileClass cls = FileClass::kOther;
+  std::vector<std::string> raw_lines;
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+  /// Findings produced during scanning itself (bad-suppression).
+  std::vector<Finding> scan_findings;
+
+  /// Trimmed raw source line (1-based; empty when out of range).
+  std::string excerpt(std::size_t line) const;
+};
+
+/// Scrubs comments/literals, tokenizes, and parses suppression comments.
+/// `rel_path` decides the FileClass; `text` is the file contents.
+ScannedFile scan_file(std::string rel_path, std::string_view text);
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+std::span<const RuleInfo> rule_table();
+bool is_known_rule(std::string_view name);
+
+struct SuppressedFinding {
+  Finding finding;
+  std::string justification;
+};
+
+struct LintResult {
+  std::vector<Finding> findings;  ///< active, i.e. not suppressed
+  std::vector<SuppressedFinding> suppressed;
+  std::size_t files_scanned = 0;
+};
+
+/// Runs every rule over the corpus. Two passes: declarations first (result
+/// types and their producers feed the verdict rules), then the per-file
+/// token rules, with suppressions applied at the end. Findings are ordered
+/// by (path, line, rule) so output is deterministic.
+LintResult run_lint(const std::vector<ScannedFile>& files);
+
+/// Walks `rel_paths` (files or directories) under `root` and returns every
+/// C++ source (.hpp/.h/.cpp/.cc), sorted. Directories named "fixtures" and
+/// build trees (build*, CMakeFiles, .git, Testing) are skipped so lint
+/// fixtures with intentional violations never leak into the repo gate.
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root, const std::vector<std::string>& rel_paths);
+
+// --- Baseline -------------------------------------------------------------
+// Entries match findings by (rule, path, excerpt) — line numbers are
+// excluded so unrelated edits in the same file do not invalidate the
+// baseline. Matching is multiset-style: one entry covers one finding.
+
+struct BaselineEntry {
+  std::string rule;
+  std::string path;
+  std::string excerpt;
+};
+
+struct BaselineDiff {
+  std::vector<Finding> fresh;        ///< findings not covered by the baseline
+  std::vector<BaselineEntry> stale;  ///< entries that matched nothing
+  std::size_t matched = 0;
+};
+
+/// Parses a baseline document; throws std::runtime_error on malformed JSON
+/// or a version other than 1.
+std::vector<BaselineEntry> parse_baseline(std::string_view json_text);
+
+/// Serializes `findings` as a fresh baseline document (schema version 1).
+std::string baseline_json(const std::vector<Finding>& findings);
+
+BaselineDiff diff_baseline(const std::vector<Finding>& findings,
+                           const std::vector<BaselineEntry>& baseline);
+
+/// Machine-readable report (schema version 1; see tests/lint for the shape).
+std::string result_json(const LintResult& result, const BaselineDiff& diff);
+
+/// Human-readable report; the gate's stdout.
+std::string human_report(const LintResult& result, const BaselineDiff& diff);
+
+}  // namespace dut::lint

@@ -1,0 +1,125 @@
+// dut_lint CLI — the review-time gate (registered as the lint_repo and
+// smoke_lint ctest entries).
+//
+//   dut_lint [--root DIR] [--baseline FILE] [--write-baseline] [--json]
+//            [--list-rules] [paths...]
+//
+// Scans the given files/directories (default: src bench tests tools
+// examples) under --root (default: cwd). Exit code 0 when every finding is
+// suppressed or baselined, 1 when new findings exist, 2 on usage/IO errors.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dut_lint/lint.hpp"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: dut_lint [--root DIR] [--baseline FILE] [--write-baseline]\n"
+         "                [--json] [--list-rules] [paths...]\n";
+  return code;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string rel_to(const std::filesystem::path& root,
+                   const std::filesystem::path& p) {
+  return std::filesystem::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dut::lint;
+  std::filesystem::path root = std::filesystem::current_path();
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool json_output = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--json") {
+      json_output = true;
+    } else if (arg == "--list-rules") {
+      for (const RuleInfo& r : rule_table()) {
+        std::cout << r.name << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dut_lint: unknown option '" << arg << "'\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "bench", "tests", "tools", "examples"};
+  }
+
+  try {
+    root = std::filesystem::absolute(root);
+    std::vector<ScannedFile> files;
+    for (const std::filesystem::path& p : collect_sources(root, paths)) {
+      files.push_back(scan_file(rel_to(root, p), read_file(p)));
+    }
+
+    const LintResult result = run_lint(files);
+
+    std::vector<BaselineEntry> baseline;
+    if (!baseline_path.empty() && !write_baseline) {
+      if (std::filesystem::exists(baseline_path)) {
+        baseline = parse_baseline(read_file(baseline_path));
+      } else {
+        std::cerr << "dut_lint: baseline file '" << baseline_path
+                  << "' not found (treating as empty)\n";
+      }
+    }
+    const BaselineDiff diff = diff_baseline(result.findings, baseline);
+
+    if (write_baseline) {
+      if (baseline_path.empty()) {
+        std::cerr << "dut_lint: --write-baseline needs --baseline FILE\n";
+        return 2;
+      }
+      std::ofstream out(baseline_path, std::ios::binary);
+      out << baseline_json(result.findings);
+      if (!out) {
+        std::cerr << "dut_lint: cannot write " << baseline_path << "\n";
+        return 2;
+      }
+      std::cout << "dut_lint: wrote " << result.findings.size()
+                << " entries to " << baseline_path << "\n";
+      return 0;
+    }
+
+    if (json_output) {
+      std::cout << result_json(result, diff);
+    } else {
+      std::cout << human_report(result, diff);
+    }
+    return diff.fresh.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "dut_lint: " << e.what() << "\n";
+    return 2;
+  }
+}

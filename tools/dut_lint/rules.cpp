@@ -1,0 +1,479 @@
+// Rule implementations. Two corpus passes feed the verdict rules: pass one
+// collects "result types" (core::Verdict plus every *Result struct carrying
+// a Verdict member) and the producer functions returning them; pass two runs
+// the per-file token rules. Everything works on scrubbed tokens, so string
+// literals and comments can name any identifier freely.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {"no-random-device",
+     "std::random_device draws OS entropy; seeded Xoshiro streams are the "
+     "only sanctioned randomness (bit-identical sweeps, DESIGN.md §8)"},
+    {"no-libc-rand",
+     "rand()/srand()/random()/drand48() share hidden global state and break "
+     "per-trial stream derivation"},
+    {"no-wall-clock",
+     "wall-clock reads outside src/obs/ and bench/ make output depend on "
+     "when it ran, not on (seed, input)"},
+    {"no-mutable-static",
+     "mutable function-local statics in library code are hidden cross-trial "
+     "state; immutable/const/reference latches are exempt"},
+    {"no-unordered-iteration",
+     "unordered container iteration order is unspecified; verdicts, traces "
+     "and reports must not depend on it (tests exempt)"},
+    {"wire-cast-confined",
+     "reinterpret_cast on wire payloads is confined to net/message.hpp; the "
+     "declared-width field API is the only wire format"},
+    {"bits-funnel",
+     "Message/Verdict bit totals are accumulated by push_field and "
+     "Verdict::make; manual .bits writes under-report the CONGEST budget"},
+    {"verdict-nodiscard",
+     "public APIs returning a verdict/result type must be [[nodiscard]]; a "
+     "dropped verdict is a silently ignored protocol outcome"},
+    {"verdict-discarded",
+     "verdict-returning call discarded at statement position"},
+    {"bad-suppression",
+     "dut-lint allow() comment is malformed, names an unknown rule, or "
+     "lacks a justification"},
+};
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// in_function[i]: token i sits inside a function (or lambda) body. A
+/// heuristic brace tracker: frames opened after a parameter list — including
+/// constructor-initializer bodies — count as functions; namespace/type
+/// frames do not. Misclassification errs toward false negatives, never
+/// toward flagging namespace-scope declarations.
+std::vector<bool> compute_in_function(const std::vector<Token>& tokens) {
+  std::vector<bool> in_function(tokens.size(), false);
+  std::vector<char> frames;  // 'n'amespace, 't'ype, 'f'unction, 'b'lock
+  int func_depth = 0;
+  int paren_depth = 0;
+  char pending = 0;
+  bool after_params = false;
+  bool in_ctor_init = false;
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    in_function[i] = func_depth > 0;
+    const std::string& t = tokens[i].text;
+    const std::string prev = i > 0 ? tokens[i - 1].text : std::string();
+    if (t == "(") {
+      ++paren_depth;
+      continue;
+    }
+    if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+      if (paren_depth == 0) after_params = true;
+      continue;
+    }
+    if (paren_depth > 0) continue;
+
+    if (tokens[i].is_ident) {
+      if (t == "namespace") {
+        pending = 'n';
+      } else if (t == "class" || t == "struct" || t == "union" ||
+                 t == "enum") {
+        pending = 't';
+      }
+      // const/noexcept/override/final/trailing-return idents keep
+      // after_params alive on the way to the body brace.
+      continue;
+    }
+    if (t == ";") {
+      pending = 0;
+      after_params = false;
+      in_ctor_init = false;
+    } else if (t == "," || t == "=") {
+      if (!in_ctor_init) after_params = false;
+    } else if (t == ":" && after_params) {
+      in_ctor_init = true;
+    } else if (t == "{") {
+      char kind = 'b';
+      if (pending == 'n') {
+        kind = 'n';
+      } else if (pending == 't') {
+        kind = 't';
+      } else if (in_ctor_init) {
+        kind = (prev == ")" || prev == "}") ? 'f' : 'b';
+        if (kind == 'f') in_ctor_init = false;
+      } else if (after_params) {
+        kind = 'f';
+      }
+      frames.push_back(kind);
+      if (kind == 'f') ++func_depth;
+      pending = 0;
+      after_params = false;
+    } else if (t == "}") {
+      if (!frames.empty()) {
+        if (frames.back() == 'f' && func_depth > 0) --func_depth;
+        frames.pop_back();
+      }
+    }
+  }
+  return in_function;
+}
+
+/// Declaration corpus shared by the verdict rules.
+struct Corpus {
+  std::set<std::string> result_types;
+  std::set<std::string> nodiscard_types;
+  /// producer name -> protected (function or its return type [[nodiscard]])
+  std::map<std::string, bool> producers;
+  /// (file, token index) of unprotected producer declarations in src/ headers
+  std::vector<std::pair<const ScannedFile*, std::size_t>> unprotected_decls;
+};
+
+bool is_cpp_keyword_like(const std::string& s) {
+  static const std::set<std::string> kWords = {
+      "if", "for", "while", "switch", "return", "const", "constexpr",
+      "static", "inline", "virtual", "friend", "typename", "template",
+      "operator", "new", "delete", "sizeof", "case", "throw", "co_return"};
+  return kWords.count(s) > 0;
+}
+
+/// Looks back from token `i` (the return-type token) for a [[nodiscard]]
+/// attribute on the same declaration.
+bool has_nodiscard_before(const std::vector<Token>& tokens, std::size_t i) {
+  std::size_t steps = 0;
+  while (i > 0 && steps < 10) {
+    --i;
+    ++steps;
+    const std::string& t = tokens[i].text;
+    if (t == ";" || t == "{" || t == "}" || t == ")") break;
+    if (t == "nodiscard") return true;
+  }
+  return false;
+}
+
+void collect_types(const ScannedFile& file, Corpus& corpus) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident ||
+        (toks[i].text != "struct" && toks[i].text != "class")) {
+      continue;
+    }
+    // Skip attributes between the keyword and the name.
+    std::size_t j = i + 1;
+    bool nodiscard = false;
+    while (j < toks.size() && toks[j].text == "[") {
+      while (j < toks.size() && toks[j].text != "]") {
+        if (toks[j].text == "nodiscard") nodiscard = true;
+        ++j;
+      }
+      while (j < toks.size() && toks[j].text == "]") ++j;
+    }
+    if (j >= toks.size() || !toks[j].is_ident) continue;
+    const std::string name = toks[j].text;
+
+    const bool verdict_named = name == "Verdict";
+    if (!verdict_named && !ends_with(name, "Result")) continue;
+
+    // Find the body and (for *Result types) require a Verdict member.
+    std::size_t k = j + 1;
+    while (k < toks.size() && toks[k].text != "{" && toks[k].text != ";") ++k;
+    if (k >= toks.size() || toks[k].text == ";") {
+      if (verdict_named) {
+        corpus.result_types.insert(name);
+        if (nodiscard) corpus.nodiscard_types.insert(name);
+      }
+      continue;
+    }
+    int depth = 0;
+    bool has_verdict_member = false;
+    for (std::size_t b = k; b < toks.size(); ++b) {
+      if (toks[b].text == "{") ++depth;
+      if (toks[b].text == "}" && --depth == 0) break;
+      if (toks[b].is_ident && toks[b].text == "Verdict") {
+        has_verdict_member = true;
+      }
+    }
+    if (verdict_named || has_verdict_member) {
+      corpus.result_types.insert(name);
+      if (nodiscard) corpus.nodiscard_types.insert(name);
+    }
+  }
+}
+
+void collect_producers(const ScannedFile& file, Corpus& corpus) {
+  const std::vector<Token>& toks = file.tokens;
+  const std::vector<bool> in_function = compute_in_function(toks);
+  const bool public_header = file.cls != FileClass::kTest &&
+                             ends_with(file.path, ".hpp") &&
+                             file.path.rfind("src/", 0) == 0;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!toks[i].is_ident || corpus.result_types.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (in_function[i]) continue;
+    const std::string& name = toks[i + 1].text;
+    if (!toks[i + 1].is_ident || toks[i + 2].text != "(") continue;
+    if (is_cpp_keyword_like(name)) continue;
+    // `T name(` directly preceded by member access is a call, not a decl.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "return" || toks[i - 1].text == "=")) {
+      continue;
+    }
+    const bool protected_decl = has_nodiscard_before(toks, i) ||
+                                corpus.nodiscard_types.count(toks[i].text) > 0;
+    auto [it, inserted] = corpus.producers.emplace(name, protected_decl);
+    if (!inserted) it->second = it->second || protected_decl;
+    if (!protected_decl && public_header) {
+      corpus.unprotected_decls.emplace_back(&file, i);
+    }
+  }
+}
+
+// --- per-file token rules --------------------------------------------------
+
+using Emit = std::vector<Finding>&;
+
+void emit(Emit out, std::string rule, const ScannedFile& file,
+          std::size_t line, std::string message) {
+  out.push_back({std::move(rule), file.path, line, std::move(message),
+                 file.excerpt(line)});
+}
+
+bool is_call(const std::vector<Token>& toks, std::size_t i) {
+  return i + 1 < toks.size() && toks[i + 1].text == "(";
+}
+
+bool member_access_before(const std::vector<Token>& toks, std::size_t i) {
+  return i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+}
+
+void rule_no_random_device(const ScannedFile& file, Emit out) {
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    if (file.tokens[i].is_ident && file.tokens[i].text == "random_device") {
+      emit(out, "no-random-device", file, file.tokens[i].line,
+           "std::random_device is nondeterministic; derive a "
+           "stats::Xoshiro256 stream from the run seed instead");
+    }
+  }
+}
+
+void rule_no_libc_rand(const ScannedFile& file, Emit out) {
+  static const std::set<std::string> kBanned = {"rand", "srand", "random",
+                                                "drand48", "lrand48"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident || kBanned.count(toks[i].text) == 0) continue;
+    if (!is_call(toks, i) || member_access_before(toks, i)) continue;
+    emit(out, "no-libc-rand", file, toks[i].line,
+         "libc '" + toks[i].text +
+             "' uses hidden global state; use the seeded per-node/per-trial "
+             "RNG streams");
+  }
+}
+
+void rule_no_wall_clock(const ScannedFile& file, Emit out) {
+  if (file.cls == FileClass::kObs || file.cls == FileClass::kBench) return;
+  static const std::set<std::string> kClockTypes = {
+      "system_clock", "high_resolution_clock", "steady_clock"};
+  static const std::set<std::string> kClockCalls = {
+      "time",        "clock",     "gettimeofday", "clock_gettime",
+      "localtime",   "gmtime",    "mktime",       "timespec_get"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    if (kClockTypes.count(toks[i].text) > 0) {
+      emit(out, "no-wall-clock", file, toks[i].line,
+           "chrono clock read outside src/obs/ and bench/: output must "
+           "depend only on (seed, input), never on when it ran");
+    } else if (kClockCalls.count(toks[i].text) > 0 && is_call(toks, i) &&
+               !member_access_before(toks, i)) {
+      emit(out, "no-wall-clock", file, toks[i].line,
+           "libc time call '" + toks[i].text +
+               "' outside src/obs/ and bench/");
+    }
+  }
+}
+
+void rule_no_mutable_static(const ScannedFile& file, Emit out) {
+  if (file.cls != FileClass::kLibrary && file.cls != FileClass::kObs) return;
+  const std::vector<Token>& toks = file.tokens;
+  const std::vector<bool> in_function = compute_in_function(toks);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident || toks[i].text != "static" || !in_function[i]) {
+      continue;
+    }
+    bool exempt = false;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == ";" || t == "=" || t == "(" || t == "{") break;
+      if (t == "const" || t == "constexpr" || t == "constinit" || t == "&" ||
+          t == "&&") {
+        exempt = true;
+        break;
+      }
+    }
+    if (!exempt) {
+      emit(out, "no-mutable-static", file, toks[i].line,
+           "mutable function-local static in library code: hidden "
+           "cross-trial state breaks the bit-identical contract (const/"
+           "reference latches are exempt)");
+    }
+  }
+}
+
+void rule_no_unordered_iteration(const ScannedFile& file, Emit out) {
+  if (file.cls == FileClass::kTest) return;
+  static const std::set<std::string> kBanned = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    if (file.tokens[i].is_ident && kBanned.count(file.tokens[i].text) > 0) {
+      emit(out, "no-unordered-iteration", file, file.tokens[i].line,
+           "'" + file.tokens[i].text +
+               "' iteration order is unspecified; verdicts/traces/reports "
+               "must use std::map or a sorted vector");
+    }
+  }
+}
+
+void rule_wire_cast_confined(const ScannedFile& file, Emit out) {
+  if (file.path == "src/net/include/dut/net/message.hpp") return;
+  for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+    if (file.tokens[i].is_ident &&
+        file.tokens[i].text == "reinterpret_cast") {
+      emit(out, "wire-cast-confined", file, file.tokens[i].line,
+           "reinterpret_cast outside net/message.hpp: wire payloads go "
+           "through the declared-width field API only");
+    }
+  }
+}
+
+void rule_bits_funnel(const ScannedFile& file, Emit out) {
+  if (file.path == "src/net/include/dut/net/message.hpp" ||
+      file.path == "src/net/src/engine.cpp" ||
+      file.path == "src/core/include/dut/core/verdict.hpp") {
+    return;
+  }
+  static const std::set<std::string> kAssign = {"=",  "+=", "-=", "|=",
+                                                "&=", "^=", "<<=", ">>="};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident || toks[i].text != "bits") continue;
+    if (!member_access_before(toks, i)) continue;
+    if (kAssign.count(toks[i + 1].text) == 0) continue;
+    emit(out, "bits-funnel", file, toks[i].line,
+         "manual '.bits' write bypasses the push_field/Verdict::make bit "
+         "accounting; size payloads through the bit-budget helpers");
+  }
+}
+
+void rule_verdict_discarded(const ScannedFile& file, const Corpus& corpus,
+                            Emit out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident || corpus.producers.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (!is_call(toks, i)) continue;
+    if (i > 0) {
+      const std::string& prev = toks[i - 1].text;
+      if (prev != ";" && prev != "{" && prev != "}" && prev != ":") continue;
+    }
+    // Match the call's parentheses; a discarded result is immediately
+    // terminated by ';'.
+    int depth = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+    }
+    if (j + 1 < toks.size() && toks[j + 1].text == ";") {
+      emit(out, "verdict-discarded", file, toks[i].line,
+           "result of '" + toks[i].text +
+               "' is discarded; a dropped verdict is an ignored protocol "
+               "outcome (cast to (void) only with a lint suppression)");
+    }
+  }
+}
+
+void apply_suppressions(ScannedFile& file, std::vector<Finding>& candidates,
+                        LintResult& result) {
+  for (Finding& f : candidates) {
+    bool covered = false;
+    if (f.rule != "bad-suppression") {
+      for (Suppression& s : file.suppressions) {
+        if (s.rule == f.rule && s.target_line == f.line) {
+          s.used = true;
+          covered = true;
+          result.suppressed.push_back({std::move(f), s.justification});
+          break;
+        }
+      }
+    }
+    if (!covered) result.findings.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+std::span<const RuleInfo> rule_table() { return kRules; }
+
+bool is_known_rule(std::string_view name) {
+  for (const RuleInfo& r : kRules) {
+    if (r.name == name) return true;
+  }
+  return false;
+}
+
+LintResult run_lint(const std::vector<ScannedFile>& files) {
+  LintResult result;
+  result.files_scanned = files.size();
+
+  Corpus corpus;
+  corpus.result_types.insert("Verdict");
+  for (const ScannedFile& file : files) collect_types(file, corpus);
+  for (const ScannedFile& file : files) collect_producers(file, corpus);
+
+  for (const ScannedFile& file : files) {
+    // Work on a copy so suppression bookkeeping stays per-run.
+    ScannedFile scratch = file;
+    std::vector<Finding> candidates = scratch.scan_findings;
+    rule_no_random_device(scratch, candidates);
+    rule_no_libc_rand(scratch, candidates);
+    rule_no_wall_clock(scratch, candidates);
+    rule_no_mutable_static(scratch, candidates);
+    rule_no_unordered_iteration(scratch, candidates);
+    rule_wire_cast_confined(scratch, candidates);
+    rule_bits_funnel(scratch, candidates);
+    rule_verdict_discarded(scratch, corpus, candidates);
+    for (const auto& [decl_file, tok] : corpus.unprotected_decls) {
+      if (decl_file->path != scratch.path) continue;
+      const Token& t = decl_file->tokens[tok];
+      candidates.push_back(
+          {"verdict-nodiscard", scratch.path, t.line,
+           "'" + decl_file->tokens[tok + 1].text + "' returns " + t.text +
+               " but is not [[nodiscard]] (and the type is not)",
+           scratch.excerpt(t.line)});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    apply_suppressions(scratch, candidates, result);
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+  return result;
+}
+
+}  // namespace dut::lint

@@ -1,0 +1,366 @@
+// Scanning front end: comment/literal scrubbing, tokenization, suppression
+// parsing and repo walking. Rules never see comments or string contents, so
+// a rule name mentioned in documentation (or a forbidden identifier inside a
+// log message) can never produce a finding.
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// One comment's text, with the line it starts on and the line it ends on.
+struct CommentSpan {
+  std::string text;
+  std::size_t first_line = 0;
+  std::size_t last_line = 0;
+};
+
+/// Replaces comments and string/char literal contents with spaces (newlines
+/// survive, so line numbers are stable) and collects the comment texts.
+std::string scrub(std::string_view text, std::vector<CommentSpan>& comments) {
+  std::string code;
+  code.reserve(text.size());
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::size_t line = 1;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  CommentSpan current;
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') ++line;
+
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          current = {"", line, line};
+          code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          current = {"", line, line};
+          code += "  ";
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R (uR, u8R, LR handled by the
+          // R immediately preceding the quote).
+          if (i > 0 && text[i - 1] == 'R') {
+            raw_delim.clear();
+            std::size_t j = i + 1;
+            while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+            state = State::kRaw;
+            code += ' ';
+          } else {
+            state = State::kString;
+            code += ' ';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          code += ' ';
+        } else {
+          code += c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+          comments.push_back(current);
+          code += '\n';
+        } else {
+          current.text += c;
+          code += ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          current.last_line = line;
+          comments.push_back(current);
+          state = State::kCode;
+          code += "  ";
+          ++i;
+        } else {
+          current.text += c;
+          current.last_line = line;
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          code += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          code += ' ';
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' &&
+            text.substr(i + 1, raw_delim.size()) == raw_delim &&
+            i + 1 + raw_delim.size() < text.size() &&
+            text[i + 1 + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k < raw_delim.size() + 2; ++k) code += ' ';
+          i += raw_delim.size() + 1;
+          state = State::kCode;
+        } else {
+          code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  if (state == State::kLine || state == State::kBlock) comments.push_back(current);
+  return code;
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators merged into single tokens, longest first.
+constexpr std::string_view kOperators[] = {
+    "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "++", "--"};
+
+std::vector<Token> tokenize(std::string_view code) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < code.size() && ident_char(code[j])) ++j;
+      tokens.push_back({std::string(code.substr(i, j - i)), line, true});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < code.size() &&
+             (ident_char(code[j]) || code[j] == '.' || code[j] == '\'')) {
+        ++j;
+      }
+      tokens.push_back({std::string(code.substr(i, j - i)), line, false});
+      i = j;
+      continue;
+    }
+    bool merged = false;
+    for (const std::string_view op : kOperators) {
+      if (code.substr(i, op.size()) == op) {
+        tokens.push_back({std::string(op), line, false});
+        i += op.size();
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) {
+      tokens.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+/// Minimum justification length a suppression must carry; short enough to
+/// never be the obstacle, long enough to rule out "ok" and "x".
+constexpr std::size_t kMinJustification = 8;
+
+/// Parses suppression directives out of one comment. Malformed directives
+/// become bad-suppression findings (never suppressible themselves).
+void parse_directives(const CommentSpan& comment, const ScannedFile& file,
+                      std::vector<std::string_view> code_lines,
+                      std::vector<Suppression>& out,
+                      std::vector<Finding>& findings) {
+  // The directive must be the comment, not merely appear inside one —
+  // documentation that quotes the syntax mid-sentence is not a directive.
+  constexpr std::string_view kMarker = "dut-lint:";
+  const std::string head = trim(comment.text);
+  if (!starts_with(head, kMarker)) return;
+  const std::size_t pos = comment.text.find(kMarker);
+
+  const auto bad = [&](const std::string& why) {
+    findings.push_back({"bad-suppression", file.path, comment.first_line, why,
+                        file.excerpt(comment.first_line)});
+  };
+
+  std::string_view rest =
+      std::string_view(comment.text).substr(pos + kMarker.size());
+  const std::string body = trim(rest);
+  if (!starts_with(body, "allow(")) {
+    bad("dut-lint directive must be 'allow(<rule>): <justification>'");
+    return;
+  }
+  const std::size_t close = body.find(')');
+  if (close == std::string::npos) {
+    bad("unterminated rule name in dut-lint allow()");
+    return;
+  }
+  const std::string rule = trim(body.substr(6, close - 6));
+  if (!is_known_rule(rule)) {
+    bad("unknown rule '" + rule + "' in dut-lint allow()");
+    return;
+  }
+  if (rule == "bad-suppression") {
+    bad("bad-suppression findings cannot be suppressed");
+    return;
+  }
+  std::string after = trim(body.substr(close + 1));
+  if (!starts_with(after, ":")) {
+    bad("dut-lint allow() must be followed by ': <justification>'");
+    return;
+  }
+  const std::string justification = trim(after.substr(1));
+  if (justification.size() < kMinJustification) {
+    bad("dut-lint suppression needs a real justification (>= 8 chars)");
+    return;
+  }
+
+  // A directive sharing its line with code covers that line; a directive
+  // alone on its line(s) covers the next line carrying code, so multi-line
+  // justification comments and blank separators are fine.
+  std::size_t target = comment.first_line;
+  const std::size_t idx = comment.first_line - 1;
+  if (idx < code_lines.size() && trim(code_lines[idx]).empty()) {
+    target = comment.last_line + 1;
+    while (target <= code_lines.size() &&
+           trim(code_lines[target - 1]).empty()) {
+      ++target;
+    }
+  }
+  out.push_back({rule, justification, target, false});
+}
+
+}  // namespace
+
+FileClass classify_path(std::string_view rel_path) {
+  if (starts_with(rel_path, "src/obs/")) return FileClass::kObs;
+  if (starts_with(rel_path, "src/")) return FileClass::kLibrary;
+  if (starts_with(rel_path, "bench/")) return FileClass::kBench;
+  if (starts_with(rel_path, "tests/")) return FileClass::kTest;
+  if (starts_with(rel_path, "tools/")) return FileClass::kTool;
+  if (starts_with(rel_path, "examples/")) return FileClass::kExample;
+  return FileClass::kOther;
+}
+
+std::string ScannedFile::excerpt(std::size_t line) const {
+  if (line == 0 || line > raw_lines.size()) return "";
+  return trim(raw_lines[line - 1]);
+}
+
+ScannedFile scan_file(std::string rel_path, std::string_view text) {
+  ScannedFile file;
+  file.path = std::move(rel_path);
+  file.cls = classify_path(file.path);
+
+  for (std::size_t begin = 0; begin <= text.size();) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      file.raw_lines.emplace_back(text.substr(begin));
+      break;
+    }
+    file.raw_lines.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+
+  std::vector<CommentSpan> comments;
+  const std::string code = scrub(text, comments);
+  file.tokens = tokenize(code);
+
+  std::vector<std::string_view> code_lines;
+  for (std::size_t begin = 0; begin <= code.size();) {
+    const std::size_t end = code.find('\n', begin);
+    if (end == std::string::npos) {
+      code_lines.push_back(std::string_view(code).substr(begin));
+      break;
+    }
+    code_lines.push_back(std::string_view(code).substr(begin, end - begin));
+    begin = end + 1;
+  }
+  for (const CommentSpan& comment : comments) {
+    parse_directives(comment, file, code_lines, file.suppressions,
+                     file.scan_findings);
+  }
+  return file;
+}
+
+std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root,
+    const std::vector<std::string>& rel_paths) {
+  namespace fs = std::filesystem;
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+  };
+  const auto skip_dir = [](const fs::path& p) {
+    const std::string name = p.filename().string();
+    return name == "fixtures" || name == "CMakeFiles" || name == ".git" ||
+           name == "Testing" || starts_with(name, "build");
+  };
+
+  std::vector<fs::path> out;
+  for (const std::string& rel : rel_paths) {
+    const fs::path base = root / rel;
+    if (fs::is_regular_file(base)) {
+      out.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base)) continue;
+    for (auto it = fs::recursive_directory_iterator(base);
+         it != fs::recursive_directory_iterator(); ++it) {
+      if (it->is_directory() && skip_dir(it->path())) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && is_source(it->path())) {
+        out.push_back(it->path());
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dut::lint

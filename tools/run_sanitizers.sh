@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the full ctest suite under the memory/UB sanitizer matrix:
+#   * asan  — AddressSanitizer + UBSan (heap/stack/use-after-free plus UB)
+#   * ubsan — UndefinedBehaviorSanitizer alone (faster; catches shift,
+#             overflow and alignment bugs in the bit-packing hot paths)
+# Both builds compile with -fno-sanitize-recover=undefined, so any UB aborts
+# the offending test instead of printing a diagnostic and passing. Companion
+# to run_tsan.sh (races) and the dut_lint gate (source-level determinism and
+# protocol-safety rules); README "Verifying a change" runs all three.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export DUT_THREADS="${DUT_THREADS:-4}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+for preset in asan ubsan; do
+  echo "== configure + build (${preset}) =="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+
+  echo "== ctest (${preset}, DUT_THREADS=${DUT_THREADS}) =="
+  ctest --test-dir "build-${preset}" --output-on-failure -j "$(nproc)"
+done
+
+echo "sanitizers: asan + ubsan suites passed"

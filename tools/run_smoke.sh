@@ -6,8 +6,31 @@
 #     consistent and within the bandwidth budget (dut_trace check).
 #
 # Usage: run_smoke.sh <dut_trace-binary> <workdir> <binary> [args...]
-# Registered per experiment as the smoke_* ctest entries (bench/CMakeLists).
+#        run_smoke.sh --lint <dut_lint-binary> <repo-root>
+# Registered per experiment as the smoke_* ctest entries (bench/CMakeLists);
+# the --lint mode is the smoke_lint entry (tools/dut_lint/CMakeLists).
 set -euo pipefail
+
+# Lint mode: run the dut_lint gate against its checked-in baseline and make
+# sure the machine-readable report is well-formed JSON (python is only used
+# as a JSON validator; the gate itself is the C++ binary).
+if [ "${1:-}" = "--lint" ]; then
+  if [ "$#" -ne 3 ]; then
+    echo "usage: $0 --lint <dut_lint-binary> <repo-root>" >&2
+    exit 2
+  fi
+  dut_lint=$2
+  repo_root=$3
+  "$dut_lint" --root "$repo_root" \
+    --baseline "$repo_root/tools/dut_lint/baseline.json"
+  json=$("$dut_lint" --root "$repo_root" \
+    --baseline "$repo_root/tools/dut_lint/baseline.json" --json)
+  if command -v python3 > /dev/null; then
+    echo "$json" | python3 -c 'import json,sys; json.load(sys.stdin)'
+  fi
+  echo "smoke: lint gate clean"
+  exit 0
+fi
 
 if [ "$#" -lt 3 ]; then
   echo "usage: $0 <dut_trace-binary> <workdir> <binary> [args...]" >&2
