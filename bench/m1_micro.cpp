@@ -13,7 +13,6 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <iterator>
 #include <span>
@@ -28,6 +27,7 @@
 #include "dut/core/gap_tester.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/local/mis.hpp"
+#include "dut/obs/phase_timer.hpp"
 #include "dut/obs/report.hpp"
 #include "dut/smp/equality.hpp"
 #include "dut/stats/engine.hpp"
@@ -234,10 +234,9 @@ double time_seconds(Fn&& fn, int repeats = 5) {
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(repeats));
   for (int r = 0; r < repeats; ++r) {
-    const auto start = std::chrono::steady_clock::now();
+    const obs::StopWatch watch;
     fn();
-    const auto stop = std::chrono::steady_clock::now();
-    times.push_back(std::chrono::duration<double>(stop - start).count());
+    times.push_back(watch.seconds());
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];

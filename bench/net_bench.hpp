@@ -19,11 +19,11 @@
 //    min..max spread and report the max, instead of silently keeping
 //    whatever the last trial produced.
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 
 #include "bench_util.hpp"
+#include "dut/obs/phase_timer.hpp"
 
 namespace dut::bench {
 
@@ -56,18 +56,9 @@ struct Spread {
 };
 
 /// Wall-clock timer for the perf figures recorded in the run reports.
-class StopWatch {
- public:
-  StopWatch() : start_(std::chrono::steady_clock::now()) {}
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+/// All wall-clock reads funnel through dut/obs/phase_timer.hpp (enforced by
+/// dut_lint's clock-funnel rule), so the benches alias its stopwatch.
+using StopWatch = obs::StopWatch;
 
 /// Records a sweep's wall time under "seconds[label]" so EXPERIMENTS.md's
 /// net-bench perf table can compare serial vs parallel runs from the

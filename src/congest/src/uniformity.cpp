@@ -1,15 +1,77 @@
 #include "dut/congest/uniformity.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "dut/obs/phase_timer.hpp"
 #include "dut/stats/rng.hpp"
 
 namespace dut::congest {
 
 namespace {
+
+using Annotations = std::vector<std::pair<std::string, std::string>>;
+
+/// %.17g round-trips doubles exactly, so replay metadata regenerates
+/// byte-identically from the parsed-back values.
+std::string format_param(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+const char* tail_bound_name(core::TailBound bound) {
+  return bound == core::TailBound::kChernoff ? "chernoff" : "exact";
+}
+
+/// Replay preamble for a uniform-counts congest run: everything dut_replay
+/// needs to rebuild the plan, setup and sampler and re-run this seed.
+/// Heterogeneous runs get no annotations (counts have no compact spec).
+Annotations congest_annotations(const CongestPlan& plan,
+                                const net::ProtocolDriver& driver,
+                                const PackagingResilience& schedule,
+                                const core::AliasSampler& sampler) {
+  Annotations ann;
+  ann.emplace_back("proto", "congest_uniformity");
+  ann.emplace_back("topo", driver.graph().spec());
+  ann.emplace_back("dist", sampler.spec());
+  ann.emplace_back("n", std::to_string(plan.n));
+  ann.emplace_back("eps", format_param(plan.epsilon));
+  ann.emplace_back("p", format_param(plan.p));
+  ann.emplace_back("s0", std::to_string(plan.samples_per_node));
+  ann.emplace_back("bound", tail_bound_name(plan.bound));
+  if (schedule.enabled) {
+    ann.emplace_back("retx", std::to_string(schedule.retransmits));
+    ann.emplace_back("quorum", std::to_string(schedule.quorum));
+  }
+  if (driver.fault_plan() != nullptr) {
+    ann.emplace_back("faults", driver.fault_plan()->spec());
+  }
+  return ann;
+}
+
+Annotations packaging_annotations(const net::ProtocolDriver& driver,
+                                  const PackagingResilience& schedule,
+                                  std::uint64_t tau) {
+  Annotations ann;
+  ann.emplace_back("proto", "token_packaging");
+  ann.emplace_back("topo", driver.graph().spec());
+  ann.emplace_back("tau", std::to_string(tau));
+  if (schedule.enabled) {
+    ann.emplace_back("retx", std::to_string(schedule.retransmits));
+    ann.emplace_back("quorum", std::to_string(schedule.quorum));
+  }
+  if (driver.fault_plan() != nullptr) {
+    ann.emplace_back("faults", driver.fault_plan()->spec());
+  }
+  return ann;
+}
 
 /// Bit budget for the protocol's widest message: a candidate carries an id
 /// and a depth; a token carries a domain element; counts carry up to k.
@@ -272,8 +334,8 @@ namespace {
 CongestRunResult run_congest_with_counts(
     const CongestPlan& plan, net::ProtocolDriver& driver,
     const PackagingResilience& schedule, const core::AliasSampler& sampler,
-    const std::vector<std::uint64_t>& counts, std::uint64_t seed,
-    bool traced) {
+    const std::vector<std::uint64_t>& counts, std::uint64_t seed, bool traced,
+    Annotations annotations) {
   if (sampler.n() != plan.n) {
     throw std::invalid_argument("run_congest_uniformity: domain mismatch");
   }
@@ -292,18 +354,39 @@ CongestRunResult run_congest_with_counts(
   }
 
   const std::uint32_t k = driver.graph().num_nodes();
-  const auto ids = external_ids(k, seed);
-  const MessageWidths widths = widths_for(plan.n, k);
-  stats::Xoshiro256 sample_rng = stats::derive_stream(seed, 0x5A9);
 
+  // Pre-draw every node's tokens in node-id order: run_trial builds
+  // programs in the same order, so the sample_rng stream (and hence every
+  // verdict) is bit-identical to drawing inside the make callback — this
+  // just fences the draws into the "sample" phase span.
+  std::vector<std::vector<std::uint64_t>> tokens(k);
+  {
+    obs::PhaseTimer span("sample");
+    stats::Xoshiro256 sample_rng = stats::derive_stream(seed, 0x5A9);
+    for (std::uint32_t v = 0; v < k; ++v) {
+      tokens[v] = sampler.sample_many(sample_rng, counts[v]);
+    }
+  }
+
+  std::vector<std::uint64_t> ids;
+  MessageWidths widths{};
+  {
+    obs::PhaseTimer span("encode");
+    ids = external_ids(k, seed);
+    widths = widths_for(plan.n, k);
+  }
+
+  // The "route" span covers the whole engine execution; "decide" nests
+  // inside it (the extract callback runs before the engine lease returns).
+  obs::PhaseTimer route_span("route");
   return driver.run_trial(
-      seed, traced,
+      seed, traced, std::move(annotations),
       [&](std::uint32_t v) {
         return std::make_unique<UniformityTestProgram>(
-            ids[v], sampler.sample_many(sample_rng, counts[v]), plan, widths,
-            schedule);
+            ids[v], std::move(tokens[v]), plan, widths, schedule);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
+        obs::PhaseTimer span("decide");
         CongestRunResult result;
         result.metrics = metrics;
         // Under faults several forced leaders can coexist; the winner is
@@ -362,16 +445,20 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         CongestSetup& setup,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed, bool traced) {
-  return run_congest_with_counts(plan, setup.driver, setup.schedule, sampler,
-                                 uniform_counts(plan), seed, traced);
+  return run_congest_with_counts(
+      plan, setup.driver, setup.schedule, sampler, uniform_counts(plan), seed,
+      traced,
+      congest_annotations(plan, setup.driver, setup.schedule, sampler));
 }
 
 CongestRunResult run_congest_uniformity(const CongestPlan& plan,
                                         net::ProtocolDriver& driver,
                                         const core::AliasSampler& sampler,
                                         std::uint64_t seed, bool traced) {
-  return run_congest_with_counts(plan, driver, PackagingResilience{}, sampler,
-                                 uniform_counts(plan), seed, traced);
+  return run_congest_with_counts(
+      plan, driver, PackagingResilience{}, sampler, uniform_counts(plan),
+      seed, traced,
+      congest_annotations(plan, driver, PackagingResilience{}, sampler));
 }
 
 CongestRunResult run_congest_uniformity_heterogeneous(
@@ -384,7 +471,7 @@ CongestRunResult run_congest_uniformity_heterogeneous(
         "run_congest_uniformity_heterogeneous: one count per node");
   }
   return run_congest_with_counts(plan, driver, PackagingResilience{}, sampler,
-                                 counts, seed, traced);
+                                 counts, seed, traced, {});
 }
 
 CongestRunResult run_congest_uniformity_heterogeneous(
@@ -397,7 +484,7 @@ CongestRunResult run_congest_uniformity_heterogeneous(
         "run_congest_uniformity_heterogeneous: one count per node");
   }
   return run_congest_with_counts(plan, setup.driver, setup.schedule, sampler,
-                                 counts, seed, traced);
+                                 counts, seed, traced, {});
 }
 
 AmplifiedCongestResult run_congest_uniformity_amplified(
@@ -473,17 +560,24 @@ PackagingRunResult run_packaging_trial(net::ProtocolDriver& driver,
                                        std::uint64_t tau, std::uint64_t seed,
                                        bool traced) {
   const std::uint32_t k = driver.graph().num_nodes();
-  const auto ids = external_ids(k, seed);
-  // Tokens are node ids here, so tests can track every token exactly.
-  const MessageWidths widths = widths_for(k, k);
+  std::vector<std::uint64_t> ids;
+  MessageWidths widths{};
+  {
+    obs::PhaseTimer span("encode");
+    ids = external_ids(k, seed);
+    // Tokens are node ids here, so tests can track every token exactly.
+    widths = widths_for(k, k);
+  }
 
+  obs::PhaseTimer route_span("route");
   return driver.run_trial(
-      seed, traced,
+      seed, traced, packaging_annotations(driver, schedule, tau),
       [&](std::uint32_t v) {
         return std::make_unique<TokenPackagingProgram>(
             ids[v], std::vector<std::uint64_t>{v}, tau, widths, schedule);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
+        obs::PhaseTimer span("decide");
         PackagingRunResult result;
         result.metrics = metrics;
         std::uint64_t packaged_tokens = 0;

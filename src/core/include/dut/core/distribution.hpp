@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace dut::core {
@@ -54,8 +55,16 @@ class Distribution {
   double min_probability() const noexcept;
   double max_probability() const noexcept;
 
+  /// Canonical construction recipe ("uniform:4096", "far:4096,0.25", ...),
+  /// stamped by the factories in families.hpp; empty for hand-built pmfs.
+  /// distribution_from_spec(spec()) rebuilds the identical pmf — the replay
+  /// tooling's workload channel.
+  const std::string& spec() const noexcept { return spec_; }
+  void set_spec(std::string spec) { spec_ = std::move(spec); }
+
  private:
   std::vector<double> pmf_;
+  std::string spec_;
 };
 
 /// Verifies Lemma 3.2 numerically for a concrete distribution: returns the

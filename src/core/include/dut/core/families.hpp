@@ -5,6 +5,7 @@
 // experiments can pick instances at a prescribed eps.
 
 #include <cstdint>
+#include <string>
 
 #include "dut/core/distribution.hpp"
 
@@ -56,5 +57,12 @@ Distribution far_instance(std::uint64_t n, double eps);
 /// is closer to uniform than `target_eps`. Handy for sweeping eps along a
 /// fixed "direction".
 Distribution at_distance(const Distribution& mu, double target_eps);
+
+/// Re-dispatches a Distribution::spec() string ("uniform:N", "two_bump:N,E",
+/// "two_bump_shuffled:N,E,S", "heavy:N,M", "support:N,S", "zipf:N,S",
+/// "step:N,F,R", "far:N,E") to the factory that produced it; throws
+/// std::invalid_argument on an unknown recipe. mixture() and at_distance()
+/// results are not stamped — derived pmfs have no single-factory recipe.
+Distribution distribution_from_spec(const std::string& spec);
 
 }  // namespace dut::core

@@ -17,6 +17,7 @@
 //    bits.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dut/core/distribution.hpp"
@@ -48,6 +49,11 @@ class AliasSampler {
   void sample_into(stats::Xoshiro256& rng, std::uint64_t count,
                    std::vector<std::uint64_t>& out) const;
 
+  /// The source Distribution's construction recipe (Distribution::spec()),
+  /// carried along so experiment runners can stamp replay metadata without
+  /// keeping the pmf alive. Empty for hand-built distributions.
+  const std::string& spec() const noexcept { return spec_; }
+
  private:
   struct Slot {
     double probability;   // acceptance probability of this column
@@ -67,6 +73,7 @@ class AliasSampler {
   }
 
   std::vector<Slot> slots_;
+  std::string spec_;
 };
 
 }  // namespace dut::core

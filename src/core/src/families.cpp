@@ -1,17 +1,33 @@
 #include "dut/core/families.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dut/stats/rng.hpp"
 
 namespace dut::core {
 
+namespace {
+
+/// %.17g round-trips doubles exactly, so factory specs are byte-stable
+/// across stamp -> distribution_from_spec -> re-stamp.
+std::string format_param(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
 Distribution uniform(std::uint64_t n) {
   if (n == 0) throw std::invalid_argument("uniform: n must be positive");
-  return Distribution(
+  Distribution result(
       std::vector<double>(n, 1.0 / static_cast<double>(n)));
+  result.set_spec("uniform:" + std::to_string(n));
+  return result;
 }
 
 Distribution paninski_two_bump(std::uint64_t n, double eps) {
@@ -28,7 +44,9 @@ Distribution paninski_two_bump(std::uint64_t n, double eps) {
     pmf[i] = hi;
     pmf[i + 1] = lo;
   }
-  return Distribution(std::move(pmf));
+  Distribution result(std::move(pmf));
+  result.set_spec("two_bump:" + std::to_string(n) + "," + format_param(eps));
+  return result;
 }
 
 Distribution paninski_two_bump_shuffled(std::uint64_t n, double eps,
@@ -50,7 +68,10 @@ Distribution paninski_two_bump_shuffled(std::uint64_t n, double eps,
     pmf[i] = flip ? lo : hi;
     pmf[i + 1] = flip ? hi : lo;
   }
-  return Distribution(std::move(pmf));
+  Distribution result(std::move(pmf));
+  result.set_spec("two_bump_shuffled:" + std::to_string(n) + "," +
+                  format_param(eps) + "," + std::to_string(seed));
+  return result;
 }
 
 Distribution heavy_hitter(std::uint64_t n, double heavy_mass) {
@@ -60,7 +81,10 @@ Distribution heavy_hitter(std::uint64_t n, double heavy_mass) {
   }
   std::vector<double> pmf(n, (1.0 - heavy_mass) / static_cast<double>(n - 1));
   pmf[0] = heavy_mass;
-  return Distribution(std::move(pmf));
+  Distribution result(std::move(pmf));
+  result.set_spec("heavy:" + std::to_string(n) + "," +
+                  format_param(heavy_mass));
+  return result;
 }
 
 Distribution restricted_support(std::uint64_t n, std::uint64_t support) {
@@ -71,7 +95,10 @@ Distribution restricted_support(std::uint64_t n, std::uint64_t support) {
   for (std::uint64_t i = 0; i < support; ++i) {
     pmf[i] = 1.0 / static_cast<double>(support);
   }
-  return Distribution(std::move(pmf));
+  Distribution result(std::move(pmf));
+  result.set_spec("support:" + std::to_string(n) + "," +
+                  std::to_string(support));
+  return result;
 }
 
 Distribution zipf(std::uint64_t n, double s) {
@@ -81,7 +108,9 @@ Distribution zipf(std::uint64_t n, double s) {
   for (std::uint64_t i = 0; i < n; ++i) {
     weights[i] = std::pow(static_cast<double>(i + 1), -s);
   }
-  return Distribution::from_weights(std::move(weights));
+  Distribution result = Distribution::from_weights(std::move(weights));
+  result.set_spec("zipf:" + std::to_string(n) + "," + format_param(s));
+  return result;
 }
 
 Distribution step(std::uint64_t n, double fraction, double ratio) {
@@ -94,7 +123,10 @@ Distribution step(std::uint64_t n, double fraction, double ratio) {
       std::ceil(fraction * static_cast<double>(n)));
   std::vector<double> weights(n, 1.0);
   for (std::uint64_t i = 0; i < head; ++i) weights[i] = ratio;
-  return Distribution::from_weights(std::move(weights));
+  Distribution result = Distribution::from_weights(std::move(weights));
+  result.set_spec("step:" + std::to_string(n) + "," + format_param(fraction) +
+                  "," + format_param(ratio));
+  return result;
 }
 
 Distribution mixture(const Distribution& a, const Distribution& b, double w) {
@@ -115,15 +147,123 @@ Distribution far_instance(std::uint64_t n, double eps) {
   if (!(eps > 0.0) || eps >= 2.0) {
     throw std::invalid_argument("far_instance: eps must be in (0, 2)");
   }
-  if (eps <= 1.0) return paninski_two_bump(n, eps);
-  // Uniform over a support of size floor(n*(1 - eps/2)) sits at L1 distance
-  // 2*(1 - support/n) >= eps (the floor only pushes it farther).
-  const auto support = static_cast<std::uint64_t>(
-      std::floor(static_cast<double>(n) * (1.0 - eps / 2.0)));
-  if (support == 0) {
-    throw std::invalid_argument("far_instance: n too small for this eps");
+  Distribution result = [&] {
+    if (eps <= 1.0) return paninski_two_bump(n, eps);
+    // Uniform over a support of size floor(n*(1 - eps/2)) sits at L1
+    // distance 2*(1 - support/n) >= eps (the floor only pushes it farther).
+    const auto support = static_cast<std::uint64_t>(
+        std::floor(static_cast<double>(n) * (1.0 - eps / 2.0)));
+    if (support == 0) {
+      throw std::invalid_argument("far_instance: n too small for this eps");
+    }
+    return restricted_support(n, support);
+  }();
+  // Override the inner factory's stamp: the (n, eps) recipe is the
+  // reproducible identity here, not which branch realized it.
+  result.set_spec("far:" + std::to_string(n) + "," + format_param(eps));
+  return result;
+}
+
+namespace {
+
+std::uint64_t spec_u64(const std::string& token, const std::string& spec) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
   }
-  return restricted_support(n, support);
+  if (used != token.size() || token.empty()) {
+    throw std::invalid_argument("distribution_from_spec: bad integer '" +
+                                token + "' in '" + spec + "'");
+  }
+  return v;
+}
+
+double spec_double(const std::string& token, const std::string& spec) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size() || token.empty()) {
+    throw std::invalid_argument("distribution_from_spec: bad number '" +
+                                token + "' in '" + spec + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t comma = args.find(',', pos);
+    if (comma == std::string::npos) {
+      out.push_back(args.substr(pos));
+      return out;
+    }
+    out.push_back(args.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+}
+
+}  // namespace
+
+Distribution distribution_from_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("distribution_from_spec: expected FAMILY:ARGS, got '" +
+                                spec + "'");
+  }
+  const std::string family = spec.substr(0, colon);
+  const std::vector<std::string> args = split_args(spec.substr(colon + 1));
+  const auto expect = [&](std::size_t count) {
+    if (args.size() != count) {
+      throw std::invalid_argument("distribution_from_spec: '" + family +
+                                  "' takes " + std::to_string(count) +
+                                  " arguments, got '" + spec + "'");
+    }
+  };
+  if (family == "uniform") {
+    expect(1);
+    return uniform(spec_u64(args[0], spec));
+  }
+  if (family == "two_bump") {
+    expect(2);
+    return paninski_two_bump(spec_u64(args[0], spec), spec_double(args[1], spec));
+  }
+  if (family == "two_bump_shuffled") {
+    expect(3);
+    return paninski_two_bump_shuffled(spec_u64(args[0], spec),
+                                      spec_double(args[1], spec),
+                                      spec_u64(args[2], spec));
+  }
+  if (family == "heavy") {
+    expect(2);
+    return heavy_hitter(spec_u64(args[0], spec), spec_double(args[1], spec));
+  }
+  if (family == "support") {
+    expect(2);
+    return restricted_support(spec_u64(args[0], spec), spec_u64(args[1], spec));
+  }
+  if (family == "zipf") {
+    expect(2);
+    return zipf(spec_u64(args[0], spec), spec_double(args[1], spec));
+  }
+  if (family == "step") {
+    expect(3);
+    return step(spec_u64(args[0], spec), spec_double(args[1], spec),
+                spec_double(args[2], spec));
+  }
+  if (family == "far") {
+    expect(2);
+    return far_instance(spec_u64(args[0], spec), spec_double(args[1], spec));
+  }
+  throw std::invalid_argument("distribution_from_spec: unknown family '" +
+                              family + "'");
 }
 
 Distribution at_distance(const Distribution& mu, double target_eps) {

@@ -5,7 +5,7 @@
 namespace dut::core {
 
 AliasSampler::AliasSampler(const Distribution& distribution)
-    : slots_(distribution.n()) {
+    : slots_(distribution.n()), spec_(distribution.spec()) {
   const std::uint64_t n = distribution.n();
   const double nd = static_cast<double>(n);
 

@@ -40,6 +40,11 @@ struct LocalPlan {
   double epsilon = 0.0;
   double p = 0.0;
   std::uint64_t samples_per_node = 1;  ///< s: samples held by each node
+  /// The planning seed and radius cap that were passed to plan_local,
+  /// recorded so replay metadata can regenerate the identical plan (the MIS
+  /// draws depend on both).
+  std::uint64_t plan_seed = 0;
+  std::uint32_t planned_max_radius = 0;
 
   // Outputs.
   bool feasible = false;

@@ -1,12 +1,16 @@
 #include "dut/local/tester.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <queue>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "dut/core/amplified.hpp"
 #include "dut/net/message.hpp"
+#include "dut/obs/phase_timer.hpp"
 
 namespace dut::local {
 
@@ -152,6 +156,8 @@ LocalPlan plan_local(std::uint64_t n, const net::Graph& graph, double epsilon,
   plan.epsilon = epsilon;
   plan.p = p;
   plan.samples_per_node = samples_per_node;
+  plan.plan_seed = seed;
+  plan.planned_max_radius = max_radius;
 
   const std::uint32_t k = graph.num_nodes();
 
@@ -241,6 +247,40 @@ net::ProtocolDriver make_local_driver(const LocalPlan& plan,
   return net::ProtocolDriver(graph, config);
 }
 
+namespace {
+
+/// %.17g round-trips doubles exactly, so replay metadata regenerates
+/// byte-identically from the parsed-back values.
+std::string format_param(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Replay preamble for a LOCAL gather run: enough to regenerate the plan
+/// (plan_local reruns the MIS ladder from plan_seed), the driver and the
+/// sampler, then re-run this seed.
+std::vector<std::pair<std::string, std::string>> local_annotations(
+    const LocalPlan& plan, const net::ProtocolDriver& driver,
+    const core::AliasSampler& sampler) {
+  std::vector<std::pair<std::string, std::string>> ann;
+  ann.emplace_back("proto", "local_uniformity");
+  ann.emplace_back("topo", driver.graph().spec());
+  ann.emplace_back("dist", sampler.spec());
+  ann.emplace_back("n", std::to_string(plan.n));
+  ann.emplace_back("eps", format_param(plan.epsilon));
+  ann.emplace_back("p", format_param(plan.p));
+  ann.emplace_back("s0", std::to_string(plan.samples_per_node));
+  ann.emplace_back("plan_seed", std::to_string(plan.plan_seed));
+  ann.emplace_back("max_r", std::to_string(plan.planned_max_radius));
+  if (driver.fault_plan() != nullptr) {
+    ann.emplace_back("faults", driver.fault_plan()->spec());
+  }
+  return ann;
+}
+
+}  // namespace
+
 LocalRunResult run_local_uniformity(const LocalPlan& plan,
                                     net::ProtocolDriver& driver,
                                     const core::AliasSampler& sampler,
@@ -257,15 +297,30 @@ LocalRunResult run_local_uniformity(const LocalPlan& plan,
   // than aborting (reject-bias preserves one-sided soundness).
   const bool faulty = driver.fault_plan() != nullptr;
 
+  // Pre-draw each node's samples into the "sample" phase span. Unlike the
+  // CONGEST runner there is no shared stream to preserve: node v's draws
+  // come from its own derive_stream(seed, v), so hoisting them out of the
+  // make callback is order-independent.
+  std::vector<std::vector<std::uint64_t>> samples(k);
+  {
+    obs::PhaseTimer span("sample");
+    for (std::uint32_t v = 0; v < k; ++v) {
+      stats::Xoshiro256 rng = stats::derive_stream(seed, v);
+      samples[v] = sampler.sample_many(rng, plan.samples_per_node);
+    }
+  }
+
+  obs::PhaseTimer route_span("route");
   return driver.run_trial(
-      seed, traced,
+      seed, traced, local_annotations(plan, driver, sampler),
       [&](std::uint32_t v) {
-        stats::Xoshiro256 rng = stats::derive_stream(seed, v);
-        return std::make_unique<GatherProgram>(
-            k, plan.radius, plan.assignment[v],
-            sampler.sample_many(rng, plan.samples_per_node), sample_bits);
+        return std::make_unique<GatherProgram>(k, plan.radius,
+                                               plan.assignment[v],
+                                               std::move(samples[v]),
+                                               sample_bits);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
+        obs::PhaseTimer span("decide");
         LocalRunResult result;
         result.gather_metrics = metrics;
         std::uint64_t rejecting = 0;

@@ -48,11 +48,13 @@
 #include <span>
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 #include "dut/net/message.hpp"
+#include "dut/obs/budget.hpp"
 #include "dut/stats/rng.hpp"
 
 namespace dut::obs {
@@ -95,6 +97,8 @@ struct EngineMetrics {
   std::uint64_t max_message_bits = 0;
   /// Injected-fault tallies; all zero unless a FaultPlan is attached.
   FaultCounts faults;
+  /// Communication-budget usage metered by the run's obs::BudgetLedger.
+  obs::BudgetUsage budget;
 };
 
 namespace detail {
@@ -264,6 +268,25 @@ class Engine {
     return fault_plan_.has_value() ? &*fault_plan_ : nullptr;
   }
 
+  /// Declares a communication budget stricter than the engine's own hard
+  /// limits for subsequent run() calls. Breaches are soft: a "budget"
+  /// violation trace event plus the net.budget.violations counter (the
+  /// engine's own limits still throw). Without an override the spec is
+  /// derived from EngineConfig — CONGEST {bandwidth_bits, max_rounds},
+  /// LOCAL {unbounded width, max_rounds} — under which violations are
+  /// impossible by construction.
+  void set_budget_spec(const obs::BudgetSpec& spec) { budget_spec_ = spec; }
+  void clear_budget_spec() noexcept { budget_spec_.reset(); }
+
+  /// Replay metadata stamped into the next runs' run_start preambles
+  /// (trace.hpp); cleared only by the next call, so pooled engines must be
+  /// re-stamped (or blanked) per lease. Runners pass it through
+  /// ProtocolDriver::run_trial.
+  void set_run_annotations(
+      std::vector<std::pair<std::string, std::string>> annotations) {
+    run_annotations_ = std::move(annotations);
+  }
+
  private:
   friend class NodeContext;
   void deliver(std::uint32_t from, std::uint32_t to, const Message& msg);
@@ -340,6 +363,10 @@ class Engine {
   obs::TraceSink* active_sink_ = nullptr;  // effective sink for current run
   bool trace_delivers_ = false;            // DUT_TRACE_LEVEL >= 2
   bool env_trace_ = true;                  // DUT_TRACE resolution enabled
+
+  obs::BudgetLedger ledger_;
+  std::optional<obs::BudgetSpec> budget_spec_;  // set_budget_spec override
+  std::vector<std::pair<std::string, std::string>> run_annotations_;
 };
 
 }  // namespace dut::net

@@ -121,6 +121,14 @@ class FaultPlan {
   /// Throws std::invalid_argument on malformed specs.
   static FaultPlan parse(const std::string& spec);
 
+  /// Canonical parse()-round-trippable rendering of this plan: non-zero
+  /// default rates, the crash schedule, and always the seed (so the spec is
+  /// never empty — replay metadata uses "plan attached" vs. "no faults
+  /// key"). Byte-stable: spec() == parse(spec()).spec(). Throws
+  /// std::logic_error when per-edge overrides are set (they have no spec
+  /// syntax).
+  std::string spec() const;
+
  private:
   static std::uint64_t edge_key(std::uint32_t from, std::uint32_t to) noexcept {
     return (static_cast<std::uint64_t>(from) << 32) | to;

@@ -43,6 +43,16 @@ class Graph {
   /// Graphviz DOT rendering (undirected), for debugging and docs.
   std::string to_dot(const std::string& name = "G") const;
 
+  /// Canonical construction recipe ("ring:4096", "random:1024,2,9",
+  /// "power(ring:4096,2)", ...), stamped by the factories and by power();
+  /// empty for hand-built graphs. from_spec(spec()) rebuilds the identical
+  /// graph — the replay tooling's topology channel.
+  const std::string& spec() const noexcept { return spec_; }
+
+  /// Re-dispatches a spec() string to the factory that produced it; throws
+  /// std::invalid_argument on an unknown recipe.
+  static Graph from_spec(const std::string& spec);
+
   // Factories. All produce connected graphs.
   static Graph line(std::uint32_t k);
   static Graph ring(std::uint32_t k);
@@ -61,6 +71,7 @@ class Graph {
   std::uint32_t num_nodes_;
   std::uint64_t num_edges_ = 0;
   std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::string spec_;
 };
 
 }  // namespace dut::net

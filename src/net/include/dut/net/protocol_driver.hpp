@@ -21,7 +21,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "dut/net/engine.hpp"
@@ -101,15 +103,21 @@ class ProtocolDriver {
   /// Runs one trial: builds `make(v)` for every node v, runs a leased
   /// engine over them with the trial's `seed`, and returns
   /// `extract(programs, metrics)`. `traced` gates DUT_TRACE resolution for
-  /// this trial (see file comment). Thread-safe; concurrent callers lease
+  /// this trial (see file comment). `annotations` is the replay preamble
+  /// stamped into the run_start trace event (trace.hpp) — it is set on the
+  /// leased engine unconditionally, empty included, because pooled engines
+  /// remember their last stamp. Thread-safe; concurrent callers lease
   /// distinct engines.
   template <typename MakeProgram, typename Extract>
-  [[nodiscard]] auto run_trial(std::uint64_t seed, bool traced, MakeProgram&& make,
-                 Extract&& extract) {
+  [[nodiscard]] auto run_trial(
+      std::uint64_t seed, bool traced,
+      std::vector<std::pair<std::string, std::string>> annotations,
+      MakeProgram&& make, Extract&& extract) {
     using ProgramPtr = std::invoke_result_t<MakeProgram&, std::uint32_t>;
     const std::uint32_t k = graph_.num_nodes();
     Lease lease = acquire();
     lease.engine().set_env_trace(traced);
+    lease.engine().set_run_annotations(std::move(annotations));
     std::vector<ProgramPtr> programs;
     programs.reserve(k);
     std::vector<NodeProgram*>& table = lease.program_table();
@@ -121,6 +129,14 @@ class ProtocolDriver {
     }
     lease.engine().run(table, seed);
     return extract(programs, lease.engine().metrics());
+  }
+
+  /// Same, without replay metadata (the leased engine's stamp is blanked).
+  template <typename MakeProgram, typename Extract>
+  [[nodiscard]] auto run_trial(std::uint64_t seed, bool traced,
+                               MakeProgram&& make, Extract&& extract) {
+    return run_trial(seed, traced, {}, std::forward<MakeProgram>(make),
+                     std::forward<Extract>(extract));
   }
 
  private:

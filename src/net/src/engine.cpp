@@ -103,6 +103,15 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
   ++metrics_.messages;
   metrics_.total_bits += msg.bits;
   metrics_.max_message_bits = std::max(metrics_.max_message_bits, msg.bits);
+  if (const std::string breach = ledger_.on_send(current_round_, from,
+                                                 msg.bits);
+      !breach.empty()) {
+    // Breach of a driver-declared budget stricter than the engine's hard
+    // limits: soft by design — record and keep running so the full blast
+    // radius lands in one transcript.
+    if (obs::enabled()) obs::counter("net.budget.violations").add();
+    trace_violation("budget", breach);
+  }
 
   if (halted_[to]) {
     // Fault mode: the receiver halted or crashed; the message is lost on
@@ -272,6 +281,16 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
                    ? stats::SplitMix64(fault_plan_->salt()).next() ^
                          stats::SplitMix64(seed).next()
                    : 0;
+  // The run's communication budget: a set_budget_spec override, else the
+  // model limits the engine enforces anyway (CONGEST bandwidth + round cap,
+  // LOCAL round cap) so the ledger meters without ever soft-violating.
+  ledger_.begin_run(
+      k, budget_spec_.has_value()
+             ? *budget_spec_
+             : (config_.model == Model::kCongest
+                    ? obs::BudgetSpec::congest(config_.bandwidth_bits,
+                                               config_.max_rounds)
+                    : obs::BudgetSpec::local(config_.max_rounds)));
 
   // Resolve the trace sink for this run: an attached sink wins; otherwise —
   // unless set_env_trace(false) opted this engine out — DUT_TRACE names a
@@ -303,6 +322,9 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
         config_.model == Model::kCongest ? config_.bandwidth_bits : 0;
     info.max_rounds = config_.max_rounds;
     info.seed = seed;
+    info.level = trace_delivers_ ? 2 : 1;
+    info.budget = ledger_.spec();
+    info.annotations = run_annotations_;
     active_sink_->on_run_start(info);
   }
 
@@ -399,6 +421,12 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
     ++current_round_;
   }
   metrics_.rounds = current_round_;
+  if (const std::string breach = ledger_.finish_run(metrics_.rounds);
+      !breach.empty()) {
+    if (obs::enabled()) obs::counter("net.budget.violations").add();
+    trace_violation("budget", breach);
+  }
+  metrics_.budget = ledger_.usage();
 
   // Quiescence check: nothing may remain in flight after everyone halted.
   // Skipped in fault mode, where in-flight messages to halted nodes are the
@@ -421,6 +449,33 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
     obs::counter("net.rounds").add(metrics_.rounds);
     obs::counter("net.messages").add(metrics_.messages);
     obs::counter("net.bits").add(metrics_.total_bits);
+    // Per-run budget figures, one histogram record per completed run; the
+    // report's "budget" section is budget_from_snapshot() over these.
+    if (config_.model == Model::kCongest) {
+      static obs::Histogram& rounds_used =
+          obs::histogram("net.congest.rounds");
+      static obs::Histogram& rounds_limit =
+          obs::histogram("net.congest.rounds_limit");
+      static obs::Histogram& edge_bits =
+          obs::histogram("net.congest.edge_bits");
+      static obs::Histogram& edge_bits_limit =
+          obs::histogram("net.congest.edge_bits_limit");
+      static obs::Histogram& node_bits =
+          obs::histogram("net.congest.node_bits");
+      rounds_used.record(metrics_.rounds);
+      rounds_limit.record(ledger_.spec().max_rounds);
+      edge_bits.record(metrics_.max_message_bits);
+      edge_bits_limit.record(ledger_.spec().bits_per_edge_round);
+      node_bits.record(metrics_.budget.max_node_bits);
+    } else {
+      static obs::Histogram& rounds_used = obs::histogram("net.local.rounds");
+      static obs::Histogram& rounds_limit =
+          obs::histogram("net.local.rounds_limit");
+      static obs::Histogram& node_bits = obs::histogram("net.local.node_bits");
+      rounds_used.record(metrics_.rounds);
+      rounds_limit.record(ledger_.spec().max_rounds);
+      node_bits.record(metrics_.budget.max_node_bits);
+    }
   }
   if (active_sink_ != nullptr) {
     obs::TraceRunTotals totals;

@@ -186,4 +186,50 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
   return plan;
 }
 
+namespace {
+
+/// %.17g round-trips doubles exactly; parse() → spec() is then stable.
+std::string format_rate(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string FaultPlan::spec() const {
+  if (!edge_rates_.empty()) {
+    throw std::logic_error(
+        "FaultPlan::spec: per-edge overrides have no spec syntax");
+  }
+  std::string out;
+  const auto append = [&out](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  if (default_rates_.drop > 0.0) {
+    append("drop=" + format_rate(default_rates_.drop));
+  }
+  if (default_rates_.duplicate > 0.0) {
+    append("dup=" + format_rate(default_rates_.duplicate));
+  }
+  if (default_rates_.corrupt > 0.0) {
+    append("corrupt=" + format_rate(default_rates_.corrupt));
+  }
+  if (default_rates_.delay > 0.0) {
+    append("delay=" + format_rate(default_rates_.delay) + ":" +
+           std::to_string(default_rates_.max_delay_rounds));
+  }
+  if (!crash_schedule_.empty()) {
+    std::string crashes;
+    for (const auto& [round, node] : crash_schedule_) {
+      if (!crashes.empty()) crashes += '+';
+      crashes += std::to_string(node) + "@" + std::to_string(round);
+    }
+    append("crash=" + crashes);
+  }
+  append("seed=" + std::to_string(salt_));
+  return out;
+}
+
 }  // namespace dut::net

@@ -1,12 +1,47 @@
 #include "dut/net/graph.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <queue>
 #include <stdexcept>
+#include <string_view>
 
 #include "dut/stats/rng.hpp"
 
 namespace dut::net {
+
+namespace {
+
+/// %.17g round-trips every double exactly, and from_spec re-stamps through
+/// the same path, so spec strings are byte-stable across record and replay.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+std::uint64_t parse_spec_u64(std::string_view text, const char* what) {
+  std::uint64_t value = 0;
+  if (text.empty()) {
+    throw std::invalid_argument(std::string("Graph::from_spec: empty ") +
+                                what);
+  }
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(std::string("Graph::from_spec: bad ") +
+                                  what + " '" + std::string(text) + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::uint32_t parse_spec_u32(std::string_view text, const char* what) {
+  return static_cast<std::uint32_t>(parse_spec_u64(text, what));
+}
+
+}  // namespace
 
 Graph::Graph(std::uint32_t num_nodes)
     : num_nodes_(num_nodes), adjacency_(num_nodes) {
@@ -129,6 +164,9 @@ Graph Graph::power(std::uint32_t r) const {
     result.num_edges_ += result.adjacency_[v].size();
   }
   result.num_edges_ /= 2;
+  if (!spec_.empty()) {
+    result.spec_ = "power(" + spec_ + "," + std::to_string(r) + ")";
+  }
   return result;
 }
 
@@ -152,6 +190,7 @@ std::string Graph::to_dot(const std::string& name) const {
 Graph Graph::line(std::uint32_t k) {
   Graph g(k);
   for (std::uint32_t v = 0; v + 1 < k; ++v) g.add_edge(v, v + 1);
+  g.spec_ = "line:" + std::to_string(k);
   return g;
 }
 
@@ -159,6 +198,7 @@ Graph Graph::ring(std::uint32_t k) {
   if (k < 3) throw std::invalid_argument("ring: need k >= 3");
   Graph g = line(k);
   g.add_edge(k - 1, 0);
+  g.spec_ = "ring:" + std::to_string(k);
   return g;
 }
 
@@ -166,6 +206,7 @@ Graph Graph::star(std::uint32_t k) {
   if (k < 2) throw std::invalid_argument("star: need k >= 2");
   Graph g(k);
   for (std::uint32_t v = 1; v < k; ++v) g.add_edge(0, v);
+  g.spec_ = "star:" + std::to_string(k);
   return g;
 }
 
@@ -174,6 +215,7 @@ Graph Graph::complete(std::uint32_t k) {
   for (std::uint32_t v = 0; v < k; ++v) {
     for (std::uint32_t u = v + 1; u < k; ++u) g.add_edge(v, u);
   }
+  g.spec_ = "complete:" + std::to_string(k);
   return g;
 }
 
@@ -191,6 +233,7 @@ Graph Graph::grid(std::uint32_t rows, std::uint32_t cols) {
       if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
     }
   }
+  g.spec_ = "grid:" + std::to_string(rows) + "x" + std::to_string(cols);
   return g;
 }
 
@@ -198,6 +241,7 @@ Graph Graph::balanced_tree(std::uint32_t k, std::uint32_t arity) {
   if (arity == 0) throw std::invalid_argument("balanced_tree: arity >= 1");
   Graph g(k);
   for (std::uint32_t v = 1; v < k; ++v) g.add_edge(v, (v - 1) / arity);
+  g.spec_ = "tree:" + std::to_string(k) + "," + std::to_string(arity);
   return g;
 }
 
@@ -213,6 +257,7 @@ Graph Graph::hypercube(std::uint32_t dim) {
       if (u > v) g.add_edge(v, u);
     }
   }
+  g.spec_ = "hypercube:" + std::to_string(dim);
   return g;
 }
 
@@ -241,7 +286,80 @@ Graph Graph::random_connected(std::uint32_t k, double extra_degree,
     g.add_edge(u, v);
     ++added;
   }
+  g.spec_ = "random:" + std::to_string(k) + "," + format_double(extra_degree) +
+            "," + std::to_string(seed);
   return g;
+}
+
+Graph Graph::from_spec(const std::string& spec) {
+  constexpr std::string_view kPower = "power(";
+  if (spec.size() > kPower.size() + 1 &&
+      std::string_view(spec).substr(0, kPower.size()) == kPower &&
+      spec.back() == ')') {
+    // Nested recipe: the radius is everything after the LAST comma, so an
+    // inner spec containing commas (random:..., power(...)) parses cleanly.
+    const std::string inner =
+        spec.substr(kPower.size(), spec.size() - kPower.size() - 1);
+    const std::size_t comma = inner.rfind(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("Graph::from_spec: malformed " + spec);
+    }
+    return from_spec(inner.substr(0, comma))
+        .power(parse_spec_u32(
+            std::string_view(inner).substr(comma + 1), "power radius"));
+  }
+
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("Graph::from_spec: malformed " + spec);
+  }
+  const std::string_view family = std::string_view(spec).substr(0, colon);
+  const std::string_view args = std::string_view(spec).substr(colon + 1);
+
+  if (family == "line") return line(parse_spec_u32(args, "node count"));
+  if (family == "ring") return ring(parse_spec_u32(args, "node count"));
+  if (family == "star") return star(parse_spec_u32(args, "node count"));
+  if (family == "complete") {
+    return complete(parse_spec_u32(args, "node count"));
+  }
+  if (family == "grid") {
+    const std::size_t x = args.find('x');
+    if (x == std::string_view::npos) {
+      throw std::invalid_argument("Graph::from_spec: malformed " + spec);
+    }
+    return grid(parse_spec_u32(args.substr(0, x), "rows"),
+                parse_spec_u32(args.substr(x + 1), "cols"));
+  }
+  if (family == "tree") {
+    const std::size_t comma = args.find(',');
+    if (comma == std::string_view::npos) {
+      throw std::invalid_argument("Graph::from_spec: malformed " + spec);
+    }
+    return balanced_tree(parse_spec_u32(args.substr(0, comma), "node count"),
+                         parse_spec_u32(args.substr(comma + 1), "arity"));
+  }
+  if (family == "hypercube") {
+    return hypercube(parse_spec_u32(args, "dimension"));
+  }
+  if (family == "random") {
+    const std::size_t c1 = args.find(',');
+    const std::size_t c2 =
+        c1 == std::string_view::npos ? c1 : args.find(',', c1 + 1);
+    if (c2 == std::string_view::npos) {
+      throw std::invalid_argument("Graph::from_spec: malformed " + spec);
+    }
+    const std::string degree_text(args.substr(c1 + 1, c2 - c1 - 1));
+    char* end = nullptr;
+    const double extra_degree = std::strtod(degree_text.c_str(), &end);
+    if (end == degree_text.c_str() || *end != '\0') {
+      throw std::invalid_argument("Graph::from_spec: bad extra degree in " +
+                                  spec);
+    }
+    return random_connected(parse_spec_u32(args.substr(0, c1), "node count"),
+                            extra_degree,
+                            parse_spec_u64(args.substr(c2 + 1), "seed"));
+  }
+  throw std::invalid_argument("Graph::from_spec: unknown family in " + spec);
 }
 
 }  // namespace dut::net

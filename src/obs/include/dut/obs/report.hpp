@@ -13,10 +13,24 @@
 //     "values": {...},            // free-form named measurements
 //     "checks": [{"name": ..., "predicted": x, "measured": y,
 //                 "note": ...}, ...],  // predicted-vs-measured pairs
+//     "budget": {"violations": 0,  // communication budget vs. the paper
+//                "congest": {"runs": R, "bits_per_edge_round_limit": L,
+//                            "bits_per_edge_round_max": B,
+//                            "rounds_limit": RL, "rounds_max": RM,
+//                            "node_bits_max": NB},   // when CONGEST ran
+//                "local":   {"runs": R, "rounds_limit": RL,
+//                            "rounds_max": RM, "node_bits_max": NB},
+//                "zero_round": {"messages_limit": 0, "messages": 0}},
 //     "metrics": {"counters": {...}, "gauges": {...},
 //                 "histograms": {name: {count, sum, min, max, mean,
 //                                       buckets: [[floor, n], ...]}}}
 //   }
+//
+// The budget section is mandatory: validate_report fails any report whose
+// measured figures exceed their declared limits (max-vs-max is sound
+// because the engine enforces every run's own limit live; see budget.hpp).
+// attach_metrics derives it from the snapshot's net.congest.* / net.local.*
+// budget histograms, so report writers get it for free.
 
 #include <cstdint>
 #include <string>
@@ -42,9 +56,13 @@ class RunReport {
   void check(const std::string& name, double predicted, double measured,
              const std::string& note = "");
 
-  /// Embeds the current registry snapshot under "metrics".
+  /// Embeds the current registry snapshot under "metrics" and, unless one
+  /// was set explicitly, derives the "budget" section from it.
   void attach_metrics(const MetricsSnapshot& snapshot);
   void attach_metrics() { attach_metrics(obs::snapshot()); }
+
+  /// Overrides the derived budget section (tests, exotic writers).
+  void set_budget(Json budget);
 
   Json to_json() const;
   /// "BENCH_<ID>.json" with the id upper-cased, in the working directory.
@@ -59,11 +77,18 @@ class RunReport {
   Json engine_ = Json::object();
   Json values_ = Json::object();
   Json checks_ = Json::array();
+  Json budget_;   // null until attach_metrics / set_budget
   Json metrics_;  // null until attach_metrics
 };
 
 /// JSON form of one histogram (shared by reports and tests).
 Json histogram_to_json(const HistogramData& data);
+
+/// Builds the report "budget" section from a registry snapshot: one
+/// sub-object per network model that ran (from the net.congest.* /
+/// net.local.* budget histograms the engine records per run), or a
+/// zero_round sub-object when no engine ran at all.
+Json budget_from_snapshot(const MetricsSnapshot& snapshot);
 
 /// Validates a parsed document against report schema v1. Returns an empty
 /// string when valid, else a human-readable reason.

@@ -34,6 +34,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dut/obs/budget.hpp"
 
 namespace dut::obs {
 
@@ -45,6 +49,15 @@ struct TraceRunInfo {
   std::uint64_t bandwidth_bits = 0;  ///< 0 in LOCAL (unbounded)
   std::uint64_t max_rounds = 0;
   std::uint64_t seed = 0;
+  int level = 1;  ///< trace detail level (2 adds deliver events)
+  /// Declared communication budget; written into the run_start preamble
+  /// (when bounded) so dut_audit can recompute the ledger offline.
+  BudgetSpec budget;
+  /// Replay metadata: ordered (key, value) pairs describing how to rebuild
+  /// this exact run — protocol, topology spec, sampler spec, plan
+  /// parameters, fault plan. Written as the run_start "replay" object;
+  /// dut_replay re-executes from it and byte-diffs the regenerated trace.
+  std::vector<std::pair<std::string, std::string>> annotations;
 };
 
 struct TraceRunTotals {

@@ -26,6 +26,14 @@ struct TraceRunSummary {
   std::uint64_t halts = 0;
   std::uint64_t faults = 0;  ///< injected-fault events (net::FaultPlan)
 
+  /// Events whose "ev" kind this reader does not know. Schema drift must
+  /// be visible: dut_trace prints the count and `dut_trace check` fails
+  /// when it is non-zero.
+  std::uint64_t unknown_events = 0;
+
+  /// The writer's declared tail window ("tail" in run_start; 0 = stream).
+  std::uint64_t declared_tail = 0;
+
   /// Sends whose declared bits exceed info.bandwidth_bits (CONGEST only;
   /// always 0 for a healthy run — the engine throws before delivering).
   std::uint64_t over_budget_sends = 0;
@@ -55,5 +63,43 @@ std::vector<TraceRunSummary> read_trace_file(const std::string& path);
 
 /// Same, over in-memory JSONL text (for tests).
 std::vector<TraceRunSummary> read_trace_text(const std::string& text);
+
+// --- Full-event view -------------------------------------------------------
+// dut_audit rebuilds the send→deliver happens-before DAG and dut_replay
+// byte-diffs regenerated transcripts; both need every event (and the raw
+// line) rather than just the roll-up.
+
+struct TraceEvent {
+  enum class Kind {
+    kRunStart,
+    kRound,
+    kSend,
+    kDeliver,
+    kHalt,
+    kFault,
+    kViolation,
+    kRunEnd,
+    kUnknown,
+  };
+  Kind kind = Kind::kUnknown;
+  std::uint64_t round = 0;
+  std::uint32_t from = 0;  ///< halt/fault: the node
+  std::uint32_t to = 0;
+  std::uint64_t bits = 0;
+  std::uint32_t active = 0;  ///< round events only
+};
+
+struct TraceRun {
+  TraceRunSummary summary;
+  std::vector<TraceEvent> events;  ///< in file order, run_start..run_end
+  std::vector<std::string> lines;  ///< matching raw JSONL lines
+};
+
+/// Parses a whole trace file keeping every event and raw line, one
+/// TraceRun per summary. Throws like read_trace_file.
+std::vector<TraceRun> read_trace_runs(const std::string& path);
+
+/// Same, over in-memory JSONL text (for tests).
+std::vector<TraceRun> read_trace_runs_text(const std::string& text);
 
 }  // namespace dut::obs

@@ -49,7 +49,59 @@ Json histogram_to_json(const HistogramData& data) {
   return h;
 }
 
+Json budget_from_snapshot(const MetricsSnapshot& snapshot) {
+  Json budget = Json::object();
+  budget.set("violations", snapshot.counter("net.budget.violations"));
+
+  const auto hist = [&snapshot](const std::string& name) -> const
+      HistogramData* {
+    const auto it = snapshot.histograms.find(name);
+    return it == snapshot.histograms.end() || it->second.count == 0
+               ? nullptr
+               : &it->second;
+  };
+  const auto hist_max = [&hist](const std::string& name) -> std::uint64_t {
+    const HistogramData* data = hist(name);
+    return data == nullptr ? 0 : data->max;
+  };
+
+  bool network_ran = false;
+  if (const HistogramData* rounds = hist("net.congest.rounds")) {
+    network_ran = true;
+    Json congest = Json::object();
+    congest.set("runs", rounds->count);
+    congest.set("bits_per_edge_round_limit",
+                hist_max("net.congest.edge_bits_limit"));
+    congest.set("bits_per_edge_round_max", hist_max("net.congest.edge_bits"));
+    congest.set("rounds_limit", hist_max("net.congest.rounds_limit"));
+    congest.set("rounds_max", rounds->max);
+    congest.set("node_bits_max", hist_max("net.congest.node_bits"));
+    budget.set("congest", std::move(congest));
+  }
+  if (const HistogramData* rounds = hist("net.local.rounds")) {
+    network_ran = true;
+    Json local = Json::object();
+    local.set("runs", rounds->count);
+    local.set("rounds_limit", hist_max("net.local.rounds_limit"));
+    local.set("rounds_max", rounds->max);
+    local.set("node_bits_max", hist_max("net.local.node_bits"));
+    budget.set("local", std::move(local));
+  }
+  if (!network_ran) {
+    // 0-round testers (and purely statistical binaries): the budget is
+    // "send nothing", and the net.messages counter proves it.
+    Json zero = Json::object();
+    zero.set("messages_limit", std::uint64_t{0});
+    zero.set("messages", snapshot.counter("net.messages"));
+    budget.set("zero_round", std::move(zero));
+  }
+  return budget;
+}
+
+void RunReport::set_budget(Json budget) { budget_ = std::move(budget); }
+
 void RunReport::attach_metrics(const MetricsSnapshot& snapshot) {
+  if (budget_.is_null()) budget_ = budget_from_snapshot(snapshot);
   Json metrics = Json::object();
   Json counters = Json::object();
   for (const auto& [name, value] : snapshot.counters) {
@@ -78,6 +130,7 @@ Json RunReport::to_json() const {
   doc.set("engine", engine_);
   doc.set("values", values_);
   doc.set("checks", checks_);
+  if (!budget_.is_null()) doc.set("budget", budget_);
   if (!metrics_.is_null()) doc.set("metrics", metrics_);
   return doc;
 }
@@ -141,6 +194,81 @@ std::string validate_report(const Json& document) {
       return "checks[" + std::to_string(i) +
              "] needs name/predicted/measured";
     }
+  }
+
+  // Budget section: every report must carry one, and the measured figures
+  // must sit within the declared limits (the paper's resource claims).
+  const Json* budget = document.get("budget");
+  if (budget == nullptr || !budget->is_object()) {
+    return "missing 'budget' object";
+  }
+  const Json* violations = budget->get("violations");
+  if (violations == nullptr || !violations->is_number()) {
+    return "budget.violations must be a number";
+  }
+  if (violations->as_u64() != 0) {
+    return "budget.violations is " + std::to_string(violations->as_u64()) +
+           " (a run breached its declared communication budget)";
+  }
+  const auto budget_u64 = [](const Json& section, const char* key,
+                             std::uint64_t& out) -> bool {
+    const Json* v = section.get(key);
+    if (v == nullptr || !v->is_number()) return false;
+    out = v->as_u64();
+    return true;
+  };
+  bool has_model = false;
+  if (const Json* congest = budget->get("congest")) {
+    has_model = true;
+    if (!congest->is_object()) return "budget.congest must be an object";
+    std::uint64_t bits_limit = 0, bits_max = 0, rounds_limit = 0,
+                  rounds_max = 0;
+    if (!budget_u64(*congest, "bits_per_edge_round_limit", bits_limit) ||
+        !budget_u64(*congest, "bits_per_edge_round_max", bits_max) ||
+        !budget_u64(*congest, "rounds_limit", rounds_limit) ||
+        !budget_u64(*congest, "rounds_max", rounds_max)) {
+      return "budget.congest needs bits_per_edge_round_{limit,max} and "
+             "rounds_{limit,max}";
+    }
+    if (bits_max > bits_limit) {
+      return "budget.congest: " + std::to_string(bits_max) +
+             " bits/edge/round exceeds the declared " +
+             std::to_string(bits_limit);
+    }
+    if (rounds_max > rounds_limit) {
+      return "budget.congest: " + std::to_string(rounds_max) +
+             " rounds exceeds the declared " + std::to_string(rounds_limit);
+    }
+  }
+  if (const Json* local = budget->get("local")) {
+    has_model = true;
+    if (!local->is_object()) return "budget.local must be an object";
+    std::uint64_t rounds_limit = 0, rounds_max = 0;
+    if (!budget_u64(*local, "rounds_limit", rounds_limit) ||
+        !budget_u64(*local, "rounds_max", rounds_max)) {
+      return "budget.local needs rounds_{limit,max}";
+    }
+    if (rounds_max > rounds_limit) {
+      return "budget.local: " + std::to_string(rounds_max) +
+             " rounds exceeds the declared radius bound " +
+             std::to_string(rounds_limit);
+    }
+  }
+  if (const Json* zero = budget->get("zero_round")) {
+    has_model = true;
+    if (!zero->is_object()) return "budget.zero_round must be an object";
+    std::uint64_t limit = 0, messages = 0;
+    if (!budget_u64(*zero, "messages_limit", limit) ||
+        !budget_u64(*zero, "messages", messages)) {
+      return "budget.zero_round needs messages_limit and messages";
+    }
+    if (messages > limit) {
+      return "budget.zero_round: " + std::to_string(messages) +
+             " messages sent by a 0-round protocol";
+    }
+  }
+  if (!has_model) {
+    return "budget needs at least one of congest/local/zero_round";
   }
   return "";
 }

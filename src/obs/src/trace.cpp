@@ -1,6 +1,9 @@
 #include "dut/obs/trace.hpp"
 
+#include <algorithm>
 #include <cstdarg>
+#include <cstdlib>
+#include <exception>
 #include <stdexcept>
 
 namespace dut::obs {
@@ -42,6 +45,73 @@ std::string format(const char* fmt, ...) {
   return std::string(buf);
 }
 
+// --- terminate-handler flush ----------------------------------------------
+// Tail-mode writers buffer the last N rounds in memory; an uncaught
+// exception (anything other than the engine's own flush-before-throw paths)
+// would lose that window exactly when it matters most. Live writers
+// register here and a chained std::terminate handler best-effort drains
+// them before the process dies.
+
+std::mutex& writer_registry_mutex() {
+  // dut-lint: allow(no-mutable-static): guards the process-wide list of live
+  // trace writers for the terminate-flush path; carries no protocol state.
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<JsonlTraceWriter*>& live_writers() {
+  // dut-lint: allow(no-mutable-static): process-wide registry of live trace
+  // writers, drained from the terminate handler; carries no protocol state.
+  static std::vector<JsonlTraceWriter*> writers;
+  return writers;
+}
+
+std::terminate_handler& previous_terminate_handler() {
+  // dut-lint: allow(no-mutable-static): stores the chained-to terminate
+  // handler, written once at installation; carries no protocol state.
+  static std::terminate_handler previous = nullptr;
+  return previous;
+}
+
+[[noreturn]] void terminate_with_trace_flush() {
+  {
+    // try_to_lock: if the dying thread already holds the registry lock
+    // (a throw inside register/deregister) flushing is skipped rather
+    // than deadlocking the process on its way down.
+    std::unique_lock<std::mutex> lock(writer_registry_mutex(),
+                                      std::try_to_lock);
+    if (lock.owns_lock()) {
+      for (JsonlTraceWriter* writer : live_writers()) writer->flush();
+    }
+  }
+  if (previous_terminate_handler() != nullptr) previous_terminate_handler()();
+  std::abort();
+}
+
+void install_terminate_flush() {
+  // dut-lint: allow(no-mutable-static): one-shot latch installing the
+  // terminate handler exactly once per process.
+  static const bool installed = [] {
+    previous_terminate_handler() = std::set_terminate(
+        &terminate_with_trace_flush);
+    return true;
+  }();
+  (void)installed;
+}
+
+void register_writer(JsonlTraceWriter* writer) {
+  install_terminate_flush();
+  const std::lock_guard<std::mutex> lock(writer_registry_mutex());
+  live_writers().push_back(writer);
+}
+
+void deregister_writer(JsonlTraceWriter* writer) {
+  const std::lock_guard<std::mutex> lock(writer_registry_mutex());
+  auto& writers = live_writers();
+  writers.erase(std::remove(writers.begin(), writers.end(), writer),
+                writers.end());
+}
+
 }  // namespace
 
 JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
@@ -52,9 +122,11 @@ JsonlTraceWriter::JsonlTraceWriter(const std::string& path,
   if (file_ == nullptr) {
     throw std::runtime_error("JsonlTraceWriter: cannot open " + path);
   }
+  register_writer(this);
 }
 
 JsonlTraceWriter::~JsonlTraceWriter() {
+  deregister_writer(this);
   drain();
   std::fclose(file_);
 }
@@ -86,13 +158,49 @@ void JsonlTraceWriter::drain() {
 void JsonlTraceWriter::flush() { drain(); }
 
 void JsonlTraceWriter::on_run_start(const TraceRunInfo& info) {
-  emit(0, format("{\"ev\":\"run_start\",\"schema\":%d,\"model\":\"%s\","
-                 "\"nodes\":%u,\"bandwidth_bits\":%llu,\"max_rounds\":%llu,"
-                 "\"seed\":%llu}",
-                 kTraceSchemaVersion, escape(info.model).c_str(), info.nodes,
-                 static_cast<unsigned long long>(info.bandwidth_bits),
-                 static_cast<unsigned long long>(info.max_rounds),
-                 static_cast<unsigned long long>(info.seed)));
+  // Built by concatenation, not format(): the replay preamble (crash-heavy
+  // fault specs in particular) easily outgrows format()'s fixed buffer.
+  std::string line =
+      format("{\"ev\":\"run_start\",\"schema\":%d,\"model\":\"%s\","
+             "\"nodes\":%u,\"bandwidth_bits\":%llu,\"max_rounds\":%llu,"
+             "\"seed\":%llu,\"level\":%d",
+             kTraceSchemaVersion, escape(info.model).c_str(), info.nodes,
+             static_cast<unsigned long long>(info.bandwidth_bits),
+             static_cast<unsigned long long>(info.max_rounds),
+             static_cast<unsigned long long>(info.seed), info.level);
+  if (tail_rounds_ > 0) {
+    line += format(",\"tail\":%llu",
+                   static_cast<unsigned long long>(tail_rounds_));
+  }
+  if (info.budget.bounded()) {
+    line += format(",\"budget\":{\"bits_per_edge_round\":%llu,"
+                   "\"max_rounds\":%llu",
+                   static_cast<unsigned long long>(
+                       info.budget.bits_per_edge_round),
+                   static_cast<unsigned long long>(info.budget.max_rounds));
+    if (info.budget.max_messages != BudgetSpec::kUnlimited) {
+      line += format(",\"max_messages\":%llu",
+                     static_cast<unsigned long long>(
+                         info.budget.max_messages));
+    }
+    line += '}';
+  }
+  if (!info.annotations.empty()) {
+    line += ",\"replay\":{";
+    bool first = true;
+    for (const auto& [key, value] : info.annotations) {
+      if (!first) line += ',';
+      first = false;
+      line += '"';
+      line += escape(key);
+      line += "\":\"";
+      line += escape(value);
+      line += '"';
+    }
+    line += '}';
+  }
+  line += '}';
+  emit(0, std::move(line));
 }
 
 void JsonlTraceWriter::on_round(std::uint64_t round, std::uint32_t active) {

@@ -83,6 +83,26 @@ TEST(LintRules, DeterminismRulesRespectFileClassExemptions) {
       run_lint({scan_fixture("d_rules.cpp", "bench/d_rules.cpp")});
   EXPECT_EQ(count_rule(as_bench, "no-wall-clock"), 0u);
   EXPECT_EQ(count_rule(as_bench, "no-random-device"), 1u);
+
+  // ... but within the exempted layers the clock-funnel rule takes over:
+  // the raw clock read must go through obs::StopWatch/PhaseTimer instead.
+  EXPECT_EQ(count_rule(as_bench, "clock-funnel"), 1u);
+  EXPECT_EQ(count_rule(as_test, "clock-funnel"), 0u);
+}
+
+TEST(LintRules, ClockFunnelExemptsThePhaseTimerHeader) {
+  // The same clock read under the funnel's own path is the one sanctioned
+  // wall-clock source in the whole repo.
+  const LintResult funnel = run_lint({scan_fixture(
+      "d_rules.cpp", "src/obs/include/dut/obs/phase_timer.hpp")});
+  EXPECT_EQ(count_rule(funnel, "clock-funnel"), 0u);
+  EXPECT_EQ(count_rule(funnel, "no-wall-clock"), 0u);
+
+  // Any other src/obs/ file gets flagged.
+  const LintResult obs_file =
+      run_lint({scan_fixture("d_rules.cpp", "src/obs/src/d_rules.cpp")});
+  EXPECT_EQ(count_rule(obs_file, "clock-funnel"), 1u);
+  EXPECT_EQ(count_rule(obs_file, "no-wall-clock"), 0u);
 }
 
 TEST(LintRules, ProtocolRulesFireOutsideTheFunnelFiles) {

@@ -64,6 +64,37 @@ TEST(Metrics, HistogramBucketGeometry) {
   }
 }
 
+TEST(Metrics, HistogramBucketBoundariesAtEveryPowerOfTwo) {
+  // Exhaustive boundary sweep: each power of two 2^i opens bucket i+1, and
+  // 2^i - 1 (all-ones below it) still lands in bucket i. Covers the full
+  // 64-bit range up to UINT64_MAX, so off-by-one drift in bit_width-based
+  // indexing cannot hide at any scale.
+  for (unsigned i = 0; i < 64; ++i) {
+    const std::uint64_t p = std::uint64_t{1} << i;
+    EXPECT_EQ(Histogram::bucket_index(p), i + 1) << "value 2^" << i;
+    EXPECT_EQ(Histogram::bucket_floor(i + 1), p) << "bucket " << i + 1;
+    if (p > 1) {
+      EXPECT_EQ(Histogram::bucket_index(p - 1), i) << "value 2^" << i
+                                                   << " - 1";
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::kBuckets, 65u)
+      << "one bucket per possible bit_width, 0 through 64";
+
+  // Recording the extremes keeps exact moments (sum wraps are the caller's
+  // concern; min/max/count must be exact).
+  Histogram& h = histogram("test.hist.extremes");
+  h.reset();
+  h.record(0);
+  h.record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+}
+
 TEST(Metrics, HistogramExactMoments) {
   Histogram& h = histogram("test.hist.moments");
   h.reset();
@@ -156,6 +187,54 @@ TEST(Metrics, ConcurrentCounterAndHistogramAreExact) {
   EXPECT_EQ(h.count(), kThreads * kPerThread);
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(Metrics, SnapshotWhileWritersAreLiveIsRaceFreeAndSane) {
+  // snapshot() may run concurrently with writers (the bench main thread
+  // reports while trial workers still record). Under TSan this test proves
+  // the reads are data-race-free; everywhere it proves the snapshot is
+  // internally sane (monotone counts, min <= max, buckets sum to count)
+  // even when taken mid-write.
+  Counter& c = counter("test.live.counter");
+  Histogram& h = histogram("test.live.hist");
+  c.reset();
+  h.reset();
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  workers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+        c.add();
+        h.record(i + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  std::uint64_t last_count = 0;
+  for (int pass = 0; pass < 50; ++pass) {
+    const MetricsSnapshot snap = snapshot();
+    const auto it = snap.histograms.find("test.live.hist");
+    if (it == snap.histograms.end()) continue;
+    const HistogramData& data = it->second;
+    EXPECT_GE(data.count, last_count) << "histogram count went backwards";
+    last_count = data.count;
+    if (data.count > 0) EXPECT_LE(data.min, data.max);
+    std::uint64_t bucket_total = 0;
+    for (const auto& [floor, n] : data.buckets) bucket_total += n;
+    // Relaxed per-cell increments mean a mid-write snapshot may see a
+    // recorded count before its bucket tick (or vice versa); totals must
+    // stay within the number of in-flight writers of each other.
+    const std::uint64_t gap = bucket_total > data.count
+                                  ? bucket_total - data.count
+                                  : data.count - bucket_total;
+    EXPECT_LE(gap, static_cast<std::uint64_t>(kWriters));
+  }
+  for (auto& w : workers) w.join();
+  const MetricsSnapshot final_snap = snapshot();
+  EXPECT_EQ(final_snap.counter("test.live.counter"), kWriters * kPerThread);
+  EXPECT_EQ(final_snap.histograms.at("test.live.hist").count,
+            kWriters * kPerThread);
 }
 
 }  // namespace

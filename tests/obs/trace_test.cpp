@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -170,10 +171,105 @@ TEST(TraceReader, MalformedLinesThrowWithLineNumber) {
     EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
   }
   EXPECT_THROW(read_trace_text("{\"round\":0}\n"), std::runtime_error);
-  EXPECT_THROW(read_trace_text("{\"ev\":\"martian\"}\n"),
-               std::runtime_error);
   EXPECT_THROW(read_trace_file("/nonexistent/trace.jsonl"),
                std::runtime_error);
+}
+
+TEST(TraceReader, UnknownEventKindsAreCountedNotFatal) {
+  // A kind this reader does not know (a newer writer, schema drift) must
+  // not abort the whole summary — it is counted and surfaced instead.
+  const auto runs = read_trace_text("{\"ev\":\"martian\"}\n");
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].unknown_events, 1u);
+  EXPECT_TRUE(runs[0].truncated_tail);  // no run_start was ever seen
+
+  // Inside a run, the known events still recount normally around the
+  // unknown one.
+  const auto mixed = read_trace_text(
+      "{\"ev\":\"run_start\",\"v\":1,\"model\":\"congest\",\"nodes\":2,"
+      "\"bandwidth_bits\":8,\"max_rounds\":10,\"seed\":7}\n"
+      "{\"ev\":\"round\",\"round\":0,\"active\":2}\n"
+      "{\"ev\":\"martian\",\"payload\":3}\n"
+      "{\"ev\":\"run_end\",\"rounds\":1,\"messages\":0,\"total_bits\":0,"
+      "\"max_message_bits\":0}\n");
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].unknown_events, 1u);
+  EXPECT_EQ(mixed[0].rounds_seen, 1u);
+  EXPECT_TRUE(mixed[0].has_end);
+
+  // After a completed run, a trailing unknown event is attributed to that
+  // run rather than fabricating a phantom partial run.
+  const auto trailing = read_trace_text(
+      "{\"ev\":\"run_start\",\"v\":1,\"model\":\"congest\",\"nodes\":2,"
+      "\"bandwidth_bits\":8,\"max_rounds\":10,\"seed\":7}\n"
+      "{\"ev\":\"run_end\",\"rounds\":0,\"messages\":0,\"total_bits\":0,"
+      "\"max_message_bits\":0}\n"
+      "{\"ev\":\"martian\"}\n");
+  ASSERT_EQ(trailing.size(), 1u);
+  EXPECT_EQ(trailing[0].unknown_events, 1u);
+}
+
+TEST(JsonlTraceWriter, BudgetAndReplayPreambleRoundTrips) {
+  const std::string path = temp_path("trace_preamble.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlTraceWriter writer(path);
+    TraceRunInfo info = congest_info(3, 8);
+    info.level = 2;
+    info.budget.bits_per_edge_round = 27;
+    info.budget.max_rounds = 100;
+    info.annotations = {{"proto", "congest_uniformity"},
+                        {"topo", "ring:3"},
+                        {"eps", "1.2"}};
+    writer.on_run_start(info);
+    writer.on_send(0, 0, 1, 5);
+    writer.on_deliver(1, 0, 1, 5);
+    writer.on_run_end(TraceRunTotals{1, 1, 5, 5});
+  }
+  const auto runs = read_trace_runs(path);
+  ASSERT_EQ(runs.size(), 1u);
+  const TraceRunSummary& s = runs[0].summary;
+  EXPECT_EQ(s.info.level, 2);
+  EXPECT_TRUE(s.info.budget.bounded());
+  EXPECT_EQ(s.info.budget.bits_per_edge_round, 27u);
+  EXPECT_EQ(s.info.budget.max_rounds, 100u);
+  ASSERT_EQ(s.info.annotations.size(), 3u);
+  EXPECT_EQ(s.info.annotations[0].first, "proto");
+  EXPECT_EQ(s.info.annotations[0].second, "congest_uniformity");
+  EXPECT_EQ(s.info.annotations[1].second, "ring:3");
+  EXPECT_EQ(s.info.annotations[2].second, "1.2");
+
+  // read_trace_runs keeps the raw events and lines alongside the summary.
+  ASSERT_EQ(runs[0].events.size(), 4u);
+  EXPECT_EQ(runs[0].events[0].kind, TraceEvent::Kind::kRunStart);
+  EXPECT_EQ(runs[0].events[1].kind, TraceEvent::Kind::kSend);
+  EXPECT_EQ(runs[0].events[1].bits, 5u);
+  EXPECT_EQ(runs[0].events[2].kind, TraceEvent::Kind::kDeliver);
+  EXPECT_EQ(runs[0].events[3].kind, TraceEvent::Kind::kRunEnd);
+  ASSERT_EQ(runs[0].lines.size(), 4u);
+  EXPECT_NE(runs[0].lines[0].find("\"replay\""), std::string::npos);
+  EXPECT_NE(runs[0].lines[0].find("\"budget\""), std::string::npos);
+}
+
+TEST(JsonlTraceWriterDeathTest, TerminateHandlerFlushesTailBuffer) {
+  const std::string path = temp_path("trace_terminate.jsonl");
+  std::remove(path.c_str());
+  // Tail mode buffers rounds in memory; an uncaught std::terminate must
+  // still drain them to disk via the registered terminate handler.
+  EXPECT_DEATH(
+      {
+        JsonlTraceWriter writer(path, /*tail_rounds=*/100);
+        writer.on_run_start(congest_info(2, 8));
+        writer.on_round(0, 2);
+        writer.on_send(0, 0, 1, 4);
+        std::terminate();
+      },
+      "");
+  const auto runs = read_trace_file(path);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].rounds_seen, 1u);
+  EXPECT_EQ(runs[0].messages, 1u);
+  EXPECT_FALSE(runs[0].has_end) << "the run died before run_end";
 }
 
 TEST(TraceReader, WriterUnavailablePathThrows) {

@@ -14,6 +14,9 @@
 //    no-random-device        std::random_device anywhere
 //    no-libc-rand            rand()/srand()/random()/drand48() calls
 //    no-wall-clock           wall-clock reads outside src/obs/ and bench/
+//    clock-funnel            wall-clock reads inside src/obs/ and bench/
+//                            outside the obs::PhaseTimer/StopWatch funnel
+//                            (dut/obs/phase_timer.hpp)
 //    no-mutable-static       mutable function-local statics in src/
 //    no-unordered-iteration  unordered containers outside tests/
 //  P-rules (protocol safety):

@@ -24,6 +24,10 @@ constexpr RuleInfo kRules[] = {
     {"no-wall-clock",
      "wall-clock reads outside src/obs/ and bench/ make output depend on "
      "when it ran, not on (seed, input)"},
+    {"clock-funnel",
+     "within src/obs/ and bench/, wall-clock reads are confined to "
+     "obs::StopWatch/obs::PhaseTimer in dut/obs/phase_timer.hpp — one "
+     "clock for every phase histogram and perf figure"},
     {"no-mutable-static",
      "mutable function-local statics in library code are hidden cross-trial "
      "state; immutable/const/reference latches are exempt"},
@@ -277,25 +281,60 @@ void rule_no_libc_rand(const ScannedFile& file, Emit out) {
   }
 }
 
-void rule_no_wall_clock(const ScannedFile& file, Emit out) {
-  if (file.cls == FileClass::kObs || file.cls == FileClass::kBench) return;
+// Identifier sets shared by the two clock rules: no-wall-clock bans these
+// outside src/obs/ and bench/; clock-funnel confines them, within those two
+// layers, to the phase_timer.hpp stopwatch.
+const std::set<std::string>& clock_types() {
   static const std::set<std::string> kClockTypes = {
       "system_clock", "high_resolution_clock", "steady_clock"};
+  return kClockTypes;
+}
+const std::set<std::string>& clock_calls() {
   static const std::set<std::string> kClockCalls = {
       "time",        "clock",     "gettimeofday", "clock_gettime",
       "localtime",   "gmtime",    "mktime",       "timespec_get"};
+  return kClockCalls;
+}
+
+void rule_no_wall_clock(const ScannedFile& file, Emit out) {
+  if (file.cls == FileClass::kObs || file.cls == FileClass::kBench) return;
   const std::vector<Token>& toks = file.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (!toks[i].is_ident) continue;
-    if (kClockTypes.count(toks[i].text) > 0) {
+    if (clock_types().count(toks[i].text) > 0) {
       emit(out, "no-wall-clock", file, toks[i].line,
            "chrono clock read outside src/obs/ and bench/: output must "
            "depend only on (seed, input), never on when it ran");
-    } else if (kClockCalls.count(toks[i].text) > 0 && is_call(toks, i) &&
+    } else if (clock_calls().count(toks[i].text) > 0 && is_call(toks, i) &&
                !member_access_before(toks, i)) {
       emit(out, "no-wall-clock", file, toks[i].line,
            "libc time call '" + toks[i].text +
                "' outside src/obs/ and bench/");
+    }
+  }
+}
+
+void rule_clock_funnel(const ScannedFile& file, Emit out) {
+  // The layers no-wall-clock exempts still get exactly one clock source:
+  // obs::StopWatch / obs::PhaseTimer in phase_timer.hpp. Everything else in
+  // src/obs/ and bench/ reads time through them, so phase histograms and
+  // perf figures all share one clock (and one place to fake it).
+  if (file.cls != FileClass::kObs && file.cls != FileClass::kBench) return;
+  if (file.path == "src/obs/include/dut/obs/phase_timer.hpp") return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident) continue;
+    if (clock_types().count(toks[i].text) > 0) {
+      emit(out, "clock-funnel", file, toks[i].line,
+           "direct chrono clock read in src/obs//bench/: go through "
+           "obs::StopWatch / obs::PhaseTimer (dut/obs/phase_timer.hpp), the "
+           "single wall-clock funnel");
+    } else if (clock_calls().count(toks[i].text) > 0 && is_call(toks, i) &&
+               !member_access_before(toks, i)) {
+      emit(out, "clock-funnel", file, toks[i].line,
+           "libc time call '" + toks[i].text +
+               "' in src/obs//bench/: go through obs::StopWatch / "
+               "obs::PhaseTimer (dut/obs/phase_timer.hpp)");
     }
   }
 }
@@ -447,6 +486,7 @@ LintResult run_lint(const std::vector<ScannedFile>& files) {
     rule_no_random_device(scratch, candidates);
     rule_no_libc_rand(scratch, candidates);
     rule_no_wall_clock(scratch, candidates);
+    rule_clock_funnel(scratch, candidates);
     rule_no_mutable_static(scratch, candidates);
     rule_no_unordered_iteration(scratch, candidates);
     rule_wire_cast_confined(scratch, candidates);

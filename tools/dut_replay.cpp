@@ -1,0 +1,278 @@
+// dut_replay — deterministic re-execution of a recorded trace:
+//
+//   dut_replay <trace.jsonl> [--out <replay.jsonl>] [--keep]
+//
+// Every traced engine run opens with a run_start preamble whose "replay"
+// object records the protocol and its full parameterization (topology spec,
+// distribution spec, planner inputs, resilience knobs, fault plan — see
+// DESIGN.md §13). This tool rebuilds each run from that metadata alone,
+// re-executes it with DUT_TRACE pointed at a fresh file, and byte-diffs the
+// regenerated transcript against the original. Exit 0 iff they are
+// identical — the repo's end-to-end determinism gate (wired into
+// tools/run_smoke.sh and the smoke_replay ctest targets).
+//
+// The replay file defaults to <trace>.replay and is deleted on success;
+// --keep retains it for inspection.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dut/congest/uniformity.hpp"
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/local/mis.hpp"
+#include "dut/local/tester.hpp"
+#include "dut/net/fault.hpp"
+#include "dut/net/graph.hpp"
+#include "dut/obs/trace_reader.hpp"
+
+namespace {
+
+using dut::obs::TraceRun;
+
+using Annotations = std::map<std::string, std::string>;
+
+const std::string& require(const Annotations& ann, const char* key) {
+  const auto it = ann.find(key);
+  if (it == ann.end()) {
+    throw std::runtime_error(std::string("replay metadata missing '") + key +
+                             "'");
+  }
+  return it->second;
+}
+
+/// Scoped environment for one replayed run. Reconstruction (planners may
+/// spawn their own engine runs, e.g. plan_local's MIS ladder) happens with
+/// DUT_TRACE unset so only the final re-execution writes to the replay
+/// file; the original trace already holds those planner runs as separate
+/// run_start entries, each replayed independently from its own metadata.
+class TraceEnv {
+ public:
+  TraceEnv() { silence(); }
+  ~TraceEnv() { silence(); }
+
+  void silence() {
+    unsetenv("DUT_TRACE");
+    unsetenv("DUT_TRACE_LEVEL");
+    unsetenv("DUT_TRACE_TAIL");
+  }
+
+  /// Arms DUT_TRACE for the re-execution, restoring the recorded detail
+  /// level so level-2 (deliver-event) traces regenerate byte-identically.
+  void arm(const std::string& path, int level) {
+    setenv("DUT_TRACE", path.c_str(), 1);
+    if (level != 1) {
+      setenv("DUT_TRACE_LEVEL", std::to_string(level).c_str(), 1);
+    }
+  }
+};
+
+/// Re-executes one recorded run from its replay metadata. The engine
+/// appends to `out` when armed. Protocol exceptions (e.g. strict-mode fault
+/// violations) propagate — the caller treats them as reproduced if the
+/// bytes match, since the original run wrote the same violation prefix.
+void replay_run(const TraceRun& run, const std::string& out, TraceEnv& env) {
+  Annotations ann;
+  for (const auto& [key, value] : run.summary.info.annotations) {
+    ann.emplace(key, value);
+  }
+  const std::string& proto = require(ann, "proto");
+  const std::uint64_t seed = run.summary.info.seed;
+  const int level = run.summary.info.level;
+
+  const dut::net::Graph graph = dut::net::Graph::from_spec(require(ann, "topo"));
+  dut::net::FaultPlan faults;
+  const bool has_faults = ann.count("faults") > 0;
+  if (has_faults) faults = dut::net::FaultPlan::parse(ann.at("faults"));
+  const dut::net::FaultPlan* fault_ptr = has_faults ? &faults : nullptr;
+
+  if (proto == "mis") {
+    const std::uint64_t cap = ann.count("cap") > 0
+                                  ? std::stoull(ann.at("cap"))
+                                  : UINT64_MAX;
+    env.arm(out, level);
+    (void)dut::local::compute_mis(graph, seed, fault_ptr, cap);
+    return;
+  }
+
+  if (proto == "token_packaging") {
+    dut::congest::CongestResilience opts;
+    opts.enabled = ann.count("retx") > 0;
+    if (opts.enabled) {
+      opts.retransmits = std::stoull(ann.at("retx"));
+      opts.quorum_nodes = std::stoull(ann.at("quorum"));
+    }
+    auto setup = dut::congest::make_packaging_setup(
+        graph, std::stoull(require(ann, "tau")), opts, fault_ptr);
+    env.arm(out, level);
+    (void)dut::congest::run_token_packaging(setup, seed);
+    return;
+  }
+
+  if (proto == "congest_uniformity") {
+    const auto bound = require(ann, "bound") == "chernoff"
+                           ? dut::core::TailBound::kChernoff
+                           : dut::core::TailBound::kExactBinomial;
+    const auto plan = dut::congest::plan_congest(
+        std::stoull(require(ann, "n")), graph.num_nodes(),
+        std::stod(require(ann, "eps")), std::stod(require(ann, "p")), bound,
+        std::stoull(require(ann, "s0")));
+    dut::congest::CongestResilience opts;
+    opts.enabled = ann.count("retx") > 0;
+    if (opts.enabled) {
+      opts.retransmits = std::stoull(ann.at("retx"));
+      opts.quorum_nodes = std::stoull(ann.at("quorum"));
+    }
+    auto setup =
+        dut::congest::make_congest_setup(plan, graph, opts, fault_ptr);
+    const dut::core::AliasSampler sampler(
+        dut::core::distribution_from_spec(require(ann, "dist")));
+    env.arm(out, level);
+    (void)dut::congest::run_congest_uniformity(plan, setup, sampler, seed);
+    return;
+  }
+
+  if (proto == "local_uniformity") {
+    // plan_local reruns the MIS radius ladder from the recorded plan seed;
+    // env is silent here, so those planner engines leave no trace lines.
+    const auto plan = dut::local::plan_local(
+        std::stoull(require(ann, "n")), graph,
+        std::stod(require(ann, "eps")), std::stod(require(ann, "p")),
+        std::stoull(require(ann, "s0")),
+        std::stoull(require(ann, "plan_seed")),
+        static_cast<std::uint32_t>(std::stoul(require(ann, "max_r"))));
+    auto driver = dut::local::make_local_driver(plan, graph, fault_ptr);
+    const dut::core::AliasSampler sampler(
+        dut::core::distribution_from_spec(require(ann, "dist")));
+    env.arm(out, level);
+    (void)dut::local::run_local_uniformity(plan, driver, sampler, seed);
+    return;
+  }
+
+  throw std::runtime_error("unknown replay protocol '" + proto + "'");
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dut_replay <trace.jsonl> [--out <replay.jsonl>] "
+               "[--keep]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string input = argv[1];
+  std::string out = input + ".replay";
+  bool keep = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--keep") == 0) {
+      keep = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<TraceRun> runs;
+  try {
+    runs = dut::obs::read_trace_runs(input);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dut_replay: %s\n", e.what());
+    return 1;
+  }
+  if (runs.empty()) {
+    std::fprintf(stderr, "dut_replay: %s holds no runs\n", input.c_str());
+    return 1;
+  }
+
+  std::remove(out.c_str());
+  TraceEnv env;
+  int failures = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const TraceRun& run = runs[i];
+    if (run.summary.truncated_tail || run.summary.declared_tail > 0) {
+      std::fprintf(stderr,
+                   "dut_replay: run %zu is a tail-mode capture — ring "
+                   "eviction loses the replay preamble's ordering, byte "
+                   "replay is impossible\n",
+                   i);
+      ++failures;
+      continue;
+    }
+    if (run.summary.info.annotations.empty()) {
+      std::fprintf(stderr,
+                   "dut_replay: run %zu (model=%s seed=%llu) carries no "
+                   "replay metadata — unreplayable\n",
+                   i, run.summary.info.model.c_str(),
+                   static_cast<unsigned long long>(run.summary.info.seed));
+      ++failures;
+      continue;
+    }
+    env.silence();
+    try {
+      replay_run(run, out, env);
+    } catch (const std::exception& e) {
+      // A run that died mid-protocol (strict fault mode) throws on replay
+      // too; its partial transcript is already on disk and the byte diff
+      // below is the arbiter. Report but keep going.
+      std::fprintf(stderr, "dut_replay: run %zu raised during replay: %s\n",
+                   i, e.what());
+    }
+    env.silence();
+  }
+
+  // Byte-level diff: the replayed runs were appended in file order, so the
+  // whole regenerated file must equal the original line for line.
+  try {
+    const std::vector<std::string> original = read_lines(input);
+    const std::vector<std::string> replayed = read_lines(out);
+    const std::size_t common = std::min(original.size(), replayed.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (original[i] != replayed[i]) {
+        std::fprintf(stderr,
+                     "dut_replay: divergence at line %zu\n  original: %s\n"
+                     "  replayed: %s\n",
+                     i + 1, original[i].c_str(), replayed[i].c_str());
+        ++failures;
+        break;
+      }
+    }
+    if (original.size() != replayed.size()) {
+      std::fprintf(stderr,
+                   "dut_replay: original has %zu line(s), replay has %zu\n",
+                   original.size(), replayed.size());
+      ++failures;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dut_replay: %s\n", e.what());
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("%s: %zu run(s) replayed byte-identically\n", input.c_str(),
+                runs.size());
+    if (!keep) std::remove(out.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "dut_replay: %d failure(s); replay kept at %s\n",
+               failures, out.c_str());
+  return 1;
+}

@@ -76,6 +76,11 @@ void print_summary(const TraceRunSummary& run, std::size_t index) {
     std::printf("  injected faults: %llu\n",
                 static_cast<unsigned long long>(run.faults));
   }
+  if (run.unknown_events > 0) {
+    std::printf("  unknown events: %llu (schema drift? writer newer than "
+                "this reader)\n",
+                static_cast<unsigned long long>(run.unknown_events));
+  }
   for (const std::string& violation : run.violations) {
     std::printf("  VIOLATION: %s\n", violation.c_str());
   }
@@ -138,6 +143,13 @@ int cmd_check(const char* path) {
                    "bandwidth budget\n",
                    i, static_cast<unsigned long long>(run.over_budget_sends),
                    static_cast<unsigned long long>(run.info.bandwidth_bits));
+      ++failures;
+    }
+    if (run.unknown_events > 0) {
+      std::fprintf(stderr,
+                   "run %zu: %llu event(s) of unknown kind (schema drift — "
+                   "the recount cannot be trusted)\n",
+                   i, static_cast<unsigned long long>(run.unknown_events));
       ++failures;
     }
   }

@@ -5,10 +5,13 @@
 #   * the DUT_TRACE transcript (if the binary ran any engine) is internally
 #     consistent and within the bandwidth budget (dut_trace check).
 #
-# Usage: run_smoke.sh <dut_trace-binary> <workdir> <binary> [args...]
+# Usage: run_smoke.sh [--replay <dut_replay-binary>] \
+#            <dut_trace-binary> <workdir> <binary> [args...]
 #        run_smoke.sh --lint <dut_lint-binary> <repo-root>
 # Registered per experiment as the smoke_* ctest entries (bench/CMakeLists);
-# the --lint mode is the smoke_lint entry (tools/dut_lint/CMakeLists).
+# --replay additionally re-executes the transcript with dut_replay and
+# byte-diffs it (the smoke_replay entries); the --lint mode is the
+# smoke_lint entry (tools/dut_lint/CMakeLists).
 set -euo pipefail
 
 # Lint mode: run the dut_lint gate against its checked-in baseline and make
@@ -32,8 +35,15 @@ if [ "${1:-}" = "--lint" ]; then
   exit 0
 fi
 
+dut_replay=""
+if [ "${1:-}" = "--replay" ]; then
+  dut_replay=$2
+  shift 2
+fi
+
 if [ "$#" -lt 3 ]; then
-  echo "usage: $0 <dut_trace-binary> <workdir> <binary> [args...]" >&2
+  echo "usage: $0 [--replay <dut_replay-binary>] <dut_trace-binary>" \
+       "<workdir> <binary> [args...]" >&2
   exit 2
 fi
 
@@ -61,7 +71,13 @@ if [ "$found_report" -eq 0 ]; then
 fi
 
 # Binaries that never construct a network engine legitimately leave no
-# transcript; when one exists it must check out.
+# transcript; when one exists it must check out — and, in --replay mode,
+# re-execute byte-identically from its run_start replay preambles.
 if [ -s "$DUT_TRACE" ]; then
   "$dut_trace" check "$DUT_TRACE"
+  if [ -n "$dut_replay" ]; then
+    trace_file="$DUT_TRACE"
+    unset DUT_TRACE
+    "$dut_replay" "$trace_file"
+  fi
 fi
