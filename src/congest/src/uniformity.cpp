@@ -1,5 +1,7 @@
 #include "dut/congest/uniformity.hpp"
 
+#include "uniformity_program.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -15,63 +17,6 @@
 namespace dut::congest {
 
 namespace {
-
-using Annotations = std::vector<std::pair<std::string, std::string>>;
-
-/// %.17g round-trips doubles exactly, so replay metadata regenerates
-/// byte-identically from the parsed-back values.
-std::string format_param(double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
-}
-
-const char* tail_bound_name(core::TailBound bound) {
-  return bound == core::TailBound::kChernoff ? "chernoff" : "exact";
-}
-
-/// Replay preamble for a uniform-counts congest run: everything dut_replay
-/// needs to rebuild the plan, setup and sampler and re-run this seed.
-/// Heterogeneous runs get no annotations (counts have no compact spec).
-Annotations congest_annotations(const CongestPlan& plan,
-                                const net::ProtocolDriver& driver,
-                                const PackagingResilience& schedule,
-                                const core::AliasSampler& sampler) {
-  Annotations ann;
-  ann.emplace_back("proto", "congest_uniformity");
-  ann.emplace_back("topo", driver.graph().spec());
-  ann.emplace_back("dist", sampler.spec());
-  ann.emplace_back("n", std::to_string(plan.n));
-  ann.emplace_back("eps", format_param(plan.epsilon));
-  ann.emplace_back("p", format_param(plan.p));
-  ann.emplace_back("s0", std::to_string(plan.samples_per_node));
-  ann.emplace_back("bound", tail_bound_name(plan.bound));
-  if (schedule.enabled) {
-    ann.emplace_back("retx", std::to_string(schedule.retransmits));
-    ann.emplace_back("quorum", std::to_string(schedule.quorum));
-  }
-  if (driver.fault_plan() != nullptr) {
-    ann.emplace_back("faults", driver.fault_plan()->spec());
-  }
-  return ann;
-}
-
-Annotations packaging_annotations(const net::ProtocolDriver& driver,
-                                  const PackagingResilience& schedule,
-                                  std::uint64_t tau) {
-  Annotations ann;
-  ann.emplace_back("proto", "token_packaging");
-  ann.emplace_back("topo", driver.graph().spec());
-  ann.emplace_back("tau", std::to_string(tau));
-  if (schedule.enabled) {
-    ann.emplace_back("retx", std::to_string(schedule.retransmits));
-    ann.emplace_back("quorum", std::to_string(schedule.quorum));
-  }
-  if (driver.fault_plan() != nullptr) {
-    ann.emplace_back("faults", driver.fault_plan()->spec());
-  }
-  return ann;
-}
 
 /// Bit budget for the protocol's widest message: a candidate carries an id
 /// and a depth; a token carries a domain element; counts carry up to k.
@@ -93,22 +38,6 @@ std::uint64_t required_bandwidth(std::uint64_t n, std::uint32_t k,
          resil.seq_bits + 4;
 }
 
-MessageWidths widths_for(std::uint64_t n, std::uint32_t k) {
-  return MessageWidths{net::bits_for(k), net::bits_for(n),
-                       net::bits_for(static_cast<std::uint64_t>(k) + 1)};
-}
-
-/// Deterministic permutation of {0..k-1} used as external ids, so leader
-/// election runs on arbitrary identifiers as in the paper.
-std::vector<std::uint64_t> external_ids(std::uint32_t k, std::uint64_t seed) {
-  std::vector<std::uint64_t> ids(k);
-  std::iota(ids.begin(), ids.end(), 0);
-  stats::Xoshiro256 rng = stats::derive_stream(seed, 0x1D5);
-  for (std::uint32_t i = k; i > 1; --i) {
-    std::swap(ids[i - 1], ids[rng.below(i)]);
-  }
-  return ids;
-}
 
 /// Resolves the resilient-mode timeout schedule from the graph. Every stage
 /// budget is the fault-free bound stretched by the retransmission factor
@@ -139,65 +68,22 @@ PackagingResilience resolve_schedule(const net::Graph& graph,
   return s;
 }
 
-/// Virtual-node tester: each package of tau tokens is fed to the
-/// single-collision tester; the report is the count of rejecting packages
-/// and the root compares the network total against the threshold. In
-/// resilient mode the root additionally requires (a) `quorum` nodes'
-/// coverage and (b) a consistent token mass: the reported formed-package
-/// count must account for the quorum's tokens, up to the remainder each
-/// packaging site may legitimately drop. Without (b), in-flight token loss
-/// (dropped or corrupt-discarded kToken messages) would silently shrink the
-/// reject tally while node coverage stays high — an accept bias. Either
-/// shortfall rejects (one-sided soundness keeps this safe).
-class UniformityTestProgram : public TokenPackagingProgram {
- public:
-  UniformityTestProgram(std::uint64_t external_id,
-                        std::vector<std::uint64_t> tokens,
-                        const CongestPlan& plan, MessageWidths widths,
-                        PackagingResilience resil = {})
-      : TokenPackagingProgram(external_id, std::move(tokens), plan.tau,
-                              widths, resil),
-        plan_(&plan) {}
-
-  /// Root only, resilient mode: whether coverage reached the quorum when
-  /// the verdict was decided.
-  bool quorum_met() const noexcept { return quorum_met_; }
-
- protected:
-  std::uint64_t local_report(net::NodeContext&) override {
-    std::uint64_t rejecting = 0;
-    for (const auto& package : packages()) {
-      if (core::has_collision(package, plan_->n)) ++rejecting;
-    }
-    return rejecting;
+detail::Annotations packaging_annotations(const net::ProtocolDriver& driver,
+                                          const PackagingResilience& schedule,
+                                          std::uint64_t tau) {
+  detail::Annotations ann;
+  ann.emplace_back("proto", "token_packaging");
+  ann.emplace_back("topo", driver.graph().spec());
+  ann.emplace_back("tau", std::to_string(tau));
+  if (schedule.enabled) {
+    ann.emplace_back("retx", std::to_string(schedule.retransmits));
+    ann.emplace_back("quorum", std::to_string(schedule.quorum));
   }
-
-  std::uint64_t decide_at_root(std::uint64_t total) override {
-    return total >= plan_->threshold ? 1 : 0;
+  if (driver.fault_plan() != nullptr) {
+    ann.emplace_back("faults", driver.fault_plan()->spec());
   }
-
-  std::uint64_t decide_with_quorum(std::uint64_t total, std::uint64_t covered,
-                                   std::uint64_t formed) override {
-    // Token-mass consistency: the quorum's tokens number quorum * s0 (s0 is
-    // the per-node average for heterogeneous counts), and every packaging
-    // site — the root plus up to depth_budget forced packagers on a root
-    // path — may drop a remainder of at most tau - 1. Anything missing
-    // beyond that slack means tokens were lost in flight, which dilutes the
-    // collision statistics toward acceptance; reject instead.
-    const std::uint64_t slack =
-        (resilience().depth_budget + 1) * (plan_->tau - 1);
-    quorum_met_ =
-        covered >= resilience().quorum &&
-        formed * plan_->tau + slack >=
-            resilience().quorum * plan_->samples_per_node;
-    if (!quorum_met_) return 1;
-    return decide_at_root(total);
-  }
-
- private:
-  const CongestPlan* plan_;
-  bool quorum_met_ = false;
-};
+  return ann;
+}
 
 }  // namespace
 
@@ -335,7 +221,7 @@ CongestRunResult run_congest_with_counts(
     const CongestPlan& plan, net::ProtocolDriver& driver,
     const PackagingResilience& schedule, const core::AliasSampler& sampler,
     const std::vector<std::uint64_t>& counts, std::uint64_t seed, bool traced,
-    Annotations annotations) {
+    detail::Annotations annotations) {
   if (sampler.n() != plan.n) {
     throw std::invalid_argument("run_congest_uniformity: domain mismatch");
   }
@@ -372,8 +258,8 @@ CongestRunResult run_congest_with_counts(
   MessageWidths widths{};
   {
     obs::PhaseTimer span("encode");
-    ids = external_ids(k, seed);
-    widths = widths_for(plan.n, k);
+    ids = detail::external_ids(k, seed);
+    widths = detail::widths_for(plan.n, k);
   }
 
   // The "route" span covers the whole engine execution; "decide" nests
@@ -382,7 +268,7 @@ CongestRunResult run_congest_with_counts(
   return driver.run_trial(
       seed, traced, std::move(annotations),
       [&](std::uint32_t v) {
-        return std::make_unique<UniformityTestProgram>(
+        return std::make_unique<detail::UniformityTestProgram>(
             ids[v], std::move(tokens[v]), plan, widths, schedule);
       },
       [&](const auto& programs, const net::EngineMetrics& metrics) {
@@ -392,7 +278,7 @@ CongestRunResult run_congest_with_counts(
         // Under faults several forced leaders can coexist; the winner is
         // the one with the largest external id (its wave dominates any
         // surviving fragment of the tree).
-        const UniformityTestProgram* root = nullptr;
+        const detail::UniformityTestProgram* root = nullptr;
         for (std::uint32_t v = 0; v < k; ++v) {
           result.num_packages += programs[v]->packages().size();
           if (programs[v]->is_leader() &&
@@ -448,7 +334,8 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
   return run_congest_with_counts(
       plan, setup.driver, setup.schedule, sampler, uniform_counts(plan), seed,
       traced,
-      congest_annotations(plan, setup.driver, setup.schedule, sampler));
+      detail::congest_annotations(plan, setup.driver.graph(), setup.schedule,
+                                  sampler, setup.driver.fault_plan()));
 }
 
 CongestRunResult run_congest_uniformity(const CongestPlan& plan,
@@ -458,7 +345,8 @@ CongestRunResult run_congest_uniformity(const CongestPlan& plan,
   return run_congest_with_counts(
       plan, driver, PackagingResilience{}, sampler, uniform_counts(plan),
       seed, traced,
-      congest_annotations(plan, driver, PackagingResilience{}, sampler));
+      detail::congest_annotations(plan, driver.graph(), PackagingResilience{},
+                                  sampler, driver.fault_plan()));
 }
 
 CongestRunResult run_congest_uniformity_heterogeneous(
@@ -564,9 +452,9 @@ PackagingRunResult run_packaging_trial(net::ProtocolDriver& driver,
   MessageWidths widths{};
   {
     obs::PhaseTimer span("encode");
-    ids = external_ids(k, seed);
+    ids = detail::external_ids(k, seed);
     // Tokens are node ids here, so tests can track every token exactly.
-    widths = widths_for(k, k);
+    widths = detail::widths_for(k, k);
   }
 
   obs::PhaseTimer route_span("route");

@@ -24,6 +24,7 @@
 #include "dut/codes/linear_code.hpp"
 #include "dut/codes/reed_solomon.hpp"
 #include "dut/congest/aggregation.hpp"
+#include "dut/congest/sharded.hpp"
 #include "dut/congest/token_packaging.hpp"
 #include "dut/congest/uniformity.hpp"
 #include "dut/core/amplified.hpp"
@@ -45,11 +46,17 @@
 #include "dut/net/graph.hpp"
 #include "dut/net/message.hpp"
 #include "dut/net/protocol_driver.hpp"
+#include "dut/net/transport/inproc.hpp"
+#include "dut/net/transport/shm_session.hpp"
+#include "dut/net/transport/shm_transport.hpp"
+#include "dut/net/transport/transport.hpp"
+#include "dut/net/transport/worker_group.hpp"
 #include "dut/obs/env.hpp"
 #include "dut/obs/json.hpp"
 #include "dut/obs/metrics.hpp"
 #include "dut/obs/report.hpp"
 #include "dut/obs/trace.hpp"
+#include "dut/obs/trace_merge.hpp"
 #include "dut/obs/trace_reader.hpp"
 #include "dut/smp/equality.hpp"
 #include "dut/smp/lowerbound.hpp"

@@ -1,0 +1,89 @@
+#pragma once
+
+// Round-arena message views shared by the engine and its transports.
+//
+// A message in flight is an ArenaRecord (header) plus a run of words in a
+// payload slab; a node's inbox for one round is a CSR range of records over
+// the delivered side of the arena. The engine's NodeContext hands programs
+// an InboxView; which slab the view points into is the transport's business
+// (see dut/net/transport/transport.hpp).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dut/net/message.hpp"
+
+namespace dut::net {
+
+namespace detail {
+
+/// One in-flight message in the round arena: header here, fields in the
+/// payload slab at [payload_begin, payload_begin + num_fields).
+struct ArenaRecord {
+  std::uint32_t sender = 0;
+  std::uint32_t to = 0;
+  std::uint32_t num_fields = 0;
+  std::uint64_t bits = 0;
+  std::size_t payload_begin = 0;
+};
+
+}  // namespace detail
+
+/// A node's inbox for one round: a CSR range of arena records. Iteration
+/// yields MessageView values ordered by sender id ascending (send order
+/// within one sender). Views are valid only for the current round.
+class InboxView {
+ public:
+  class iterator {
+   public:
+    using value_type = MessageView;
+    using difference_type = std::ptrdiff_t;
+
+    iterator(const detail::ArenaRecord* rec,
+             const std::uint64_t* payload) noexcept
+        : rec_(rec), payload_(payload) {}
+
+    MessageView operator*() const noexcept {
+      return MessageView(rec_->sender, rec_->bits,
+                         payload_ + rec_->payload_begin, rec_->num_fields);
+    }
+    iterator& operator++() noexcept {
+      ++rec_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const noexcept {
+      return rec_ == other.rec_;
+    }
+    bool operator!=(const iterator& other) const noexcept {
+      return rec_ != other.rec_;
+    }
+
+   private:
+    const detail::ArenaRecord* rec_;
+    const std::uint64_t* payload_;
+  };
+
+  InboxView() noexcept = default;
+  InboxView(const detail::ArenaRecord* first, std::size_t count,
+            const std::uint64_t* payload) noexcept
+      : first_(first), count_(count), payload_(payload) {}
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  MessageView operator[](std::size_t i) const noexcept {
+    const detail::ArenaRecord& rec = first_[i];
+    return MessageView(rec.sender, rec.bits, payload_ + rec.payload_begin,
+                       rec.num_fields);
+  }
+
+  iterator begin() const noexcept { return {first_, payload_}; }
+  iterator end() const noexcept { return {first_ + count_, payload_}; }
+
+ private:
+  const detail::ArenaRecord* first_ = nullptr;
+  std::size_t count_ = 0;
+  const std::uint64_t* payload_ = nullptr;
+};
+
+}  // namespace dut::net

@@ -17,16 +17,21 @@
 // The run aborts with RoundLimitExceeded if config.max_rounds elapse before
 // every node halts, so livelocked protocols fail fast instead of spinning.
 //
-// Storage: messages in flight live in an engine-owned round arena — one flat
-// payload slab plus one flat record array per direction (pending/delivered),
-// flipped at each round boundary with a stable counting sort by destination
-// that yields CSR inbox ranges. Programs read their inbox through
-// MessageView windows into the slab, so a round costs O(messages + fields)
-// with zero per-message allocation, and the buffers' capacity persists both
-// across rounds and across run() calls. That makes an Engine cheaply
-// re-runnable: run(programs, seed) fully resets round state and metrics, so
-// one engine per worker thread amortizes all allocation across a
-// Monte-Carlo sweep (see net::ProtocolDriver).
+// Delivery: messages in flight live behind a net::Transport
+// (dut/net/transport/transport.hpp). The default backend is the engine's
+// own InProcTransport — a flat payload slab plus a flat record array per
+// direction, flipped at each round boundary with a stable counting sort by
+// destination that yields CSR inbox ranges. Programs read their inbox
+// through MessageView windows into the slab, so a round costs
+// O(messages + fields) with zero per-message allocation, and the buffers'
+// capacity persists both across rounds and across run() calls. That makes
+// an Engine cheaply re-runnable: run(programs, seed) fully resets round
+// state and metrics, so one engine per worker thread amortizes all
+// allocation across a Monte-Carlo sweep (see net::ProtocolDriver).
+// Attaching a ShmTransport instead shards the node range over multiple
+// rank processes that exchange rounds through shared memory; the engine
+// then executes only its rank's shard and the metrics it reports are the
+// all-rank reduction (bit-identical to the single-process run).
 //
 // Observability: a run emits structured events (run_start, round, send,
 // deliver, halt, violation, run_end) to an obs::TraceSink attached with
@@ -35,10 +40,14 @@
 // last N rounds, DUT_TRACE_LEVEL=2 adds per-message deliver events). Under
 // parallel trials, set_env_trace(false) opts a worker's engine out of the
 // DUT_TRACE resolution so exactly one designated trial produces the
-// transcript. The sink is flushed before any model-violation throw, so the
-// transcript always contains the offending round. Aggregate counters and
-// per-round message/bit histograms land in the obs metrics registry under
-// "net.*".
+// transcript. Sharded runs append the transport's rank suffix to the
+// DUT_TRACE path, writing one transcript shard per rank
+// (obs::merge_trace_shards reassembles the global transcript). The sink is
+// flushed before any model-violation throw, so the transcript always
+// contains the offending round. Aggregate counters and per-round
+// message/bit histograms land in the obs metrics registry under "net.*"
+// (per-round histograms cover this rank's shard; everything derived from
+// EngineMetrics is global).
 
 #include <cstddef>
 #include <cstdint>
@@ -51,9 +60,11 @@
 #include <utility>
 #include <vector>
 
+#include "dut/net/arena.hpp"
 #include "dut/net/fault.hpp"
 #include "dut/net/graph.hpp"
 #include "dut/net/message.hpp"
+#include "dut/net/transport/transport.hpp"
 #include "dut/obs/budget.hpp"
 #include "dut/stats/rng.hpp"
 
@@ -62,6 +73,8 @@ class TraceSink;
 }  // namespace dut::obs
 
 namespace dut::net {
+
+class InProcTransport;
 
 enum class Model { kLocal, kCongest };
 
@@ -101,77 +114,6 @@ struct EngineMetrics {
   obs::BudgetUsage budget;
 };
 
-namespace detail {
-
-/// One in-flight message in the round arena: header here, fields in the
-/// payload slab at [payload_begin, payload_begin + num_fields).
-struct ArenaRecord {
-  std::uint32_t sender = 0;
-  std::uint32_t to = 0;
-  std::uint32_t num_fields = 0;
-  std::uint64_t bits = 0;
-  std::size_t payload_begin = 0;
-};
-
-}  // namespace detail
-
-/// A node's inbox for one round: a CSR range of arena records. Iteration
-/// yields MessageView values ordered by sender id ascending (send order
-/// within one sender). Views are valid only for the current round.
-class InboxView {
- public:
-  class iterator {
-   public:
-    using value_type = MessageView;
-    using difference_type = std::ptrdiff_t;
-
-    iterator(const detail::ArenaRecord* rec,
-             const std::uint64_t* payload) noexcept
-        : rec_(rec), payload_(payload) {}
-
-    MessageView operator*() const noexcept {
-      return MessageView(rec_->sender, rec_->bits,
-                         payload_ + rec_->payload_begin, rec_->num_fields);
-    }
-    iterator& operator++() noexcept {
-      ++rec_;
-      return *this;
-    }
-    bool operator==(const iterator& other) const noexcept {
-      return rec_ == other.rec_;
-    }
-    bool operator!=(const iterator& other) const noexcept {
-      return rec_ != other.rec_;
-    }
-
-   private:
-    const detail::ArenaRecord* rec_;
-    const std::uint64_t* payload_;
-  };
-
-  InboxView() noexcept = default;
-  InboxView(const detail::ArenaRecord* first, std::size_t count,
-            const std::uint64_t* payload) noexcept
-      : first_(first), count_(count), payload_(payload) {}
-
-  std::size_t size() const noexcept { return count_; }
-  bool empty() const noexcept { return count_ == 0; }
-
-  MessageView operator[](std::size_t i) const noexcept {
-    const detail::ArenaRecord& rec = first_[i];
-    return MessageView(rec.sender, rec.bits, payload_ + rec.payload_begin,
-                       rec.num_fields);
-  }
-
-  iterator begin() const noexcept { return {first_, payload_}; }
-  iterator end() const noexcept { return {first_ + count_, payload_}; }
-
- private:
-  const detail::ArenaRecord* first_ = nullptr;
-  std::size_t count_ = 0;
-  const std::uint64_t* payload_ = nullptr;
-};
-
 class Engine;
 
 /// Per-round view a node program receives.
@@ -187,7 +129,7 @@ class NodeContext {
   }
 
   /// Messages delivered this round (sent by neighbors last round). The views
-  /// point into the engine's round arena and expire when the round ends.
+  /// point into the transport's round arena and expire when the round ends.
   InboxView inbox() const noexcept { return inbox_; }
 
   /// Queues `msg` for delivery to `neighbor` next round. `neighbor` must be
@@ -225,14 +167,17 @@ class NodeProgram {
   virtual void on_round(NodeContext& ctx) = 0;
 };
 
-class Engine {
+class Engine : private TransportHooks {
  public:
   Engine(const Graph& graph, EngineConfig config);
+  ~Engine();
 
   /// Runs `programs[v]` on node v until all nodes halt. `programs` must
   /// have exactly num_nodes entries; the caller retains ownership and can
   /// read results out of the programs afterwards. Fully resets round state,
-  /// metrics and RNG streams, so back-to-back calls are independent.
+  /// metrics and RNG streams, so back-to-back calls are independent. Over a
+  /// sharded transport only this rank's shard executes (the other entries
+  /// of `programs` are required but untouched).
   void run(const std::vector<NodeProgram*>& programs);
 
   /// Same, but derives the per-node RNG streams (and stamps the transcript)
@@ -243,6 +188,13 @@ class Engine {
   const EngineMetrics& metrics() const noexcept { return metrics_; }
   const Graph& graph() const noexcept { return graph_; }
   const EngineConfig& config() const noexcept { return config_; }
+
+  /// Attaches a delivery backend for subsequent run() calls (nullptr
+  /// restores the built-in InProcTransport). The caller retains ownership
+  /// and must keep the transport alive across run(); one transport serves
+  /// one engine at a time.
+  void set_transport(Transport* transport) noexcept;
+  Transport& transport() const noexcept { return *transport_; }
 
   /// Attaches a trace sink for subsequent run() calls (nullptr detaches).
   /// An attached sink takes precedence over the DUT_TRACE environment
@@ -290,20 +242,22 @@ class Engine {
  private:
   friend class NodeContext;
   void deliver(std::uint32_t from, std::uint32_t to, const Message& msg);
-  /// Moves deferred (delayed) messages whose due round has arrived into the
-  /// pending arena, ahead of the counting sort; copies destined to
-  /// now-halted nodes are discarded as `expired`.
-  void inject_deferred();
   /// Tallies the fault in the metrics registry and emits the trace event.
   void emit_fault(std::string_view kind, std::uint32_t from, std::uint32_t to);
-  /// Flips the arena at a round boundary: pending records are scattered
-  /// into delivered CSR order (stable counting sort by destination, which
-  /// preserves the sender-ascending inbox order), payload slabs swap roles,
-  /// and the pending side is reset with its capacity intact.
-  void flip_round();
   /// Records a violation on the active sink (flushing it so the transcript
   /// survives the imminent throw) and in the metrics registry.
   void trace_violation(std::string_view kind, const std::string& detail);
+
+  // TransportHooks: delivery-time bookkeeping the transport reports back.
+  bool is_halted(std::uint32_t node) const noexcept override {
+    return halted_[node];
+  }
+  std::uint64_t halt_key(std::uint32_t node) const noexcept override {
+    return halt_key_[node];
+  }
+  void count_expired(std::uint32_t from, std::uint32_t to) override;
+  [[noreturn]] void reject_remote_to_halted(std::uint32_t from,
+                                            std::uint32_t to) override;
 
   /// "Never carried a message" sentinel for the directed-edge guard. The
   /// guard stores the actual round number of the last send; current_round_
@@ -318,20 +272,15 @@ class Engine {
 
   std::uint64_t current_round_ = 0;
   std::vector<bool> halted_;
+  /// Per-node halt visibility key (kNeverHalted while running) — see
+  /// transport.hpp; maintained alongside halted_ for the halt_key hook.
+  std::vector<std::uint64_t> halt_key_;
   std::vector<stats::Xoshiro256> rngs_;
 
-  /// Round arena. Sends append to the pending side (records in send order,
-  /// fields packed into the payload slab); flip_round() turns them into the
-  /// delivered side, where inbox_offset_ gives node v's CSR inbox range
-  /// [inbox_offset_[v], inbox_offset_[v+1]). All buffers are reused across
-  /// rounds and runs.
-  std::vector<detail::ArenaRecord> pending_records_;
-  std::vector<std::uint64_t> pending_payload_;
-  std::vector<detail::ArenaRecord> delivered_records_;
-  std::vector<std::uint64_t> delivered_payload_;
-  std::vector<std::uint32_t> pending_count_;  // per-node queued messages
-  std::vector<std::size_t> inbox_offset_;     // size num_nodes + 1
-  std::vector<std::size_t> cursor_;           // counting-sort scratch
+  /// The delivery backend: the built-in single-process arena unless
+  /// set_transport attached another one.
+  std::unique_ptr<InProcTransport> inproc_;
+  Transport* transport_ = nullptr;
 
   /// Sorted adjacency in CSR layout (the graph's own lists are not sorted):
   /// node v's neighbors, ascending, occupy sorted_adj_[edge_offset_[v],
@@ -343,21 +292,13 @@ class Engine {
   std::vector<std::uint32_t> sorted_adj_;
   std::vector<std::uint64_t> last_sent_round_;
 
-  /// Fault state. Delayed messages wait in the deferred buffers (payload in
-  /// its own slab so round flips never invalidate the offsets) until
-  /// inject_deferred() moves them into pending; both buffers and the crash
-  /// cursor are reset by run(), so an aborted run can never replay stale
-  /// delayed messages into the next trial on a pooled engine.
-  struct DeferredRecord {
-    detail::ArenaRecord rec;
-    std::uint64_t due_round = 0;
-  };
+  /// Fault state. The crash cursor walks the plan's sorted crash schedule;
+  /// delayed-message buffers live in the transport.
   std::optional<FaultPlan> fault_plan_;
-  std::vector<DeferredRecord> deferred_records_;
-  std::vector<std::uint64_t> deferred_payload_;
   std::size_t crash_cursor_ = 0;
   std::uint64_t fault_key_ = 0;   // mixed (salt, run seed) for resolve_faults
   bool message_faults_ = false;   // cached fault_plan_->has_message_faults()
+  std::vector<std::uint64_t> corrupt_scratch_;  // corrupted-payload staging
 
   obs::TraceSink* trace_sink_ = nullptr;  // attached via set_trace_sink
   obs::TraceSink* active_sink_ = nullptr;  // effective sink for current run

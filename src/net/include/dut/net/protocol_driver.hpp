@@ -91,6 +91,14 @@ class ProtocolDriver {
   const Graph& graph() const noexcept { return graph_; }
   const EngineConfig& config() const noexcept { return base_config_; }
 
+  /// Attaches a delivery backend to every pooled engine (nullptr restores
+  /// each engine's built-in InProcTransport). A transport serves one engine
+  /// at a time, so an attached driver becomes single-lease: concurrent
+  /// acquire() throws instead of growing the pool — run trials sequentially
+  /// (a sharded sweep is parallel across rank *processes*, not threads).
+  /// Must not be called while engines are leased.
+  void set_transport(Transport* transport);
+
   /// Attaches `plan` to every pooled engine (current and future leases run
   /// in fault mode; see dut/net/fault.hpp). Not thread-safe against
   /// concurrent run_trial calls — set it before fanning out trials.
@@ -144,6 +152,7 @@ class ProtocolDriver {
 
   const Graph& graph_;
   EngineConfig base_config_;
+  Transport* transport_ = nullptr;  // nullptr = per-engine InProcTransport
   std::optional<FaultPlan> fault_plan_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<State>> pool_;  // all engines ever created

@@ -1,0 +1,90 @@
+#pragma once
+
+// InProcTransport: the single-process round arena, extracted verbatim from
+// the pre-seam net::Engine so single-process runs stay bit-identical and
+// zero-copy.
+//
+// Sends append to the pending side (records in send order, fields packed
+// into the payload slab); flip_round() turns them into the delivered side
+// with a stable counting sort by destination that yields CSR inbox ranges.
+// All buffers are reused across rounds and runs, so a pooled engine's
+// delivery machinery stays allocation-free after warm-up. Delayed (fault-
+// injected) messages wait in the deferred buffers — payload in its own slab
+// so round flips never invalidate the offsets — until their due round.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dut/net/transport/transport.hpp"
+
+namespace dut::net {
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport() = default;
+
+  std::uint32_t rank() const noexcept override { return 0; }
+  std::uint32_t num_ranks() const noexcept override { return 1; }
+  std::pair<std::uint32_t, std::uint32_t> shard(
+      std::uint32_t num_nodes) const override {
+    return {0, num_nodes};
+  }
+
+  void begin_run(std::uint32_t num_nodes, bool fault_mode,
+                 TransportHooks& hooks) override;
+  void enqueue(const detail::ArenaRecord& rec,
+               std::span<const std::uint64_t> fields, bool duplicate) override;
+  void enqueue_delayed(const detail::ArenaRecord& rec,
+                       std::span<const std::uint64_t> fields,
+                       std::uint64_t due_round, bool duplicate) override;
+  void flip_round(std::uint64_t round) override;
+  std::uint64_t sync_active(std::uint64_t local_active) override {
+    return local_active;
+  }
+  InboxView inbox(std::uint32_t node) const noexcept override {
+    return InboxView(delivered_records_.data() + inbox_offset_[node],
+                     inbox_offset_[node + 1] - inbox_offset_[node],
+                     delivered_payload_.data());
+  }
+  std::uint32_t pending_to(std::uint32_t node) const noexcept override {
+    return pending_count_[node];
+  }
+  bool has_undelivered() const override { return !pending_records_.empty(); }
+  void settle_run(std::uint64_t round) override;
+  void reduce_metrics(EngineMetrics&) override {}
+  void exchange_summaries(std::span<const std::uint64_t> local,
+                          std::vector<std::uint64_t>& all) override {
+    all.assign(local.begin(), local.end());
+  }
+  void abort_run(TransportAbortCode) noexcept override {}
+
+ private:
+  /// Moves deferred (delayed) messages whose due round has arrived into the
+  /// pending arena, ahead of the counting sort; copies destined to
+  /// now-halted nodes are discarded as `expired`.
+  void inject_deferred(std::uint64_t round);
+
+  struct DeferredRecord {
+    detail::ArenaRecord rec;
+    std::uint64_t due_round = 0;
+  };
+
+  std::uint32_t num_nodes_ = 0;
+  bool fault_mode_ = false;
+  TransportHooks* hooks_ = nullptr;
+
+  std::vector<detail::ArenaRecord> pending_records_;
+  std::vector<std::uint64_t> pending_payload_;
+  std::vector<detail::ArenaRecord> delivered_records_;
+  std::vector<std::uint64_t> delivered_payload_;
+  std::vector<std::uint32_t> pending_count_;  // per-node queued messages
+  std::vector<std::size_t> inbox_offset_;     // size num_nodes + 1
+  std::vector<std::size_t> cursor_;           // counting-sort scratch
+
+  std::vector<DeferredRecord> deferred_records_;
+  std::vector<std::uint64_t> deferred_payload_;
+};
+
+}  // namespace dut::net

@@ -1,0 +1,156 @@
+#pragma once
+
+// ShmTransport: multi-process delivery backend. Each rank process owns a
+// contiguous node shard and runs its own Engine over the shared graph; at
+// every round flip the ranks exchange per-peer message batches through the
+// session's shared-memory rings and rebuild their local inboxes with the
+// same stable counting sort the in-process arena uses.
+//
+// Determinism (DESIGN.md §14 carries the full argument): shards are
+// contiguous ascending id ranges and every rank executes its nodes in id
+// order, so splicing per-rank batches in rank order — this rank's own
+// staging at its own rank slot — reproduces the global in-process send
+// order exactly; the stable sort then yields bit-identical inbox orders,
+// and all randomness is keyed on (seed, node) or (fault key, round, edge),
+// never on rank. The engine-visible divergences are confined to fault-mode
+// bookkeeping of cross-rank sends to halted nodes (classified/timed at the
+// delivery boundary instead of the send site) and are documented in §14.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dut/net/transport/shm_session.hpp"
+#include "dut/net/transport/transport.hpp"
+
+namespace dut::net {
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(ShmSession& session, std::uint32_t rank);
+
+  std::uint32_t rank() const noexcept override { return rank_; }
+  std::uint32_t num_ranks() const noexcept override { return num_ranks_; }
+  std::pair<std::uint32_t, std::uint32_t> shard(
+      std::uint32_t num_nodes) const override {
+    return shard_of(rank_, num_nodes, num_ranks_);
+  }
+  /// The shard owning `node` under the contiguous block partition.
+  static std::pair<std::uint32_t, std::uint32_t> shard_of(
+      std::uint32_t rank, std::uint32_t num_nodes, std::uint32_t num_ranks);
+  std::string trace_suffix() const override {
+    return ".rank" + std::to_string(rank_);
+  }
+
+  void begin_run(std::uint32_t num_nodes, bool fault_mode,
+                 TransportHooks& hooks) override;
+  void enqueue(const detail::ArenaRecord& rec,
+               std::span<const std::uint64_t> fields, bool duplicate) override;
+  void enqueue_delayed(const detail::ArenaRecord& rec,
+                       std::span<const std::uint64_t> fields,
+                       std::uint64_t due_round, bool duplicate) override;
+  void flip_round(std::uint64_t round) override;
+  std::uint64_t sync_active(std::uint64_t local_active) override;
+  InboxView inbox(std::uint32_t node) const noexcept override {
+    return InboxView(
+        delivered_records_.data() + inbox_offset_[node - shard_first_],
+        inbox_offset_[node - shard_first_ + 1] -
+            inbox_offset_[node - shard_first_],
+        delivered_payload_.data());
+  }
+  std::uint32_t pending_to(std::uint32_t node) const noexcept override {
+    // Shard-local by design: counts only messages this rank itself queued
+    // for `node` this round (cross-rank sends are invisible until the next
+    // flip — see the §14 divergence notes).
+    return pending_count_[node - shard_first_];
+  }
+  bool has_undelivered() const override {
+    return !local_records_.empty() || !remote_records_.empty();
+  }
+  void settle_run(std::uint64_t round) override;
+  void reduce_metrics(EngineMetrics& metrics) override;
+  void exchange_summaries(std::span<const std::uint64_t> local,
+                          std::vector<std::uint64_t>& all) override;
+  void abort_run(TransportAbortCode code) noexcept override {
+    session_->publish_abort(static_cast<std::uint64_t>(code));
+  }
+
+ private:
+  struct StagedRecord {
+    detail::ArenaRecord rec;    // payload_begin indexes the staging slab
+    std::uint64_t due_round;    // 0 for fresh records
+    bool delayed;
+    bool duplicate;
+  };
+  struct DeferredRecord {
+    detail::ArenaRecord rec;    // payload_begin indexes deferred_payload_
+    std::uint64_t due_round;
+  };
+
+  std::uint32_t owner_of(std::uint32_t node) const noexcept;
+  /// Serializes this round's staged records for peer `peer` into out.
+  void serialize_batch(std::uint32_t peer, std::uint64_t round,
+                       std::vector<std::uint64_t>& out) const;
+  /// Pushes all outgoing batches and drains all incoming ones, interleaved
+  /// so oversized batches can never deadlock a rank pair.
+  void pump_rings(std::uint64_t round);
+  /// Splices one rank's fresh records (own staging or a decoded batch) into
+  /// the pending arena / deferred list, in that rank's send order.
+  void merge_own_staging();
+  void merge_peer_batch(std::uint32_t peer, std::uint64_t round);
+  void inject_deferred(std::uint64_t round);
+  void scatter_pending();
+  void stage(const detail::ArenaRecord& rec,
+             std::span<const std::uint64_t> fields, bool delayed,
+             std::uint64_t due_round, bool duplicate);
+  /// Appends one decoded-or-local fresh record to the pending arena, with
+  /// the delivery-boundary halted check for records from remote senders.
+  /// `send_round` is the round the sender staged the record in (flip round
+  /// minus one); it anchors the halt-visibility compare so the check
+  /// matches the in-process send-site check exactly.
+  void admit_fresh(const detail::ArenaRecord& rec,
+                   const std::uint64_t* fields, bool remote,
+                   std::uint64_t send_round);
+
+  ShmSession* session_;
+  std::uint32_t rank_ = 0;
+  std::uint32_t num_ranks_ = 1;
+  std::uint32_t num_nodes_ = 0;
+  std::uint32_t shard_first_ = 0;
+  std::uint32_t shard_last_ = 0;
+  bool fault_mode_ = false;
+  TransportHooks* hooks_ = nullptr;
+  std::uint64_t exchange_publishes_ = 0;  // lockstep all-gather counter
+
+  // This round's staged sends, in send order, partitioned by owning rank:
+  // local_records_ (destined to this shard) splice at this rank's slot of
+  // the global order; remote_records_ serialize into per-peer batches.
+  std::vector<StagedRecord> local_records_;
+  std::vector<StagedRecord> remote_records_;
+  std::vector<std::uint64_t> staging_payload_;
+
+  // The delivered-side arena, indexed by (node - shard_first_): identical
+  // machinery to InProcTransport, shard-sized.
+  std::vector<detail::ArenaRecord> pending_records_;
+  std::vector<std::uint64_t> pending_payload_;
+  std::vector<detail::ArenaRecord> delivered_records_;
+  std::vector<std::uint64_t> delivered_payload_;
+  std::vector<std::uint32_t> pending_count_;
+  std::vector<std::size_t> inbox_offset_;
+  std::vector<std::size_t> cursor_;
+
+  // Delayed messages owned by this shard, in global deferred order.
+  std::vector<DeferredRecord> deferred_records_;
+  std::vector<std::uint64_t> deferred_payload_;
+
+  // Ring pump scratch.
+  std::vector<std::vector<std::uint64_t>> out_batches_;   // per peer
+  std::vector<std::size_t> out_sent_;                     // words pushed
+  std::vector<std::vector<std::uint64_t>> in_batches_;    // per peer
+  std::vector<std::size_t> in_expected_;                  // words, 0=unknown
+  std::vector<std::uint64_t> sync_scratch_;
+};
+
+}  // namespace dut::net

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "dut/net/transport/inproc.hpp"
 #include "dut/obs/env.hpp"
 #include "dut/obs/metrics.hpp"
 #include "dut/obs/trace.hpp"
@@ -42,9 +43,14 @@ Engine::Engine(const Graph& graph, EngineConfig config)
                   static_cast<std::ptrdiff_t>(edge_offset_[v + 1]));
   }
   last_sent_round_.assign(edge_offset_.back(), kNeverSent);
-  pending_count_.assign(k, 0);
-  inbox_offset_.assign(k + 1, 0);
-  cursor_.assign(k, 0);
+  inproc_ = std::make_unique<InProcTransport>();
+  transport_ = inproc_.get();
+}
+
+Engine::~Engine() = default;
+
+void Engine::set_transport(Transport* transport) noexcept {
+  transport_ = transport != nullptr ? transport : inproc_.get();
 }
 
 void Engine::trace_violation(std::string_view kind, const std::string& detail) {
@@ -53,6 +59,20 @@ void Engine::trace_violation(std::string_view kind, const std::string& detail) {
     active_sink_->on_violation(current_round_, kind, detail);
     active_sink_->flush();
   }
+}
+
+void Engine::count_expired(std::uint32_t from, std::uint32_t to) {
+  ++metrics_.faults.expired;
+  emit_fault("expire", from, to);
+}
+
+void Engine::reject_remote_to_halted(std::uint32_t from, std::uint32_t to) {
+  // Worded exactly like the sender-side strict check so a sharded run's
+  // merged transcript matches the in-process one.
+  const std::string detail = "node " + std::to_string(from) +
+                             " sent to halted node " + std::to_string(to);
+  trace_violation("protocol", detail);
+  throw ProtocolViolation(detail);
 }
 
 void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
@@ -78,6 +98,9 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
     trace_violation("protocol", detail);
     throw ProtocolViolation(detail);
   }
+  // Sharded caveat: halted_ only tracks this rank's shard, so a strict-mode
+  // send to a halted *remote* node passes here and is rejected by the owning
+  // rank at the delivery boundary instead (reject_remote_to_halted).
   if (halted_[to] && !fault_plan_.has_value()) {
     const std::string detail = "node " + std::to_string(from) +
                                " sent to halted node " + std::to_string(to);
@@ -132,52 +155,44 @@ void Engine::deliver(std::uint32_t from, std::uint32_t to, const Message& msg) {
     return;
   }
 
-  const auto fields = msg.fields();
+  std::span<const std::uint64_t> fields = msg.fields();
   detail::ArenaRecord rec;
   rec.sender = from;
   rec.to = to;
   rec.num_fields = static_cast<std::uint32_t>(fields.size());
   rec.bits = msg.bits;
-  // Delayed payloads go to the deferred slab, which survives round flips.
-  std::vector<std::uint64_t>& payload =
-      draw.delay ? deferred_payload_ : pending_payload_;
-  rec.payload_begin = payload.size();
-  payload.insert(payload.end(), fields.begin(), fields.end());
   if (draw.corrupt && rec.num_fields > 0) {
-    // Corruption flips bits within the field's occupied width only: the
-    // arena does not retain per-field declared widths, so this is the
-    // strongest corruption that provably keeps the value wire-valid (a
-    // corrupted field never exceeds the width its sender declared).
+    // Corruption is staged in an engine-owned scratch copy before the
+    // transport takes the payload; it flips bits within the field's occupied
+    // width only: the arena does not retain per-field declared widths, so
+    // this is the strongest corruption that provably keeps the value
+    // wire-valid (a corrupted field never exceeds the width its sender
+    // declared).
+    corrupt_scratch_.assign(fields.begin(), fields.end());
     std::uint64_t& slot =
-        payload[rec.payload_begin + draw.corrupt_field % rec.num_fields];
+        corrupt_scratch_[draw.corrupt_field % rec.num_fields];
     const int occupied = slot == 0 ? 1 : std::bit_width(slot);
     std::uint64_t mask = occupied >= 64
                              ? draw.corrupt_mask
                              : draw.corrupt_mask & ((1ULL << occupied) - 1);
     if (mask == 0) mask = 1;
     slot ^= mask;
+    fields = corrupt_scratch_;
     ++metrics_.faults.corrupted;
     emit_fault("corrupt", from, to);
   }
   if (draw.delay) {
-    deferred_records_.push_back(
-        {rec, current_round_ + 1 + draw.delay_rounds});
+    transport_->enqueue_delayed(rec, fields,
+                                current_round_ + 1 + draw.delay_rounds,
+                                draw.duplicate);
     ++metrics_.faults.delayed;
     emit_fault("delay", from, to);
   } else {
-    pending_records_.push_back(rec);
-    ++pending_count_[to];
+    transport_->enqueue(rec, fields, draw.duplicate);
   }
   if (draw.duplicate) {
     // The duplicate shares the original's payload range (and corruption)
     // and follows its delayed-or-immediate path.
-    if (draw.delay) {
-      deferred_records_.push_back(
-          {rec, current_round_ + 1 + draw.delay_rounds});
-    } else {
-      pending_records_.push_back(rec);
-      ++pending_count_[to];
-    }
     ++metrics_.faults.duplicated;
     emit_fault("dup", from, to);
   }
@@ -189,57 +204,6 @@ void Engine::emit_fault(std::string_view kind, std::uint32_t from,
   if (active_sink_ != nullptr) {
     active_sink_->on_fault(current_round_, kind, from, to);
   }
-}
-
-void Engine::inject_deferred() {
-  if (deferred_records_.empty()) return;
-  std::size_t kept = 0;
-  for (const DeferredRecord& d : deferred_records_) {
-    if (d.due_round > current_round_) {
-      deferred_records_[kept++] = d;
-      continue;
-    }
-    if (halted_[d.rec.to]) {
-      ++metrics_.faults.expired;
-      emit_fault("expire", d.rec.sender, d.rec.to);
-      continue;
-    }
-    detail::ArenaRecord rec = d.rec;
-    rec.payload_begin = pending_payload_.size();
-    const auto src = deferred_payload_.begin() +
-                     static_cast<std::ptrdiff_t>(d.rec.payload_begin);
-    pending_payload_.insert(pending_payload_.end(), src,
-                            src + rec.num_fields);
-    pending_records_.push_back(rec);
-    ++pending_count_[rec.to];
-  }
-  deferred_records_.resize(kept);
-  // The slab can only be reclaimed once nothing references it; the deferral
-  // window is bounded by max_delay_rounds, so this happens regularly.
-  if (deferred_records_.empty()) deferred_payload_.clear();
-}
-
-void Engine::flip_round() {
-  // Delayed messages whose round has come join the scatter behind this
-  // round's fresh sends (stable sort ⇒ fresh-before-delayed per inbox).
-  if (fault_plan_.has_value()) inject_deferred();
-  const std::uint32_t k = graph_.num_nodes();
-  inbox_offset_[0] = 0;
-  for (std::uint32_t v = 0; v < k; ++v) {
-    inbox_offset_[v + 1] = inbox_offset_[v] + pending_count_[v];
-  }
-  std::copy(inbox_offset_.begin(), inbox_offset_.begin() + k,
-            cursor_.begin());
-  // The pending slab becomes the delivered slab; payload_begin offsets in
-  // the records stay valid across the swap.
-  std::swap(pending_payload_, delivered_payload_);
-  delivered_records_.resize(pending_records_.size());
-  for (const detail::ArenaRecord& rec : pending_records_) {
-    delivered_records_[cursor_[rec.to]++] = rec;
-  }
-  pending_records_.clear();
-  pending_payload_.clear();
-  std::fill(pending_count_.begin(), pending_count_.end(), 0);
 }
 
 void Engine::run(const std::vector<NodeProgram*>& programs) {
@@ -257,23 +221,18 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
       throw std::invalid_argument("Engine::run: null program");
     }
   }
+  const auto [shard_first, shard_last] = transport_->shard(k);
 
   // Full round-state reset, preserving every buffer's capacity so repeated
-  // runs on one engine stay allocation-free after warm-up.
+  // runs on one engine stay allocation-free after warm-up. The transport
+  // resets its own delivery buffers (including any deferred messages a run
+  // aborted mid-flight left queued) in begin_run.
   metrics_ = EngineMetrics{};
   current_round_ = 0;
   halted_.assign(k, false);
-  pending_records_.clear();
-  pending_payload_.clear();
-  delivered_records_.clear();
-  delivered_payload_.clear();
-  std::fill(pending_count_.begin(), pending_count_.end(), 0);
+  halt_key_.assign(k, kNeverHalted);
   std::fill(last_sent_round_.begin(), last_sent_round_.end(), kNeverSent);
-  // Deferred-delivery state must go too: a run aborted mid-flight (e.g. a
-  // ProtocolViolation on a pooled engine) may have left delayed messages
-  // queued, and replaying them into the next trial would corrupt it.
-  deferred_records_.clear();
-  deferred_payload_.clear();
+  transport_->begin_run(k, fault_plan_.has_value(), *this);
   crash_cursor_ = 0;
   message_faults_ =
       fault_plan_.has_value() && fault_plan_->has_message_faults();
@@ -294,9 +253,10 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
 
   // Resolve the trace sink for this run: an attached sink wins; otherwise —
   // unless set_env_trace(false) opted this engine out — DUT_TRACE names a
-  // JSONL transcript (fresh per run, appended to the file). The writer lives
-  // only for this run so the process-wide file lock it holds is released on
-  // every exit path, including throws.
+  // JSONL transcript (fresh per run, appended to the file). Sharded
+  // transports suffix the path so every rank writes its own shard. The
+  // writer lives only for this run so the process-wide file lock it holds is
+  // released on every exit path, including throws.
   std::unique_ptr<obs::JsonlTraceWriter> env_writer;
   active_sink_ = trace_sink_;
   if (active_sink_ == nullptr && env_trace_ && obs::enabled()) {
@@ -304,7 +264,8 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
         path != nullptr && *path != '\0') {
       const std::uint64_t tail =
           obs::env_u64("DUT_TRACE_TAIL", 0, 1ULL << 32).value_or(0);
-      env_writer = std::make_unique<obs::JsonlTraceWriter>(path, tail);
+      env_writer = std::make_unique<obs::JsonlTraceWriter>(
+          std::string(path) + transport_->trace_suffix(), tail);
       active_sink_ = env_writer.get();
     }
   }
@@ -328,121 +289,151 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
     active_sink_->on_run_start(info);
   }
 
+  // Every rank derives all k streams (not just its shard's) so stream
+  // identity is a function of (seed, node id) alone.
   rngs_.clear();
   rngs_.reserve(k);
   for (std::uint32_t v = 0; v < k; ++v) {
     rngs_.push_back(stats::derive_stream(seed, v));
   }
 
-  std::uint32_t active = k;
-  while (active > 0) {
-    if (current_round_ >= config_.max_rounds) {
-      const std::string detail = "protocol did not terminate within " +
-                                 std::to_string(config_.max_rounds) +
-                                 " rounds (" + std::to_string(active) +
-                                 " nodes still active)";
-      trace_violation("round_limit", detail);
-      throw RoundLimitExceeded(detail);
-    }
-    // Deliver last round's sends.
-    flip_round();
-
-    // Crash-stop: node v executes rounds < r, so it is removed here, after
-    // its round-r inbox materialized but before it could read it.
-    if (fault_plan_.has_value()) {
-      const auto& schedule = fault_plan_->crash_schedule();
-      while (crash_cursor_ < schedule.size() &&
-             schedule[crash_cursor_].first <= current_round_) {
-        const std::uint32_t v = schedule[crash_cursor_].second;
-        ++crash_cursor_;
-        if (v >= k || halted_[v]) continue;
-        halted_[v] = true;
-        --active;
-        ++metrics_.faults.crashes;
-        emit_fault("crash", v, v);
-        if (active_sink_ != nullptr) active_sink_->on_halt(current_round_, v);
+  // `local_active` counts this shard's live nodes; `active` is the all-rank
+  // sum (identical: in-process the transport's sync is the identity). The
+  // sync points are fixed — once before the loop, once after the crash
+  // block, once after execution — so every rank runs the same sequence and
+  // a step counter suffices to pair the exchanges.
+  std::uint64_t local_active = shard_last - shard_first;
+  std::uint64_t active = transport_->sync_active(local_active);
+  try {
+    while (active > 0) {
+      if (current_round_ >= config_.max_rounds) {
+        const std::string detail = "protocol did not terminate within " +
+                                   std::to_string(config_.max_rounds) +
+                                   " rounds (" + std::to_string(active) +
+                                   " nodes still active)";
+        trace_violation("round_limit", detail);
+        throw RoundLimitExceeded(detail);
       }
-    }
+      // Deliver last round's sends.
+      transport_->flip_round(current_round_);
 
-    if (active_sink_ != nullptr) {
-      active_sink_->on_round(current_round_, active);
-      if (trace_delivers_) {
-        for (std::uint32_t v = 0; v < k; ++v) {
-          for (std::size_t i = inbox_offset_[v]; i < inbox_offset_[v + 1];
-               ++i) {
-            const detail::ArenaRecord& rec = delivered_records_[i];
-            active_sink_->on_deliver(current_round_, rec.sender, v, rec.bits);
+      // Crash-stop: node v executes rounds < r, so it is removed here, after
+      // its round-r inbox materialized but before it could read it.
+      if (fault_plan_.has_value()) {
+        const auto& schedule = fault_plan_->crash_schedule();
+        while (crash_cursor_ < schedule.size() &&
+               schedule[crash_cursor_].first <= current_round_) {
+          const std::uint32_t v = schedule[crash_cursor_].second;
+          ++crash_cursor_;
+          if (v >= k || v < shard_first || v >= shard_last || halted_[v]) {
+            continue;
+          }
+          halted_[v] = true;
+          halt_key_[v] = halt_key_crash(current_round_);
+          --local_active;
+          ++metrics_.faults.crashes;
+          emit_fault("crash", v, v);
+          if (active_sink_ != nullptr) {
+            active_sink_->on_halt(current_round_, v);
           }
         }
       }
-    }
-    const std::uint64_t messages_before = metrics_.messages;
-    const std::uint64_t bits_before = metrics_.total_bits;
+      active = transport_->sync_active(local_active);
 
-    for (std::uint32_t v = 0; v < k; ++v) {
-      if (halted_[v]) continue;
-      NodeContext ctx;
-      ctx.engine_ = this;
-      ctx.id_ = v;
-      ctx.round_ = current_round_;
-      ctx.neighbors_ = graph_.neighbors(v);
-      ctx.inbox_ = InboxView(delivered_records_.data() + inbox_offset_[v],
-                             inbox_offset_[v + 1] - inbox_offset_[v],
-                             delivered_payload_.data());
-      ctx.rng_ = &rngs_[v];
-      bool halted_flag = false;
-      ctx.halted_ = &halted_flag;
-      programs[v]->on_round(ctx);
-      if (halted_flag) {
-        halted_[v] = true;
-        --active;
-        if (active_sink_ != nullptr) {
-          active_sink_->on_halt(current_round_, v);
-        }
-        if (pending_count_[v] != 0 && !fault_plan_.has_value()) {
-          // A same-round earlier neighbor already queued a message for a
-          // node that has just halted: the protocol's termination is racy.
-          // In fault mode this is routine (retransmissions race halts) and
-          // the queued messages simply land in a dead inbox.
-          const std::string detail = "node " + std::to_string(v) +
-                                     " halted with queued incoming messages";
-          trace_violation("protocol", detail);
-          throw ProtocolViolation(detail);
+      if (active_sink_ != nullptr) {
+        active_sink_->on_round(current_round_, active);
+        if (trace_delivers_) {
+          for (std::uint32_t v = shard_first; v < shard_last; ++v) {
+            for (const MessageView m : transport_->inbox(v)) {
+              active_sink_->on_deliver(current_round_, m.sender, v, m.bits);
+            }
+          }
         }
       }
-    }
-    if (instrumented) {
-      static obs::Histogram& round_messages =
-          obs::histogram("net.round.messages");
-      static obs::Histogram& round_bits = obs::histogram("net.round.bits");
-      round_messages.record(metrics_.messages - messages_before);
-      round_bits.record(metrics_.total_bits - bits_before);
-    }
-    ++current_round_;
-  }
-  metrics_.rounds = current_round_;
-  if (const std::string breach = ledger_.finish_run(metrics_.rounds);
-      !breach.empty()) {
-    if (obs::enabled()) obs::counter("net.budget.violations").add();
-    trace_violation("budget", breach);
-  }
-  metrics_.budget = ledger_.usage();
+      const std::uint64_t messages_before = metrics_.messages;
+      const std::uint64_t bits_before = metrics_.total_bits;
 
-  // Quiescence check: nothing may remain in flight after everyone halted.
-  // Skipped in fault mode, where in-flight messages to halted nodes are the
-  // expected debris of a degraded network; delayed messages that never came
-  // due are accounted as expired.
-  if (fault_plan_.has_value()) {
-    for (const DeferredRecord& d : deferred_records_) {
-      ++metrics_.faults.expired;
-      emit_fault("expire", d.rec.sender, d.rec.to);
+      for (std::uint32_t v = shard_first; v < shard_last; ++v) {
+        if (halted_[v]) continue;
+        NodeContext ctx;
+        ctx.engine_ = this;
+        ctx.id_ = v;
+        ctx.round_ = current_round_;
+        ctx.neighbors_ = graph_.neighbors(v);
+        ctx.inbox_ = transport_->inbox(v);
+        ctx.rng_ = &rngs_[v];
+        bool halted_flag = false;
+        ctx.halted_ = &halted_flag;
+        programs[v]->on_round(ctx);
+        if (halted_flag) {
+          halted_[v] = true;
+          halt_key_[v] = halt_key_voluntary(current_round_, v);
+          --local_active;
+          if (active_sink_ != nullptr) {
+            active_sink_->on_halt(current_round_, v);
+          }
+          if (transport_->pending_to(v) != 0 && !fault_plan_.has_value()) {
+            // A same-round earlier neighbor already queued a message for a
+            // node that has just halted: the protocol's termination is racy.
+            // In fault mode this is routine (retransmissions race halts) and
+            // the queued messages simply land in a dead inbox.
+            const std::string detail =
+                "node " + std::to_string(v) +
+                " halted with queued incoming messages";
+            trace_violation("protocol", detail);
+            throw ProtocolViolation(detail);
+          }
+        }
+      }
+      if (instrumented) {
+        // Shard-local by construction: a sharded run's per-round histograms
+        // cover this rank's sends only (the run_end totals are global).
+        static obs::Histogram& round_messages =
+            obs::histogram("net.round.messages");
+        static obs::Histogram& round_bits = obs::histogram("net.round.bits");
+        round_messages.record(metrics_.messages - messages_before);
+        round_bits.record(metrics_.total_bits - bits_before);
+      }
+      ++current_round_;
+      active = transport_->sync_active(local_active);
     }
-    deferred_records_.clear();
-    deferred_payload_.clear();
-  } else if (!pending_records_.empty()) {
-    const std::string detail = "messages in flight after global termination";
-    trace_violation("protocol", detail);
-    throw ProtocolViolation(detail);
+    metrics_.rounds = current_round_;
+    if (const std::string breach = ledger_.finish_run(metrics_.rounds);
+        !breach.empty()) {
+      if (obs::enabled()) obs::counter("net.budget.violations").add();
+      trace_violation("budget", breach);
+    }
+    metrics_.budget = ledger_.usage();
+
+    // Quiescence check: nothing may remain in flight after everyone halted.
+    // Skipped in fault mode, where in-flight messages to halted nodes are
+    // the expected debris of a degraded network; delayed messages that never
+    // came due are accounted as expired (settle_run).
+    if (fault_plan_.has_value()) {
+      transport_->settle_run(current_round_);
+    } else if (transport_->has_undelivered()) {
+      const std::string detail = "messages in flight after global termination";
+      trace_violation("protocol", detail);
+      throw ProtocolViolation(detail);
+    }
+    // Fold per-rank tallies into the global figures every rank reports
+    // identically (identity in-process).
+    transport_->reduce_metrics(metrics_);
+  } catch (const ProtocolViolation&) {
+    transport_->abort_run(TransportAbortCode::kProtocolViolation);
+    throw;
+  } catch (const BandwidthExceeded&) {
+    transport_->abort_run(TransportAbortCode::kBandwidthExceeded);
+    throw;
+  } catch (const RoundLimitExceeded&) {
+    transport_->abort_run(TransportAbortCode::kRoundLimitExceeded);
+    throw;
+  } catch (const TransportAborted&) {
+    // A peer already published the abort; just unwind.
+    throw;
+  } catch (...) {
+    transport_->abort_run(TransportAbortCode::kOther);
+    throw;
   }
 
   if (instrumented) {
@@ -450,7 +441,9 @@ void Engine::run(const std::vector<NodeProgram*>& programs,
     obs::counter("net.messages").add(metrics_.messages);
     obs::counter("net.bits").add(metrics_.total_bits);
     // Per-run budget figures, one histogram record per completed run; the
-    // report's "budget" section is budget_from_snapshot() over these.
+    // report's "budget" section is budget_from_snapshot() over these. A
+    // sharded run records the post-reduction (global) figures, so the
+    // section matches the in-process run bit for bit.
     if (config_.model == Model::kCongest) {
       static obs::Histogram& rounds_used =
           obs::histogram("net.congest.rounds");

@@ -1,15 +1,37 @@
 #include "dut/net/protocol_driver.hpp"
 
+#include <stdexcept>
+
 namespace dut::net {
 
 ProtocolDriver::ProtocolDriver(const Graph& graph, EngineConfig base_config)
     : graph_(graph), base_config_(base_config) {}
 
+void ProtocolDriver::set_transport(Transport* transport) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_.size() != pool_.size()) {
+    throw std::logic_error(
+        "ProtocolDriver::set_transport: engines are leased");
+  }
+  transport_ = transport;
+  // A transport serves one engine at a time, so the pool collapses to a
+  // single engine; trials over it must run sequentially.
+  for (const std::unique_ptr<State>& state : pool_) {
+    state->engine.set_transport(transport_);
+  }
+}
+
 ProtocolDriver::Lease ProtocolDriver::acquire() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (idle_.empty()) {
+    if (transport_ != nullptr && !pool_.empty()) {
+      throw std::logic_error(
+          "ProtocolDriver::acquire: a driver with an attached transport is "
+          "single-lease; run trials sequentially");
+    }
     pool_.push_back(std::make_unique<State>(graph_, base_config_));
     idle_.push_back(pool_.back().get());
+    pool_.back()->engine.set_transport(transport_);
   }
   State* state = idle_.back();
   idle_.pop_back();

@@ -1,0 +1,193 @@
+#include "dut/obs/trace_merge.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dut::obs {
+
+namespace {
+
+std::string_view event_of(std::string_view line) {
+  constexpr std::string_view kPrefix = "{\"ev\":\"";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return {};
+  const std::size_t end = line.find('"', kPrefix.size());
+  if (end == std::string_view::npos) return {};
+  return line.substr(kPrefix.size(), end - kPrefix.size());
+}
+
+/// The line's "round" attribute, or `fallback` when absent (run_start and
+/// run_end carry none).
+std::uint64_t round_of(std::string_view line, std::uint64_t fallback) {
+  constexpr std::string_view kKey = "\"round\":";
+  const std::size_t at = line.find(kKey);
+  if (at == std::string_view::npos) return fallback;
+  std::uint64_t value = 0;
+  for (std::size_t i = at + kKey.size();
+       i < line.size() && line[i] >= '0' && line[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+  }
+  return value;
+}
+
+/// One run's lines from one rank, split into the splice groups.
+struct RankRun {
+  std::string run_start;
+  std::vector<std::string> markers;            ///< round marker lines
+  std::vector<std::vector<std::string>> pre;   ///< [R]: before marker R
+  std::vector<std::vector<std::string>> dlv;   ///< [R]: deliver prefix
+  std::vector<std::vector<std::string>> exec;  ///< [R]: execution lines
+  std::vector<std::string> tail;               ///< post-loop, pre-run_end
+  std::string run_end;                         ///< empty if the run aborted
+};
+
+/// Splits one shard file into runs and each run into splice groups. The
+/// grouping needs no lookahead: within the stretch between two markers, a
+/// line's own round attribute says whether it belongs to the previous
+/// marker's execution (== R) or the next marker's preamble (> R).
+std::vector<RankRun> parse_shard(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("merge_trace_shards: cannot open " + path);
+  }
+  std::vector<RankRun> runs;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::string_view ev = event_of(line);
+    if (ev == "run_start") {
+      runs.emplace_back();
+      runs.back().run_start = line;
+      continue;
+    }
+    if (runs.empty()) {
+      throw std::runtime_error("merge_trace_shards: " + path +
+                               " has events before any run_start");
+    }
+    RankRun& run = runs.back();
+    if (ev == "round") {
+      const std::uint64_t r = round_of(line, 0);
+      if (r != run.markers.size()) {
+        throw std::runtime_error("merge_trace_shards: " + path +
+                                 " has a non-consecutive round marker");
+      }
+      run.markers.push_back(line);
+      run.pre.resize(run.markers.size());
+      run.dlv.resize(run.markers.size());
+      run.exec.resize(run.markers.size());
+      // Pre-marker lines for round r were buffered in tail until now.
+      run.pre[r] = std::move(run.tail);
+      run.tail.clear();
+      continue;
+    }
+    if (ev == "run_end") {
+      run.run_end = line;
+      continue;
+    }
+    if (run.markers.empty()) {
+      run.tail.push_back(line);  // becomes pre[0] at the first marker
+      continue;
+    }
+    const std::uint64_t current = run.markers.size() - 1;
+    const std::uint64_t r = round_of(line, current);
+    if (r <= current) {
+      if (ev == "deliver" && run.exec[current].empty()) {
+        run.dlv[current].push_back(line);
+      } else {
+        run.exec[current].push_back(line);
+      }
+    } else {
+      run.tail.push_back(line);  // next round's preamble, or post-loop
+    }
+  }
+  return runs;
+}
+
+void require_identical(const std::string& what, std::size_t run,
+                       const std::string& expected, const std::string& got,
+                       const std::string& path) {
+  if (expected != got) {
+    throw std::runtime_error(
+        "merge_trace_shards: rank shard " + path + " disagrees on the " +
+        what + " line of run " + std::to_string(run) +
+        " — the determinism contract is broken");
+  }
+}
+
+}  // namespace
+
+std::size_t merge_trace_shards(const std::string& base_path,
+                               std::uint32_t num_ranks, bool keep_shards) {
+  if (num_ranks == 0) {
+    throw std::invalid_argument("merge_trace_shards: num_ranks == 0");
+  }
+  std::vector<std::string> paths;
+  std::vector<std::vector<RankRun>> shards;
+  paths.reserve(num_ranks);
+  shards.reserve(num_ranks);
+  for (std::uint32_t r = 0; r < num_ranks; ++r) {
+    paths.push_back(base_path + ".rank" + std::to_string(r));
+    shards.push_back(parse_shard(paths.back()));
+    if (shards[r].size() != shards[0].size()) {
+      throw std::runtime_error(
+          "merge_trace_shards: rank shards disagree on the number of runs");
+    }
+  }
+
+  std::ostringstream out;
+  for (std::size_t run = 0; run < shards[0].size(); ++run) {
+    const RankRun& lead = shards[0][run];
+    for (std::uint32_t r = 1; r < num_ranks; ++r) {
+      const RankRun& other = shards[r][run];
+      require_identical("run_start", run, lead.run_start, other.run_start,
+                        paths[r]);
+      if (other.markers.size() != lead.markers.size()) {
+        throw std::runtime_error(
+            "merge_trace_shards: rank shards disagree on the round count of "
+            "run " + std::to_string(run));
+      }
+      require_identical("run_end", run, lead.run_end, other.run_end,
+                        paths[r]);
+    }
+    out << lead.run_start << '\n';
+    for (std::size_t R = 0; R < lead.markers.size(); ++R) {
+      for (std::uint32_t r = 0; r < num_ranks; ++r) {
+        for (const std::string& l : shards[r][run].pre[R]) out << l << '\n';
+      }
+      for (std::uint32_t r = 1; r < num_ranks; ++r) {
+        require_identical("round marker", run, lead.markers[R],
+                          shards[r][run].markers[R], paths[r]);
+      }
+      out << lead.markers[R] << '\n';
+      for (std::uint32_t r = 0; r < num_ranks; ++r) {
+        for (const std::string& l : shards[r][run].dlv[R]) out << l << '\n';
+      }
+      for (std::uint32_t r = 0; r < num_ranks; ++r) {
+        for (const std::string& l : shards[r][run].exec[R]) out << l << '\n';
+      }
+    }
+    for (std::uint32_t r = 0; r < num_ranks; ++r) {
+      for (const std::string& l : shards[r][run].tail) out << l << '\n';
+    }
+    if (!lead.run_end.empty()) out << lead.run_end << '\n';
+  }
+
+  std::ofstream merged(base_path, std::ios::binary | std::ios::app);
+  if (!merged.good()) {
+    throw std::runtime_error("merge_trace_shards: cannot open " + base_path);
+  }
+  merged << out.str();
+  merged.close();
+
+  if (!keep_shards) {
+    for (const std::string& p : paths) std::filesystem::remove(p);
+  }
+  return shards[0].size();
+}
+
+}  // namespace dut::obs

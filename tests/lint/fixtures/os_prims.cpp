@@ -1,0 +1,17 @@
+// Fixture: OS primitives that must stay confined to the net transport
+// layer, plus a digit separator that must not be mistaken for a char
+// literal (the violations after it still have to be seen).
+
+#include <cstdint>
+
+void* grab_pages(std::size_t bytes);
+
+void os_prims_fixture() {
+  constexpr std::uint64_t kBudget = 120'000;  // digit separators stay code
+  void* base = mmap(nullptr, kBudget, 0, 0, -1, 0);  // line 12
+  (void)base;
+  const int child = fork();  // line 14
+  (void)child;
+  nanosleep(nullptr, nullptr);  // line 16
+  helper.fork();  // member call: not the OS primitive
+}

@@ -119,6 +119,52 @@ TEST(LintRules, ProtocolRulesFireOutsideTheFunnelFiles) {
   EXPECT_EQ(count_rule(funnel, "bits-funnel"), 0u);
 }
 
+TEST(LintRules, OsPrimitivesAreConfinedToTheTransportLayer) {
+  // mmap / fork / nanosleep in library code are findings; the member call
+  // `helper.fork()` is not. The digit separator in 120'000 must not hide
+  // the violations after it behind a phantom char literal.
+  const LintResult result =
+      run_lint({scan_fixture("os_prims.cpp", "src/core/src/os_prims.cpp")});
+  EXPECT_EQ(count_rule(result, "os-primitives-confined"), 3u);
+
+  // The same content inside the transport layer (either tree) is the
+  // sanctioned home for these primitives.
+  const LintResult in_src = run_lint({scan_fixture(
+      "os_prims.cpp", "src/net/src/transport/os_prims.cpp")});
+  EXPECT_EQ(count_rule(in_src, "os-primitives-confined"), 0u);
+  const LintResult in_hdr = run_lint({scan_fixture(
+      "os_prims.cpp", "src/net/include/dut/net/transport/os_prims.hpp")});
+  EXPECT_EQ(count_rule(in_hdr, "os-primitives-confined"), 0u);
+}
+
+TEST(LintRules, WireCastFunnelCoversTheShmSerializationFile) {
+  // p_rules.cpp carries one reinterpret_cast; under the shm serialization
+  // funnel path it is sanctioned, anywhere else in the transport it is not.
+  const LintResult funnel = run_lint({scan_fixture(
+      "p_rules.cpp", "src/net/src/transport/shm_session.cpp")});
+  EXPECT_EQ(count_rule(funnel, "wire-cast-confined"), 0u);
+
+  const LintResult elsewhere = run_lint({scan_fixture(
+      "p_rules.cpp", "src/net/src/transport/shm_transport.cpp")});
+  EXPECT_EQ(count_rule(elsewhere, "wire-cast-confined"), 1u);
+  // ... though that file is part of the bits funnel (wire deserialization
+  // restores sender-side accounting).
+  EXPECT_EQ(count_rule(elsewhere, "bits-funnel"), 0u);
+}
+
+TEST(LintScan, DigitSeparatorsAreNotCharLiterals) {
+  // Regression: `120'000 ... 1'000'000` used to scrub everything between
+  // the two separators as one char literal, hiding real violations.
+  const std::string text =
+      "constexpr unsigned long long a = 120'000;\n"
+      "std::random_device entropy;\n"
+      "constexpr unsigned long long b = 1'000'000;\n"
+      "char c = 'x';  // a real char literal still scrubs\n";
+  const LintResult result =
+      run_lint({scan_file("src/core/src/seps.cpp", text)});
+  EXPECT_EQ(count_rule(result, "no-random-device"), 1u);
+}
+
 TEST(LintRules, VerdictProducersNeedNodiscardAndCallersMustConsume) {
   const LintResult result = run_lint(
       {scan_fixture("verdict_api.hpp",

@@ -9,7 +9,7 @@
 //   dut_cli run-congest    --n 4096 --k 4096 --eps 1.2 --family paninski
 //                          [--topology random] [--trials 20] [--seed 1]
 //                          [--faults drop=0.05,dup=0.01,crash=3@0+17@12]
-//                          [--quorum Q] [--retransmits R]
+//                          [--quorum Q] [--retransmits R] [--workers W]
 //   dut_cli families       --n 4096
 //
 // Families for run-threshold / run-congest: uniform, paninski, heavy (20%
@@ -18,12 +18,23 @@
 // --faults takes a net::FaultPlan spec (drop= dup= corrupt= delay=P[:MAX]
 // crash=NODE@ROUND[+...] seed=S) and switches run-congest to the resilient
 // protocol with timeout-and-quorum decisions.
+//
+// --workers W runs the sweep sharded over W rank processes: the coordinator
+// creates a named shm session, re-execs itself W-1 times with the internal
+// `--worker <rank> --shm <name>` prefix (workers re-parse the identical
+// run-congest flags, open the session and serve trials), and merges
+// verdicts that are bit-identical to the single-process run at the same
+// seeds (the transport_congest_gate ctest target holds this equality).
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dut/dut.hpp"
 
@@ -44,7 +55,7 @@ using namespace dut;
                "  run-congest    --n N --k K --eps E [--family F]\n"
                "                 [--topology random|ring|star|line|grid]\n"
                "                 [--trials T] [--seed S] [--faults SPEC]\n"
-               "                 [--quorum Q] [--retransmits R]\n"
+               "                 [--quorum Q] [--retransmits R] [--workers W]\n"
                "  families       --n N\n");
   std::exit(2);
 }
@@ -227,67 +238,174 @@ net::Graph make_topology(const std::string& name, std::uint32_t k) {
   usage(("unknown topology '" + name + "'").c_str());
 }
 
-int run_congest_cmd(const Args& args) {
+// Everything a run-congest invocation resolves from its flags alone. The
+// sharded path re-execs the binary per worker rank with the same flags, so
+// this resolution must be a pure function of the arguments — coordinator
+// and workers each build it independently and must agree bit for bit.
+struct CongestRun {
+  congest::CongestPlan plan;
+  net::Graph graph;
+  core::Distribution mu;
+  std::string family;
+  std::uint64_t trials;
+  std::uint64_t seed;
+  bool resilient;
+  std::optional<net::FaultPlan> faults;
+  congest::CongestResilience resilience;
+};
+
+CongestRun make_congest_run(const Args& args) {
   const std::uint64_t n = args.integer("n", 0, true);
   const auto k = static_cast<std::uint32_t>(args.integer("k", 0, true));
   const double eps = args.real("eps", 0.0, true);
   const double p = args.real("p", 1.0 / 3.0);
-  const std::uint64_t trials = args.integer("trials", 20);
-  const std::uint64_t seed = args.integer("seed", 1);
-  const std::string family = args.text("family", "uniform");
   const std::string fault_spec = args.text("faults", "");
 
-  const auto plan = congest::plan_congest(n, k, eps, p);
-  if (!plan.feasible) {
-    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
-    return 1;
+  CongestRun run{congest::plan_congest(n, k, eps, p),
+                 make_topology(args.text("topology", "random"), k),
+                 make_family(args.text("family", "uniform"), n, eps),
+                 args.text("family", "uniform"),
+                 args.integer("trials", 20),
+                 args.integer("seed", 1),
+                 false,
+                 std::nullopt,
+                 congest::CongestResilience{}};
+  run.resilient = !fault_spec.empty() || args.flag("quorum") ||
+                  args.flag("retransmits");
+  if (run.resilient) {
+    run.faults = net::FaultPlan::parse(fault_spec);
+    run.resilience.enabled = true;
+    run.resilience.retransmits = args.integer("retransmits", 2);
+    run.resilience.quorum_nodes = args.integer("quorum", 0);
   }
-  const net::Graph graph = make_topology(args.text("topology", "random"), k);
-  const core::Distribution mu = make_family(family, n, eps);
-  const core::AliasSampler sampler(mu);
+  return run;
+}
 
+congest::ShardedCongestOptions make_sharded_options(const CongestRun& run,
+                                                    std::uint32_t workers) {
+  congest::ShardedCongestOptions options;
+  options.num_ranks = workers;
+  options.seeds.resize(run.trials);
+  for (std::uint64_t t = 0; t < run.trials; ++t) {
+    options.seeds[t] = run.seed + t;
+  }
+  options.resilience = run.resilience;
+  options.faults = run.faults.has_value() ? &*run.faults : nullptr;
+  return options;
+}
+
+void print_congest_summary(const CongestRun& run,
+                           const std::vector<congest::CongestRunResult>& rs) {
   std::uint64_t rejects = 0;
   std::uint64_t quorum_misses = 0;
   std::uint64_t faults_injected = 0;
   std::uint64_t rounds = 0;
-  const bool resilient = !fault_spec.empty() || args.flag("quorum") ||
-                         args.flag("retransmits");
-  if (resilient) {
-    const net::FaultPlan faults = net::FaultPlan::parse(fault_spec);
-    congest::CongestResilience opts;
-    opts.enabled = true;
-    opts.retransmits = args.integer("retransmits", 2);
-    opts.quorum_nodes = args.integer("quorum", 0);
-    congest::CongestSetup setup =
-        congest::make_congest_setup(plan, graph, opts, &faults);
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const auto r =
-          congest::run_congest_uniformity(plan, setup, sampler, seed + t);
-      rejects += r.verdict.rejects();
-      quorum_misses += !r.quorum_met;
-      faults_injected += r.metrics.faults.total();
-      rounds = r.metrics.rounds;
-    }
-  } else {
-    net::ProtocolDriver driver = congest::make_congest_driver(plan, graph);
-    for (std::uint64_t t = 0; t < trials; ++t) {
-      const auto r =
-          congest::run_congest_uniformity(plan, driver, sampler, seed + t);
-      rejects += r.verdict.rejects();
-      rounds = r.metrics.rounds;
-    }
+  for (const congest::CongestRunResult& r : rs) {
+    rejects += r.verdict.rejects();
+    quorum_misses += !r.quorum_met;
+    faults_injected += r.metrics.faults.total();
+    rounds = r.metrics.rounds;
   }
-  std::printf("family=%s  L1(mu,U)=%.3f  protocol=%s\n", family.c_str(),
-              mu.l1_to_uniform(), resilient ? "resilient" : "plain");
+  std::printf("family=%s  L1(mu,U)=%.3f  protocol=%s\n", run.family.c_str(),
+              run.mu.l1_to_uniform(), run.resilient ? "resilient" : "plain");
   std::printf("network rejected %llu / %llu runs  (last run: %llu rounds)\n",
               static_cast<unsigned long long>(rejects),
-              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(rs.size()),
               static_cast<unsigned long long>(rounds));
-  if (resilient) {
+  if (run.resilient) {
     std::printf("quorum missed in %llu runs; %llu faults injected in total\n",
                 static_cast<unsigned long long>(quorum_misses),
                 static_cast<unsigned long long>(faults_injected));
   }
+}
+
+int run_congest_sharded(const Args& args, const char* exe,
+                        const std::vector<std::string>& raw_args) {
+  const auto workers =
+      static_cast<std::uint32_t>(args.integer("workers", 0, true));
+  const CongestRun run = make_congest_run(args);
+  if (!run.plan.feasible) {
+    std::printf("infeasible: %s\n", run.plan.infeasible_reason.c_str());
+    return 1;
+  }
+  const congest::ShardedCongestOptions options =
+      make_sharded_options(run, workers);
+  const core::AliasSampler sampler(run.mu);
+
+  const std::string shm_name = "/dut_cli_" + std::to_string(::getpid());
+  net::ShmSession session = net::ShmSession::create_named(
+      shm_name, net::ShmSession::Options{.num_ranks = workers});
+  // Workers re-exec this binary with the identical run-congest arguments;
+  // the injected --worker/--shm prefix routes them into serve mode.
+  const std::vector<pid_t> pids =
+      net::spawn_worker_processes(exe, shm_name, workers, raw_args);
+
+  std::vector<congest::CongestRunResult> results;
+  try {
+    results = congest::coordinate_congest_uniformity(session, run.plan,
+                                                     run.graph, sampler,
+                                                     options);
+  } catch (...) {
+    session.end_session();
+    (void)net::wait_worker_processes(pids);
+    throw;
+  }
+  session.end_session();
+  if (!net::wait_worker_processes(pids)) {
+    std::fprintf(stderr, "error: a worker process exited uncleanly\n");
+    return 1;
+  }
+  std::printf("sharded over %u rank processes (shm session %s)\n", workers,
+              shm_name.c_str());
+  print_congest_summary(run, results);
+  return 0;
+}
+
+int run_congest_worker(std::uint32_t rank, const std::string& shm_name,
+                       const Args& args) {
+  const CongestRun run = make_congest_run(args);
+  if (!run.plan.feasible) return 1;
+  const congest::ShardedCongestOptions options = make_sharded_options(
+      run, 0);  // num_ranks/seeds unused by the serve loop
+  const core::AliasSampler sampler(run.mu);
+  net::ShmSession session = net::ShmSession::open_named(shm_name);
+  congest::serve_congest_uniformity(session, rank, run.plan, run.graph,
+                                    sampler, options);
+  return 0;
+}
+
+int run_congest_cmd(const Args& args, const char* exe,
+                    const std::vector<std::string>& raw_args) {
+  if (args.integer("workers", 0) > 1) {
+    return run_congest_sharded(args, exe, raw_args);
+  }
+  const CongestRun run = make_congest_run(args);
+  if (!run.plan.feasible) {
+    std::printf("infeasible: %s\n", run.plan.infeasible_reason.c_str());
+    return 1;
+  }
+  const core::AliasSampler sampler(run.mu);
+
+  std::vector<congest::CongestRunResult> results;
+  results.reserve(run.trials);
+  if (run.resilient) {
+    congest::CongestSetup setup = congest::make_congest_setup(
+        run.plan, run.graph, run.resilience, &*run.faults);
+    for (std::uint64_t t = 0; t < run.trials; ++t) {
+      results.push_back(congest::run_congest_uniformity(run.plan, setup,
+                                                        sampler,
+                                                        run.seed + t));
+    }
+  } else {
+    net::ProtocolDriver driver =
+        congest::make_congest_driver(run.plan, run.graph);
+    for (std::uint64_t t = 0; t < run.trials; ++t) {
+      results.push_back(congest::run_congest_uniformity(run.plan, driver,
+                                                        sampler,
+                                                        run.seed + t));
+    }
+  }
+  print_congest_summary(run, results);
   return 0;
 }
 
@@ -321,15 +439,40 @@ int families_cmd(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Internal worker mode (spawned by --workers): `dut_cli --worker <rank>
+  // --shm <name> run-congest <flags...>` — strip the prefix, rebuild the
+  // identical run from the remaining flags and serve trials until the
+  // coordinator shuts the session down.
+  if (argc >= 6 && std::string(argv[1]) == "--worker" &&
+      std::string(argv[3]) == "--shm") {
+    const auto rank =
+        static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr, 10));
+    const std::string shm_name = argv[4];
+    if (std::string(argv[5]) != "run-congest") {
+      usage("--worker mode only supports run-congest");
+    }
+    const Args args(argc, argv, 6);
+    try {
+      return run_congest_worker(rank, shm_name, args);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "worker %u error: %s\n", rank, error.what());
+      return 1;
+    }
+  }
+
   if (argc < 2) usage();
   const std::string command = argv[1];
   const Args args(argc, argv, 2);
+  // The raw tail (command included) is what a re-exec'd worker replays.
+  std::vector<std::string> raw_args;
+  for (int i = 1; i < argc; ++i) raw_args.emplace_back(argv[i]);
   try {
     if (command == "plan-threshold") return plan_threshold_cmd(args);
     if (command == "plan-and") return plan_and_cmd(args);
     if (command == "plan-congest") return plan_congest_cmd(args);
     if (command == "run-threshold") return run_threshold_cmd(args);
-    if (command == "run-congest") return run_congest_cmd(args);
+    if (command == "run-congest")
+      return run_congest_cmd(args, argv[0], raw_args);
     if (command == "families") return families_cmd(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

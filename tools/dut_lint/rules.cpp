@@ -35,8 +35,13 @@ constexpr RuleInfo kRules[] = {
      "unordered container iteration order is unspecified; verdicts, traces "
      "and reports must not depend on it (tests exempt)"},
     {"wire-cast-confined",
-     "reinterpret_cast on wire payloads is confined to net/message.hpp; the "
-     "declared-width field API is the only wire format"},
+     "reinterpret_cast on wire/shared bytes is confined to net/message.hpp "
+     "and the transport serialization funnel (net transport shm_session); "
+     "the declared-width field API is the only wire format"},
+    {"os-primitives-confined",
+     "process, shared-memory and timing OS primitives (mmap/shm_open/fork/"
+     "nanosleep/...) live only in the net transport layer; protocol and "
+     "library code stays single-process and deterministic"},
     {"bits-funnel",
      "Message/Verdict bit totals are accumulated by push_field and "
      "Verdict::make; manual .bits writes under-report the CONGEST budget"},
@@ -381,21 +386,61 @@ void rule_no_unordered_iteration(const ScannedFile& file, Emit out) {
   }
 }
 
+/// The transport layer's serialization funnel: the one .cpp that may view a
+/// mapped shared-memory segment as the layout structs (see
+/// ShmSession::control()). Everything else in the transport works on
+/// typed records and word buffers.
+bool in_transport_layer(std::string_view path) {
+  return path.rfind("src/net/src/transport/", 0) == 0 ||
+         path.rfind("src/net/include/dut/net/transport/", 0) == 0;
+}
+
 void rule_wire_cast_confined(const ScannedFile& file, Emit out) {
-  if (file.path == "src/net/include/dut/net/message.hpp") return;
+  if (file.path == "src/net/include/dut/net/message.hpp" ||
+      file.path == "src/net/src/transport/shm_session.cpp") {
+    return;
+  }
   for (std::size_t i = 0; i < file.tokens.size(); ++i) {
     if (file.tokens[i].is_ident &&
         file.tokens[i].text == "reinterpret_cast") {
       emit(out, "wire-cast-confined", file, file.tokens[i].line,
-           "reinterpret_cast outside net/message.hpp: wire payloads go "
-           "through the declared-width field API only");
+           "reinterpret_cast outside net/message.hpp and the transport "
+           "serialization funnel: wire payloads go through the "
+           "declared-width field API only");
     }
   }
 }
 
+void rule_os_primitives_confined(const ScannedFile& file, Emit out) {
+  if (in_transport_layer(file.path)) return;
+  static const std::set<std::string> kBanned = {
+      "mmap",       "munmap",     "mremap",      "mprotect",
+      "shm_open",   "shm_unlink", "ftruncate",   "fork",
+      "vfork",      "execv",      "execve",      "execvp",
+      "waitpid",    "socket",     "socketpair",  "nanosleep",
+      "usleep",     "sched_yield", "sleep_for",  "sleep_until"};
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].is_ident || kBanned.count(toks[i].text) == 0) continue;
+    if (!is_call(toks, i)) continue;
+    // this_thread::sleep_for / std::... qualifications still count; a
+    // member call on some unrelated type's .fork() does not.
+    if (member_access_before(toks, i)) continue;
+    emit(out, "os-primitives-confined", file, toks[i].line,
+         "OS primitive '" + toks[i].text +
+             "' outside the net transport layer: protocol and library code "
+             "must stay single-process and deterministic (src/net/"
+             "*/transport/ owns processes, shared memory and waits)");
+  }
+}
+
 void rule_bits_funnel(const ScannedFile& file, Emit out) {
+  // shm_transport.cpp deserializes records whose .bits were accounted by
+  // push_field on the sending rank; restoring the field from the wire is
+  // not new accounting.
   if (file.path == "src/net/include/dut/net/message.hpp" ||
       file.path == "src/net/src/engine.cpp" ||
+      file.path == "src/net/src/transport/shm_transport.cpp" ||
       file.path == "src/core/include/dut/core/verdict.hpp") {
     return;
   }
@@ -490,6 +535,7 @@ LintResult run_lint(const std::vector<ScannedFile>& files) {
     rule_no_mutable_static(scratch, candidates);
     rule_no_unordered_iteration(scratch, candidates);
     rule_wire_cast_confined(scratch, candidates);
+    rule_os_primitives_confined(scratch, candidates);
     rule_bits_funnel(scratch, candidates);
     rule_verdict_discarded(scratch, corpus, candidates);
     for (const auto& [decl_file, tok] : corpus.unprotected_decls) {

@@ -24,6 +24,23 @@ struct CommentSpan {
   std::size_t last_line = 0;
 };
 
+/// A `'` inside a numeric literal (120'000, 0xFF'FF) is a digit separator,
+/// not a char-literal quote: scan back over the word containing it — if that
+/// word starts with a digit it is a pp-number. Without this, everything
+/// between two separators would be scrubbed as one giant char literal.
+bool is_digit_separator(std::string_view text, std::size_t i) {
+  std::size_t j = i;
+  while (j > 0) {
+    const char p = text[j - 1];
+    if (std::isalnum(static_cast<unsigned char>(p)) || p == '_' || p == '\'') {
+      --j;
+    } else {
+      break;
+    }
+  }
+  return j < i && std::isdigit(static_cast<unsigned char>(text[j]));
+}
+
 /// Replaces comments and string/char literal contents with spaces (newlines
 /// survive, so line numbers are stable) and collects the comment texts.
 std::string scrub(std::string_view text, std::vector<CommentSpan>& comments) {
@@ -66,8 +83,12 @@ std::string scrub(std::string_view text, std::vector<CommentSpan>& comments) {
             code += ' ';
           }
         } else if (c == '\'') {
-          state = State::kChar;
-          code += ' ';
+          if (is_digit_separator(text, i)) {
+            code += c;
+          } else {
+            state = State::kChar;
+            code += ' ';
+          }
         } else {
           code += c;
         }

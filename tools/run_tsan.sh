@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Race-checks the parallel Monte-Carlo engine and the observability layer:
-# builds the stats + core + obs + net test binaries (and one traced
-# experiment) under ThreadSanitizer, then runs them with a worker pool
+# builds the stats + core + obs + net test binaries (and the traced
+# experiments) under ThreadSanitizer, then runs them with a worker pool
 # large enough to exercise every chunk-handoff path even on small CI
 # machines. Tracing is exercised concurrently: DUT_TRACE points every
 # parallel trial's engine at one transcript file, so the writer's
 # process-wide lock and the lock-free metrics registry both get contended.
+# dut_net_tests includes the ShmSession suites, whose thread-based
+# participants contend on the session's lockstep atomics (exchange parity
+# buffers, trial mailbox, rings) — the shm transport's synchronization
+# primitives under TSan; e16_transport then drives the forked multi-process
+# backend end to end with a traced, merged 2-rank trial.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,7 +19,7 @@ cmake --preset tsan -DDUT_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$(nproc)" \
   --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
            dut_integration_tests e7_token_packaging e8_congest e9_local \
-           e15_fault_tolerance dut_trace
+           e15_fault_tolerance e16_transport dut_trace
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -40,9 +45,12 @@ echo "== dut_integration_tests trial-parallel determinism (DUT_THREADS=${DUT_THR
 # validate even when the traced trial lands on a contended worker. E15 runs
 # the fault-injection sweeps, so the deferred-delivery slab, crash
 # schedule and fault-event tracing all get exercised under contention too.
+# E16 runs the multi-process shm transport (forked single-threaded rank
+# children over the shared session) and validates the merged transcript.
 tsan_trace_dir=$(mktemp -d)
 trap 'rm -rf "$tsan_trace_dir"' EXIT
-for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance; do
+for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance \
+           e16_transport; do
   echo "== traced $exp quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
   exp_dir="$tsan_trace_dir/$exp"
   mkdir -p "$exp_dir"
