@@ -54,7 +54,7 @@ int main() {
           monitor.observe(node, sampler.sample(rng));
         }
       }
-      const auto report = monitor.end_epoch();
+      const auto report = monitor.next_report();
       table.row()
           .add(report.epoch)
           .add(phase.label)

@@ -8,14 +8,37 @@
 // vote, and a network rule turns the vote counts into a single verdict.
 // Verdict captures exactly that, plus the resources the trial consumed, so
 // benches, tests and the CLI read every tester's result the same way.
+//
+// Anytime extension: sequential testers (stats::SequentialTester — the
+// serve layer's early-stopping collision testers, the fleet monitor) emit
+// verdicts *before* a fixed sample budget is exhausted, and may be asked
+// for one before any decision exists. `status` distinguishes the three
+// outcomes (an undecided verdict keeps accepts == true: no evidence of
+// non-uniformity has been produced yet), `samples_consumed` records what
+// the decision actually cost, and `confidence` carries the guaranteed
+// error bound of the emitted side. One-shot testers keep the two-state
+// world: Verdict::make derives status from accepts, and the anytime fields
+// stay at their "not tracked" zeros.
 
 #include <cstdint>
 
 namespace dut::core {
 
+/// Three-state outcome of an anytime tester. kUndecided means "not enough
+/// evidence yet" — only sequential testers ever emit it.
+enum class VerdictStatus : std::uint8_t {
+  kUndecided = 0,
+  kAccept = 1,
+  kReject = 2,
+};
+
 struct [[nodiscard]] Verdict {
   /// The network-level decision ("the input looks uniform").
   bool accepts = true;
+
+  /// Anytime status; Verdict::make keeps it in lockstep with `accepts`,
+  /// Verdict::make_anytime may set kUndecided (with accepts == true).
+  VerdictStatus status = VerdictStatus::kAccept;
 
   /// Decision statistic: the fraction of voters that rejected
   /// (votes_reject / votes_total; 0 when there are no voters).
@@ -23,7 +46,7 @@ struct [[nodiscard]] Verdict {
 
   /// Per-voter tallies. What a "voter" is depends on the rule: a node
   /// (0-round), a token package (CONGEST), an MIS node (LOCAL), a
-  /// repetition (amplified majority).
+  /// repetition (amplified majority), a sliding window (sequential).
   std::uint64_t votes_reject = 0;
   std::uint64_t votes_total = 0;
 
@@ -32,13 +55,22 @@ struct [[nodiscard]] Verdict {
   /// Total communication in bits (0 for the 0-round rules).
   std::uint64_t bits = 0;
 
+  /// Samples the tester actually consumed before deciding (0 = not
+  /// tracked; one-shot testers always spend their full planned budget).
+  std::uint64_t samples_consumed = 0;
+  /// 1 - (guaranteed error bound of the emitted side); 0 when undecided
+  /// or not tracked.
+  double confidence = 0.0;
+
   bool rejects() const noexcept { return !accepts; }
+  bool decided() const noexcept { return status != VerdictStatus::kUndecided; }
 
   [[nodiscard]] static Verdict make(bool accepts, std::uint64_t votes_reject,
                       std::uint64_t votes_total, std::uint64_t rounds = 0,
                       std::uint64_t bits = 0) noexcept {
     Verdict v;
     v.accepts = accepts;
+    v.status = accepts ? VerdictStatus::kAccept : VerdictStatus::kReject;
     v.votes_reject = votes_reject;
     v.votes_total = votes_total;
     v.score = votes_total == 0
@@ -47,6 +79,26 @@ struct [[nodiscard]] Verdict {
                         static_cast<double>(votes_total);
     v.rounds = rounds;
     v.bits = bits;
+    return v;
+  }
+
+  /// The anytime funnel: routes through make() (so score/tally/bits
+  /// accounting stays in one place), then overlays the sequential fields.
+  /// kUndecided maps to accepts == true — an undecided monitor has raised
+  /// no alarm. `confidence` is clamped to [0, 1] and forced to 0 while
+  /// undecided.
+  [[nodiscard]] static Verdict make_anytime(
+      VerdictStatus status, std::uint64_t votes_reject,
+      std::uint64_t votes_total, std::uint64_t samples_consumed,
+      double confidence, std::uint64_t rounds = 0,
+      std::uint64_t bits = 0) noexcept {
+    Verdict v = make(status != VerdictStatus::kReject, votes_reject,
+                     votes_total, rounds, bits);
+    v.status = status;
+    v.samples_consumed = samples_consumed;
+    if (confidence < 0.0) confidence = 0.0;
+    if (confidence > 1.0) confidence = 1.0;
+    v.confidence = status == VerdictStatus::kUndecided ? 0.0 : confidence;
     return v;
   }
 };

@@ -17,6 +17,7 @@
 //   local    — Luby MIS + LOCAL-model tester
 //   smp      — simultaneous-message-passing baselines and lower bounds
 //   monitor  — fleet-monitoring application layer
+//   serve    — sharded streaming verdict service on SequentialTester
 
 #include "dut/codes/basic_codes.hpp"
 #include "dut/codes/concatenated.hpp"
@@ -58,6 +59,10 @@
 #include "dut/obs/trace.hpp"
 #include "dut/obs/trace_merge.hpp"
 #include "dut/obs/trace_reader.hpp"
+#include "dut/serve/sequential_collision.hpp"
+#include "dut/serve/service.hpp"
+#include "dut/serve/stream_table.hpp"
+#include "dut/serve/workload.hpp"
 #include "dut/smp/equality.hpp"
 #include "dut/smp/lowerbound.hpp"
 #include "dut/smp/public_coin.hpp"
@@ -65,5 +70,6 @@
 #include "dut/stats/engine.hpp"
 #include "dut/stats/info.hpp"
 #include "dut/stats/rng.hpp"
+#include "dut/stats/sequential.hpp"
 #include "dut/stats/summary.hpp"
 #include "dut/stats/table.hpp"

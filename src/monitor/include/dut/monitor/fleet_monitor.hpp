@@ -9,21 +9,34 @@
 // every observation through the identity filter (each node's filter uses
 // its own private randomness, as the paper requires).
 //
-// Epoch semantics: an epoch ends when every node has filled its window of
-// plan.base.s samples; surplus observations carry over to the next epoch.
-// The per-epoch report carries the alarm verdict plus the pooled
-// collision estimate and the distance score from dut::core::estimators,
-// so operators see "how non-uniform" alongside "alarm or not".
+// Epoch semantics: an epoch closes automatically the moment every node has
+// filled its window of plan.base.s samples; surplus observations carry
+// over to the next epoch. Closed epochs queue an EpochReport — drain them
+// with reports_pending()/next_report(). The report carries the alarm
+// verdict plus the pooled collision estimate and the distance score from
+// dut::core::estimators, so operators see "how non-uniform" alongside
+// "alarm or not".
+//
+// SequentialTester facet (DESIGN.md §15): the monitor implements the
+// shared anytime contract. Its decision target is "has the fleet ever
+// alarmed" — kUndecided before the first epoch closes, kAccept while every
+// closed epoch is clean, and the absorbing kReject once any epoch alarms.
+// Unlike the one-shot families, the monitor never stops consuming: accept
+// is the anytime "healthy so far" answer and may still escalate to reject;
+// a reject is never retracted.
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <vector>
 
 #include "dut/core/distribution.hpp"
 #include "dut/core/estimators.hpp"
 #include "dut/core/identity_filter.hpp"
+#include "dut/core/verdict.hpp"
 #include "dut/core/zero_round.hpp"
 #include "dut/stats/rng.hpp"
+#include "dut/stats/sequential.hpp"
 
 namespace dut::monitor {
 
@@ -42,7 +55,7 @@ struct MonitorConfig {
   double grains_per_eps = 16.0;
 };
 
-class FleetMonitor {
+class FleetMonitor final : public stats::SequentialTester {
  public:
   /// Plans the epoch tester; throws std::invalid_argument if the
   /// (n, k, eps, p) regime is infeasible (the message names the planner's
@@ -60,13 +73,6 @@ class FleetMonitor {
   std::uint64_t effective_domain() const noexcept { return plan_.n; }
   double effective_epsilon() const noexcept { return plan_.epsilon; }
 
-  /// Feeds one observation (an element of {0..domain-1}) from `node`.
-  /// Observations beyond the node's current window carry over.
-  void observe(std::uint32_t node, std::uint64_t value);
-
-  /// True when every node has a full window for the current epoch.
-  bool epoch_ready() const noexcept { return ready_nodes_ == config_.nodes; }
-
   struct EpochReport {
     std::uint64_t epoch = 0;
     bool alarm = false;
@@ -80,19 +86,56 @@ class FleetMonitor {
     std::uint64_t samples_consumed = 0;
   };
 
-  /// Closes the epoch (requires epoch_ready()), resets windows, carries
-  /// surplus observations forward.
-  EpochReport end_epoch();
+  /// Feeds one observation (an element of {0..domain-1}) from `node`.
+  /// Epochs close automatically as windows fill (surplus carries over),
+  /// queueing one EpochReport per closed epoch. Returns the monitor's
+  /// status after the observation.
+  core::VerdictStatus observe(std::uint32_t node, std::uint64_t value);
+
+  // --- stats::SequentialTester ---
+
+  /// Single-feed entry point: observations are dealt to nodes round-robin
+  /// (node i gets arrivals i, i + k, i + 2k, ...).
+  core::VerdictStatus observe(std::uint64_t value) override;
+  core::VerdictStatus poll() const noexcept override { return status_; }
+  std::uint64_t samples_consumed() const noexcept override {
+    return consumed_;
+  }
+  /// Anytime verdict: votes are closed epochs, rejects are alarms.
+  [[nodiscard]] core::Verdict finalize() override;
+
+  /// Closed-but-unread epoch reports.
+  std::size_t reports_pending() const noexcept { return pending_.size(); }
+  /// Pops the oldest pending report; throws std::logic_error when none is
+  /// pending.
+  EpochReport next_report();
 
   std::uint64_t epochs_completed() const noexcept { return epoch_; }
   std::uint64_t alarms_raised() const noexcept { return alarms_; }
 
+  // --- deprecated pre-SequentialTester surface (kept one release) ---
+
+  [[deprecated("epochs close automatically; poll reports_pending()")]]
+  bool epoch_ready() const noexcept {
+    return !pending_.empty();
+  }
+  [[deprecated("use next_report()")]]
+  EpochReport end_epoch() {
+    return next_report();
+  }
+
  private:
+  void close_epoch();
+
   MonitorConfig config_;
   std::optional<core::IdentityFilter> filter_;
   core::ThresholdPlan plan_;
   std::vector<std::vector<std::uint64_t>> windows_;  // effective-domain values
   std::vector<stats::Xoshiro256> node_rngs_;         // filter randomness
+  std::deque<EpochReport> pending_;
+  core::VerdictStatus status_ = core::VerdictStatus::kUndecided;
+  std::uint64_t consumed_ = 0;
+  std::uint32_t next_node_ = 0;
   std::uint32_t ready_nodes_ = 0;
   std::uint64_t epoch_ = 0;
   std::uint64_t alarms_ = 0;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
 #include "dut/core/gap_tester.hpp"
 #include "dut/obs/metrics.hpp"
@@ -45,7 +46,8 @@ FleetMonitor::FleetMonitor(MonitorConfig config)
   }
 }
 
-void FleetMonitor::observe(std::uint32_t node, std::uint64_t value) {
+core::VerdictStatus FleetMonitor::observe(std::uint32_t node,
+                                          std::uint64_t value) {
   if (node >= config_.nodes) {
     throw std::invalid_argument("FleetMonitor::observe: unknown node");
   }
@@ -54,6 +56,7 @@ void FleetMonitor::observe(std::uint32_t node, std::uint64_t value) {
   }
   const std::uint64_t effective =
       filter_ ? filter_->apply(value, node_rngs_[node]) : value;
+  ++consumed_;
   auto& window = windows_[node];
   window.push_back(effective);
   if (window.size() == plan_.base.s) ++ready_nodes_;
@@ -61,14 +64,34 @@ void FleetMonitor::observe(std::uint32_t node, std::uint64_t value) {
     static obs::Counter& observations = obs::counter("monitor.observations");
     observations.add();
   }
+  // A burst can fill several epochs at once; close them all, in order.
+  while (ready_nodes_ == config_.nodes) close_epoch();
+  return status_;
 }
 
-FleetMonitor::EpochReport FleetMonitor::end_epoch() {
-  if (!epoch_ready()) {
-    throw std::logic_error(
-        "FleetMonitor::end_epoch: some node's window is incomplete");
-  }
+core::VerdictStatus FleetMonitor::observe(std::uint64_t value) {
+  const std::uint32_t node = next_node_;
+  next_node_ = next_node_ + 1 == config_.nodes ? 0 : next_node_ + 1;
+  return observe(node, value);
+}
 
+core::Verdict FleetMonitor::finalize() {
+  const double confidence = epoch_ == 0 ? 0.0 : 1.0 - config_.error;
+  return core::Verdict::make_anytime(status_, alarms_, epoch_, consumed_,
+                                     confidence);
+}
+
+FleetMonitor::EpochReport FleetMonitor::next_report() {
+  if (pending_.empty()) {
+    throw std::logic_error(
+        "FleetMonitor::next_report: no closed epoch is pending");
+  }
+  EpochReport report = std::move(pending_.front());
+  pending_.pop_front();
+  return report;
+}
+
+void FleetMonitor::close_epoch() {
   const core::SingleCollisionTester tester(plan_.base);
   EpochReport report;
   report.epoch = ++epoch_;
@@ -112,7 +135,12 @@ FleetMonitor::EpochReport FleetMonitor::end_epoch() {
   report.samples_consumed = pooled.size();
 
   report.alarm = report.votes_to_reject >= plan_.threshold;
-  if (report.alarm) ++alarms_;
+  if (report.alarm) {
+    ++alarms_;
+    status_ = core::VerdictStatus::kReject;  // absorbing
+  } else if (status_ == core::VerdictStatus::kUndecided) {
+    status_ = core::VerdictStatus::kAccept;  // provisional "healthy so far"
+  }
   if (obs::enabled()) {
     obs::counter("monitor.epochs").add();
     obs::histogram("monitor.epoch.votes").record(report.votes_to_reject);
@@ -124,7 +152,7 @@ FleetMonitor::EpochReport FleetMonitor::end_epoch() {
   for (const auto& window : windows_) {
     if (window.size() >= plan_.base.s) ++ready_nodes_;
   }
-  return report;
+  pending_.push_back(std::move(report));
 }
 
 }  // namespace dut::monitor

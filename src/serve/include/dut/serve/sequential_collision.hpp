@@ -1,0 +1,114 @@
+#pragma once
+
+// Sequential early-stopping collision tester over one sample stream
+// (DESIGN.md §15.2).
+//
+// The per-stream plan reuses the paper's threshold rule verbatim, with the
+// k *nodes* of Theorem 1.2 reinterpreted as m sequential *windows* of one
+// stream: each window runs a single A_delta (reject on any in-window
+// collision), and the decision is "reject iff at least T of the m windows
+// rejected". Window votes over an i.i.d. stream are themselves i.i.d.
+// Bernoulli — exactly the voter model place_threshold() bounds — so the
+// planner's (delta, T) placement and its two-sided error bounds carry over
+// unchanged; plan_stream() simply searches window counts m for the
+// cheapest feasible fixed budget m*s.
+//
+// Early stopping then evaluates the same decision function lazily, on two
+// levels, without touching the error budget:
+//
+//   * window level: a window votes reject the moment it sees its first
+//     collision (a collision in a prefix is a collision in the full
+//     window), so rejecting windows consume < s samples;
+//   * decision level: reject as soon as rejects >= T (later windows cannot
+//     subtract votes), accept as soon as m - T + 1 windows are clean (even
+//     if every remaining window rejected, the total would stay < T).
+//
+// Both cuts are decision-equivalent to drawing all m full windows and
+// counting: the emitted verdict has the same law, only its sample cost
+// shrinks — far ("cheap") streams collide early and resolve in a handful
+// of short windows instead of the fixed m*s budget. bench/e17_serve
+// measures the savings; tests/serve asserts the forced-stream agreement.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dut/core/verdict.hpp"
+#include "dut/core/zero_round.hpp"
+#include "dut/stats/sequential.hpp"
+
+namespace dut::serve {
+
+/// Per-stream sequential plan: a core::ThresholdPlan whose `k` is the
+/// window count m per decision cycle.
+struct StreamPlan {
+  bool feasible = false;
+  std::string infeasible_reason;
+  /// The placed rule; decision.k = windows, decision.base.s = samples per
+  /// window, decision.threshold = T.
+  core::ThresholdPlan decision;
+
+  std::uint64_t windows() const noexcept { return decision.k; }
+  std::uint64_t window_samples() const noexcept { return decision.base.s; }
+  std::uint64_t reject_threshold() const noexcept {
+    return decision.threshold;
+  }
+  /// Clean windows that settle an accept: m - T + 1.
+  std::uint64_t clean_to_accept() const noexcept {
+    return decision.k - decision.threshold + 1;
+  }
+  /// The fixed-window baseline budget m*s a batch evaluation would spend.
+  std::uint64_t fixed_budget() const noexcept {
+    return decision.k * decision.base.s;
+  }
+};
+
+/// Plans the cheapest feasible per-stream rule: scans window counts
+/// m = 2, 4, ..., max_windows and keeps the feasible placement minimizing
+/// the fixed budget m*s. Domains above 2^32 - 1 are rejected (window
+/// values are stored as u32). Like the fleet planner, infeasibility is
+/// reported with the underlying reason, not thrown.
+[[nodiscard]] StreamPlan plan_stream(
+    std::uint64_t n, double epsilon, double p = 1.0 / 3.0,
+    core::TailBound bound = core::TailBound::kExactBinomial,
+    std::uint64_t max_windows = 4096);
+
+/// One stream's decision engine; implements the anytime contract. Values
+/// must lie in {0..n-1}. After a decision the status is sticky and further
+/// samples are ignored until reset() starts the next cycle.
+class SequentialCollisionTester final : public stats::SequentialTester {
+ public:
+  /// An unbound tester (observe() throws); StreamTable binds the shared
+  /// plan at construction.
+  SequentialCollisionTester() = default;
+  /// `plan` must be feasible and outlive the tester (shared, non-owning).
+  explicit SequentialCollisionTester(const StreamPlan* plan);
+
+  core::VerdictStatus observe(std::uint64_t value) override;
+  core::VerdictStatus poll() const noexcept override { return status_; }
+  std::uint64_t samples_consumed() const noexcept override {
+    return consumed_;
+  }
+  [[nodiscard]] core::Verdict finalize() override;
+
+  /// Starts the next decision cycle (clears windows, votes and the sample
+  /// meter; the bound plan is kept).
+  void reset() noexcept;
+
+  std::uint64_t windows_completed() const noexcept { return windows_done_; }
+  std::uint64_t votes_to_reject() const noexcept { return rejects_; }
+  /// 1 - (planner bound on the emitted side); 0 while undecided.
+  double confidence() const noexcept;
+
+ private:
+  void close_window(bool rejected) noexcept;
+
+  const StreamPlan* plan_ = nullptr;
+  std::vector<std::uint32_t> window_;  // current window, kept sorted
+  std::uint64_t consumed_ = 0;
+  std::uint32_t windows_done_ = 0;
+  std::uint32_t rejects_ = 0;
+  core::VerdictStatus status_ = core::VerdictStatus::kUndecided;
+};
+
+}  // namespace dut::serve

@@ -1,0 +1,141 @@
+#pragma once
+
+// The sharded streaming verdict service (DESIGN.md §15).
+//
+// A VerdictService owns a stream table sharded shared-nothing across a
+// private worker pool, a deterministic Zipf workload generator, and one
+// sequential collision plan shared by every stream. Operation is
+// epoch-batched: run_epoch() draws the epoch's arrival batch (a pure
+// function of (seed, epoch)), partitions it by owning shard with a stable
+// counting sort (per-stream arrival order is preserved exactly), fans the
+// shards over the pool, and merges each shard's emitted verdicts into a
+// canonical (stream, cycle)-sorted verdict stream.
+//
+// Determinism contract (the serve_determinism_gate ctest entry): the full
+// verdict stream — statuses, vote tallies, sample meters, epochs — is
+// bit-identical at any thread count and any shard count. Threads only
+// decide which worker touches a shard; shards only decide which dense
+// array holds a stream; neither changes any stream's sample order.
+//
+// A decided stream immediately starts its next decision cycle (the service
+// monitors forever); query() answers "what does stream i believe right
+// now" at any time via the anytime verdict funnel.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dut/core/verdict.hpp"
+#include "dut/serve/sequential_collision.hpp"
+#include "dut/serve/stream_table.hpp"
+#include "dut/serve/workload.hpp"
+#include "dut/stats/engine.hpp"
+
+namespace dut::serve {
+
+struct ServeConfig {
+  // Testing problem (per stream).
+  std::uint64_t domain = 1 << 12;  ///< n
+  double epsilon = 1.6;            ///< alarm distance
+  double error = 1.0 / 3.0;        ///< per-decision error budget p
+  core::TailBound bound = core::TailBound::kExactBinomial;
+  std::uint64_t max_windows = 4096;  ///< planner search cap
+
+  // Serving shape.
+  std::uint64_t streams = 1 << 10;
+  std::uint32_t shards = 1;
+  unsigned threads = 0;  ///< worker pool width; 0 = DUT_THREADS default
+
+  // Workload.
+  double zipf_theta = 0.99;
+  std::uint64_t far_every = 16;
+  std::uint64_t batch_per_epoch = 0;  ///< arrivals per epoch; 0 = streams
+  std::uint64_t seed = 1;
+};
+
+/// One emitted decision. `cycle` counts a stream's decisions from 0;
+/// `first_epoch`/`epoch` bracket the cycle (their span is the
+/// epochs-to-verdict latency the obs histograms aggregate).
+struct StreamVerdict {
+  std::uint64_t stream = 0;
+  std::uint64_t cycle = 0;
+  std::uint64_t first_epoch = 0;
+  std::uint64_t epoch = 0;
+  core::Verdict verdict;
+};
+
+/// One epoch's outcome: the canonical verdict stream plus tallies.
+struct EpochResult {
+  std::uint64_t epoch = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t rejects = 0;
+  /// Sorted by (stream, cycle); identical across thread/shard counts.
+  std::vector<StreamVerdict> verdicts;
+};
+
+/// Running totals across every epoch the service has processed, split by
+/// decision side so sample-savings against the fixed budget can be read
+/// per class (bench/e17_serve).
+struct ServeTotals {
+  std::uint64_t epochs = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t accept_samples = 0;  ///< consumed at accept decisions
+  std::uint64_t reject_samples = 0;  ///< consumed at reject decisions
+
+  std::uint64_t verdicts() const noexcept { return accepts + rejects; }
+  std::uint64_t decision_samples() const noexcept {
+    return accept_samples + reject_samples;
+  }
+};
+
+class VerdictService {
+ public:
+  /// Plans the per-stream rule and builds the table, generator and worker
+  /// pool. Throws std::invalid_argument when the (n, eps, p) regime is
+  /// infeasible (the message names the planner's reason) or the serving
+  /// shape is degenerate.
+  explicit VerdictService(ServeConfig config);
+
+  const ServeConfig& config() const noexcept { return config_; }
+  const StreamPlan& plan() const noexcept { return plan_; }
+  const WorkloadGenerator& workload() const noexcept { return workload_; }
+  const ServeTotals& totals() const noexcept { return totals_; }
+  std::uint32_t shards() const noexcept { return table_.shards(); }
+  std::uint64_t epochs_run() const noexcept { return totals_.epochs; }
+
+  /// Generates and processes the next epoch's batch.
+  [[nodiscard]] EpochResult run_epoch();
+
+  /// Ingests an explicit arrival tape as one epoch (tests and embedders
+  /// that bring their own feed). Stream ids must be < streams().
+  [[nodiscard]] EpochResult ingest(std::span<const Arrival> arrivals);
+
+  /// Anytime answer for one stream's *open* cycle; does not consume
+  /// samples or advance the cycle.
+  [[nodiscard]] core::Verdict query(std::uint64_t stream);
+
+  /// Re-partitions the stream table; verdict streams are unaffected (the
+  /// rebalance round-trip test holds this bit for bit).
+  void rebalance(std::uint32_t new_shards) { table_.rebalance(new_shards); }
+
+ private:
+  EpochResult process(std::span<const Arrival> arrivals);
+
+  ServeConfig config_;
+  StreamPlan plan_;
+  WorkloadGenerator workload_;
+  StreamTable table_;
+  stats::TrialRunner runner_;
+  ServeTotals totals_;
+
+  // Reused per-epoch buffers (no steady-state allocation churn).
+  std::vector<Arrival> batch_;
+  std::vector<Arrival> by_shard_;
+  std::vector<std::uint64_t> shard_begin_;
+  std::vector<std::vector<StreamVerdict>> shard_verdicts_;
+};
+
+}  // namespace dut::serve

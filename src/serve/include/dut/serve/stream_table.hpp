@@ -1,0 +1,77 @@
+#pragma once
+
+// Shared-nothing stream table (DESIGN.md §15.3).
+//
+// Stream ids are dense {0..streams-1}; stream `i` is owned by shard
+// `i % shards` and stored at dense local index `i / shards`, so lookup is
+// two divisions and no hashing, and the layout is a pure function of
+// (streams, shards) — never of arrival order. One worker thread processes
+// one shard per epoch, touching only that shard's states: no locks, no
+// sharing, and (because each stream's sample order is its arrival order
+// regardless of which shard holds it) a verdict stream that is
+// bit-identical across shard counts.
+//
+// rebalance() re-partitions every live stream state onto a new shard
+// count by moving the testers — mid-cycle windows, votes and sample
+// meters survive intact, which tests/serve/service_test's round-trip
+// asserts.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dut/serve/sequential_collision.hpp"
+
+namespace dut::serve {
+
+/// One stream's slot: the tester plus decision-cycle bookkeeping (cycles
+/// already emitted, and the epoch the open cycle's first sample arrived —
+/// the service derives epochs-to-verdict latency from it).
+struct StreamState {
+  explicit StreamState(const StreamPlan* plan) : tester(plan) {}
+
+  SequentialCollisionTester tester;
+  std::uint64_t cycles_emitted = 0;
+  std::uint64_t cycle_first_epoch = 0;
+  bool cycle_open = false;
+};
+
+class StreamTable {
+ public:
+  /// `plan` must be feasible and outlive the table; `streams >= 1`,
+  /// `shards >= 1`.
+  StreamTable(const StreamPlan* plan, std::uint64_t streams,
+              std::uint32_t shards);
+
+  std::uint64_t streams() const noexcept { return streams_; }
+  std::uint32_t shards() const noexcept { return shards_; }
+
+  std::uint32_t shard_of(std::uint64_t stream) const noexcept {
+    return static_cast<std::uint32_t>(stream % shards_);
+  }
+  /// Inverse of the dense layout: the stream id living at `local` within
+  /// `shard`.
+  std::uint64_t stream_at(std::uint32_t shard,
+                          std::uint64_t local) const noexcept {
+    return local * shards_ + shard;
+  }
+
+  StreamState& state(std::uint64_t stream) {
+    return slots_[shard_of(stream)][stream / shards_];
+  }
+  std::span<StreamState> shard(std::uint32_t shard) noexcept {
+    return slots_[shard];
+  }
+
+  /// Moves every stream state onto a `new_shards`-way partition. O(streams);
+  /// preserves all tester state bit for bit.
+  void rebalance(std::uint32_t new_shards);
+
+ private:
+  const StreamPlan* plan_;
+  std::uint64_t streams_;
+  std::uint32_t shards_;
+  std::vector<std::vector<StreamState>> slots_;
+};
+
+}  // namespace dut::serve

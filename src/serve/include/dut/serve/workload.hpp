@@ -1,0 +1,73 @@
+#pragma once
+
+// YCSB-style load generator for the verdict service (DESIGN.md §15.4).
+//
+// Arrivals model a serving fleet: each arrival is (stream, value), where
+// the *stream* is drawn from a Zipf popularity distribution over the
+// stream table (YCSB's default skew theta = 0.99 — a few hot streams
+// absorb most of the traffic, the long tail trickles), and the *value* is
+// drawn from that stream's underlying distribution: uniform for healthy
+// streams, a far family at the configured epsilon for the deterministic
+// subset `stream % far_every == 0` (the streams the service should
+// reject).
+//
+// Determinism: one epoch's batch is a pure function of (seed, epoch) —
+// the generator derives a fresh RNG stream per epoch and draws the batch
+// serially, so the arrival tape is identical no matter how many threads
+// or shards later process it. Both samplers ride the same alias-table
+// hot path as every Monte-Carlo experiment in the repo.
+
+#include <cstdint>
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::serve {
+
+struct WorkloadConfig {
+  std::uint64_t streams = 0;  ///< stream ids {0..streams-1}
+  std::uint64_t domain = 0;   ///< per-stream value domain n
+  double zipf_theta = 0.99;   ///< popularity skew (0 = uniform traffic)
+  double epsilon = 1.6;       ///< L1 distance of the far streams' family
+  /// Streams with id % far_every == 0 draw from the far family; 0 makes
+  /// every stream uniform.
+  std::uint64_t far_every = 16;
+};
+
+struct Arrival {
+  std::uint32_t stream = 0;
+  std::uint32_t value = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  /// Validates the config and builds the popularity + value alias tables.
+  /// Throws std::invalid_argument on an empty table/domain (or an odd
+  /// domain when far streams are requested — core::far_instance needs an
+  /// even n).
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  const WorkloadConfig& config() const noexcept { return config_; }
+
+  bool is_far(std::uint64_t stream) const noexcept {
+    return config_.far_every != 0 && stream % config_.far_every == 0;
+  }
+  std::uint64_t far_streams() const noexcept;
+
+  /// Appends `count` arrivals for `epoch` to `out`. Pure function of
+  /// (seed, epoch, count): the batch is drawn serially from
+  /// derive_stream(seed, epoch).
+  void generate_epoch(std::uint64_t seed, std::uint64_t epoch,
+                      std::uint64_t count, std::vector<Arrival>& out) const;
+
+ private:
+  WorkloadConfig config_;
+  core::AliasSampler popularity_;      // zipf over streams
+  core::AliasSampler uniform_values_;  // healthy streams
+  core::AliasSampler far_values_;      // far streams (uniform stand-in
+                                       // when far_every == 0)
+};
+
+}  // namespace dut::serve

@@ -1,0 +1,111 @@
+#include "dut/serve/sequential_collision.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace dut::serve {
+
+StreamPlan plan_stream(std::uint64_t n, double epsilon, double p,
+                       core::TailBound bound, std::uint64_t max_windows) {
+  StreamPlan plan;
+  if (n < 2) {
+    plan.infeasible_reason = "domain must be >= 2";
+    return plan;
+  }
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    plan.infeasible_reason =
+        "domain exceeds 2^32 - 1 (window values are stored as u32)";
+    return plan;
+  }
+  bool found = false;
+  std::string last_reason = "no window count tried";
+  for (std::uint64_t m = 2; m <= max_windows; m *= 2) {
+    const core::ThresholdPlan candidate =
+        core::plan_threshold(n, m, epsilon, p, bound);
+    if (!candidate.feasible) {
+      last_reason = candidate.infeasible_reason;
+      continue;
+    }
+    const std::uint64_t budget = candidate.k * candidate.base.s;
+    if (!found || budget < plan.fixed_budget()) {
+      plan.decision = candidate;
+      found = true;
+    }
+  }
+  if (!found) {
+    plan.infeasible_reason = "no feasible window count m <= " +
+                             std::to_string(max_windows) + " (last: " +
+                             last_reason + ")";
+    return plan;
+  }
+  plan.feasible = true;
+  return plan;
+}
+
+SequentialCollisionTester::SequentialCollisionTester(const StreamPlan* plan)
+    : plan_(plan) {
+  if (plan_ == nullptr || !plan_->feasible) {
+    throw std::invalid_argument(
+        "SequentialCollisionTester: plan must be feasible");
+  }
+}
+
+core::VerdictStatus SequentialCollisionTester::observe(std::uint64_t value) {
+  if (plan_ == nullptr) {
+    throw std::logic_error("SequentialCollisionTester: no plan bound");
+  }
+  if (status_ != core::VerdictStatus::kUndecided) return status_;
+  if (value >= plan_->decision.n) {
+    throw std::invalid_argument(
+        "SequentialCollisionTester::observe: value out of domain");
+  }
+  ++consumed_;
+  const auto v = static_cast<std::uint32_t>(value);
+  const auto pos = std::lower_bound(window_.begin(), window_.end(), v);
+  if (pos != window_.end() && *pos == v) {
+    close_window(true);  // first in-window collision: the vote is settled
+    return status_;
+  }
+  window_.insert(pos, v);
+  if (window_.size() == plan_->window_samples()) close_window(false);
+  return status_;
+}
+
+void SequentialCollisionTester::close_window(bool rejected) noexcept {
+  window_.clear();
+  ++windows_done_;
+  if (rejected) ++rejects_;
+  if (rejects_ >= plan_->reject_threshold()) {
+    status_ = core::VerdictStatus::kReject;
+  } else if (windows_done_ - rejects_ >= plan_->clean_to_accept()) {
+    status_ = core::VerdictStatus::kAccept;
+  }
+}
+
+double SequentialCollisionTester::confidence() const noexcept {
+  switch (status_) {
+    case core::VerdictStatus::kReject:
+      return 1.0 - plan_->decision.bound_false_reject;
+    case core::VerdictStatus::kAccept:
+      return 1.0 - plan_->decision.bound_false_accept;
+    case core::VerdictStatus::kUndecided:
+      break;
+  }
+  return 0.0;
+}
+
+core::Verdict SequentialCollisionTester::finalize() {
+  return core::Verdict::make_anytime(status_, rejects_, windows_done_,
+                                     consumed_, confidence());
+}
+
+void SequentialCollisionTester::reset() noexcept {
+  window_.clear();
+  consumed_ = 0;
+  windows_done_ = 0;
+  rejects_ = 0;
+  status_ = core::VerdictStatus::kUndecided;
+}
+
+}  // namespace dut::serve

@@ -1,0 +1,161 @@
+#include "dut/serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "dut/obs/metrics.hpp"
+#include "dut/obs/phase_timer.hpp"
+
+namespace dut::serve {
+
+namespace {
+
+StreamPlan plan_or_throw(const ServeConfig& config) {
+  StreamPlan plan = plan_stream(config.domain, config.epsilon, config.error,
+                                config.bound, config.max_windows);
+  if (!plan.feasible) {
+    throw std::invalid_argument("VerdictService: infeasible regime — " +
+                                plan.infeasible_reason);
+  }
+  return plan;
+}
+
+WorkloadConfig make_workload_config(const ServeConfig& config) {
+  WorkloadConfig w;
+  w.streams = config.streams;
+  w.domain = config.domain;
+  w.zipf_theta = config.zipf_theta;
+  w.epsilon = config.epsilon;
+  w.far_every = config.far_every;
+  return w;
+}
+
+}  // namespace
+
+VerdictService::VerdictService(ServeConfig config)
+    : config_(config),
+      plan_(plan_or_throw(config_)),
+      workload_(make_workload_config(config_)),
+      table_(&plan_, config_.streams, config_.shards),
+      runner_(config_.threads) {}
+
+EpochResult VerdictService::run_epoch() {
+  const std::uint64_t batch =
+      config_.batch_per_epoch == 0 ? config_.streams : config_.batch_per_epoch;
+  batch_.clear();
+  workload_.generate_epoch(config_.seed, totals_.epochs, batch, batch_);
+  return process(batch_);
+}
+
+EpochResult VerdictService::ingest(std::span<const Arrival> arrivals) {
+  return process(arrivals);
+}
+
+core::Verdict VerdictService::query(std::uint64_t stream) {
+  if (stream >= table_.streams()) {
+    throw std::invalid_argument("VerdictService::query: unknown stream");
+  }
+  return table_.state(stream).tester.finalize();
+}
+
+EpochResult VerdictService::process(std::span<const Arrival> arrivals) {
+  const obs::PhaseTimer timer("serve.epoch");
+  const std::uint64_t epoch = totals_.epochs;
+  const std::uint32_t shards = table_.shards();
+
+  // Stable counting sort by owning shard: per-stream arrival order is
+  // preserved exactly, so the partition (and everything downstream) is
+  // invariant under the shard count.
+  shard_begin_.assign(shards + 1, 0);
+  for (const Arrival& a : arrivals) {
+    if (a.stream >= table_.streams()) {
+      throw std::invalid_argument("VerdictService::ingest: unknown stream");
+    }
+    ++shard_begin_[table_.shard_of(a.stream) + 1];
+  }
+  for (std::uint32_t h = 0; h < shards; ++h) {
+    shard_begin_[h + 1] += shard_begin_[h];
+  }
+  by_shard_.resize(arrivals.size());
+  std::vector<std::uint64_t> cursor(shard_begin_.begin(),
+                                    shard_begin_.end() - 1);
+  for (const Arrival& a : arrivals) {
+    by_shard_[cursor[table_.shard_of(a.stream)]++] = a;
+  }
+
+  // Shared-nothing fan-out: one chunk = one shard; a worker touches only
+  // its shard's states and verdict buffer.
+  shard_verdicts_.resize(shards);
+  runner_.for_each_chunk(shards, [&](std::uint64_t h) {
+    const std::span<StreamState> states =
+        table_.shard(static_cast<std::uint32_t>(h));
+    std::vector<StreamVerdict>& out = shard_verdicts_[h];
+    for (std::uint64_t i = shard_begin_[h]; i < shard_begin_[h + 1]; ++i) {
+      const Arrival a = by_shard_[i];
+      StreamState& st = states[a.stream / shards];
+      if (!st.cycle_open) {
+        st.cycle_open = true;
+        st.cycle_first_epoch = epoch;
+      }
+      const core::VerdictStatus status = st.tester.observe(a.value);
+      if (status != core::VerdictStatus::kUndecided) {
+        out.push_back(StreamVerdict{a.stream, st.cycles_emitted,
+                                    st.cycle_first_epoch, epoch,
+                                    st.tester.finalize()});
+        ++st.cycles_emitted;
+        st.cycle_open = false;
+        st.tester.reset();  // the stream is monitored forever
+      }
+    }
+  });
+
+  EpochResult result;
+  result.epoch = epoch;
+  result.arrivals = arrivals.size();
+  for (std::vector<StreamVerdict>& shard_out : shard_verdicts_) {
+    result.verdicts.insert(result.verdicts.end(),
+                           std::make_move_iterator(shard_out.begin()),
+                           std::make_move_iterator(shard_out.end()));
+    shard_out.clear();
+  }
+  // Canonical order: a pure function of the verdicts themselves, never of
+  // which shard emitted them first.
+  std::sort(result.verdicts.begin(), result.verdicts.end(),
+            [](const StreamVerdict& a, const StreamVerdict& b) {
+              return a.stream != b.stream ? a.stream < b.stream
+                                          : a.cycle < b.cycle;
+            });
+
+  for (const StreamVerdict& v : result.verdicts) {
+    if (v.verdict.accepts) {
+      ++result.accepts;
+      totals_.accept_samples += v.verdict.samples_consumed;
+    } else {
+      ++result.rejects;
+      totals_.reject_samples += v.verdict.samples_consumed;
+    }
+  }
+  ++totals_.epochs;
+  totals_.arrivals += result.arrivals;
+  totals_.accepts += result.accepts;
+  totals_.rejects += result.rejects;
+
+  if (obs::enabled()) {
+    obs::counter("serve.epochs").add();
+    obs::counter("serve.arrivals").add(result.arrivals);
+    obs::counter("serve.verdicts.accept").add(result.accepts);
+    obs::counter("serve.verdicts.reject").add(result.rejects);
+    obs::Histogram& samples = obs::histogram("serve.verdict.samples");
+    obs::Histogram& latency = obs::histogram("serve.verdict.epochs");
+    obs::Histogram& windows = obs::histogram("serve.verdict.windows");
+    for (const StreamVerdict& v : result.verdicts) {
+      samples.record(v.verdict.samples_consumed);
+      latency.record(v.epoch - v.first_epoch + 1);
+      windows.record(v.verdict.votes_total);
+    }
+  }
+  return result;
+}
+
+}  // namespace dut::serve

@@ -1,0 +1,54 @@
+#include "dut/serve/stream_table.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dut::serve {
+
+namespace {
+
+std::vector<std::vector<StreamState>> make_slots(std::uint64_t streams,
+                                                 std::uint32_t shards) {
+  std::vector<std::vector<StreamState>> slots(shards);
+  for (std::uint32_t h = 0; h < shards; ++h) {
+    // Shard h owns streams {h, h + shards, ...}.
+    slots[h].reserve((streams - h + shards - 1) / shards);
+  }
+  return slots;
+}
+
+}  // namespace
+
+StreamTable::StreamTable(const StreamPlan* plan, std::uint64_t streams,
+                         std::uint32_t shards)
+    : plan_(plan), streams_(streams), shards_(shards) {
+  if (plan_ == nullptr || !plan_->feasible) {
+    throw std::invalid_argument("StreamTable: plan must be feasible");
+  }
+  if (streams_ == 0) {
+    throw std::invalid_argument("StreamTable: need at least one stream");
+  }
+  if (shards_ == 0) {
+    throw std::invalid_argument("StreamTable: need at least one shard");
+  }
+  slots_ = make_slots(streams_, shards_);
+  for (std::uint64_t i = 0; i < streams_; ++i) {
+    slots_[shard_of(i)].emplace_back(plan_);
+  }
+}
+
+void StreamTable::rebalance(std::uint32_t new_shards) {
+  if (new_shards == 0) {
+    throw std::invalid_argument("StreamTable: need at least one shard");
+  }
+  if (new_shards == shards_) return;
+  std::vector<std::vector<StreamState>> next =
+      make_slots(streams_, new_shards);
+  for (std::uint64_t i = 0; i < streams_; ++i) {
+    next[i % new_shards].push_back(std::move(state(i)));
+  }
+  slots_ = std::move(next);
+  shards_ = new_shards;
+}
+
+}  // namespace dut::serve

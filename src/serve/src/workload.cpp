@@ -1,0 +1,65 @@
+#include "dut/serve/workload.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dut::serve {
+
+namespace {
+
+WorkloadConfig validate(WorkloadConfig config) {
+  if (config.streams == 0) {
+    throw std::invalid_argument("WorkloadGenerator: need at least one stream");
+  }
+  if (config.streams > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: stream ids are stored as u32");
+  }
+  if (config.domain < 2 ||
+      config.domain > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: domain must be in [2, 2^32 - 1]");
+  }
+  if (config.far_every != 0 && config.domain % 2 != 0) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: far streams need an even domain "
+        "(core::far_instance)");
+  }
+  if (config.zipf_theta < 0.0) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: zipf_theta must be >= 0");
+  }
+  return config;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(validate(config)),
+      popularity_(core::zipf(config_.streams, config_.zipf_theta)),
+      uniform_values_(core::uniform(config_.domain)),
+      far_values_(config_.far_every != 0
+                      ? core::far_instance(config_.domain, config_.epsilon)
+                      : core::uniform(config_.domain)) {}
+
+std::uint64_t WorkloadGenerator::far_streams() const noexcept {
+  if (config_.far_every == 0) return 0;
+  return (config_.streams + config_.far_every - 1) / config_.far_every;
+}
+
+void WorkloadGenerator::generate_epoch(std::uint64_t seed,
+                                       std::uint64_t epoch,
+                                       std::uint64_t count,
+                                       std::vector<Arrival>& out) const {
+  stats::Xoshiro256 rng = stats::derive_stream(seed, epoch);
+  out.reserve(out.size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t stream = popularity_.sample(rng);
+    const std::uint64_t value = is_far(stream) ? far_values_.sample(rng)
+                                               : uniform_values_.sample(rng);
+    out.push_back(Arrival{static_cast<std::uint32_t>(stream),
+                          static_cast<std::uint32_t>(value)});
+  }
+}
+
+}  // namespace dut::serve

@@ -1,0 +1,65 @@
+#pragma once
+
+// The anytime sequential-testing contract (DESIGN.md §15).
+//
+// The paper's testers are one-shot: plan a sample budget, fill it, decide.
+// A serving deployment inverts that shape — samples arrive continuously,
+// and the tester is asked "what do you believe *now*?" at arbitrary
+// points. SequentialTester is the seam every streaming tester family
+// implements:
+//
+//   * serve::SequentialCollisionTester — early-stopping collision windows
+//     over one stream (the verdict service's per-stream engine),
+//   * monitor::FleetMonitor — the fleet-of-k-observers epoch tester,
+//   * future families (adaptive budgets, streaming identity testers).
+//
+// Contract:
+//   observe(value)     feeds one sample and returns the status *after*
+//                      consuming it. A reject is absorbing in every
+//                      family. One-shot families (the collision tester)
+//                      freeze accept too and ignore post-decision samples
+//                      until their own reset path runs; continuous
+//                      monitors keep consuming and may escalate a
+//                      provisional accept to reject, but never retract a
+//                      reject — callers may still poll lazily.
+//   poll()             the current status without consuming anything.
+//   samples_consumed() samples the tester has actually charged against
+//                      its budget (ignored post-decision arrivals do not
+//                      count).
+//   finalize()         the anytime verdict for the current state, built
+//                      through the core::Verdict::make_anytime funnel. May
+//                      be called at any time (kUndecided is a legal
+//                      status) and does not mutate the decision state.
+//
+// Layering note: this header lives in dut::stats — the layer every tester
+// family already links — but returns core::Verdict, which is header-only
+// over <cstdint>. dut_stats exports core's include directory for exactly
+// this seam; no link-time cycle is introduced.
+
+#include <cstdint>
+
+#include "dut/core/verdict.hpp"
+
+namespace dut::stats {
+
+class SequentialTester {
+ public:
+  virtual ~SequentialTester() = default;
+
+  /// Feeds one sample; returns the status after consuming it. Rejects are
+  /// absorbing; see the header comment for each family's accept semantics.
+  virtual core::VerdictStatus observe(std::uint64_t value) = 0;
+
+  /// Current status; never consumes.
+  virtual core::VerdictStatus poll() const noexcept = 0;
+
+  /// Samples charged so far (post-decision arrivals excluded).
+  virtual std::uint64_t samples_consumed() const noexcept = 0;
+
+  /// Anytime verdict via core::Verdict::make_anytime; non-mutating in
+  /// every implementation (the non-const signature leaves room for
+  /// families that must materialize state to report it).
+  [[nodiscard]] virtual core::Verdict finalize() = 0;
+};
+
+}  // namespace dut::stats

@@ -1,0 +1,69 @@
+#include "dut/core/verdict.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dut::core {
+namespace {
+
+TEST(Verdict, MakeKeepsStatusInLockstepWithAccepts) {
+  const Verdict accept = Verdict::make(true, 1, 10, 3, 128);
+  EXPECT_TRUE(accept.accepts);
+  EXPECT_EQ(accept.status, VerdictStatus::kAccept);
+  EXPECT_TRUE(accept.decided());
+  EXPECT_DOUBLE_EQ(accept.score, 0.1);
+  EXPECT_EQ(accept.rounds, 3u);
+  EXPECT_EQ(accept.bits, 128u);
+  // One-shot testers leave the anytime fields at "not tracked".
+  EXPECT_EQ(accept.samples_consumed, 0u);
+  EXPECT_DOUBLE_EQ(accept.confidence, 0.0);
+
+  const Verdict reject = Verdict::make(false, 7, 10);
+  EXPECT_TRUE(reject.rejects());
+  EXPECT_EQ(reject.status, VerdictStatus::kReject);
+  EXPECT_DOUBLE_EQ(reject.score, 0.7);
+
+  const Verdict empty = Verdict::make(true, 0, 0);
+  EXPECT_DOUBLE_EQ(empty.score, 0.0);
+}
+
+TEST(Verdict, MakeAnytimeOverlaysSequentialFields) {
+  const Verdict reject =
+      Verdict::make_anytime(VerdictStatus::kReject, 3, 5, 42, 0.75);
+  EXPECT_TRUE(reject.rejects());
+  EXPECT_EQ(reject.status, VerdictStatus::kReject);
+  EXPECT_TRUE(reject.decided());
+  EXPECT_EQ(reject.votes_reject, 3u);
+  EXPECT_EQ(reject.votes_total, 5u);
+  EXPECT_DOUBLE_EQ(reject.score, 0.6);
+  EXPECT_EQ(reject.samples_consumed, 42u);
+  EXPECT_DOUBLE_EQ(reject.confidence, 0.75);
+
+  const Verdict accept =
+      Verdict::make_anytime(VerdictStatus::kAccept, 0, 5, 55, 0.6, 2, 64);
+  EXPECT_TRUE(accept.accepts);
+  EXPECT_EQ(accept.rounds, 2u);
+  EXPECT_EQ(accept.bits, 64u);
+}
+
+TEST(Verdict, MakeAnytimeUndecidedMapsToProvisionalAccept) {
+  const Verdict undecided =
+      Verdict::make_anytime(VerdictStatus::kUndecided, 0, 0, 9, 0.9);
+  EXPECT_TRUE(undecided.accepts) << "no evidence yet = no alarm";
+  EXPECT_FALSE(undecided.decided());
+  EXPECT_EQ(undecided.status, VerdictStatus::kUndecided);
+  EXPECT_EQ(undecided.samples_consumed, 9u);
+  EXPECT_DOUBLE_EQ(undecided.confidence, 0.0)
+      << "confidence is forced to 0 while undecided";
+}
+
+TEST(Verdict, MakeAnytimeClampsConfidence) {
+  EXPECT_DOUBLE_EQ(
+      Verdict::make_anytime(VerdictStatus::kAccept, 0, 1, 1, 1.5).confidence,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      Verdict::make_anytime(VerdictStatus::kReject, 1, 1, 1, -0.5).confidence,
+      0.0);
+}
+
+}  // namespace
+}  // namespace dut::core

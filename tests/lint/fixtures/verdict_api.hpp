@@ -17,4 +17,21 @@ Verdict run_fixture_protocol(int nodes);       // -> verdict-nodiscard
 TrialResult run_fixture_trial(int nodes);      // -> verdict-nodiscard
 [[nodiscard]] Verdict run_protected(int nodes);  // protected: no finding
 
+// The anytime-funnel pattern: a type-level [[nodiscard]] protects every
+// producer returning the type, with no per-function attribute.
+struct [[nodiscard]] AnytimeResult {
+  Verdict verdict;
+  unsigned long samples = 0;
+};
+
+AnytimeResult poll_fixture_stream(int stream);  // type-protected: no finding
+
+// A second unattributed *Result type keeps the corpus honest: producers
+// returning it still need the function-level attribute.
+struct EpochScanResult {
+  Verdict verdict;
+};
+
+EpochScanResult close_fixture_epoch(int epoch);  // -> verdict-nodiscard
+
 }  // namespace fixture

@@ -171,12 +171,15 @@ TEST(LintRules, VerdictProducersNeedNodiscardAndCallersMustConsume) {
                     "src/core/include/dut/core/verdict_api.hpp"),
        scan_fixture("verdict_use.cpp", "src/core/src/verdict_use.cpp")});
 
-  // run_fixture_protocol and run_fixture_trial lack [[nodiscard]];
-  // run_protected has it and must not be flagged.
-  EXPECT_EQ(count_rule(result, "verdict-nodiscard"), 2u);
+  // run_fixture_protocol, run_fixture_trial and close_fixture_epoch lack
+  // [[nodiscard]]; run_protected carries the function attribute and
+  // poll_fixture_stream returns the type-level [[nodiscard]] AnytimeResult
+  // (the anytime-funnel pattern) — neither may be flagged.
+  EXPECT_EQ(count_rule(result, "verdict-nodiscard"), 3u);
   for (const Finding& f : result.findings) {
     if (f.rule == "verdict-nodiscard") {
       EXPECT_EQ(f.message.find("run_protected"), std::string::npos);
+      EXPECT_EQ(f.message.find("poll_fixture_stream"), std::string::npos);
     }
   }
 

@@ -33,8 +33,8 @@ std::uint64_t stream_epochs(FleetMonitor& monitor,
         monitor.observe(node, sampler.sample(rng));
       }
     }
-    EXPECT_TRUE(monitor.epoch_ready());
-    alarms += monitor.end_epoch().alarm;
+    EXPECT_EQ(monitor.reports_pending(), 1u);
+    alarms += monitor.next_report().alarm;
   }
   return alarms;
 }
@@ -57,13 +57,16 @@ TEST(FleetMonitor, ConstructionValidation) {
 TEST(FleetMonitor, ObserveValidation) {
   FleetMonitor monitor(basic_config());
   EXPECT_THROW(monitor.observe(99999, 0), std::invalid_argument);
-  EXPECT_THROW(monitor.observe(0, 1 << 14), std::invalid_argument);
+  EXPECT_THROW(monitor.observe(0, std::uint64_t{1} << 14),
+               std::invalid_argument);
+  // Rejected observations are not charged to the sample meter.
+  EXPECT_EQ(monitor.samples_consumed(), 0u);
 }
 
-TEST(FleetMonitor, EpochRequiresFullWindows) {
+TEST(FleetMonitor, ReportsRequireFullWindows) {
   FleetMonitor monitor(basic_config());
-  EXPECT_FALSE(monitor.epoch_ready());
-  EXPECT_THROW(monitor.end_epoch(), std::logic_error);
+  EXPECT_EQ(monitor.reports_pending(), 0u);
+  EXPECT_THROW(monitor.next_report(), std::logic_error);
   // Fill all but one node.
   const core::AliasSampler sampler(core::uniform(1 << 14));
   stats::Xoshiro256 rng(1);
@@ -72,13 +75,15 @@ TEST(FleetMonitor, EpochRequiresFullWindows) {
       monitor.observe(node, sampler.sample(rng));
     }
   }
-  EXPECT_FALSE(monitor.epoch_ready());
-  EXPECT_THROW(monitor.end_epoch(), std::logic_error);
+  EXPECT_EQ(monitor.reports_pending(), 0u);
+  EXPECT_EQ(monitor.poll(), core::VerdictStatus::kUndecided);
+  EXPECT_THROW(monitor.next_report(), std::logic_error);
   for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
     monitor.observe(2047, sampler.sample(rng));
   }
-  EXPECT_TRUE(monitor.epoch_ready());
-  EXPECT_NO_THROW(monitor.end_epoch());
+  EXPECT_EQ(monitor.reports_pending(), 1u);
+  EXPECT_NO_THROW(monitor.next_report());
+  EXPECT_EQ(monitor.reports_pending(), 0u);
 }
 
 TEST(FleetMonitor, QuietOnUniformLoudOnFar) {
@@ -108,7 +113,7 @@ TEST(FleetMonitor, ReportCarriesCalibratedScore) {
       monitor.observe(node, sampler.sample(rng));
     }
   }
-  const auto report = monitor.end_epoch();
+  const auto report = monitor.next_report();
   // On the two-bump family the distance score estimates eps itself; with
   // ~2048 windows pooled the estimate is tight.
   EXPECT_NEAR(report.distance_score, eps, 0.25);
@@ -126,13 +131,12 @@ TEST(FleetMonitor, SurplusObservationsCarryOver) {
       monitor.observe(node, sampler.sample(rng));
     }
   }
-  EXPECT_TRUE(monitor.epoch_ready());
-  monitor.end_epoch();
-  // The surplus already fills epoch two.
-  EXPECT_TRUE(monitor.epoch_ready());
-  const auto second = monitor.end_epoch();
+  // The surplus already filled (and closed) epoch two.
+  EXPECT_EQ(monitor.reports_pending(), 2u);
+  EXPECT_EQ(monitor.next_report().epoch, 1u);
+  const auto second = monitor.next_report();
   EXPECT_EQ(second.epoch, 2u);
-  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_EQ(monitor.reports_pending(), 0u);
 }
 
 TEST(FleetMonitor, ReferenceProfileMode) {
@@ -156,7 +160,7 @@ TEST(FleetMonitor, ReferenceProfileMode) {
         monitor.observe(node, sampler.sample(rng));
       }
     }
-    return monitor.end_epoch();
+    return monitor.next_report();
   };
   std::uint64_t quiet_alarms = 0;
   for (int e = 0; e < 4; ++e) quiet_alarms += feed_epoch(reference_sampler).alarm;
@@ -194,22 +198,20 @@ TEST(FleetMonitor, SurplusCarryOverPreservesArrivalOrder) {
     }
   }
 
-  ASSERT_TRUE(monitor.epoch_ready());
-  const auto first = monitor.end_epoch();
+  ASSERT_EQ(monitor.reports_pending(), 3u) << "the burst fills three epochs";
+  const auto first = monitor.next_report();
   EXPECT_EQ(first.votes_to_reject, 0u);
   EXPECT_FALSE(first.alarm);
 
-  ASSERT_TRUE(monitor.epoch_ready()) << "surplus must fill epoch two";
-  const auto second = monitor.end_epoch();
+  const auto second = monitor.next_report();
   EXPECT_EQ(second.votes_to_reject, 2048u);
   EXPECT_TRUE(second.alarm);
 
-  ASSERT_TRUE(monitor.epoch_ready()) << "surplus must fill epoch three";
-  const auto third = monitor.end_epoch();
+  const auto third = monitor.next_report();
   EXPECT_EQ(third.votes_to_reject, 0u);
   EXPECT_FALSE(third.alarm);
 
-  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_EQ(monitor.reports_pending(), 0u);
   EXPECT_EQ(monitor.epochs_completed(), 3u);
   EXPECT_EQ(monitor.alarms_raised(), 1u);
 }
@@ -255,18 +257,18 @@ TEST(FleetMonitor, SurplusCarryOverThroughIdentityFilter) {
     }
   }
 
+  ASSERT_EQ(burst.reports_pending(), 2u);
   for (std::uint64_t e = 1; e <= 2; ++e) {
-    ASSERT_TRUE(burst.epoch_ready());
-    ASSERT_TRUE(paced.epoch_ready());
-    const auto from_burst = burst.end_epoch();
-    const auto from_paced = paced.end_epoch();
+    ASSERT_GE(paced.reports_pending(), 1u);
+    const auto from_burst = burst.next_report();
+    const auto from_paced = paced.next_report();
     EXPECT_EQ(from_burst.epoch, e);
     EXPECT_EQ(from_burst.alarm, from_paced.alarm);
     EXPECT_EQ(from_burst.votes_to_reject, from_paced.votes_to_reject);
     EXPECT_DOUBLE_EQ(from_burst.chi.chi_hat, from_paced.chi.chi_hat);
     EXPECT_EQ(from_burst.samples_consumed, from_paced.samples_consumed);
   }
-  EXPECT_FALSE(burst.epoch_ready());
+  EXPECT_EQ(burst.reports_pending(), 0u);
 }
 
 TEST(FleetMonitor, DeterministicUnderSeed) {
@@ -279,7 +281,7 @@ TEST(FleetMonitor, DeterministicUnderSeed) {
         monitor.observe(node, sampler.sample(rng));
       }
     }
-    return monitor.end_epoch();
+    return monitor.next_report();
   };
   const auto a = run();
   const auto b = run();
@@ -287,6 +289,112 @@ TEST(FleetMonitor, DeterministicUnderSeed) {
   EXPECT_EQ(a.votes_to_reject, b.votes_to_reject);
   EXPECT_DOUBLE_EQ(a.chi.chi_hat, b.chi.chi_hat);
 }
+
+// --- stats::SequentialTester facet ---
+
+TEST(FleetMonitor, SequentialFacetDealsRoundRobin) {
+  // observe(value) deals arrival i to node i mod k: feeding the same tape
+  // through the single-feed facet and through explicit routing must
+  // produce bit-identical reports.
+  FleetMonitor dealt(basic_config());
+  FleetMonitor routed(basic_config());
+  stats::SequentialTester& tester = dealt;  // exercise the virtual seam
+  EXPECT_EQ(tester.poll(), core::VerdictStatus::kUndecided);
+
+  const core::AliasSampler sampler(core::uniform(1 << 14));
+  stats::Xoshiro256 rng(21);
+  const std::uint64_t total = 2048 * dealt.window_size();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint64_t value = sampler.sample(rng);
+    tester.observe(value);
+    routed.observe(static_cast<std::uint32_t>(i % 2048), value);
+  }
+  EXPECT_EQ(tester.samples_consumed(), total);
+  ASSERT_EQ(dealt.reports_pending(), 1u);
+  ASSERT_EQ(routed.reports_pending(), 1u);
+  const auto a = dealt.next_report();
+  const auto b = routed.next_report();
+  EXPECT_EQ(a.votes_to_reject, b.votes_to_reject);
+  EXPECT_DOUBLE_EQ(a.chi.chi_hat, b.chi.chi_hat);
+  EXPECT_EQ(a.samples_consumed, b.samples_consumed);
+}
+
+TEST(FleetMonitor, AnytimeVerdictFunnel) {
+  FleetMonitor monitor(basic_config());
+  const core::Verdict before = monitor.finalize();
+  EXPECT_EQ(before.status, core::VerdictStatus::kUndecided);
+  EXPECT_FALSE(before.decided());
+  EXPECT_TRUE(before.accepts);  // undecided maps to the accept side
+  EXPECT_DOUBLE_EQ(before.confidence, 0.0);
+  EXPECT_EQ(before.samples_consumed, 0u);
+  EXPECT_EQ(before.votes_total, 0u);
+
+  // Constant feed: every window collides, the epoch alarms unanimously.
+  core::VerdictStatus status = core::VerdictStatus::kUndecided;
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+      status = monitor.observe(node, 7);
+    }
+  }
+  EXPECT_EQ(status, core::VerdictStatus::kReject);
+  EXPECT_EQ(monitor.poll(), core::VerdictStatus::kReject);
+  const core::Verdict after = monitor.finalize();
+  EXPECT_TRUE(after.rejects());
+  EXPECT_TRUE(after.decided());
+  EXPECT_EQ(after.status, core::VerdictStatus::kReject);
+  EXPECT_EQ(after.votes_total, 1u);   // closed epochs
+  EXPECT_EQ(after.votes_reject, 1u);  // alarms
+  EXPECT_EQ(after.samples_consumed, 2048 * monitor.window_size());
+  EXPECT_DOUBLE_EQ(after.confidence, 1.0 - 1.0 / 3.0);
+  ASSERT_EQ(monitor.reports_pending(), 1u);
+  EXPECT_TRUE(monitor.next_report().alarm);
+}
+
+TEST(FleetMonitor, RejectIsAbsorbing) {
+  FleetMonitor monitor(basic_config());
+  const std::uint64_t s = monitor.window_size();
+  const std::uint64_t n = 1 << 14;
+  auto feed_clean = [&] {
+    for (std::uint32_t node = 0; node < 2048; ++node) {
+      for (std::uint64_t i = 0; i < s; ++i) {
+        monitor.observe(node, (node * s + i) % n);  // distinct within window
+      }
+    }
+  };
+  feed_clean();
+  EXPECT_EQ(monitor.poll(), core::VerdictStatus::kAccept);
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < s; ++i) {
+      monitor.observe(node, node % n);  // constant: certain alarm
+    }
+  }
+  EXPECT_EQ(monitor.poll(), core::VerdictStatus::kReject);
+  feed_clean();  // a later clean epoch never retracts the reject
+  EXPECT_EQ(monitor.poll(), core::VerdictStatus::kReject);
+  EXPECT_EQ(monitor.finalize().votes_reject, 1u);
+  EXPECT_EQ(monitor.finalize().votes_total, 3u);
+}
+
+// --- deprecated pre-SequentialTester shims (kept one release) ---
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(FleetMonitor, DeprecatedShimsForwardToReportQueue) {
+  FleetMonitor monitor(basic_config());
+  EXPECT_FALSE(monitor.epoch_ready());
+  EXPECT_THROW(monitor.end_epoch(), std::logic_error);
+  const core::AliasSampler sampler(core::uniform(1 << 14));
+  stats::Xoshiro256 rng(8);
+  for (std::uint32_t node = 0; node < 2048; ++node) {
+    for (std::uint64_t i = 0; i < monitor.window_size(); ++i) {
+      monitor.observe(node, sampler.sample(rng));
+    }
+  }
+  EXPECT_TRUE(monitor.epoch_ready());
+  EXPECT_EQ(monitor.end_epoch().epoch, 1u);
+  EXPECT_FALSE(monitor.epoch_ready());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace dut::monitor

@@ -1,0 +1,228 @@
+#include "dut/serve/sequential_collision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "dut/core/families.hpp"
+#include "dut/core/sampler.hpp"
+#include "dut/stats/bounds.hpp"
+#include "dut/stats/rng.hpp"
+
+namespace dut::serve {
+namespace {
+
+// Fast feasible regime (probed in DESIGN.md §15.2): small domain, wide
+// distance, relaxed budget.
+constexpr std::uint64_t kDomain = 4096;
+constexpr double kEps = 1.6;
+constexpr double kError = 0.4;
+
+StreamPlan small_plan() { return plan_stream(kDomain, kEps, kError); }
+
+/// Fixed-window batch evaluation of the identical decision rule: draw m
+/// full windows from `tape`, count collision windows, compare to T.
+bool batch_rejects(const StreamPlan& plan,
+                   const std::vector<std::uint64_t>& tape) {
+  std::uint64_t rejected = 0;
+  std::size_t pos = 0;
+  for (std::uint64_t w = 0; w < plan.windows(); ++w) {
+    std::set<std::uint64_t> seen;
+    bool collide = false;
+    for (std::uint64_t i = 0; i < plan.window_samples(); ++i) {
+      if (!seen.insert(tape.at(pos++)).second) collide = true;
+    }
+    if (collide) ++rejected;
+  }
+  return rejected >= plan.reject_threshold();
+}
+
+TEST(StreamPlan, FeasibleRegimeShape) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible) << plan.infeasible_reason;
+  EXPECT_GE(plan.windows(), 2u);
+  EXPECT_GE(plan.window_samples(), 2u);
+  EXPECT_GE(plan.reject_threshold(), 1u);
+  EXPECT_LE(plan.reject_threshold(), plan.windows());
+  EXPECT_EQ(plan.clean_to_accept(),
+            plan.windows() - plan.reject_threshold() + 1);
+  EXPECT_EQ(plan.fixed_budget(), plan.windows() * plan.window_samples());
+  // The placement's proven two-sided bounds respect the budget.
+  EXPECT_LE(plan.decision.bound_false_reject, kError);
+  EXPECT_LE(plan.decision.bound_false_accept, kError);
+}
+
+TEST(StreamPlan, InfeasibleRegimesCarryReasons) {
+  const StreamPlan tiny = plan_stream(1, kEps, kError);
+  EXPECT_FALSE(tiny.feasible);
+  EXPECT_FALSE(tiny.infeasible_reason.empty());
+
+  // eps far too small for a 4-window cap: every candidate m fails, and the
+  // report names the cap plus the planner's last reason.
+  const StreamPlan hard =
+      plan_stream(kDomain, 0.2, 1.0 / 3.0, core::TailBound::kExactBinomial, 4);
+  EXPECT_FALSE(hard.feasible);
+  EXPECT_NE(hard.infeasible_reason.find("m <= 4"), std::string::npos);
+
+  const StreamPlan huge =
+      plan_stream(std::uint64_t{1} << 33, kEps, kError);
+  EXPECT_FALSE(huge.feasible);
+  EXPECT_NE(huge.infeasible_reason.find("u32"), std::string::npos);
+}
+
+TEST(SequentialCollisionTester, ConstructionContract) {
+  SequentialCollisionTester unbound;
+  EXPECT_THROW(unbound.observe(0), std::logic_error);
+
+  StreamPlan infeasible;  // default: feasible == false
+  EXPECT_THROW(SequentialCollisionTester{&infeasible}, std::invalid_argument);
+  EXPECT_THROW(SequentialCollisionTester{nullptr}, std::invalid_argument);
+}
+
+TEST(SequentialCollisionTester, ObserveValidatesDomain) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+  SequentialCollisionTester tester(&plan);
+  EXPECT_THROW(tester.observe(kDomain), std::invalid_argument);
+  EXPECT_EQ(tester.samples_consumed(), 0u);
+}
+
+TEST(SequentialCollisionTester, ForcedRejectStopsAtExactCost) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+  SequentialCollisionTester tester(&plan);
+
+  // A constant stream collides on the second sample of every window, so
+  // each window costs exactly 2 samples and the decision lands after T
+  // windows: 2*T samples versus the m*s fixed budget.
+  const std::uint64_t expect_cost = 2 * plan.reject_threshold();
+  core::VerdictStatus status = core::VerdictStatus::kUndecided;
+  std::uint64_t fed = 0;
+  while (status == core::VerdictStatus::kUndecided) {
+    status = tester.observe(0);
+    ++fed;
+  }
+  EXPECT_EQ(status, core::VerdictStatus::kReject);
+  EXPECT_EQ(fed, expect_cost);
+  EXPECT_EQ(tester.samples_consumed(), expect_cost);
+  EXPECT_EQ(tester.windows_completed(), plan.reject_threshold());
+  EXPECT_EQ(tester.votes_to_reject(), plan.reject_threshold());
+  EXPECT_LT(tester.samples_consumed(), plan.fixed_budget());
+
+  const core::Verdict verdict = tester.finalize();
+  EXPECT_TRUE(verdict.rejects());
+  EXPECT_EQ(verdict.status, core::VerdictStatus::kReject);
+  EXPECT_EQ(verdict.votes_reject, plan.reject_threshold());
+  EXPECT_EQ(verdict.votes_total, plan.reject_threshold());
+  EXPECT_EQ(verdict.samples_consumed, expect_cost);
+  EXPECT_DOUBLE_EQ(verdict.confidence,
+                   1.0 - plan.decision.bound_false_reject);
+}
+
+TEST(SequentialCollisionTester, ForcedAcceptStopsAtCleanWindows) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+  SequentialCollisionTester tester(&plan);
+
+  // A cycling tape never repeats within a window (s <= n), so every window
+  // is clean and the accept lands after m - T + 1 windows.
+  core::VerdictStatus status = core::VerdictStatus::kUndecided;
+  std::uint64_t next = 0;
+  while (status == core::VerdictStatus::kUndecided) {
+    status = tester.observe(next++ % kDomain);
+  }
+  EXPECT_EQ(status, core::VerdictStatus::kAccept);
+  EXPECT_EQ(tester.windows_completed(), plan.clean_to_accept());
+  EXPECT_EQ(tester.votes_to_reject(), 0u);
+  EXPECT_EQ(tester.samples_consumed(),
+            plan.clean_to_accept() * plan.window_samples());
+  EXPECT_LE(tester.samples_consumed(), plan.fixed_budget());
+
+  const core::Verdict verdict = tester.finalize();
+  EXPECT_TRUE(verdict.accepts);
+  EXPECT_DOUBLE_EQ(verdict.confidence,
+                   1.0 - plan.decision.bound_false_accept);
+}
+
+TEST(SequentialCollisionTester, DecisionIsStickyUntilReset) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+  SequentialCollisionTester tester(&plan);
+  while (tester.poll() == core::VerdictStatus::kUndecided) tester.observe(0);
+  const std::uint64_t at_decision = tester.samples_consumed();
+
+  // Post-decision samples are ignored, not consumed — even out-of-domain
+  // ones (the tester is already done).
+  EXPECT_EQ(tester.observe(1), core::VerdictStatus::kReject);
+  EXPECT_EQ(tester.observe(kDomain + 5), core::VerdictStatus::kReject);
+  EXPECT_EQ(tester.samples_consumed(), at_decision);
+
+  tester.reset();
+  EXPECT_EQ(tester.poll(), core::VerdictStatus::kUndecided);
+  EXPECT_EQ(tester.samples_consumed(), 0u);
+  EXPECT_EQ(tester.windows_completed(), 0u);
+  const core::Verdict fresh = tester.finalize();
+  EXPECT_FALSE(fresh.decided());
+  EXPECT_DOUBLE_EQ(fresh.confidence, 0.0);
+}
+
+TEST(SequentialCollisionTester, AgreesWithFixedWindowOnForcedStreams) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+
+  // Forced-reject tape: constant.
+  std::vector<std::uint64_t> reject_tape(plan.fixed_budget(), 42);
+  // Forced-accept tape: cycling, distinct within every window.
+  std::vector<std::uint64_t> accept_tape(plan.fixed_budget());
+  for (std::size_t i = 0; i < accept_tape.size(); ++i) {
+    accept_tape[i] = i % kDomain;
+  }
+
+  for (const auto* tape : {&reject_tape, &accept_tape}) {
+    SequentialCollisionTester tester(&plan);
+    for (const std::uint64_t value : *tape) {
+      if (tester.poll() != core::VerdictStatus::kUndecided) break;
+      tester.observe(value);
+    }
+    ASSERT_TRUE(tester.poll() != core::VerdictStatus::kUndecided);
+    const bool sequential_rejects =
+        tester.poll() == core::VerdictStatus::kReject;
+    EXPECT_EQ(sequential_rejects, batch_rejects(plan, *tape));
+    EXPECT_LE(tester.samples_consumed(), plan.fixed_budget());
+  }
+}
+
+TEST(SequentialCollisionTester, MonteCarloErrorRatesHonorBudget) {
+  const StreamPlan plan = small_plan();
+  ASSERT_TRUE(plan.feasible);
+  const std::uint64_t trials = 200;
+
+  auto reject_rate = [&](const core::Distribution& mu, std::uint64_t seed) {
+    const core::AliasSampler sampler(mu);
+    std::uint64_t rejects = 0;
+    for (std::uint64_t t = 0; t < trials; ++t) {
+      stats::Xoshiro256 rng = stats::derive_stream(seed, t);
+      SequentialCollisionTester tester(&plan);
+      while (tester.poll() == core::VerdictStatus::kUndecided) {
+        tester.observe(sampler.sample(rng));
+      }
+      rejects += tester.poll() == core::VerdictStatus::kReject;
+    }
+    return rejects;
+  };
+
+  const std::uint64_t uniform_rejects =
+      reject_rate(core::uniform(kDomain), 101);
+  const std::uint64_t far_rejects =
+      reject_rate(core::far_instance(kDomain, kEps), 202);
+  // True false-reject rate <= kError, true reject rate on the far family
+  // >= 1 - kError; Wilson intervals at ~1e-4 two-sided.
+  EXPECT_LE(stats::wilson_interval(uniform_rejects, trials, 3.89).lo, kError);
+  EXPECT_GE(stats::wilson_interval(far_rejects, trials, 3.89).hi, 1.0 - kError);
+  EXPECT_GT(far_rejects, uniform_rejects);
+}
+
+}  // namespace
+}  // namespace dut::serve

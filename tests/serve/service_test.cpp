@@ -1,0 +1,201 @@
+#include "dut/serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dut::serve {
+namespace {
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.domain = 4096;
+  config.epsilon = 1.6;
+  config.error = 0.4;
+  config.streams = 512;
+  config.shards = 1;
+  config.threads = 1;
+  config.far_every = 4;
+  config.seed = 5;
+  return config;
+}
+
+/// Flattens a run of `epochs` epochs into one verdict stream.
+std::vector<StreamVerdict> run_stream(VerdictService& service,
+                                      std::uint64_t epochs) {
+  std::vector<StreamVerdict> all;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    EpochResult result = service.run_epoch();
+    EXPECT_EQ(result.epoch, e);
+    EXPECT_EQ(result.accepts + result.rejects, result.verdicts.size());
+    all.insert(all.end(), result.verdicts.begin(), result.verdicts.end());
+  }
+  return all;
+}
+
+bool identical(const std::vector<StreamVerdict>& a,
+               const std::vector<StreamVerdict>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const StreamVerdict& x = a[i];
+    const StreamVerdict& y = b[i];
+    if (x.stream != y.stream || x.cycle != y.cycle ||
+        x.first_epoch != y.first_epoch || x.epoch != y.epoch ||
+        x.verdict.accepts != y.verdict.accepts ||
+        x.verdict.status != y.verdict.status ||
+        x.verdict.votes_reject != y.verdict.votes_reject ||
+        x.verdict.votes_total != y.verdict.votes_total ||
+        x.verdict.samples_consumed != y.verdict.samples_consumed ||
+        x.verdict.confidence != y.verdict.confidence) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(VerdictService, InfeasibleRegimeThrowsWithReason) {
+  ServeConfig config = small_config();
+  config.epsilon = 0.2;
+  config.max_windows = 4;
+  try {
+    VerdictService service(config);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("infeasible"), std::string::npos);
+  }
+}
+
+TEST(VerdictService, IngestValidatesStreamIds) {
+  VerdictService service(small_config());
+  const Arrival bad[] = {{512, 0}};
+  EXPECT_THROW((void)service.ingest(bad), std::invalid_argument);
+  const Arrival ok[] = {{511, 0}};
+  EXPECT_NO_THROW((void)service.ingest(ok));
+}
+
+TEST(VerdictService, TotalsAndQueryStayConsistent) {
+  VerdictService service(small_config());
+  std::uint64_t verdicts = 0;
+  for (std::uint64_t e = 0; e < 6; ++e) {
+    const EpochResult result = service.run_epoch();
+    verdicts += result.verdicts.size();
+  }
+  EXPECT_EQ(service.epochs_run(), 6u);
+  EXPECT_EQ(service.totals().arrivals, 6u * 512u);
+  EXPECT_EQ(service.totals().verdicts(), verdicts);
+  EXPECT_GT(verdicts, 0u) << "6 epochs of 512 arrivals must decide someone";
+  EXPECT_GT(service.totals().decision_samples(), 0u);
+
+  // Anytime answers never throw for live streams and never claim evidence
+  // they don't have.
+  for (std::uint64_t stream : {std::uint64_t{0}, std::uint64_t{511}}) {
+    const core::Verdict v = service.query(stream);
+    if (!v.decided()) {
+      EXPECT_TRUE(v.accepts);
+      EXPECT_DOUBLE_EQ(v.confidence, 0.0);
+    }
+  }
+  EXPECT_THROW((void)service.query(512), std::invalid_argument);
+}
+
+TEST(VerdictService, FarStreamsRejectHealthyStreamsAccept) {
+  // Mild skew and a fat batch so even tail streams gather enough samples
+  // to reach a decision (an accept costs ~(m - T + 1) * s samples).
+  ServeConfig config = small_config();
+  config.streams = 64;
+  config.zipf_theta = 0.2;
+  config.batch_per_epoch = 64 * 256;
+  VerdictService service(config);
+  std::uint64_t far_rejects = 0;
+  std::uint64_t far_verdicts = 0;
+  std::uint64_t healthy_accepts = 0;
+  std::uint64_t healthy_verdicts = 0;
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    const EpochResult result = service.run_epoch();
+    for (const StreamVerdict& v : result.verdicts) {
+      if (service.workload().is_far(v.stream)) {
+        ++far_verdicts;
+        far_rejects += v.verdict.rejects();
+      } else {
+        ++healthy_verdicts;
+        healthy_accepts += v.verdict.accepts;
+      }
+    }
+  }
+  ASSERT_GT(far_verdicts, 20u);
+  ASSERT_GT(healthy_verdicts, 20u);
+  // Per-decision error <= 0.4, so majorities must point the right way.
+  EXPECT_GT(2 * far_rejects, far_verdicts);
+  EXPECT_GT(2 * healthy_accepts, healthy_verdicts);
+}
+
+TEST(VerdictService, RejectDecisionsAreCheaperThanTheFixedBudget) {
+  VerdictService service(small_config());
+  for (std::uint64_t e = 0; e < 12; ++e) (void)service.run_epoch();
+  const ServeTotals& totals = service.totals();
+  ASSERT_GT(totals.rejects, 0u);
+  const double mean_reject =
+      static_cast<double>(totals.reject_samples) /
+      static_cast<double>(totals.rejects);
+  // Early stopping: far streams collide well before the m*s budget.
+  EXPECT_LT(mean_reject,
+            static_cast<double>(service.plan().fixed_budget()));
+}
+
+// The serve determinism gate (ctest: serve_determinism_gate): the verdict
+// stream is bit-identical across worker thread counts and shard counts.
+TEST(ServeDeterminismGate, ThreadsAndShardsLeaveTheVerdictStreamUntouched) {
+  ServeConfig base = small_config();
+  std::vector<StreamVerdict> reference;
+  {
+    VerdictService service(base);
+    reference = run_stream(service, 5);
+  }
+  ASSERT_GT(reference.size(), 0u);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const std::uint32_t shards : {std::uint32_t{1}, std::uint32_t{4}}) {
+      ServeConfig config = base;
+      config.threads = threads;
+      config.shards = shards;
+      VerdictService service(config);
+      const std::vector<StreamVerdict> stream = run_stream(service, 5);
+      EXPECT_TRUE(identical(reference, stream))
+          << "verdict stream diverged at threads=" << threads
+          << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ServeDeterminismGate, RebalanceRoundTripPreservesOpenCycles) {
+  // A service whose table is re-partitioned mid-run (1 -> 4 -> 1) must
+  // emit the same verdict stream as one that never rebalanced: open
+  // windows, votes and sample meters all travel with the stream.
+  ServeConfig config = small_config();
+  VerdictService steady(config);
+  VerdictService moved(config);
+
+  std::vector<StreamVerdict> steady_stream;
+  std::vector<StreamVerdict> moved_stream;
+  auto step = [](VerdictService& service, std::vector<StreamVerdict>& out) {
+    const EpochResult result = service.run_epoch();
+    out.insert(out.end(), result.verdicts.begin(), result.verdicts.end());
+  };
+  for (std::uint64_t e = 0; e < 2; ++e) step(steady, steady_stream);
+  for (std::uint64_t e = 0; e < 2; ++e) step(moved, moved_stream);
+  moved.rebalance(4);
+  EXPECT_EQ(moved.shards(), 4u);
+  for (std::uint64_t e = 0; e < 2; ++e) step(steady, steady_stream);
+  for (std::uint64_t e = 0; e < 2; ++e) step(moved, moved_stream);
+  moved.rebalance(1);
+  EXPECT_EQ(moved.shards(), 1u);
+  for (std::uint64_t e = 0; e < 2; ++e) step(steady, steady_stream);
+  for (std::uint64_t e = 0; e < 2; ++e) step(moved, moved_stream);
+
+  EXPECT_TRUE(identical(steady_stream, moved_stream));
+}
+
+}  // namespace
+}  // namespace dut::serve

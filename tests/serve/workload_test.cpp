@@ -1,0 +1,111 @@
+#include "dut/serve/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dut::serve {
+namespace {
+
+WorkloadConfig basic_config() {
+  WorkloadConfig config;
+  config.streams = 16;
+  config.domain = 4096;
+  config.zipf_theta = 0.99;
+  config.epsilon = 1.6;
+  config.far_every = 4;
+  return config;
+}
+
+TEST(WorkloadGenerator, ConstructionValidation) {
+  WorkloadConfig bad = basic_config();
+  bad.streams = 0;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.domain = 1;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.domain = 4097;  // odd domain but far streams requested
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+  bad = basic_config();
+  bad.domain = 4097;
+  bad.far_every = 0;  // no far streams: odd domains are fine
+  EXPECT_NO_THROW(WorkloadGenerator{bad});
+  bad = basic_config();
+  bad.zipf_theta = -0.1;
+  EXPECT_THROW(WorkloadGenerator{bad}, std::invalid_argument);
+}
+
+TEST(WorkloadGenerator, FarMarking) {
+  const WorkloadGenerator generator(basic_config());
+  EXPECT_TRUE(generator.is_far(0));
+  EXPECT_FALSE(generator.is_far(1));
+  EXPECT_TRUE(generator.is_far(4));
+  EXPECT_TRUE(generator.is_far(12));
+  EXPECT_EQ(generator.far_streams(), 4u);  // ids 0, 4, 8, 12
+
+  WorkloadConfig healthy = basic_config();
+  healthy.far_every = 0;
+  const WorkloadGenerator all_uniform(healthy);
+  EXPECT_FALSE(all_uniform.is_far(0));
+  EXPECT_EQ(all_uniform.far_streams(), 0u);
+}
+
+TEST(WorkloadGenerator, EpochTapeIsDeterministic) {
+  const WorkloadGenerator generator(basic_config());
+  std::vector<Arrival> a;
+  std::vector<Arrival> b;
+  std::vector<Arrival> other_epoch;
+  generator.generate_epoch(9, 3, 4096, a);
+  generator.generate_epoch(9, 3, 4096, b);
+  generator.generate_epoch(9, 4, 4096, other_epoch);
+  ASSERT_EQ(a.size(), 4096u);
+  ASSERT_EQ(b.size(), 4096u);
+  const bool same = std::equal(a.begin(), a.end(), b.begin(),
+                               [](const Arrival& x, const Arrival& y) {
+                                 return x.stream == y.stream &&
+                                        x.value == y.value;
+                               });
+  EXPECT_TRUE(same);
+  const bool differs =
+      !std::equal(a.begin(), a.end(), other_epoch.begin(),
+                  [](const Arrival& x, const Arrival& y) {
+                    return x.stream == y.stream && x.value == y.value;
+                  });
+  EXPECT_TRUE(differs) << "distinct epochs must draw distinct tapes";
+}
+
+TEST(WorkloadGenerator, ZipfPopularityIsSkewed) {
+  const WorkloadGenerator generator(basic_config());
+  std::vector<std::uint64_t> counts(16, 0);
+  std::vector<Arrival> tape;
+  generator.generate_epoch(1, 0, 100000, tape);
+  for (const Arrival& a : tape) {
+    ASSERT_LT(a.stream, 16u);
+    ASSERT_LT(a.value, 4096u);
+    ++counts[a.stream];
+  }
+  // theta = 0.99: p_0 / p_8 ~ 9^0.99 ~ 8.8; a 4x margin is far outside
+  // sampling noise at 100k draws.
+  EXPECT_GT(counts[0], 4 * counts[8]);
+  EXPECT_GT(counts[0], counts[15]);
+}
+
+TEST(WorkloadGenerator, ZeroThetaIsNearUniformTraffic) {
+  WorkloadConfig flat = basic_config();
+  flat.zipf_theta = 0.0;
+  const WorkloadGenerator generator(flat);
+  std::vector<std::uint64_t> counts(16, 0);
+  std::vector<Arrival> tape;
+  generator.generate_epoch(2, 0, 100000, tape);
+  for (const Arrival& a : tape) ++counts[a.stream];
+  const auto [lo, hi] = std::minmax_element(counts.begin(), counts.end());
+  // Expected 6250 per stream; +-8 sigma ~ +-630.
+  EXPECT_GT(*lo, 5500u);
+  EXPECT_LT(*hi, 7000u);
+}
+
+}  // namespace
+}  // namespace dut::serve

@@ -10,10 +10,23 @@
 //                          [--topology random] [--trials 20] [--seed 1]
 //                          [--faults drop=0.05,dup=0.01,crash=3@0+17@12]
 //                          [--quorum Q] [--retransmits R] [--workers W]
+//   dut_cli serve          --streams 1048576 --shards 8 --zipf 0.99
+//                          --duration-epochs 12 [--n 4096] [--eps 1.6]
+//                          [--p 0.33] [--far-every 16] [--batch B]
+//                          [--threads W] [--seed S]
 //   dut_cli families       --n 4096
 //
 // Families for run-threshold / run-congest: uniform, paninski, heavy (20%
 // hitter), zipf (exponent 1), support (half support removed).
+//
+// serve runs the sharded streaming verdict service (DESIGN.md §15) for a
+// fixed number of epochs and prints per-epoch decisions, sequential sample
+// savings against the fixed m*s budget, epochs-to-verdict latency
+// percentiles, and an FNV digest of the full verdict stream. Everything
+// except the `timing:`-prefixed wall-clock lines is a pure function of the
+// flags — tools/run_smoke.sh --serve diffs the output across thread and
+// shard counts. Serve flags are parsed strictly (obs::parse_u64 semantics):
+// a malformed value is a usage error, never a silent default.
 //
 // --faults takes a net::FaultPlan spec (drop= dup= corrupt= delay=P[:MAX]
 // crash=NODE@ROUND[+...] seed=S) and switches run-congest to the resilient
@@ -28,6 +41,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -37,6 +52,7 @@
 #include <vector>
 
 #include "dut/dut.hpp"
+#include "dut/obs/phase_timer.hpp"
 
 namespace {
 
@@ -56,6 +72,10 @@ using namespace dut;
                "                 [--topology random|ring|star|line|grid]\n"
                "                 [--trials T] [--seed S] [--faults SPEC]\n"
                "                 [--quorum Q] [--retransmits R] [--workers W]\n"
+               "  serve          [--streams S] [--shards H] [--zipf THETA]\n"
+               "                 [--duration-epochs E] [--n N] [--eps E]\n"
+               "                 [--p P] [--far-every F] [--batch B]\n"
+               "                 [--threads W] [--seed S] [--chernoff]\n"
                "  families       --n N\n");
   std::exit(2);
 }
@@ -409,6 +429,164 @@ int run_congest_cmd(const Args& args, const char* exe,
   return 0;
 }
 
+// Strict flag parsing for the serve subcommand: the whole value must be a
+// decimal integer (obs::parse_u64) or a full real number in range; anything
+// else — trailing junk, overflow, out of range — is a usage error, never a
+// silent default. The other subcommands keep the historical lenient
+// parsing; new commands should use these.
+std::uint64_t strict_integer(const Args& args, const std::string& flag,
+                             std::uint64_t fallback, std::uint64_t min,
+                             std::uint64_t max) {
+  const std::string raw = args.text(flag, "");
+  if (raw.empty()) return fallback;
+  const std::optional<std::uint64_t> value =
+      obs::parse_u64(raw.c_str(), min, max);
+  if (!value) {
+    usage(("--" + flag + " wants an integer in [" + std::to_string(min) +
+           ", " + std::to_string(max) + "], got '" + raw + "'")
+              .c_str());
+  }
+  return *value;
+}
+
+double strict_real(const Args& args, const std::string& flag, double fallback,
+                   double min, double max) {
+  const std::string raw = args.text(flag, "");
+  if (raw.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || errno == ERANGE || value < min ||
+      value > max) {
+    usage(("--" + flag + " wants a real in [" + std::to_string(min) + ", " +
+           std::to_string(max) + "], got '" + raw + "'")
+              .c_str());
+  }
+  return value;
+}
+
+int serve_cmd(const Args& args) {
+  serve::ServeConfig config;
+  config.domain = strict_integer(args, "n", 1 << 12, 2, 0xffffffffull);
+  config.epsilon = strict_real(args, "eps", 1.6, 1e-3, 2.0);
+  config.error = strict_real(args, "p", 1.0 / 3.0, 1e-6, 0.499);
+  config.bound = args.flag("chernoff") ? core::TailBound::kChernoff
+                                       : core::TailBound::kExactBinomial;
+  config.streams = strict_integer(args, "streams", 1024, 1, 0xffffffffull);
+  config.shards = static_cast<std::uint32_t>(
+      strict_integer(args, "shards", 1, 1, 1 << 16));
+  config.threads = static_cast<unsigned>(
+      strict_integer(args, "threads", 0, 0, 1024));
+  config.zipf_theta = strict_real(args, "zipf", 0.99, 0.0, 32.0);
+  config.far_every = strict_integer(args, "far-every", 16, 0, 0xffffffffull);
+  config.batch_per_epoch =
+      strict_integer(args, "batch", 0, 0, std::uint64_t{1} << 32);
+  config.seed = strict_integer(args, "seed", 1, 0, ~std::uint64_t{0} - 1);
+  const std::uint64_t epochs =
+      strict_integer(args, "duration-epochs", 8, 1, 1 << 20);
+
+  // Reject-with-message on infeasible (n, eps, p) regimes, matching the
+  // planners above (and FleetMonitor's construction contract).
+  const serve::StreamPlan plan =
+      serve::plan_stream(config.domain, config.epsilon, config.error,
+                         config.bound, config.max_windows);
+  if (!plan.feasible) {
+    std::printf("infeasible: %s\n", plan.infeasible_reason.c_str());
+    return 1;
+  }
+
+  serve::VerdictService service(config);
+  std::printf(
+      "serve plan: n=%llu eps=%.3f p=%.3f windows=%llu window-samples=%llu "
+      "threshold=%llu fixed-budget=%llu\n",
+      static_cast<unsigned long long>(config.domain), config.epsilon,
+      config.error, static_cast<unsigned long long>(plan.windows()),
+      static_cast<unsigned long long>(plan.window_samples()),
+      static_cast<unsigned long long>(plan.reject_threshold()),
+      static_cast<unsigned long long>(plan.fixed_budget()));
+  std::printf(
+      "serve shape: streams=%llu shards=%u threads=%u zipf=%.3f "
+      "far-every=%llu batch=%llu seed=%llu\n",
+      static_cast<unsigned long long>(config.streams), config.shards,
+      config.threads, config.zipf_theta,
+      static_cast<unsigned long long>(config.far_every),
+      static_cast<unsigned long long>(config.batch_per_epoch == 0
+                                          ? config.streams
+                                          : config.batch_per_epoch),
+      static_cast<unsigned long long>(config.seed));
+
+  // FNV-1a over every verdict's integer fields: one number that must match
+  // across any thread/shard configuration.
+  std::uint64_t digest = 1469598103934665603ull;
+  const auto mix = [&digest](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      digest ^= (x >> (8 * b)) & 0xffull;
+      digest *= 1099511628211ull;
+    }
+  };
+
+  const obs::StopWatch watch;
+  std::vector<std::uint64_t> latencies;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    const serve::EpochResult result = service.run_epoch();
+    for (const serve::StreamVerdict& v : result.verdicts) {
+      mix(v.stream);
+      mix(v.cycle);
+      mix(v.first_epoch);
+      mix(v.epoch);
+      mix(static_cast<std::uint64_t>(v.verdict.status));
+      mix(v.verdict.votes_reject);
+      mix(v.verdict.votes_total);
+      mix(v.verdict.samples_consumed);
+      latencies.push_back(v.epoch - v.first_epoch + 1);
+    }
+    std::printf("epoch %llu: arrivals=%llu verdicts=%zu accepts=%llu "
+                "rejects=%llu\n",
+                static_cast<unsigned long long>(result.epoch),
+                static_cast<unsigned long long>(result.arrivals),
+                result.verdicts.size(),
+                static_cast<unsigned long long>(result.accepts),
+                static_cast<unsigned long long>(result.rejects));
+  }
+  const double wall = watch.seconds();
+
+  const serve::ServeTotals& totals = service.totals();
+  std::printf("totals: epochs=%llu arrivals=%llu accepts=%llu rejects=%llu\n",
+              static_cast<unsigned long long>(totals.epochs),
+              static_cast<unsigned long long>(totals.arrivals),
+              static_cast<unsigned long long>(totals.accepts),
+              static_cast<unsigned long long>(totals.rejects));
+  const auto mean = [](std::uint64_t samples, std::uint64_t count) {
+    return count == 0 ? 0.0
+                      : static_cast<double>(samples) /
+                            static_cast<double>(count);
+  };
+  std::printf(
+      "samples: mean/accept=%.1f mean/reject=%.1f fixed-budget=%llu\n",
+      mean(totals.accept_samples, totals.accepts),
+      mean(totals.reject_samples, totals.rejects),
+      static_cast<unsigned long long>(plan.fixed_budget()));
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto quantile = [&latencies](double q) {
+      const std::size_t idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    std::printf("latency epochs: p50=%llu p99=%llu max=%llu\n",
+                static_cast<unsigned long long>(quantile(0.50)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(latencies.back()));
+  }
+  std::printf("verdict digest: %016llx\n",
+              static_cast<unsigned long long>(digest));
+  // Wall-clock numbers are not deterministic; the `timing:` prefix lets
+  // smoke scripts filter them before diffing configurations.
+  std::printf("timing: wall=%.3fs throughput=%.0f arrivals/s\n", wall,
+              wall > 0.0 ? static_cast<double>(totals.arrivals) / wall : 0.0);
+  return 0;
+}
+
 int families_cmd(const Args& args) {
   const std::uint64_t n = args.integer("n", 4096);
   stats::TextTable table({"family", "L1 to uniform", "chi * n", "entropy"});
@@ -473,6 +651,7 @@ int main(int argc, char** argv) {
     if (command == "run-threshold") return run_threshold_cmd(args);
     if (command == "run-congest")
       return run_congest_cmd(args, argv[0], raw_args);
+    if (command == "serve") return serve_cmd(args);
     if (command == "families") return families_cmd(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

@@ -8,11 +8,44 @@
 # Usage: run_smoke.sh [--replay <dut_replay-binary>] \
 #            <dut_trace-binary> <workdir> <binary> [args...]
 #        run_smoke.sh --lint <dut_lint-binary> <repo-root>
+#        run_smoke.sh --serve <dut_cli-binary>
 # Registered per experiment as the smoke_* ctest entries (bench/CMakeLists);
 # --replay additionally re-executes the transcript with dut_replay and
 # byte-diffs it (the smoke_replay entries); the --lint mode is the
-# smoke_lint entry (tools/dut_lint/CMakeLists).
+# smoke_lint entry (tools/dut_lint/CMakeLists); the --serve mode is the
+# smoke_serve entry (tools/CMakeLists).
 set -euo pipefail
+
+# Serve mode: the `dut_cli serve` output is a pure function of its flags
+# except the "timing:" trailer, so a serial single-shard run and an
+# 8-thread 4-shard run must print byte-identical reports — per-epoch
+# verdict tallies, sample means, latency percentiles and the FNV verdict
+# digest all included (DESIGN.md §15's determinism contract, end to end
+# through the CLI).
+if [ "${1:-}" = "--serve" ]; then
+  if [ "$#" -ne 2 ]; then
+    echo "usage: $0 --serve <dut_cli-binary>" >&2
+    exit 2
+  fi
+  dut_cli=$2
+  flags=(--n 4096 --eps 1.6 --p 0.4 --streams 2048 --zipf 0.99
+         --duration-epochs 6)
+  # "serve shape:" echoes the shard/thread flags themselves; "timing:" is
+  # wall clock. Everything else must match byte for byte.
+  serial=$(DUT_THREADS=1 "$dut_cli" serve "${flags[@]}" --shards 1 \
+    | grep -v -e '^timing:' -e '^serve shape:')
+  sharded=$(DUT_THREADS=8 "$dut_cli" serve "${flags[@]}" --shards 4 \
+    | grep -v -e '^timing:' -e '^serve shape:')
+  if [ "$serial" != "$sharded" ]; then
+    echo "smoke: serve output diverged between 1-thread/1-shard and" \
+         "8-thread/4-shard runs" >&2
+    diff <(echo "$serial") <(echo "$sharded") >&2 || true
+    exit 1
+  fi
+  echo "$serial" | grep '^verdict digest:'
+  echo "smoke: serve verdict stream identical across threads and shards"
+  exit 0
+fi
 
 # Lint mode: run the dut_lint gate against its checked-in baseline and make
 # sure the machine-readable report is well-formed JSON (python is only used

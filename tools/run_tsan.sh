@@ -18,8 +18,9 @@ cd "$(dirname "$0")/.."
 cmake --preset tsan -DDUT_BUILD_BENCH=ON
 cmake --build --preset tsan -j "$(nproc)" \
   --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
-           dut_integration_tests e7_token_packaging e8_congest e9_local \
-           e15_fault_tolerance e16_transport dut_trace
+           dut_serve_tests dut_integration_tests e7_token_packaging \
+           e8_congest e9_local e15_fault_tolerance e16_transport e17_serve \
+           dut_trace
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -40,6 +41,12 @@ echo "== dut_net_tests engine + tracing (DUT_THREADS=${DUT_THREADS}) =="
 echo "== dut_integration_tests trial-parallel determinism (DUT_THREADS=${DUT_THREADS}) =="
 ./build-tsan/tests/dut_integration_tests --gtest_filter='NetTrials*'
 
+# The verdict service fans each epoch's shards over a private worker pool
+# (shared-nothing by construction); the determinism gate cases force the
+# thread x shard matrix through the contended pool under TSan.
+echo "== dut_serve_tests shard fan-out (DUT_THREADS=${DUT_THREADS}) =="
+./build-tsan/tests/dut_serve_tests
+
 # The network experiments fan trials over the worker pool with one
 # designated traced trial each; every transcript and run report must
 # validate even when the traced trial lands on a contended worker. E15 runs
@@ -49,8 +56,10 @@ echo "== dut_integration_tests trial-parallel determinism (DUT_THREADS=${DUT_THR
 # children over the shared session) and validates the merged transcript.
 tsan_trace_dir=$(mktemp -d)
 trap 'rm -rf "$tsan_trace_dir"' EXIT
+# E17 drives the sharded verdict service's epoch loop (the one engine-free
+# bench here: no transcript, but its run report must still validate).
 for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance \
-           e16_transport; do
+           e16_transport e17_serve; do
   echo "== traced $exp quick run (DUT_THREADS=${DUT_THREADS}, DUT_TRACE on) =="
   exp_dir="$tsan_trace_dir/$exp"
   mkdir -p "$exp_dir"
@@ -58,7 +67,9 @@ for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance \
     cd "$exp_dir"
     DUT_TRACE="$exp_dir/trace.jsonl" \
       "$OLDPWD/build-tsan/bench/$exp" --quick > /dev/null
-    "$OLDPWD/build-tsan/tools/dut_trace" check "$exp_dir/trace.jsonl"
+    if [ -s "$exp_dir/trace.jsonl" ]; then
+      "$OLDPWD/build-tsan/tools/dut_trace" check "$exp_dir/trace.jsonl"
+    fi
     for report in BENCH_*.json; do
       [ -e "$report" ] || continue
       "$OLDPWD/build-tsan/tools/dut_trace" check-report "$report"
