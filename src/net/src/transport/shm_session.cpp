@@ -192,11 +192,16 @@ void ShmSession::Backoff::step(const ShmSession& session, bool watch_abort) {
 
 void ShmSession::check_abort() const {
   const std::uint64_t code =
+      // dut-lint: ordering(abort-visibility): acquire pairs with the
+      // acq_rel CAS in publish_abort, so the aborting rank's writes are
+      // visible before the code is acted on.
       control()->abort_code.load(std::memory_order_acquire);
   if (code != 0) {
     throw TransportAborted("ShmSession: peer aborted the trial (code " +
                            std::to_string(code) + ")");
   }
+  // dut-lint: ordering(shutdown-visibility): acquire pairs with the
+  // release store in end_session.
   if (control()->shutdown.load(std::memory_order_acquire) != 0) {
     throw TransportAborted("ShmSession: session shut down mid-trial");
   }
@@ -205,25 +210,36 @@ void ShmSession::check_abort() const {
 void ShmSession::publish_abort(std::uint64_t code) noexcept {
   std::uint64_t expected = 0;
   control()->abort_code.compare_exchange_strong(
+      // dut-lint: ordering(abort-publish): acq_rel — the release half
+      // publishes the aborting rank's state with the code; first writer
+      // wins so every rank reports one abort cause.
       expected, code, std::memory_order_acq_rel, std::memory_order_relaxed);
 }
 
 std::uint64_t ShmSession::abort_code() const noexcept {
+  // dut-lint: ordering(abort-visibility): acquire pairs with the acq_rel
+  // CAS in publish_abort (same edge as check_abort).
   return control()->abort_code.load(std::memory_order_acquire);
 }
 
 std::uint64_t ShmSession::begin_trial(std::uint64_t seed,
                                       std::uint64_t flags) {
   shm::ShmControl& c = *control();
+  // dut-lint: ordering(trial-publish): acquire pairs with the release
+  // store below — the coordinator re-reads its own last publication.
   const std::uint64_t prev = c.trial_seq.load(std::memory_order_acquire);
   // All workers must have posted completion of the previous trial before
   // any shared state is reset under them. The coordinator's own rank-0 slot
   // participates too, for uniformity: it posts like any worker.
   for (std::uint32_t r = 0; r < c.num_ranks; ++r) {
     Backoff backoff;
+    // dut-lint: ordering(quiescence): acquire pairs with post_ready's
+    // release store; after this loop no worker touches trial state.
     while (c.ready[r].load(std::memory_order_acquire) < prev) {
       // A worker that aborted still posts ready, so a stale abort code is
       // not an error here — only shutdown or the spin deadline is.
+      // dut-lint: ordering(shutdown-visibility): acquire pairs with the
+      // release store in end_session.
       if (c.shutdown.load(std::memory_order_acquire) != 0) {
         throw TransportAborted("ShmSession: session shut down mid-trial");
       }
@@ -231,27 +247,45 @@ std::uint64_t ShmSession::begin_trial(std::uint64_t seed,
     }
   }
   for (std::uint32_t r = 0; r < c.num_ranks; ++r) {
+    // dut-lint: handoff(seq): quiescence barrier — every rank posted
+    // ready above, so the exchange cells are idle and the coordinator
+    // may reset the owner's (exchange's) field between trials.
     c.exchange[r].seq.store(0, std::memory_order_relaxed);
   }
   for (std::uint32_t from = 0; from < c.num_ranks; ++from) {
     for (std::uint32_t to = 0; to < c.num_ranks; ++to) {
       shm::RingHeader* ring = ring_header(from, to);
+      // dut-lint: handoff(head): quiescence barrier — rings are idle
+      // after the ready sweep; the reader-owned head resets to zero.
       ring->head.store(0, std::memory_order_relaxed);
+      // dut-lint: handoff(tail): quiescence barrier — rings are idle
+      // after the ready sweep; the writer-owned tail resets to zero.
       ring->tail.store(0, std::memory_order_relaxed);
     }
   }
+  // dut-lint: handoff(abort_code): quiescence barrier — a stale abort
+  // from the finished trial is cleared before the next one is published.
   c.abort_code.store(0, std::memory_order_relaxed);
   c.trial_seed = seed;
   c.trial_flags = flags;
   const std::uint64_t seq = prev + 1;
+  // dut-lint: ordering(trial-publish): release publishes trial_seed and
+  // trial_flags (and the resets above) to wait_trial's acquire load.
   c.trial_seq.store(seq, std::memory_order_release);
   return seq;
 }
 
 void ShmSession::end_session() noexcept {
   shm::ShmControl& c = *control();
+  // dut-lint: ordering(shutdown-visibility): release pairs with the
+  // acquire loads in check_abort / wait_trial / begin_trial.
   c.shutdown.store(1, std::memory_order_release);
   // Bump the trial counter so wait_trial wakes even if it raced the flag.
+  // dut-lint: handoff(trial_seq): shutdown wake-up — the one write off
+  // the coordinator's begin_trial path, forcing sleeping workers to
+  // re-check the shutdown flag.
+  // dut-lint: ordering(shutdown-visibility): release so the wake-up bump
+  // is never seen before the shutdown flag itself.
   c.trial_seq.fetch_add(1, std::memory_order_release);
 }
 
@@ -259,9 +293,13 @@ ShmSession::Trial ShmSession::wait_trial(std::uint64_t last_seq) {
   shm::ShmControl& c = *control();
   Backoff backoff;
   for (;;) {
+    // dut-lint: ordering(shutdown-visibility): acquire pairs with the
+    // release store in end_session.
     if (c.shutdown.load(std::memory_order_acquire) != 0) {
       return Trial{.shutdown = true};
     }
+    // dut-lint: ordering(trial-publish): acquire pairs with begin_trial's
+    // release store; trial_seed/flags and the resets are visible here.
     const std::uint64_t seq = c.trial_seq.load(std::memory_order_acquire);
     if (seq > last_seq) {
       return Trial{.shutdown = false,
@@ -274,6 +312,8 @@ ShmSession::Trial ShmSession::wait_trial(std::uint64_t last_seq) {
 }
 
 void ShmSession::post_ready(std::uint32_t rank, std::uint64_t seq) {
+  // dut-lint: ordering(quiescence): release publishes everything this rank
+  // wrote during the trial to begin_trial's acquire sweep.
   control()->ready[rank].store(seq, std::memory_order_release);
 }
 
@@ -288,12 +328,16 @@ void ShmSession::exchange(std::uint32_t rank, std::uint64_t publish,
   const std::size_t parity = publish & 1;
   shm::ExchangeCell& mine = c.exchange[rank];
   std::copy(local.begin(), local.end(), mine.words[parity]);
+  // dut-lint: ordering(exchange-publish): release publishes this rank's
+  // payload words before the sequence number that announces them.
   mine.seq.store(publish, std::memory_order_release);
 
   all.assign(static_cast<std::size_t>(c.num_ranks) * words, 0);
   for (std::uint32_t r = 0; r < c.num_ranks; ++r) {
     const shm::ExchangeCell& cell = c.exchange[r];
     Backoff backoff;
+    // dut-lint: ordering(exchange-publish): acquire pairs with the peer's
+    // release store; its payload words are valid once seq catches up.
     while (cell.seq.load(std::memory_order_acquire) < publish) {
       backoff.pause(*this);
     }
@@ -308,6 +352,8 @@ std::size_t ShmSession::ring_try_push(std::uint32_t from, std::uint32_t to,
   shm::RingHeader* ring = ring_header(from, to);
   const std::uint64_t cap = control()->ring_words;
   const std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+  // dut-lint: ordering(ring-consume): acquire pairs with the reader's head
+  // release; slots below head are free to overwrite.
   const std::uint64_t head = ring->head.load(std::memory_order_acquire);
   const std::uint64_t free = cap - (tail - head);
   const std::size_t n = count < free ? count : static_cast<std::size_t>(free);
@@ -316,6 +362,8 @@ std::size_t ShmSession::ring_try_push(std::uint32_t from, std::uint32_t to,
   for (std::size_t i = 0; i < n; ++i) {
     data[(tail + i) % cap] = words[i];
   }
+  // dut-lint: ordering(ring-publish): release publishes the copied words
+  // before the tail that makes them visible to the reader.
   ring->tail.store(tail + n, std::memory_order_release);
   return n;
 }
@@ -325,6 +373,8 @@ std::size_t ShmSession::ring_try_pop(std::uint32_t from, std::uint32_t to,
   shm::RingHeader* ring = ring_header(from, to);
   const std::uint64_t cap = control()->ring_words;
   const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  // dut-lint: ordering(ring-publish): acquire pairs with the writer's tail
+  // release; payload words below tail are valid to read.
   const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
   const std::uint64_t avail = tail - head;
   const std::size_t n = max < avail ? max : static_cast<std::size_t>(avail);
@@ -333,6 +383,8 @@ std::size_t ShmSession::ring_try_pop(std::uint32_t from, std::uint32_t to,
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = data[(head + i) % cap];
   }
+  // dut-lint: ordering(ring-consume): release retires the consumed slots
+  // before the head that hands them back to the writer.
   ring->head.store(head + n, std::memory_order_release);
   return n;
 }

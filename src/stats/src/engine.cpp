@@ -74,6 +74,9 @@ void TrialRunner::worker_loop() {
     // Release-ordering on the decrement publishes this worker's chunk slots;
     // the last worker notifies under the mutex so the submitter cannot miss
     // the wakeup between its predicate check and its wait.
+    // dut-lint: ordering(job-complete): acq_rel — release publishes this
+    // worker's chunk results, acquire makes the last decrementer see all
+    // peers' results before notifying the submitter.
     if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
@@ -138,6 +141,9 @@ void TrialRunner::for_each_chunk(
   drain_chunks();  // the submitting thread is a full work lane
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock,
+                // dut-lint: ordering(job-complete): acquire pairs with the
+                // workers' acq_rel decrement; all chunk results are visible
+                // once the count reaches zero.
                 [&] { return active_.load(std::memory_order_acquire) == 0; });
   if (job_error_) {
     std::exception_ptr error = job_error_;

@@ -1,0 +1,40 @@
+// Census fixture (DESIGN.md §16.3): the ring tail gains a second writer,
+// the head writers are either unique or handoff-annotated, one acquire
+// load is justified and one is not. Scanned as src/net/src/census.cpp by
+// the LintCensus tests (and under src/core/ to prove the scope gate).
+
+#include <atomic>
+
+struct FixtureRing {
+  std::atomic<unsigned> head{0};
+  std::atomic<unsigned> tail{0};
+};
+
+void producer(FixtureRing& r, unsigned v) {
+  r.tail.store(v);
+  r.tail.store(v + 1);
+}
+
+void rogue_reset(FixtureRing& r) {
+  r.tail.store(0);  // shared-write-outside-owner: producer owns tail
+}
+
+void consumer(FixtureRing& r) {
+  r.head.store(1);
+}
+
+void quiesce(FixtureRing& r) {
+  // dut-lint: handoff(head): trial boundary; the consumer is quiescent
+  // while the coordinator re-arms the ring for the next trial.
+  r.head.store(0);
+}
+
+unsigned observe(const FixtureRing& r) {
+  // dut-lint: ordering(ring-consume): acquire pairs with the producer's
+  // release store so the slot payload is visible before the index.
+  return r.head.load(std::memory_order_acquire);
+}
+
+unsigned unjustified(const FixtureRing& r) {
+  return r.tail.load(std::memory_order_acquire);  // needs ordering(...)
+}

@@ -1,0 +1,33 @@
+// Merge-order fixture (DESIGN.md §16.2): reversed loops around merge /
+// absorb calls must fire; ascending and merge-free loops must not.
+
+#include <vector>
+
+struct Tally {
+  void merge_from(const Tally& other);
+  void absorb(const Tally& other);
+};
+
+void bad_reverse_index(Tally* shards, int count, Tally& total) {
+  for (int r = count - 1; r >= 0; --r) {
+    total.merge_from(shards[r]);  // merge-not-rank-ordered
+  }
+}
+
+void bad_reverse_iterator(std::vector<Tally>& shards, Tally& total) {
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    total.absorb(*it);  // merge-not-rank-ordered
+  }
+}
+
+void good_ascending(Tally* shards, int count, Tally& total) {
+  for (int r = 0; r < count; ++r) {
+    total.merge_from(shards[r]);  // ascending order: clean
+  }
+}
+
+void reverse_without_merge(int* xs, int count) {
+  for (int r = count - 1; r >= 0; --r) {
+    xs[r] = 2 * xs[r];  // no merge in the body: clean
+  }
+}

@@ -1,0 +1,39 @@
+// Seed-flow fixture (DESIGN.md §16.2): one unkeyed derivation and one
+// funnel escape among keyed, funneled and lenient forms that must stay
+// clean. Scanned under pretend src/ paths by the LintTaint tests.
+
+#include <cstdint>
+
+std::uint64_t SplitMix64(std::uint64_t x);
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t stream);
+void record_epoch(std::uint64_t epoch);
+void mix_entropy(std::uint64_t base_seed);
+void reseed(std::uint64_t next);
+
+std::uint64_t unkeyed(std::uint64_t sweep_seed) {
+  return SplitMix64(sweep_seed);  // seed-unkeyed-derivation
+}
+
+std::uint64_t keyed(std::uint64_t sweep_seed, std::uint64_t trial) {
+  return SplitMix64(sweep_seed ^ trial);  // keyed expression: clean
+}
+
+std::uint64_t funneled(std::uint64_t sweep_seed, std::uint64_t stream) {
+  return derive_stream(sweep_seed, stream);  // the funnel entry: clean
+}
+
+void escapes(std::uint64_t sweep_seed) {
+  record_epoch(sweep_seed);  // seed-escapes-funnel: parameter is 'epoch'
+}
+
+void seedlike_param_ok(std::uint64_t sweep_seed) {
+  mix_entropy(sweep_seed);  // callee declares 'base_seed': clean
+}
+
+void seedlike_callee_ok(std::uint64_t sweep_seed) {
+  reseed(sweep_seed);  // callee name is itself seed-like: clean
+}
+
+void unknown_callee_ok(std::uint64_t sweep_seed) {
+  mystery_sink(sweep_seed);  // no declaration anywhere: lenient
+}

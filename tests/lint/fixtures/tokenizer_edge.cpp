@@ -1,0 +1,19 @@
+// Tokenizer edge cases: digit separators must not open phantom char
+// literals, an identifier merely ending in R is not a raw-string prefix,
+// and a raw string terminates only at its *full* )delim" sequence. Each
+// trap is followed by a violation that must stay visible to the rules.
+
+#include <cstdlib>
+#include <random>
+
+constexpr unsigned long long kBudget = 1'000'000;
+constexpr unsigned kMask = 0xFF'FF;
+
+const char* kTag = FIXTURE_R"not a raw string; rand() stays scrubbed";
+std::random_device entropy;  // must stay visible after all of the above
+
+const char* kRaw = R"ab(rand() and )a near-terminators stay scrubbed)ab";
+int noisy() { return rand(); }  // must stay visible after the raw string
+
+const char kAre = 'R';
+const char* kPlain = "std::random_device quoted in a plain string";

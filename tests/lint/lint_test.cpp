@@ -415,5 +415,424 @@ TEST(LintRules, RuleTableAndKnownRulesAgree) {
   EXPECT_FALSE(is_known_rule("no-such-rule"));
 }
 
+TEST(LintRules, EveryRuleCitesItsDesignSectionAndGuarantee) {
+  // --explain renders summary/guarantee/design_ref for any rule; none of
+  // the fields may be empty and every reference must point into DESIGN.md.
+  for (const RuleInfo& r : rule_table()) {
+    EXPECT_FALSE(r.guarantee.empty()) << r.name;
+    EXPECT_EQ(r.design_ref.rfind("DESIGN.md", 0), 0u) << r.name;
+    EXPECT_EQ(find_rule_info(r.name), &r);
+  }
+  const RuleInfo* taint = find_rule_info("seed-unkeyed-derivation");
+  ASSERT_NE(taint, nullptr);
+  EXPECT_NE(taint->design_ref.find("16.2"), std::string_view::npos);
+  const RuleInfo* census = find_rule_info("shared-write-outside-owner");
+  ASSERT_NE(census, nullptr);
+  EXPECT_NE(census->design_ref.find("16.3"), std::string_view::npos);
+  EXPECT_EQ(find_rule_info("no-such-rule"), nullptr);
+}
+
+// --- tokenizer edge cases --------------------------------------------------
+
+TEST(LintScan, RawStringEdgeCasesDoNotHideFollowingViolations) {
+  // FIXTURE_R"..." is a plain string after an identifier that merely ends
+  // in R (the old scanner treated it as a raw-string prefix and swallowed
+  // everything up to the next parenthesis); R"ab(...)a...)ab" only ends at
+  // the full )ab" terminator; digit separators never open char literals.
+  const LintResult result = run_lint({scan_fixture(
+      "tokenizer_edge.cpp", "src/core/src/tokenizer_edge.cpp")});
+  EXPECT_EQ(count_rule(result, "no-random-device"), 1u);
+  EXPECT_EQ(count_rule(result, "no-libc-rand"), 1u);
+  EXPECT_EQ(result.findings.size(), 2u);
+
+  const Finding* rd = find_rule(result, "no-random-device");
+  ASSERT_NE(rd, nullptr);
+  EXPECT_EQ(rd->line, 13u);  // the declaration right after FIXTURE_R"..."
+  const Finding* lr = find_rule(result, "no-libc-rand");
+  ASSERT_NE(lr, nullptr);
+  EXPECT_EQ(lr->line, 16u);  // the call right after the raw string
+}
+
+// --- semantic pass: seed-flow taint ----------------------------------------
+
+TEST(LintTaint, UnkeyedDerivationAndEscapeFireKeyedFormsStayClean) {
+  const LintResult result = run_lint(
+      {scan_fixture("seed_taint.cpp", "src/core/src/seed_taint.cpp")});
+  EXPECT_EQ(count_rule(result, "seed-unkeyed-derivation"), 1u);
+  EXPECT_EQ(count_rule(result, "seed-escapes-funnel"), 1u);
+  EXPECT_EQ(result.findings.size(), 2u);
+
+  const Finding* d = find_rule(result, "seed-unkeyed-derivation");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("SplitMix64(sweep_seed)"), std::string::npos);
+  const Finding* e = find_rule(result, "seed-escapes-funnel");
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->message.find("'epoch'"), std::string::npos);
+}
+
+TEST(LintTaint, BlessedFunnelFilesMayDeriveFromBareSeeds) {
+  // Same content under the rng.cpp funnel path: derivations are sanctioned
+  // there, but an escape into a non-seed parameter is still an escape.
+  const LintResult result =
+      run_lint({scan_fixture("seed_taint.cpp", "src/stats/src/rng.cpp")});
+  EXPECT_EQ(count_rule(result, "seed-unkeyed-derivation"), 0u);
+  EXPECT_EQ(count_rule(result, "seed-escapes-funnel"), 1u);
+}
+
+TEST(LintTaint, TaintRulesAreLibraryOnly) {
+  const LintResult result = run_lint(
+      {scan_fixture("seed_taint.cpp", "tests/core/seed_taint.cpp")});
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LintTaint, EscapeIsDetectedAcrossTranslationUnits) {
+  // The declaration of record_epoch lives in the fixture TU; the bare-seed
+  // call sits in another file and must still resolve through the corpus
+  // call graph.
+  const LintResult result = run_lint(
+      {scan_fixture("seed_taint.cpp", "src/core/src/seed_taint.cpp"),
+       scan_file("src/net/src/user.cpp",
+                 "void relay(unsigned long long trial_seed) {\n"
+                 "  record_epoch(trial_seed);\n"
+                 "}\n")});
+  EXPECT_EQ(count_rule(result, "seed-escapes-funnel"), 2u);
+  bool cross_tu = false;
+  for (const Finding& f : result.findings) {
+    if (f.rule == "seed-escapes-funnel" &&
+        f.path == "src/net/src/user.cpp") {
+      cross_tu = true;
+      // the message names the TU that declared the non-seed parameter
+      EXPECT_NE(f.message.find("src/core/src/seed_taint.cpp"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(cross_tu);
+}
+
+TEST(LintTaint, MergeLoopsMustWalkAscendingOrder) {
+  const LintResult result = run_lint(
+      {scan_fixture("merge_order.cpp", "src/core/src/merge_order.cpp")});
+  EXPECT_EQ(count_rule(result, "merge-not-rank-ordered"), 2u);
+  EXPECT_EQ(result.findings.size(), 2u);
+  for (const Finding& f : result.findings) {
+    EXPECT_NE(f.message.find("reverse"), std::string::npos);
+  }
+}
+
+// --- semantic pass: concurrency census -------------------------------------
+
+TEST(LintCensus, SecondWriterFlaggedHandoffAndOrderingJustify) {
+  const LintResult result =
+      run_lint({scan_fixture("census.cpp", "src/net/src/census.cpp")});
+
+  // tail: producer (2 writes) owns it, rogue_reset is the finding. head:
+  // consumer owns it and quiesce's write carries a handoff annotation.
+  EXPECT_EQ(count_rule(result, "shared-write-outside-owner"), 1u);
+  const Finding* w = find_rule(result, "shared-write-outside-owner");
+  ASSERT_NE(w, nullptr);
+  EXPECT_NE(w->message.find("'tail'"), std::string::npos);
+  EXPECT_NE(w->message.find("producer"), std::string::npos);
+  EXPECT_NE(w->message.find("rogue_reset"), std::string::npos);
+
+  // observe()'s acquire is justified by ordering(ring-consume); the one in
+  // unjustified() is the finding.
+  EXPECT_EQ(count_rule(result, "atomic-ordering-unjustified"), 1u);
+  const Finding* o = find_rule(result, "atomic-ordering-unjustified");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->line, 39u);
+
+  // Both annotations were consumed, so no bad-suppression noise.
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 0u);
+  EXPECT_EQ(result.findings.size(), 2u);
+}
+
+TEST(LintCensus, CensusIsScopedToNetServeAndStats) {
+  // Outside the census scope the same content produces no census findings
+  // — and the now-pointless annotations surface as bad-suppression.
+  const LintResult result =
+      run_lint({scan_fixture("census.cpp", "src/core/src/census.cpp")});
+  EXPECT_EQ(count_rule(result, "shared-write-outside-owner"), 0u);
+  EXPECT_EQ(count_rule(result, "atomic-ordering-unjustified"), 0u);
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 2u);
+}
+
+TEST(LintCensus, RemovingTheHandoffReactivatesTheFinding) {
+  std::string text = read_fixture("census.cpp");
+  const std::size_t at = text.find("dut-lint: handoff");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 8, "disabled");  // same length: line numbers unchanged
+
+  const LintResult result =
+      run_lint({scan_file("src/net/src/census.cpp", text)});
+  // head now has two writer scopes (consumer and quiesce) and no handoff;
+  // scan order makes consumer the owner, so quiesce joins rogue_reset.
+  EXPECT_EQ(count_rule(result, "shared-write-outside-owner"), 2u);
+}
+
+TEST(LintCensus, UnusedAndMalformedAnnotationsAreFindings) {
+  const std::string text =
+      "// dut-lint: handoff(tail): justified but covering a plain line\n"
+      "int x = 0;\n"
+      "// dut-lint: ordering(): missing tag with a long justification\n"
+      "int y = 1;\n"
+      "// dut-lint: handoff(head): short\n"
+      "int z = 2;\n";
+  const LintResult result =
+      run_lint({scan_file("src/net/src/annot.cpp", text)});
+  // one well-formed handoff that covers nothing + one empty argument + one
+  // too-short justification
+  EXPECT_EQ(count_rule(result, "bad-suppression"), 3u);
+  EXPECT_TRUE(result.suppressed.empty());
+}
+
+// --- call graph ------------------------------------------------------------
+
+TEST(LintGraph, RecordsDeclsParamsQualifiersAndCallSites) {
+  const std::vector<ScannedFile> files = {scan_file(
+      "src/core/src/g.cpp",
+      "int helper(int value);\n"
+      "struct Widget {\n"
+      "  void poke(int times);\n"
+      "};\n"
+      "void Widget::poke(int times) { helper(times + 1); }\n")};
+  const CallGraph graph = build_call_graph(files);
+  ASSERT_EQ(graph.files.size(), 1u);
+  const FileGraph& fg = graph.files[0];
+
+  ASSERT_EQ(fg.decls.size(), 3u);
+  EXPECT_EQ(fg.decls[0].name, "helper");
+  EXPECT_FALSE(fg.decls[0].is_definition);
+  ASSERT_EQ(fg.decls[0].params.size(), 1u);
+  EXPECT_EQ(fg.decls[0].params[0], "value");
+  EXPECT_EQ(fg.decls[1].name, "poke");
+  EXPECT_EQ(fg.decls[1].qualifier, "Widget");
+  EXPECT_EQ(fg.decls[2].name, "poke");
+  EXPECT_EQ(fg.decls[2].qualifier, "Widget");
+  EXPECT_TRUE(fg.decls[2].is_definition);
+
+  ASSERT_EQ(fg.calls.size(), 1u);
+  EXPECT_EQ(fg.calls[0].callee, "helper");
+  EXPECT_EQ(fg.calls[0].caller, 2);
+  ASSERT_EQ(fg.calls[0].args.size(), 1u);
+
+  ASSERT_EQ(graph.by_name.count("helper"), 1u);
+  EXPECT_EQ(graph.by_name.find("helper")->second.size(), 1u);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(LintSarif, ReportIsValidAndMapsSuppressionStates) {
+  const LintResult result = run_lint(
+      {scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp"),
+       scan_fixture("suppressed.cpp", "src/core/src/suppressed.cpp")});
+  ASSERT_EQ(result.findings.size(), 5u);
+  ASSERT_EQ(result.suppressed.size(), 2u);
+
+  // Baseline one finding: it must arrive suppressed {"kind": "external"}.
+  std::vector<BaselineEntry> baseline = {{result.findings[0].rule,
+                                          result.findings[0].path,
+                                          result.findings[0].excerpt}};
+  const BaselineDiff diff = diff_baseline(result.findings, baseline);
+  const std::string sarif = sarif_report(result, diff);
+  EXPECT_TRUE(sarif_validate(sarif).empty());
+
+  const obs::Json doc = obs::Json::parse(sarif);
+  EXPECT_EQ(doc.get("version")->as_string(), "2.1.0");
+  ASSERT_NE(doc.get("$schema"), nullptr);
+  const obs::Json& run = doc.get("runs")->at(0);
+  const obs::Json* driver = run.get("tool")->get("driver");
+  EXPECT_EQ(driver->get("name")->as_string(), "dut_lint");
+  EXPECT_EQ(driver->get("rules")->size(), rule_table().size());
+
+  const obs::Json* results = run.get("results");
+  ASSERT_EQ(results->size(),
+            result.findings.size() + result.suppressed.size());
+  std::size_t errors = 0, notes = 0, external = 0, in_source = 0;
+  for (std::size_t i = 0; i < results->size(); ++i) {
+    const obs::Json& res = results->at(i);
+    const std::string level = res.get("level")->as_string();
+    const obs::Json* sups = res.get("suppressions");
+    if (level == "error") ++errors;
+    if (level == "note") ++notes;
+    if (sups != nullptr) {
+      const std::string kind = sups->at(0).get("kind")->as_string();
+      if (kind == "external") ++external;
+      if (kind == "inSource") {
+        ++in_source;
+        ASSERT_NE(sups->at(0).get("justification"), nullptr);
+      }
+    } else {
+      EXPECT_EQ(level, "error");  // only fresh findings are unsuppressed
+    }
+  }
+  EXPECT_EQ(errors, 5u);  // all findings render at "error"
+  EXPECT_EQ(notes, 2u);
+  EXPECT_EQ(external, 1u);  // the baselined one
+  EXPECT_EQ(in_source, 2u);
+}
+
+TEST(LintSarif, ValidatorRejectsBrokenLogs) {
+  EXPECT_THROW((void)sarif_validate("not json"), std::runtime_error);
+  EXPECT_FALSE(sarif_validate("{}").empty());
+
+  const LintResult result =
+      run_lint({scan_fixture("d_rules.cpp", "src/core/src/d_rules.cpp")});
+  const std::string good =
+      sarif_report(result, diff_baseline(result.findings, {}));
+  ASSERT_TRUE(sarif_validate(good).empty());
+
+  std::string wrong_version = good;
+  const std::size_t v = wrong_version.find("\"version\": \"2.1.0\"");
+  ASSERT_NE(v, std::string::npos);
+  wrong_version.replace(v, 18, "\"version\": \"2.0.0\"");
+  EXPECT_FALSE(sarif_validate(wrong_version).empty());
+
+  std::string wrong_level = good;
+  const std::size_t l = wrong_level.find("\"level\": \"error\"");
+  ASSERT_NE(l, std::string::npos);
+  wrong_level.replace(l, 16, "\"level\": \"fatal\"");
+  EXPECT_FALSE(sarif_validate(wrong_level).empty());
+}
+
+// --- incremental cache -----------------------------------------------------
+
+class LintCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "dut_lint_cache_test";
+    fs::create_directories(dir_);
+    cache_ = (dir_ / "cache.json").string();
+    fs::remove(cache_);
+    sources_ = {{"src/core/src/a.cpp", read_fixture("d_rules.cpp")},
+                {"src/core/src/clean.cpp", read_fixture("clean.cpp")}};
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::string signature(const LintResult& r) {
+    return result_json(r, diff_baseline(r.findings, {}));
+  }
+  std::string read_cache() {
+    std::ifstream in(cache_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+  void write_cache(const std::string& text) {
+    std::ofstream out(cache_, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+
+  fs::path dir_;
+  std::string cache_;
+  std::vector<SourceText> sources_;
+};
+
+TEST_F(LintCacheTest, ColdThenWarmThenEditInvalidates) {
+  CacheStats cold;
+  const LintResult r1 = lint_corpus_cached(sources_, cache_, &cold);
+  EXPECT_TRUE(cold.full_scan);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, 2u);
+  EXPECT_FALSE(cold.corrupt);
+
+  CacheStats warm;
+  const LintResult r2 = lint_corpus_cached(sources_, cache_, &warm);
+  EXPECT_FALSE(warm.full_scan);
+  EXPECT_EQ(warm.hits, 2u);
+  EXPECT_EQ(warm.misses, 0u);
+  EXPECT_EQ(signature(r2), signature(r1));
+
+  // Editing one file downgrades the whole run (cross-TU passes make
+  // per-file reuse unsound), but the untouched file still counts as a hit.
+  sources_[1].contents += "\nint edited = 1;\n";
+  CacheStats edited;
+  const LintResult r3 = lint_corpus_cached(sources_, cache_, &edited);
+  EXPECT_TRUE(edited.full_scan);
+  EXPECT_EQ(edited.hits, 1u);
+  EXPECT_EQ(edited.misses, 1u);
+  EXPECT_EQ(r3.findings.size(), r1.findings.size());
+}
+
+TEST_F(LintCacheTest, RuleSetBumpVanishedFileAndCorruptionGoCold) {
+  CacheStats cold;
+  const LintResult r1 = lint_corpus_cached(sources_, cache_, &cold);
+
+  // Tampering with the recorded rule-set hash simulates a rule change:
+  // every per-file hash still matches, yet the run must go cold.
+  std::string text = read_cache();
+  const std::size_t at = text.find("\"ruleset_hash\": ");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t digit = at + 16;
+  text[digit] = text[digit] == '1' ? '2' : '1';
+  write_cache(text);
+  CacheStats bumped;
+  (void)lint_corpus_cached(sources_, cache_, &bumped);
+  EXPECT_TRUE(bumped.full_scan);
+  EXPECT_EQ(bumped.hits, 2u);
+
+  // A file vanishing from the corpus is a miss even though every present
+  // file matches (the census could have depended on the vanished decls).
+  std::vector<SourceText> fewer = {sources_[0]};
+  CacheStats vanished;
+  (void)lint_corpus_cached(fewer, cache_, &vanished);
+  EXPECT_TRUE(vanished.full_scan);
+  EXPECT_GE(vanished.misses, 1u);
+
+  // A corrupt cache file falls back to a clean full scan with identical
+  // findings, and flags the corruption for the CLI's cache status line.
+  write_cache("not json {{{");
+  CacheStats corrupt;
+  const LintResult r4 = lint_corpus_cached(sources_, cache_, &corrupt);
+  EXPECT_TRUE(corrupt.corrupt);
+  EXPECT_TRUE(corrupt.full_scan);
+  EXPECT_EQ(signature(r4), signature(r1));
+
+  // ... and the rewrite performed by that scan repairs the cache.
+  CacheStats repaired;
+  (void)lint_corpus_cached(sources_, cache_, &repaired);
+  EXPECT_FALSE(repaired.full_scan);
+}
+
+TEST(LintCache, EmptyPathDisablesCaching) {
+  const std::vector<SourceText> sources = {
+      {"src/core/src/clean.cpp", "int x = 0;\n"}};
+  CacheStats stats;
+  (void)lint_corpus_cached(sources, "", &stats);
+  EXPECT_TRUE(stats.full_scan);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+// --- baseline double-booking -----------------------------------------------
+
+TEST(LintBaseline, WriteRefusesEntriesDoubleBookedWithSuppressions) {
+  // One live and one suppressed instance of the same (rule, path, excerpt)
+  // key: baselining the live one would silently cover the suppressed site
+  // forever once the live one is fixed, so it must be refused.
+  const std::string text =
+      "#include <random>\n"
+      "std::random_device a;\n"
+      "// dut-lint: allow(no-random-device): fixture justification text\n"
+      "std::random_device a;\n";
+  const LintResult result =
+      run_lint({scan_file("src/core/src/twin.cpp", text)});
+  ASSERT_EQ(result.findings.size(), 1u);
+  ASSERT_EQ(result.suppressed.size(), 1u);
+
+  std::vector<BaselineEntry> refused;
+  const std::vector<Finding> eligible =
+      baselineable_findings(result, &refused);
+  EXPECT_TRUE(eligible.empty());
+  ASSERT_EQ(refused.size(), 1u);
+  EXPECT_EQ(refused[0].rule, "no-random-device");
+  EXPECT_EQ(refused[0].path, "src/core/src/twin.cpp");
+
+  // Without the collision the finding is eligible as usual.
+  const LintResult clean = run_lint({scan_file(
+      "src/core/src/solo.cpp", "#include <random>\nstd::random_device a;\n")});
+  refused.clear();
+  EXPECT_EQ(baselineable_findings(clean, &refused).size(), 1u);
+  EXPECT_TRUE(refused.empty());
+}
+
 }  // namespace
 }  // namespace dut::lint

@@ -1,0 +1,213 @@
+// Incremental lint cache (DESIGN.md §16.4). The gate runs on every build,
+// so the common case — nothing changed since the last run — must cost file
+// reads and hashes, not scrubbing + tokenizing + every rule over ~250k
+// tokens. The cache stores the (path, FNV-1a content hash) set it was
+// computed from, the rule-set hash, and the complete LintResult.
+//
+// Soundness over cleverness: several passes are cross-TU (verdict producer
+// collection, seed taint via the call graph, the single-writer census), so
+// a finding in file A can depend on a declaration in file B. Per-file
+// finding reuse would therefore be unsound. Instead the cache is
+// all-or-nothing: if *any* file changed / appeared / vanished, or the rule
+// set itself changed, the whole corpus is rescanned and the cache
+// rewritten. Per-file hit/miss counts are still reported so the self-test
+// (and curious humans) can see exactly why a run went cold.
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "dut/obs/json.hpp"
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+constexpr std::uint64_t kCacheSchemaVersion = 1;
+
+obs::Json finding_json(const Finding& f) {
+  obs::Json j = obs::Json::object();
+  j.set("rule", f.rule);
+  j.set("path", f.path);
+  j.set("line", static_cast<std::uint64_t>(f.line));
+  j.set("message", f.message);
+  j.set("excerpt", f.excerpt);
+  return j;
+}
+
+Finding finding_from(const obs::Json& j) {
+  Finding f;
+  f.rule = j.get("rule")->as_string();
+  f.path = j.get("path")->as_string();
+  f.line = static_cast<std::size_t>(j.get("line")->as_u64());
+  f.message = j.get("message")->as_string();
+  f.excerpt = j.get("excerpt")->as_string();
+  return f;
+}
+
+std::string cache_json(const std::vector<SourceText>& sources,
+                       const LintResult& result) {
+  obs::Json root = obs::Json::object();
+  root.set("version", kCacheSchemaVersion);
+  root.set("ruleset_hash", ruleset_hash());
+  obs::Json files = obs::Json::array();
+  for (const SourceText& s : sources) {
+    obs::Json entry = obs::Json::object();
+    entry.set("path", s.rel_path);
+    entry.set("hash", fnv1a64(s.contents));
+    files.push(std::move(entry));
+  }
+  root.set("files", std::move(files));
+  obs::Json res = obs::Json::object();
+  res.set("files_scanned", static_cast<std::uint64_t>(result.files_scanned));
+  obs::Json findings = obs::Json::array();
+  for (const Finding& f : result.findings) findings.push(finding_json(f));
+  res.set("findings", std::move(findings));
+  obs::Json suppressed = obs::Json::array();
+  for (const SuppressedFinding& s : result.suppressed) {
+    obs::Json entry = finding_json(s.finding);
+    entry.set("justification", s.justification);
+    suppressed.push(std::move(entry));
+  }
+  res.set("suppressed", std::move(suppressed));
+  root.set("result", std::move(res));
+  return root.dump(2) + "\n";
+}
+
+/// Parses the cache; throws (std::runtime_error from Json, or via the
+/// null-deref guards below) on any malformed/old document — the caller
+/// treats every throw as a corrupt cache and falls back to a full scan.
+struct ParsedCache {
+  std::uint64_t ruleset = 0;
+  std::map<std::string, std::uint64_t> file_hash;
+  LintResult result;
+};
+
+const obs::Json& need(const obs::Json* p) {
+  if (p == nullptr) throw std::runtime_error("dut_lint cache: missing key");
+  return *p;
+}
+
+ParsedCache parse_cache(std::string_view text) {
+  ParsedCache out;
+  const obs::Json root = obs::Json::parse(text);
+  if (need(root.get("version")).as_u64() != kCacheSchemaVersion) {
+    throw std::runtime_error("dut_lint cache: unknown version");
+  }
+  out.ruleset = need(root.get("ruleset_hash")).as_u64();
+  const obs::Json& files = need(root.get("files"));
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const obs::Json& entry = files.at(i);
+    out.file_hash[need(entry.get("path")).as_string()] =
+        need(entry.get("hash")).as_u64();
+  }
+  const obs::Json& res = need(root.get("result"));
+  out.result.files_scanned =
+      static_cast<std::size_t>(need(res.get("files_scanned")).as_u64());
+  const obs::Json& findings = need(res.get("findings"));
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    out.result.findings.push_back(finding_from(findings.at(i)));
+  }
+  const obs::Json& suppressed = need(res.get("suppressed"));
+  for (std::size_t i = 0; i < suppressed.size(); ++i) {
+    const obs::Json& entry = suppressed.at(i);
+    SuppressedFinding s;
+    s.finding = finding_from(entry);
+    s.justification = need(entry.get("justification")).as_string();
+    out.result.suppressed.push_back(std::move(s));
+  }
+  return out;
+}
+
+LintResult full_scan(const std::vector<SourceText>& sources) {
+  std::vector<ScannedFile> files;
+  files.reserve(sources.size());
+  for (const SourceText& s : sources) {
+    files.push_back(scan_file(s.rel_path, s.contents));
+  }
+  return run_lint(files);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t ruleset_hash() {
+  std::string acc = "dut_lint-cache-v" + std::to_string(kCacheSchemaVersion);
+  for (const RuleInfo& info : rule_table()) {
+    acc += '\n';
+    acc += info.name;
+    acc += '\t';
+    acc += info.summary;
+  }
+  return fnv1a64(acc);
+}
+
+LintResult lint_corpus_cached(const std::vector<SourceText>& sources,
+                              const std::string& cache_path,
+                              CacheStats* stats) {
+  CacheStats local;
+  CacheStats& st = stats != nullptr ? *stats : local;
+  st = CacheStats{};
+
+  if (cache_path.empty()) {
+    st.misses = sources.size();
+    return full_scan(sources);
+  }
+
+  ParsedCache cached;
+  bool have_cache = false;
+  {
+    std::ifstream in(cache_path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      try {
+        cached = parse_cache(buf.str());
+        have_cache = true;
+      } catch (const std::exception&) {
+        st.corrupt = true;  // unreadable cache never fails the lint
+      }
+    }
+  }
+
+  bool warm = have_cache && cached.ruleset == ruleset_hash();
+  std::size_t seen = 0;
+  for (const SourceText& s : sources) {
+    const auto it = cached.file_hash.find(s.rel_path);
+    const bool known = have_cache && it != cached.file_hash.end();
+    if (known) ++seen;  // present in the cache, even if its hash changed
+    if (known && it->second == fnv1a64(s.contents)) {
+      ++st.hits;
+    } else {
+      ++st.misses;
+      warm = false;
+    }
+  }
+  if (have_cache && seen != cached.file_hash.size()) {
+    // Files the cache knows about vanished from the corpus.
+    st.misses += cached.file_hash.size() - seen;
+    warm = false;
+  }
+
+  if (warm) {
+    st.full_scan = false;
+    return cached.result;
+  }
+
+  LintResult result = full_scan(sources);
+  st.full_scan = true;
+  std::ofstream out(cache_path, std::ios::binary | std::ios::trunc);
+  if (out) out << cache_json(sources, result);  // best-effort
+  return result;
+}
+
+}  // namespace dut::lint

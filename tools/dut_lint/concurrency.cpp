@@ -1,0 +1,257 @@
+// Concurrency single-writer census (DESIGN.md §16.3). The SPSC rings and
+// the sharded serve layer are correct because every shared atomic field has
+// exactly one writer scope: the ring writer owns `tail`, the reader owns
+// `head`, the coordinator owns the trial controls. TSan can only observe
+// the schedules a test happens to run; this census proves the ownership
+// discipline structurally, corpus-wide.
+//
+//   shared-write-outside-owner  an atomic field of a struct in the census
+//     scope (src/net/ + src/serve/) is written — store / fetch_* /
+//     exchange / compare_exchange — from more than one function. The
+//     dominant writer (most sites) is the owner; every other site is a
+//     finding unless the line carries
+//     `// dut-lint: handoff(<field>): <justification>`, the sanctioned
+//     escape hatch for quiescence barriers and shutdown wake-ups.
+//   atomic-ordering-unjustified  a non-relaxed memory_order (acquire,
+//     release, acq_rel, seq_cst, consume) in src/net/ + src/serve/ +
+//     src/stats/ without `// dut-lint: ordering(<tag>): <justification>`
+//     covering the line. Relaxed is the default discipline; anything
+//     stronger is a protocol edge that must say why.
+//
+// Plain assignment (`=`) is deliberately not treated as an atomic write:
+// designated initializers (`Trial{.seq = s}`) and non-atomic fields that
+// happen to share a name would drown the census in false positives, and
+// the repo's atomics are all written through the explicit member calls.
+
+#include <algorithm>
+#include <set>
+
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+bool census_scope(std::string_view path) {
+  return path.rfind("src/net/", 0) == 0 || path.rfind("src/serve/", 0) == 0;
+}
+
+bool ordering_scope(std::string_view path) {
+  return census_scope(path) || path.rfind("src/stats/", 0) == 0;
+}
+
+bool write_method(std::string_view name) {
+  static const std::set<std::string, std::less<>> kWrites = {
+      "store",         "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_or",      "fetch_and",
+      "fetch_xor",     "compare_exchange_weak", "compare_exchange_strong"};
+  return kWrites.count(name) > 0;
+}
+
+bool strong_order(std::string_view name) {
+  return name == "acquire" || name == "release" || name == "acq_rel" ||
+         name == "seq_cst" || name == "consume";
+}
+
+std::size_t match_angle(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Collects the names of atomic data members declared inside records in
+/// census-scope files: `std::atomic<T> name...;` with optional alignas
+/// prefix, array suffix and brace initializer, possibly a comma list.
+void collect_atomic_fields(const CallGraph& graph,
+                           std::set<std::string>& fields) {
+  for (const FileGraph& fg : graph.files) {
+    if (fg.file == nullptr || !census_scope(fg.file->path)) continue;
+    const std::vector<Token>& toks = fg.file->tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!toks[i].is_ident || toks[i].text != "atomic") continue;
+      if (toks[i + 1].text != "<") continue;
+      if (fg.record_of[i].empty()) continue;  // members only
+      const std::size_t close = match_angle(toks, i + 1);
+      if (close >= toks.size()) continue;
+      // Declarators: idents directly after `>` or after a top-level `,`,
+      // until the terminating `;`. Array brackets and initializers are
+      // skipped by depth tracking.
+      int depth = 0;
+      std::string prev = ">";
+      for (std::size_t j = close + 1; j < toks.size(); ++j) {
+        const std::string& t = toks[j].text;
+        if (t == ";" && depth == 0) break;
+        if (t == "[" || t == "{" || t == "(") ++depth;
+        if (t == "]" || t == "}" || t == ")") --depth;
+        if (depth == 0 && toks[j].is_ident && (prev == ">" || prev == ",")) {
+          fields.insert(t);
+        }
+        if (depth == 0) prev = t;
+      }
+    }
+  }
+}
+
+struct WriteSite {
+  std::size_t file_index = 0;
+  std::string field;
+  std::size_t line = 0;
+  int caller = -1;
+};
+
+/// The writer-scope identity of a site: the enclosing function, qualified,
+/// or a file-scope pseudo-owner.
+std::string scope_name(const CallGraph& graph, const WriteSite& site) {
+  const FileGraph& fg = graph.files[site.file_index];
+  if (site.caller < 0) {
+    return fg.file->path + "::(file scope)";
+  }
+  const FunctionDecl& d = fg.decls[static_cast<std::size_t>(site.caller)];
+  std::string name = d.qualifier.empty() ? d.name : d.qualifier + "::" + d.name;
+  return d.path + "::" + name;
+}
+
+bool has_handoff(std::vector<Annotation>& annotations,
+                 std::string_view field, std::size_t line) {
+  bool found = false;
+  for (Annotation& a : annotations) {
+    if (a.kind == "handoff" && a.arg == field && a.target_line == line) {
+      a.used = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+bool has_ordering(std::vector<Annotation>& annotations, std::size_t line) {
+  bool found = false;
+  for (Annotation& a : annotations) {
+    if (a.kind == "ordering" && a.target_line == line) {
+      a.used = true;
+      found = true;
+    }
+  }
+  return found;
+}
+
+void census_single_writer(std::vector<ScannedFile>& files,
+                          const CallGraph& graph,
+                          const std::set<std::string>& fields,
+                          std::map<std::string, std::vector<Finding>>& out) {
+  // field -> unannotated write sites, in scan order (deterministic).
+  std::map<std::string, std::vector<WriteSite>> sites_of;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    ScannedFile& file = files[fi];
+    if (!census_scope(file.path)) continue;
+    const std::vector<Token>& toks = file.tokens;
+    const FileGraph& fg = graph.files[fi];
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident || fields.count(toks[i].text) == 0) continue;
+      std::size_t j = i + 1;
+      if (j < toks.size() && toks[j].text == "[") {  // ready[r].store(...)
+        int depth = 0;
+        while (j < toks.size()) {
+          if (toks[j].text == "[") ++depth;
+          if (toks[j].text == "]" && --depth == 0) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+      }
+      if (j + 2 >= toks.size() || toks[j].text != ".") continue;
+      if (!write_method(toks[j + 1].text) || toks[j + 2].text != "(") continue;
+      if (has_handoff(file.annotations, toks[i].text, toks[i].line)) continue;
+      sites_of[toks[i].text].push_back(
+          WriteSite{fi, toks[i].text, toks[i].line, fg.func_of[i]});
+    }
+  }
+
+  for (const auto& [field, sites] : sites_of) {
+    // Count sites per writer scope; pick the dominant one as owner.
+    std::map<std::string, std::size_t> count_of;
+    for (const WriteSite& s : sites) ++count_of[scope_name(graph, s)];
+    if (count_of.size() <= 1) continue;
+    std::string owner;
+    std::size_t best = 0;
+    for (const WriteSite& s : sites) {  // scan order breaks ties
+      const std::string name = scope_name(graph, s);
+      if (count_of[name] > best) {
+        best = count_of[name];
+        owner = name;
+      }
+    }
+    for (const WriteSite& s : sites) {
+      const std::string name = scope_name(graph, s);
+      if (name == owner) continue;
+      const ScannedFile& file = files[s.file_index];
+      Finding f;
+      f.rule = "shared-write-outside-owner";
+      f.path = file.path;
+      f.line = s.line;
+      f.message = "atomic field '" + field + "' written from " + name +
+                  " but owned by " + owner +
+                  " (" + std::to_string(best) + " writes); annotate the "
+                  "handoff (`// dut-lint: handoff(" + field +
+                  "): why`) or route the write through the owner";
+      f.excerpt = file.excerpt(s.line);
+      out[file.path].push_back(std::move(f));
+    }
+  }
+}
+
+void census_orderings(std::vector<ScannedFile>& files,
+                      std::map<std::string, std::vector<Finding>>& out) {
+  for (ScannedFile& file : files) {
+    if (!ordering_scope(file.path)) continue;
+    const std::vector<Token>& toks = file.tokens;
+    std::size_t last_line = 0;  // one finding per line
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].is_ident) continue;
+      const std::string& t = toks[i].text;
+      std::string order;
+      if (t.rfind("memory_order_", 0) == 0 &&
+          strong_order(t.substr(13))) {
+        order = t.substr(13);
+      } else if (t == "memory_order" && i + 2 < toks.size() &&
+                 toks[i + 1].text == "::" &&
+                 strong_order(toks[i + 2].text)) {
+        order = toks[i + 2].text;
+      } else {
+        continue;
+      }
+      if (toks[i].line == last_line) continue;
+      if (has_ordering(file.annotations, toks[i].line)) {
+        last_line = toks[i].line;
+        continue;
+      }
+      last_line = toks[i].line;
+      Finding f;
+      f.rule = "atomic-ordering-unjustified";
+      f.path = file.path;
+      f.line = toks[i].line;
+      f.message = "memory_order_" + order +
+                  " without an ordering justification; add "
+                  "`// dut-lint: ordering(<tag>): why` stating the "
+                  "acquire/release edge this ordering establishes";
+      f.excerpt = file.excerpt(toks[i].line);
+      out[file.path].push_back(std::move(f));
+    }
+  }
+}
+
+}  // namespace
+
+void run_concurrency_census(std::vector<ScannedFile>& files,
+                            const CallGraph& graph,
+                            std::map<std::string, std::vector<Finding>>& out) {
+  std::set<std::string> fields;
+  collect_atomic_fields(graph, fields);
+  census_single_writer(files, graph, fields, out);
+  census_orderings(files, out);
+}
+
+}  // namespace dut::lint

@@ -1,0 +1,308 @@
+// Declaration-level call graph (DESIGN.md §16). One pass per file builds a
+// name-aware scope tracker — which function definition owns each token,
+// which struct/class encloses it — plus the function declarations (with
+// parameter names by position) and the call sites inside function bodies
+// (with top-level argument token ranges). The seed-flow taint pass uses
+// by_name to resolve a callee's parameter names across translation units;
+// the concurrency census uses func_of to name each atomic write's owner
+// scope. Like compute_in_function in rules.cpp, misclassification is biased
+// toward *not* attributing: an unresolvable declarator becomes an anonymous
+// frame, never a wrong name.
+
+#include <algorithm>
+#include <set>
+
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+/// Keywords that look like `name (` but never are calls or declarators.
+bool keywordish(const std::string& s) {
+  static const std::set<std::string> kWords = {
+      "if",        "for",      "while",     "switch",        "return",
+      "catch",     "sizeof",   "alignof",   "alignas",       "decltype",
+      "noexcept",  "throw",    "new",       "delete",        "operator",
+      "requires",  "co_await", "co_yield",  "co_return",     "static_assert",
+      "assert",    "defined",  "typeid",    "static_cast",   "const_cast",
+      "dynamic_cast", "reinterpret_cast"};
+  return kWords.count(s) > 0;
+}
+
+/// Idents that can end a parameter's *type* but never name the parameter.
+bool type_tail_keyword(const std::string& s) {
+  static const std::set<std::string> kWords = {
+      "const",  "volatile", "unsigned", "signed",   "long",   "short",
+      "int",    "bool",     "char",     "float",    "double", "void",
+      "auto",   "struct",   "class",    "typename", "enum"};
+  return kWords.count(s) > 0;
+}
+
+/// Index of the `)` matching the `(` at `open` (or toks.size()).
+std::size_t match_paren(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+/// Parameter name for one comma-separated segment [begin, end): the last
+/// identifier that is not a qualified-name component and not a type
+/// keyword, cut at a default-argument `=`. "" when the segment declares an
+/// unnamed (type-only) parameter — callers treat "" as unknown.
+std::string param_name(const std::vector<Token>& toks, std::size_t begin,
+                       std::size_t end) {
+  std::size_t stop = end;
+  int depth = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "<" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == ">" || t == "]" || t == "}") --depth;
+    if (depth == 0 && t == "=") {
+      stop = i;
+      break;
+    }
+  }
+  std::string name;
+  std::size_t idents = 0;
+  for (std::size_t i = begin; i < stop; ++i) {
+    if (!toks[i].is_ident) continue;
+    ++idents;
+    if (type_tail_keyword(toks[i].text)) continue;
+    // `std` in `std::uint64_t` is followed by `::`; skip name components.
+    if (i + 1 < stop && toks[i + 1].text == "::") continue;
+    name = toks[i].text;
+  }
+  // A single identifier is a type-only (unnamed) parameter: `f(seed_t)`.
+  if (idents < 2) return "";
+  // `std::uint64_t` alone: the survivor is preceded by `::` with nothing
+  // after it — if the chosen name directly follows `::` and is the last
+  // identifier of a pure qualified name, there was no declarator ident.
+  return name;
+}
+
+/// Splits the argument/parameter list inside (open, close) at top-level
+/// commas; returns [begin, end) token ranges, empty for `()`.
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& toks, std::size_t open, std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  if (close <= open + 1) return out;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (depth == 0 && t == ",") {
+      out.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  out.emplace_back(begin, close);
+  return out;
+}
+
+struct Frame {
+  char kind;  // 'n'amespace, 't'ype, 'f'unction, 'b'lock
+  int decl = -1;
+  std::string record;
+};
+
+void build_file_graph(const ScannedFile& file, FileGraph& fg) {
+  const std::vector<Token>& toks = file.tokens;
+  fg.file = &file;
+  fg.func_of.assign(toks.size(), -1);
+  fg.record_of.assign(toks.size(), "");
+
+  std::vector<Frame> frames;
+  int paren_depth = 0;
+  char pending = 0;
+  std::string pending_name;
+  bool in_base_clause = false;
+  bool after_params = false;
+  bool in_ctor_init = false;
+  std::size_t sig_open = 0;
+  bool sig_valid = false;
+
+  const auto innermost_func = [&]() -> int {
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (it->kind == 'f') return it->decl;
+    }
+    return -1;
+  };
+  const auto innermost_record = [&]() -> std::string {
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (it->kind == 't') return it->record;
+    }
+    return "";
+  };
+  const auto in_function = [&]() {
+    return std::any_of(frames.begin(), frames.end(),
+                       [](const Frame& f) { return f.kind == 'f'; });
+  };
+
+  // Materializes the declaration whose parameter list opened at sig_open.
+  const auto make_decl = [&](bool is_definition) -> int {
+    if (!sig_valid || sig_open == 0) return -1;
+    FunctionDecl decl;
+    decl.path = file.path;
+    decl.is_definition = is_definition;
+    const std::size_t name_at = sig_open - 1;
+    if (toks[name_at].is_ident && !keywordish(toks[name_at].text)) {
+      decl.name = toks[name_at].text;
+      decl.line = toks[name_at].line;
+      // `A::B::name(` — fold the qualified prefix.
+      std::size_t q = name_at;
+      while (q >= 2 && toks[q - 1].text == "::" && toks[q - 2].is_ident) {
+        decl.qualifier = decl.qualifier.empty()
+                             ? toks[q - 2].text
+                             : toks[q - 2].text + "::" + decl.qualifier;
+        q -= 2;
+      }
+      if (decl.qualifier.empty()) decl.qualifier = innermost_record();
+    } else if (is_definition) {
+      decl.name = "(lambda)";
+      decl.line = toks[sig_open].line;
+    } else {
+      return -1;
+    }
+    const std::size_t close = match_paren(toks, sig_open);
+    for (const auto& [b, e] : split_args(toks, sig_open, close)) {
+      if (b >= e) continue;  // `()`
+      decl.params.push_back(param_name(toks, b, e));
+    }
+    fg.decls.push_back(std::move(decl));
+    return static_cast<int>(fg.decls.size()) - 1;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    fg.func_of[i] = innermost_func();
+    fg.record_of[i] = innermost_record();
+    const std::string& t = toks[i].text;
+    const std::string prev = i > 0 ? toks[i - 1].text : std::string();
+
+    if (t == "(") {
+      // The first top-level paren group of a declarator is the candidate
+      // parameter list; later groups (noexcept(...), requires(...)) keep it.
+      if (paren_depth == 0 && !after_params) {
+        sig_open = i;
+        sig_valid = true;
+      }
+      ++paren_depth;
+      continue;
+    }
+    if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+      if (paren_depth == 0) after_params = true;
+      continue;
+    }
+    if (paren_depth > 0) continue;
+
+    if (toks[i].is_ident) {
+      if (t == "namespace") {
+        pending = 'n';
+      } else if (t == "class" || t == "struct" || t == "union" ||
+                 t == "enum") {
+        pending = 't';
+        pending_name.clear();
+        in_base_clause = false;
+      } else if (pending == 't' && !in_base_clause && t != "final") {
+        pending_name = t;  // latest ident before the body/base clause
+      }
+      continue;
+    }
+    if (t == ";") {
+      if (after_params && !in_ctor_init && !in_function()) {
+        make_decl(/*is_definition=*/false);
+      }
+      pending = 0;
+      after_params = false;
+      in_ctor_init = false;
+      in_base_clause = false;
+      sig_valid = false;
+    } else if (t == "," || t == "=") {
+      if (!in_ctor_init) {
+        after_params = false;
+        sig_valid = false;
+      }
+    } else if (t == ":" && after_params) {
+      in_ctor_init = true;
+    } else if (t == ":" && pending == 't') {
+      in_base_clause = true;
+    } else if (t == "{") {
+      Frame frame{'b', -1, ""};
+      if (pending == 'n') {
+        frame.kind = 'n';
+      } else if (pending == 't') {
+        frame.kind = 't';
+        frame.record = pending_name;
+      } else if (in_ctor_init) {
+        if (prev == ")" || prev == "}") {
+          frame.kind = 'f';
+          in_ctor_init = false;
+        }
+      } else if (after_params) {
+        frame.kind = 'f';
+      }
+      if (frame.kind == 'f') {
+        // Control-flow headers (`if (...) {`) reach here too; inside a
+        // function they are plain blocks of the enclosing definition.
+        const std::size_t name_at = sig_valid && sig_open > 0 ? sig_open - 1
+                                                              : 0;
+        const bool control = sig_valid && toks[name_at].is_ident &&
+                             keywordish(toks[name_at].text);
+        if (in_function() || control || !sig_valid) {
+          frame.kind = 'b';
+        } else {
+          frame.decl = make_decl(/*is_definition=*/true);
+        }
+      }
+      frames.push_back(std::move(frame));
+      pending = 0;
+      after_params = false;
+      sig_valid = false;
+    } else if (t == "}") {
+      if (!frames.empty()) frames.pop_back();
+    }
+  }
+
+  // Call sites: `name (` inside a function body. Member-access prefixes
+  // (`x.f(`, `p->f(`) are calls too — the taint pass resolves by name only.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident || toks[i + 1].text != "(") continue;
+    if (fg.func_of[i] < 0) continue;
+    if (keywordish(toks[i].text)) continue;
+    CallSite call;
+    call.callee = toks[i].text;
+    call.token_index = i;
+    call.line = toks[i].line;
+    call.caller = fg.func_of[i];
+    const std::size_t close = match_paren(toks, i + 1);
+    for (const auto& [b, e] : split_args(toks, i + 1, close)) {
+      if (b >= e) continue;
+      call.args.emplace_back(b, e);
+    }
+    fg.calls.push_back(std::move(call));
+  }
+}
+
+}  // namespace
+
+CallGraph build_call_graph(const std::vector<ScannedFile>& files) {
+  CallGraph graph;
+  graph.files.resize(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    build_file_graph(files[i], graph.files[i]);
+  }
+  for (const FileGraph& fg : graph.files) {
+    for (const FunctionDecl& d : fg.decls) {
+      if (d.name != "(lambda)") graph.by_name[d.name].push_back(&d);
+    }
+  }
+  return graph;
+}
+
+}  // namespace dut::lint

@@ -19,6 +19,14 @@
 //                            (dut/obs/phase_timer.hpp)
 //    no-mutable-static       mutable function-local statics in src/
 //    no-unordered-iteration  unordered containers outside tests/
+//    seed-unkeyed-derivation RNG state built from a bare seed outside the
+//                            blessed derivation funnels (no trial/round/
+//                            edge/stream keying)
+//    seed-escapes-funnel     a bare seed forwarded into a callee parameter
+//                            that is not itself a seed (cross-TU, via the
+//                            declaration call graph)
+//    merge-not-rank-ordered  verdict/metrics/budget merge loop iterating in
+//                            a non-ascending (reversed) order
 //  P-rules (protocol safety):
 //    wire-cast-confined      reinterpret_cast outside net/message.hpp
 //    bits-funnel             manual writes to a `.bits` member outside the
@@ -27,19 +35,40 @@
 //                            [[nodiscard]]
 //    verdict-discarded       verdict-returning call discarded at statement
 //                            position
-//  and the meta rule bad-suppression for malformed allow comments.
+//    shared-write-outside-owner
+//                            an atomic field of a shared transport/serve
+//                            struct written from more than one function
+//                            without a handoff annotation
+//    atomic-ordering-unjustified
+//                            a non-relaxed memory_order without an
+//                            ordering justification comment
+//  and the meta rule bad-suppression for malformed directives.
 //
 // Suppression: `// dut-lint: allow(<rule>): <justification>` on the finding
 // line (or alone on the line above it). The justification is mandatory and
 // must be at least 8 characters; bad-suppression findings cannot themselves
 // be suppressed. A checked-in baseline (tools/dut_lint/baseline.json) lets
 // the gate fail only on *new* findings while legacy ones are burned down.
+//
+// Two further directive kinds feed the concurrency census rather than
+// suppressing findings:
+//   `// dut-lint: handoff(<field>): <justification>`  sanctions an atomic
+//     write outside the owning function (quiescence barriers, shutdown
+//     wake-ups); the annotated line's writes leave the single-writer census.
+//   `// dut-lint: ordering(<tag>): <justification>`   justifies the
+//     non-relaxed memory orderings on the covered line.
+// Both use the allow() placement rules and both are bad-suppression
+// findings when they cover nothing.
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
+#include <functional>
+#include <map>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dut::lint {
@@ -76,12 +105,25 @@ struct Suppression {
   bool used = false;
 };
 
+/// A parsed `// dut-lint: handoff(field): ...` or `ordering(tag): ...`
+/// annotation. Unlike a Suppression it does not silence a finding — it is
+/// an input to the concurrency census (and unused annotations are findings).
+struct Annotation {
+  std::string kind;  ///< "handoff" or "ordering"
+  std::string arg;   ///< field name (handoff) or free tag (ordering)
+  std::string justification;
+  std::size_t target_line = 0;
+  std::size_t comment_line = 0;  ///< where the directive itself sits
+  bool used = false;
+};
+
 struct ScannedFile {
   std::string path;
   FileClass cls = FileClass::kOther;
   std::vector<std::string> raw_lines;
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<Annotation> annotations;
   /// Findings produced during scanning itself (bad-suppression).
   std::vector<Finding> scan_findings;
 
@@ -96,9 +138,75 @@ ScannedFile scan_file(std::string rel_path, std::string_view text);
 struct RuleInfo {
   std::string_view name;
   std::string_view summary;
+  /// DESIGN.md anchor for `--explain` ("DESIGN.md §16.2").
+  std::string_view design_ref;
+  /// The paper/system guarantee the rule protects, one sentence.
+  std::string_view guarantee;
 };
 std::span<const RuleInfo> rule_table();
 bool is_known_rule(std::string_view name);
+/// nullptr when unknown.
+const RuleInfo* find_rule_info(std::string_view name);
+
+// --- Declaration-level call graph (graph.cpp) ------------------------------
+// Built once per corpus; feeds the cross-TU seed-flow pass and the
+// concurrency census (writer scopes are function declarations).
+
+struct FunctionDecl {
+  std::string name;       ///< unqualified ("begin_trial")
+  std::string qualifier;  ///< enclosing class or A::B prefix ("" when free)
+  std::string path;
+  std::size_t line = 0;
+  /// Parameter names by position; "" when the declaration omits the name.
+  std::vector<std::string> params;
+  bool is_definition = false;
+};
+
+struct CallSite {
+  std::string callee;
+  std::size_t token_index = 0;  ///< index of the callee identifier
+  std::size_t line = 0;
+  int caller = -1;  ///< index into FileGraph::decls, -1 at namespace scope
+  /// Top-level argument token ranges [begin, end) inside the call parens.
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+};
+
+/// Per-file slice of the graph. `func_of[i]` is the index (into decls) of
+/// the function definition whose body contains token i, or -1; `record_of`
+/// is the innermost struct/class/union name enclosing token i ("" outside).
+struct FileGraph {
+  const ScannedFile* file = nullptr;
+  std::vector<FunctionDecl> decls;
+  std::vector<CallSite> calls;
+  std::vector<int> func_of;
+  std::vector<std::string> record_of;
+};
+
+struct CallGraph {
+  std::vector<FileGraph> files;  ///< parallel to the scanned corpus
+  /// Every declaration/definition of a given unqualified name, corpus-wide.
+  std::map<std::string, std::vector<const FunctionDecl*>, std::less<>> by_name;
+};
+
+CallGraph build_call_graph(const std::vector<ScannedFile>& files);
+
+// --- Rule passes implemented outside rules.cpp -----------------------------
+
+/// Seed-flow taint pass (taint.cpp): seed-unkeyed-derivation,
+/// seed-escapes-funnel and merge-not-rank-ordered over one file, using the
+/// corpus-wide graph for cross-TU parameter lookups.
+void run_taint_rules(const ScannedFile& file, const CallGraph& graph,
+                     const FileGraph& fg, std::vector<Finding>& out);
+
+/// Concurrency single-writer census (concurrency.cpp). Runs corpus-wide:
+/// collects the atomic fields of shared structs in the census scope
+/// (src/net transport + src/serve), then checks one writer function per
+/// field (handoff-annotated lines exempt) and ordering justifications.
+/// Marks used annotations in `files`; run_lint flushes unused-annotation
+/// findings afterwards. Emits findings keyed by file path into `out`.
+void run_concurrency_census(std::vector<ScannedFile>& files,
+                            const CallGraph& graph,
+                            std::map<std::string, std::vector<Finding>>& out);
 
 struct SuppressedFinding {
   Finding finding;
@@ -156,5 +264,62 @@ std::string result_json(const LintResult& result, const BaselineDiff& diff);
 
 /// Human-readable report; the gate's stdout.
 std::string human_report(const LintResult& result, const BaselineDiff& diff);
+
+/// Findings eligible for `--write-baseline`: drops entries whose
+/// (rule, path, excerpt) key collides with an in-source suppressed finding.
+/// Baseline matching cannot tell the two sites apart, so such an entry
+/// would double-book the suppressed site forever once the active one is
+/// fixed. Skipped keys (one per finding) land in `refused` when non-null.
+std::vector<Finding> baselineable_findings(
+    const LintResult& result, std::vector<BaselineEntry>* refused);
+
+// --- SARIF 2.1.0 (sarif.cpp) ----------------------------------------------
+
+/// Serializes the run as a SARIF 2.1.0 log: one run, the full rule table as
+/// tool.driver.rules, fresh findings at level "error", baselined findings
+/// carrying an "external" suppression and in-source-suppressed ones an
+/// "inSource" suppression with the justification.
+std::string sarif_report(const LintResult& result, const BaselineDiff& diff);
+
+/// Structural validation against the SARIF 2.1.0 schema subset dut_lint
+/// emits (version string, run/tool/driver shape, rule references, result
+/// levels, location uris/regions). Returns human-readable violations;
+/// empty means valid. Throws std::runtime_error on malformed JSON.
+std::vector<std::string> sarif_validate(std::string_view json_text);
+
+// --- Incremental cache (cache.cpp) ----------------------------------------
+// Entries are keyed by (file content hash, rule-set hash). Because several
+// passes are cross-TU (verdict producers, seed taint, the census), any
+// stale file downgrades the run to a full rescan — per-file reuse of
+// findings would be unsound when another file's declarations changed. The
+// warm path (nothing changed) skips scrubbing, tokenization and every rule.
+
+/// FNV-1a 64-bit; the cache's content hash.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Hash over the rule table (names + summaries + cache schema version):
+/// any rule change invalidates every cache entry.
+std::uint64_t ruleset_hash();
+
+struct CacheStats {
+  std::size_t hits = 0;    ///< files whose content hash matched the cache
+  std::size_t misses = 0;  ///< changed, added (or removed) files
+  bool full_scan = true;   ///< rules actually ran (any miss forces this)
+  bool corrupt = false;    ///< cache file was unreadable; fell back cleanly
+};
+
+/// One source file handed to the cached entry point.
+struct SourceText {
+  std::string rel_path;
+  std::string contents;
+};
+
+/// Runs the full lint over `sources`, consulting/refreshing the cache at
+/// `cache_path` (empty path disables caching entirely). On a warm hit the
+/// cached LintResult is returned verbatim; otherwise scans everything and
+/// rewrites the cache (best-effort; write failures never fail the lint).
+LintResult lint_corpus_cached(const std::vector<SourceText>& sources,
+                              const std::string& cache_path,
+                              CacheStats* stats);
 
 }  // namespace dut::lint

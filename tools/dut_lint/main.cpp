@@ -1,13 +1,21 @@
-// dut_lint CLI — the review-time gate (registered as the lint_repo and
-// smoke_lint ctest entries).
+// dut_lint CLI — the review-time gate (registered as the lint_repo,
+// lint_repo_sarif and smoke_lint ctest entries).
 //
 //   dut_lint [--root DIR] [--baseline FILE] [--write-baseline] [--json]
-//            [--list-rules] [paths...]
+//            [--sarif FILE] [--cache FILE] [--list-rules] [--explain RULE]
+//            [--validate-sarif FILE] [--selftest-cache] [paths...]
 //
 // Scans the given files/directories (default: src bench tests tools
 // examples) under --root (default: cwd). Exit code 0 when every finding is
 // suppressed or baselined, 1 when new findings exist, 2 on usage/IO errors.
+//
+// --cache FILE consults/refreshes the incremental cache (all-or-nothing,
+// see cache.cpp); --selftest-cache proves the warm path is >= 5x faster
+// than cold with identical findings, which lint_cache_selftest gates.
+// --validate-sarif FILE structurally checks a SARIF 2.1.0 log and exits.
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -15,13 +23,17 @@
 #include <string>
 #include <vector>
 
+#include "dut/obs/phase_timer.hpp"
 #include "dut_lint/lint.hpp"
 
 namespace {
 
 int usage(std::ostream& out, int code) {
   out << "usage: dut_lint [--root DIR] [--baseline FILE] [--write-baseline]\n"
-         "                [--json] [--list-rules] [paths...]\n";
+         "                [--json] [--sarif FILE] [--cache FILE]\n"
+         "                [--list-rules] [--explain RULE]\n"
+         "                [--validate-sarif FILE] [--selftest-cache]\n"
+         "                [paths...]\n";
   return code;
 }
 
@@ -38,14 +50,106 @@ std::string rel_to(const std::filesystem::path& root,
   return std::filesystem::relative(p, root).generic_string();
 }
 
+int explain_rule(const std::string& name) {
+  using dut::lint::RuleInfo;
+  const RuleInfo* info = dut::lint::find_rule_info(name);
+  if (info == nullptr) {
+    std::cerr << "dut_lint: unknown rule '" << name
+              << "' (see --list-rules)\n";
+    return 2;
+  }
+  std::cout << info->name << "\n\n  what:      " << info->summary
+            << "\n  protects:  " << info->guarantee
+            << "\n  reference: " << info->design_ref << "\n";
+  return 0;
+}
+
+int validate_sarif_file(const std::string& path) {
+  const std::vector<std::string> errors =
+      dut::lint::sarif_validate(read_file(path));
+  for (const std::string& e : errors) {
+    std::cerr << "dut_lint: sarif: " << e << "\n";
+  }
+  if (errors.empty()) {
+    std::cout << "dut_lint: " << path << " is structurally valid SARIF "
+              << "2.1.0\n";
+    return 0;
+  }
+  std::cerr << "dut_lint: " << path << ": " << errors.size()
+            << " schema violation" << (errors.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
+
+/// Cold-vs-warm cache benchmark over the already-loaded sources. Each mode
+/// runs twice and takes the faster run, which irons out first-touch noise.
+int selftest_cache(const std::vector<dut::lint::SourceText>& sources,
+                   const std::string& cache_path) {
+  using dut::lint::CacheStats;
+  using dut::lint::LintResult;
+  namespace fs = std::filesystem;
+
+  const auto timed_run = [&](bool cold, CacheStats& stats,
+                             LintResult& result) {
+    double best = 1e30;
+    for (int iter = 0; iter < 2; ++iter) {
+      if (cold) fs::remove(cache_path);
+      const dut::obs::StopWatch watch;
+      result = dut::lint::lint_corpus_cached(sources, cache_path, &stats);
+      best = std::min(best, watch.seconds());
+    }
+    return best;
+  };
+
+  CacheStats cold_stats, warm_stats;
+  LintResult cold_result, warm_result;
+  const double cold = timed_run(true, cold_stats, cold_result);
+  const double warm = timed_run(false, warm_stats, warm_result);
+
+  const auto signature = [](const LintResult& r) {
+    return dut::lint::result_json(
+        r, dut::lint::diff_baseline(r.findings, {}));
+  };
+
+  bool ok = true;
+  if (!cold_stats.full_scan || cold_stats.hits != 0) {
+    std::cerr << "selftest: cold run unexpectedly hit the cache\n";
+    ok = false;
+  }
+  if (warm_stats.full_scan || warm_stats.misses != 0 ||
+      warm_stats.hits != sources.size()) {
+    std::cerr << "selftest: warm run was not a pure cache hit (hits="
+              << warm_stats.hits << " misses=" << warm_stats.misses << ")\n";
+    ok = false;
+  }
+  if (signature(cold_result) != signature(warm_result)) {
+    std::cerr << "selftest: warm findings differ from cold findings\n";
+    ok = false;
+  }
+  if (warm * 5.0 > cold) {
+    std::cerr << "selftest: warm run not >=5x faster than cold\n";
+    ok = false;
+  }
+  std::printf(
+      "dut_lint cache selftest: cold %.3fs (%zu files), warm %.3fs "
+      "(%.1fx), findings %zu — %s\n",
+      cold, sources.size(), warm, warm > 0 ? cold / warm : 0.0,
+      cold_result.findings.size(), ok ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dut::lint;
   std::filesystem::path root = std::filesystem::current_path();
   std::string baseline_path;
+  std::string sarif_path;
+  std::string cache_path;
+  std::string validate_path;
+  std::string explain;
   bool write_baseline = false;
   bool json_output = false;
+  bool run_selftest = false;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -54,13 +158,24 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      cache_path = argv[++i];
+    } else if (arg == "--validate-sarif" && i + 1 < argc) {
+      validate_path = argv[++i];
+    } else if (arg == "--explain" && i + 1 < argc) {
+      explain = argv[++i];
     } else if (arg == "--write-baseline") {
       write_baseline = true;
     } else if (arg == "--json") {
       json_output = true;
+    } else if (arg == "--selftest-cache") {
+      run_selftest = true;
     } else if (arg == "--list-rules") {
       for (const RuleInfo& r : rule_table()) {
-        std::cout << r.name << "\n    " << r.summary << "\n";
+        std::cout << r.name << "\n    " << r.summary << "\n    -> "
+                  << r.design_ref << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
@@ -77,13 +192,26 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!explain.empty()) return explain_rule(explain);
+    if (!validate_path.empty()) return validate_sarif_file(validate_path);
+
     root = std::filesystem::absolute(root);
-    std::vector<ScannedFile> files;
+    std::vector<SourceText> sources;
     for (const std::filesystem::path& p : collect_sources(root, paths)) {
-      files.push_back(scan_file(rel_to(root, p), read_file(p)));
+      sources.push_back({rel_to(root, p), read_file(p)});
     }
 
-    const LintResult result = run_lint(files);
+    if (run_selftest) {
+      if (cache_path.empty()) {
+        std::cerr << "dut_lint: --selftest-cache needs --cache FILE\n";
+        return 2;
+      }
+      return selftest_cache(sources, cache_path);
+    }
+
+    CacheStats cache_stats;
+    const LintResult result =
+        lint_corpus_cached(sources, cache_path, &cache_stats);
 
     std::vector<BaselineEntry> baseline;
     if (!baseline_path.empty() && !write_baseline) {
@@ -101,21 +229,56 @@ int main(int argc, char** argv) {
         std::cerr << "dut_lint: --write-baseline needs --baseline FILE\n";
         return 2;
       }
+      // Stale entries in the previous baseline are pruned by construction
+      // (the file is rewritten from live findings); count them for the log.
+      std::size_t pruned = 0;
+      if (std::filesystem::exists(baseline_path)) {
+        const auto old = parse_baseline(read_file(baseline_path));
+        pruned = diff_baseline(result.findings, old).stale.size();
+      }
+      std::vector<BaselineEntry> refused;
+      const std::vector<Finding> eligible =
+          baselineable_findings(result, &refused);
       std::ofstream out(baseline_path, std::ios::binary);
-      out << baseline_json(result.findings);
+      out << baseline_json(eligible);
       if (!out) {
         std::cerr << "dut_lint: cannot write " << baseline_path << "\n";
         return 2;
       }
-      std::cout << "dut_lint: wrote " << result.findings.size()
-                << " entries to " << baseline_path << "\n";
+      for (const BaselineEntry& r : refused) {
+        std::cerr << "dut_lint: refused baseline entry [" << r.rule << "] "
+                  << r.path << " '" << r.excerpt
+                  << "': a suppressed finding shares this key (fix or widen "
+                     "the suppression instead of baselining)\n";
+      }
+      std::cout << "dut_lint: wrote " << eligible.size() << " entries to "
+                << baseline_path << " (" << refused.size() << " refused, "
+                << pruned << " stale pruned)\n";
       return 0;
+    }
+
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary);
+      out << sarif_report(result, diff);
+      if (!out) {
+        std::cerr << "dut_lint: cannot write " << sarif_path << "\n";
+        return 2;
+      }
     }
 
     if (json_output) {
       std::cout << result_json(result, diff);
     } else {
       std::cout << human_report(result, diff);
+      if (!cache_path.empty()) {
+        std::cout << "dut_lint: cache " << (cache_stats.full_scan
+                                                ? "cold"
+                                                : "warm")
+                  << " (" << cache_stats.hits << " hits, "
+                  << cache_stats.misses << " misses"
+                  << (cache_stats.corrupt ? ", corrupt cache rebuilt" : "")
+                  << ")\n";
+      }
     }
     return diff.fresh.empty() ? 0 : 1;
   } catch (const std::exception& e) {

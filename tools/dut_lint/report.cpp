@@ -129,6 +129,29 @@ std::string result_json(const LintResult& result, const BaselineDiff& diff) {
   return doc.dump(2) + "\n";
 }
 
+std::vector<Finding> baselineable_findings(
+    const LintResult& result, std::vector<BaselineEntry>* refused) {
+  // A finding whose (rule, path, excerpt) key collides with an in-source
+  // suppressed finding must not enter the baseline: the diff cannot tell
+  // the two sites apart, so once the active twin is fixed the baseline
+  // entry would silently cover the suppressed site forever (double-booked).
+  std::map<Key, std::size_t> suppressed_keys;
+  for (const SuppressedFinding& s : result.suppressed) {
+    ++suppressed_keys[key_of(s.finding)];
+  }
+  std::vector<Finding> out;
+  for (const Finding& f : result.findings) {
+    if (suppressed_keys.count(key_of(f)) > 0) {
+      if (refused != nullptr) {
+        refused->push_back({f.rule, f.path, f.excerpt});
+      }
+      continue;
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
 std::string human_report(const LintResult& result, const BaselineDiff& diff) {
   std::ostringstream out;
   for (const Finding& f : diff.fresh) {

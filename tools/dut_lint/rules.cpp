@@ -17,42 +17,117 @@ namespace {
 constexpr RuleInfo kRules[] = {
     {"no-random-device",
      "std::random_device draws OS entropy; seeded Xoshiro streams are the "
-     "only sanctioned randomness (bit-identical sweeps, DESIGN.md §8)"},
+     "only sanctioned randomness (bit-identical sweeps, DESIGN.md §8)",
+     "DESIGN.md §12",
+     "Bit-identical Monte-Carlo sweeps: every random draw derives from the "
+     "run seed, so a sweep replays exactly at any thread/rank count"},
     {"no-libc-rand",
      "rand()/srand()/random()/drand48() share hidden global state and break "
-     "per-trial stream derivation"},
+     "per-trial stream derivation",
+     "DESIGN.md §12",
+     "Per-trial stream independence: the (salt^seed, trial, round, edge, "
+     "msg_index) funnel cannot coexist with hidden libc RNG state"},
     {"no-wall-clock",
      "wall-clock reads outside src/obs/ and bench/ make output depend on "
-     "when it ran, not on (seed, input)"},
+     "when it ran, not on (seed, input)",
+     "DESIGN.md §12",
+     "Verdicts are a pure function of (seed, input): the threshold rule's "
+     "error bounds are meaningless if decisions see the clock"},
     {"clock-funnel",
      "within src/obs/ and bench/, wall-clock reads are confined to "
      "obs::StopWatch/obs::PhaseTimer in dut/obs/phase_timer.hpp — one "
-     "clock for every phase histogram and perf figure"},
+     "clock for every phase histogram and perf figure",
+     "DESIGN.md §12",
+     "One clock for every timing figure: phase histograms and bench "
+     "reports stay comparable and fakeable from a single funnel"},
     {"no-mutable-static",
      "mutable function-local statics in library code are hidden cross-trial "
-     "state; immutable/const/reference latches are exempt"},
+     "state; immutable/const/reference latches are exempt",
+     "DESIGN.md §12",
+     "Trial re-runnability: engines are pooled and re-run; cross-trial "
+     "state would couple trials the analysis treats as independent"},
     {"no-unordered-iteration",
      "unordered container iteration order is unspecified; verdicts, traces "
-     "and reports must not depend on it (tests exempt)"},
+     "and reports must not depend on it (tests exempt)",
+     "DESIGN.md §12",
+     "Deterministic iteration: verdict streams, traces and reports must "
+     "not depend on hash-table order, which varies across libraries"},
+    {"seed-unkeyed-derivation",
+     "RNG state built from a bare seed outside the blessed derivation "
+     "funnels (no trial/round/edge/stream keying)",
+     "DESIGN.md §16.2",
+     "Per-trial stream independence (paper Thm. 1 error bounds): two "
+     "streams built from the same bare seed are the *same* stream, and "
+     "collision statistics computed from them are silently correlated"},
+    {"seed-escapes-funnel",
+     "a bare seed forwarded into a callee parameter that is not itself a "
+     "seed (cross-TU, via the declaration call graph)",
+     "DESIGN.md §16.2",
+     "Seed provenance: once a seed travels under a non-seed parameter "
+     "name, the next maintainer cannot know it must be keyed before "
+     "re-derivation — the leak that correlates trials arrives one call "
+     "later"},
+    {"merge-not-rank-ordered",
+     "verdict/metrics/budget merge loop iterating in a non-ascending "
+     "(reversed) order",
+     "DESIGN.md §16.2",
+     "Rank-order merge determinism: verdict streams are bit-identical "
+     "across threads, shards, ranks and transports only because every "
+     "merge folds results in ascending (rank, shard, stream) order"},
     {"wire-cast-confined",
      "reinterpret_cast on wire/shared bytes is confined to net/message.hpp "
      "and the transport serialization funnel (net transport shm_session); "
-     "the declared-width field API is the only wire format"},
+     "the declared-width field API is the only wire format",
+     "DESIGN.md §12",
+     "Declared-width CONGEST budget: every wire field is counted by the "
+     "push_field API, so the paper's communication bounds are measured, "
+     "not assumed"},
     {"os-primitives-confined",
      "process, shared-memory and timing OS primitives (mmap/shm_open/fork/"
      "nanosleep/...) live only in the net transport layer; protocol and "
-     "library code stays single-process and deterministic"},
+     "library code stays single-process and deterministic",
+     "DESIGN.md §12",
+     "Transport seam integrity: protocol code runs identically under "
+     "every Transport backend because only the transport owns processes, "
+     "shared memory and waits"},
     {"bits-funnel",
      "Message/Verdict bit totals are accumulated by push_field and "
-     "Verdict::make; manual .bits writes under-report the CONGEST budget"},
+     "Verdict::make; manual .bits writes under-report the CONGEST budget",
+     "DESIGN.md §12",
+     "Bit-budget accounting: the CONGEST width claims hold because "
+     "push_field/Verdict::make are the only writers of .bits"},
     {"verdict-nodiscard",
      "public APIs returning a verdict/result type must be [[nodiscard]]; a "
-     "dropped verdict is a silently ignored protocol outcome"},
+     "dropped verdict is a silently ignored protocol outcome",
+     "DESIGN.md §12",
+     "No silent verdict loss: every protocol outcome is observed or "
+     "deliberately (and visibly) discarded"},
     {"verdict-discarded",
-     "verdict-returning call discarded at statement position"},
+     "verdict-returning call discarded at statement position",
+     "DESIGN.md §12",
+     "No silent verdict loss: a discarded verdict is an ignored protocol "
+     "outcome — the reject-biased fault contract only holds if rejects "
+     "are seen"},
+    {"shared-write-outside-owner",
+     "an atomic field of a shared transport/serve struct written from more "
+     "than one function without a handoff annotation",
+     "DESIGN.md §16.3",
+     "Single-writer SPSC discipline: ring tails belong to the writer, "
+     "heads to the reader, trial controls to the coordinator — the "
+     "lock-free protocol is only correct with exactly one writer scope "
+     "per field"},
+    {"atomic-ordering-unjustified",
+     "a non-relaxed memory_order without an ordering justification comment",
+     "DESIGN.md §16.3",
+     "Halt-visibility and publish edges: each non-relaxed ordering is a "
+     "protocol edge (publish/consume, quiescence, abort visibility) and "
+     "must state which edge it establishes"},
     {"bad-suppression",
-     "dut-lint allow() comment is malformed, names an unknown rule, or "
-     "lacks a justification"},
+     "dut-lint allow()/handoff()/ordering() comment is malformed, names an "
+     "unknown rule, lacks a justification, or covers nothing",
+     "DESIGN.md §12",
+     "Auditability of every exemption: a suppression or census annotation "
+     "that is malformed or dangling is itself a finding"},
 };
 
 bool ends_with(std::string_view s, std::string_view suffix) {
@@ -509,10 +584,14 @@ void apply_suppressions(ScannedFile& file, std::vector<Finding>& candidates,
 std::span<const RuleInfo> rule_table() { return kRules; }
 
 bool is_known_rule(std::string_view name) {
+  return find_rule_info(name) != nullptr;
+}
+
+const RuleInfo* find_rule_info(std::string_view name) {
   for (const RuleInfo& r : kRules) {
-    if (r.name == name) return true;
+    if (r.name == name) return &r;
   }
-  return false;
+  return nullptr;
 }
 
 LintResult run_lint(const std::vector<ScannedFile>& files) {
@@ -524,34 +603,59 @@ LintResult run_lint(const std::vector<ScannedFile>& files) {
   for (const ScannedFile& file : files) collect_types(file, corpus);
   for (const ScannedFile& file : files) collect_producers(file, corpus);
 
-  for (const ScannedFile& file : files) {
-    // Work on a copy so suppression bookkeeping stays per-run.
-    ScannedFile scratch = file;
-    std::vector<Finding> candidates = scratch.scan_findings;
-    rule_no_random_device(scratch, candidates);
-    rule_no_libc_rand(scratch, candidates);
-    rule_no_wall_clock(scratch, candidates);
-    rule_clock_funnel(scratch, candidates);
-    rule_no_mutable_static(scratch, candidates);
-    rule_no_unordered_iteration(scratch, candidates);
-    rule_wire_cast_confined(scratch, candidates);
-    rule_os_primitives_confined(scratch, candidates);
-    rule_bits_funnel(scratch, candidates);
-    rule_verdict_discarded(scratch, corpus, candidates);
+  // All semantic passes share one scratch copy of the corpus so suppression
+  // and annotation bookkeeping stays per-run: the call graph is built once,
+  // the census runs corpus-wide (marking used annotations), then the
+  // per-file token rules run and suppressions are applied.
+  std::vector<ScannedFile> scratch(files.begin(), files.end());
+  const CallGraph graph = build_call_graph(scratch);
+  std::map<std::string, std::vector<Finding>> census;
+  run_concurrency_census(scratch, graph, census);
+
+  for (std::size_t fi = 0; fi < scratch.size(); ++fi) {
+    ScannedFile& file = scratch[fi];
+    std::vector<Finding> candidates = file.scan_findings;
+    rule_no_random_device(file, candidates);
+    rule_no_libc_rand(file, candidates);
+    rule_no_wall_clock(file, candidates);
+    rule_clock_funnel(file, candidates);
+    rule_no_mutable_static(file, candidates);
+    rule_no_unordered_iteration(file, candidates);
+    rule_wire_cast_confined(file, candidates);
+    rule_os_primitives_confined(file, candidates);
+    rule_bits_funnel(file, candidates);
+    rule_verdict_discarded(file, corpus, candidates);
+    run_taint_rules(file, graph, graph.files[fi], candidates);
+    if (const auto it = census.find(file.path); it != census.end()) {
+      candidates.insert(candidates.end(), it->second.begin(),
+                        it->second.end());
+      census.erase(it);
+    }
+    for (const Annotation& a : file.annotations) {
+      if (a.used) continue;
+      candidates.push_back(
+          {"bad-suppression", file.path, a.comment_line,
+           "dut-lint " + a.kind + "(" + a.arg + ") annotation covers no " +
+               (a.kind == "handoff" ? std::string("atomic write to that "
+                                                  "field on its line")
+                                    : std::string("non-relaxed memory "
+                                                  "ordering on its line")),
+           file.excerpt(a.comment_line)});
+    }
     for (const auto& [decl_file, tok] : corpus.unprotected_decls) {
-      if (decl_file->path != scratch.path) continue;
+      if (decl_file->path != file.path) continue;
       const Token& t = decl_file->tokens[tok];
       candidates.push_back(
-          {"verdict-nodiscard", scratch.path, t.line,
+          {"verdict-nodiscard", file.path, t.line,
            "'" + decl_file->tokens[tok + 1].text + "' returns " + t.text +
                " but is not [[nodiscard]] (and the type is not)",
-           scratch.excerpt(t.line)});
+           file.excerpt(t.line)});
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
               });
-    apply_suppressions(scratch, candidates, result);
+    apply_suppressions(file, candidates, result);
   }
 
   std::sort(result.findings.begin(), result.findings.end(),

@@ -1,0 +1,307 @@
+// SARIF 2.1.0 emission + structural validation (DESIGN.md §16.4). One run,
+// the full rule table published as tool.driver.rules so viewers can render
+// help for every rule (not just the ones that fired), and the baseline
+// state mapped onto SARIF's own suppression model: a finding covered by the
+// checked-in baseline carries {"kind": "external"}, an in-source
+// `dut-lint: allow(...)` carries {"kind": "inSource"} with the
+// justification, and only fresh findings arrive unsuppressed at level
+// "error" — exactly the findings that fail the gate.
+//
+// sarif_validate() is the lint_repo_sarif gate's checker: the container has
+// no external JSON-Schema tool, so it structurally validates the 2.1.0
+// subset dut_lint emits (and that any conformant producer of this subset
+// would emit): version/$schema, runs[].tool.driver shape, rule-index
+// cross-references, result levels, location uri/region types.
+
+#include <algorithm>
+#include <set>
+
+#include "dut/obs/json.hpp"
+#include "dut_lint/lint.hpp"
+
+namespace dut::lint {
+
+namespace {
+
+constexpr std::string_view kSarifVersion = "2.1.0";
+constexpr std::string_view kSarifSchema =
+    "https://json.schemastore.org/sarif-2.1.0.json";
+
+obs::Json location_of(const Finding& f) {
+  obs::Json physical = obs::Json::object();
+  obs::Json artifact = obs::Json::object();
+  artifact.set("uri", f.path);
+  physical.set("artifactLocation", std::move(artifact));
+  if (f.line > 0) {
+    obs::Json region = obs::Json::object();
+    region.set("startLine", static_cast<std::uint64_t>(f.line));
+    physical.set("region", std::move(region));
+  }
+  obs::Json location = obs::Json::object();
+  location.set("physicalLocation", std::move(physical));
+  obs::Json locations = obs::Json::array();
+  locations.push(std::move(location));
+  return locations;
+}
+
+obs::Json result_of(const Finding& f, std::size_t rule_index,
+                    const char* level) {
+  obs::Json result = obs::Json::object();
+  result.set("ruleId", f.rule);
+  result.set("ruleIndex", static_cast<std::uint64_t>(rule_index));
+  result.set("level", level);
+  obs::Json message = obs::Json::object();
+  message.set("text", f.message);
+  result.set("message", std::move(message));
+  result.set("locations", location_of(f));
+  return result;
+}
+
+obs::Json suppression_of(const char* kind, const std::string* justification) {
+  obs::Json sup = obs::Json::object();
+  sup.set("kind", kind);
+  if (justification != nullptr && !justification->empty()) {
+    sup.set("justification", *justification);
+  }
+  obs::Json sups = obs::Json::array();
+  sups.push(std::move(sup));
+  return sups;
+}
+
+std::size_t rule_index_of(std::string_view rule) {
+  const auto table = rule_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == rule) return i;
+  }
+  return 0;  // unreachable for findings produced by this tool
+}
+
+}  // namespace
+
+std::string sarif_report(const LintResult& result, const BaselineDiff& diff) {
+  obs::Json driver = obs::Json::object();
+  driver.set("name", "dut_lint");
+  driver.set("informationUri", "DESIGN.md");
+  driver.set("version", "2");
+  obs::Json rules = obs::Json::array();
+  for (const RuleInfo& info : rule_table()) {
+    obs::Json rule = obs::Json::object();
+    rule.set("id", std::string(info.name));
+    obs::Json short_desc = obs::Json::object();
+    short_desc.set("text", std::string(info.summary));
+    rule.set("shortDescription", std::move(short_desc));
+    obs::Json full_desc = obs::Json::object();
+    full_desc.set("text",
+                  std::string(info.guarantee) + " (" +
+                      std::string(info.design_ref) + ")");
+    rule.set("fullDescription", std::move(full_desc));
+    rules.push(std::move(rule));
+  }
+  driver.set("rules", std::move(rules));
+
+  // Fresh findings are gate failures; baselined ones are externally
+  // suppressed; in-source allow() directives are inSource suppressions.
+  // diff.fresh holds copies, so match by the baseline key, multiset-style.
+  std::multiset<std::string> fresh_keys;
+  for (const Finding& f : diff.fresh) {
+    fresh_keys.insert(f.rule + "\n" + f.path + "\n" + f.excerpt);
+  }
+
+  obs::Json results = obs::Json::array();
+  for (const Finding& f : result.findings) {
+    const std::string key = f.rule + "\n" + f.path + "\n" + f.excerpt;
+    obs::Json entry = result_of(f, rule_index_of(f.rule), "error");
+    auto it = fresh_keys.find(key);
+    if (it != fresh_keys.end()) {
+      fresh_keys.erase(it);  // fresh: unsuppressed
+    } else {
+      entry.set("suppressions", suppression_of("external", nullptr));
+    }
+    results.push(std::move(entry));
+  }
+  for (const SuppressedFinding& s : result.suppressed) {
+    obs::Json entry = result_of(s.finding, rule_index_of(s.finding.rule),
+                                "note");
+    entry.set("suppressions", suppression_of("inSource", &s.justification));
+    results.push(std::move(entry));
+  }
+
+  obs::Json tool = obs::Json::object();
+  tool.set("driver", std::move(driver));
+  obs::Json run = obs::Json::object();
+  run.set("tool", std::move(tool));
+  run.set("columnKind", "utf16CodeUnits");
+  run.set("results", std::move(results));
+  obs::Json runs = obs::Json::array();
+  runs.push(std::move(run));
+
+  obs::Json root = obs::Json::object();
+  root.set("$schema", std::string(kSarifSchema));
+  root.set("version", std::string(kSarifVersion));
+  root.set("runs", std::move(runs));
+  return root.dump(2) + "\n";
+}
+
+std::vector<std::string> sarif_validate(std::string_view json_text) {
+  std::vector<std::string> errors;
+  const obs::Json root = obs::Json::parse(json_text);
+  const auto fail = [&errors](std::string msg) {
+    errors.push_back(std::move(msg));
+  };
+
+  if (!root.is_object()) {
+    fail("root is not an object");
+    return errors;
+  }
+  const obs::Json* version = root.get("version");
+  if (version == nullptr || !version->is_string() ||
+      version->as_string() != kSarifVersion) {
+    fail("version must be the string \"2.1.0\"");
+  }
+  const obs::Json* runs = root.get("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    fail("runs must be an array");
+    return errors;
+  }
+  for (std::size_t r = 0; r < runs->size(); ++r) {
+    const obs::Json& run = runs->at(r);
+    const std::string where = "runs[" + std::to_string(r) + "]";
+    if (!run.is_object()) {
+      fail(where + " is not an object");
+      continue;
+    }
+    const obs::Json* tool = run.get("tool");
+    const obs::Json* driver =
+        tool != nullptr && tool->is_object() ? tool->get("driver") : nullptr;
+    if (driver == nullptr || !driver->is_object()) {
+      fail(where + ".tool.driver missing");
+      continue;
+    }
+    const obs::Json* name = driver->get("name");
+    if (name == nullptr || !name->is_string()) {
+      fail(where + ".tool.driver.name must be a string");
+    }
+    std::size_t rule_count = 0;
+    std::set<std::string> rule_ids;
+    std::vector<std::string> rule_order;
+    if (const obs::Json* rules = driver->get("rules")) {
+      if (!rules->is_array()) {
+        fail(where + ".tool.driver.rules must be an array");
+      } else {
+        rule_count = rules->size();
+        for (std::size_t i = 0; i < rules->size(); ++i) {
+          const obs::Json& rule = rules->at(i);
+          const obs::Json* id =
+              rule.is_object() ? rule.get("id") : nullptr;
+          if (id == nullptr || !id->is_string()) {
+            fail(where + ".tool.driver.rules[" + std::to_string(i) +
+                 "].id must be a string");
+            rule_order.emplace_back();
+          } else {
+            rule_ids.insert(id->as_string());
+            rule_order.push_back(id->as_string());
+          }
+        }
+      }
+    }
+    const obs::Json* results = run.get("results");
+    if (results == nullptr || !results->is_array()) {
+      fail(where + ".results must be an array");
+      continue;
+    }
+    for (std::size_t i = 0; i < results->size(); ++i) {
+      const obs::Json& res = results->at(i);
+      const std::string rwhere = where + ".results[" + std::to_string(i) + "]";
+      if (!res.is_object()) {
+        fail(rwhere + " is not an object");
+        continue;
+      }
+      const obs::Json* rule_id = res.get("ruleId");
+      if (rule_id == nullptr || !rule_id->is_string()) {
+        fail(rwhere + ".ruleId must be a string");
+      } else if (rule_count > 0 && rule_ids.count(rule_id->as_string()) == 0) {
+        fail(rwhere + ".ruleId \"" + rule_id->as_string() +
+             "\" not in tool.driver.rules");
+      }
+      if (const obs::Json* rule_index = res.get("ruleIndex")) {
+        if (!rule_index->is_number()) {
+          fail(rwhere + ".ruleIndex must be a number");
+        } else if (rule_index->as_u64() >= rule_count) {
+          fail(rwhere + ".ruleIndex out of range");
+        } else if (rule_id != nullptr && rule_id->is_string() &&
+                   rule_order[rule_index->as_u64()] != rule_id->as_string()) {
+          fail(rwhere + ".ruleIndex does not match ruleId");
+        }
+      }
+      if (const obs::Json* level = res.get("level")) {
+        static const std::set<std::string> kLevels = {"none", "note",
+                                                      "warning", "error"};
+        if (!level->is_string() || kLevels.count(level->as_string()) == 0) {
+          fail(rwhere + ".level must be none|note|warning|error");
+        }
+      }
+      const obs::Json* message = res.get("message");
+      const obs::Json* text =
+          message != nullptr && message->is_object() ? message->get("text")
+                                                     : nullptr;
+      if (text == nullptr || !text->is_string()) {
+        fail(rwhere + ".message.text must be a string");
+      }
+      if (const obs::Json* locations = res.get("locations")) {
+        if (!locations->is_array()) {
+          fail(rwhere + ".locations must be an array");
+        } else {
+          for (std::size_t l = 0; l < locations->size(); ++l) {
+            const obs::Json& loc = locations->at(l);
+            const obs::Json* physical =
+                loc.is_object() ? loc.get("physicalLocation") : nullptr;
+            const obs::Json* artifact =
+                physical != nullptr && physical->is_object()
+                    ? physical->get("artifactLocation")
+                    : nullptr;
+            const obs::Json* uri =
+                artifact != nullptr && artifact->is_object()
+                    ? artifact->get("uri")
+                    : nullptr;
+            if (uri == nullptr || !uri->is_string()) {
+              fail(rwhere + ".locations[" + std::to_string(l) +
+                   "].physicalLocation.artifactLocation.uri must be a string");
+            }
+            const obs::Json* region =
+                physical != nullptr && physical->is_object()
+                    ? physical->get("region")
+                    : nullptr;
+            if (region != nullptr) {
+              const obs::Json* start = region->get("startLine");
+              if (start == nullptr || !start->is_number() ||
+                  start->as_u64() == 0) {
+                fail(rwhere + ".locations[" + std::to_string(l) +
+                     "].physicalLocation.region.startLine must be >= 1");
+              }
+            }
+          }
+        }
+      }
+      if (const obs::Json* sups = res.get("suppressions")) {
+        if (!sups->is_array()) {
+          fail(rwhere + ".suppressions must be an array");
+        } else {
+          for (std::size_t s = 0; s < sups->size(); ++s) {
+            const obs::Json& sup = sups->at(s);
+            const obs::Json* kind =
+                sup.is_object() ? sup.get("kind") : nullptr;
+            if (kind == nullptr || !kind->is_string() ||
+                (kind->as_string() != "inSource" &&
+                 kind->as_string() != "external")) {
+              fail(rwhere + ".suppressions[" + std::to_string(s) +
+                   "].kind must be inSource|external");
+            }
+          }
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace dut::lint

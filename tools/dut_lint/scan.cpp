@@ -41,6 +41,28 @@ bool is_digit_separator(std::string_view text, std::size_t i) {
   return j < i && std::isdigit(static_cast<unsigned char>(text[j]));
 }
 
+bool ident_char_raw(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True when the `"` at i opens a raw string literal: it must be preceded
+/// by a standalone `R` (optionally with an encoding prefix: u8R, uR, UR,
+/// LR). A longer identifier that merely *ends* in R (`MACRO_R"x"`) is an
+/// ordinary string following an identifier — treating it as raw would eat
+/// everything up to the next '(' and derail scrubbing for the rest of the
+/// file.
+bool is_raw_string_start(std::string_view text, std::size_t i) {
+  if (i == 0 || text[i - 1] != 'R') return false;
+  std::size_t p = i - 1;  // index of the R
+  if (p >= 2 && text[p - 2] == 'u' && text[p - 1] == '8') {
+    p -= 2;
+  } else if (p >= 1 && (text[p - 1] == 'u' || text[p - 1] == 'U' ||
+                        text[p - 1] == 'L')) {
+    p -= 1;
+  }
+  return p == 0 || !ident_char_raw(text[p - 1]);
+}
+
 /// Replaces comments and string/char literal contents with spaces (newlines
 /// survive, so line numbers are stable) and collects the comment texts.
 std::string scrub(std::string_view text, std::vector<CommentSpan>& comments) {
@@ -70,9 +92,7 @@ std::string scrub(std::string_view text, std::vector<CommentSpan>& comments) {
           code += "  ";
           ++i;
         } else if (c == '"') {
-          // Raw string literal? Look back for R (uR, u8R, LR handled by the
-          // R immediately preceding the quote).
-          if (i > 0 && text[i - 1] == 'R') {
+          if (is_raw_string_start(text, i)) {
             raw_delim.clear();
             std::size_t j = i + 1;
             while (j < text.size() && text[j] != '(') raw_delim += text[j++];
@@ -228,11 +248,13 @@ std::string trim(std::string_view s) {
 /// never be the obstacle, long enough to rule out "ok" and "x".
 constexpr std::size_t kMinJustification = 8;
 
-/// Parses suppression directives out of one comment. Malformed directives
-/// become bad-suppression findings (never suppressible themselves).
+/// Parses suppression directives — allow(<rule>), handoff(<field>),
+/// ordering(<tag>) — out of one comment. Malformed directives become
+/// bad-suppression findings (never suppressible themselves).
 void parse_directives(const CommentSpan& comment, const ScannedFile& file,
                       std::vector<std::string_view> code_lines,
                       std::vector<Suppression>& out,
+                      std::vector<Annotation>& annotations,
                       std::vector<Finding>& findings) {
   // The directive must be the comment, not merely appear inside one —
   // documentation that quotes the syntax mid-sentence is not a directive.
@@ -249,32 +271,45 @@ void parse_directives(const CommentSpan& comment, const ScannedFile& file,
   std::string_view rest =
       std::string_view(comment.text).substr(pos + kMarker.size());
   const std::string body = trim(rest);
-  if (!starts_with(body, "allow(")) {
-    bad("dut-lint directive must be 'allow(<rule>): <justification>'");
+  std::string kind;
+  for (const char* k : {"allow", "handoff", "ordering"}) {
+    if (starts_with(body, std::string(k) + "(")) kind = k;
+  }
+  if (kind.empty()) {
+    bad("dut-lint directive must be 'allow(<rule>)', 'handoff(<field>)' or "
+        "'ordering(<tag>)', each followed by ': <justification>'");
     return;
   }
   const std::size_t close = body.find(')');
   if (close == std::string::npos) {
-    bad("unterminated rule name in dut-lint allow()");
+    bad("unterminated argument in dut-lint " + kind + "()");
     return;
   }
-  const std::string rule = trim(body.substr(6, close - 6));
-  if (!is_known_rule(rule)) {
-    bad("unknown rule '" + rule + "' in dut-lint allow()");
-    return;
-  }
-  if (rule == "bad-suppression") {
-    bad("bad-suppression findings cannot be suppressed");
+  const std::string arg = trim(body.substr(kind.size() + 1,
+                                           close - kind.size() - 1));
+  if (kind == "allow") {
+    if (!is_known_rule(arg)) {
+      bad("unknown rule '" + arg + "' in dut-lint allow()");
+      return;
+    }
+    if (arg == "bad-suppression") {
+      bad("bad-suppression findings cannot be suppressed");
+      return;
+    }
+  } else if (arg.empty()) {
+    bad("dut-lint " + kind + "() needs a " +
+        (kind == "handoff" ? std::string("field name") : std::string("tag")));
     return;
   }
   std::string after = trim(body.substr(close + 1));
   if (!starts_with(after, ":")) {
-    bad("dut-lint allow() must be followed by ': <justification>'");
+    bad("dut-lint " + kind + "() must be followed by ': <justification>'");
     return;
   }
   const std::string justification = trim(after.substr(1));
   if (justification.size() < kMinJustification) {
-    bad("dut-lint suppression needs a real justification (>= 8 chars)");
+    bad("dut-lint " + kind +
+        "() needs a real justification (>= 8 chars)");
     return;
   }
 
@@ -290,7 +325,12 @@ void parse_directives(const CommentSpan& comment, const ScannedFile& file,
       ++target;
     }
   }
-  out.push_back({rule, justification, target, false});
+  if (kind == "allow") {
+    out.push_back({arg, justification, target, false});
+  } else {
+    annotations.push_back(
+        {kind, arg, justification, target, comment.first_line, false});
+  }
 }
 
 }  // namespace
@@ -341,7 +381,7 @@ ScannedFile scan_file(std::string rel_path, std::string_view text) {
   }
   for (const CommentSpan& comment : comments) {
     parse_directives(comment, file, code_lines, file.suppressions,
-                     file.scan_findings);
+                     file.annotations, file.scan_findings);
   }
   return file;
 }

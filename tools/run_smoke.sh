@@ -8,6 +8,7 @@
 # Usage: run_smoke.sh [--replay <dut_replay-binary>] \
 #            <dut_trace-binary> <workdir> <binary> [args...]
 #        run_smoke.sh --lint <dut_lint-binary> <repo-root>
+#        run_smoke.sh --sarif <dut_lint-binary> <repo-root>
 #        run_smoke.sh --serve <dut_cli-binary>
 # Registered per experiment as the smoke_* ctest entries (bench/CMakeLists);
 # --replay additionally re-executes the transcript with dut_replay and
@@ -44,6 +45,27 @@ if [ "${1:-}" = "--serve" ]; then
   fi
   echo "$serial" | grep '^verdict digest:'
   echo "smoke: serve verdict stream identical across threads and shards"
+  exit 0
+fi
+
+# Sarif mode: emit the SARIF 2.1.0 report for the repo gate and have the
+# binary's own structural validator check it (the lint_repo_sarif ctest
+# entry). The gate itself must also pass — a report full of fresh findings
+# validating structurally is not success.
+if [ "${1:-}" = "--sarif" ]; then
+  if [ "$#" -ne 3 ]; then
+    echo "usage: $0 --sarif <dut_lint-binary> <repo-root>" >&2
+    exit 2
+  fi
+  dut_lint=$2
+  repo_root=$3
+  sarif_log=$(mktemp)
+  trap 'rm -f "$sarif_log"' EXIT
+  "$dut_lint" --root "$repo_root" \
+    --baseline "$repo_root/tools/dut_lint/baseline.json" \
+    --sarif "$sarif_log"
+  "$dut_lint" --validate-sarif "$sarif_log"
+  echo "smoke: sarif report validates"
   exit 0
 fi
 

@@ -20,7 +20,7 @@ cmake --build --preset tsan -j "$(nproc)" \
   --target dut_stats_tests dut_core_tests dut_obs_tests dut_net_tests \
            dut_serve_tests dut_integration_tests e7_token_packaging \
            e8_congest e9_local e15_fault_tolerance e16_transport e17_serve \
-           dut_trace
+           dut_trace dut_lint
 
 export DUT_THREADS="${DUT_THREADS:-8}"
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
@@ -76,5 +76,17 @@ for exp in e7_token_packaging e8_congest e9_local e15_fault_tolerance \
     done
   )
 done
+
+# The single-writer census (dut_lint) and TSan must agree: the schedules
+# above just ran race-free, so the structural census over the same sources
+# must come back clean too. A fresh census finding here means an ownership
+# or ordering change landed without its handoff/ordering annotation — fail
+# loudly instead of letting the dynamic and static checks drift apart.
+echo "== dut_lint concurrency census vs TSan =="
+if ! ./build-tsan/tools/dut_lint/dut_lint --root . src/net src/serve src/stats; then
+  echo "tsan: dut_lint census disagrees with TSan (fresh findings above):" \
+       "a shared-write or ordering change landed without its annotation" >&2
+  exit 1
+fi
 
 echo "tsan: all engine + observability checks passed"
